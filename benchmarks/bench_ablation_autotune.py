@@ -1,0 +1,78 @@
+"""Ablation: the future-work chunk-size tuners vs fixed sizes.
+
+Quantifies what the paper left on the table: the model-based optimum
+and the online feedback loop vs the paper's hand-picked 1 GB / 50 GB,
+on the simulated testbed.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.tables import AsciiTable
+from repro.simrt.costmodel import GB_SI, PAPER_WORDCOUNT
+from repro.simrt.supmr_sim import simulate_supmr_job
+from repro.tuning.adaptive_sim import simulate_supmr_adaptive
+from repro.tuning.feedback import FeedbackTuner
+from repro.tuning.model import optimal_chunk_size
+
+WC = 155 * GB_SI
+INTERVAL = 50.0
+
+
+def test_model_tuner(benchmark):
+    result = benchmark(optimal_chunk_size, PAPER_WORDCOUNT, WC)
+    # the tuner's pick must beat both of the paper's hand choices
+    for paper_gb in (1, 50):
+        fixed = simulate_supmr_job(PAPER_WORDCOUNT, WC, paper_gb * GB_SI,
+                                   monitor_interval=INTERVAL)
+        assert result.predicted_read_map_s <= fixed.timings.read_map_s + 0.01
+
+
+def test_feedback_tuner_cold_start(benchmark):
+    def run():
+        tuner = FeedbackTuner(
+            initial_chunk_bytes=0.25 * GB_SI,
+            round_overhead_s=PAPER_WORDCOUNT.round_overhead_s,
+        )
+        return simulate_supmr_adaptive(PAPER_WORDCOUNT, WC, tuner,
+                                       monitor_interval=INTERVAL)
+
+    adaptive = benchmark.pedantic(run, rounds=1, iterations=1)
+    fixed_1gb = simulate_supmr_job(PAPER_WORDCOUNT, WC, 1 * GB_SI,
+                                   monitor_interval=INTERVAL)
+    # a cold-started feedback loop beats the paper's tuned-by-hand 1 GB
+    assert adaptive.timings.total_s < fixed_1gb.timings.total_s
+
+
+def test_tuner_summary_table(benchmark, capsys):
+    def build():
+        rows = []
+        for label, chunk_gb in (("paper 1GB", 1), ("paper 50GB", 50)):
+            run = simulate_supmr_job(PAPER_WORDCOUNT, WC, chunk_gb * GB_SI,
+                                     monitor_interval=INTERVAL)
+            rows.append((label, run.timings.read_map_s, run.timings.total_s))
+        best = optimal_chunk_size(PAPER_WORDCOUNT, WC)
+        model_run = simulate_supmr_job(PAPER_WORDCOUNT, WC, best.chunk_bytes,
+                                       monitor_interval=INTERVAL)
+        rows.append((f"model tuner ({best.chunk_bytes / GB_SI:.1f}GB)",
+                     model_run.timings.read_map_s, model_run.timings.total_s))
+        tuner = FeedbackTuner(initial_chunk_bytes=0.25 * GB_SI,
+                              round_overhead_s=PAPER_WORDCOUNT.round_overhead_s)
+        adaptive = simulate_supmr_adaptive(PAPER_WORDCOUNT, WC, tuner,
+                                           monitor_interval=INTERVAL)
+        rows.append(("feedback tuner (cold)", adaptive.timings.read_map_s,
+                     adaptive.timings.total_s))
+        return rows
+
+    rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    table = AsciiTable(["configuration", "read+map (s)", "total (s)"])
+    for label, read_map, total in rows:
+        table.add_row(label, f"{read_map:.2f}", f"{total:.2f}")
+    with capsys.disabled():
+        print()
+        print(table.render())
+    totals = {label: total for label, _rm, total in rows}
+    assert totals[min(totals, key=totals.get)] not in (
+        totals["paper 50GB"],
+    )

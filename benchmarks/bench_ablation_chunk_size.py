@@ -1,0 +1,74 @@
+"""Ablation: ingest chunk size sweep (Conclusion 2).
+
+Two levels: the paper-scale simulated sweep (total time is U-shaped-ish:
+tiny chunks pay round overhead, huge chunks lose overlap) and a
+real-runtime sweep on actual bytes where the pipelined read+map must
+never lose to the baseline by more than the thread-churn overhead.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.tables import AsciiTable
+from repro.apps.wordcount import make_wordcount_job
+from repro.core.options import RuntimeOptions
+from repro.core.phoenix import PhoenixRuntime
+from repro.core.supmr import run_ingest_mr
+from repro.simrt.costmodel import GB_SI, PAPER_WORDCOUNT
+from repro.simrt.phoenix_sim import simulate_phoenix_job
+from repro.simrt.supmr_sim import simulate_supmr_job
+
+SIM_CHUNKS_GB = (0.25, 0.5, 1, 2, 5, 10, 25, 50, 100)
+
+
+def test_simulated_chunk_sweep(benchmark, capsys):
+    def sweep():
+        baseline = simulate_phoenix_job(PAPER_WORDCOUNT, 155 * GB_SI,
+                                        monitor_interval=20.0)
+        rows = [("none", baseline.timings.total_s)]
+        for gb in SIM_CHUNKS_GB:
+            run = simulate_supmr_job(PAPER_WORDCOUNT, 155 * GB_SI, gb * GB_SI,
+                                     monitor_interval=20.0)
+            rows.append((f"{gb}GB", run.timings.total_s))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    table = AsciiTable(["chunk size", "total (s)", "speedup vs none"])
+    base_total = rows[0][1]
+    for label, total in rows:
+        table.add_row(label, f"{total:.2f}", f"{base_total / total:.3f}x")
+    with capsys.disabled():
+        print()
+        print(table.render())
+
+    totals = dict(rows)
+    # every chunked configuration beats the baseline...
+    assert all(t < totals["none"] for label, t in rows if label != "none")
+    # ...and small chunks beat large chunks (Conclusion 2)
+    assert totals["1GB"] < totals["50GB"] < totals["none"]
+
+
+def test_real_chunk_sweep(benchmark, bench_text_file, capsys):
+    """Real-runtime sweep at MB scale: output identical, rounds scale."""
+    job = lambda: make_wordcount_job([bench_text_file])  # noqa: E731
+    baseline = PhoenixRuntime().run(job())
+
+    def sweep():
+        out = {}
+        for size in ("64KB", "256KB", "1MB"):
+            out[size] = run_ingest_mr(
+                job(), RuntimeOptions.supmr_interfile(size)
+            )
+        return out
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    table = AsciiTable(["chunk", "chunks", "read+map (s)", "total (s)"])
+    for size, result in results.items():
+        table.add_row(size, result.n_chunks,
+                      f"{result.timings.read_map_s:.3f}",
+                      f"{result.timings.total_s:.3f}")
+    with capsys.disabled():
+        print()
+        print(table.render())
+    for result in results.values():
+        assert result.output == baseline.output
+    assert results["64KB"].n_chunks > results["1MB"].n_chunks

@@ -1,0 +1,80 @@
+"""Ablation: does the ingest pipeline's overlap pay on real hardware?
+
+Runs the real SupMR runtime with the ingest thread enabled vs disabled
+on real files (file reads release the GIL, so overlap is genuine), and a
+map-complexity sweep (Conclusions 1 & 4): the heavier the per-byte map
+work, the more the pipeline hides.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.tables import AsciiTable
+from repro.apps.wordcount import make_wordcount_job
+from repro.core.options import RuntimeOptions
+from repro.core.supmr import run_ingest_mr
+from repro.simrt.costmodel import GB_SI, PAPER_WORDCOUNT
+from repro.simrt.supmr_sim import simulate_supmr_job
+
+
+def test_real_pipelined_run(benchmark, bench_text_file):
+    result = benchmark(
+        run_ingest_mr, make_wordcount_job([bench_text_file]),
+        RuntimeOptions.supmr_interfile("256KB"),
+    )
+    assert result.n_chunks == 8
+
+
+def test_real_unpipelined_run(benchmark, bench_text_file):
+    result = benchmark(
+        run_ingest_mr, make_wordcount_job([bench_text_file]),
+        RuntimeOptions.supmr_interfile("256KB", pipelined_ingest=False),
+    )
+    assert result.n_chunks == 8
+
+
+def test_simulated_overlap_gain_tracks_map_share(benchmark, capsys):
+    """Conclusion 1/4: pipeline benefit grows with map-phase weight."""
+    from dataclasses import replace
+
+    def sweep():
+        rows = []
+        for factor in (1.0, 2.0, 4.0, 8.0):
+            profile = replace(
+                PAPER_WORDCOUNT, name=f"wc-x{factor:g}",
+                map_bw_per_ctx=PAPER_WORDCOUNT.map_bw_per_ctx / factor,
+            )
+            piped = simulate_supmr_job(profile, 20 * GB_SI, 1 * GB_SI,
+                                       monitor_interval=20.0)
+            serial = simulate_supmr_job(profile, 20 * GB_SI, 1 * GB_SI,
+                                        monitor_interval=20.0,
+                                        pipelined=False)
+            saved = serial.timings.total_s - piped.timings.total_s
+            rows.append((factor, saved, piped.timings.total_s))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    table = AsciiTable(["map cost x", "overlap saves (s)", "piped total (s)"])
+    for factor, saved, total in rows:
+        table.add_row(f"{factor:g}", f"{saved:.2f}", f"{total:.2f}")
+    with capsys.disabled():
+        print()
+        print(table.render())
+    savings = [saved for _f, saved, _t in rows]
+    assert savings == sorted(savings)  # heavier map => more hidden
+    assert savings[-1] > 4 * savings[0]
+
+
+def test_overlap_bounded_by_map_time(benchmark):
+    """The pipeline can hide at most the overlapped map work."""
+    piped = benchmark.pedantic(
+        simulate_supmr_job, args=(PAPER_WORDCOUNT, 20 * GB_SI, 1 * GB_SI),
+        kwargs={"monitor_interval": 20.0}, rounds=1, iterations=1,
+    )
+    serial = simulate_supmr_job(PAPER_WORDCOUNT, 20 * GB_SI, 1 * GB_SI,
+                                monitor_interval=20.0, pipelined=False)
+    saved = serial.timings.total_s - piped.timings.total_s
+    overlappable_map = PAPER_WORDCOUNT.map_wall_s(19 * GB_SI, 32)
+    assert saved <= overlappable_map * 1.05
+    assert saved == pytest.approx(overlappable_map, rel=0.15)

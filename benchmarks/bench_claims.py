@@ -1,0 +1,25 @@
+"""Headline claims (abstract / section VI): speedup and utilization ranges."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import claims
+
+
+def test_claims_report(benchmark, capsys):
+    result = benchmark.pedantic(
+        claims.run, kwargs={"monitor_interval": 5.0}, rounds=1, iterations=1,
+    )
+    with capsys.disabled():
+        print()
+        print(result.render())
+    by_metric = {c.metric: c for c in result.comparisons}
+    # 1.16x - 3.13x phase speedups
+    assert by_metric["min phase speedup"].measured == pytest.approx(1.16, abs=0.04)
+    assert by_metric["max phase speedup"].measured == pytest.approx(3.13, rel=0.02)
+    # 1.10x - 1.46x time-to-result speedups
+    assert by_metric["max time-to-result speedup"].measured == pytest.approx(
+        1.46, rel=0.02
+    )
+    assert 1.05 <= by_metric["min time-to-result speedup"].measured <= 1.20

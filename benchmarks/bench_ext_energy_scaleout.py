@@ -1,0 +1,66 @@
+"""Extension benches: energy/availability accounting and the scale-out
+comparison (paper section VI.C.1 and the conclusion's framing)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import run_experiment
+from repro.simhw.power import PowerModel, energy_from_samples
+from repro.simrt.costmodel import GB_SI, PAPER_SORT
+from repro.simrt.phoenix_sim import simulate_phoenix_job
+from repro.simrt.scaleout_sim import ScaleOutSpec, estimate_scaleout_job
+from repro.simrt.supmr_sim import simulate_supmr_job
+
+
+def test_energy_race_to_idle(benchmark, capsys):
+    """SupMR's sort finishes 1.46x sooner and saves ~24% energy."""
+
+    def run():
+        base = simulate_phoenix_job(PAPER_SORT, 60 * GB_SI,
+                                    monitor_interval=2.0)
+        supmr = simulate_supmr_job(PAPER_SORT, 60 * GB_SI, 1 * GB_SI,
+                                   monitor_interval=2.0)
+        model = PowerModel()
+        return (energy_from_samples(base.samples, model),
+                energy_from_samples(supmr.samples, model))
+
+    base_e, supmr_e = benchmark.pedantic(run, rounds=1, iterations=1)
+    with capsys.disabled():
+        print(f"\nsort energy: baseline {base_e.energy_wh:.1f} Wh "
+              f"@ {base_e.mean_power_w:.0f} W mean | SupMR "
+              f"{supmr_e.energy_wh:.1f} Wh @ {supmr_e.mean_power_w:.0f} W mean")
+    assert supmr_e.energy_j < base_e.energy_j  # race-to-idle wins
+    assert supmr_e.mean_power_w > base_e.mean_power_w  # but runs hotter
+
+
+def test_ext_energy_report(benchmark, capsys):
+    result = benchmark.pedantic(
+        run_experiment, args=("ext-energy",),
+        kwargs={"monitor_interval": 5.0}, rounds=1, iterations=1,
+    )
+    with capsys.disabled():
+        print()
+        print(result.render())
+    # the paper's qualitative direction: chunked runs are hotter
+    for comparison in result.comparisons:
+        assert comparison.measured > 1.0
+
+
+def test_ext_scaleout_report(benchmark, capsys):
+    result = benchmark.pedantic(
+        run_experiment, args=("ext-scaleout",),
+        kwargs={"monitor_interval": 10.0}, rounds=1, iterations=1,
+    )
+    with capsys.disabled():
+        print()
+        print(result.render())
+    for comparison in result.comparisons:
+        assert comparison.measured > 1.5  # clusters burn multiples
+
+
+def test_scaleout_estimate_speed(benchmark):
+    """The analytic estimator itself is trivially cheap."""
+    est = benchmark(estimate_scaleout_job, PAPER_SORT, 60 * GB_SI,
+                    ScaleOutSpec(nodes=32))
+    assert est.total_s > 0

@@ -1,0 +1,45 @@
+"""Fig. 1: baseline sort is bottlenecked by ingest and merge.
+
+Benchmarks the trace-producing simulation and asserts the figure's
+shape: long low-utilization ingest, brief compute spike, step-down merge
+tail, compute window under 25% of the job.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.traces import step_levels
+from repro.experiments import fig1
+from repro.simrt.costmodel import GB_SI, PAPER_SORT
+from repro.simrt.phoenix_sim import simulate_phoenix_job
+
+
+def test_fig1_trace(benchmark, capsys):
+    result = benchmark(
+        simulate_phoenix_job, PAPER_SORT, 60 * GB_SI, monitor_interval=2.0,
+    )
+    t = result.timings
+
+    # ingest dominates and runs at iowait-only utilization
+    ingest_busy = [s.busy_pct for s in result.samples if s.time < t.read_s]
+    assert t.read_s / t.total_s > 0.4
+    assert max(ingest_busy) < 5.0
+
+    # the merge tail steps down through halving plateaus
+    merge_span = [s for s in result.spans if s.name == "merge"][0]
+    levels = [lv for lv in step_levels(result.samples, merge_span.start,
+                                       merge_span.end) if lv > 1.0]
+    assert len(levels) >= 5
+    assert all(a >= b for a, b in zip(levels, levels[1:]))
+
+    # compute (map+reduce) is a small sliver of the job (paper: < 25%)
+    assert (t.map_s + t.reduce_s) / t.total_s < 0.25
+
+
+def test_fig1_report(benchmark, capsys):
+    result = benchmark.pedantic(
+        fig1.run, kwargs={"monitor_interval": 2.0}, rounds=1, iterations=1,
+    )
+    with capsys.disabled():
+        print()
+        print(result.render())
+    assert any("step curve descends: True" in n for n in result.notes)

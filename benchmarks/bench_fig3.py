@@ -1,0 +1,51 @@
+"""Fig. 3: OpenMP sort — faster compute, slower time-to-result.
+
+Two measurements: the paper-scale simulation (the 192 s total delta) and
+a real-data miniature on actual bytes, where the same structure must
+hold: the OpenMP-style baseline's sort phase beats the MapReduce merge
+phase, while its sequential parse costs it on total time relative to the
+parallel map phase's share of work.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.openmp_sort import openmp_sort
+from repro.experiments import fig3
+from repro.simrt.costmodel import GB_SI, PAPER_SORT
+from repro.simrt.openmp_sim import simulate_openmp_sort
+from repro.simrt.phoenix_sim import simulate_phoenix_job
+
+
+def test_fig3_simulated_deltas(benchmark):
+    openmp = benchmark(
+        simulate_openmp_sort, PAPER_SORT, 60 * GB_SI, monitor_interval=10.0,
+    )
+    mr = simulate_phoenix_job(PAPER_SORT, 60 * GB_SI, monitor_interval=10.0)
+    total_delta = openmp.timings.total_s - mr.timings.total_s
+    assert total_delta == pytest.approx(192.0, abs=5.0)
+    # OpenMP's compute (the sort) is much shorter than MR's merge
+    assert openmp.timings.merge_s < mr.timings.merge_s / 2
+
+
+def test_fig3_real_openmp_baseline(benchmark, bench_terasort_file):
+    result = benchmark.pedantic(
+        openmp_sort, args=([bench_terasort_file],),
+        kwargs={"parallelism": 4}, rounds=1, iterations=1,
+    )
+    # structural claim on real bytes: ingest+parse dominates the sort
+    assert result.ingest_s + result.parse_s > result.sort_s * 0.5
+    keys = [k for k, _v in result.output]
+    assert keys == sorted(keys)
+
+
+def test_fig3_report(benchmark, capsys):
+    result = benchmark.pedantic(
+        fig3.run, kwargs={"monitor_interval": 10.0}, rounds=1, iterations=1,
+    )
+    with capsys.disabled():
+        print()
+        print(result.render())
+    (total_cmp, _compute_cmp) = result.comparisons
+    assert total_cmp.relative_error < 0.05

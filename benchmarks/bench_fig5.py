@@ -1,0 +1,74 @@
+"""Fig. 5: word count utilization across chunk sizes (none / 1 GB / 50 GB).
+
+Asserts the figure's qualitative claims — small chunks give dense spikes
+and the best ingest/map speedup; large chunks give sparse spikes; no
+chunks gives a long 0%-busy ingest — and the quoted 1.16x speedup.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.traces import mean_utilization
+from repro.experiments import fig5
+from repro.simrt.costmodel import GB_SI, PAPER_WORDCOUNT
+from repro.simrt.phoenix_sim import simulate_phoenix_job
+from repro.simrt.supmr_sim import simulate_supmr_job
+
+WC = 155 * GB_SI
+
+
+def test_fig5_traces_and_speedups(benchmark):
+    traces = benchmark.pedantic(
+        fig5.run_traces, kwargs={"monitor_interval": 5.0}, rounds=1,
+        iterations=1,
+    )
+    base = traces["none"].timings
+    sp_1gb = (base.read_s + base.map_s) / traces["1GB"].timings.read_map_s
+    sp_50gb = (base.read_s + base.map_s) / traces["50GB"].timings.read_map_s
+    assert sp_1gb == pytest.approx(1.16, rel=0.02)
+    assert sp_50gb == pytest.approx(1.12, rel=0.03)
+    assert sp_1gb > sp_50gb  # smaller chunks win (Conclusion 2)
+
+    # utilization during the ingest window: chunked >> unchunked
+    busy_none = mean_utilization(
+        traces["none"].samples, 0, base.read_s, busy_only=True)
+    busy_1gb = mean_utilization(
+        traces["1GB"].samples, 0, traces["1GB"].timings.read_map_s,
+        busy_only=True)
+    assert busy_none < 1.0
+    assert busy_1gb > 10.0
+
+
+def test_fig5_spike_density(benchmark):
+    """1 GB chunks spike every ~2.6 s; 50 GB chunks every ~130 s."""
+    small = benchmark.pedantic(
+        simulate_supmr_job, args=(PAPER_WORDCOUNT, WC, 1 * GB_SI),
+        kwargs={"monitor_interval": 1.0}, rounds=1, iterations=1,
+    )
+    large = simulate_supmr_job(PAPER_WORDCOUNT, WC, 50 * GB_SI,
+                               monitor_interval=1.0)
+
+    def spike_count(result):
+        window = [s for s in result.samples
+                  if s.time <= result.timings.read_map_s]
+        spikes = 0
+        prev_high = False
+        for s in window:
+            high = s.busy_pct > 50.0
+            if high and not prev_high:
+                spikes += 1
+            prev_high = high
+        return spikes
+
+    assert spike_count(small) > 10 * max(1, spike_count(large))
+
+
+def test_fig5_report(benchmark, capsys):
+    result = benchmark.pedantic(
+        fig5.run, kwargs={"monitor_interval": 5.0}, rounds=1, iterations=1,
+    )
+    with capsys.disabled():
+        print()
+        print(result.render())
+    assert all(c.relative_error < 0.05 for c in result.comparisons)

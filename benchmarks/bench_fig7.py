@@ -1,0 +1,55 @@
+"""Fig. 7: HDFS case study — high utilization, ~7 s end-to-end speedup."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.traces import mean_utilization
+from repro.experiments import fig7
+from repro.simrt.hdfs_case import simulate_hdfs_case_study
+
+
+def test_fig7_case_study(benchmark):
+    case = benchmark.pedantic(
+        simulate_hdfs_case_study, kwargs={"monitor_interval": 5.0},
+        rounds=1, iterations=1,
+    )
+    # the paper's headline: ~7 s despite full overlap
+    assert case.speedup_seconds == pytest.approx(7.0, abs=1.5)
+    # utilization during ingest rises markedly...
+    base_util = mean_utilization(case.baseline.samples, 0,
+                                 case.baseline.timings.read_s)
+    supmr_util = mean_utilization(case.supmr.samples, 0,
+                                  case.supmr.timings.read_map_s)
+    assert supmr_util > 2 * base_util
+    # ...but the job is link-bound: the map phase is a tiny fraction
+    assert (case.baseline.timings.map_s
+            / case.baseline.timings.total_s) < 0.08
+
+
+def test_fig7_longer_map_phase_would_help(benchmark):
+    """Conclusion 4 corollary: more map work per byte => bigger speedup."""
+    from dataclasses import replace
+
+    from repro.simrt.costmodel import PAPER_WORDCOUNT
+
+    slow_map = replace(PAPER_WORDCOUNT, name="wordcount-slme",
+                       map_bw_per_ctx=PAPER_WORDCOUNT.map_bw_per_ctx / 4)
+    fast_case = benchmark.pedantic(
+        simulate_hdfs_case_study, kwargs={"monitor_interval": 10.0},
+        rounds=1, iterations=1,
+    )
+    slow_case = simulate_hdfs_case_study(profile=slow_map,
+                                         monitor_interval=10.0)
+    assert slow_case.speedup_seconds > 2 * fast_case.speedup_seconds
+
+
+def test_fig7_report(benchmark, capsys):
+    result = benchmark.pedantic(
+        fig7.run, kwargs={"monitor_interval": 5.0}, rounds=1, iterations=1,
+    )
+    with capsys.disabled():
+        print()
+        print(result.render())
+    (speedup,) = result.comparisons
+    assert abs(speedup.measured - 7.0) < 1.5

@@ -1,0 +1,41 @@
+"""Ablation: chunk size over HDFS (robustness of Conclusion 4).
+
+Fig. 7's lesson is that the HDFS case is link-bound: the pipeline can
+only hide the (tiny) map phase, so *no* chunk size buys more than a few
+seconds — and too-small chunks start losing to per-read overheads.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.tables import AsciiTable
+from repro.simrt.costmodel import GB_SI
+from repro.simrt.hdfs_case import simulate_hdfs_case_study
+
+SWEEP_GB = (0.5, 1.0, 2.0, 5.0, 10.0)
+
+
+def test_hdfs_chunk_size_sweep(benchmark, capsys):
+    def sweep():
+        return {
+            gb: simulate_hdfs_case_study(chunk_bytes=gb * GB_SI,
+                                         monitor_interval=10.0)
+            for gb in SWEEP_GB
+        }
+
+    cases = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    table = AsciiTable(["chunk", "baseline (s)", "supmr (s)", "speedup (s)"])
+    for gb, case in cases.items():
+        table.add_row(f"{gb:g}GB", f"{case.baseline.timings.total_s:.1f}",
+                      f"{case.supmr.timings.total_s:.1f}",
+                      f"{case.speedup_seconds:.1f}")
+    with capsys.disabled():
+        print()
+        print(table.render())
+
+    speedups = [case.speedup_seconds for case in cases.values()]
+    # Conclusion 4 is chunk-size-robust: every configuration's win is
+    # single-digit seconds on a ~260 s job ...
+    assert all(0 < s < 15 for s in speedups)
+    # ... and tiny chunks do worse than mid-size ones (per-read overhead
+    # eats the already-small map overlap)
+    assert cases[0.5].speedup_seconds <= cases[2.0].speedup_seconds + 0.5

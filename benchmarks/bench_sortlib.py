@@ -1,0 +1,59 @@
+"""Micro-benchmarks of the sort library primitives.
+
+Not a paper artifact per se, but the substrate the merge claims rest on;
+useful for tracking regressions in the hot paths.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.sortlib.kway import kway_merge
+from repro.sortlib.merge_sort import pairwise_merge_sort
+from repro.sortlib.multiway_partition import multiway_partition
+from repro.sortlib.parallel_sort import parallel_sort
+from repro.sortlib.pway import pway_merge
+
+
+def _runs(k=16, n=4000, seed=11):
+    rng = random.Random(seed)
+    return [sorted(rng.randrange(1 << 30) for _ in range(n)) for _ in range(k)]
+
+
+def test_bench_kway_merge(benchmark):
+    runs = _runs()
+    out = benchmark(kway_merge, runs)
+    assert len(out) == 64_000
+
+
+def test_bench_pairwise_merge(benchmark):
+    runs = _runs()
+    out, _rounds = benchmark(pairwise_merge_sort, runs)
+    assert len(out) == 64_000
+
+
+def test_bench_pway_merge(benchmark):
+    runs = _runs()
+    out = benchmark(pway_merge, runs, 8)
+    assert len(out) == 64_000
+
+
+def test_bench_multiway_partition(benchmark):
+    runs = _runs()
+    bounds = benchmark(multiway_partition, runs, 16)
+    assert len(bounds) == 17
+
+
+def test_bench_parallel_sort(benchmark):
+    rng = random.Random(13)
+    data = [rng.randrange(1 << 30) for _ in range(64_000)]
+    out = benchmark(parallel_sort, data, 8)
+    assert out[0] <= out[-1]
+
+
+def test_bench_builtin_sorted_reference(benchmark):
+    """Timsort reference point for the parallel_sort numbers above."""
+    rng = random.Random(13)
+    data = [rng.randrange(1 << 30) for _ in range(64_000)]
+    out = benchmark(sorted, data)
+    assert len(out) == 64_000

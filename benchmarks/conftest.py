@@ -1,0 +1,41 @@
+"""Benchmark fixtures: medium-size real inputs, shared across benches.
+
+The ``bench_*`` files pair a pytest-benchmark measurement with the
+paper-shape assertions for the table/figure they regenerate; run them
+with ``pytest benchmarks/ --benchmark-only``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.workloads import (
+    generate_small_files,
+    generate_terasort_file,
+    generate_text_file,
+)
+
+
+@pytest.fixture(scope="session")
+def bench_text_file(tmp_path_factory: pytest.TempPathFactory) -> Path:
+    """~2 MB text corpus for real-runtime benches."""
+    path = tmp_path_factory.mktemp("bench") / "corpus.txt"
+    generate_text_file(path, 2_000_000, vocab_size=2000, seed=101)
+    return path
+
+
+@pytest.fixture(scope="session")
+def bench_terasort_file(tmp_path_factory: pytest.TempPathFactory) -> Path:
+    """20k terasort records (~2 MB)."""
+    path = tmp_path_factory.mktemp("bench") / "records.dat"
+    generate_terasort_file(path, 20_000, seed=102)
+    return path
+
+
+@pytest.fixture(scope="session")
+def bench_small_files(tmp_path_factory: pytest.TempPathFactory) -> list[Path]:
+    """30 files x 50 KB for intra-file chunking benches."""
+    directory = tmp_path_factory.mktemp("bench") / "many"
+    return generate_small_files(directory, 30, 50_000, vocab_size=1000, seed=103)

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Chunk-size tuning: the paper's future work, end to end.
+
+Shows the three ways to pick an ingest chunk size on the simulated
+paper testbed:
+
+1. hand-picked (the paper's 1 GB / 50 GB),
+2. the offline model optimizer (closed form + refinement),
+3. the online feedback loop, cold-started at 0.25 GB,
+
+and renders the adaptive run's pipeline timeline.
+
+Run:  python examples/chunk_tuning.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis.tables import AsciiTable
+from repro.analysis.timeline import overlap_fraction, render_round_timeline
+from repro.simrt.costmodel import GB_SI, PAPER_WORDCOUNT
+from repro.simrt.supmr_sim import simulate_supmr_job
+from repro.tuning import FeedbackTuner, optimal_chunk_size, simulate_supmr_adaptive
+
+INPUT = 155 * GB_SI
+
+
+def main() -> None:
+    table = AsciiTable(["configuration", "chunk", "read+map (s)", "total (s)"])
+
+    for label, chunk in (("paper 1GB", 1 * GB_SI), ("paper 50GB", 50 * GB_SI)):
+        run = simulate_supmr_job(PAPER_WORDCOUNT, INPUT, chunk,
+                                 monitor_interval=20.0)
+        table.add_row(label, f"{chunk / GB_SI:g}GB",
+                      f"{run.timings.read_map_s:.2f}",
+                      f"{run.timings.total_s:.2f}")
+
+    best = optimal_chunk_size(PAPER_WORDCOUNT, INPUT)
+    model_run = simulate_supmr_job(PAPER_WORDCOUNT, INPUT, best.chunk_bytes,
+                                   monitor_interval=20.0)
+    table.add_row("model tuner", f"{best.chunk_bytes / GB_SI:.2f}GB",
+                  f"{model_run.timings.read_map_s:.2f}",
+                  f"{model_run.timings.total_s:.2f}")
+
+    tuner = FeedbackTuner(initial_chunk_bytes=0.25 * GB_SI,
+                          round_overhead_s=PAPER_WORDCOUNT.round_overhead_s)
+    adaptive = simulate_supmr_adaptive(PAPER_WORDCOUNT, INPUT, tuner,
+                                       monitor_interval=20.0)
+    table.add_row("feedback tuner (cold)", "adaptive",
+                  f"{adaptive.timings.read_map_s:.2f}",
+                  f"{adaptive.timings.total_s:.2f}")
+
+    print("word count, 155 GB, simulated paper testbed:")
+    print(table.render())
+    print(f"\nclosed form c* = {best.closed_form_bytes / GB_SI:.2f} GB; "
+          f"refined optimum {best.chunk_bytes / GB_SI:.2f} GB "
+          f"({best.n_chunks} chunks)")
+    sizes = adaptive.extras["chunk_sizes"]
+    print(f"feedback ramp: {[round(s / GB_SI, 2) for s in sizes[:8]]} ... GB")
+    print(f"estimated rates at end: ingest "
+          f"{adaptive.extras['final_estimate_ingest_bw'] / 1e6:.0f} MB/s, "
+          f"map {adaptive.extras['final_estimate_map_bw'] / 1e6:.0f} MB/s")
+
+    # Zoom the timeline into the first 15 rounds so the lanes are visible.
+    head = adaptive.timings.rounds[:15]
+    print()
+    print(render_round_timeline(head))
+    print(f"overlap: {100 * overlap_fraction(adaptive.timings.rounds):.0f}% "
+          "of all map time ran under ingest")
+
+
+if __name__ == "__main__":
+    main()

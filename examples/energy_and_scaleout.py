@@ -1,0 +1,26 @@
+#!/usr/bin/env python3
+"""Energy, heat and the scale-out question (paper SVI.C.1 + conclusion).
+
+Prints the energy/availability picture for the Table II configurations
+and the scale-up-vs-scale-out comparison the paper's conclusion points
+at — the numbers behind "utilization and energy consumption [are]
+significant factors in comparing this approach to an 'equivalent'
+scale-out implementation".
+
+Run:  python examples/energy_and_scaleout.py
+"""
+
+from __future__ import annotations
+
+from repro.experiments import run_experiment
+
+
+def main() -> None:
+    for exp_id in ("ext-energy", "ext-scaleout"):
+        result = run_experiment(exp_id)
+        print(result.render())
+        print("=" * 78)
+
+
+if __name__ == "__main__":
+    main()

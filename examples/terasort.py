@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Terasort: the paper's merge-bottleneck workload, both merge algorithms.
+
+Generates terasort-format records, sorts them with the baseline (2-way
+merge rounds) and SupMR (single-pass p-way merge), verifies identical
+output, and shows the work accounting behind the paper's 3.13x merge
+speedup: pairwise merging re-scans every record once per round.
+
+Run:  python examples/terasort.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+from repro import PhoenixRuntime, RuntimeOptions, run_ingest_mr
+from repro.analysis.tables import AsciiTable
+from repro.apps.sortapp import make_sort_job
+from repro.core.options import MergeAlgorithm
+from repro.sortlib.merge_sort import total_items_scanned
+from repro.workloads import generate_terasort_file
+
+N_RECORDS = 30_000
+
+
+def main() -> None:
+    workdir = Path(tempfile.mkdtemp(prefix="supmr-terasort-"))
+    datafile = workdir / "records.dat"
+    written = generate_terasort_file(datafile, N_RECORDS, seed=7)
+    print(f"generated {N_RECORDS} records ({written / 1e6:.1f} MB)")
+
+    options = RuntimeOptions.baseline(num_mappers=8, num_reducers=8)
+    baseline = PhoenixRuntime(options).run(make_sort_job([datafile]))
+
+    supmr = run_ingest_mr(
+        make_sort_job([datafile]),
+        RuntimeOptions.supmr_interfile("512KB", num_mappers=8, num_reducers=8),
+    )
+    assert baseline.output == supmr.output, "sorted outputs must match"
+    keys = [k for k, _v in supmr.output]
+    assert keys == sorted(keys)
+
+    table = AsciiTable(["runtime", "merge algorithm", "merge rounds",
+                        "merge (s)", "total (s)"])
+    table.add_row("phoenix", MergeAlgorithm.PAIRWISE.value,
+                  baseline.counters["merge_rounds"],
+                  f"{baseline.timings.merge_s:.3f}",
+                  f"{baseline.timings.total_s:.3f}")
+    table.add_row("supmr", MergeAlgorithm.PWAY.value,
+                  supmr.counters["merge_rounds"],
+                  f"{supmr.timings.merge_s:.3f}",
+                  f"{supmr.timings.total_s:.3f}")
+    print()
+    print(table.render())
+
+    # The mechanism behind the paper's 3.13x merge speedup: item touches.
+    n_runs = 8
+    per_run = N_RECORDS // n_runs
+    touches = total_items_scanned([per_run] * n_runs)
+    print(f"\nwork accounting for {n_runs} sorted runs of {per_run} records:")
+    print(f"  pairwise rounds touch {touches} items "
+          f"({touches / N_RECORDS:.2f}x the input)")
+    print(f"  p-way single pass touches {N_RECORDS} items (1.00x)")
+    print("\nAt the paper's 60 GB / 32 runs that ratio is what turns a "
+          "191 s merge into a 61 s merge (Fig. 6, Table II).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,40 @@
+"""SupMR reproduction — scale-up MapReduce with ingest chunk pipelining.
+
+This package reproduces *SupMR: Circumventing Disk and Memory Bandwidth
+Bottlenecks for Scale-up MapReduce* (Sevilla et al., IPPS 2014).
+
+It contains two cooperating halves:
+
+* an **executable runtime** (:mod:`repro.core`, :mod:`repro.pipeline`,
+  :mod:`repro.containers`, :mod:`repro.chunking`, :mod:`repro.sortlib`,
+  :mod:`repro.apps`) — a real, pure-Python Phoenix++-style scale-up
+  MapReduce runtime plus the SupMR modifications, which runs on real bytes
+  and is what tests/examples exercise; and
+* a **simulated testbed** (:mod:`repro.simhw`, :mod:`repro.simrt`) — a
+  from-scratch discrete-event model of the paper's 32-context RAID-0
+  machine, used to regenerate the paper's tables and CPU-utilization
+  figures at 60-155 GB scale, which a 1-core GIL-bound interpreter cannot
+  measure natively.
+
+The top-level namespace re-exports the public API most users need.
+"""
+
+from repro._version import __version__
+from repro.core.job import JobSpec
+from repro.core.options import ChunkStrategy, MergeAlgorithm, RuntimeOptions
+from repro.core.phoenix import PhoenixRuntime
+from repro.core.result import JobResult, PhaseTimings
+from repro.core.supmr import SupMRRuntime, run_ingest_mr
+
+__all__ = [
+    "__version__",
+    "JobSpec",
+    "RuntimeOptions",
+    "ChunkStrategy",
+    "MergeAlgorithm",
+    "PhoenixRuntime",
+    "SupMRRuntime",
+    "run_ingest_mr",
+    "JobResult",
+    "PhaseTimings",
+]

@@ -1,0 +1,23 @@
+"""Analysis and reporting: traces, tables, speedups, ASCII figures."""
+
+from repro.analysis.speedup import SpeedupSummary, phase_speedups
+from repro.analysis.tables import AsciiTable
+from repro.analysis.timeline import overlap_fraction, render_round_timeline
+from repro.analysis.traces import (
+    mean_utilization,
+    phase_mean_utilization,
+    sparkline,
+    trace_csv,
+)
+
+__all__ = [
+    "AsciiTable",
+    "SpeedupSummary",
+    "phase_speedups",
+    "mean_utilization",
+    "phase_mean_utilization",
+    "sparkline",
+    "trace_csv",
+    "render_round_timeline",
+    "overlap_fraction",
+]

@@ -1,0 +1,60 @@
+"""Speedup accounting between runtime configurations.
+
+The paper reports three families of numbers (abstract, section VI):
+job-phase speedups (1.16x-3.13x), time-to-result speedups (1.10x-1.46x),
+and CPU-utilization increases (50-100%).  :func:`phase_speedups` computes
+all of them from a (baseline, optimized) result pair so the experiment
+harness and the claims tests share one definition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.result import PhaseTimings
+
+
+@dataclass(frozen=True)
+class SpeedupSummary:
+    """baseline/optimized ratios (>1 means the optimization won)."""
+
+    total: float
+    read_map: float
+    reduce: float
+    merge: float
+    utilization_gain_pct: float | None = None  # relative increase, percent
+
+    def phase_range(self) -> tuple[float, float]:
+        """(min, max) over the phase speedups the paper quotes."""
+        phases = [self.read_map, self.merge]
+        return min(phases), max(phases)
+
+
+def _ratio(baseline: float, optimized: float) -> float:
+    if optimized <= 0:
+        return float("inf") if baseline > 0 else 1.0
+    return baseline / optimized
+
+
+def phase_speedups(
+    baseline: PhaseTimings,
+    optimized: PhaseTimings,
+    baseline_util_pct: float | None = None,
+    optimized_util_pct: float | None = None,
+) -> SpeedupSummary:
+    """Speedups of ``optimized`` relative to ``baseline``.
+
+    ``read_map`` compares the combined ingest+map wall-clock (the merged
+    Table II cell) regardless of whether either side pipelined.
+    """
+    util_gain = None
+    if baseline_util_pct is not None and optimized_util_pct is not None:
+        if baseline_util_pct > 0:
+            util_gain = 100.0 * (optimized_util_pct - baseline_util_pct) / baseline_util_pct
+    return SpeedupSummary(
+        total=_ratio(baseline.total_s, optimized.total_s),
+        read_map=_ratio(baseline.read_map_s, optimized.read_map_s),
+        reduce=_ratio(baseline.reduce_s, optimized.reduce_s),
+        merge=_ratio(baseline.merge_s, optimized.merge_s),
+        utilization_gain_pct=util_gain,
+    )

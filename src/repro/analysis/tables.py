@@ -1,0 +1,43 @@
+"""Minimal ASCII table renderer for experiment reports."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import ExperimentError
+
+
+class AsciiTable:
+    """Fixed-column table with a header row, rendered monospace."""
+
+    def __init__(self, headers: Sequence[str]) -> None:
+        if not headers:
+            raise ExperimentError("table needs at least one column")
+        self.headers = [str(h) for h in headers]
+        self.rows: list[list[str]] = []
+
+    def add_row(self, *cells: object) -> None:
+        """Append one row; cell count must match the headers."""
+        if len(cells) != len(self.headers):
+            raise ExperimentError(
+                f"row has {len(cells)} cells; table has {len(self.headers)} columns"
+            )
+        self.rows.append([str(c) for c in cells])
+
+    def render(self) -> str:
+        """The table as aligned monospace text."""
+        widths = [len(h) for h in self.headers]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+
+        def fmt(cells: Sequence[str]) -> str:
+            return " | ".join(c.ljust(w) for c, w in zip(cells, widths))
+
+        sep = "-+-".join("-" * w for w in widths)
+        lines = [fmt(self.headers), sep]
+        lines.extend(fmt(row) for row in self.rows)
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()

@@ -1,0 +1,47 @@
+"""Ready-made MapReduce applications.
+
+Word count and sort are the paper's two benchmarks ("these applications
+represent different spectrums of the application space"); grep, string
+match, histogram, inverted index, k-means and linear regression round out
+the classic Phoenix suite so the runtime generalizes beyond the paper's
+pair.  Each module exposes ``make_job(...) -> JobSpec`` plus a naive
+reference implementation used by tests to verify output.
+"""
+
+from repro.apps.grep import make_grep_job, reference_grep
+from repro.apps.histogram import make_histogram_job, reference_histogram
+from repro.apps.inverted_index import make_inverted_index_job, reference_index
+from repro.apps.kmeans import KMeansResult, run_kmeans
+from repro.apps.linear_regression import (
+    make_linear_regression_job,
+    solve_regression,
+)
+from repro.apps.matrix_multiply import make_matmul_job, result_matrix, write_matrix_rows
+from repro.apps.pca import PCAResult, run_pca
+from repro.apps.sortapp import make_sort_job, reference_sort
+from repro.apps.string_match import make_string_match_job, reference_match
+from repro.apps.wordcount import make_wordcount_job, reference_wordcount
+
+__all__ = [
+    "make_wordcount_job",
+    "reference_wordcount",
+    "make_sort_job",
+    "make_matmul_job",
+    "result_matrix",
+    "write_matrix_rows",
+    "reference_sort",
+    "make_grep_job",
+    "reference_grep",
+    "make_histogram_job",
+    "reference_histogram",
+    "make_inverted_index_job",
+    "reference_index",
+    "make_string_match_job",
+    "reference_match",
+    "make_linear_regression_job",
+    "solve_regression",
+    "run_kmeans",
+    "run_pca",
+    "PCAResult",
+    "KMeansResult",
+]

@@ -1,0 +1,82 @@
+"""Linear regression — least-squares fit via MapReduce partial sums.
+
+Phoenix's linear_regression: map accumulates the five sufficient
+statistics (n, Σx, Σy, Σxx, Σxy) over its split and emits one partial
+per statistic; reduce folds them.  ``solve_regression`` turns the job
+output into (slope, intercept).  Input lines are ``x y`` pairs.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Hashable, Iterable, Sequence
+
+from repro.containers import HashContainer, SumCombiner
+from repro.core.job import JobSpec, MapContext
+from repro.errors import WorkloadError
+from repro.io.records import WholeLineCodec
+
+_CODEC = WholeLineCodec()
+
+_STATS = ("n", "sx", "sy", "sxx", "sxy")
+
+
+def regression_map(ctx: MapContext) -> None:
+    """Accumulate sufficient statistics locally, emit once per split."""
+    n = 0
+    sx = sy = sxx = sxy = 0.0
+    for line in _CODEC.iter_lines(ctx.data):
+        stripped = line.strip()
+        if not stripped:
+            continue
+        parts = stripped.split()
+        if len(parts) != 2:
+            raise WorkloadError(f"regression line not 'x y': {line[:40]!r}")
+        x, y = float(parts[0]), float(parts[1])
+        n += 1
+        sx += x
+        sy += y
+        sxx += x * x
+        sxy += x * y
+    if n:
+        ctx.emit("n", float(n))
+        ctx.emit("sx", sx)
+        ctx.emit("sy", sy)
+        ctx.emit("sxx", sxx)
+        ctx.emit("sxy", sxy)
+
+
+def regression_reduce(
+    key: Hashable, values: Sequence[float]
+) -> Iterable[tuple[Hashable, float]]:
+    """Fold partial statistics by summation."""
+    yield (key, sum(values))
+
+
+def make_linear_regression_job(
+    inputs: Sequence[str | Path], name: str = "linear-regression"
+) -> JobSpec:
+    """A least-squares-fit job over 'x y' line files."""
+    return JobSpec(
+        name=name,
+        inputs=tuple(Path(p) for p in inputs),
+        map_fn=regression_map,
+        reduce_fn=regression_reduce,
+        container_factory=lambda: HashContainer(SumCombiner()),
+        codec=_CODEC,
+    )
+
+
+def solve_regression(output: list[tuple[Hashable, float]]) -> tuple[float, float]:
+    """(slope, intercept) from the job's output pairs."""
+    stats = dict(output)
+    missing = [s for s in _STATS if s not in stats]
+    if missing:
+        raise WorkloadError(f"regression output missing stats: {missing}")
+    n, sx, sy, sxx, sxy = (stats[s] for s in _STATS)
+    denom = n * sxx - sx * sx
+    if denom == 0:
+        raise WorkloadError("degenerate regression input (zero variance in x)")
+    slope = (n * sxy - sx * sy) / denom
+    intercept = (sy - slope * sx) / n
+    return slope, intercept

@@ -1,0 +1,68 @@
+r"""Sort — the paper's merge-bottleneck benchmark (60 GB Terasort data).
+
+Map parses ``\r\n``-terminated records into (key, payload) pairs and
+emits into the **unlocked array container** — sort has unique keys, so a
+hash container would pay a pointless lookup per record (section V.B).
+Reduce is the identity; the merge phase does the actual ordering, which
+is why the merge algorithm choice (pairwise rounds vs p-way) dominates
+this job's time.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Hashable, Iterable, Sequence
+
+from repro.containers import ArrayContainer
+from repro.core.job import JobSpec, MapContext
+from repro.io.records import TeraRecordCodec
+
+_CODEC = TeraRecordCodec()
+
+
+def sort_map(ctx: MapContext) -> None:
+    """Emit (key, payload) per record; no aggregation."""
+    for key, payload in _CODEC.iter_pairs(ctx.data):
+        ctx.emit(key, payload)
+
+
+def sort_reduce(
+    key: Hashable, values: Sequence[bytes]
+) -> Iterable[tuple[Hashable, bytes]]:
+    """Identity: every record passes through."""
+    for value in values:
+        yield (key, value)
+
+
+def make_sort_job(
+    inputs: Sequence[str | Path],
+    name: str = "sort",
+    codec: TeraRecordCodec | None = None,
+) -> JobSpec:
+    """A Terasort-style sort job over one big record file."""
+    codec = codec or _CODEC
+
+    def map_fn(ctx: MapContext) -> None:
+        for key, payload in codec.iter_pairs(ctx.data):
+            ctx.emit(key, payload)
+
+    return JobSpec(
+        name=name,
+        inputs=tuple(Path(p) for p in inputs),
+        map_fn=map_fn,
+        reduce_fn=sort_reduce,
+        container_factory=ArrayContainer,
+        codec=codec,
+    )
+
+
+def reference_sort(
+    inputs: Sequence[str | Path], codec: TeraRecordCodec | None = None
+) -> list[tuple[bytes, bytes]]:
+    """Naive in-memory sort for verification (stable by key)."""
+    codec = codec or _CODEC
+    pairs: list[tuple[bytes, bytes]] = []
+    for path in inputs:
+        pairs.extend(codec.iter_pairs(Path(path).read_bytes()))
+    pairs.sort(key=lambda kv: kv[0])
+    return pairs

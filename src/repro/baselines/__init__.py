@@ -1,0 +1,5 @@
+"""Non-MapReduce baselines the paper compares against."""
+
+from repro.baselines.openmp_sort import OpenMPSortResult, openmp_sort
+
+__all__ = ["openmp_sort", "OpenMPSortResult"]

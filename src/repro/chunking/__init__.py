@@ -1,0 +1,38 @@
+"""Ingest chunk management (paper section III.A).
+
+SupMR partitions the input into similarly-sized **ingest chunks** before
+producing map input splits, and streams them through the pipeline.  Two
+strategies, mirroring Hadoop's two input shapes:
+
+* **inter-file** (:mod:`repro.chunking.interfile`) — one big file split
+  into byte-size chunks, with split points nudged forward to the next
+  record delimiter so no key/value straddles chunks;
+* **intra-file** (:mod:`repro.chunking.intrafile`) — many small files
+  coalesced N-per-chunk; the last chunk may hold fewer files (the
+  paper's 30-files/size-4 => 8-chunks example).
+
+:mod:`repro.chunking.planner` picks the strategy from
+:class:`repro.core.options.RuntimeOptions` and yields a uniform
+:class:`~repro.chunking.chunk.ChunkPlan`.
+"""
+
+from repro.chunking.boundary import adjust_split_point, find_record_end_in_file
+from repro.chunking.chunk import Chunk, ChunkPlan, ChunkSource
+from repro.chunking.hybrid import plan_hybrid_chunks
+from repro.chunking.interfile import plan_interfile_chunks
+from repro.chunking.intrafile import plan_intrafile_chunks
+from repro.chunking.planner import plan_chunks
+from repro.chunking.variable import plan_variable_chunks
+
+__all__ = [
+    "Chunk",
+    "ChunkPlan",
+    "ChunkSource",
+    "adjust_split_point",
+    "find_record_end_in_file",
+    "plan_interfile_chunks",
+    "plan_intrafile_chunks",
+    "plan_variable_chunks",
+    "plan_hybrid_chunks",
+    "plan_chunks",
+]

@@ -1,0 +1,85 @@
+r"""Split-point adjustment: never cut a record in half.
+
+Paper section III.A.1: "the runtime makes small adjustments to the split
+point: it seeks to the user-defined chunk size, checks to see if it is in
+the middle of a key or value, and then continually increases the split
+point until reaching the end of the value."
+
+Both an in-memory form (:func:`adjust_split_point`, used on loaded bytes
+and in tests) and a file form (:func:`find_record_end_in_file`, used by
+the planner, which probes the file in small windows rather than loading
+it) are provided.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.errors import ChunkingError
+
+#: Bytes probed per window while searching for the delimiter on disk.
+_PROBE_WINDOW = 64 * 1024
+
+
+def adjust_split_point(data: bytes, pos: int, delimiter: bytes) -> int:
+    """Smallest record-aligned offset >= ``pos`` within ``data``.
+
+    Returns ``len(data)`` when no delimiter follows; ``pos`` of 0 or
+    ``len(data)`` is already aligned by definition.
+    """
+    if not delimiter:
+        raise ChunkingError("delimiter must be non-empty")
+    if pos < 0 or pos > len(data):
+        raise ChunkingError(f"split point {pos} outside data of {len(data)} B")
+    if pos == 0 or pos == len(data):
+        return pos
+    return _next_delimiter_end(data, pos, delimiter)
+
+
+def _next_delimiter_end(data: bytes, pos: int, delimiter: bytes) -> int:
+    """First offset >= pos that is the end of a delimiter occurrence."""
+    # Start scanning early enough to catch a delimiter that straddles pos
+    # or ends exactly at it (pos already record-aligned => stays put).
+    start = max(0, pos - len(delimiter))
+    idx = data.find(delimiter, start)
+    while idx != -1:
+        end = idx + len(delimiter)
+        if end >= pos:
+            return end
+        idx = data.find(delimiter, idx + 1)
+    return len(data)
+
+
+def find_record_end_in_file(
+    path: str | Path, pos: int, delimiter: bytes, file_size: int | None = None
+) -> int:
+    """Record-aligned offset >= ``pos`` in ``path``, probing windows.
+
+    This is what the inter-file planner calls for each tentative split —
+    the "seek and extend" behaviour from the paper, without reading the
+    whole file.
+    """
+    if not delimiter:
+        raise ChunkingError("delimiter must be non-empty")
+    path = Path(path)
+    size = file_size if file_size is not None else path.stat().st_size
+    if pos < 0 or pos > size:
+        raise ChunkingError(f"split point {pos} outside file of {size} B")
+    if pos == 0 or pos == size:
+        return pos
+    with open(path, "rb") as fh:
+        # Back up so a delimiter straddling `pos` is visible in the window.
+        window_start = max(0, pos - len(delimiter))
+        while window_start < size:
+            fh.seek(window_start)
+            window = fh.read(_PROBE_WINDOW + len(delimiter) - 1)
+            if not window:
+                break
+            idx = window.find(delimiter)
+            while idx != -1:
+                end = window_start + idx + len(delimiter)
+                if end >= pos:
+                    return min(end, size)
+                idx = window.find(delimiter, idx + 1)
+            window_start += _PROBE_WINDOW
+    return size

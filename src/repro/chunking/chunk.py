@@ -1,0 +1,89 @@
+"""Chunk data structures: what the ingest thread loads and mappers see.
+
+A :class:`Chunk` is a *description* (which byte ranges of which files);
+:meth:`Chunk.load` materializes it into memory — that load is the ingest
+work the pipeline overlaps with map computation.  This mirrors the
+paper's external ingest-chunk library: "the chunk struct, a struct for
+passing around the job state, and functions for reading chunks and
+locating chunk boundaries" (section V.A).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterator
+
+from repro.errors import ChunkingError
+from repro.io.datafile import read_slice
+
+
+@dataclass(frozen=True)
+class ChunkSource:
+    """One contiguous byte range of one file."""
+
+    path: Path
+    offset: int
+    length: int
+
+    def __post_init__(self) -> None:
+        if self.offset < 0 or self.length < 0:
+            raise ChunkingError(f"bad source range {self!r}")
+
+
+@dataclass(frozen=True)
+class Chunk:
+    """An ingest chunk: ordered source ranges totalling ``length`` bytes."""
+
+    index: int
+    sources: tuple[ChunkSource, ...]
+
+    @property
+    def length(self) -> int:
+        return sum(s.length for s in self.sources)
+
+    @property
+    def paths(self) -> tuple[Path, ...]:
+        return tuple(s.path for s in self.sources)
+
+    def load(self) -> bytes:
+        """Read the chunk into memory (the ingest-phase work)."""
+        if len(self.sources) == 1:
+            src = self.sources[0]
+            return read_slice(src.path, src.offset, src.length)
+        parts = [read_slice(s.path, s.offset, s.length) for s in self.sources]
+        return b"".join(parts)
+
+
+@dataclass(frozen=True)
+class ChunkPlan:
+    """The full ordered chunk stream for a job."""
+
+    chunks: tuple[Chunk, ...]
+    strategy: str  # "inter-file" | "intra-file" | "whole-input"
+    requested_size: int | None = None  # bytes (inter) or files (intra)
+    notes: tuple[str, ...] = field(default=())
+
+    @property
+    def n_chunks(self) -> int:
+        return len(self.chunks)
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(c.length for c in self.chunks)
+
+    def __iter__(self) -> Iterator[Chunk]:
+        return iter(self.chunks)
+
+    def validate_contiguous(self) -> None:
+        """Sanity check: chunks tile their files without gaps or overlap."""
+        cursor: dict[Path, int] = {}
+        for chunk in self.chunks:
+            for src in chunk.sources:
+                expected = cursor.get(src.path, 0)
+                if src.offset != expected:
+                    raise ChunkingError(
+                        f"chunk {chunk.index}: {src.path} resumes at "
+                        f"{src.offset}, expected {expected}"
+                    )
+                cursor[src.path] = src.offset + src.length

@@ -1,0 +1,88 @@
+"""Hybrid inter/intra-file chunking (paper section III.A.1, future work).
+
+Packs whole files into byte-budgeted chunks (intra-file behaviour) and
+splits any file larger than the budget at record boundaries (inter-file
+behaviour), so one plan handles Hadoop's "one big file" and "many small
+files" input shapes simultaneously — and anything in between, such as a
+directory of mixed log files.
+
+Packing is first-fit in the given file order (order preservation matters:
+downstream tools expect deterministic chunk indexing), never reordering
+files, and a chunk closes as soon as adding the next file would exceed
+the budget — except that every chunk contains at least one source, so a
+file bigger than the budget becomes a run of inter-file chunks of its
+own.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Sequence
+
+from repro.chunking.boundary import find_record_end_in_file
+from repro.chunking.chunk import Chunk, ChunkPlan, ChunkSource
+from repro.errors import ChunkingError
+from repro.io.datafile import file_sizes
+
+
+def plan_hybrid_chunks(
+    paths: Sequence[str | Path],
+    chunk_bytes: int,
+    delimiter: bytes,
+) -> ChunkPlan:
+    """Pack/split ``paths`` into ~``chunk_bytes`` record-aligned chunks."""
+    if chunk_bytes < 1:
+        raise ChunkingError(f"chunk size must be >= 1 byte, got {chunk_bytes}")
+    sized = file_sizes(paths)
+    if not sized:
+        raise ChunkingError("hybrid chunking needs at least one input file")
+
+    chunks: list[Chunk] = []
+    pending: list[ChunkSource] = []
+    pending_bytes = 0
+    notes: list[str] = []
+
+    def flush() -> None:
+        nonlocal pending, pending_bytes
+        if pending:
+            chunks.append(Chunk(index=len(chunks), sources=tuple(pending)))
+            pending = []
+            pending_bytes = 0
+
+    for path, size in sized:
+        if size > chunk_bytes:
+            # Oversized file: close the open pack, then split inter-file.
+            flush()
+            start = 0
+            while start < size:
+                tentative = start + chunk_bytes
+                if tentative >= size:
+                    end = size
+                else:
+                    end = find_record_end_in_file(path, tentative, delimiter,
+                                                  size)
+                if end <= start:
+                    raise ChunkingError(
+                        f"chunk planning stalled at offset {start} of {path}"
+                    )
+                chunks.append(
+                    Chunk(index=len(chunks),
+                          sources=(ChunkSource(path, start, end - start),))
+                )
+                start = end
+            notes.append(f"{path.name} ({size} B) split inter-file")
+            continue
+        if pending and pending_bytes + size > chunk_bytes:
+            flush()
+        pending.append(ChunkSource(path, 0, size))
+        pending_bytes += size
+    flush()
+
+    plan = ChunkPlan(
+        chunks=tuple(chunks),
+        strategy="hybrid",
+        requested_size=chunk_bytes,
+        notes=tuple(notes),
+    )
+    plan.validate_contiguous()
+    return plan

@@ -1,0 +1,63 @@
+"""Inter-file chunking: split one big file at record boundaries.
+
+"For inter-file chunking, the user specifies the desired chunk size in
+bytes" (section III.A.1).  Each tentative split at a multiple of the
+chunk size is nudged forward to the next record end, so chunks are
+similarly sized but never cut a record.  A pathological record longer
+than the chunk size simply produces an oversized chunk (and swallows the
+following split points), which the plan records in its notes.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.chunking.boundary import find_record_end_in_file
+from repro.chunking.chunk import Chunk, ChunkPlan, ChunkSource
+from repro.errors import ChunkingError
+
+
+def plan_interfile_chunks(
+    path: str | Path,
+    chunk_bytes: int,
+    delimiter: bytes,
+) -> ChunkPlan:
+    """Chunk ``path`` into ~``chunk_bytes`` record-aligned pieces."""
+    if chunk_bytes < 1:
+        raise ChunkingError(f"chunk size must be >= 1 byte, got {chunk_bytes}")
+    path = Path(path)
+    if not path.is_file():
+        raise ChunkingError(f"input file missing: {path}")
+    size = path.stat().st_size
+    notes: list[str] = []
+    chunks: list[Chunk] = []
+    start = 0
+    index = 0
+    while start < size:
+        tentative = start + chunk_bytes
+        if tentative >= size:
+            end = size
+        else:
+            end = find_record_end_in_file(path, tentative, delimiter, size)
+        if end <= start:
+            raise ChunkingError(
+                f"chunk planning stalled at offset {start} of {path}"
+            )
+        if end - start > 2 * chunk_bytes:
+            notes.append(
+                f"chunk {index} is {end - start} B (> 2x requested); a record "
+                "longer than the chunk size forced an oversized chunk"
+            )
+        chunks.append(
+            Chunk(index=index, sources=(ChunkSource(path, start, end - start),))
+        )
+        start = end
+        index += 1
+    plan = ChunkPlan(
+        chunks=tuple(chunks),
+        strategy="inter-file",
+        requested_size=chunk_bytes,
+        notes=tuple(notes),
+    )
+    plan.validate_contiguous()
+    return plan

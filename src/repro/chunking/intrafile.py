@@ -1,0 +1,51 @@
+"""Intra-file chunking: coalesce many small files into each chunk.
+
+"For intra-file chunking, the user specifies how many files to combine
+into one chunk ... if the user wants to process 30 files with an
+intra-file chunk size of 4 files, the runtime will produce 8 chunks,
+where 7 chunks will contain the user-defined 4 files and 1 chunk will
+contain the 2 remaining files" (section III.A.1).  Whole files are never
+split, so no boundary adjustment is needed.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.chunking.chunk import Chunk, ChunkPlan, ChunkSource
+from repro.errors import ChunkingError
+from repro.io.datafile import file_sizes
+
+
+def plan_intrafile_chunks(
+    paths: Sequence[str | Path] | Iterable[str | Path],
+    files_per_chunk: int,
+) -> ChunkPlan:
+    """Group ``paths`` (in the given order) ``files_per_chunk`` at a time."""
+    if files_per_chunk < 1:
+        raise ChunkingError(
+            f"files per chunk must be >= 1, got {files_per_chunk}"
+        )
+    sized = file_sizes(paths)
+    if not sized:
+        raise ChunkingError("intra-file chunking needs at least one input file")
+    chunks: list[Chunk] = []
+    for index, start in enumerate(range(0, len(sized), files_per_chunk)):
+        group = sized[start: start + files_per_chunk]
+        sources = tuple(
+            ChunkSource(path=path, offset=0, length=size) for path, size in group
+        )
+        chunks.append(Chunk(index=index, sources=sources))
+    notes: tuple[str, ...] = ()
+    last = len(chunks[-1].sources)
+    if last != files_per_chunk:
+        notes = (f"last chunk holds {last} file(s) (requested {files_per_chunk})",)
+    plan = ChunkPlan(
+        chunks=tuple(chunks),
+        strategy="intra-file",
+        requested_size=files_per_chunk,
+        notes=notes,
+    )
+    plan.validate_contiguous()
+    return plan

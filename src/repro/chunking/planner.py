@@ -1,0 +1,75 @@
+"""Strategy-dispatching chunk planner.
+
+Turns (input files, codec, options) into a :class:`ChunkPlan`:
+``NONE`` wraps the whole input in a single chunk (the original runtime's
+one-shot ingest), ``INTER_FILE`` requires exactly one input file, and
+``INTRA_FILE`` coalesces the file list.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Sequence
+
+from repro.chunking.chunk import Chunk, ChunkPlan, ChunkSource
+from repro.chunking.interfile import plan_interfile_chunks
+from repro.chunking.intrafile import plan_intrafile_chunks
+from repro.errors import ChunkingError
+from repro.io.datafile import file_sizes
+from repro.io.records import RecordCodec
+
+
+def plan_whole_input(paths: Sequence[str | Path]) -> ChunkPlan:
+    """One chunk spanning every input file (no pipelining possible)."""
+    sized = file_sizes(paths)
+    if not sized:
+        raise ChunkingError("no input files")
+    sources = tuple(ChunkSource(p, 0, s) for p, s in sized)
+    plan = ChunkPlan(
+        chunks=(Chunk(index=0, sources=sources),),
+        strategy="whole-input",
+        requested_size=None,
+    )
+    plan.validate_contiguous()
+    return plan
+
+
+def plan_chunks(
+    paths: Sequence[str | Path],
+    codec: RecordCodec,
+    options,
+) -> ChunkPlan:
+    """Dispatch on ``options.chunk_strategy``.
+
+    ``options`` is a :class:`repro.core.options.RuntimeOptions`; accepted
+    duck-typed to keep this package independent of the runtime layer.
+    """
+    from repro.core.options import ChunkStrategy  # local: avoid cycle at import
+
+    strategy = options.chunk_strategy
+    if strategy is ChunkStrategy.NONE:
+        return plan_whole_input(paths)
+    if strategy is ChunkStrategy.INTER_FILE:
+        if len(paths) != 1:
+            raise ChunkingError(
+                f"inter-file chunking expects exactly one input file, "
+                f"got {len(paths)}"
+            )
+        return plan_interfile_chunks(paths[0], options.chunk_bytes, codec.delimiter)
+    if strategy is ChunkStrategy.INTRA_FILE:
+        return plan_intrafile_chunks(paths, options.files_per_chunk)
+    if strategy is ChunkStrategy.VARIABLE:
+        from repro.chunking.variable import plan_variable_chunks
+
+        if len(paths) != 1:
+            raise ChunkingError(
+                f"variable chunking expects exactly one input file, "
+                f"got {len(paths)}"
+            )
+        return plan_variable_chunks(paths[0], options.chunk_schedule,
+                                    codec.delimiter)
+    if strategy is ChunkStrategy.HYBRID:
+        from repro.chunking.hybrid import plan_hybrid_chunks
+
+        return plan_hybrid_chunks(paths, options.chunk_bytes, codec.delimiter)
+    raise ChunkingError(f"unknown chunk strategy: {strategy!r}")

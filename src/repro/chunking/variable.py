@@ -1,0 +1,65 @@
+"""Variable-sized ingest chunks (paper section III.A.1, future work).
+
+"More complicated abstractions, such as variable sized ingest chunks or
+a hybrid inter/intra-file chunking approach, could allow the runtime to
+tune the system (i.e. ingest at size x and operate on size y) but is not
+implemented in our initial prototype."  This module implements the
+variable-size half: a chunk plan cut to an explicit byte-size schedule,
+each split point still nudged to a record boundary.
+
+The schedule semantics: sizes are consumed in order; when the schedule
+runs out, the last size repeats until the file is exhausted.  This is
+what the feedback tuner (:mod:`repro.tuning.feedback`) produces — an
+opening ramp followed by a steady-state size.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Sequence
+
+from repro.chunking.boundary import find_record_end_in_file
+from repro.chunking.chunk import Chunk, ChunkPlan, ChunkSource
+from repro.errors import ChunkingError
+
+
+def plan_variable_chunks(
+    path: str | Path,
+    schedule: Sequence[int],
+    delimiter: bytes,
+) -> ChunkPlan:
+    """Chunk ``path`` following the byte-size ``schedule``."""
+    if not schedule:
+        raise ChunkingError("variable chunking needs a non-empty schedule")
+    if any(int(s) < 1 for s in schedule):
+        raise ChunkingError(f"schedule sizes must be >= 1 byte: {schedule!r}")
+    path = Path(path)
+    if not path.is_file():
+        raise ChunkingError(f"input file missing: {path}")
+    size = path.stat().st_size
+    chunks: list[Chunk] = []
+    start = 0
+    index = 0
+    while start < size:
+        want = int(schedule[min(index, len(schedule) - 1)])
+        tentative = start + want
+        if tentative >= size:
+            end = size
+        else:
+            end = find_record_end_in_file(path, tentative, delimiter, size)
+        if end <= start:
+            raise ChunkingError(f"chunk planning stalled at offset {start}")
+        chunks.append(
+            Chunk(index=index, sources=(ChunkSource(path, start, end - start),))
+        )
+        start = end
+        index += 1
+    plan = ChunkPlan(
+        chunks=tuple(chunks),
+        strategy="variable",
+        requested_size=None,
+        notes=(f"schedule of {len(schedule)} size(s), "
+               f"last size repeats: {int(schedule[-1])} B",),
+    )
+    plan.validate_contiguous()
+    return plan

@@ -1,0 +1,267 @@
+"""``supmr`` command-line interface.
+
+Subcommands:
+
+* ``supmr experiments [ids...]`` — regenerate the paper's tables/figures
+  on the simulated testbed (all of them by default) and optionally write
+  CSV artifacts;
+* ``supmr wordcount FILES...`` / ``supmr sort FILE`` — run the real
+  runtime on real data, baseline or SupMR configuration;
+* ``supmr gen {text,terasort,files}`` — produce workload inputs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro._version import __version__
+from repro.apps.sortapp import make_sort_job
+from repro.apps.wordcount import make_wordcount_job
+from repro.core.options import RuntimeOptions
+from repro.core.phoenix import PhoenixRuntime
+from repro.core.result import JobResult
+from repro.core.supmr import SupMRRuntime
+from repro.errors import ReproError
+from repro.experiments import available_experiments, run_experiment
+from repro.util.units import fmt_bytes, fmt_seconds, parse_size
+from repro.workloads import (
+    generate_small_files,
+    generate_terasort_file,
+    generate_text_file,
+)
+
+
+def _print_result(result: JobResult) -> None:
+    t = result.timings
+    print(f"job {result.job_name!r} on {result.runtime} runtime")
+    print(f"  input:  {fmt_bytes(result.input_bytes)} in {result.n_chunks} chunk(s)")
+    if t.read_map_combined:
+        print(f"  read+map (pipelined): {fmt_seconds(t.read_map_s)}")
+    else:
+        print(f"  read:   {fmt_seconds(t.read_s)}")
+        print(f"  map:    {fmt_seconds(t.map_s)}")
+    print(f"  reduce: {fmt_seconds(t.reduce_s)}")
+    print(f"  merge:  {fmt_seconds(t.merge_s)}")
+    print(f"  total:  {fmt_seconds(t.total_s)}")
+    print(f"  output: {result.n_output_pairs} pairs; "
+          f"container rounds={result.container_stats.rounds}")
+
+
+def _options_from(args: argparse.Namespace) -> RuntimeOptions:
+    if getattr(args, "baseline", False):
+        return RuntimeOptions.baseline(args.mappers, args.reducers)
+    if getattr(args, "files_per_chunk", None):
+        return RuntimeOptions.supmr_intrafile(
+            args.files_per_chunk, args.mappers, args.reducers
+        )
+    chunk = getattr(args, "chunk_size", None)
+    if chunk:
+        return RuntimeOptions.supmr_interfile(chunk, args.mappers, args.reducers)
+    return RuntimeOptions.baseline(args.mappers, args.reducers)
+
+
+def _cmd_experiments(args: argparse.Namespace) -> int:
+    if args.list:
+        for exp_id in available_experiments():
+            print(exp_id)
+        return 0
+    ids = args.ids or available_experiments()
+    for exp_id in ids:
+        result = run_experiment(exp_id)
+        print(result.render())
+        if args.out:
+            out_dir = Path(args.out)
+            out_dir.mkdir(parents=True, exist_ok=True)
+            for name, content in result.artifacts.items():
+                (out_dir / name).write_text(content)
+                print(f"wrote {out_dir / name}")
+        print()
+    return 0
+
+
+def _run_job(job, options: RuntimeOptions) -> JobResult:
+    if options.chunk_strategy.value == "none":
+        return PhoenixRuntime(options).run(job)
+    return SupMRRuntime(options).run(job)
+
+
+def _maybe_timeline(args: argparse.Namespace, result: JobResult) -> None:
+    if getattr(args, "timeline", False) and result.timings.rounds:
+        from repro.analysis.timeline import (
+            overlap_fraction,
+            render_round_timeline,
+        )
+
+        print()
+        print(render_round_timeline(result.timings.rounds))
+        print(f"overlap: {100 * overlap_fraction(result.timings.rounds):.0f}% "
+              "of map time ran under ingest")
+
+
+def _cmd_wordcount(args: argparse.Namespace) -> int:
+    options = _options_from(args)
+    result = _run_job(make_wordcount_job(args.files), options)
+    if getattr(args, "json", False):
+        from repro.analysis.report import to_json
+
+        print(to_json(result))
+        return 0
+    _print_result(result)
+    for key, count in result.output[: args.top]:
+        print(f"  {key.decode('utf-8', 'replace'):<24s} {count}")
+    _maybe_timeline(args, result)
+    return 0
+
+
+def _cmd_sort(args: argparse.Namespace) -> int:
+    options = _options_from(args)
+    result = _run_job(make_sort_job([args.file]), options)
+    if getattr(args, "json", False):
+        from repro.analysis.report import to_json
+
+        print(to_json(result))
+        return 0
+    _print_result(result)
+    _maybe_timeline(args, result)
+    return 0
+
+
+def _cmd_tune(args: argparse.Namespace) -> int:
+    from repro.simrt.costmodel import PAPER_SORT, PAPER_WORDCOUNT
+    from repro.tuning.model import optimal_chunk_size, predict_read_map_s
+
+    profile = PAPER_WORDCOUNT if args.app == "wordcount" else PAPER_SORT
+    input_bytes = parse_size(args.input_size)
+    result = optimal_chunk_size(profile, input_bytes, contexts=args.contexts)
+    print(f"app={args.app} input={fmt_bytes(input_bytes)} "
+          f"contexts={args.contexts}")
+    print(f"  optimal chunk size : {fmt_bytes(result.chunk_bytes)} "
+          f"({result.n_chunks} chunks)")
+    print(f"  closed-form c*     : {fmt_bytes(result.closed_form_bytes)}")
+    print(f"  predicted read+map : {fmt_seconds(result.predicted_read_map_s)}")
+    print(f"  unpipelined        : {fmt_seconds(result.baseline_read_map_s)}")
+    print(f"  predicted speedup  : {result.predicted_speedup:.3f}x")
+    for label in args.compare or []:
+        chunk = parse_size(label)
+        t = predict_read_map_s(profile, input_bytes, chunk, args.contexts)
+        print(f"  at {label:>8s}        : {fmt_seconds(t)}")
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    from repro.workloads.valsort import validate_file
+
+    report = validate_file(args.file)
+    print(f"records          : {report.records}")
+    print(f"sorted           : {report.sorted_ok}")
+    if report.first_unordered_index is not None:
+        print(f"first disorder at: record {report.first_unordered_index}")
+    print(f"duplicate keys   : {report.duplicate_keys}")
+    print(f"checksum         : {report.checksum:016x}")
+    return 0 if report.valid else 1
+
+
+def _cmd_gen(args: argparse.Namespace) -> int:
+    if args.kind == "text":
+        written = generate_text_file(args.path, parse_size(args.size), seed=args.seed)
+        print(f"wrote {fmt_bytes(written)} of text to {args.path}")
+    elif args.kind == "terasort":
+        written = generate_terasort_file(args.path, args.records, seed=args.seed)
+        print(f"wrote {args.records} records ({fmt_bytes(written)}) to {args.path}")
+    else:  # files
+        paths = generate_small_files(
+            args.path, args.files, parse_size(args.size), seed=args.seed
+        )
+        print(f"wrote {len(paths)} files of {args.size} each under {args.path}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the ``supmr`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="supmr",
+        description="SupMR reproduction: scale-up MapReduce with ingest "
+                    "chunk pipelining and p-way merge",
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_exp = sub.add_parser("experiments", help="regenerate paper tables/figures")
+    p_exp.add_argument("ids", nargs="*", metavar="EXP",
+                       help=f"experiment ids (default: all of "
+                            f"{', '.join(available_experiments())})")
+    p_exp.add_argument("--out", help="directory for CSV artifacts")
+    p_exp.add_argument("--list", action="store_true",
+                       help="list experiment ids and exit")
+    p_exp.set_defaults(fn=_cmd_experiments)
+
+    def add_runtime_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--mappers", type=int, default=4)
+        p.add_argument("--reducers", type=int, default=4)
+        p.add_argument("--baseline", action="store_true",
+                       help="original runtime (no ingest chunks)")
+        p.add_argument("--chunk-size", help="inter-file chunk size, e.g. 4MB")
+        p.add_argument("--timeline", action="store_true",
+                       help="render the pipeline timeline after the run")
+        p.add_argument("--json", action="store_true",
+                       help="emit the result as JSON instead of text")
+
+    p_wc = sub.add_parser("wordcount", help="run word count on real files")
+    p_wc.add_argument("files", nargs="+")
+    p_wc.add_argument("--files-per-chunk", type=int,
+                      help="intra-file chunking (many small files)")
+    p_wc.add_argument("--top", type=int, default=10,
+                      help="print the first N output pairs")
+    add_runtime_args(p_wc)
+    p_wc.set_defaults(fn=_cmd_wordcount)
+
+    p_sort = sub.add_parser("sort", help="run terasort on a real file")
+    p_sort.add_argument("file")
+    add_runtime_args(p_sort)
+    p_sort.set_defaults(fn=_cmd_sort)
+
+    p_tune = sub.add_parser(
+        "tune", help="model-based optimal chunk size (paper future work)"
+    )
+    p_tune.add_argument("app", choices=("wordcount", "sort"))
+    p_tune.add_argument("--input-size", default="155GB")
+    p_tune.add_argument("--contexts", type=int, default=32)
+    p_tune.add_argument("--compare", nargs="*", metavar="SIZE",
+                        help="also predict these chunk sizes (e.g. 1GB 50GB)")
+    p_tune.set_defaults(fn=_cmd_tune)
+
+    p_val = sub.add_parser(
+        "validate", help="valsort-style check of a terasort output file"
+    )
+    p_val.add_argument("file")
+    p_val.set_defaults(fn=_cmd_validate)
+
+    p_gen = sub.add_parser("gen", help="generate workload data")
+    p_gen.add_argument("kind", choices=("text", "terasort", "files"))
+    p_gen.add_argument("path")
+    p_gen.add_argument("--size", default="4MB",
+                       help="bytes for text / per-file size for files")
+    p_gen.add_argument("--records", type=int, default=10000,
+                       help="record count for terasort")
+    p_gen.add_argument("--files", type=int, default=30,
+                       help="file count for files")
+    p_gen.add_argument("--seed", type=int, default=0)
+    p_gen.set_defaults(fn=_cmd_gen)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.fn(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,75 @@
+"""Unlocked array container (Phoenix's "unlocked storage").
+
+For sort-shaped applications every key is unique, so combining is wasted
+work and key lookups are pure overhead.  Phoenix's answer — adopted by
+SupMR for sort (paper section V.B) — is an array all threads write
+without synchronization: "each mapper outputs to its key range in the
+array and each reducer operates only on its key range".
+
+Here each map task appends to its own private segment (no locks needed —
+segments are disjoint by construction), and ``partitions(n)`` hands
+reducers contiguous groups of segments.  Persistence across SupMR's many
+map rounds falls out naturally: segments accumulate per (round, task).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Hashable
+
+from repro.containers.base import Container, ContainerStats, Emitter
+from repro.errors import ContainerError
+
+
+class _SegmentEmitter(Emitter):
+    __slots__ = ("segment",)
+
+    def __init__(self, container: "ArrayContainer", task_id: int,
+                 segment: list) -> None:
+        super().__init__(container, task_id)
+        self.segment = segment
+
+    def emit(self, key: Hashable, value: Any) -> None:
+        self.container._check_open()
+        self.segment.append((key, value))
+
+
+class ArrayContainer(Container):
+    """Per-task append-only segments; zero synchronization on the emit path."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._segments: list[list[tuple[Hashable, Any]]] = []
+        self._registry_lock = threading.Lock()
+
+    def emitter(self, task_id: int) -> Emitter:
+        """Register a fresh private segment for one map task."""
+        segment: list[tuple[Hashable, Any]] = []
+        with self._registry_lock:  # only segment *registration* locks
+            self._segments.append(segment)
+        return _SegmentEmitter(self, task_id, segment)
+
+    def partitions(self, n: int) -> list[list[tuple[Hashable, Any]]]:
+        """Group segments into ``n`` reducer partitions.
+
+        Values are wrapped in single-element lists to match the reduce
+        signature (`reduce(key, values)`); keys are *not* assumed sorted.
+        """
+        if n < 1:
+            raise ContainerError("need at least one reducer partition")
+        if not self.sealed:
+            raise ContainerError("partitions() before seal()")
+        parts: list[list[tuple[Hashable, Any]]] = [[] for _ in range(n)]
+        for idx, segment in enumerate(self._segments):
+            bucket = parts[idx % n]
+            for key, value in segment:
+                bucket.append((key, [value]))
+        return parts
+
+    def stats(self) -> ContainerStats:
+        """Emit counters (every emit is a distinct cell here)."""
+        emits = sum(len(s) for s in self._segments)
+        return ContainerStats(emits=emits, distinct_keys=emits, rounds=self.rounds)
+
+    def __len__(self) -> int:
+        return sum(len(s) for s in self._segments)

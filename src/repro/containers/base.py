@@ -1,0 +1,101 @@
+"""Container protocol shared by all intermediate k/v stores."""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Any, Hashable, Iterator
+
+from repro.errors import ContainerError
+
+
+@dataclass
+class ContainerStats:
+    """Counters the runtime reports in :class:`repro.core.result.JobResult`."""
+
+    emits: int = 0
+    distinct_keys: int = 0
+    rounds: int = 0
+
+
+class Container(abc.ABC):
+    """Abstract intermediate container.
+
+    Lifecycle: ``begin_round()`` before each mapper wave (SupMR calls it
+    once per ingest chunk; the container must persist, not reset), then
+    emits via task-bound :class:`Emitter` handles, then one
+    ``partitions(n)`` call to hand per-reducer work out.
+    """
+
+    def __init__(self) -> None:
+        self._rounds = 0
+        self._sealed = False
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def begin_round(self) -> None:
+        """Called when a mapper wave starts.
+
+        Persistent semantics (paper section III.C): the first call
+        initializes, subsequent calls MUST keep accumulated state.
+        """
+        if self._sealed:
+            raise ContainerError("begin_round() after the container was sealed")
+        self._rounds += 1
+
+    @property
+    def rounds(self) -> int:
+        return self._rounds
+
+    def seal(self) -> None:
+        """No more emits; reducers may start."""
+        self._sealed = True
+
+    @property
+    def sealed(self) -> bool:
+        return self._sealed
+
+    def _check_open(self) -> None:
+        if self._sealed:
+            raise ContainerError("emit into a sealed container")
+        if self._rounds == 0:
+            raise ContainerError("emit before the first begin_round()")
+
+    # -- data path -----------------------------------------------------------
+
+    @abc.abstractmethod
+    def emitter(self, task_id: int) -> "Emitter":
+        """A per-map-task emit handle (cheap; one per task)."""
+
+    @abc.abstractmethod
+    def partitions(self, n: int) -> list[list[tuple[Hashable, Any]]]:
+        """Split contents into ``n`` reducer partitions of (key, values)."""
+
+    @abc.abstractmethod
+    def stats(self) -> ContainerStats:
+        """Emit/key counters for reporting."""
+
+
+class Emitter:
+    """Map-task-bound handle routing ``emit(key, value)`` to the container."""
+
+    __slots__ = ("container", "task_id")
+
+    def __init__(self, container: Container, task_id: int) -> None:
+        self.container = container
+        self.task_id = task_id
+
+    def emit(self, key: Hashable, value: Any) -> None:
+        """Route one (key, value) pair into the container."""
+        raise NotImplementedError  # pragma: no cover - subclasses bind this
+
+    def __call__(self, key: Hashable, value: Any) -> None:
+        self.emit(key, value)
+
+
+def iter_partition_keys(
+    partition: list[tuple[Hashable, Any]],
+) -> Iterator[Hashable]:
+    """Keys of one reducer partition, in partition order."""
+    for key, _values in partition:
+        yield key

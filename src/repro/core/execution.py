@@ -1,0 +1,133 @@
+"""Shared execution machinery: input splits, mapper waves, reducers, merge.
+
+Both runtimes use the same engine; they differ only in *when* ingest
+happens relative to map waves and in which merge algorithm runs.  The
+``run_mappers()``/``run_reducers()`` wrappers of the paper's Table I map
+onto :func:`run_mapper_wave` / :func:`run_reducers` here.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Hashable, Sequence
+
+from repro.chunking.boundary import adjust_split_point
+from repro.containers.base import Container
+from repro.core.job import JobSpec, MapContext
+from repro.core.options import MergeAlgorithm, RuntimeOptions
+from repro.errors import RuntimeStateError
+from repro.sortlib.merge_sort import pairwise_merge_sort
+from repro.sortlib.pway import pway_merge
+
+Pair = tuple[Hashable, Any]
+
+
+def split_for_mappers(data: bytes, n_splits: int, delimiter: bytes) -> list[bytes]:
+    """Cut ``data`` into <= ``n_splits`` record-aligned input splits.
+
+    Splits are contiguous and cover all of ``data``; short inputs may
+    yield fewer splits (never an empty one).
+    """
+    if n_splits < 1:
+        raise RuntimeStateError("need at least one input split")
+    if not data:
+        return []
+    target = max(1, len(data) // n_splits)
+    splits: list[bytes] = []
+    start = 0
+    while start < len(data) and len(splits) < n_splits - 1:
+        end = adjust_split_point(data, min(start + target, len(data)), delimiter)
+        if end <= start:
+            break
+        splits.append(data[start:end])
+        start = end
+    if start < len(data):
+        splits.append(data[start:])
+    return splits
+
+
+def run_mapper_wave(
+    job: JobSpec,
+    container: Container,
+    data: bytes,
+    options: RuntimeOptions,
+    pool: ThreadPoolExecutor,
+    chunk_index: int = 0,
+    task_id_base: int = 0,
+) -> int:
+    """One wave of map tasks over ``data``; returns tasks launched.
+
+    Equivalent to the paper's ``run_mappers()``: initializes (or, on
+    SupMR rounds > 1, *re-enters*) the persistent container and launches
+    mapper threads over record-aligned splits.
+    """
+    container.begin_round()
+    splits = split_for_mappers(data, options.num_mappers, job.codec.delimiter)
+    if not splits:
+        return 0
+
+    def map_task(task_id: int, split: bytes) -> None:
+        ctx = MapContext(
+            data=split,
+            emitter=container.emitter(task_id),
+            task_id=task_id,
+            chunk_index=chunk_index,
+        )
+        job.map_fn(ctx)
+
+    futures = [
+        pool.submit(map_task, task_id_base + i, split)
+        for i, split in enumerate(splits)
+    ]
+    for future in futures:
+        future.result()  # propagate the first map failure
+    return len(splits)
+
+
+def run_reducers(
+    job: JobSpec,
+    container: Container,
+    options: RuntimeOptions,
+    pool: ThreadPoolExecutor,
+) -> list[list[Pair]]:
+    """Seal the container and reduce each partition; returns one
+    key-sorted output run per reducer (``run_reducers()`` of Table I)."""
+    container.seal()
+    partitions = container.partitions(options.num_reducers)
+
+    def reduce_task(partition: list[tuple[Hashable, Sequence[Any]]]) -> list[Pair]:
+        out: list[Pair] = []
+        for key, values in partition:
+            out.extend(job.reduce_fn(key, values))
+        if job.sorted_output:
+            out.sort(key=job.output_key)
+        return out
+
+    return list(pool.map(reduce_task, partitions))
+
+
+def merge_outputs(
+    runs: list[list[Pair]],
+    job: JobSpec,
+    options: RuntimeOptions,
+) -> tuple[list[Pair], int]:
+    """Merge per-reducer sorted runs into the final output.
+
+    Returns ``(output, rounds)`` — rounds is the number of pairwise merge
+    rounds (0 for the single-pass p-way merge), feeding Conclusion 3's
+    "number of merge rounds avoided" accounting.
+    """
+    if not job.sorted_output:
+        flat: list[Pair] = []
+        for run in runs:
+            flat.extend(run)
+        return flat, 0
+    if options.merge_algorithm is MergeAlgorithm.PAIRWISE:
+        merged, rounds = pairwise_merge_sort(runs, key=job.output_key)
+        return merged, rounds
+    if options.merge_algorithm is MergeAlgorithm.PWAY:
+        merged = pway_merge(
+            runs, options.effective_merge_parallelism, key=job.output_key
+        )
+        return merged, 1 if len([r for r in runs if r]) > 1 else 0
+    raise RuntimeStateError(f"unknown merge algorithm {options.merge_algorithm!r}")

@@ -1,0 +1,84 @@
+"""Job specification: what the application supplies to the runtime.
+
+Mirrors the Phoenix++ application contract (section V): the app provides
+map/reduce callbacks and a container choice; SupMR apps additionally may
+provide the ``set_data()`` callback, which the runtime invokes once per
+ingest chunk to hand back "the chunk length and ingest chunk pointer"
+(Table I) before mappers run on it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Hashable, Iterable, Sequence
+
+from repro.chunking.chunk import Chunk
+from repro.containers.base import Container, Emitter
+from repro.errors import ConfigError
+from repro.io.records import RecordCodec
+
+#: ``map_fn(ctx)`` parses ``ctx.data`` and emits via ``ctx.emit`` —
+#: applications parse their own input, as Phoenix++ map tasks do.
+MapFn = Callable[["MapContext"], None]
+#: ``reduce_fn(key, values) -> iterable of (key, value)`` output pairs.
+ReduceFn = Callable[[Hashable, Sequence[Any]], Iterable[tuple[Hashable, Any]]]
+#: SupMR's set_data callback: (chunk, length) -> None.
+SetDataFn = Callable[[Chunk, int], None]
+#: Sort key for the merge phase, applied to output (key, value) pairs.
+OutputKeyFn = Callable[[tuple[Hashable, Any]], Any]
+
+
+@dataclass
+class MapContext:
+    """Everything one map task sees: its split bytes and an emit handle."""
+
+    data: bytes
+    emitter: Emitter
+    task_id: int
+    chunk_index: int = 0
+
+    def emit(self, key: Hashable, value: Any) -> None:
+        """Emit one intermediate (key, value) pair."""
+        self.emitter.emit(key, value)
+
+
+def identity_reduce(
+    key: Hashable, values: Sequence[Any]
+) -> Iterable[tuple[Hashable, Any]]:
+    """Default reduce: pass every value through unchanged."""
+    for value in values:
+        yield (key, value)
+
+
+def _default_output_key(pair: tuple[Hashable, Any]) -> Any:
+    return pair[0]
+
+
+@dataclass
+class JobSpec:
+    """A MapReduce job: inputs, callbacks, container, codec."""
+
+    name: str
+    inputs: tuple[Path, ...]
+    map_fn: MapFn
+    container_factory: Callable[[], Container]
+    reduce_fn: ReduceFn = identity_reduce
+    codec: RecordCodec = field(default_factory=RecordCodec)
+    #: Merge-phase sort key over output (key, value) pairs.
+    output_key: OutputKeyFn = _default_output_key
+    #: SupMR callback (Table I): observe each chunk before mapping it.
+    set_data: SetDataFn | None = None
+    #: Skip the merge phase entirely (jobs with unordered output).
+    sorted_output: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigError("job needs a name")
+        self.inputs = tuple(Path(p) for p in self.inputs)
+        if not self.inputs:
+            raise ConfigError(f"job {self.name!r} has no input files")
+
+    @property
+    def total_input_bytes(self) -> int:
+        return sum(p.stat().st_size for p in self.inputs)

@@ -1,0 +1,177 @@
+"""Runtime configuration.
+
+The SupMR API "forces the user to specify the chunking strategy and chunk
+size" (section III.A) because the runtime lacks the workload/hardware
+knowledge to choose well — so both live here, validated eagerly, along
+with the thread counts and merge algorithm selection.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, replace
+from typing import Any, Sequence
+
+from repro.errors import ConfigError
+from repro.util.units import parse_size
+
+
+class ChunkStrategy(enum.Enum):
+    """How the input becomes ingest chunks (section III.A.1)."""
+
+    #: Original runtime behaviour: ingest the whole input up front.
+    NONE = "none"
+    #: Split one big file into byte-sized, record-aligned chunks.
+    INTER_FILE = "inter-file"
+    #: Coalesce N whole files per chunk.
+    INTRA_FILE = "intra-file"
+    #: Explicit byte-size schedule (the paper's future-work variable
+    #: sizing; produced by the feedback tuner in :mod:`repro.tuning`).
+    VARIABLE = "variable"
+    #: Pack whole files to a byte budget, splitting oversized files —
+    #: the paper's future-work hybrid inter/intra approach.
+    HYBRID = "hybrid"
+
+
+class MergeAlgorithm(enum.Enum):
+    """Merge-phase algorithm (section IV)."""
+
+    #: Phoenix++ default: iterative 2-way merge rounds.
+    PAIRWISE = "pairwise"
+    #: SupMR: single-pass parallel p-way merge (gnu_parallel::sort style).
+    PWAY = "pway"
+
+
+@dataclass(frozen=True)
+class RuntimeOptions:
+    """Knobs shared by both runtimes.
+
+    ``num_mappers``/``num_reducers`` mirror Phoenix++'s thread settings;
+    ``chunk_*`` configure the SupMR ingest pipeline; ``pipelined_ingest``
+    can be switched off to run the chunk loop synchronously (bit-for-bit
+    the same result, used for deterministic tests and ablations).
+    """
+
+    num_mappers: int = 4
+    num_reducers: int = 4
+    chunk_strategy: ChunkStrategy = ChunkStrategy.NONE
+    chunk_bytes: int | None = None
+    files_per_chunk: int | None = None
+    chunk_schedule: tuple[int, ...] | None = None
+    merge_algorithm: MergeAlgorithm = MergeAlgorithm.PAIRWISE
+    merge_parallelism: int | None = None  # default: num_reducers
+    pipelined_ingest: bool = True
+
+    def __post_init__(self) -> None:
+        if self.num_mappers < 1 or self.num_reducers < 1:
+            raise ConfigError("num_mappers and num_reducers must be >= 1")
+        if self.chunk_strategy is ChunkStrategy.INTER_FILE:
+            if not self.chunk_bytes or self.chunk_bytes < 1:
+                raise ConfigError("inter-file chunking requires chunk_bytes >= 1")
+        if self.chunk_strategy is ChunkStrategy.INTRA_FILE:
+            if not self.files_per_chunk or self.files_per_chunk < 1:
+                raise ConfigError(
+                    "intra-file chunking requires files_per_chunk >= 1"
+                )
+        if self.chunk_strategy is ChunkStrategy.VARIABLE:
+            if not self.chunk_schedule:
+                raise ConfigError(
+                    "variable chunking requires a non-empty chunk_schedule"
+                )
+            object.__setattr__(
+                self, "chunk_schedule", tuple(int(s) for s in self.chunk_schedule)
+            )
+            if any(s < 1 for s in self.chunk_schedule):
+                raise ConfigError("chunk_schedule sizes must be >= 1 byte")
+        if self.chunk_strategy is ChunkStrategy.HYBRID:
+            if not self.chunk_bytes or self.chunk_bytes < 1:
+                raise ConfigError("hybrid chunking requires chunk_bytes >= 1")
+        if self.merge_parallelism is not None and self.merge_parallelism < 1:
+            raise ConfigError("merge_parallelism must be >= 1")
+
+    @property
+    def effective_merge_parallelism(self) -> int:
+        return self.merge_parallelism or self.num_reducers
+
+    def with_(self, **changes: Any) -> "RuntimeOptions":
+        """A modified copy (frozen dataclass convenience)."""
+        return replace(self, **changes)
+
+    # -- convenience constructors -----------------------------------------
+
+    @classmethod
+    def baseline(cls, num_mappers: int = 4, num_reducers: int = 4) -> "RuntimeOptions":
+        """The original runtime: no chunking, pairwise merge."""
+        return cls(num_mappers=num_mappers, num_reducers=num_reducers)
+
+    @classmethod
+    def supmr_interfile(
+        cls,
+        chunk_size: int | str,
+        num_mappers: int = 4,
+        num_reducers: int = 4,
+        **kw: Any,
+    ) -> "RuntimeOptions":
+        """SupMR with inter-file chunking; ``chunk_size`` accepts '1GB' etc."""
+        kw.setdefault("merge_algorithm", MergeAlgorithm.PWAY)
+        return cls(
+            num_mappers=num_mappers,
+            num_reducers=num_reducers,
+            chunk_strategy=ChunkStrategy.INTER_FILE,
+            chunk_bytes=parse_size(chunk_size),
+            **kw,
+        )
+
+    @classmethod
+    def supmr_intrafile(
+        cls,
+        files_per_chunk: int,
+        num_mappers: int = 4,
+        num_reducers: int = 4,
+        **kw: Any,
+    ) -> "RuntimeOptions":
+        """SupMR with intra-file (many small files) chunking."""
+        kw.setdefault("merge_algorithm", MergeAlgorithm.PWAY)
+        return cls(
+            num_mappers=num_mappers,
+            num_reducers=num_reducers,
+            chunk_strategy=ChunkStrategy.INTRA_FILE,
+            files_per_chunk=files_per_chunk,
+            **kw,
+        )
+
+    @classmethod
+    def supmr_variable(
+        cls,
+        schedule: "Sequence[int | str]",
+        num_mappers: int = 4,
+        num_reducers: int = 4,
+        **kw: Any,
+    ) -> "RuntimeOptions":
+        """SupMR with an explicit chunk-size schedule ('8MB', 4096, ...)."""
+        kw.setdefault("merge_algorithm", MergeAlgorithm.PWAY)
+        return cls(
+            num_mappers=num_mappers,
+            num_reducers=num_reducers,
+            chunk_strategy=ChunkStrategy.VARIABLE,
+            chunk_schedule=tuple(parse_size(s) for s in schedule),
+            **kw,
+        )
+
+    @classmethod
+    def supmr_hybrid(
+        cls,
+        chunk_size: int | str,
+        num_mappers: int = 4,
+        num_reducers: int = 4,
+        **kw: Any,
+    ) -> "RuntimeOptions":
+        """SupMR with hybrid inter/intra-file chunking to a byte budget."""
+        kw.setdefault("merge_algorithm", MergeAlgorithm.PWAY)
+        return cls(
+            num_mappers=num_mappers,
+            num_reducers=num_reducers,
+            chunk_strategy=ChunkStrategy.HYBRID,
+            chunk_bytes=parse_size(chunk_size),
+            **kw,
+        )

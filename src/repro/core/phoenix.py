@@ -1,0 +1,94 @@
+"""The baseline scale-up runtime (Phoenix++-shaped).
+
+The "original runtime" of the paper's Table II rows labelled *none*: the
+whole input is ingested into memory first, then mapper threads run over
+input splits, reducers coalesce, and the merge phase combines per-reducer
+sorted runs with iterative 2-way merge rounds.  The ingest is one
+serial scan (the long low-utilization prefix of Figs. 1/5a) and the merge
+re-scans keys every round (the step-down tail of Fig. 1).
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.chunking.planner import plan_whole_input
+from repro.core.execution import merge_outputs, run_mapper_wave, run_reducers
+from repro.core.job import JobSpec
+from repro.core.options import ChunkStrategy, MergeAlgorithm, RuntimeOptions
+from repro.core.result import JobResult, PhaseTimings
+from repro.core.timers import PhaseTimer
+from repro.errors import ConfigError
+from repro.util.logging import get_logger
+
+logger = get_logger(__name__)
+
+
+class PhoenixRuntime:
+    """Ingest-everything-then-compute baseline."""
+
+    name = "phoenix"
+
+    def __init__(self, options: RuntimeOptions | None = None) -> None:
+        self.options = options or RuntimeOptions.baseline()
+        if self.options.chunk_strategy is not ChunkStrategy.NONE:
+            raise ConfigError(
+                "PhoenixRuntime ingests the whole input; use SupMRRuntime "
+                f"for chunk strategy {self.options.chunk_strategy.value!r}"
+            )
+
+    def run(self, job: JobSpec) -> JobResult:
+        """Execute ``job`` and report Table II-style phase timings."""
+        options = self.options
+        timer = PhaseTimer()
+        container = job.container_factory()
+        plan = plan_whole_input(job.inputs)
+        whole = plan.chunks[0]
+
+        with timer.phase("total"):
+            with timer.phase("read"):
+                data = whole.load()
+
+            with ThreadPoolExecutor(max_workers=options.num_mappers) as pool:
+                with timer.phase("map"):
+                    run_mapper_wave(job, container, data, options, pool)
+                with timer.phase("reduce"):
+                    runs = run_reducers(job, container, options, pool)
+
+            with timer.phase("merge"):
+                output, merge_rounds = merge_outputs(runs, job, options)
+
+        logger.info(
+            "job %s finished on phoenix: total=%.3fs read=%.3fs map=%.3fs",
+            job.name, timer.elapsed("total"), timer.elapsed("read"),
+            timer.elapsed("map"),
+        )
+        timings = PhaseTimings(
+            read_s=timer.elapsed("read"),
+            map_s=timer.elapsed("map"),
+            reduce_s=timer.elapsed("reduce"),
+            merge_s=timer.elapsed("merge"),
+            total_s=timer.elapsed("total"),
+            read_map_combined=False,
+        )
+        return JobResult(
+            job_name=job.name,
+            runtime=self.name,
+            output=output,
+            timings=timings,
+            container_stats=container.stats(),
+            input_bytes=whole.length,
+            n_chunks=1,
+            counters={
+                "merge_rounds": merge_rounds,
+                "merge_algorithm": options.merge_algorithm.value,
+            },
+        )
+
+
+def run_baseline(job: JobSpec, options: RuntimeOptions | None = None) -> JobResult:
+    """Convenience: run ``job`` on the baseline runtime."""
+    opts = options or RuntimeOptions.baseline()
+    if opts.merge_algorithm is not MergeAlgorithm.PAIRWISE:
+        opts = opts.with_(merge_algorithm=MergeAlgorithm.PAIRWISE)
+    return PhoenixRuntime(opts).run(job)

@@ -1,0 +1,180 @@
+"""Dynamic task scheduler: Phoenix++'s work-queue discipline.
+
+Phoenix++ "creates and maintains all the data structures, schedules all
+map, reduce, and merge tasks" (section V) — tasks are pulled from a
+shared queue by a fixed pool of worker threads, so a slow split doesn't
+idle the other workers (dynamic load balancing, unlike static
+one-split-per-thread assignment).
+
+:class:`TaskScheduler` is that discipline with observability: per-task
+wall times, per-worker task counts, and queue-wait accounting — numbers
+the runtime exposes and tests assert on.  It intentionally has no
+dependency on the rest of the runtime; ``execution.py``'s pools could be
+swapped for it wholesale, and the scheduler tests exercise it against
+the same wave shapes.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.errors import ConfigError, RuntimeStateError
+
+
+@dataclass(frozen=True)
+class TaskRecord:
+    """One executed task's accounting."""
+
+    task_id: int
+    worker: int
+    queued_s: float  # time spent waiting in the queue
+    run_s: float  # execution wall time
+    error: BaseException | None = None
+
+
+@dataclass
+class SchedulerStats:
+    records: list[TaskRecord] = field(default_factory=list)
+
+    @property
+    def tasks(self) -> int:
+        return len(self.records)
+
+    @property
+    def total_run_s(self) -> float:
+        return sum(r.run_s for r in self.records)
+
+    @property
+    def mean_queue_wait_s(self) -> float:
+        if not self.records:
+            return 0.0
+        return sum(r.queued_s for r in self.records) / len(self.records)
+
+    def per_worker_counts(self) -> dict[int, int]:
+        """Tasks executed per worker id."""
+        counts: dict[int, int] = {}
+        for r in self.records:
+            counts[r.worker] = counts.get(r.worker, 0) + 1
+        return counts
+
+
+class TaskScheduler:
+    """Fixed worker pool draining a shared FIFO task queue.
+
+    ``submit`` enqueues ``fn(*args)``; ``drain`` blocks until everything
+    submitted so far has run and re-raises the first task error.  The
+    scheduler is reusable across waves (submit/drain cycles) and must be
+    ``shutdown()`` (or used as a context manager) when done.
+    """
+
+    _SENTINEL = object()
+
+    def __init__(self, workers: int, name: str = "phoenix-pool") -> None:
+        if workers < 1:
+            raise ConfigError("need at least one worker")
+        self.workers = workers
+        self.name = name
+        self._queue: "queue.Queue[Any]" = queue.Queue()
+        self._stats = SchedulerStats()
+        self._stats_lock = threading.Lock()
+        self._pending = 0
+        self._pending_lock = threading.Lock()
+        self._idle = threading.Event()
+        self._idle.set()
+        self._first_error: BaseException | None = None
+        self._shutdown = False
+        self._next_task_id = 0
+        self._threads = [
+            threading.Thread(target=self._worker_loop, args=(i,),
+                             name=f"{name}-{i}", daemon=True)
+            for i in range(workers)
+        ]
+        for t in self._threads:
+            t.start()
+
+    # -- submission ---------------------------------------------------------
+
+    def submit(self, fn: Callable[..., Any], *args: Any) -> int:
+        """Enqueue a task; returns its task id."""
+        if self._shutdown:
+            raise RuntimeStateError("submit() after shutdown")
+        with self._pending_lock:
+            task_id = self._next_task_id
+            self._next_task_id += 1
+            self._pending += 1
+            self._idle.clear()
+        self._queue.put((task_id, time.perf_counter(), fn, args))
+        return task_id
+
+    def drain(self, timeout: float | None = None) -> None:
+        """Wait until all submitted tasks completed; re-raise first error."""
+        if not self._idle.wait(timeout):
+            raise RuntimeStateError(
+                f"{self.name}: drain timed out with {self._pending} pending"
+            )
+        if self._first_error is not None:
+            error, self._first_error = self._first_error, None
+            raise error
+
+    def map_wave(self, fn: Callable[..., Any], items: list[Any]) -> None:
+        """Submit one task per item and drain — one mapper wave."""
+        for item in items:
+            self.submit(fn, item)
+        self.drain()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def shutdown(self) -> None:
+        """Stop the workers and join them (idempotent)."""
+        if self._shutdown:
+            return
+        self._shutdown = True
+        for _ in self._threads:
+            self._queue.put(TaskScheduler._SENTINEL)
+        for t in self._threads:
+            t.join()
+
+    def __enter__(self) -> "TaskScheduler":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+    @property
+    def stats(self) -> SchedulerStats:
+        return self._stats
+
+    # -- worker side -----------------------------------------------------------
+
+    def _worker_loop(self, worker_id: int) -> None:
+        while True:
+            item = self._queue.get()
+            if item is TaskScheduler._SENTINEL:
+                return
+            task_id, enqueued, fn, args = item
+            started = time.perf_counter()
+            error: BaseException | None = None
+            try:
+                fn(*args)
+            except BaseException as exc:  # noqa: BLE001 - reported via drain
+                error = exc
+            finished = time.perf_counter()
+            record = TaskRecord(
+                task_id=task_id,
+                worker=worker_id,
+                queued_s=started - enqueued,
+                run_s=finished - started,
+                error=error,
+            )
+            with self._stats_lock:
+                self._stats.records.append(record)
+                if error is not None and self._first_error is None:
+                    self._first_error = error
+            with self._pending_lock:
+                self._pending -= 1
+                if self._pending == 0:
+                    self._idle.set()

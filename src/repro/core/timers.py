@@ -1,0 +1,71 @@
+"""Phase timing with microsecond granularity.
+
+The paper measures with "the Phoenix++ internal timing functions ...
+start/stop a timer and print the elapsed time with microsecond
+granularity" (section VI.A, footnote 2: Linux ``time.h``).  The Python
+equivalent is ``time.perf_counter``; :class:`PhaseTimer` accumulates
+named phases, supports re-entry (a phase timed in several slices sums),
+and snapshots cleanly for reporting.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Callable, Iterator
+
+from repro.errors import RuntimeStateError
+
+
+class PhaseTimer:
+    """Accumulating named stopwatch; phases may nest (LIFO)."""
+
+    def __init__(self, clock: Callable[[], float] = time.perf_counter) -> None:
+        self._clock = clock
+        self._elapsed: dict[str, float] = {}
+        self._stack: list[tuple[str, float]] = []
+
+    def start(self, phase: str) -> None:
+        """Begin timing ``phase`` (may nest inside other phases)."""
+        if any(name == phase for name, _t0 in self._stack):
+            raise RuntimeStateError(f"phase {phase!r} is already running")
+        self._stack.append((phase, self._clock()))
+
+    def stop(self, phase: str) -> float:
+        """Stop ``phase`` (must be the innermost); returns the slice."""
+        if not self._stack or self._stack[-1][0] != phase:
+            running = self._stack[-1][0] if self._stack else None
+            raise RuntimeStateError(
+                f"stop({phase!r}) but innermost running phase is {running!r}"
+            )
+        _name, t0 = self._stack.pop()
+        slice_s = self._clock() - t0
+        self._elapsed[phase] = self._elapsed.get(phase, 0.0) + slice_s
+        return slice_s
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        """``with timer.phase("read"): ...``"""
+        self.start(name)
+        try:
+            yield
+        finally:
+            self.stop(name)
+
+    def elapsed(self, phase: str) -> float:
+        """Accumulated seconds for ``phase`` (0.0 if never run)."""
+        return self._elapsed.get(phase, 0.0)
+
+    def add(self, phase: str, seconds: float) -> None:
+        """Fold in an externally measured slice (pipeline threads)."""
+        if seconds < 0:
+            raise RuntimeStateError(f"negative time slice for {phase!r}")
+        self._elapsed[phase] = self._elapsed.get(phase, 0.0) + seconds
+
+    def snapshot(self) -> dict[str, float]:
+        """All accumulated phase times; no phase may be running."""
+        if self._stack:
+            raise RuntimeStateError(
+                f"snapshot with phase {self._stack[-1][0]!r} still running"
+            )
+        return dict(self._elapsed)

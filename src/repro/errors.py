@@ -1,0 +1,40 @@
+"""Exception hierarchy for the SupMR reproduction.
+
+All library-raised errors derive from :class:`ReproError` so callers can
+catch one base class at API boundaries without swallowing interpreter
+errors (``TypeError`` etc. still propagate for genuine programming bugs).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class ConfigError(ReproError):
+    """A runtime/machine/workload configuration is invalid."""
+
+
+class ChunkingError(ReproError):
+    """Ingest-chunk planning or boundary adjustment failed."""
+
+
+class ContainerError(ReproError):
+    """Misuse of an intermediate key-value container."""
+
+
+class RuntimeStateError(ReproError):
+    """A runtime was driven through an invalid state transition."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation reached an inconsistent state."""
+
+
+class WorkloadError(ReproError):
+    """A data generator or record codec was asked for something invalid."""
+
+
+class ExperimentError(ReproError):
+    """An experiment harness was configured or run incorrectly."""

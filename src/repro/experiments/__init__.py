@@ -1,0 +1,18 @@
+"""Experiment harness: one module per paper table/figure.
+
+Each experiment regenerates its artifact at paper scale on the simulated
+testbed and reports paper-vs-measured values; ``repro.experiments.registry``
+maps experiment ids ("table2", "fig1", ...) to runners for the CLI and
+the benchmark suite.
+"""
+
+from repro.experiments.base import Comparison, ExperimentResult
+from repro.experiments.registry import available_experiments, get_experiment, run_experiment
+
+__all__ = [
+    "ExperimentResult",
+    "Comparison",
+    "available_experiments",
+    "get_experiment",
+    "run_experiment",
+]

@@ -1,0 +1,62 @@
+"""Common experiment result structure."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """One paper-vs-measured data point."""
+
+    metric: str
+    paper: float
+    measured: float
+    unit: str = "s"
+
+    @property
+    def relative_error(self) -> float:
+        """|measured - paper| / |paper| (inf when paper is 0)."""
+        if self.paper == 0:
+            return float("inf") if self.measured != 0 else 0.0
+        return abs(self.measured - self.paper) / abs(self.paper)
+
+    def render(self) -> str:
+        """One aligned paper-vs-measured report line."""
+        return (
+            f"{self.metric:<40s} paper={self.paper:>9.2f}{self.unit}  "
+            f"measured={self.measured:>9.2f}{self.unit}  "
+            f"err={100 * self.relative_error:5.1f}%"
+        )
+
+
+@dataclass
+class ExperimentResult:
+    """What every experiment runner returns."""
+
+    exp_id: str
+    title: str
+    comparisons: list[Comparison] = field(default_factory=list)
+    body: str = ""  # rendered tables / traces
+    notes: list[str] = field(default_factory=list)
+    artifacts: dict[str, str] = field(default_factory=dict)  # name -> CSV etc.
+
+    def max_relative_error(self) -> float:
+        """Largest finite relative error across comparisons."""
+        finite = [c.relative_error for c in self.comparisons
+                  if c.relative_error != float("inf")]
+        return max(finite) if finite else 0.0
+
+    def render(self) -> str:
+        """Full report: body, comparisons, notes."""
+        lines = [f"== {self.exp_id}: {self.title} ==", ""]
+        if self.body:
+            lines.append(self.body)
+            lines.append("")
+        if self.comparisons:
+            lines.append("paper vs measured:")
+            lines.extend("  " + c.render() for c in self.comparisons)
+            lines.append("")
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)

@@ -1,0 +1,90 @@
+"""Headline claims of the abstract / section VI, recomputed end-to-end.
+
+The paper summarizes its results as: CPU utilization increases of
+50-100%, job-phase speedups of 1.16x-3.13x, and time-to-result speedups
+of 1.10x-1.46x.  This experiment derives all three families from the
+Table II simulations plus the utilization traces, using the shared
+definitions in :mod:`repro.analysis.speedup`.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.speedup import phase_speedups
+from repro.analysis.traces import mean_utilization
+from repro.experiments.base import Comparison, ExperimentResult
+from repro.experiments.table2 import run_rows
+
+#: Claimed ranges (abstract / conclusions).
+PAPER_PHASE_SPEEDUP_RANGE = (1.16, 3.13)
+PAPER_TOTAL_SPEEDUP_RANGE = (1.10, 1.46)
+PAPER_UTILIZATION_GAIN_RANGE = (50.0, 100.0)
+
+
+def run(monitor_interval: float = 2.0) -> ExperimentResult:
+    """Recompute the abstract's speedup/utilization ranges."""
+    rows = {(r.app, r.chunk_label): r.result
+            for r in run_rows(monitor_interval=monitor_interval)}
+
+    wc_base = rows[("wordcount", "none")]
+    wc_1gb = rows[("wordcount", "1GB")]
+    wc_50gb = rows[("wordcount", "50GB")]
+    sort_base = rows[("sort", "none")]
+    sort_1gb = rows[("sort", "1GB")]
+
+    def busy(result, t0, t1):
+        return mean_utilization(result.samples, t0, t1, busy_only=True)
+
+    wc = phase_speedups(
+        wc_base.timings, wc_1gb.timings,
+        baseline_util_pct=busy(wc_base, 0, wc_base.timings.total_s),
+        optimized_util_pct=busy(wc_1gb, 0, wc_1gb.timings.total_s),
+    )
+    wc_large = phase_speedups(wc_base.timings, wc_50gb.timings)
+    sort = phase_speedups(
+        sort_base.timings, sort_1gb.timings,
+        baseline_util_pct=busy(sort_base, 0, sort_base.timings.total_s),
+        optimized_util_pct=busy(sort_1gb, 0, sort_1gb.timings.total_s),
+    )
+
+    # The paper's 1.16x-3.13x range covers the phases each optimization
+    # targets at its best chunk size: word count's combined ingest/map
+    # (1 GB chunks) and sort's merge.  Sort's own ingest/map cell is
+    # slightly *slower* chunked (196.86 vs 189.11) — the paper's range
+    # does not include it, and neither do we.
+    phase_min = min(wc.read_map, wc_large.read_map, sort.merge)
+    phase_max = max(sort.merge, wc.read_map)
+    total_min = min(wc_large.total, wc.total, sort.total)
+    total_max = max(wc.total, sort.total)
+
+    body = "\n".join(
+        [
+            f"word count 1GB : read_map x{wc.read_map:.2f}, total x{wc.total:.2f}, "
+            f"busy-util gain {wc.utilization_gain_pct:+.0f}%",
+            f"word count 50GB: read_map x{wc_large.read_map:.2f}, "
+            f"total x{wc_large.total:.2f}",
+            f"sort 1GB       : merge x{sort.merge:.2f}, total x{sort.total:.2f}, "
+            f"busy-util gain {sort.utilization_gain_pct:+.0f}%",
+        ]
+    )
+    return ExperimentResult(
+        exp_id="claims",
+        title="Headline claims: speedups and utilization gains (abstract/SVI)",
+        comparisons=[
+            Comparison("min phase speedup", PAPER_PHASE_SPEEDUP_RANGE[0],
+                       phase_min, unit="x"),
+            Comparison("max phase speedup", PAPER_PHASE_SPEEDUP_RANGE[1],
+                       phase_max, unit="x"),
+            Comparison("min time-to-result speedup", PAPER_TOTAL_SPEEDUP_RANGE[0],
+                       total_min, unit="x"),
+            Comparison("max time-to-result speedup", PAPER_TOTAL_SPEEDUP_RANGE[1],
+                       total_max, unit="x"),
+            Comparison("sort busy-utilization gain (vs claimed min)",
+                       PAPER_UTILIZATION_GAIN_RANGE[0],
+                       sort.utilization_gain_pct or 0.0, unit="%"),
+        ],
+        body=body,
+        notes=[
+            "phase speedups use the combined read+map cell and the merge "
+            "cell, the two phases the optimizations target",
+        ],
+    )

@@ -1,0 +1,77 @@
+"""Extension experiment: scale-up SupMR vs an 'equivalent' scale-out job.
+
+The comparison the paper's conclusion points at (via refs [2], [7]):
+time-to-result and energy for SupMR on the 32-context box vs an N-node
+Hadoop-shaped cluster running the same per-byte work, for N in
+{8, 16, 32, 64}.  The shape to reproduce from the scale-up-vs-scale-out
+literature: moderate clusters lose to the fat node on ingest-bound jobs
+(shuffle + coordination floors), big clusters win on wall-clock but burn
+multiples of the energy.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.tables import AsciiTable
+from repro.experiments.base import Comparison, ExperimentResult
+from repro.simhw.power import PowerModel, energy_from_samples
+from repro.simrt.costmodel import GB_SI, PAPER_SORT, PAPER_WORDCOUNT
+from repro.simrt.scaleout_sim import ScaleOutSpec, crossover_nodes, estimate_scaleout_job
+from repro.simrt.supmr_sim import simulate_supmr_job
+
+
+def run(monitor_interval: float = 5.0) -> ExperimentResult:
+    """Compare SupMR with N-node scale-out on time and energy."""
+    model = PowerModel()
+    rows: list[str] = []
+    table = AsciiTable(["app", "system", "total (s)", "energy (Wh)"])
+    crossovers: dict[str, int | None] = {}
+
+    energy_multiple: dict[str, float] = {}
+    for app, profile, input_bytes in (
+        ("wordcount", PAPER_WORDCOUNT, 155 * GB_SI),
+        ("sort", PAPER_SORT, 60 * GB_SI),
+    ):
+        supmr = simulate_supmr_job(profile, input_bytes, 1 * GB_SI,
+                                   monitor_interval=monitor_interval)
+        supmr_energy = energy_from_samples(supmr.samples, model)
+        table.add_row(app, "scale-up SupMR (32 ctx)",
+                      f"{supmr.timings.total_s:.1f}",
+                      f"{supmr_energy.energy_wh:.1f}")
+        for nodes in (8, 16, 32, 64):
+            est = estimate_scaleout_job(profile, input_bytes,
+                                        ScaleOutSpec(nodes=nodes))
+            table.add_row(app, f"scale-out {nodes} nodes",
+                          f"{est.total_s:.1f}", f"{est.energy_wh:.1f}")
+        crossovers[app] = crossover_nodes(profile, input_bytes,
+                                          supmr.timings.total_s)
+        est8 = estimate_scaleout_job(profile, input_bytes,
+                                     ScaleOutSpec(nodes=8))
+        energy_multiple[app] = est8.energy_wh / supmr_energy.energy_wh
+        rows.append(
+            f"{app}: scale-out needs {crossovers[app]} node(s) to beat "
+            f"SupMR's {supmr.timings.total_s:.0f}s; an 8-node cluster "
+            f"burns {energy_multiple[app]:.1f}x the energy"
+        )
+
+    # Shape checks: [2]'s framing is that scale-up delivers the result at
+    # a fraction of the (energy/TCO) cost — ballpark a 2.5x multiple for
+    # a wall-clock-competitive commodity cluster.
+    comparisons = [
+        Comparison("wordcount 8-node energy multiple (ballpark from [2])",
+                   2.5, energy_multiple["wordcount"], unit="x"),
+        Comparison("sort 8-node energy multiple (ballpark from [2])",
+                   2.5, energy_multiple["sort"], unit="x"),
+    ]
+    return ExperimentResult(
+        exp_id="ext-scaleout",
+        title="Scale-up SupMR vs Hadoop-shaped scale-out (conclusion / [2])",
+        comparisons=comparisons,
+        body=table.render() + "\n\n" + "\n".join(rows),
+        notes=[
+            "this is a shape comparison against the scale-up-vs-scale-out "
+            "framing of [2], not a published cell: crossover on wall-clock "
+            "happens at a handful of nodes (the fat node's RAID is only "
+            "~4x a commodity disk) but every winning cluster size burns "
+            "multiples of the energy",
+        ],
+    )

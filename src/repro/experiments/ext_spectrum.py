@@ -1,0 +1,86 @@
+"""Extension experiment: the application spectrum (Conclusions 1 & 4).
+
+The paper's Conclusion 1 — "the benefit of these modifications depends
+on the complexity of the individual job phases" — is stated from two
+data points (word count and sort).  This experiment fills in the curve:
+synthetic app profiles sweep the map-phase weight from trivial
+(sort-like pointer setup) to heavy (4x word count's parse cost), holding
+the testbed fixed, and report how much of the job the pipeline hides.
+
+The expected shape: pipeline benefit grows with map weight until the
+map legs exceed the ingest legs (the pipeline becomes compute-bound),
+after which extra map work stops being hideable and total time grows —
+the spectrum's two regimes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.analysis.tables import AsciiTable
+from repro.experiments.base import Comparison, ExperimentResult
+from repro.simrt.costmodel import GB_SI, PAPER_WORDCOUNT
+from repro.simrt.phoenix_sim import simulate_phoenix_job
+from repro.simrt.supmr_sim import simulate_supmr_job
+
+INPUT = 40 * GB_SI
+CHUNK = 1 * GB_SI
+
+#: map cost multipliers spanning sort-like (0.25x) to heavy (8x).
+SPECTRUM = (0.25, 0.5, 1.0, 2.0, 4.0, 8.0)
+
+
+def run(monitor_interval: float = 20.0) -> ExperimentResult:
+    """Sweep map weight; report speedup and regime per point."""
+    table = AsciiTable(["map cost", "baseline read+map (s)",
+                        "pipelined (s)", "speedup", "regime"])
+    speedups: list[float] = []
+    for factor in SPECTRUM:
+        profile = replace(
+            PAPER_WORDCOUNT,
+            name=f"synthetic-x{factor:g}",
+            map_bw_per_ctx=PAPER_WORDCOUNT.map_bw_per_ctx / factor,
+        )
+        base = simulate_phoenix_job(profile, INPUT,
+                                    monitor_interval=monitor_interval)
+        supmr = simulate_supmr_job(profile, INPUT, CHUNK,
+                                   monitor_interval=monitor_interval)
+        base_rm = base.timings.read_s + base.timings.map_s
+        speedup = base_rm / supmr.timings.read_map_s
+        speedups.append(speedup)
+        ingest_per_chunk = CHUNK / profile.ingest_bw
+        map_per_chunk = profile.map_wall_s(CHUNK, 32)
+        regime = ("ingest-bound (map fully hidden)"
+                  if map_per_chunk < ingest_per_chunk
+                  else "compute-bound (ingest fully hidden)")
+        table.add_row(f"{factor:g}x", f"{base_rm:.2f}",
+                      f"{supmr.timings.read_map_s:.2f}",
+                      f"{speedup:.3f}x", regime)
+
+    # Shape assertions-as-comparisons: benefit grows with map weight in
+    # the ingest-bound regime, and saturates near the theoretical cap.
+    ingest_bound = [s for s, f in zip(speedups, SPECTRUM)
+                    if PAPER_WORDCOUNT.map_wall_s(CHUNK, 32) * f
+                    < CHUNK / PAPER_WORDCOUNT.ingest_bw]
+    monotone = all(a <= b + 1e-9 for a, b in zip(ingest_bound,
+                                                 ingest_bound[1:]))
+    return ExperimentResult(
+        exp_id="ext-spectrum",
+        title="Pipeline benefit across the application spectrum "
+              "(Conclusions 1 & 4)",
+        comparisons=[
+            Comparison("speedup monotone while ingest-bound (1=true)",
+                       1.0, float(monotone), unit=""),
+            Comparison("max speedup across the spectrum (theory ~2.0 cap)",
+                       2.0, max(speedups), unit="x"),
+        ],
+        body=table.render(),
+        notes=[
+            "speedup 2.0x is the double-buffering ceiling: with map legs "
+            "exactly matching ingest legs, every second of each hides a "
+            "second of the other",
+            "word count sits at 1x on this sweep (speedup ~1.16x); sort's "
+            "map is ~0.25x (ingest/map speedup ~1.0, its win comes from "
+            "the merge instead — Conclusion 1's two data points",
+        ],
+    )

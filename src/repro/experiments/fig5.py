@@ -1,0 +1,88 @@
+"""Fig. 5: word count utilization — no chunks vs 1 GB vs 50 GB chunks.
+
+Reproduces the three traces and the figure's observations: the original
+runtime spends a long, low-utilization ingest followed by one compute
+spike; 1 GB chunks produce dense spikes (high utilization, best phase
+speedup ~1.16x); 50 GB chunks produce sparse, well-defined spikes with
+lower utilization (~1.12x wait — the paper quotes 1.16x/1.12x for the
+combined ingest/map phases at 1 GB/50 GB respectively).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.traces import mean_utilization, sparkline, trace_csv
+from repro.experiments.base import Comparison, ExperimentResult
+from repro.simrt.costmodel import GB_SI, PAPER_WORDCOUNT
+from repro.simrt.phases import SimJobResult
+from repro.simrt.phoenix_sim import simulate_phoenix_job
+from repro.simrt.supmr_sim import simulate_supmr_job
+
+WORDCOUNT_BYTES = 155 * GB_SI
+
+#: Paper speedups for the combined ingest/map phases (section VI.B).
+PAPER_READMAP_SPEEDUP_1GB = 1.16
+PAPER_READMAP_SPEEDUP_50GB = 1.12
+
+
+def run_traces(monitor_interval: float = 1.0) -> dict[str, SimJobResult]:
+    """The three word count traces (none / 1 GB / 50 GB)."""
+    return {
+        "none": simulate_phoenix_job(
+            PAPER_WORDCOUNT, WORDCOUNT_BYTES, monitor_interval=monitor_interval
+        ),
+        "1GB": simulate_supmr_job(
+            PAPER_WORDCOUNT, WORDCOUNT_BYTES, 1 * GB_SI,
+            monitor_interval=monitor_interval,
+        ),
+        "50GB": simulate_supmr_job(
+            PAPER_WORDCOUNT, WORDCOUNT_BYTES, 50 * GB_SI,
+            monitor_interval=monitor_interval,
+        ),
+    }
+
+
+def run(monitor_interval: float = 1.0) -> ExperimentResult:
+    """Regenerate Fig. 5 and check speedups and spike structure."""
+    traces = run_traces(monitor_interval=monitor_interval)
+    base = traces["none"].timings
+
+    lines: list[str] = []
+    busy: dict[str, float] = {}
+    for label, result in traces.items():
+        ingest_end = (
+            base.read_s if label == "none" else result.timings.read_map_s
+        )
+        busy[label] = mean_utilization(
+            result.samples, 0, ingest_end, busy_only=True
+        )
+        lines.append(f"(chunks={label:<5s}) {sparkline(result.samples)}")
+        lines.append(
+            f"             mean busy utilization during ingest/map window: "
+            f"{busy[label]:.1f}%"
+        )
+
+    speedup_1gb = (base.read_s + base.map_s) / traces["1GB"].timings.read_map_s
+    speedup_50gb = (base.read_s + base.map_s) / traces["50GB"].timings.read_map_s
+
+    return ExperimentResult(
+        exp_id="fig5",
+        title="Word count CPU utilization across ingest chunk sizes (Fig. 5)",
+        comparisons=[
+            Comparison("ingest/map speedup, 1GB chunks",
+                       PAPER_READMAP_SPEEDUP_1GB, speedup_1gb, unit="x"),
+            Comparison("ingest/map speedup, 50GB chunks",
+                       PAPER_READMAP_SPEEDUP_50GB, speedup_50gb, unit="x"),
+        ],
+        body="\n".join(lines),
+        notes=[
+            "small chunks => dense utilization spikes and more busy CPU; "
+            f"measured busy%%: none={busy['none']:.1f}, 1GB={busy['1GB']:.1f}, "
+            f"50GB={busy['50GB']:.1f}",
+            "the paper's footnote 3 applies here too: point sampling can "
+            "miss sub-interval 100% bursts at small chunk sizes",
+        ],
+        artifacts={
+            f"fig5_{label}.csv": trace_csv(result.samples)
+            for label, result in traces.items()
+        },
+    )

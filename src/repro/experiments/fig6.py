@@ -1,0 +1,69 @@
+"""Fig. 6: SupMR's sort avoids the merge step-down.
+
+Compares the merge-phase traces of the baseline (Fig. 1's step curve)
+and SupMR (one high-utilization p-way round), and checks the 3.13x merge
+speedup the paper reports.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.traces import mean_utilization, sparkline, step_levels, trace_csv
+from repro.experiments.base import Comparison, ExperimentResult
+from repro.simrt.costmodel import GB_SI, PAPER_SORT
+from repro.simrt.phoenix_sim import simulate_phoenix_job
+from repro.simrt.supmr_sim import simulate_supmr_job
+
+SORT_BYTES = 60 * GB_SI
+
+PAPER_MERGE_SPEEDUP = 3.13
+
+
+def run(monitor_interval: float = 1.0) -> ExperimentResult:
+    """Regenerate Fig. 6 and check the 3.13x merge speedup."""
+    baseline = simulate_phoenix_job(
+        PAPER_SORT, SORT_BYTES, monitor_interval=monitor_interval
+    )
+    supmr = simulate_supmr_job(
+        PAPER_SORT, SORT_BYTES, 1 * GB_SI, monitor_interval=monitor_interval
+    )
+
+    merge_speedup = baseline.timings.merge_s / supmr.timings.merge_s
+
+    def merge_window(result):
+        span = [s for s in result.spans if s.name == "merge"][0]
+        return span.start, span.end
+
+    b0, b1 = merge_window(baseline)
+    s0, s1 = merge_window(supmr)
+    base_steps = [lv for lv in step_levels(baseline.samples, b0, b1) if lv > 1]
+    supmr_util = mean_utilization(supmr.samples, s0, s1, busy_only=True)
+
+    body = "\n".join(
+        [
+            f"baseline merge ({baseline.timings.merge_s:.1f}s), busy plateaus "
+            f"{[round(lv) for lv in base_steps]}:",
+            sparkline(baseline.samples),
+            "",
+            f"SupMR merge ({supmr.timings.merge_s:.1f}s), mean busy "
+            f"{supmr_util:.0f}% (single p-way round):",
+            sparkline(supmr.samples),
+        ]
+    )
+    return ExperimentResult(
+        exp_id="fig6",
+        title="SupMR sort merge: one p-way round, no step-down (Fig. 6)",
+        comparisons=[
+            Comparison("sort merge-phase speedup", PAPER_MERGE_SPEEDUP,
+                       merge_speedup, unit="x"),
+        ],
+        body=body,
+        notes=[
+            f"baseline merge shows {len(base_steps)} utilization plateaus "
+            "(block sorts + one per 2-way round); SupMR shows a single "
+            "high-utilization round",
+        ],
+        artifacts={
+            "fig6_baseline.csv": trace_csv(baseline.samples),
+            "fig6_supmr.csv": trace_csv(supmr.samples),
+        },
+    )

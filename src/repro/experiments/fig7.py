@@ -1,0 +1,55 @@
+"""Fig. 7: the HDFS case study — high utilization, ~7 s speedup.
+
+Word count ingesting 30 GB from a 32-node HDFS behind one 1 Gbit link:
+SupMR overlaps ingest chunks with map waves, raising utilization during
+ingest, but the map phase is so small relative to the link-bound ingest
+that the end-to-end win is only a few seconds (Conclusion 4).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.traces import mean_utilization, sparkline, trace_csv
+from repro.experiments.base import Comparison, ExperimentResult
+from repro.simrt.hdfs_case import simulate_hdfs_case_study
+
+PAPER_SPEEDUP_S = 7.0
+
+
+def run(monitor_interval: float = 1.0) -> ExperimentResult:
+    """Regenerate Fig. 7's HDFS case study."""
+    case = simulate_hdfs_case_study(monitor_interval=monitor_interval)
+    b, s = case.baseline, case.supmr
+
+    base_util = mean_utilization(b.samples, 0, b.timings.read_s)
+    supmr_util = mean_utilization(s.samples, 0, s.timings.read_map_s)
+
+    body = "\n".join(
+        [
+            f"baseline total={b.timings.total_s:.1f}s "
+            f"(ingest {b.timings.read_s:.1f}s at {base_util:.1f}% mean util):",
+            sparkline(b.samples),
+            "",
+            f"SupMR    total={s.timings.total_s:.1f}s "
+            f"(ingest/map {s.timings.read_map_s:.1f}s at {supmr_util:.1f}% mean util):",
+            sparkline(s.samples),
+        ]
+    )
+    return ExperimentResult(
+        exp_id="fig7",
+        title="Word count over HDFS behind one 1 Gbit link (Fig. 7)",
+        comparisons=[
+            Comparison("end-to-end speedup", PAPER_SPEEDUP_S,
+                       case.speedup_seconds),
+        ],
+        body=body,
+        notes=[
+            f"utilization during ingest rises {base_util:.1f}% -> "
+            f"{supmr_util:.1f}%, but the map phase is only "
+            f"{100 * (b.timings.map_s / b.timings.total_s):.1f}% of the job, "
+            "so there is little computation to overlap (Conclusion 4)",
+        ],
+        artifacts={
+            "fig7_baseline.csv": trace_csv(b.samples),
+            "fig7_supmr.csv": trace_csv(s.samples),
+        },
+    )

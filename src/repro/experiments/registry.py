@@ -1,0 +1,58 @@
+"""Experiment id -> runner mapping for the CLI and benches."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import ExperimentError
+from repro.experiments import (
+    claims,
+    ext_energy,
+    ext_scaleout,
+    ext_spectrum,
+    ext_tuning,
+    fig1,
+    fig3,
+    fig5,
+    fig6,
+    fig7,
+    table2,
+)
+from repro.experiments.base import ExperimentResult
+
+Runner = Callable[..., ExperimentResult]
+
+_REGISTRY: dict[str, Runner] = {
+    "table2": table2.run,
+    "fig1": fig1.run,
+    "fig3": fig3.run,
+    "fig5": fig5.run,
+    "fig6": fig6.run,
+    "fig7": fig7.run,
+    "claims": claims.run,
+    # extensions beyond the paper's artifacts (see DESIGN.md):
+    "ext-energy": ext_energy.run,
+    "ext-scaleout": ext_scaleout.run,
+    "ext-spectrum": ext_spectrum.run,
+    "ext-tuning": ext_tuning.run,
+}
+
+
+def available_experiments() -> list[str]:
+    """Sorted experiment ids."""
+    return sorted(_REGISTRY)
+
+
+def get_experiment(exp_id: str) -> Runner:
+    """The runner for ``exp_id``; raises on unknown ids."""
+    try:
+        return _REGISTRY[exp_id]
+    except KeyError:
+        raise ExperimentError(
+            f"unknown experiment {exp_id!r}; available: {available_experiments()}"
+        ) from None
+
+
+def run_experiment(exp_id: str, **kwargs) -> ExperimentResult:
+    """Run one experiment by id."""
+    return get_experiment(exp_id)(**kwargs)

@@ -1,0 +1,22 @@
+"""Record formats and file helpers shared by the runtime and workloads."""
+
+from repro.io.datafile import file_sizes, read_slice, total_input_bytes
+from repro.io.writer import write_terasort_output, write_text_pairs
+from repro.io.records import (
+    RecordCodec,
+    TeraRecordCodec,
+    TextCodec,
+    WholeLineCodec,
+)
+
+__all__ = [
+    "RecordCodec",
+    "TeraRecordCodec",
+    "TextCodec",
+    "WholeLineCodec",
+    "read_slice",
+    "file_sizes",
+    "total_input_bytes",
+    "write_terasort_output",
+    "write_text_pairs",
+]

@@ -1,0 +1,52 @@
+"""Filesystem helpers for ingest: sized reads and input inventories."""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.errors import WorkloadError
+
+
+def read_slice(path: str | Path, offset: int, length: int) -> bytes:
+    """Read ``length`` bytes of ``path`` starting at ``offset``.
+
+    Short reads past EOF return what exists; a negative slice raises.
+    """
+    if offset < 0 or length < 0:
+        raise WorkloadError(f"invalid slice [{offset}, +{length}) of {path}")
+    with open(path, "rb") as fh:
+        fh.seek(offset)
+        return fh.read(length)
+
+
+def file_sizes(paths: Iterable[str | Path]) -> list[tuple[Path, int]]:
+    """(path, size) for every input file; missing files raise."""
+    out: list[tuple[Path, int]] = []
+    for p in paths:
+        path = Path(p)
+        if not path.is_file():
+            raise WorkloadError(f"input file missing: {path}")
+        out.append((path, path.stat().st_size))
+    return out
+
+
+def total_input_bytes(paths: Sequence[str | Path]) -> int:
+    """Total bytes across the input files."""
+    return sum(size for _path, size in file_sizes(paths))
+
+
+def ensure_dir(path: str | Path) -> Path:
+    """Create ``path`` (and parents) if needed; return it as ``Path``."""
+    p = Path(path)
+    p.mkdir(parents=True, exist_ok=True)
+    return p
+
+
+def remove_if_exists(path: str | Path) -> None:
+    """Delete ``path`` if present; quiet if it is not."""
+    try:
+        os.unlink(path)
+    except FileNotFoundError:
+        pass

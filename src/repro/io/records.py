@@ -1,0 +1,104 @@
+r"""Record codecs: how raw input bytes decompose into records.
+
+The chunking layer needs exactly one fact about the data — the record
+*delimiter* — to adjust split points so no key or value straddles two
+ingest chunks (paper section III.A.1: "each key-value pair in the input
+for Terasort is terminated with \r\n, so the split function continually
+increases the split point until reaching a newline").  The map phase
+additionally needs to parse records into key/value pairs; both concerns
+live here.
+
+Codecs operate on ``bytes`` and never copy more than the records they
+yield — ingest chunks can be hundreds of MB.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.errors import WorkloadError
+
+
+@dataclass(frozen=True)
+class RecordCodec:
+    """Base codec: newline-delimited records, whole line is the payload."""
+
+    delimiter: bytes = b"\n"
+
+    def iter_records(self, data: bytes) -> Iterator[bytes]:
+        """Yield raw records (without the delimiter)."""
+        if not data:
+            return
+        start = 0
+        dlen = len(self.delimiter)
+        while True:
+            idx = data.find(self.delimiter, start)
+            if idx == -1:
+                if start < len(data):
+                    yield data[start:]
+                return
+            yield data[start:idx]
+            start = idx + dlen
+
+    def record_end(self, data: bytes, pos: int) -> int:
+        """Smallest offset >= ``pos`` that ends a record (after delimiter).
+
+        Returns ``len(data)`` when no delimiter follows (the final,
+        possibly unterminated record).
+        """
+        if pos >= len(data):
+            return len(data)
+        idx = data.find(self.delimiter, pos)
+        if idx == -1:
+            return len(data)
+        return idx + len(self.delimiter)
+
+
+@dataclass(frozen=True)
+class TeraRecordCodec(RecordCodec):
+    r"""Terasort-style records: ``<key> <payload>\r\n``.
+
+    ``key_len`` ASCII bytes of key, one space, a payload, CRLF terminator —
+    100 bytes per record by default, mirroring gensort's layout in the
+    textual form the paper describes.
+    """
+
+    delimiter: bytes = b"\r\n"
+    key_len: int = 10
+    record_len: int = 100
+
+    def split_record(self, record: bytes) -> tuple[bytes, bytes]:
+        """(key, payload) for one raw record."""
+        if len(record) < self.key_len + 1:
+            raise WorkloadError(f"terasort record too short: {record!r}")
+        return record[: self.key_len], record[self.key_len + 1:]
+
+    def iter_pairs(self, data: bytes) -> Iterator[tuple[bytes, bytes]]:
+        """Yield (key, payload) per record in ``data``."""
+        for record in self.iter_records(data):
+            if record:  # tolerate a trailing empty fragment
+                yield self.split_record(record)
+
+
+@dataclass(frozen=True)
+class TextCodec(RecordCodec):
+    """Plain text: newline-delimited lines, whitespace-separated words."""
+
+    delimiter: bytes = b"\n"
+
+    def iter_words(self, data: bytes) -> Iterator[bytes]:
+        """Yield whitespace-separated words across lines."""
+        for line in self.iter_records(data):
+            yield from line.split()
+
+
+@dataclass(frozen=True)
+class WholeLineCodec(RecordCodec):
+    """Each line is one record whose key is the entire line (grep/index)."""
+
+    delimiter: bytes = b"\n"
+
+    def iter_lines(self, data: bytes) -> Iterator[bytes]:
+        """Yield each line as one record."""
+        yield from self.iter_records(data)

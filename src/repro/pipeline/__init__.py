@@ -1,0 +1,5 @@
+"""The ingest chunk pipeline (double buffering)."""
+
+from repro.pipeline.double_buffer import DoubleBufferedPipeline, RoundRecord
+
+__all__ = ["DoubleBufferedPipeline", "RoundRecord"]

@@ -1,0 +1,48 @@
+"""Discrete-event simulated scale-up hardware.
+
+This subpackage is a from-scratch discrete-event simulation substrate —
+an event loop with coroutine processes (:mod:`repro.simhw.events`,
+:mod:`repro.simhw.process`), fluid-flow shared-bandwidth resources
+(:mod:`repro.simhw.resources`), and hardware models built on top of them:
+CPUs with hardware contexts (:mod:`repro.simhw.cpu`), disks and RAID-0
+arrays (:mod:`repro.simhw.disk`), a memory bus (:mod:`repro.simhw.memory`),
+network links (:mod:`repro.simhw.network`), thread-operation costs
+(:mod:`repro.simhw.threadlib`), and a collectl-style utilization sampler
+(:mod:`repro.simhw.monitor`).
+
+:mod:`repro.simhw.machine` assembles these into the paper's testbed (two
+8-core hyperthreaded processors = 32 hardware contexts, 384 GB RAM, 3-HDD
+RAID-0 reading at 384 MB/s) and :mod:`repro.simhw.hdfs` models the 32-node
+HDFS cluster behind one 1 Gbit link used in the paper's case study.
+"""
+
+from repro.simhw.cpu import CpuBank, CpuClass
+from repro.simhw.disk import Disk, Raid0
+from repro.simhw.events import Simulator
+from repro.simhw.machine import MachineSpec, ScaleUpMachine, paper_machine
+from repro.simhw.memory import MemoryBus
+from repro.simhw.monitor import UtilizationMonitor, UtilizationSample
+from repro.simhw.network import Link
+from repro.simhw.process import Process, Timeout
+from repro.simhw.resources import BandwidthResource, Gate, Semaphore, Store
+
+__all__ = [
+    "Simulator",
+    "Process",
+    "Timeout",
+    "BandwidthResource",
+    "Semaphore",
+    "Store",
+    "Gate",
+    "CpuBank",
+    "CpuClass",
+    "Disk",
+    "Raid0",
+    "MemoryBus",
+    "Link",
+    "UtilizationMonitor",
+    "UtilizationSample",
+    "MachineSpec",
+    "ScaleUpMachine",
+    "paper_machine",
+]

@@ -1,0 +1,137 @@
+"""CPU model: a bank of hardware contexts with utilization accounting.
+
+The paper's testbed exposes 32 hardware contexts (2 sockets x 8 cores x 2
+hyperthreads).  A simulated thread must *hold a context* to make progress;
+contexts are granted FIFO, so oversubscribing (more runnable threads than
+contexts) queues the excess exactly like a run queue.
+
+Utilization accounting follows collectl's classes: ``user`` (application
+work), ``sys`` (kernel work — thread spawn/teardown, synchronization), and
+``iowait`` (contexts idle while at least one thread is blocked on IO).
+The :class:`repro.simhw.monitor.UtilizationMonitor` samples these counters.
+
+Hyperthreading is folded into the calibrated throughput rates of the cost
+model (see ``repro.simrt.costmodel``): the paper reports aggregate phase
+throughputs on the HT-enabled box, so rates per context already embed HT
+efficiency.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Iterator
+
+from repro.errors import SimulationError
+from repro.simhw.events import Simulator
+from repro.simhw.resources import Semaphore
+
+
+class CpuClass(str, enum.Enum):
+    """collectl-style CPU time classes."""
+
+    USER = "user"
+    SYS = "sys"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+class CpuBank:
+    """A fixed pool of hardware contexts with busy/iowait accounting."""
+
+    def __init__(self, sim: Simulator, contexts: int, name: str = "cpu") -> None:
+        if contexts < 1:
+            raise SimulationError(f"{name}: need at least one context")
+        self.sim = sim
+        self.contexts = contexts
+        self.name = name
+        self._sem = Semaphore(sim, contexts, name=f"{name}.contexts")
+        self._busy: dict[CpuClass, int] = {CpuClass.USER: 0, CpuClass.SYS: 0}
+        #: Threads currently blocked on an IO device (drives iowait%).
+        self.io_blocked = 0
+        #: Cumulative context-seconds consumed, per class.
+        self.consumed: dict[CpuClass, float] = {CpuClass.USER: 0.0, CpuClass.SYS: 0.0}
+
+    # -- instantaneous state (sampled by the monitor) ----------------------
+
+    def busy(self, cls: CpuClass) -> int:
+        """Number of contexts currently executing ``cls`` work."""
+        return self._busy[cls]
+
+    @property
+    def busy_total(self) -> int:
+        return sum(self._busy.values())
+
+    @property
+    def idle(self) -> int:
+        return self.contexts - self.busy_total
+
+    def fraction(self, cls: CpuClass) -> float:
+        """Instantaneous utilization fraction for one class, in [0, 1]."""
+        return self._busy[cls] / self.contexts
+
+    def iowait_fraction(self) -> float:
+        """collectl iowait: idle contexts attributable to outstanding IO."""
+        return min(self.io_blocked, self.idle) / self.contexts
+
+    # -- execution primitives (generators; drive with `yield from`) --------
+
+    def occupy(self, seconds: float, cls: CpuClass = CpuClass.USER) -> Iterator:
+        """Hold one context for ``seconds`` of work of class ``cls``.
+
+        Queues FIFO behind other runnable threads when all contexts are
+        busy.  Usable from process bodies via ``yield from``.
+        """
+        if seconds < 0:
+            raise SimulationError(f"{self.name}: negative compute time {seconds!r}")
+        yield self._sem.acquire()
+        self._busy[cls] += 1
+        try:
+            yield self.sim.timeout(seconds)
+            self.consumed[cls] += seconds
+        finally:
+            self._busy[cls] -= 1
+            self._sem.release()
+
+    def occupied(self, cls: CpuClass = CpuClass.USER) -> "_ContextHold":
+        """Acquire a context for a custom activity (e.g. a memory scan).
+
+        Returns a helper whose ``acquire()``/``release()`` generators must
+        bracket the activity::
+
+            hold = cpu.occupied(CpuClass.USER)
+            yield from hold.acquire()
+            try:
+                yield membus.transfer(...)
+            finally:
+                hold.release()
+        """
+        return _ContextHold(self, cls)
+
+
+class _ContextHold:
+    """RAII-ish helper for holding a context across arbitrary waits."""
+
+    __slots__ = ("bank", "cls", "_held", "_acquired_at")
+
+    def __init__(self, bank: CpuBank, cls: CpuClass) -> None:
+        self.bank = bank
+        self.cls = cls
+        self._held = False
+        self._acquired_at = 0.0
+
+    def acquire(self) -> Iterator:
+        if self._held:
+            raise SimulationError("context already held")
+        yield self.bank._sem.acquire()
+        self.bank._busy[self.cls] += 1
+        self._held = True
+        self._acquired_at = self.bank.sim.now
+
+    def release(self) -> None:
+        if not self._held:
+            raise SimulationError("release without acquire")
+        self.bank.consumed[self.cls] += self.bank.sim.now - self._acquired_at
+        self.bank._busy[self.cls] -= 1
+        self.bank._sem.release()
+        self._held = False

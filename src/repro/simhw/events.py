@@ -1,0 +1,186 @@
+"""Simulation kernel: virtual clock, event heap, and triggerable events.
+
+The kernel is deliberately SimPy-shaped but built from scratch: a
+:class:`Simulator` owns a binary-heap agenda of ``(time, priority, seq)``
+entries; :class:`SimEvent` is the one primitive that processes can wait
+on. Determinism matters for reproducible experiments, so ties are broken
+by a monotonically increasing sequence number — two events scheduled for
+the same instant always fire in schedule order.
+
+Times are floats in **seconds** of simulated wall-clock time.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import Any, Callable, Iterator
+
+from repro.errors import SimulationError
+
+#: Event priority for "urgent" bookkeeping that must run before normal
+#: events at the same timestamp (e.g. fluid-flow rate recomputation).
+PRIORITY_URGENT = 0
+#: Default event priority.
+PRIORITY_NORMAL = 1
+
+Callback = Callable[["SimEvent"], None]
+
+
+class SimEvent:
+    """A one-shot occurrence processes can wait on.
+
+    An event is *triggered* with a value (scheduled to fire) and later
+    *processed* (its callbacks run).  Waiting is done by appending a
+    callback; :class:`repro.simhw.process.Process` uses this to resume a
+    coroutine when the event it yielded fires.
+    """
+
+    __slots__ = ("sim", "callbacks", "_value", "_triggered", "_processed", "name")
+
+    #: Sentinel distinguishing "no value yet" from a legitimate ``None``.
+    _PENDING = object()
+
+    def __init__(self, sim: "Simulator", name: str = "") -> None:
+        self.sim = sim
+        self.name = name
+        self.callbacks: list[Callback] = []
+        self._value: Any = SimEvent._PENDING
+        self._triggered = False
+        self._processed = False
+
+    @property
+    def triggered(self) -> bool:
+        """True once the event has been scheduled to fire."""
+        return self._triggered
+
+    @property
+    def processed(self) -> bool:
+        """True once the event's callbacks have been run."""
+        return self._processed
+
+    @property
+    def value(self) -> Any:
+        if self._value is SimEvent._PENDING:
+            raise SimulationError(f"event {self!r} has no value yet")
+        return self._value
+
+    def trigger(self, value: Any = None, *, delay: float = 0.0) -> "SimEvent":
+        """Schedule this event to fire ``delay`` seconds from now."""
+        if self._triggered:
+            raise SimulationError(f"event {self!r} triggered twice")
+        self._triggered = True
+        self._value = value
+        self.sim._schedule(delay, self)
+        return self
+
+    def _process(self) -> None:
+        if self._processed:
+            raise SimulationError(f"event {self!r} processed twice")
+        self._processed = True
+        callbacks, self.callbacks = self.callbacks, []
+        for cb in callbacks:
+            cb(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "processed" if self._processed else (
+            "triggered" if self._triggered else "pending"
+        )
+        label = self.name or type(self).__name__
+        return f"<{label} {state} at t={self.sim.now:.6f}>"
+
+
+class Simulator:
+    """Discrete-event simulator: clock plus an agenda of pending events.
+
+    Usage::
+
+        sim = Simulator()
+        sim.process(my_generator(sim))
+        sim.run()            # until the agenda drains
+        sim.run(until=10.0)  # or until a virtual deadline
+    """
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._seq = 0
+        self._agenda: list[tuple[float, int, int, SimEvent]] = []
+        #: Number of events processed so far (diagnostics / loop guards).
+        self.events_processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    # -- scheduling ------------------------------------------------------
+
+    def _schedule(
+        self, delay: float, event: SimEvent, priority: int = PRIORITY_NORMAL
+    ) -> None:
+        if delay < 0 or math.isnan(delay):
+            raise SimulationError(f"cannot schedule event {delay!r}s in the past")
+        self._seq += 1
+        heapq.heappush(self._agenda, (self._now + delay, priority, self._seq, event))
+
+    def event(self, name: str = "") -> SimEvent:
+        """Create a fresh, untriggered event bound to this simulator."""
+        return SimEvent(self, name)
+
+    def timeout(self, delay: float, value: Any = None) -> SimEvent:
+        """An event that fires ``delay`` seconds from now."""
+        ev = SimEvent(self, f"timeout({delay:g})")
+        ev.trigger(value, delay=delay)
+        return ev
+
+    def call_at(self, when: float, fn: Callable[[], None]) -> SimEvent:
+        """Run ``fn()`` at absolute simulated time ``when``."""
+        if when < self._now:
+            raise SimulationError(f"call_at({when}) is in the past (now={self._now})")
+        ev = self.timeout(when - self._now)
+        ev.callbacks.append(lambda _ev: fn())
+        return ev
+
+    def process(self, generator: Iterator[Any], name: str = "") -> "Any":
+        """Spawn a coroutine process (see :mod:`repro.simhw.process`)."""
+        from repro.simhw.process import Process
+
+        return Process(self, generator, name=name)
+
+    # -- main loop -------------------------------------------------------
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._agenda[0][0] if self._agenda else math.inf
+
+    def step(self) -> None:
+        """Process exactly one event."""
+        if not self._agenda:
+            raise SimulationError("step() on an empty agenda")
+        when, _prio, _seq, event = heapq.heappop(self._agenda)
+        if when < self._now:
+            raise SimulationError("agenda went backwards in time")
+        self._now = when
+        self.events_processed += 1
+        event._process()
+
+    def run(self, until: float | None = None, max_events: int = 50_000_000) -> float:
+        """Run until the agenda drains or ``until`` is reached.
+
+        Returns the simulation time when the run stopped.  ``max_events``
+        guards against runaway models (an exception, not a silent stop).
+        """
+        budget = max_events
+        while self._agenda:
+            if until is not None and self.peek() > until:
+                self._now = until
+                return self._now
+            if budget <= 0:
+                raise SimulationError(
+                    f"exceeded {max_events} events; model is likely livelocked"
+                )
+            budget -= 1
+            self.step()
+        if until is not None:
+            self._now = max(self._now, until)
+        return self._now

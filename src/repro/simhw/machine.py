@@ -1,0 +1,147 @@
+"""Assembled machine models, including the paper's testbed.
+
+:class:`ScaleUpMachine` wires a :class:`~repro.simhw.cpu.CpuBank`,
+a :class:`~repro.simhw.disk.Raid0`, a :class:`~repro.simhw.memory.MemoryBus`
+and a :class:`~repro.simhw.monitor.UtilizationMonitor` to one simulator,
+and provides the generator helpers simulated runtimes drive with
+``yield from``:
+
+* :meth:`ScaleUpMachine.compute` — hold a context for CPU work;
+* :meth:`ScaleUpMachine.read_disk` — blocking disk read (counts iowait);
+* :meth:`ScaleUpMachine.scan_memory` — a context-holding memory-bus scan
+  (what merge threads do);
+* :meth:`ScaleUpMachine.spawn_wave` / :meth:`join_wave` — thread costs.
+
+``paper_machine()`` builds the evaluation testbed: RHEL 6, 2x8-core with
+hyperthreading (32 hardware contexts), 384 GB RAM, 3 data HDDs in RAID-0
+reading at 384 MB/s max.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.errors import ConfigError
+from repro.simhw.cpu import CpuBank, CpuClass
+from repro.simhw.disk import GB, MB, Disk, Raid0
+from repro.simhw.events import Simulator
+from repro.simhw.memory import MemoryBus
+from repro.simhw.monitor import UtilizationMonitor
+from repro.simhw.threadlib import ThreadCosts, charge_join, charge_spawn
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """Static description of a scale-up box."""
+
+    name: str = "scale-up"
+    sockets: int = 2
+    cores_per_socket: int = 8
+    hyperthreads: int = 2
+    ram_bytes: float = 384 * GB
+    data_disks: int = 3
+    disk_read_bw: float = 128 * MB  # per spindle; RAID-0 sums these
+    disk_write_bw: float = 110 * MB
+    mem_bus_bw: float = 40 * GB  # aggregate memory bandwidth ceiling
+    thread_costs: ThreadCosts = field(default_factory=ThreadCosts)
+    monitor_interval: float = 1.0
+
+    def __post_init__(self) -> None:
+        if min(self.sockets, self.cores_per_socket, self.hyperthreads) < 1:
+            raise ConfigError("sockets/cores/hyperthreads must be >= 1")
+        if self.data_disks < 1:
+            raise ConfigError("need at least one data disk")
+        if self.ram_bytes <= 0 or self.disk_read_bw <= 0 or self.mem_bus_bw <= 0:
+            raise ConfigError("capacities and bandwidths must be positive")
+
+    @property
+    def contexts(self) -> int:
+        """Hardware contexts visible to the OS scheduler."""
+        return self.sockets * self.cores_per_socket * self.hyperthreads
+
+    @property
+    def raid_read_bw(self) -> float:
+        return self.data_disks * self.disk_read_bw
+
+
+class ScaleUpMachine:
+    """A simulated scale-up node: CPU bank + RAID-0 + memory + monitor."""
+
+    def __init__(self, sim: Simulator, spec: MachineSpec) -> None:
+        self.sim = sim
+        self.spec = spec
+        self.cpu = CpuBank(sim, spec.contexts, name=f"{spec.name}.cpu")
+        disks = [
+            Disk(sim, spec.disk_read_bw, spec.disk_write_bw, name=f"hdd{i}")
+            for i in range(spec.data_disks)
+        ]
+        self.disk = Raid0(disks, name=f"{spec.name}.raid0")
+        self.memory = MemoryBus(
+            sim, spec.ram_bytes, spec.mem_bus_bw, name=f"{spec.name}.mem"
+        )
+        self.monitor = UtilizationMonitor(
+            sim, self.cpu, disk=self.disk, interval=spec.monitor_interval
+        )
+
+    # -- activity helpers (generators for `yield from`) ---------------------
+
+    def compute(self, seconds: float, cls: CpuClass = CpuClass.USER) -> Iterator:
+        """Occupy one context for ``seconds`` of class ``cls`` work."""
+        yield from self.cpu.occupy(seconds, cls)
+
+    def read_disk(self, nbytes: float) -> Iterator:
+        """Blocking read from the RAID-0; the caller shows up as iowait."""
+        self.cpu.io_blocked += 1
+        try:
+            yield self.disk.read(nbytes)
+        finally:
+            self.cpu.io_blocked -= 1
+
+    def read_source(self, source, nbytes: float) -> Iterator:
+        """Blocking read from an arbitrary ingest source (disk, HDFS, ...).
+
+        ``source`` must expose ``read(nbytes) -> SimEvent``.
+        """
+        self.cpu.io_blocked += 1
+        try:
+            yield source.read(nbytes)
+        finally:
+            self.cpu.io_blocked -= 1
+
+    def scan_memory(
+        self,
+        nbytes: float,
+        per_thread_bw: float,
+        cls: CpuClass = CpuClass.USER,
+    ) -> Iterator:
+        """Stream ``nbytes`` through the memory bus while holding a context.
+
+        This models a merge thread: it is *busy* (shows as user CPU) but
+        its progress rate is bounded by per-thread scan bandwidth and the
+        shared bus.
+        """
+        hold = self.cpu.occupied(cls)
+        yield from hold.acquire()
+        try:
+            yield self.memory.scan(nbytes, per_thread_bw)
+        finally:
+            hold.release()
+
+    def spawn_wave(self, nthreads: int) -> Iterator:
+        """Charge kernel time for spawning a wave of worker threads."""
+        yield from charge_spawn(self.cpu, self.spec.thread_costs, nthreads)
+
+    def join_wave(self, nthreads: int) -> Iterator:
+        """Charge kernel time for joining a wave of worker threads."""
+        yield from charge_join(self.cpu, self.spec.thread_costs, nthreads)
+
+
+def paper_machine(
+    sim: Simulator, monitor_interval: float = 1.0, **overrides
+) -> ScaleUpMachine:
+    """The evaluation testbed from section VI.A of the paper."""
+    spec = MachineSpec(
+        name="paper-testbed", monitor_interval=monitor_interval, **overrides
+    )
+    return ScaleUpMachine(sim, spec)

@@ -1,0 +1,62 @@
+"""Network model: point-to-point links with fluid bandwidth sharing.
+
+Only what the paper's HDFS case study needs: the 32-node scale-out store
+sits *behind one 1 Gbit Ethernet link*, so ingest bandwidth is capped by
+that link (~119 MB/s of goodput after framing/TCP overhead) no matter how
+many datanodes serve stripes in parallel.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SimulationError
+from repro.simhw.events import SimEvent, Simulator
+from repro.simhw.resources import BandwidthResource
+
+GBIT = 1e9 / 8.0  # bytes/second per gigabit of line rate
+
+#: Fraction of line rate delivered as application goodput (Ethernet +
+#: IP + TCP framing overhead, a conventional ~95%).
+DEFAULT_GOODPUT = 0.95
+
+
+class Link:
+    """A duplex link; each direction is an independent shared channel."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        line_rate: float,
+        goodput: float = DEFAULT_GOODPUT,
+        name: str = "link",
+    ) -> None:
+        if line_rate <= 0:
+            raise SimulationError(f"{name}: line rate must be positive")
+        if not 0 < goodput <= 1:
+            raise SimulationError(f"{name}: goodput must be in (0, 1]")
+        self.sim = sim
+        self.name = name
+        self.line_rate = float(line_rate)
+        self.goodput = goodput
+        rate = line_rate * goodput
+        self._rx = BandwidthResource(sim, rate, name=f"{name}.rx")
+        self._tx = BandwidthResource(sim, rate, name=f"{name}.tx")
+
+    @property
+    def effective_rate(self) -> float:
+        return self.line_rate * self.goodput
+
+    def receive(self, nbytes: float) -> SimEvent:
+        """Pull ``nbytes`` across the link toward this host."""
+        return self._rx.transfer(nbytes, tag="rx")
+
+    def send(self, nbytes: float) -> SimEvent:
+        """Push ``nbytes`` out over the link."""
+        return self._tx.transfer(nbytes, tag="tx")
+
+    @property
+    def rx_utilization(self) -> float:
+        return self._rx.utilization
+
+    @property
+    def active_receives(self) -> int:
+        return self._rx.active_flows

@@ -1,0 +1,133 @@
+"""Power, energy, thermal-throttle and availability accounting.
+
+Section VI.C.1 lists the costs of small ingest chunks: "high energy
+consumption ... long periods of very high CPU utilizations and stresses
+the thread library ... CPU heat thresholds were occasionally breached
+leading to throttling.  Also, increasing the CPU utilization decreases
+the availability of the system."  The conclusions call utilization and
+energy "significant factors in comparing this approach to an
+'equivalent' scale-out implementation."
+
+This module quantifies those factors from a utilization trace:
+
+* :func:`energy_from_samples` — integrate a :class:`PowerModel` over the
+  collectl samples (idle floor + per-busy-context increment + disk);
+* :func:`throttle_exposure` — seconds spent in sustained >threshold
+  busy episodes (the paper's heat-threshold breaches);
+* :func:`availability_loss` — mean busy fraction, i.e. capacity *not*
+  available to co-scheduled jobs.
+
+Default power numbers approximate a 2-socket Sandy-Bridge-era server:
+~150 W idle chassis, ~7 W incremental per busy hardware context
+(2x95 W TDP spread over 32 contexts, ~60% dynamic), ~8 W per active
+spindle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import ConfigError
+from repro.simhw.monitor import UtilizationSample
+
+
+@dataclass(frozen=True)
+class PowerModel:
+    """Server power as a function of instantaneous activity."""
+
+    idle_w: float = 150.0
+    active_w_per_ctx: float = 7.0
+    disk_active_w: float = 8.0
+    contexts: int = 32
+
+    def __post_init__(self) -> None:
+        if self.idle_w < 0 or self.active_w_per_ctx < 0 or self.disk_active_w < 0:
+            raise ConfigError("power terms must be non-negative")
+        if self.contexts < 1:
+            raise ConfigError("contexts must be >= 1")
+
+    def instantaneous_w(self, sample: UtilizationSample) -> float:
+        """Power draw at one collectl sample."""
+        busy_contexts = sample.busy_pct / 100.0 * self.contexts
+        disks = self.disk_active_w * min(sample.disk_active, 3)
+        return self.idle_w + busy_contexts * self.active_w_per_ctx + disks
+
+
+@dataclass(frozen=True)
+class EnergyReport:
+    """Integrated energy figures for one run."""
+
+    energy_j: float
+    duration_s: float
+    mean_power_w: float
+    peak_power_w: float
+
+    @property
+    def energy_wh(self) -> float:
+        return self.energy_j / 3600.0
+
+
+def energy_from_samples(
+    samples: Sequence[UtilizationSample],
+    model: PowerModel | None = None,
+) -> EnergyReport:
+    """Trapezoidal integration of power over the sampled trace."""
+    model = model or PowerModel()
+    if len(samples) < 2:
+        raise ConfigError("need at least two samples to integrate energy")
+    energy = 0.0
+    peak = 0.0
+    for prev, cur in zip(samples, samples[1:]):
+        dt = cur.time - prev.time
+        if dt < 0:
+            raise ConfigError("samples must be time-ordered")
+        p0 = model.instantaneous_w(prev)
+        p1 = model.instantaneous_w(cur)
+        energy += 0.5 * (p0 + p1) * dt
+        peak = max(peak, p0, p1)
+    duration = samples[-1].time - samples[0].time
+    mean = energy / duration if duration > 0 else 0.0
+    return EnergyReport(energy_j=energy, duration_s=duration,
+                        mean_power_w=mean, peak_power_w=peak)
+
+
+def throttle_exposure(
+    samples: Sequence[UtilizationSample],
+    threshold_pct: float = 90.0,
+    min_duration_s: float = 5.0,
+) -> float:
+    """Seconds inside sustained high-utilization episodes.
+
+    An episode is a maximal run of consecutive samples with busy% above
+    ``threshold_pct``; episodes shorter than ``min_duration_s`` don't
+    count (brief spikes don't heat the package).
+    """
+    if not samples:
+        return 0.0
+    total = 0.0
+    episode_start: float | None = None
+    last_time = samples[0].time
+    for s in samples:
+        if s.busy_pct >= threshold_pct:
+            if episode_start is None:
+                episode_start = s.time
+        else:
+            if episode_start is not None:
+                length = last_time - episode_start
+                if length >= min_duration_s:
+                    total += length
+                episode_start = None
+        last_time = s.time
+    if episode_start is not None:
+        length = last_time - episode_start
+        if length >= min_duration_s:
+            total += length
+    return total
+
+
+def availability_loss(samples: Sequence[UtilizationSample]) -> float:
+    """Mean busy fraction in [0, 1]: capacity unavailable to other jobs."""
+    if not samples:
+        return 0.0
+    return sum(s.busy_pct for s in samples) / (100.0 * len(samples))

@@ -1,0 +1,169 @@
+"""Coroutine processes for the simulation kernel.
+
+A *process* is a Python generator that yields :class:`~repro.simhw.events.SimEvent`
+instances (or the combinators below).  Yielding suspends the process until
+the event fires; the event's value becomes the result of the ``yield``
+expression.  A process is itself a ``SimEvent`` that fires when the
+generator returns, carrying the generator's return value — so processes
+can wait on each other, which is how fork/join parallelism is written::
+
+    def worker(sim, n):
+        yield sim.timeout(n)
+        return n * 2
+
+    def parent(sim):
+        kids = [sim.process(worker(sim, i)) for i in range(4)]
+        results = yield AllOf(sim, kids)   # join
+
+Failures propagate: if a process raises, the exception is re-thrown into
+any process waiting on it (wrapped events carry the exception as value).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator
+
+from repro.errors import SimulationError
+from repro.simhw.events import SimEvent, Simulator
+
+
+class _Failure:
+    """Wrapper marking an event value as an exception to re-raise."""
+
+    __slots__ = ("exc",)
+
+    def __init__(self, exc: BaseException) -> None:
+        self.exc = exc
+
+
+class Process(SimEvent):
+    """A running coroutine; also an event that fires on completion."""
+
+    __slots__ = ("_generator", "_waiting_on", "alive")
+
+    def __init__(self, sim: Simulator, generator: Iterator[Any], name: str = "") -> None:
+        super().__init__(sim, name or getattr(generator, "__name__", "process"))
+        if not hasattr(generator, "send"):
+            raise SimulationError(
+                f"process body must be a generator, got {type(generator).__name__}"
+            )
+        self._generator = generator
+        self._waiting_on: SimEvent | None = None
+        self.alive = True
+        # Kick off on the next kernel step at the current time.
+        boot = sim.event(f"boot:{self.name}")
+        boot.callbacks.append(self._resume)
+        boot.trigger(None)
+
+    def _resume(self, event: SimEvent) -> None:
+        self._waiting_on = None
+        value = event._value
+        try:
+            if isinstance(value, _Failure):
+                target = self._generator.throw(value.exc)
+            else:
+                target = self._generator.send(value)
+        except StopIteration as stop:
+            self.alive = False
+            self.trigger(stop.value)
+            return
+        except BaseException as exc:  # noqa: BLE001 - deliberate fault plumbing
+            self.alive = False
+            self.trigger(_Failure(exc))
+            return
+        yielded = _as_event(self.sim, target)
+        self._waiting_on = yielded
+        if yielded.processed:
+            # Already fired: resume on a fresh zero-delay event so that
+            # control returns through the kernel (keeps ordering fair).
+            relay = self.sim.event("relay")
+            relay.callbacks.append(self._resume)
+            relay.trigger(yielded._value)
+        else:
+            yielded.callbacks.append(self._resume)
+
+    # Waiting on a Process re-raises its failure in the waiter:
+    def _process(self) -> None:
+        had_waiters = bool(self.callbacks)
+        super()._process()  # note: clears self.callbacks
+        if isinstance(self._value, _Failure) and not had_waiters:
+            # Nobody was waiting: surface the error instead of losing it.
+            raise self._value.exc
+
+
+def _as_event(sim: Simulator, target: Any) -> SimEvent:
+    if isinstance(target, SimEvent):
+        return target
+    raise SimulationError(
+        f"process yielded {target!r}; expected a SimEvent (use sim.timeout, "
+        "resource requests, AllOf/AnyOf, or another process)"
+    )
+
+
+def Timeout(sim: Simulator, delay: float, value: Any = None) -> SimEvent:
+    """Convenience alias for :meth:`Simulator.timeout`."""
+    return sim.timeout(delay, value)
+
+
+class AllOf(SimEvent):
+    """Fires when every child event has fired; value is the list of values.
+
+    If any child fails, the failure propagates as soon as it happens.
+    """
+
+    __slots__ = ("_pending", "_children")
+
+    def __init__(self, sim: Simulator, events: Iterable[SimEvent]) -> None:
+        super().__init__(sim, "AllOf")
+        self._children = list(events)
+        self._pending = len(self._children)
+        if self._pending == 0:
+            self.trigger([])
+            return
+        for child in self._children:
+            if child.processed:
+                self._on_child(child)
+            else:
+                child.callbacks.append(self._on_child)
+
+    def _on_child(self, child: SimEvent) -> None:
+        if self.triggered:
+            return
+        if isinstance(child._value, _Failure):
+            self.trigger(child._value)
+            return
+        self._pending -= 1
+        if self._pending == 0:
+            self.trigger([c._value for c in self._children])
+
+
+class AnyOf(SimEvent):
+    """Fires when the first child fires; value is ``(index, value)``."""
+
+    __slots__ = ("_children",)
+
+    def __init__(self, sim: Simulator, events: Iterable[SimEvent]) -> None:
+        super().__init__(sim, "AnyOf")
+        self._children = list(events)
+        if not self._children:
+            raise SimulationError("AnyOf needs at least one event")
+        for idx, child in enumerate(self._children):
+            if child.processed:
+                self._on_child(idx, child)
+                break
+            child.callbacks.append(
+                lambda ev, idx=idx: self._on_child(idx, ev)
+            )
+
+    def _on_child(self, idx: int, child: SimEvent) -> None:
+        if self.triggered:
+            return
+        if isinstance(child._value, _Failure):
+            self.trigger(child._value)
+            return
+        self.trigger((idx, child._value))
+
+
+def join_all(sim: Simulator, processes: Iterable[Process]) -> AllOf:
+    """Fork/join helper: an event firing when all processes finish."""
+    return AllOf(sim, processes)

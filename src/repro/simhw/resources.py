@@ -1,0 +1,301 @@
+"""Shared resources for the simulation kernel.
+
+The workhorse is :class:`BandwidthResource`, a *fluid-flow* (processor
+sharing) model of a shared channel: ``n`` concurrent transfers share the
+channel's total rate, each capped at an optional per-flow maximum, with
+max-min fair (water-filling) allocation.  This is exactly the behaviour
+the paper's bottleneck analysis relies on — one sequential reader gets the
+RAID-0's full 384 MB/s, two concurrent readers get half each, and a thread
+can never use more than one CPU context no matter how idle the others are.
+
+Also provided: a counting :class:`Semaphore`, a producer/consumer
+:class:`Store`, and a broadcast :class:`Gate` used for pipeline barriers.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import Any, Deque
+
+from repro.errors import SimulationError
+from repro.simhw.events import PRIORITY_URGENT, SimEvent, Simulator
+
+#: Completion slop for float accumulation, in resource units (bytes,
+#: cpu-seconds, ...).  Anything below this is considered fully delivered.
+_EPSILON = 1e-9
+#: Completion slop in *time*: a flow whose remaining transfer would take
+#: less than this many seconds is complete.  Guards against Zeno
+#: livelock — float rounding in `now + horizon` can leave a residual
+#: that shrinks asymptotically but never reaches zero.
+_TIME_EPSILON = 1e-9
+
+
+class _Flow:
+    __slots__ = ("remaining", "weight", "cap", "tag", "event", "rate")
+
+    def __init__(
+        self, amount: float, weight: float, cap: float, tag: str, event: SimEvent
+    ) -> None:
+        self.remaining = amount
+        self.weight = weight
+        self.cap = cap
+        self.tag = tag
+        self.event = event
+        self.rate = 0.0
+
+
+class BandwidthResource:
+    """A channel delivering ``total_rate`` units/second, shared fluidly.
+
+    Parameters
+    ----------
+    sim:
+        Owning simulator.
+    total_rate:
+        Aggregate capacity in units/second (bytes/s for disks and links,
+        context-seconds/s for CPU banks).
+    per_flow_cap:
+        Maximum rate a single flow may receive (default: no cap).  A CPU
+        bank sets this to 1.0 so one thread occupies at most one context.
+    name:
+        Diagnostic label.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        total_rate: float,
+        *,
+        per_flow_cap: float = math.inf,
+        name: str = "channel",
+    ) -> None:
+        if total_rate <= 0:
+            raise SimulationError(f"{name}: total_rate must be positive")
+        if per_flow_cap <= 0:
+            raise SimulationError(f"{name}: per_flow_cap must be positive")
+        self.sim = sim
+        self.total_rate = float(total_rate)
+        self.per_flow_cap = float(per_flow_cap)
+        self.name = name
+        self._flows: list[_Flow] = []
+        self._last_update = 0.0
+        self._wakeup_seq = 0
+        #: Cumulative units delivered (for throughput assertions in tests).
+        self.delivered = 0.0
+
+    # -- public API ------------------------------------------------------
+
+    def transfer(
+        self,
+        amount: float,
+        *,
+        weight: float = 1.0,
+        cap: float | None = None,
+        tag: str = "",
+    ) -> SimEvent:
+        """Move ``amount`` units through the channel; returns a completion event."""
+        if amount < 0:
+            raise SimulationError(f"{self.name}: negative transfer {amount!r}")
+        if weight <= 0:
+            raise SimulationError(f"{self.name}: weight must be positive")
+        event = self.sim.event(f"{self.name}:transfer({amount:g})")
+        if amount <= _EPSILON:
+            self.delivered += amount
+            event.trigger(amount)
+            return event
+        flow = _Flow(amount, weight, cap if cap is not None else self.per_flow_cap,
+                     tag, event)
+        self._advance()
+        self._flows.append(flow)
+        self._reallocate()
+        return event
+
+    @property
+    def active_flows(self) -> int:
+        """Number of in-flight transfers right now."""
+        return len(self._flows)
+
+    def allocated_rate(self, tag: str | None = None) -> float:
+        """Instantaneous aggregate rate, optionally restricted to one tag."""
+        self._advance()
+        return sum(f.rate for f in self._flows if tag is None or f.tag == tag)
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of total capacity currently allocated, in [0, 1]."""
+        return min(1.0, self.allocated_rate() / self.total_rate)
+
+    # -- fluid-flow mechanics ---------------------------------------------
+
+    def _advance(self) -> None:
+        """Integrate progress from the last rate change to now."""
+        now = self.sim.now
+        dt = now - self._last_update
+        self._last_update = now
+        if dt <= 0 or not self._flows:
+            return
+        finished: list[_Flow] = []
+        for flow in self._flows:
+            moved = flow.rate * dt
+            flow.remaining -= moved
+            self.delivered += moved
+            if flow.remaining <= _EPSILON or (
+                flow.rate > 0 and flow.remaining <= flow.rate * _TIME_EPSILON
+            ):
+                flow.remaining = 0.0
+                finished.append(flow)
+        if finished:
+            done = set(map(id, finished))
+            self._flows = [f for f in self._flows if id(f) not in done]
+            for flow in finished:
+                flow.event.trigger(None)
+
+    def _reallocate(self) -> None:
+        """Water-filling max-min fair shares, then schedule next completion."""
+        if not self._flows:
+            return
+        # Max-min fairness with per-flow caps: repeatedly hand uncapped
+        # flows an equal (weighted) share of the leftover capacity.
+        unallocated = self.total_rate
+        pending = list(self._flows)
+        for flow in pending:
+            flow.rate = 0.0
+        while pending and unallocated > _EPSILON:
+            total_weight = sum(f.weight for f in pending)
+            share_per_weight = unallocated / total_weight
+            capped = [f for f in pending if f.weight * share_per_weight >= f.cap - _EPSILON]
+            if not capped:
+                for flow in pending:
+                    flow.rate = flow.weight * share_per_weight
+                unallocated = 0.0
+                break
+            for flow in capped:
+                flow.rate = flow.cap
+                unallocated -= flow.cap
+            pending = [f for f in pending if f not in capped]
+        # Schedule an internal wakeup at the earliest completion. A
+        # generation counter invalidates stale wakeups after reallocation.
+        self._wakeup_seq += 1
+        seq = self._wakeup_seq
+        horizon = min(
+            (f.remaining / f.rate for f in self._flows if f.rate > 0),
+            default=math.inf,
+        )
+        if math.isinf(horizon):
+            raise SimulationError(
+                f"{self.name}: flows exist but no capacity allocated "
+                "(per_flow_cap too small or channel overcommitted?)"
+            )
+        wake = SimEvent(self.sim, f"{self.name}:wake")
+        wake.callbacks.append(lambda _ev, seq=seq: self._on_wake(seq))
+        wake._triggered = True
+        wake._value = None
+        self.sim._schedule(max(horizon, _TIME_EPSILON), wake,
+                           priority=PRIORITY_URGENT)
+
+    def _on_wake(self, seq: int) -> None:
+        if seq != self._wakeup_seq:
+            return  # superseded by a later reallocation
+        self._advance()
+        if self._flows:
+            self._reallocate()
+
+
+class Semaphore:
+    """Counting semaphore with FIFO wakeup order."""
+
+    def __init__(self, sim: Simulator, capacity: int, name: str = "sem") -> None:
+        if capacity < 1:
+            raise SimulationError(f"{name}: capacity must be >= 1")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self._in_use = 0
+        self._waiters: Deque[SimEvent] = deque()
+
+    @property
+    def in_use(self) -> int:
+        return self._in_use
+
+    def acquire(self) -> SimEvent:
+        """Returns an event that fires once a slot is held."""
+        event = self.sim.event(f"{self.name}:acquire")
+        if self._in_use < self.capacity:
+            self._in_use += 1
+            event.trigger(None)
+        else:
+            self._waiters.append(event)
+        return event
+
+    def release(self) -> None:
+        """Free one slot, waking the oldest waiter if any."""
+        if self._in_use <= 0:
+            raise SimulationError(f"{self.name}: release without acquire")
+        if self._waiters:
+            self._waiters.popleft().trigger(None)
+        else:
+            self._in_use -= 1
+
+
+class Store:
+    """Unbounded FIFO hand-off queue between producer and consumer processes."""
+
+    def __init__(self, sim: Simulator, name: str = "store") -> None:
+        self.sim = sim
+        self.name = name
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[SimEvent] = deque()
+
+    def put(self, item: Any) -> None:
+        """Deposit an item, waking the oldest blocked getter."""
+        if self._getters:
+            self._getters.popleft().trigger(item)
+        else:
+            self._items.append(item)
+
+    def get(self) -> SimEvent:
+        """An event that fires with the next available item."""
+        event = self.sim.event(f"{self.name}:get")
+        if self._items:
+            event.trigger(self._items.popleft())
+        else:
+            self._getters.append(event)
+        return event
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+
+class Gate:
+    """A reusable broadcast barrier: waiters block until `open()` is called."""
+
+    def __init__(self, sim: Simulator, name: str = "gate") -> None:
+        self.sim = sim
+        self.name = name
+        self._waiters: list[SimEvent] = []
+        self._open = False
+
+    @property
+    def is_open(self) -> bool:
+        return self._open
+
+    def wait(self) -> SimEvent:
+        """An event firing when (or immediately if) the gate is open."""
+        event = self.sim.event(f"{self.name}:wait")
+        if self._open:
+            event.trigger(None)
+        else:
+            self._waiters.append(event)
+        return event
+
+    def open(self) -> None:
+        """Open the gate, releasing every waiter."""
+        self._open = True
+        waiters, self._waiters = self._waiters, []
+        for event in waiters:
+            event.trigger(None)
+
+    def reset(self) -> None:
+        """Close the gate again for reuse."""
+        self._open = False

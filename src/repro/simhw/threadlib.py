@@ -1,0 +1,59 @@
+"""Thread-operation cost model.
+
+The paper attributes part of the small-chunk penalty to "repetitive thread
+operations": every map/ingest round spawns and tears down a wave of
+threads, burning kernel (sys) time.  This module centralizes those costs
+so the simulated runtimes charge them consistently.
+
+Costs are charged as ``sys``-class CPU occupancy on the spawning context,
+which is what collectl shows as the sys component between utilization
+spikes in Fig. 5b.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.errors import ConfigError
+from repro.simhw.cpu import CpuBank, CpuClass
+
+
+@dataclass(frozen=True)
+class ThreadCosts:
+    """Per-operation kernel costs, in seconds.
+
+    Defaults approximate pthread costs on the paper-era Xeon (spawn ~25 us,
+    join ~10 us, one barrier/synchronization episode ~5 us).
+    """
+
+    spawn_s: float = 25e-6
+    join_s: float = 10e-6
+    sync_s: float = 5e-6
+
+    def __post_init__(self) -> None:
+        for field in ("spawn_s", "join_s", "sync_s"):
+            if getattr(self, field) < 0:
+                raise ConfigError(f"ThreadCosts.{field} must be non-negative")
+
+    def wave_overhead(self, nthreads: int) -> float:
+        """Total sys seconds to spawn + join a wave of ``nthreads``."""
+        if nthreads < 0:
+            raise ConfigError("nthreads must be non-negative")
+        return nthreads * (self.spawn_s + self.join_s)
+
+
+def charge_spawn(cpu: CpuBank, costs: ThreadCosts, nthreads: int) -> Iterator:
+    """Charge the sys time for spawning a wave of threads (serially, on
+    the coordinating context — pthread_create is called in a loop)."""
+    yield from cpu.occupy(costs.spawn_s * nthreads, CpuClass.SYS)
+
+
+def charge_join(cpu: CpuBank, costs: ThreadCosts, nthreads: int) -> Iterator:
+    """Charge the sys time for joining a wave of threads."""
+    yield from cpu.occupy(costs.join_s * nthreads, CpuClass.SYS)
+
+
+def charge_sync(cpu: CpuBank, costs: ThreadCosts, episodes: int = 1) -> Iterator:
+    """Charge synchronization (lock/barrier) kernel time."""
+    yield from cpu.occupy(costs.sync_s * episodes, CpuClass.SYS)

@@ -1,0 +1,73 @@
+"""Simulated OpenMP sort baseline (Fig. 3).
+
+Sequential ingest, **single-threaded** parse into key/value pairs, then
+the fully parallel multiway mergesort.  The compute (sort) phase is far
+shorter than scale-up MapReduce's merge phase, but the serial parse makes
+total time-to-result slower — the paper's argument for why the MapReduce
+abstraction wins on scale-up despite a slower compute phase.
+"""
+
+from __future__ import annotations
+
+from repro.simhw.events import Simulator
+from repro.simhw.machine import ScaleUpMachine, paper_machine
+from repro.simrt.costmodel import AppCostProfile
+from repro.simrt.phases import PhaseLog, SimJobResult, ingest, merge_pway
+from repro.core.result import PhaseTimings
+
+
+def simulate_openmp_sort(
+    profile: AppCostProfile,
+    input_bytes: float,
+    monitor_interval: float = 1.0,
+    machine: ScaleUpMachine | None = None,
+) -> SimJobResult:
+    """Ingest -> 1-thread parse -> parallel sort, on the simulated testbed."""
+    if machine is None:
+        sim = Simulator()
+        machine = paper_machine(sim, monitor_interval=monitor_interval)
+    else:
+        sim = machine.sim
+    log = PhaseLog(machine)
+
+    def job():
+        t0 = sim.now
+        yield from ingest(machine, input_bytes, profile)
+        log.record("read", t0)
+
+        # Single-threaded parse: one busy context for the whole input.
+        t0 = sim.now
+        yield from machine.compute(input_bytes / profile.parse_bw_single)
+        log.record("parse", t0)
+
+        # The parallel sort: block sorts + one p-way pass (what
+        # __gnu_parallel::sort / OpenMP's sort does).
+        t0 = sim.now
+        yield from merge_pway(
+            machine, profile.intermediate_bytes(input_bytes), profile
+        )
+        log.record("sort", t0)
+
+    machine.monitor.start()
+    proc = sim.process(job(), name="openmp-sim")
+    proc.callbacks.append(lambda _ev: machine.monitor.stop())
+    sim.run()
+
+    timings = PhaseTimings(
+        read_s=log.duration("read"),
+        map_s=log.duration("parse"),  # the parse fills the map column
+        reduce_s=0.0,
+        merge_s=log.duration("sort"),
+        total_s=log.spans[-1].end,
+        read_map_combined=False,
+    )
+    return SimJobResult(
+        app=profile.name,
+        runtime="openmp",
+        input_bytes=input_bytes,
+        chunk_bytes=None,
+        timings=timings,
+        samples=machine.monitor.samples,
+        spans=log.spans,
+        extras={"parse_threads": 1},
+    )

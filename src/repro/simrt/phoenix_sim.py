@@ -1,0 +1,95 @@
+"""Simulated baseline (Phoenix) job at paper scale.
+
+Phases run strictly in sequence — ingest everything, map wave, reduce,
+pairwise merge — reproducing Fig. 1 (sort) and Fig. 5a (word count) and
+the "none" rows of Table II.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.result import PhaseTimings
+from repro.simhw.cpu import CpuClass
+from repro.simhw.events import Simulator
+from repro.simhw.machine import ScaleUpMachine, paper_machine
+from repro.simrt.costmodel import AppCostProfile
+from repro.simrt.phases import (
+    PhaseLog,
+    SimJobResult,
+    ingest,
+    map_wave,
+    merge_pairwise,
+    merge_pway,
+    reduce_phase,
+)
+
+
+def simulate_phoenix_job(
+    profile: AppCostProfile,
+    input_bytes: float,
+    monitor_interval: float = 1.0,
+    machine: ScaleUpMachine | None = None,
+    source: Any = None,
+    merge_algorithm: str = "pairwise",
+) -> SimJobResult:
+    """Run the baseline job on the (default: paper) simulated machine.
+
+    ``source`` overrides the ingest device (e.g. an HDFS reader);
+    ``merge_algorithm`` may be set to ``"pway"`` for the merge ablation.
+    """
+    if machine is None:
+        sim = Simulator()
+        machine = paper_machine(sim, monitor_interval=monitor_interval)
+    else:
+        sim = machine.sim
+    log = PhaseLog(machine)
+
+    def job():
+        t0 = sim.now
+        yield from ingest(machine, input_bytes, profile, source)
+        log.record("read", t0)
+
+        t0 = sim.now
+        yield from map_wave(machine, input_bytes, profile)
+        log.record("map", t0)
+
+        t0 = sim.now
+        yield from reduce_phase(machine, input_bytes, profile, map_rounds=1)
+        log.record("reduce", t0)
+
+        t0 = sim.now
+        inter = profile.intermediate_bytes(input_bytes)
+        if merge_algorithm == "pairwise":
+            yield from merge_pairwise(machine, inter, profile)
+        else:
+            yield from merge_pway(machine, inter, profile)
+        log.record("merge", t0)
+
+        t0 = sim.now
+        yield from machine.compute(profile.setup_baseline_s, CpuClass.SYS)
+        log.record("cleanup", t0)
+
+    machine.monitor.start()
+    proc = sim.process(job(), name="phoenix-sim")
+    proc.callbacks.append(lambda _ev: machine.monitor.stop())
+    sim.run()
+
+    timings = PhaseTimings(
+        read_s=log.duration("read"),
+        map_s=log.duration("map"),
+        reduce_s=log.duration("reduce"),
+        merge_s=log.duration("merge"),
+        total_s=log.spans[-1].end,
+        read_map_combined=False,
+    )
+    return SimJobResult(
+        app=profile.name,
+        runtime="phoenix",
+        input_bytes=input_bytes,
+        chunk_bytes=None,
+        timings=timings,
+        samples=machine.monitor.samples,
+        spans=log.spans,
+        extras={"merge_algorithm": merge_algorithm},
+    )

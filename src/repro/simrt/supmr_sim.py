@@ -1,0 +1,135 @@
+"""Simulated SupMR job at paper scale.
+
+The n+1-round ingest chunk pipeline over the simulated machine: the
+first chunk ingests serially, then each round overlaps the ingest of
+chunk i+1 with a full map wave on chunk i (plus the calibrated per-round
+overhead), a final map wave handles the last chunk, and the job finishes
+with reduce (charged the persistent-container round penalty) and the
+p-way merge.  Reproduces the chunked rows of Table II and Figs. 5b/5c/6.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.result import PhaseTimings, RoundTiming
+from repro.simhw.cpu import CpuClass
+from repro.simhw.events import Simulator
+from repro.simhw.machine import ScaleUpMachine, paper_machine
+from repro.simhw.process import AllOf
+from repro.simrt.costmodel import AppCostProfile, chunk_sizes
+from repro.simrt.phases import (
+    PhaseLog,
+    SimJobResult,
+    ingest,
+    map_wave,
+    merge_pairwise,
+    merge_pway,
+    reduce_phase,
+)
+
+
+def simulate_supmr_job(
+    profile: AppCostProfile,
+    input_bytes: float,
+    chunk_bytes: float,
+    monitor_interval: float = 1.0,
+    machine: ScaleUpMachine | None = None,
+    source: Any = None,
+    merge_algorithm: str = "pway",
+    pipelined: bool = True,
+) -> SimJobResult:
+    """Run the SupMR pipeline on the (default: paper) simulated machine.
+
+    ``pipelined=False`` runs the identical round structure without
+    overlap (ingest then map per round) — the pipeline-ablation knob.
+    """
+    if machine is None:
+        sim = Simulator()
+        machine = paper_machine(sim, monitor_interval=monitor_interval)
+    else:
+        sim = machine.sim
+    log = PhaseLog(machine)
+    sizes = chunk_sizes(input_bytes, chunk_bytes)
+    rounds: list[RoundTiming] = []
+
+    def job():
+        t0 = sim.now
+        # Round 0: serial ingest of the first chunk.
+        r0 = sim.now
+        yield from ingest(machine, sizes[0], profile, source)
+        rounds.append(RoundTiming(0, sim.now - r0, 0.0, int(sizes[0])))
+
+        # Overlapped rounds: ingest chunk i while mapping chunk i-1.
+        for i in range(1, len(sizes)):
+            r0 = sim.now
+            if pipelined:
+                ing = sim.process(
+                    ingest(machine, sizes[i], profile, source), name=f"ingest{i}"
+                )
+                mw = sim.process(
+                    map_wave(machine, sizes[i - 1], profile), name=f"mapwave{i-1}"
+                )
+                yield AllOf(sim, [ing, mw])
+            else:
+                # Ablation: same round structure, no overlap.
+                yield from map_wave(machine, sizes[i - 1], profile)
+                yield from ingest(machine, sizes[i], profile, source)
+            yield from machine.compute(profile.round_overhead_s, CpuClass.SYS)
+            rounds.append(
+                RoundTiming(i, sim.now - r0, sim.now - r0, int(sizes[i]))
+            )
+
+        # Final round: map the last chunk.
+        r0 = sim.now
+        yield from map_wave(machine, sizes[-1], profile)
+        rounds.append(RoundTiming(len(sizes), 0.0, sim.now - r0, 0))
+        log.record("read_map", t0)
+
+        t0 = sim.now
+        yield from reduce_phase(
+            machine, input_bytes, profile, map_rounds=len(sizes),
+            chunk_bytes=chunk_bytes,
+        )
+        log.record("reduce", t0)
+
+        t0 = sim.now
+        inter = profile.intermediate_bytes(input_bytes)
+        if merge_algorithm == "pway":
+            yield from merge_pway(machine, inter, profile)
+        else:
+            yield from merge_pairwise(machine, inter, profile)
+        log.record("merge", t0)
+
+        t0 = sim.now
+        yield from machine.compute(profile.setup_supmr_s, CpuClass.SYS)
+        log.record("cleanup", t0)
+
+    machine.monitor.start()
+    proc = sim.process(job(), name="supmr-sim")
+    proc.callbacks.append(lambda _ev: machine.monitor.stop())
+    sim.run()
+
+    timings = PhaseTimings(
+        read_s=log.duration("read_map"),
+        map_s=0.0,
+        reduce_s=log.duration("reduce"),
+        merge_s=log.duration("merge"),
+        total_s=log.spans[-1].end,
+        read_map_combined=True,
+        rounds=tuple(rounds),
+    )
+    return SimJobResult(
+        app=profile.name,
+        runtime="supmr",
+        input_bytes=input_bytes,
+        chunk_bytes=chunk_bytes,
+        timings=timings,
+        samples=machine.monitor.samples,
+        spans=log.spans,
+        extras={
+            "merge_algorithm": merge_algorithm,
+            "n_chunks": len(sizes),
+            "pipelined": pipelined,
+        },
+    )

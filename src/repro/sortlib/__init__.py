@@ -1,0 +1,43 @@
+"""Sorting and merging algorithms.
+
+The paper contrasts two merge strategies for the MapReduce merge phase:
+
+* **Iterative 2-way merge rounds** (`repro.sortlib.merge_sort`) — the
+  original Phoenix++ behaviour: sorted runs are merged pairwise, halving
+  the number of active threads each round and re-scanning every key once
+  per round.  This is the "step curve" bottleneck in the paper's Fig. 1.
+* **p-way merge** (`repro.sortlib.pway`) — Salzberg's algorithm as used
+  by ``__gnu_parallel::sort``: all N runs are merged in a *single pass*
+  by p processors, each producing a disjoint range of the output found by
+  multisequence selection (`repro.sortlib.multiway_partition`).
+
+`repro.sortlib.parallel_sort` composes block sorting with the p-way merge
+into a drop-in equivalent of OpenMP's parallel sort, and
+`repro.sortlib.samplesort` provides the classic alternative as an
+extension/ablation.
+"""
+
+from repro.sortlib.kway import kway_merge
+from repro.sortlib.merge_sort import (
+    MergeRound,
+    merge_pair,
+    merge_rounds_schedule,
+    pairwise_merge_sort,
+)
+from repro.sortlib.multiway_partition import multiway_partition, multiway_select
+from repro.sortlib.parallel_sort import parallel_sort
+from repro.sortlib.pway import pway_merge
+from repro.sortlib.samplesort import sample_sort
+
+__all__ = [
+    "merge_pair",
+    "pairwise_merge_sort",
+    "merge_rounds_schedule",
+    "MergeRound",
+    "kway_merge",
+    "multiway_select",
+    "multiway_partition",
+    "pway_merge",
+    "parallel_sort",
+    "sample_sort",
+]

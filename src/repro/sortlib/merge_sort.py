@@ -1,0 +1,107 @@
+"""Iterative pairwise (2-way) merging — the Phoenix++ baseline.
+
+Given N sorted runs, the baseline merges them pairwise: round 1 produces
+ceil(N/2) runs, round 2 ceil(N/4), and so on until one remains.  Every
+round re-scans (almost) every key, so the total work is O(total * rounds)
+comparisons — the inefficiency the paper's merge optimization removes.
+
+:func:`merge_rounds_schedule` exposes the round structure (how many
+merges, how many bytes scanned, how many workers can be active) without
+touching data; the simulated runtime uses it to model the step-down
+utilization curve, and tests use it to check the cost accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+
+KeyFn = Callable[[Any], Any]
+
+
+def _identity(x: Any) -> Any:
+    return x
+
+
+def merge_pair(
+    left: Sequence[Any], right: Sequence[Any], key: KeyFn = _identity
+) -> list[Any]:
+    """Merge two sorted sequences into a new sorted list (stable: ties
+    prefer the left run, matching list-merge semantics)."""
+    out: list[Any] = []
+    i = j = 0
+    nl, nr = len(left), len(right)
+    while i < nl and j < nr:
+        if key(right[j]) < key(left[i]):
+            out.append(right[j])
+            j += 1
+        else:
+            out.append(left[i])
+            i += 1
+    if i < nl:
+        out.extend(left[i:])
+    if j < nr:
+        out.extend(right[j:])
+    return out
+
+
+def pairwise_merge_sort(
+    runs: Sequence[Sequence[Any]], key: KeyFn = _identity
+) -> tuple[list[Any], int]:
+    """Merge sorted ``runs`` with iterative 2-way rounds.
+
+    Returns ``(merged, rounds)`` where ``rounds`` is the number of merge
+    rounds executed (0 for zero or one input run).
+    """
+    current: list[list[Any]] = [list(r) for r in runs]
+    rounds = 0
+    while len(current) > 1:
+        rounds += 1
+        nxt: list[list[Any]] = []
+        for i in range(0, len(current) - 1, 2):
+            nxt.append(merge_pair(current[i], current[i + 1], key))
+        if len(current) % 2 == 1:
+            nxt.append(current[-1])
+        current = nxt
+    return (current[0] if current else []), rounds
+
+
+@dataclass(frozen=True)
+class MergeRound:
+    """Cost-model view of one pairwise round."""
+
+    index: int
+    merges: int  # concurrent 2-way merges => usable workers
+    runs_in: int
+    items_scanned: int  # items touched this round (items in merged pairs)
+
+
+def merge_rounds_schedule(run_lengths: Sequence[int]) -> list[MergeRound]:
+    """The round-by-round schedule pairwise merging would follow.
+
+    Only lengths are needed: each round pairs adjacent runs; a leftover
+    odd run is carried to the next round unscanned.
+    """
+    lengths = [int(n) for n in run_lengths if n >= 0]
+    if any(n < 0 for n in run_lengths):
+        raise ValueError("run lengths must be non-negative")
+    schedule: list[MergeRound] = []
+    idx = 0
+    while len(lengths) > 1:
+        idx += 1
+        merges = len(lengths) // 2
+        scanned = sum(lengths[: 2 * merges])
+        nxt = [lengths[i] + lengths[i + 1] for i in range(0, 2 * merges, 2)]
+        if len(lengths) % 2 == 1:
+            nxt.append(lengths[-1])
+        schedule.append(
+            MergeRound(index=idx, merges=merges, runs_in=len(lengths),
+                       items_scanned=scanned)
+        )
+        lengths = nxt
+    return schedule
+
+
+def total_items_scanned(run_lengths: Sequence[int]) -> int:
+    """Total item touches across all pairwise rounds (the re-scan cost)."""
+    return sum(r.items_scanned for r in merge_rounds_schedule(run_lengths))

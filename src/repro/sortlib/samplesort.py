@@ -1,0 +1,79 @@
+"""Sample sort — ablation alternative to multiway mergesort.
+
+Included because the paper's merge discussion ("scale-out Hadoop can be
+modified to use custom sort functions") invites comparing single-pass
+parallel sorts.  Sample sort picks p-1 splitters from a random sample,
+buckets the input, and sorts buckets independently; unlike multiway
+mergesort its bucket sizes are only *probabilistically* balanced, which
+the ablation bench quantifies.
+"""
+
+from __future__ import annotations
+
+import bisect
+import random
+from typing import Any, Callable, Sequence
+
+KeyFn = Callable[[Any], Any]
+
+
+def _identity(x: Any) -> Any:
+    return x
+
+
+def choose_splitters(
+    items: Sequence[Any],
+    parts: int,
+    key: KeyFn = _identity,
+    oversample: int = 8,
+    rng: random.Random | None = None,
+) -> list[Any]:
+    """p-1 splitter *keys* from an oversampled random sample."""
+    if parts < 1:
+        raise ValueError("parts must be >= 1")
+    if parts == 1 or not items:
+        return []
+    rng = rng or random.Random(0x5A17)
+    sample_size = min(len(items), parts * oversample)
+    sample = sorted((key(x) for x in rng.sample(list(items), sample_size)))
+    return [sample[(t * sample_size) // parts] for t in range(1, parts)]
+
+
+def sample_sort(
+    items: Sequence[Any],
+    parallelism: int,
+    key: KeyFn = _identity,
+    rng: random.Random | None = None,
+) -> list[Any]:
+    """Sort via splitter bucketing; equals ``sorted(items, key=key)``.
+
+    Not stable across buckets for keys equal to a splitter; tests compare
+    key order only (the MapReduce merge phase orders by key).
+    """
+    if parallelism < 1:
+        raise ValueError("parallelism must be >= 1")
+    if len(items) <= 1:
+        return list(items)
+    splitters = choose_splitters(items, parallelism, key, rng=rng)
+    buckets: list[list[Any]] = [[] for _ in range(len(splitters) + 1)]
+    for x in items:
+        buckets[bisect.bisect_right(splitters, key(x))].append(x)
+    out: list[Any] = []
+    for bucket in buckets:
+        bucket.sort(key=key)
+        out.extend(bucket)
+    return out
+
+
+def bucket_sizes(
+    items: Sequence[Any],
+    parallelism: int,
+    key: KeyFn = _identity,
+    rng: random.Random | None = None,
+) -> list[int]:
+    """Bucket occupancy for the ablation bench (load-balance metric)."""
+    splitters = choose_splitters(items, parallelism, key, rng=rng)
+    sizes = [0] * (len(splitters) + 1)
+    for x in items:
+        sizes[bisect.bisect_right(splitters, key(x))] += 1
+    return sizes

@@ -1,0 +1,40 @@
+"""Chunk-size tuning — the paper's future work, implemented.
+
+Section VIII: "Integrating functionality for determining (1) the optimal
+chunk size and (2) the optimal runtime parameters could improve the
+ingest/map phases but are left as future work."  Section III.A.2 sketches
+the shape: "design components that factor in the expected performance and
+the workload characteristics (i.e. a feedback loop)".
+
+Two tuners:
+
+* :mod:`repro.tuning.model` — offline: predict the pipelined read+map
+  time from the calibrated cost model and minimize it analytically
+  (closed form c* = sqrt(overhead x input x non-bottleneck-rate)) with a
+  numeric refinement;
+* :mod:`repro.tuning.feedback` — online: estimate ingest/map rates from
+  observed rounds and re-solve for the next chunk size while the job
+  runs, emitting the variable-size schedule that
+  :func:`repro.chunking.variable.plan_variable_chunks` consumes.
+
+:mod:`repro.tuning.adaptive_sim` drives the feedback tuner against the
+simulated testbed to quantify what the future work would have bought.
+"""
+
+from repro.tuning.adaptive_sim import simulate_supmr_adaptive
+from repro.tuning.feedback import FeedbackTuner
+from repro.tuning.model import (
+    TuningResult,
+    optimal_chunk_size,
+    predict_read_map_s,
+    predict_total_s,
+)
+
+__all__ = [
+    "predict_read_map_s",
+    "predict_total_s",
+    "optimal_chunk_size",
+    "TuningResult",
+    "FeedbackTuner",
+    "simulate_supmr_adaptive",
+]

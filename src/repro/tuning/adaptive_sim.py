@@ -1,0 +1,133 @@
+"""Adaptive SupMR on the simulated testbed: the feedback loop, closed.
+
+Identical to :func:`repro.simrt.supmr_sim.simulate_supmr_job` except the
+chunk size is chosen round-by-round by a :class:`FeedbackTuner` from the
+timings the simulation itself produces — i.e. the full future-work
+system: measure, estimate, re-size, repeat.
+"""
+
+from __future__ import annotations
+
+from repro.core.result import PhaseTimings, RoundTiming
+from repro.simhw.cpu import CpuClass
+from repro.simhw.events import Simulator
+from repro.simhw.machine import ScaleUpMachine, paper_machine
+from repro.simhw.process import AllOf
+from repro.simrt.costmodel import AppCostProfile
+from repro.simrt.phases import (
+    PhaseLog,
+    SimJobResult,
+    ingest,
+    map_wave,
+    merge_pway,
+    reduce_phase,
+)
+from repro.tuning.feedback import FeedbackTuner
+
+
+def simulate_supmr_adaptive(
+    profile: AppCostProfile,
+    input_bytes: float,
+    tuner: FeedbackTuner,
+    monitor_interval: float = 1.0,
+    machine: ScaleUpMachine | None = None,
+) -> SimJobResult:
+    """Run the pipeline with the tuner choosing every chunk size."""
+    if machine is None:
+        sim = Simulator()
+        machine = paper_machine(sim, monitor_interval=monitor_interval)
+    else:
+        sim = machine.sim
+    log = PhaseLog(machine)
+    rounds: list[RoundTiming] = []
+    sizes_used: list[float] = []
+
+    def job():
+        t0 = sim.now
+        remaining = input_bytes
+
+        # Round 0: serial first ingest at the tuner's initial size.
+        size = min(tuner.next_chunk_size(remaining), remaining)
+        r0 = sim.now
+        yield from ingest(machine, size, profile)
+        ingest_s = sim.now - r0
+        tuner.record_round(size, ingest_s)
+        rounds.append(RoundTiming(0, ingest_s, 0.0, int(size)))
+        current = size
+        remaining -= size
+
+        index = 0
+        while remaining > 0:
+            index += 1
+            nxt = min(tuner.next_chunk_size(remaining), remaining)
+            sizes_used.append(nxt)
+            r0 = sim.now
+            ing = sim.process(ingest(machine, nxt, profile),
+                              name=f"ingest{index}")
+            mw = sim.process(map_wave(machine, current, profile),
+                             name=f"map{index}")
+            yield AllOf(sim, [ing, mw])
+            span = sim.now - r0
+            yield from machine.compute(profile.round_overhead_s, CpuClass.SYS)
+            # The legs overlapped; report the modelled leg times to the
+            # tuner the way a real runtime would measure them.
+            tuner.record_round(
+                ingest_bytes=nxt,
+                ingest_s=nxt / profile.ingest_bw,
+                map_bytes=current,
+                map_s=profile.map_wall_s(current, machine.spec.contexts),
+            )
+            rounds.append(RoundTiming(index, span, span, int(nxt)))
+            current = nxt
+            remaining -= nxt
+
+        r0 = sim.now
+        yield from map_wave(machine, current, profile)
+        rounds.append(RoundTiming(index + 1, 0.0, sim.now - r0, 0))
+        log.record("read_map", t0)
+
+        t0 = sim.now
+        mean_chunk = (sum(sizes_used) / len(sizes_used)) if sizes_used else None
+        yield from reduce_phase(machine, input_bytes, profile,
+                                map_rounds=len(rounds) - 1,
+                                chunk_bytes=mean_chunk)
+        log.record("reduce", t0)
+
+        t0 = sim.now
+        yield from merge_pway(machine, profile.intermediate_bytes(input_bytes),
+                              profile)
+        log.record("merge", t0)
+
+        t0 = sim.now
+        yield from machine.compute(profile.setup_supmr_s, CpuClass.SYS)
+        log.record("cleanup", t0)
+
+    machine.monitor.start()
+    proc = sim.process(job(), name="supmr-adaptive")
+    proc.callbacks.append(lambda _ev: machine.monitor.stop())
+    sim.run()
+
+    timings = PhaseTimings(
+        read_s=log.duration("read_map"),
+        map_s=0.0,
+        reduce_s=log.duration("reduce"),
+        merge_s=log.duration("merge"),
+        total_s=log.spans[-1].end,
+        read_map_combined=True,
+        rounds=tuple(rounds),
+    )
+    return SimJobResult(
+        app=profile.name,
+        runtime="supmr-adaptive",
+        input_bytes=input_bytes,
+        chunk_bytes=None,
+        timings=timings,
+        samples=machine.monitor.samples,
+        spans=log.spans,
+        extras={
+            "n_chunks": len(rounds) - 1,
+            "chunk_sizes": [r.chunk_bytes for r in rounds[:-1]],
+            "final_estimate_ingest_bw": tuner.ingest_bw_estimate,
+            "final_estimate_map_bw": tuner.map_bw_estimate,
+        },
+    )

@@ -1,0 +1,138 @@
+"""Online feedback tuner: measure rounds, re-solve the chunk size.
+
+The loop the paper sketches in section III.A.2: the runtime "lacks the
+information necessary to make a good decision" up front, but every
+pipeline round *produces* that information — the observed ingest and map
+leg durations.  The tuner keeps exponentially weighted estimates of the
+effective ingest bandwidth and aggregate map rate, and before each round
+re-solves the closed form c* = sqrt(o * remaining * non-bottleneck-rate)
+for the bytes still to ingest.
+
+The emitted sizes form a schedule consumable by
+:func:`repro.chunking.variable.plan_variable_chunks` (offline use) or
+are fed round-by-round by :func:`repro.tuning.adaptive_sim.simulate_supmr_adaptive`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+
+@dataclass
+class _RateEstimate:
+    """EWMA over observed (bytes, seconds) pairs."""
+
+    alpha: float
+    rate: float | None = None
+
+    def update(self, nbytes: float, seconds: float) -> None:
+        if seconds <= 0 or nbytes <= 0:
+            return
+        observed = nbytes / seconds
+        if self.rate is None:
+            self.rate = observed
+        else:
+            self.rate = self.alpha * observed + (1 - self.alpha) * self.rate
+
+
+class FeedbackTuner:
+    """Chooses the next ingest chunk size from observed round timings."""
+
+    def __init__(
+        self,
+        initial_chunk_bytes: float,
+        round_overhead_s: float = 12.5e-3,
+        min_chunk_bytes: float = 1e6,
+        max_chunk_bytes: float = 100e9,
+        max_growth: float = 2.0,
+        alpha: float = 0.4,
+    ) -> None:
+        if initial_chunk_bytes < min_chunk_bytes:
+            raise ConfigError("initial chunk below the minimum")
+        if not 0 < alpha <= 1:
+            raise ConfigError("alpha must be in (0, 1]")
+        if max_growth <= 1:
+            raise ConfigError("max_growth must exceed 1")
+        if round_overhead_s < 0:
+            raise ConfigError("round_overhead_s must be non-negative")
+        self.round_overhead_s = round_overhead_s
+        self.min_chunk_bytes = float(min_chunk_bytes)
+        self.max_chunk_bytes = float(max_chunk_bytes)
+        self.max_growth = max_growth
+        self._current = float(initial_chunk_bytes)
+        self._ingest = _RateEstimate(alpha)
+        self._map = _RateEstimate(alpha)
+        #: (chunk_bytes, ingest_s, map_s) per observed round, for reports.
+        self.history: list[tuple[float, float, float]] = []
+
+    # -- observation -------------------------------------------------------
+
+    def record_round(
+        self,
+        ingest_bytes: float,
+        ingest_s: float,
+        map_bytes: float = 0.0,
+        map_s: float = 0.0,
+    ) -> None:
+        """Feed one round's measured legs (map legs may be absent in
+        round 0 and the ingest leg in the final round)."""
+        self._ingest.update(ingest_bytes, ingest_s)
+        self._map.update(map_bytes, map_s)
+        self.history.append((ingest_bytes, ingest_s, map_s))
+
+    @property
+    def ingest_bw_estimate(self) -> float | None:
+        return self._ingest.rate
+
+    @property
+    def map_bw_estimate(self) -> float | None:
+        """Aggregate (all contexts) map throughput estimate."""
+        return self._map.rate
+
+    # -- decision -----------------------------------------------------------
+
+    def next_chunk_size(self, remaining_bytes: float) -> int:
+        """Size for the next ingest chunk.
+
+        Until both rates are observed, the tuner holds its current size.
+        Growth per step is bounded by ``max_growth`` so one noisy round
+        cannot triple the chunk (shrinking is unbounded: a too-large
+        chunk costs real time, a too-small one only overhead).
+        """
+        if remaining_bytes <= 0:
+            raise ConfigError("no bytes remaining to plan")
+        r_in, r_map = self._ingest.rate, self._map.rate
+        if r_in and r_map and self.round_overhead_s > 0:
+            other = max(r_in, r_map)
+            target = math.sqrt(self.round_overhead_s * remaining_bytes * other)
+            target = min(target, self._current * self.max_growth)
+        else:
+            target = self._current
+        target = min(max(target, self.min_chunk_bytes), self.max_chunk_bytes,
+                     remaining_bytes)
+        self._current = target
+        return int(target)
+
+    def schedule(self, input_bytes: float, max_rounds: int = 10_000) -> list[int]:
+        """Plan a whole schedule offline with the current estimates.
+
+        Useful once a few rounds have been observed (or estimates seeded
+        from a previous job on the same system): replays the decision
+        rule over the full input without executing it.
+        """
+        remaining = float(input_bytes)
+        saved_current = self._current
+        sizes: list[int] = []
+        while remaining > 0 and len(sizes) < max_rounds:
+            size = self.next_chunk_size(remaining)
+            sizes.append(size)
+            remaining -= size
+        self._current = saved_current
+        if remaining > 0:
+            raise ConfigError(
+                f"schedule did not converge within {max_rounds} rounds"
+            )
+        return sizes

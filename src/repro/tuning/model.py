@@ -1,0 +1,144 @@
+"""Model-based (offline) chunk-size optimization.
+
+The pipelined read+map time for chunk size ``c`` over input ``N`` is
+
+    T(c) = c/r_in  +  sum over overlapped rounds of (max(c/r_in, c/r_map) + o)
+         + c_last/r_map
+
+with r_in the effective ingest rate, r_map the aggregate map rate and
+``o`` the fixed per-round overhead.  Writing b = min(r_in, r_map) for the
+bottleneck and a = max(r_in, r_map) for the other rate, this is
+approximately
+
+    T(c) ~ N/b + o*N/c + c/a
+
+whose minimum is the closed form  **c* = sqrt(o * N * a)** — big enough
+to amortize round overhead, small enough to keep the serial first ingest
+(or the unoverlapped map tail) cheap.  ``optimal_chunk_size`` returns the
+closed form refined by a golden-section search over the exact round-level
+prediction (which keeps remainder-chunk effects the approximation drops).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.simrt.costmodel import AppCostProfile, chunk_sizes
+
+_GOLDEN = (math.sqrt(5) - 1) / 2
+
+
+def predict_read_map_s(
+    profile: AppCostProfile,
+    input_bytes: float,
+    chunk_bytes: float,
+    contexts: int = 32,
+) -> float:
+    """Exact round-level prediction of the pipelined read+map wall-clock."""
+    if input_bytes <= 0:
+        raise ConfigError("input_bytes must be positive")
+    if chunk_bytes <= 0:
+        raise ConfigError("chunk_bytes must be positive")
+    sizes = chunk_sizes(input_bytes, chunk_bytes)
+    total = sizes[0] / profile.ingest_bw
+    for i in range(1, len(sizes)):
+        ingest = sizes[i] / profile.ingest_bw
+        map_prev = profile.map_wall_s(sizes[i - 1], contexts)
+        total += max(ingest, map_prev) + profile.round_overhead_s
+    total += profile.map_wall_s(sizes[-1], contexts)
+    return total
+
+
+def predict_total_s(
+    profile: AppCostProfile,
+    input_bytes: float,
+    chunk_bytes: float,
+    contexts: int = 32,
+) -> float:
+    """Predicted job total: pipelined read+map + reduce + p-way merge."""
+    n_rounds = len(chunk_sizes(input_bytes, chunk_bytes))
+    read_map = predict_read_map_s(profile, input_bytes, chunk_bytes, contexts)
+    reduce_s = profile.reduce_wall_s(input_bytes, n_rounds, chunk_bytes)
+    inter = profile.intermediate_bytes(input_bytes)
+    merge_s = (inter / contexts / profile.sort_block_bw
+               + inter / (contexts * profile.pway_scan_bw(contexts)))
+    return read_map + reduce_s + merge_s + profile.setup_supmr_s
+
+
+@dataclass(frozen=True)
+class TuningResult:
+    """Outcome of the offline optimizer."""
+
+    chunk_bytes: int
+    predicted_read_map_s: float
+    closed_form_bytes: float
+    n_chunks: int
+    baseline_read_map_s: float  # no pipelining: ingest-all + map-all
+
+    @property
+    def predicted_speedup(self) -> float:
+        return self.baseline_read_map_s / self.predicted_read_map_s
+
+
+def closed_form_chunk_bytes(
+    profile: AppCostProfile, input_bytes: float, contexts: int = 32
+) -> float:
+    """c* = sqrt(o * N * non-bottleneck-rate) (module docstring)."""
+    map_agg = profile.map_bw_per_ctx * contexts
+    other = max(profile.ingest_bw, map_agg)
+    if profile.round_overhead_s <= 0:
+        # No overhead: arbitrarily small chunks are optimal; floor at 1 MB.
+        return 1e6
+    return math.sqrt(profile.round_overhead_s * input_bytes * other)
+
+
+def optimal_chunk_size(
+    profile: AppCostProfile,
+    input_bytes: float,
+    contexts: int = 32,
+    lo: float = 1e6,
+    hi: float | None = None,
+    iterations: int = 60,
+) -> TuningResult:
+    """Minimize the exact prediction by golden-section around c*.
+
+    The exact T(c) is piecewise (chunk counts are integral) so the search
+    runs on log(c) over [lo, hi] seeded to bracket the closed form.
+    """
+    if hi is None:
+        hi = input_bytes
+    if not 0 < lo < hi:
+        raise ConfigError(f"need 0 < lo < hi, got [{lo}, {hi}]")
+
+    def cost(log_c: float) -> float:
+        return predict_read_map_s(profile, input_bytes, math.exp(log_c),
+                                  contexts)
+
+    a, b = math.log(lo), math.log(hi)
+    c1 = b - _GOLDEN * (b - a)
+    c2 = a + _GOLDEN * (b - a)
+    f1, f2 = cost(c1), cost(c2)
+    for _ in range(iterations):
+        if f1 <= f2:
+            b, c2, f2 = c2, c1, f1
+            c1 = b - _GOLDEN * (b - a)
+            f1 = cost(c1)
+        else:
+            a, c1, f1 = c1, c2, f2
+            c2 = a + _GOLDEN * (b - a)
+            f2 = cost(c2)
+    best = math.exp((a + b) / 2)
+    best_t = predict_read_map_s(profile, input_bytes, best, contexts)
+
+    baseline = (input_bytes / profile.ingest_bw
+                + profile.map_wall_s(input_bytes, contexts))
+    return TuningResult(
+        chunk_bytes=int(best),
+        predicted_read_map_s=best_t,
+        closed_form_bytes=closed_form_chunk_bytes(profile, input_bytes,
+                                                  contexts),
+        n_chunks=len(chunk_sizes(input_bytes, best)),
+        baseline_read_map_s=baseline,
+    )

@@ -1,0 +1,6 @@
+"""Small shared utilities (stable hashing, formatting)."""
+
+from repro.util.hashing import stable_hash
+from repro.util.units import fmt_bytes, fmt_seconds, parse_size
+
+__all__ = ["stable_hash", "fmt_bytes", "fmt_seconds", "parse_size"]

@@ -1,0 +1,51 @@
+"""Deterministic hashing for partitioning.
+
+CPython randomizes ``hash(str)``/``hash(bytes)`` per process, which would
+make reducer partitions (and therefore per-partition test expectations)
+unstable across runs.  ``stable_hash`` is a process-independent FNV-1a
+over a canonical byte encoding of the common key types.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+_FNV_OFFSET = 0xCBF29CE484222325
+_FNV_PRIME = 0x100000001B3
+_MASK = 0xFFFFFFFFFFFFFFFF
+
+
+def _fnv1a(data: bytes) -> int:
+    h = _FNV_OFFSET
+    for byte in data:
+        h ^= byte
+        h = (h * _FNV_PRIME) & _MASK
+    return h
+
+
+def stable_hash(key: Hashable) -> int:
+    """64-bit process-independent hash of a key.
+
+    Supports bytes, str, int, float, bool, None and (nested) tuples of
+    those; anything else falls back to hashing its ``repr`` (documented
+    as stable only if the type's repr is).
+    """
+    if isinstance(key, bytes):
+        return _fnv1a(b"b:" + key)
+    if isinstance(key, str):
+        return _fnv1a(b"s:" + key.encode("utf-8"))
+    if isinstance(key, bool):  # before int: bool is an int subclass
+        return _fnv1a(b"B:1" if key else b"B:0")
+    if isinstance(key, int):
+        return _fnv1a(b"i:" + str(key).encode("ascii"))
+    if isinstance(key, float):
+        return _fnv1a(b"f:" + repr(key).encode("ascii"))
+    if key is None:
+        return _fnv1a(b"n:")
+    if isinstance(key, tuple):
+        h = _FNV_OFFSET
+        for item in key:
+            h ^= stable_hash(item)
+            h = (h * _FNV_PRIME) & _MASK
+        return h
+    return _fnv1a(b"r:" + repr(key).encode("utf-8", "backslashreplace"))

@@ -1,0 +1,38 @@
+"""Library logging conventions.
+
+All runtime logging goes through the ``repro`` logger hierarchy
+(``repro.core``, ``repro.pipeline``, ...) with a NullHandler installed at
+the root of the hierarchy, per library best practice — applications opt
+in with ``logging.basicConfig`` or :func:`enable_console_logging`.
+
+The runtimes log phase transitions and round completions at DEBUG, job
+summaries at INFO; nothing is ever printed directly.
+"""
+
+from __future__ import annotations
+
+import logging
+
+_ROOT_NAME = "repro"
+
+logging.getLogger(_ROOT_NAME).addHandler(logging.NullHandler())
+
+
+def get_logger(name: str) -> logging.Logger:
+    """A logger inside the ``repro`` hierarchy (pass ``__name__``)."""
+    if not name.startswith(_ROOT_NAME):
+        name = f"{_ROOT_NAME}.{name}"
+    return logging.getLogger(name)
+
+
+def enable_console_logging(level: int = logging.INFO) -> logging.Handler:
+    """Attach a stderr handler to the ``repro`` hierarchy (idempotent-ish:
+    returns the handler so callers can remove it)."""
+    handler = logging.StreamHandler()
+    handler.setFormatter(logging.Formatter(
+        "%(asctime)s %(name)s %(levelname)s %(message)s"
+    ))
+    logger = logging.getLogger(_ROOT_NAME)
+    logger.addHandler(handler)
+    logger.setLevel(level)
+    return handler

@@ -1,0 +1,58 @@
+"""Byte/size/time formatting helpers used across the CLI and reports."""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+
+KB = 1024
+MB = 1024 * KB
+GB = 1024 * MB
+TB = 1024 * GB
+
+_SUFFIXES = {
+    "b": 1,
+    "k": KB, "kb": KB, "kib": KB,
+    "m": MB, "mb": MB, "mib": MB,
+    "g": GB, "gb": GB, "gib": GB,
+    "t": TB, "tb": TB, "tib": TB,
+}
+
+
+def parse_size(text: str | int | float) -> int:
+    """Parse '1GB', '512m', '1024' ... into bytes."""
+    if isinstance(text, (int, float)):
+        if text < 0:
+            raise ConfigError(f"negative size: {text}")
+        return int(text)
+    s = text.strip().lower().replace(" ", "")
+    if not s:
+        raise ConfigError("empty size string")
+    idx = len(s)
+    while idx > 0 and not s[idx - 1].isdigit() and s[idx - 1] != ".":
+        idx -= 1
+    number, suffix = s[:idx], s[idx:]
+    if not number:
+        raise ConfigError(f"unparseable size: {text!r}")
+    try:
+        value = float(number)
+    except ValueError as exc:
+        raise ConfigError(f"unparseable size: {text!r}") from exc
+    if suffix and suffix not in _SUFFIXES:
+        raise ConfigError(f"unknown size suffix {suffix!r} in {text!r}")
+    if value < 0:
+        raise ConfigError(f"negative size: {text!r}")
+    return int(value * _SUFFIXES.get(suffix, 1))
+
+
+def fmt_bytes(n: float) -> str:
+    """Human-readable bytes: 1536 -> '1.5KB'."""
+    value = float(n)
+    for unit, factor in (("TB", TB), ("GB", GB), ("MB", MB), ("KB", KB)):
+        if abs(value) >= factor:
+            return f"{value / factor:.2f}{unit}"
+    return f"{value:.0f}B"
+
+
+def fmt_seconds(s: float) -> str:
+    """Paper-style seconds with two decimals: 471.75s."""
+    return f"{s:.2f}s"

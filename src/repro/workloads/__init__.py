@@ -1,0 +1,34 @@
+"""Synthetic workload generators.
+
+The paper evaluates on Hadoop-shaped inputs: one big Terasort file for
+sort and many text files (or one big text file) for word count.  These
+generators produce deterministic, seeded equivalents at any scale:
+
+* :mod:`repro.workloads.teragen` — gensort-style ``\\r\\n``-terminated
+  100-byte records;
+* :mod:`repro.workloads.textgen` — Zipf-distributed word text, as one big
+  file or many small files (the intra-file chunking workload);
+* :mod:`repro.workloads.zipf` — the underlying Zipf sampler.
+"""
+
+from repro.workloads.teragen import generate_terasort_file, teragen_records
+from repro.workloads.textgen import (
+    generate_small_files,
+    generate_text_file,
+    make_vocabulary,
+)
+from repro.workloads.valsort import ValsortReport, check_sort_job, validate_file, validate_pairs
+from repro.workloads.zipf import ZipfSampler
+
+__all__ = [
+    "teragen_records",
+    "generate_terasort_file",
+    "generate_text_file",
+    "generate_small_files",
+    "make_vocabulary",
+    "ZipfSampler",
+    "ValsortReport",
+    "validate_pairs",
+    "validate_file",
+    "check_sort_job",
+]

@@ -1,0 +1,103 @@
+"""Text generation for word count: one big file or many small files.
+
+Hadoop word count inputs come as either a single large file (inter-file
+chunking territory) or directories of many small files (intra-file
+chunking — the paper's "30 files with an intra-file chunk size of 4"
+example).  Both shapes are generated here from the same Zipf word source,
+so inter- vs intra-file experiments see identical word statistics.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.io.datafile import ensure_dir
+from repro.workloads.zipf import ZipfSampler
+
+_WORD_CHARS = "abcdefghijklmnopqrstuvwxyz"
+
+
+def make_vocabulary(size: int, seed: int = 7) -> list[bytes]:
+    """Deterministic pseudo-words, short for frequent ranks (Zipf-ish)."""
+    if size < 1:
+        raise WorkloadError("vocabulary size must be >= 1")
+    rng = np.random.default_rng(seed)
+    vocab: list[bytes] = []
+    seen: set[bytes] = set()
+    while len(vocab) < size:
+        length = 3 + int(rng.integers(0, 7))
+        word = "".join(
+            _WORD_CHARS[int(c)] for c in rng.integers(0, len(_WORD_CHARS), length)
+        ).encode("ascii")
+        if word not in seen:
+            seen.add(word)
+            vocab.append(word)
+    return vocab
+
+
+def _render_text(
+    nbytes: int, sampler: ZipfSampler, vocab: list[bytes], line_words: int = 12
+) -> bytes:
+    """About ``nbytes`` of space-separated, newline-broken words."""
+    if nbytes < 0:
+        raise WorkloadError("nbytes must be non-negative")
+    pieces: list[bytes] = []
+    size = 0
+    while size < nbytes:
+        ranks = sampler.sample(line_words)
+        line = b" ".join(vocab[int(r)] for r in ranks) + b"\n"
+        pieces.append(line)
+        size += len(line)
+    return b"".join(pieces)[:nbytes] if pieces else b""
+
+
+def generate_text_file(
+    path: str | Path,
+    nbytes: int,
+    vocab_size: int = 5000,
+    exponent: float = 1.1,
+    seed: int = 0,
+) -> int:
+    """One big text file of ~``nbytes``; returns bytes written.
+
+    The final byte is forced to a newline so the file is a whole number
+    of records.
+    """
+    vocab = make_vocabulary(vocab_size, seed=seed + 1)
+    sampler = ZipfSampler(vocab_size, exponent, seed=seed)
+    data = bytearray(_render_text(nbytes, sampler, vocab))
+    if data:
+        data[-1:] = b"\n"
+    with open(path, "wb") as fh:
+        fh.write(bytes(data))
+    return len(data)
+
+
+def generate_small_files(
+    directory: str | Path,
+    n_files: int,
+    bytes_per_file: int,
+    vocab_size: int = 5000,
+    exponent: float = 1.1,
+    seed: int = 0,
+) -> list[Path]:
+    """``n_files`` text files of ~``bytes_per_file`` each; returns paths
+    in name order (the order intra-file chunking will coalesce them)."""
+    if n_files < 1:
+        raise WorkloadError("n_files must be >= 1")
+    out_dir = ensure_dir(directory)
+    vocab = make_vocabulary(vocab_size, seed=seed + 1)
+    paths: list[Path] = []
+    width = max(5, len(str(n_files)))
+    for i in range(n_files):
+        sampler = ZipfSampler(vocab_size, exponent, seed=seed + 100 + i)
+        data = bytearray(_render_text(bytes_per_file, sampler, vocab))
+        if data:
+            data[-1:] = b"\n"
+        path = out_dir / f"part-{i:0{width}d}.txt"
+        path.write_bytes(bytes(data))
+        paths.append(path)
+    return paths

@@ -1,0 +1,70 @@
+"""JSON result reports."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis.report import job_result_dict, sim_result_dict, to_json
+from repro.apps.wordcount import make_wordcount_job
+from repro.core.options import RuntimeOptions
+from repro.core.supmr import run_ingest_mr
+from repro.simrt.costmodel import GB_SI, PAPER_SORT
+from repro.simrt.phoenix_sim import simulate_phoenix_job
+
+
+@pytest.fixture(scope="module")
+def wc_result(text_file):
+    return run_ingest_mr(make_wordcount_job([text_file]),
+                         RuntimeOptions.supmr_interfile("32KB"))
+
+
+class TestJobResultReport:
+    def test_dict_fields(self, wc_result):
+        data = job_result_dict(wc_result)
+        assert data["runtime"] == "supmr"
+        assert data["n_chunks"] == wc_result.n_chunks
+        assert data["timings"]["read_map_combined"] is True
+        assert len(data["timings"]["rounds"]) == wc_result.n_chunks + 1
+        assert "output" not in data
+
+    def test_output_included_on_request(self, wc_result):
+        data = job_result_dict(wc_result, include_output=True)
+        assert len(data["output"]) == wc_result.n_output_pairs
+        # bytes keys decoded for JSON
+        assert isinstance(data["output"][0][0], str)
+
+    def test_json_round_trips(self, wc_result):
+        text = to_json(wc_result)
+        parsed = json.loads(text)
+        assert parsed["job"] == "wordcount"
+        assert parsed["counters"]["merge_algorithm"] == "pway"
+
+
+class TestSimResultReport:
+    def test_sim_dict_fields(self):
+        result = simulate_phoenix_job(PAPER_SORT, 1 * GB_SI,
+                                      monitor_interval=1.0)
+        data = sim_result_dict(result)
+        assert data["app"] == "sort"
+        assert data["spans"][0]["name"] == "read"
+        assert data["samples"][0]["time"] == 0.0
+        json.dumps(data)  # fully serializable
+
+    def test_to_json_dispatches_on_type(self):
+        result = simulate_phoenix_job(PAPER_SORT, 1 * GB_SI,
+                                      monitor_interval=1.0)
+        parsed = json.loads(to_json(result))
+        assert parsed["runtime"] == "phoenix"
+
+
+class TestCliJson:
+    def test_wordcount_json_flag(self, text_file, capsys):
+        from repro.cli import main
+
+        assert main(["wordcount", str(text_file), "--chunk-size", "64KB",
+                     "--json"]) == 0
+        parsed = json.loads(capsys.readouterr().out)
+        assert parsed["runtime"] == "supmr"
+        assert parsed["n_output_pairs"] > 0

@@ -1,0 +1,75 @@
+"""ASCII tables and speedup accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.speedup import phase_speedups
+from repro.analysis.tables import AsciiTable
+from repro.core.result import PhaseTimings
+from repro.errors import ExperimentError
+
+
+class TestAsciiTable:
+    def test_renders_header_and_rows(self):
+        table = AsciiTable(["a", "bb"])
+        table.add_row(1, "xyz")
+        out = table.render()
+        lines = out.splitlines()
+        assert "a" in lines[0] and "bb" in lines[0]
+        assert "-+-" in lines[1]
+        assert "xyz" in lines[2]
+
+    def test_column_count_enforced(self):
+        table = AsciiTable(["one"])
+        with pytest.raises(ExperimentError):
+            table.add_row(1, 2)
+
+    def test_empty_headers_rejected(self):
+        with pytest.raises(ExperimentError):
+            AsciiTable([])
+
+    def test_columns_aligned(self):
+        table = AsciiTable(["col"])
+        table.add_row("short")
+        table.add_row("much longer cell")
+        lines = table.render().splitlines()
+        assert len({len(line) for line in lines[2:]}) == 1
+
+
+class TestPhaseSpeedups:
+    def _t(self, read, mp, red, mer, combined=False):
+        return PhaseTimings(read_s=read, map_s=mp, reduce_s=red, merge_s=mer,
+                            total_s=read + mp + red + mer,
+                            read_map_combined=combined)
+
+    def test_ratios(self):
+        base = self._t(100, 20, 4, 40)
+        opt = self._t(110, 0, 5, 12, combined=True)
+        s = phase_speedups(base, opt)
+        assert s.read_map == pytest.approx(120 / 110)
+        assert s.merge == pytest.approx(40 / 12)
+        assert s.total == pytest.approx(164 / 127)
+
+    def test_utilization_gain(self):
+        base = self._t(10, 1, 1, 1)
+        opt = self._t(8, 1, 1, 1)
+        s = phase_speedups(base, opt, baseline_util_pct=20.0,
+                           optimized_util_pct=30.0)
+        assert s.utilization_gain_pct == pytest.approx(50.0)
+
+    def test_no_utilization_data(self):
+        base = self._t(10, 1, 1, 1)
+        s = phase_speedups(base, base)
+        assert s.utilization_gain_pct is None
+
+    def test_zero_optimized_phase_is_inf(self):
+        base = self._t(10, 1, 1, 1)
+        opt = self._t(10, 1, 1, 0)
+        assert phase_speedups(base, opt).merge == float("inf")
+
+    def test_phase_range(self):
+        base = self._t(100, 20, 4, 40)
+        opt = self._t(60, 0, 4, 10, combined=True)
+        lo, hi = phase_speedups(base, opt).phase_range()
+        assert lo <= hi

@@ -1,0 +1,95 @@
+"""Pipeline timeline rendering and overlap accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.timeline import (
+    overlap_fraction,
+    render_round_timeline,
+    round_spans,
+)
+from repro.core.result import RoundTiming
+from repro.errors import ExperimentError
+
+
+def rounds_fixture():
+    # 3 chunks: serial ingest, two overlapped rounds, final map
+    return [
+        RoundTiming(0, ingest_s=2.0, map_s=0.0, chunk_bytes=100),
+        RoundTiming(1, ingest_s=2.0, map_s=1.0, chunk_bytes=100),
+        RoundTiming(2, ingest_s=2.0, map_s=1.0, chunk_bytes=100),
+        RoundTiming(3, ingest_s=0.0, map_s=1.0, chunk_bytes=0),
+    ]
+
+
+class TestRoundSpans:
+    def test_wall_clock_total(self):
+        _ing, _map, total = round_spans(rounds_fixture())
+        assert total == pytest.approx(2 + 2 + 2 + 1)
+
+    def test_overlapped_rounds_share_start(self):
+        ingest, mapping, _total = round_spans(rounds_fixture())
+        # round 1 starts at t=2 for both lanes
+        assert ingest[1][0] == pytest.approx(2.0)
+        assert mapping[0][0] == pytest.approx(2.0)
+
+    def test_empty_rounds_raise(self):
+        with pytest.raises(ExperimentError):
+            round_spans([])
+
+
+class TestRenderTimeline:
+    def test_renders_two_lanes(self):
+        art = render_round_timeline(rounds_fixture(), width=40)
+        lines = art.splitlines()
+        assert lines[1].startswith("ingest |")
+        assert lines[2].startswith("map    |")
+        assert "#" in lines[1]
+        assert "=" in lines[2]
+
+    def test_final_round_has_no_ingest(self):
+        art = render_round_timeline(rounds_fixture(), width=40)
+        ingest_lane = art.splitlines()[1]
+        # the tail of the ingest lane is blank (final map-only round)
+        inner = ingest_lane[len("ingest |"):-1]
+        assert inner.rstrip().endswith("#")
+        assert inner.endswith(" " * 3)
+
+    def test_width_validated(self):
+        with pytest.raises(ExperimentError):
+            render_round_timeline(rounds_fixture(), width=5)
+
+    def test_real_runtime_rounds_render(self, text_file):
+        from repro.apps.wordcount import make_wordcount_job
+        from repro.core.options import RuntimeOptions
+        from repro.core.supmr import run_ingest_mr
+
+        result = run_ingest_mr(
+            make_wordcount_job([text_file]),
+            RuntimeOptions.supmr_interfile("32KB"),
+        )
+        art = render_round_timeline(result.timings.rounds)
+        assert f"{len(result.timings.rounds)} rounds" in art
+
+
+class TestOverlapFraction:
+    def test_full_overlap(self):
+        rounds = [
+            RoundTiming(0, 2.0, 0.0, 1),
+            RoundTiming(1, 2.0, 1.0, 1),  # map fully inside ingest
+            RoundTiming(2, 0.0, 0.0, 0),
+        ]
+        assert overlap_fraction(rounds) == pytest.approx(1.0)
+
+    def test_partial_overlap(self):
+        rounds = [
+            RoundTiming(0, 1.0, 0.0, 1),
+            RoundTiming(1, 1.0, 2.0, 1),  # map-bound round: 1s hidden of 2s
+            RoundTiming(2, 0.0, 2.0, 0),  # final map: nothing hidden
+        ]
+        assert overlap_fraction(rounds) == pytest.approx(1.0 / 4.0)
+
+    def test_no_map_time(self):
+        rounds = [RoundTiming(0, 1.0, 0.0, 1)]
+        assert overlap_fraction(rounds) == 0.0

@@ -1,0 +1,83 @@
+"""Trace analysis helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.traces import (
+    mean_utilization,
+    phase_mean_utilization,
+    sparkline,
+    step_levels,
+    trace_csv,
+)
+from repro.simhw.monitor import UtilizationSample
+from repro.simrt.phases import PhaseSpan
+
+
+def mk(t, user=0.0, sys_=0.0, iow=0.0):
+    return UtilizationSample(t, user, sys_, iow)
+
+
+class TestMeanUtilization:
+    def test_window_selection(self):
+        samples = [mk(0, 100), mk(1, 50), mk(2, 0)]
+        assert mean_utilization(samples, 0, 1) == pytest.approx(75.0)
+        assert mean_utilization(samples) == pytest.approx(50.0)
+
+    def test_busy_only_excludes_iowait(self):
+        samples = [mk(0, user=10, iow=90)]
+        assert mean_utilization(samples) == pytest.approx(100.0)
+        assert mean_utilization(samples, busy_only=True) == pytest.approx(10.0)
+
+    def test_empty_window(self):
+        assert mean_utilization([], 0, 1) == 0.0
+
+    def test_phase_means(self):
+        samples = [mk(0, 100), mk(1, 100), mk(2, 10), mk(3, 10)]
+        spans = [PhaseSpan("hot", 0, 1), PhaseSpan("cold", 2, 3)]
+        means = phase_mean_utilization(samples, spans)
+        assert means == {"hot": pytest.approx(100.0),
+                         "cold": pytest.approx(10.0)}
+
+
+class TestSparkline:
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_width(self):
+        samples = [mk(i, 50) for i in range(100)]
+        assert len(sparkline(samples, width=40)) == 40
+
+    def test_levels_map_to_glyphs(self):
+        low = sparkline([mk(0, 0), mk(1, 0)], width=2)
+        high = sparkline([mk(0, 100), mk(1, 100)], width=2)
+        assert low != high
+        assert "@" in high
+
+    def test_gaps_render_blank(self):
+        samples = [mk(0, 100), mk(10, 100)]
+        line = sparkline(samples, width=10)
+        assert " " in line
+
+
+class TestStepLevels:
+    def test_detects_plateaus(self):
+        samples = ([mk(t, 100) for t in range(3)]
+                   + [mk(t, 50) for t in range(3, 6)]
+                   + [mk(t, 25) for t in range(6, 9)])
+        levels = step_levels(samples, 0, 9)
+        assert levels == [pytest.approx(100), pytest.approx(50),
+                          pytest.approx(25)]
+
+    def test_jitter_within_threshold_merges(self):
+        samples = [mk(0, 50.0), mk(1, 50.5), mk(2, 49.9)]
+        assert len(step_levels(samples, 0, 3)) == 1
+
+
+class TestTraceCsv:
+    def test_header_and_rows(self):
+        csv = trace_csv([mk(0, 10, 5, 2)])
+        lines = csv.strip().splitlines()
+        assert lines[0] == "time_s,user_pct,sys_pct,iowait_pct,total_pct"
+        assert lines[1] == "0.000,10.00,5.00,2.00,17.00"

@@ -1,0 +1,80 @@
+"""k-means iterative MapReduce."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps.kmeans import (
+    make_kmeans_iteration_job,
+    nearest_centroid,
+    parse_point,
+    run_kmeans,
+)
+from repro.core.phoenix import PhoenixRuntime
+from repro.errors import ConfigError
+
+
+def write_clusters(tmp_path, centers, per_cluster=60, spread=0.2, seed=4):
+    rng = np.random.default_rng(seed)
+    lines = []
+    for cx, cy in centers:
+        pts = rng.normal((cx, cy), spread, size=(per_cluster, 2))
+        lines.extend(b"%f %f" % (x, y) for x, y in pts)
+    rng.shuffle(lines)
+    f = tmp_path / "points.txt"
+    f.write_bytes(b"\n".join(lines) + b"\n")
+    return f
+
+
+class TestPrimitives:
+    def test_parse_point(self):
+        assert parse_point(b"1.5 -2.0") == (1.5, -2.0)
+
+    def test_nearest_centroid(self):
+        centroids = [(0.0, 0.0), (10.0, 10.0)]
+        assert nearest_centroid((1.0, 1.0), centroids) == 0
+        assert nearest_centroid((9.0, 9.5), centroids) == 1
+
+
+class TestIterationJob:
+    def test_one_iteration_moves_centroids_toward_means(self, tmp_path):
+        f = write_clusters(tmp_path, [(0, 0), (8, 8)])
+        job = make_kmeans_iteration_job([f], [(1.0, 1.0), (7.0, 7.0)])
+        result = PhoenixRuntime().run(job)
+        updated = dict(result.output)
+        assert updated[0] == pytest.approx((0.0, 0.0), abs=0.2)
+        assert updated[1] == pytest.approx((8.0, 8.0), abs=0.2)
+
+
+class TestRunKmeans:
+    def test_converges_on_separated_clusters(self, tmp_path):
+        f = write_clusters(tmp_path, [(0, 0), (8, 8), (-8, 8)])
+        result = run_kmeans(
+            [f],
+            initial_centroids=[(1, 1), (7, 7), (-7, 7)],
+            max_iters=10,
+            tol=1e-3,
+        )
+        assert result.converged
+        found = sorted(result.centroids)
+        expected = sorted([(0.0, 0.0), (8.0, 8.0), (-8.0, 8.0)])
+        for got, want in zip(found, expected):
+            assert got == pytest.approx(want, abs=0.3)
+
+    def test_iteration_count_reported(self, tmp_path):
+        f = write_clusters(tmp_path, [(0, 0), (8, 8)])
+        result = run_kmeans([f], [(0.5, 0.5), (7.5, 7.5)], max_iters=5)
+        assert 1 <= result.iterations <= 5
+
+    def test_empty_cluster_keeps_old_centroid(self, tmp_path):
+        f = write_clusters(tmp_path, [(0, 0)])
+        result = run_kmeans([f], [(0.0, 0.0), (100.0, 100.0)], max_iters=2)
+        assert result.centroids[1] == (100.0, 100.0)
+
+    def test_invalid_args(self, tmp_path):
+        f = write_clusters(tmp_path, [(0, 0)])
+        with pytest.raises(ConfigError):
+            run_kmeans([f], [], max_iters=1)
+        with pytest.raises(ConfigError):
+            run_kmeans([f], [(0, 0)], max_iters=0)

@@ -1,0 +1,82 @@
+"""Matrix multiply application."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps.matrix_multiply import (
+    make_matmul_job,
+    parse_row,
+    result_matrix,
+    write_matrix_rows,
+)
+from repro.core.options import RuntimeOptions
+from repro.core.phoenix import PhoenixRuntime
+from repro.core.supmr import run_ingest_mr
+from repro.errors import WorkloadError
+
+
+@pytest.fixture
+def matrices(tmp_path):
+    rng = np.random.default_rng(17)
+    a = rng.normal(size=(24, 8))
+    b = rng.normal(size=(8, 6))
+    path = tmp_path / "a_rows.txt"
+    write_matrix_rows(path, a)
+    return path, a, b
+
+
+class TestSerialization:
+    def test_roundtrip(self, tmp_path):
+        a = np.array([[1.5, -2.0], [0.25, 3.0]])
+        path = tmp_path / "m.txt"
+        write_matrix_rows(path, a)
+        rows = [parse_row(line) for line in path.read_bytes().splitlines()]
+        got = np.array([r for _i, r in sorted(rows)])
+        assert np.allclose(got, a)
+
+    def test_non_2d_rejected(self, tmp_path):
+        with pytest.raises(WorkloadError):
+            write_matrix_rows(tmp_path / "m", np.zeros(3))
+
+    def test_short_line_rejected(self):
+        with pytest.raises(WorkloadError):
+            parse_row(b"5")
+
+
+class TestMatmulJob:
+    def test_product_matches_numpy(self, matrices):
+        path, a, b = matrices
+        result = PhoenixRuntime().run(make_matmul_job([path], b))
+        product = result_matrix(result.output)
+        assert np.allclose(product, a @ b)
+
+    def test_chunked_product_identical(self, matrices):
+        path, a, b = matrices
+        result = run_ingest_mr(
+            make_matmul_job([path], b),
+            RuntimeOptions.supmr_interfile("512"),
+        )
+        assert result.n_chunks > 1
+        assert np.allclose(result_matrix(result.output), a @ b)
+
+    def test_dimension_mismatch_raises(self, matrices):
+        path, _a, _b = matrices
+        bad_b = np.zeros((5, 3))  # a has 8 cols
+        with pytest.raises(WorkloadError, match="cols"):
+            PhoenixRuntime().run(make_matmul_job([path], bad_b))
+
+    def test_missing_row_detected(self):
+        with pytest.raises(WorkloadError, match="missing"):
+            result_matrix([(0, (1.0,)), (2, (2.0,))])
+
+    def test_empty_output_rejected(self):
+        with pytest.raises(WorkloadError):
+            result_matrix([])
+
+    def test_output_rows_sorted(self, matrices):
+        path, _a, b = matrices
+        result = PhoenixRuntime().run(make_matmul_job([path], b))
+        indices = [k for k, _row in result.output]
+        assert indices == sorted(indices)

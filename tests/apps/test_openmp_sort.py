@@ -1,0 +1,35 @@
+"""OpenMP-style sort baseline."""
+
+from __future__ import annotations
+
+from repro.apps.sortapp import reference_sort
+from repro.baselines.openmp_sort import openmp_sort
+
+
+class TestOpenMPSort:
+    def test_output_matches_reference(self, terasort_file):
+        result = openmp_sort([terasort_file], parallelism=4)
+        assert result.output == reference_sort([terasort_file])
+
+    def test_phase_timings_populated(self, terasort_file):
+        result = openmp_sort([terasort_file])
+        assert result.ingest_s >= 0
+        assert result.parse_s > 0
+        assert result.sort_s > 0
+        assert result.total_s >= result.compute_s
+
+    def test_compute_is_the_sort_phase(self, terasort_file):
+        result = openmp_sort([terasort_file])
+        assert result.compute_s == result.sort_s
+
+    def test_multiple_files(self, tmp_path):
+        from repro.workloads.teragen import generate_terasort_file
+
+        a = tmp_path / "a.dat"
+        b = tmp_path / "b.dat"
+        generate_terasort_file(a, 100, seed=1)
+        generate_terasort_file(b, 100, seed=2)
+        result = openmp_sort([a, b])
+        assert len(result.output) == 200
+        keys = [k for k, _v in result.output]
+        assert keys == sorted(keys)

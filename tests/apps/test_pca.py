@@ -1,0 +1,73 @@
+"""PCA two-pass MapReduce."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps.matrix_multiply import write_matrix_rows
+from repro.apps.pca import run_pca
+from repro.errors import WorkloadError
+
+
+@pytest.fixture
+def correlated_data(tmp_path):
+    rng = np.random.default_rng(23)
+    # strongly correlated 2-D data with a known principal axis
+    t = rng.normal(size=400)
+    noise = rng.normal(scale=0.1, size=400)
+    data = np.column_stack([3.0 + t, -1.0 + 2.0 * t + noise])
+    path = tmp_path / "rows.txt"
+    write_matrix_rows(path, data)
+    return path, data
+
+
+class TestRunPCA:
+    def test_means_match_numpy(self, correlated_data):
+        path, data = correlated_data
+        result = run_pca([path])
+        assert np.allclose(result.means, data.mean(axis=0))
+
+    def test_covariance_matches_numpy(self, correlated_data):
+        path, data = correlated_data
+        result = run_pca([path])
+        assert np.allclose(result.covariance, np.cov(data.T), rtol=1e-8)
+
+    def test_principal_axis_recovered(self, correlated_data):
+        path, _data = correlated_data
+        result = run_pca([path])
+        # dominant direction ~ (1, 2)/sqrt(5)
+        expected = np.array([1.0, 2.0]) / np.sqrt(5.0)
+        got = result.components[0]
+        assert abs(abs(got @ expected) - 1.0) < 1e-3
+
+    def test_explained_variance_ordered(self, correlated_data):
+        path, _data = correlated_data
+        result = run_pca([path])
+        ratios = result.explained_variance_ratio
+        assert ratios[0] > 0.9  # one dominant direction
+        assert ratios.sum() == pytest.approx(1.0)
+        assert (np.diff(result.eigenvalues) <= 1e-12).all()
+
+    def test_empty_input_raises(self, tmp_path):
+        empty = tmp_path / "empty.txt"
+        empty.write_bytes(b"")
+        with pytest.raises(WorkloadError):
+            run_pca([empty])
+
+    def test_single_row_raises(self, tmp_path):
+        one = tmp_path / "one.txt"
+        one.write_bytes(b"0 1.0 2.0\n")
+        with pytest.raises(WorkloadError, match="at least two"):
+            run_pca([one])
+
+    def test_multiple_input_files(self, tmp_path):
+        rng = np.random.default_rng(3)
+        data = rng.normal(size=(60, 3))
+        a = tmp_path / "a.txt"
+        b = tmp_path / "b.txt"
+        write_matrix_rows(a, data[:30])
+        write_matrix_rows(b, data[30:])
+        result = run_pca([a, b])
+        assert np.allclose(result.means, data.mean(axis=0))
+        assert np.allclose(result.covariance, np.cov(data.T), rtol=1e-8)

@@ -1,0 +1,186 @@
+"""Grep, histogram, string match, inverted index, linear regression."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps.grep import make_grep_job, reference_grep
+from repro.apps.histogram import bucket_of, make_histogram_job, reference_histogram
+from repro.apps.inverted_index import (
+    make_inverted_index_job,
+    reference_index,
+    write_index_corpus,
+)
+from repro.apps.linear_regression import (
+    make_linear_regression_job,
+    solve_regression,
+)
+from repro.apps.string_match import make_string_match_job, reference_match
+from repro.core.options import RuntimeOptions
+from repro.core.phoenix import PhoenixRuntime
+from repro.core.supmr import run_ingest_mr
+from repro.errors import ConfigError, WorkloadError
+
+
+class TestGrep:
+    def test_matches_reference(self, text_file):
+        job = make_grep_job([text_file], rb"a.a")
+        result = PhoenixRuntime().run(job)
+        assert dict(result.output) == reference_grep([text_file], rb"a.a")
+
+    def test_no_matches(self, tmp_path):
+        f = tmp_path / "f.txt"
+        f.write_bytes(b"nothing here\n")
+        result = PhoenixRuntime().run(make_grep_job([f], rb"zzz"))
+        assert result.output == []
+
+    def test_counts_duplicate_lines(self, tmp_path):
+        f = tmp_path / "f.txt"
+        f.write_bytes(b"hit line\nmiss\nhit line\n")
+        result = PhoenixRuntime().run(make_grep_job([f], rb"hit"))
+        assert dict(result.output) == {b"hit line": 2}
+
+    def test_supmr_equivalent(self, text_file):
+        job = make_grep_job([text_file], rb"th")
+        baseline = PhoenixRuntime().run(make_grep_job([text_file], rb"th"))
+        chunked = run_ingest_mr(job, RuntimeOptions.supmr_interfile("32KB"))
+        assert chunked.output == baseline.output
+
+
+class TestHistogram:
+    def test_bucket_of_uniform_bins(self):
+        assert bucket_of(0.0, 0.0, 10.0, 10) == 0
+        assert bucket_of(9.99, 0.0, 10.0, 10) == 9
+        assert bucket_of(5.0, 0.0, 10.0, 10) == 5
+
+    def test_bucket_clamps_out_of_range(self):
+        assert bucket_of(-5.0, 0.0, 10.0, 10) == 0
+        assert bucket_of(50.0, 0.0, 10.0, 10) == 9
+
+    def test_invalid_config(self, tmp_path):
+        f = tmp_path / "f"
+        f.write_bytes(b"1\n")
+        with pytest.raises(ConfigError):
+            make_histogram_job([f], 0.0, 10.0, n_buckets=0)
+        with pytest.raises(ConfigError):
+            make_histogram_job([f], 5.0, 5.0)
+
+    def test_matches_reference(self, tmp_path):
+        rng = np.random.default_rng(3)
+        f = tmp_path / "nums.txt"
+        f.write_bytes(b"".join(b"%f\n" % x for x in rng.normal(5, 2, 500)))
+        job = make_histogram_job([f], 0.0, 10.0, 8)
+        result = PhoenixRuntime().run(job)
+        assert dict(result.output) == reference_histogram([f], 0.0, 10.0, 8)
+
+    def test_total_count_preserved(self, tmp_path):
+        f = tmp_path / "nums.txt"
+        f.write_bytes(b"1\n2\n3\n\n4\n")  # blank line ignored
+        result = PhoenixRuntime().run(make_histogram_job([f], 0.0, 5.0, 5))
+        assert sum(c for _b, c in result.output) == 4
+
+
+class TestStringMatch:
+    def test_matches_reference(self, text_file):
+        needles = [b"the", b"and", b"xyzzy"]
+        job = make_string_match_job([text_file], needles)
+        result = PhoenixRuntime().run(job)
+        assert dict(result.output) == reference_match([text_file], needles)
+
+    def test_counts_multiple_hits_per_line(self, tmp_path):
+        f = tmp_path / "f.txt"
+        f.write_bytes(b"abc abc abc\n")
+        result = PhoenixRuntime().run(make_string_match_job([f], [b"abc"]))
+        assert dict(result.output) == {b"abc": 3}
+
+    def test_empty_needles_rejected(self, tmp_path):
+        f = tmp_path / "f"
+        f.write_bytes(b"x\n")
+        with pytest.raises(ConfigError):
+            make_string_match_job([f], [])
+
+
+class TestInvertedIndex:
+    def test_matches_reference(self, tmp_path):
+        docs = {
+            "doc1": "alpha beta gamma",
+            "doc2": "beta delta",
+            "doc3": "alpha beta",
+        }
+        paths = write_index_corpus(tmp_path / "corpus", docs)
+        result = PhoenixRuntime().run(make_inverted_index_job(paths))
+        assert dict(result.output) == reference_index(paths)
+
+    def test_posting_lists_sorted_and_deduped(self, tmp_path):
+        docs = {"b-doc": "word word", "a-doc": "word"}
+        paths = write_index_corpus(tmp_path / "corpus", docs)
+        result = PhoenixRuntime().run(make_inverted_index_job(paths))
+        assert dict(result.output)[b"word"] == (b"a-doc", b"b-doc")
+
+    def test_malformed_line_raises(self, tmp_path):
+        f = tmp_path / "bad.txt"
+        f.write_bytes(b"no-tab-here words\n")
+        with pytest.raises(WorkloadError):
+            PhoenixRuntime().run(make_inverted_index_job([f]))
+
+    def test_intrafile_chunking_over_corpus(self, tmp_path):
+        docs = {f"d{i:02d}": f"tok{i} shared" for i in range(10)}
+        paths = write_index_corpus(tmp_path / "corpus", docs)
+        baseline = PhoenixRuntime().run(make_inverted_index_job(paths))
+        chunked = run_ingest_mr(
+            make_inverted_index_job(paths), RuntimeOptions.supmr_intrafile(3)
+        )
+        assert dict(chunked.output) == dict(baseline.output)
+
+
+class TestLinearRegression:
+    def _write(self, tmp_path, slope, intercept, n=200, noise=0.0):
+        rng = np.random.default_rng(1)
+        xs = rng.uniform(-10, 10, n)
+        ys = slope * xs + intercept + rng.normal(0, noise, n)
+        f = tmp_path / "points.txt"
+        f.write_bytes(b"".join(b"%f %f\n" % (x, y) for x, y in zip(xs, ys)))
+        return f
+
+    def test_recovers_exact_line(self, tmp_path):
+        f = self._write(tmp_path, 2.5, -1.0)
+        result = PhoenixRuntime().run(make_linear_regression_job([f]))
+        slope, intercept = solve_regression(result.output)
+        assert slope == pytest.approx(2.5, abs=1e-6)
+        assert intercept == pytest.approx(-1.0, abs=1e-6)
+
+    def test_noisy_fit_close(self, tmp_path):
+        f = self._write(tmp_path, 1.5, 3.0, n=2000, noise=0.5)
+        result = PhoenixRuntime().run(make_linear_regression_job([f]))
+        slope, intercept = solve_regression(result.output)
+        assert slope == pytest.approx(1.5, abs=0.1)
+        assert intercept == pytest.approx(3.0, abs=0.2)
+
+    def test_missing_stats_raise(self):
+        with pytest.raises(WorkloadError):
+            solve_regression([("n", 1.0)])
+
+    def test_degenerate_input_raises(self, tmp_path):
+        f = tmp_path / "p.txt"
+        f.write_bytes(b"2 1\n2 5\n")  # zero x-variance
+        result = PhoenixRuntime().run(make_linear_regression_job([f]))
+        with pytest.raises(WorkloadError, match="degenerate"):
+            solve_regression(result.output)
+
+    def test_malformed_line_raises(self, tmp_path):
+        f = tmp_path / "p.txt"
+        f.write_bytes(b"1 2 3\n")
+        with pytest.raises(WorkloadError):
+            PhoenixRuntime().run(make_linear_regression_job([f]))
+
+    def test_chunked_sums_identical(self, tmp_path):
+        f = self._write(tmp_path, 0.5, 0.0, n=500)
+        baseline = PhoenixRuntime().run(make_linear_regression_job([f]))
+        chunked = run_ingest_mr(
+            make_linear_regression_job([f]),
+            RuntimeOptions.supmr_interfile("4KB"),
+        )
+        base_fit = solve_regression(baseline.output)
+        chunk_fit = solve_regression(chunked.output)
+        assert base_fit == pytest.approx(chunk_fit)

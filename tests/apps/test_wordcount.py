@@ -1,0 +1,57 @@
+"""Word count application."""
+
+from __future__ import annotations
+
+from repro.apps.wordcount import (
+    make_wordcount_job,
+    reference_wordcount,
+    wordcount_reduce,
+)
+from repro.core.options import RuntimeOptions
+from repro.core.phoenix import PhoenixRuntime
+from repro.core.supmr import run_ingest_mr
+
+
+class TestWordCount:
+    def test_reduce_sums_partials(self):
+        assert list(wordcount_reduce(b"w", [3, 4])) == [(b"w", 7)]
+
+    def test_counts_simple_corpus(self, tmp_path):
+        f = tmp_path / "c.txt"
+        f.write_bytes(b"dog cat dog\ncat dog\n")
+        result = PhoenixRuntime().run(make_wordcount_job([f]))
+        assert dict(result.output) == {b"dog": 3, b"cat": 2}
+
+    def test_reference_agrees_with_runtime(self, text_file):
+        result = PhoenixRuntime().run(make_wordcount_job([text_file]))
+        assert dict(result.output) == reference_wordcount([text_file])
+
+    def test_multiple_input_files(self, small_files):
+        result = PhoenixRuntime().run(make_wordcount_job(small_files[:5]))
+        assert dict(result.output) == reference_wordcount(small_files[:5])
+
+    def test_empty_file(self, tmp_path):
+        f = tmp_path / "empty.txt"
+        f.write_bytes(b"")
+        result = PhoenixRuntime().run(make_wordcount_job([f]))
+        assert result.output == []
+
+    def test_whitespace_only_file(self, tmp_path):
+        f = tmp_path / "ws.txt"
+        f.write_bytes(b"   \n\t\n  \n")
+        result = PhoenixRuntime().run(make_wordcount_job([f]))
+        assert result.output == []
+
+    def test_supmr_chunked_counts_identical(self, tmp_path):
+        f = tmp_path / "c.txt"
+        f.write_bytes(b"alpha beta\n" * 500)
+        result = run_ingest_mr(
+            make_wordcount_job([f]), RuntimeOptions.supmr_interfile("1KB")
+        )
+        assert dict(result.output) == {b"alpha": 500, b"beta": 500}
+        assert result.n_chunks > 1
+
+    def test_combiner_shrinks_intermediate_set(self, text_file):
+        result = PhoenixRuntime().run(make_wordcount_job([text_file]))
+        stats = result.container_stats
+        assert stats.distinct_keys < stats.emits  # duplicates combined

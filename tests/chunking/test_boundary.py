@@ -1,0 +1,99 @@
+"""Split-point adjustment (never cut a record)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.chunking.boundary import adjust_split_point, find_record_end_in_file
+from repro.errors import ChunkingError
+
+
+class TestAdjustSplitPoint:
+    DATA = b"aaa\nbbb\nccc\n"
+
+    def test_zero_and_end_are_aligned(self):
+        assert adjust_split_point(self.DATA, 0, b"\n") == 0
+        assert adjust_split_point(self.DATA, len(self.DATA), b"\n") == len(self.DATA)
+
+    def test_mid_record_moves_to_record_end(self):
+        # position 1 is inside "aaa" -> move past "aaa\n"
+        assert adjust_split_point(self.DATA, 1, b"\n") == 4
+
+    def test_at_record_boundary_stays(self):
+        assert adjust_split_point(self.DATA, 4, b"\n") == 4
+
+    def test_position_just_after_delimiter(self):
+        assert adjust_split_point(self.DATA, 5, b"\n") == 8
+
+    def test_no_following_delimiter_goes_to_end(self):
+        data = b"aaa\nbbbb"
+        assert adjust_split_point(data, 6, b"\n") == len(data)
+
+    def test_split_inside_multibyte_delimiter(self):
+        # paper's terasort case: \r\n; landing between \r and \n must not
+        # strand the \n with the next chunk
+        data = b"rec1\r\nrec2\r\n"
+        pos_inside = data.find(b"\r\n") + 1  # between \r and \n
+        assert adjust_split_point(data, pos_inside, b"\r\n") == 6
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(ChunkingError):
+            adjust_split_point(b"abc", 5, b"\n")
+        with pytest.raises(ChunkingError):
+            adjust_split_point(b"abc", -1, b"\n")
+
+    def test_empty_delimiter_raises(self):
+        with pytest.raises(ChunkingError):
+            adjust_split_point(b"abc", 1, b"")
+
+    @given(
+        st.lists(st.binary(min_size=0, max_size=6).filter(
+            lambda b: b"\n" not in b), min_size=1, max_size=10),
+        st.data(),
+    )
+    def test_property_result_is_record_aligned(self, records, data):
+        blob = b"".join(r + b"\n" for r in records)
+        pos = data.draw(st.integers(min_value=0, max_value=len(blob)))
+        end = adjust_split_point(blob, pos, b"\n")
+        assert end >= pos
+        # aligned: the prefix ends with the delimiter (or is empty/whole)
+        assert end in (0, len(blob)) or blob[:end].endswith(b"\n")
+
+
+class TestFindRecordEndInFile:
+    def test_matches_in_memory_version(self, tmp_path):
+        data = b"alpha\nbeta\ngamma\ndelta\n"
+        path = tmp_path / "f"
+        path.write_bytes(data)
+        for pos in range(len(data) + 1):
+            assert (
+                find_record_end_in_file(path, pos, b"\n")
+                == adjust_split_point(data, pos, b"\n")
+            )
+
+    def test_crlf_delimiter_straddling_probe(self, tmp_path):
+        data = b"x" * 10 + b"\r\n" + b"y" * 5 + b"\r\n"
+        path = tmp_path / "f"
+        path.write_bytes(data)
+        assert find_record_end_in_file(path, 11, b"\r\n") == 12
+
+    def test_out_of_range_raises(self, tmp_path):
+        path = tmp_path / "f"
+        path.write_bytes(b"ab")
+        with pytest.raises(ChunkingError):
+            find_record_end_in_file(path, 5, b"\n")
+
+    def test_empty_delimiter_raises(self, tmp_path):
+        path = tmp_path / "f"
+        path.write_bytes(b"ab")
+        with pytest.raises(ChunkingError):
+            find_record_end_in_file(path, 1, b"")
+
+    def test_large_record_spanning_probe_windows(self, tmp_path):
+        # record longer than the 64 KB probe window
+        data = b"z" * 200_000 + b"\n" + b"tail\n"
+        path = tmp_path / "f"
+        path.write_bytes(data)
+        assert find_record_end_in_file(path, 100, b"\n") == 200_001

@@ -1,0 +1,99 @@
+"""Property-based tests across all chunk planners.
+
+For arbitrary record streams and chunk parameters, every planner must
+produce plans that (a) tile the input exactly, (b) cut only at record
+boundaries, and (c) parse to the identical record sequence chunked or
+whole.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.chunking.hybrid import plan_hybrid_chunks
+from repro.chunking.interfile import plan_interfile_chunks
+from repro.chunking.intrafile import plan_intrafile_chunks
+from repro.chunking.variable import plan_variable_chunks
+from repro.io.records import RecordCodec
+
+records_strategy = st.lists(
+    st.binary(min_size=0, max_size=12).filter(lambda b: b"\n" not in b),
+    min_size=1, max_size=40,
+)
+
+suppress = [HealthCheck.function_scoped_fixture]
+
+
+def write_corpus(tmp_path, records, name="corpus"):
+    path = tmp_path / name
+    path.write_bytes(b"".join(r + b"\n" for r in records))
+    return path
+
+
+class TestInterfileProperties:
+    @given(records_strategy, st.integers(min_value=1, max_value=64))
+    @settings(max_examples=40, deadline=None, suppress_health_check=suppress)
+    def test_tiles_and_parses_identically(self, tmp_path, records, chunk):
+        path = write_corpus(tmp_path, records)
+        plan = plan_interfile_chunks(path, chunk, b"\n")
+        plan.validate_contiguous()
+        codec = RecordCodec()
+        chunked = [
+            r for c in plan.chunks for r in codec.iter_records(c.load())
+        ]
+        assert chunked == records
+
+    @given(records_strategy, st.integers(min_value=1, max_value=64))
+    @settings(max_examples=40, deadline=None, suppress_health_check=suppress)
+    def test_every_chunk_ends_on_boundary(self, tmp_path, records, chunk):
+        path = write_corpus(tmp_path, records)
+        plan = plan_interfile_chunks(path, chunk, b"\n")
+        for c in plan.chunks:
+            assert c.load().endswith(b"\n")
+
+
+class TestVariableProperties:
+    @given(records_strategy,
+           st.lists(st.integers(min_value=1, max_value=50), min_size=1,
+                    max_size=5))
+    @settings(max_examples=40, deadline=None, suppress_health_check=suppress)
+    def test_schedule_tiles_input(self, tmp_path, records, schedule):
+        path = write_corpus(tmp_path, records)
+        plan = plan_variable_chunks(path, schedule, b"\n")
+        plan.validate_contiguous()
+        assert b"".join(c.load() for c in plan.chunks) == path.read_bytes()
+
+
+class TestIntrafileProperties:
+    @given(st.integers(min_value=1, max_value=12),
+           st.integers(min_value=1, max_value=12))
+    @settings(max_examples=30, deadline=None, suppress_health_check=suppress)
+    def test_chunk_count_formula(self, tmp_path, n_files, per_chunk):
+        paths = []
+        for i in range(n_files):
+            p = tmp_path / f"f{i}"
+            p.write_bytes(b"x\n")
+            paths.append(p)
+        plan = plan_intrafile_chunks(paths, per_chunk)
+        expected = -(-n_files // per_chunk)  # ceil division
+        assert plan.n_chunks == expected
+        assert sum(len(c.sources) for c in plan.chunks) == n_files
+
+
+class TestHybridProperties:
+    @given(st.lists(st.integers(min_value=1, max_value=40), min_size=1,
+                    max_size=10),
+           st.integers(min_value=4, max_value=60))
+    @settings(max_examples=30, deadline=None, suppress_health_check=suppress)
+    def test_covers_all_bytes_in_order(self, tmp_path, line_counts, budget):
+        paths = []
+        for i, n in enumerate(line_counts):
+            p = tmp_path / f"f{i}"
+            p.write_bytes(b"ab\n" * n)
+            paths.append(p)
+        plan = plan_hybrid_chunks(paths, budget, b"\n")
+        plan.validate_contiguous()
+        whole = b"".join(p.read_bytes() for p in paths)
+        assert b"".join(c.load() for c in plan.chunks) == whole

@@ -1,0 +1,92 @@
+"""Inter-file chunking (one big file, byte-size chunks)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chunking.interfile import plan_interfile_chunks
+from repro.errors import ChunkingError
+from repro.io.records import TeraRecordCodec
+
+
+def write_records(path, n, record=b"0123456789 payload\r\n"):
+    path.write_bytes(record * n)
+    return len(record) * n
+
+
+class TestPlanInterfile:
+    def test_chunks_tile_the_file(self, tmp_path):
+        path = tmp_path / "big"
+        total = write_records(path, 100)
+        plan = plan_interfile_chunks(path, 256, b"\r\n")
+        assert plan.total_bytes == total
+        plan.validate_contiguous()
+
+    def test_chunks_are_record_aligned(self, tmp_path):
+        path = tmp_path / "big"
+        record = b"0123456789 payload\r\n"
+        write_records(path, 50, record)
+        plan = plan_interfile_chunks(path, 64, b"\r\n")
+        data = path.read_bytes()
+        offset = 0
+        for chunk in plan.chunks:
+            offset += chunk.length
+            if offset < len(data):
+                assert data[:offset].endswith(b"\r\n")
+
+    def test_chunk_sizes_near_request(self, tmp_path):
+        path = tmp_path / "big"
+        record = b"x" * 18 + b"\r\n"
+        write_records(path, 100, record)
+        plan = plan_interfile_chunks(path, 100, b"\r\n")
+        for chunk in plan.chunks[:-1]:
+            assert 100 <= chunk.length <= 100 + len(record)
+
+    def test_single_chunk_when_request_exceeds_file(self, tmp_path):
+        path = tmp_path / "big"
+        total = write_records(path, 3)
+        plan = plan_interfile_chunks(path, total * 10, b"\r\n")
+        assert plan.n_chunks == 1
+
+    def test_oversized_record_noted(self, tmp_path):
+        path = tmp_path / "big"
+        path.write_bytes(b"A" * 1000 + b"\r\n" + b"B" * 10 + b"\r\n")
+        plan = plan_interfile_chunks(path, 100, b"\r\n")
+        assert any("oversized" in note for note in plan.notes)
+        assert plan.chunks[0].length >= 1000
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(ChunkingError, match="missing"):
+            plan_interfile_chunks(tmp_path / "nope", 100, b"\n")
+
+    def test_invalid_chunk_size(self, tmp_path):
+        path = tmp_path / "big"
+        write_records(path, 2)
+        with pytest.raises(ChunkingError):
+            plan_interfile_chunks(path, 0, b"\n")
+
+    def test_loaded_chunks_reassemble_file(self, tmp_path):
+        path = tmp_path / "big"
+        write_records(path, 40)
+        plan = plan_interfile_chunks(path, 128, b"\r\n")
+        assert b"".join(c.load() for c in plan.chunks) == path.read_bytes()
+
+    def test_records_parse_identically_per_chunk(self, tmp_path):
+        codec = TeraRecordCodec()
+        path = tmp_path / "big"
+        from repro.workloads.teragen import generate_terasort_file
+
+        generate_terasort_file(path, 200, seed=1)
+        plan = plan_interfile_chunks(path, 1500, codec.delimiter)
+        chunked_pairs = [
+            pair for chunk in plan.chunks for pair in codec.iter_pairs(chunk.load())
+        ]
+        whole_pairs = list(codec.iter_pairs(path.read_bytes()))
+        assert chunked_pairs == whole_pairs
+
+    def test_plan_metadata(self, tmp_path):
+        path = tmp_path / "big"
+        write_records(path, 10)
+        plan = plan_interfile_chunks(path, 64, b"\r\n")
+        assert plan.strategy == "inter-file"
+        assert plan.requested_size == 64

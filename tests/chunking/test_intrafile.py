@@ -1,0 +1,70 @@
+"""Intra-file chunking (many small files)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chunking.intrafile import plan_intrafile_chunks
+from repro.errors import ChunkingError
+
+
+def make_files(tmp_path, n, size=100):
+    paths = []
+    for i in range(n):
+        p = tmp_path / f"f{i:03d}.txt"
+        p.write_bytes(bytes([65 + i % 26]) * size)
+        paths.append(p)
+    return paths
+
+
+class TestPlanIntrafile:
+    def test_paper_example_30_files_by_4(self, tmp_path):
+        # section III.A.1: 30 files, chunk size 4 => 8 chunks (7x4 + 1x2)
+        paths = make_files(tmp_path, 30)
+        plan = plan_intrafile_chunks(paths, 4)
+        assert plan.n_chunks == 8
+        assert [len(c.sources) for c in plan.chunks] == [4] * 7 + [2]
+        assert any("2 file(s)" in note for note in plan.notes)
+
+    def test_exact_multiple_has_no_note(self, tmp_path):
+        paths = make_files(tmp_path, 8)
+        plan = plan_intrafile_chunks(paths, 4)
+        assert plan.n_chunks == 2
+        assert plan.notes == ()
+
+    def test_one_file_per_chunk(self, tmp_path):
+        paths = make_files(tmp_path, 5)
+        plan = plan_intrafile_chunks(paths, 1)
+        assert plan.n_chunks == 5
+
+    def test_chunk_larger_than_input(self, tmp_path):
+        paths = make_files(tmp_path, 3)
+        plan = plan_intrafile_chunks(paths, 10)
+        assert plan.n_chunks == 1
+        assert len(plan.chunks[0].sources) == 3
+
+    def test_loading_concatenates_in_order(self, tmp_path):
+        paths = make_files(tmp_path, 4, size=3)
+        plan = plan_intrafile_chunks(paths, 2)
+        assert plan.chunks[0].load() == b"AAABBB"
+        assert plan.chunks[1].load() == b"CCCDDD"
+
+    def test_total_bytes(self, tmp_path):
+        paths = make_files(tmp_path, 6, size=50)
+        plan = plan_intrafile_chunks(paths, 4)
+        assert plan.total_bytes == 300
+
+    def test_empty_input_raises(self):
+        with pytest.raises(ChunkingError):
+            plan_intrafile_chunks([], 4)
+
+    def test_invalid_files_per_chunk(self, tmp_path):
+        paths = make_files(tmp_path, 2)
+        with pytest.raises(ChunkingError):
+            plan_intrafile_chunks(paths, 0)
+
+    def test_strategy_metadata(self, tmp_path):
+        paths = make_files(tmp_path, 2)
+        plan = plan_intrafile_chunks(paths, 2)
+        assert plan.strategy == "intra-file"
+        assert plan.requested_size == 2

@@ -1,0 +1,82 @@
+"""Strategy-dispatching planner and Chunk/ChunkPlan structures."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chunking.chunk import Chunk, ChunkPlan, ChunkSource
+from repro.chunking.planner import plan_chunks, plan_whole_input
+from repro.core.options import RuntimeOptions
+from repro.errors import ChunkingError
+from repro.io.records import RecordCodec
+
+
+@pytest.fixture
+def two_files(tmp_path):
+    a = tmp_path / "a.txt"
+    b = tmp_path / "b.txt"
+    a.write_bytes(b"line1\nline2\n")
+    b.write_bytes(b"line3\n")
+    return [a, b]
+
+
+class TestPlanWholeInput:
+    def test_single_chunk_covers_everything(self, two_files):
+        plan = plan_whole_input(two_files)
+        assert plan.n_chunks == 1
+        assert plan.total_bytes == 18
+        assert plan.strategy == "whole-input"
+
+    def test_no_inputs_raises(self):
+        with pytest.raises(ChunkingError):
+            plan_whole_input([])
+
+
+class TestPlanChunksDispatch:
+    def test_none_strategy(self, two_files):
+        plan = plan_chunks(two_files, RecordCodec(), RuntimeOptions.baseline())
+        assert plan.strategy == "whole-input"
+
+    def test_interfile_strategy(self, two_files):
+        options = RuntimeOptions.supmr_interfile("6")
+        plan = plan_chunks(two_files[:1], RecordCodec(), options)
+        assert plan.strategy == "inter-file"
+        assert plan.n_chunks == 2
+
+    def test_interfile_rejects_multiple_files(self, two_files):
+        options = RuntimeOptions.supmr_interfile("6")
+        with pytest.raises(ChunkingError, match="exactly one"):
+            plan_chunks(two_files, RecordCodec(), options)
+
+    def test_intrafile_strategy(self, two_files):
+        options = RuntimeOptions.supmr_intrafile(1)
+        plan = plan_chunks(two_files, RecordCodec(), options)
+        assert plan.strategy == "intra-file"
+        assert plan.n_chunks == 2
+
+
+class TestChunkStructures:
+    def test_source_validation(self, tmp_path):
+        with pytest.raises(ChunkingError):
+            ChunkSource(tmp_path / "x", -1, 10)
+
+    def test_chunk_length_sums_sources(self, two_files):
+        chunk = Chunk(0, (ChunkSource(two_files[0], 0, 12),
+                          ChunkSource(two_files[1], 0, 6)))
+        assert chunk.length == 18
+        assert chunk.paths == (two_files[0], two_files[1])
+
+    def test_validate_contiguous_detects_gap(self, two_files):
+        plan = ChunkPlan(
+            chunks=(
+                Chunk(0, (ChunkSource(two_files[0], 0, 4),)),
+                Chunk(1, (ChunkSource(two_files[0], 6, 6),)),  # gap at 4..6
+            ),
+            strategy="inter-file",
+        )
+        with pytest.raises(ChunkingError, match="resumes"):
+            plan.validate_contiguous()
+
+    def test_plan_iterates_chunks(self, two_files):
+        plan = plan_whole_input(two_files)
+        assert [c.index for c in plan] == [0]

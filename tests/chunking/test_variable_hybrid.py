@@ -1,0 +1,139 @@
+"""Variable-size and hybrid chunking (the paper's future-work modes)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chunking.hybrid import plan_hybrid_chunks
+from repro.chunking.variable import plan_variable_chunks
+from repro.errors import ChunkingError
+
+
+class TestVariableChunks:
+    def _file(self, tmp_path, n=100, record=b"0123456789 payload\r\n"):
+        path = tmp_path / "big"
+        path.write_bytes(record * n)
+        return path, len(record) * n
+
+    def test_schedule_followed_in_order(self, tmp_path):
+        path, _total = self._file(tmp_path)
+        plan = plan_variable_chunks(path, [100, 200, 400], b"\r\n")
+        lengths = [c.length for c in plan.chunks]
+        # each cut lands at the next record end past the scheduled size
+        assert 100 <= lengths[0] < 120
+        assert 200 <= lengths[1] < 220
+        assert all(400 <= n < 420 for n in lengths[2:-1])
+
+    def test_last_size_repeats(self, tmp_path):
+        path, total = self._file(tmp_path)
+        plan = plan_variable_chunks(path, [500], b"\r\n")
+        assert plan.total_bytes == total
+        assert plan.strategy == "variable"
+
+    def test_chunks_tile_and_align(self, tmp_path):
+        path, total = self._file(tmp_path)
+        plan = plan_variable_chunks(path, [64, 128], b"\r\n")
+        plan.validate_contiguous()
+        assert b"".join(c.load() for c in plan.chunks) == path.read_bytes()
+
+    def test_empty_schedule_raises(self, tmp_path):
+        path, _ = self._file(tmp_path)
+        with pytest.raises(ChunkingError):
+            plan_variable_chunks(path, [], b"\r\n")
+
+    def test_invalid_size_raises(self, tmp_path):
+        path, _ = self._file(tmp_path)
+        with pytest.raises(ChunkingError):
+            plan_variable_chunks(path, [100, 0], b"\r\n")
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(ChunkingError):
+            plan_variable_chunks(tmp_path / "nope", [100], b"\n")
+
+
+class TestHybridChunks:
+    def _files(self, tmp_path, sizes, record=b"x" * 9 + b"\n"):
+        paths = []
+        for i, size in enumerate(sizes):
+            p = tmp_path / f"f{i:02d}"
+            p.write_bytes(record * (size // len(record)))
+            paths.append(p)
+        return paths
+
+    def test_small_files_packed_to_budget(self, tmp_path):
+        paths = self._files(tmp_path, [100, 100, 100, 100])
+        plan = plan_hybrid_chunks(paths, 250, b"\n")
+        assert plan.n_chunks == 2
+        assert [len(c.sources) for c in plan.chunks] == [2, 2]
+
+    def test_oversized_file_split_interfile(self, tmp_path):
+        paths = self._files(tmp_path, [100, 1000, 100])
+        plan = plan_hybrid_chunks(paths, 300, b"\n")
+        plan.validate_contiguous()
+        # middle file split into ~4 inter-file chunks
+        split_chunks = [c for c in plan.chunks
+                        if c.sources[0].path == paths[1]]
+        assert len(split_chunks) >= 3
+        assert any("split inter-file" in note for note in plan.notes)
+
+    def test_mixed_corpus_covers_all_bytes(self, tmp_path):
+        paths = self._files(tmp_path, [50, 700, 120, 120, 900, 40])
+        total = sum(p.stat().st_size for p in paths)
+        plan = plan_hybrid_chunks(paths, 250, b"\n")
+        assert plan.total_bytes == total
+        data = b"".join(c.load() for c in plan.chunks)
+        assert data == b"".join(p.read_bytes() for p in paths)
+
+    def test_file_order_preserved(self, tmp_path):
+        paths = self._files(tmp_path, [100] * 6)
+        plan = plan_hybrid_chunks(paths, 1000, b"\n")
+        seen = [src.path for chunk in plan.chunks for src in chunk.sources]
+        assert seen == paths
+
+    def test_invalid_budget(self, tmp_path):
+        paths = self._files(tmp_path, [100])
+        with pytest.raises(ChunkingError):
+            plan_hybrid_chunks(paths, 0, b"\n")
+
+    def test_empty_inputs(self):
+        with pytest.raises(ChunkingError):
+            plan_hybrid_chunks([], 100, b"\n")
+
+
+class TestRuntimeIntegration:
+    def test_variable_strategy_end_to_end(self, text_file):
+        from repro.apps.wordcount import make_wordcount_job, reference_wordcount
+        from repro.core.options import RuntimeOptions
+        from repro.core.supmr import run_ingest_mr
+
+        result = run_ingest_mr(
+            make_wordcount_job([text_file]),
+            RuntimeOptions.supmr_variable(["8KB", "16KB", "64KB"]),
+        )
+        assert dict(result.output) == reference_wordcount([text_file])
+        assert result.counters["chunk_strategy"] == "variable"
+
+    def test_hybrid_strategy_end_to_end(self, small_files, text_file):
+        from repro.apps.wordcount import make_wordcount_job, reference_wordcount
+        from repro.core.options import RuntimeOptions
+        from repro.core.supmr import run_ingest_mr
+
+        inputs = list(small_files[:6]) + [text_file]  # mixed sizes
+        result = run_ingest_mr(
+            make_wordcount_job(inputs),
+            RuntimeOptions.supmr_hybrid("24KB"),
+        )
+        assert dict(result.output) == reference_wordcount(inputs)
+        assert result.counters["chunk_strategy"] == "hybrid"
+
+    def test_options_validation(self):
+        from repro.core.options import ChunkStrategy, RuntimeOptions
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError):
+            RuntimeOptions(chunk_strategy=ChunkStrategy.VARIABLE)
+        with pytest.raises(ConfigError):
+            RuntimeOptions(chunk_strategy=ChunkStrategy.VARIABLE,
+                           chunk_schedule=(0,))
+        with pytest.raises(ConfigError):
+            RuntimeOptions(chunk_strategy=ChunkStrategy.HYBRID)

@@ -1,0 +1,42 @@
+"""Shared fixtures: small real workloads and simulator scaffolding."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.simhw.events import Simulator
+from repro.workloads import (
+    generate_small_files,
+    generate_terasort_file,
+    generate_text_file,
+)
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    return Simulator()
+
+
+@pytest.fixture(scope="session")
+def text_file(tmp_path_factory: pytest.TempPathFactory) -> Path:
+    """~200 KB Zipf text file (session-scoped: generation is the slow part)."""
+    path = tmp_path_factory.mktemp("data") / "corpus.txt"
+    generate_text_file(path, 200_000, vocab_size=500, seed=11)
+    return path
+
+
+@pytest.fixture(scope="session")
+def terasort_file(tmp_path_factory: pytest.TempPathFactory) -> Path:
+    """3000 terasort records (~300 KB)."""
+    path = tmp_path_factory.mktemp("data") / "records.dat"
+    generate_terasort_file(path, 3000, seed=22)
+    return path
+
+
+@pytest.fixture(scope="session")
+def small_files(tmp_path_factory: pytest.TempPathFactory) -> list[Path]:
+    """30 small text files (the paper's intra-file chunking example size)."""
+    directory = tmp_path_factory.mktemp("data") / "many"
+    return generate_small_files(directory, 30, 4_000, vocab_size=300, seed=33)

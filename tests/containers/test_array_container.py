@@ -1,0 +1,84 @@
+"""Unlocked array container."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.containers.array_container import ArrayContainer
+from repro.errors import ContainerError
+
+
+class TestArrayContainer:
+    def test_emits_preserved_per_segment(self):
+        c = ArrayContainer()
+        c.begin_round()
+        e0 = c.emitter(0)
+        e1 = c.emitter(1)
+        e0.emit(b"k1", b"v1")
+        e1.emit(b"k2", b"v2")
+        e0.emit(b"k3", b"v3")
+        c.seal()
+        pairs = [p for part in c.partitions(1) for p in part]
+        assert (b"k1", [b"v1"]) in pairs
+        assert len(pairs) == 3
+
+    def test_no_combining_ever(self):
+        c = ArrayContainer()
+        c.begin_round()
+        e = c.emitter(0)
+        e.emit(b"dup", 1)
+        e.emit(b"dup", 2)
+        c.seal()
+        pairs = [p for part in c.partitions(1) for p in part]
+        assert sorted(v[0] for _k, v in pairs) == [1, 2]
+
+    def test_partitions_group_segments(self):
+        c = ArrayContainer()
+        c.begin_round()
+        for task in range(4):
+            c.emitter(task).emit(task, task)
+        c.seal()
+        parts = c.partitions(2)
+        assert len(parts) == 2
+        assert sum(len(p) for p in parts) == 4
+
+    def test_persistence_across_rounds(self):
+        c = ArrayContainer()
+        c.begin_round()
+        c.emitter(0).emit(b"r1", 1)
+        c.begin_round()
+        c.emitter(1).emit(b"r2", 2)
+        c.seal()
+        assert len(c) == 2
+        assert c.rounds == 2
+
+    def test_emit_after_seal_raises(self):
+        c = ArrayContainer()
+        c.begin_round()
+        e = c.emitter(0)
+        c.seal()
+        with pytest.raises(ContainerError):
+            e.emit(b"x", 1)
+
+    def test_partitions_before_seal_raises(self):
+        c = ArrayContainer()
+        c.begin_round()
+        with pytest.raises(ContainerError):
+            c.partitions(1)
+
+    def test_zero_partitions_raises(self):
+        c = ArrayContainer()
+        c.begin_round()
+        c.seal()
+        with pytest.raises(ContainerError):
+            c.partitions(0)
+
+    def test_stats_count_emits_as_distinct(self):
+        c = ArrayContainer()
+        c.begin_round()
+        e = c.emitter(0)
+        for i in range(5):
+            e.emit(i, i)
+        stats = c.stats()
+        assert stats.emits == 5
+        assert stats.distinct_keys == 5

@@ -1,0 +1,47 @@
+"""Combiner strategies."""
+
+from __future__ import annotations
+
+from repro.containers.combiners import (
+    CountCombiner,
+    FirstCombiner,
+    ListCombiner,
+    MaxCombiner,
+    MinCombiner,
+    SumCombiner,
+)
+
+
+def fold(combiner, values):
+    state = combiner.initial(values[0])
+    for v in values[1:]:
+        state = combiner.update(state, v)
+    return list(combiner.finish(state))
+
+
+class TestCombiners:
+    def test_sum(self):
+        assert fold(SumCombiner(), [1, 2, 3]) == [6]
+
+    def test_sum_works_on_floats(self):
+        assert fold(SumCombiner(), [0.5, 0.25]) == [0.75]
+
+    def test_count_ignores_values(self):
+        assert fold(CountCombiner(), ["a", "b", "c"]) == [3]
+
+    def test_min(self):
+        assert fold(MinCombiner(), [5, 2, 9]) == [2]
+
+    def test_max(self):
+        assert fold(MaxCombiner(), [5, 2, 9]) == [9]
+
+    def test_first(self):
+        assert fold(FirstCombiner(), ["x", "y", "z"]) == ["x"]
+
+    def test_list_keeps_everything_in_order(self):
+        assert fold(ListCombiner(), [3, 1, 2]) == [3, 1, 2]
+
+    def test_single_value_paths(self):
+        assert fold(SumCombiner(), [7]) == [7]
+        assert fold(ListCombiner(), [7]) == [7]
+        assert fold(CountCombiner(), [7]) == [1]

@@ -1,0 +1,118 @@
+"""Fixed-width array container (Phoenix++'s third container family)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.containers.fixed_array import FixedArrayContainer
+from repro.errors import ContainerError
+
+
+class TestFixedArrayContainer:
+    def test_sums_per_key(self):
+        c = FixedArrayContainer(8)
+        c.begin_round()
+        e = c.emitter(0)
+        e.emit(3, 2)
+        e.emit(3, 5)
+        e.emit(0, 1)
+        c.seal()
+        merged = dict((k, v[0]) for part in c.partitions(2) for k, v in part)
+        assert merged == {0: 1, 3: 7}
+
+    def test_per_task_cells_combined(self):
+        c = FixedArrayContainer(4)
+        c.begin_round()
+        c.emitter(0).emit(1, 10)
+        c.emitter(1).emit(1, 5)
+        c.seal()
+        assert c.combined()[1] == 15
+
+    def test_key_out_of_range_raises(self):
+        c = FixedArrayContainer(4)
+        c.begin_round()
+        e = c.emitter(0)
+        with pytest.raises(ContainerError, match="outside"):
+            e.emit(4, 1)
+        with pytest.raises(ContainerError, match="outside"):
+            e.emit(-1, 1)
+
+    def test_partitions_are_contiguous_key_ranges(self):
+        c = FixedArrayContainer(8)
+        c.begin_round()
+        e = c.emitter(0)
+        for k in range(8):
+            e.emit(k, 1)
+        c.seal()
+        parts = c.partitions(2)
+        assert [k for k, _v in parts[0]] == [0, 1, 2, 3]
+        assert [k for k, _v in parts[1]] == [4, 5, 6, 7]
+
+    def test_zero_cells_skipped(self):
+        c = FixedArrayContainer(10)
+        c.begin_round()
+        c.emitter(0).emit(5, 1)
+        c.seal()
+        parts = c.partitions(1)
+        assert parts == [[(5, [1])]]
+
+    def test_persistence_across_rounds(self):
+        c = FixedArrayContainer(4)
+        c.begin_round()
+        c.emitter(0).emit(2, 1)
+        c.begin_round()
+        c.emitter(1).emit(2, 1)
+        c.seal()
+        assert c.combined()[2] == 2
+        assert c.rounds == 2
+
+    def test_combined_before_seal_raises(self):
+        c = FixedArrayContainer(4)
+        c.begin_round()
+        with pytest.raises(ContainerError):
+            c.combined()
+
+    def test_float_dtype(self):
+        c = FixedArrayContainer(4, dtype="float64")
+        c.begin_round()
+        c.emitter(0).emit(0, 0.5)
+        c.emitter(0).emit(0, 0.25)
+        c.seal()
+        assert c.combined()[0] == pytest.approx(0.75)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ContainerError):
+            FixedArrayContainer(0)
+        with pytest.raises(ContainerError):
+            FixedArrayContainer(4, dtype="U8")
+
+    def test_stats(self):
+        c = FixedArrayContainer(8)
+        c.begin_round()
+        e = c.emitter(0)
+        e.emit(1, 1)
+        e.emit(1, 1)
+        e.emit(2, 1)
+        stats = c.stats()
+        assert stats.emits == 3
+        assert stats.distinct_keys == 2
+        assert len(c) == 2
+
+    def test_empty_container_partitions(self):
+        c = FixedArrayContainer(4)
+        c.begin_round()
+        c.seal()
+        assert c.partitions(2) == [[], []]
+        assert (c.combined() == np.zeros(4)).all()
+
+    def test_histogram_job_integration(self, tmp_path):
+        from repro.apps.histogram import make_histogram_job, reference_histogram
+        from repro.core.phoenix import PhoenixRuntime
+
+        f = tmp_path / "nums.txt"
+        f.write_bytes(b"".join(b"%d\n" % (i % 10) for i in range(200)))
+        fixed = PhoenixRuntime().run(
+            make_histogram_job([f], 0.0, 10.0, 10, container="fixed")
+        )
+        assert dict(fixed.output) == reference_histogram([f], 0.0, 10.0, 10)

@@ -1,0 +1,164 @@
+"""Execution machinery: splits, waves, reducers, merge."""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.containers.array_container import ArrayContainer
+from repro.containers.combiners import SumCombiner
+from repro.containers.hash_container import HashContainer
+from repro.core.execution import (
+    merge_outputs,
+    run_mapper_wave,
+    run_reducers,
+    split_for_mappers,
+)
+from repro.core.job import JobSpec
+from repro.core.options import MergeAlgorithm, RuntimeOptions
+from repro.errors import RuntimeStateError
+
+
+class TestSplitForMappers:
+    def test_covers_all_data(self):
+        data = b"aa\nbb\ncc\ndd\n"
+        splits = split_for_mappers(data, 3, b"\n")
+        assert b"".join(splits) == data
+
+    def test_splits_are_record_aligned(self):
+        data = b"one\ntwo\nthree\nfour\n"
+        for split in split_for_mappers(data, 4, b"\n")[:-1]:
+            assert split.endswith(b"\n")
+
+    def test_at_most_n_splits(self):
+        data = b"x\n" * 100
+        assert len(split_for_mappers(data, 5, b"\n")) <= 5
+
+    def test_no_empty_splits(self):
+        data = b"a\n"
+        splits = split_for_mappers(data, 8, b"\n")
+        assert all(splits)
+
+    def test_empty_data_gives_no_splits(self):
+        assert split_for_mappers(b"", 4, b"\n") == []
+
+    def test_invalid_n_raises(self):
+        with pytest.raises(RuntimeStateError):
+            split_for_mappers(b"x", 0, b"\n")
+
+    @given(st.lists(st.binary(min_size=1, max_size=5).filter(
+        lambda b: b"\n" not in b), max_size=30),
+        st.integers(min_value=1, max_value=8))
+    def test_property_reassembles_and_aligns(self, records, n):
+        data = b"".join(r + b"\n" for r in records)
+        splits = split_for_mappers(data, n, b"\n")
+        assert b"".join(splits) == data
+        for split in splits[:-1]:
+            assert split.endswith(b"\n")
+
+
+def _wc_job(tmp_path):
+    f = tmp_path / "in.txt"
+    f.write_bytes(b"a b a\nc a b\n")
+
+    def map_fn(ctx):
+        for word in ctx.data.split():
+            ctx.emit(word, 1)
+
+    def reduce_fn(key, values):
+        yield (key, sum(values))
+
+    return JobSpec(
+        name="wc", inputs=(f,), map_fn=map_fn, reduce_fn=reduce_fn,
+        container_factory=lambda: HashContainer(SumCombiner()),
+    )
+
+
+class TestWaveAndReducers:
+    def test_wave_emits_into_container(self, tmp_path):
+        job = _wc_job(tmp_path)
+        container = job.container_factory()
+        options = RuntimeOptions(num_mappers=2, num_reducers=2)
+        with ThreadPoolExecutor(max_workers=2) as pool:
+            launched = run_mapper_wave(
+                job, container, job.inputs[0].read_bytes(), options, pool
+            )
+        assert 1 <= launched <= 2
+        assert container.stats().emits == 6
+
+    def test_reducers_return_sorted_runs(self, tmp_path):
+        job = _wc_job(tmp_path)
+        container = job.container_factory()
+        options = RuntimeOptions(num_mappers=2, num_reducers=3)
+        with ThreadPoolExecutor(max_workers=2) as pool:
+            run_mapper_wave(job, container, job.inputs[0].read_bytes(),
+                            options, pool)
+            runs = run_reducers(job, container, options, pool)
+        assert len(runs) == 3
+        for run in runs:
+            keys = [k for k, _v in run]
+            assert keys == sorted(keys)
+        merged = dict(p for run in runs for p in run)
+        assert merged == {b"a": 3, b"b": 2, b"c": 1}
+
+    def test_map_failure_propagates(self, tmp_path):
+        f = tmp_path / "in.txt"
+        f.write_bytes(b"data\n")
+
+        def bad_map(ctx):
+            raise RuntimeError("mapper crashed")
+
+        job = JobSpec(name="bad", inputs=(f,), map_fn=bad_map,
+                      container_factory=ArrayContainer)
+        options = RuntimeOptions(num_mappers=2, num_reducers=1)
+        with ThreadPoolExecutor(max_workers=2) as pool:
+            with pytest.raises(RuntimeError, match="mapper crashed"):
+                run_mapper_wave(job, job.container_factory(), b"data\n",
+                                options, pool)
+
+
+class TestMergeOutputs:
+    def _job(self, tmp_path, sorted_output=True):
+        f = tmp_path / "f"
+        f.write_bytes(b"x")
+        return JobSpec(name="j", inputs=(f,), map_fn=lambda ctx: None,
+                       container_factory=ArrayContainer,
+                       sorted_output=sorted_output)
+
+    def test_pairwise_counts_rounds(self, tmp_path):
+        job = self._job(tmp_path)
+        runs = [[(i, None)] for i in range(8)]
+        options = RuntimeOptions(merge_algorithm=MergeAlgorithm.PAIRWISE)
+        merged, rounds = merge_outputs(runs, job, options)
+        assert [k for k, _ in merged] == list(range(8))
+        assert rounds == 3
+
+    def test_pway_is_single_round(self, tmp_path):
+        job = self._job(tmp_path)
+        runs = [[(i, None)] for i in range(8)]
+        options = RuntimeOptions(merge_algorithm=MergeAlgorithm.PWAY,
+                                 num_reducers=4)
+        merged, rounds = merge_outputs(runs, job, options)
+        assert [k for k, _ in merged] == list(range(8))
+        assert rounds == 1
+
+    def test_algorithms_agree(self, tmp_path):
+        job = self._job(tmp_path)
+        runs = [sorted((i * 7 + j, j) for j in range(5)) for i in range(4)]
+        pairwise, _ = merge_outputs(
+            runs, job, RuntimeOptions(merge_algorithm=MergeAlgorithm.PAIRWISE)
+        )
+        pway, _ = merge_outputs(
+            runs, job, RuntimeOptions(merge_algorithm=MergeAlgorithm.PWAY)
+        )
+        assert pairwise == pway
+
+    def test_unsorted_output_skips_merge(self, tmp_path):
+        job = self._job(tmp_path, sorted_output=False)
+        runs = [[(3, None)], [(1, None)]]
+        merged, rounds = merge_outputs(runs, job, RuntimeOptions())
+        assert merged == [(3, None), (1, None)]  # concatenation, no sort
+        assert rounds == 0

@@ -1,0 +1,92 @@
+"""Iterative session: ingest once, compute many times."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.kmeans import run_kmeans
+from repro.apps.wordcount import make_wordcount_job, reference_wordcount
+from repro.core.iterative import IterativeSession
+from repro.core.options import RuntimeOptions
+from repro.errors import ConfigError, RuntimeStateError
+from repro.io.records import TextCodec
+
+
+class TestIterativeSession:
+    def _session(self, text_file, **kw):
+        return IterativeSession(
+            [text_file], TextCodec(),
+            RuntimeOptions.supmr_interfile("32KB", **kw),
+        )
+
+    def test_first_run_fills_cache(self, text_file):
+        with self._session(text_file) as session:
+            assert not session.cached
+            result = session.run(make_wordcount_job([text_file]))
+            assert session.cached
+            assert not result.counters["from_cache"]
+            assert session.cached_bytes == text_file.stat().st_size
+
+    def test_second_run_uses_cache_same_output(self, text_file):
+        with self._session(text_file) as session:
+            first = session.run(make_wordcount_job([text_file]))
+            second = session.run(make_wordcount_job([text_file]))
+        assert second.counters["from_cache"]
+        assert second.output == first.output
+        assert dict(second.output) == reference_wordcount([text_file])
+
+    def test_iteration_counter(self, text_file):
+        with self._session(text_file) as session:
+            for i in range(1, 4):
+                result = session.run(make_wordcount_job([text_file]))
+                assert result.counters["iteration"] == i
+
+    def test_rejects_unchunked_options(self, text_file):
+        with pytest.raises(ConfigError):
+            IterativeSession([text_file], TextCodec(),
+                             RuntimeOptions.baseline())
+
+    def test_rejects_mismatched_inputs(self, text_file, terasort_file):
+        with self._session(text_file) as session:
+            with pytest.raises(RuntimeStateError, match="inputs differ"):
+                session.run(make_wordcount_job([terasort_file]))
+
+    def test_close_drops_cache(self, text_file):
+        session = self._session(text_file)
+        session.run(make_wordcount_job([text_file]))
+        session.close()
+        assert not session.cached
+
+    def test_runtime_label(self, text_file):
+        with self._session(text_file) as session:
+            result = session.run(make_wordcount_job([text_file]))
+        assert result.runtime == "supmr-iterative"
+
+
+class TestKMeansWithSession:
+    def test_session_kmeans_matches_plain(self, tmp_path):
+        import numpy as np
+
+        rng = np.random.default_rng(5)
+        lines = [b"%f %f" % (x, y)
+                 for x, y in rng.normal((0, 0), 0.5, size=(100, 2))]
+        lines += [b"%f %f" % (x, y)
+                  for x, y in rng.normal((6, 6), 0.5, size=(100, 2))]
+        f = tmp_path / "pts.txt"
+        f.write_bytes(b"\n".join(lines) + b"\n")
+        init = [(1.0, 1.0), (5.0, 5.0)]
+
+        plain = run_kmeans([f], init, max_iters=6, tol=1e-6)
+        cached = run_kmeans(
+            [f], init, max_iters=6, tol=1e-6,
+            options=RuntimeOptions.supmr_interfile("2KB"),
+            use_session=True,
+        )
+        for a, b in zip(sorted(plain.centroids), sorted(cached.centroids)):
+            assert a == pytest.approx(b, abs=1e-9)
+
+    def test_session_requires_options(self, tmp_path):
+        f = tmp_path / "pts.txt"
+        f.write_bytes(b"0 0\n1 1\n")
+        with pytest.raises(ConfigError):
+            run_kmeans([f], [(0.0, 0.0)], use_session=True)

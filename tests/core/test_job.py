@@ -1,0 +1,65 @@
+"""Job specification."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.containers.array_container import ArrayContainer
+from repro.core.job import JobSpec, MapContext, identity_reduce
+from repro.errors import ConfigError
+
+
+def noop_map(ctx: MapContext) -> None:
+    pass
+
+
+class TestJobSpec:
+    def test_requires_name(self, tmp_path):
+        f = tmp_path / "f"
+        f.write_bytes(b"x")
+        with pytest.raises(ConfigError):
+            JobSpec(name="", inputs=(f,), map_fn=noop_map,
+                    container_factory=ArrayContainer)
+
+    def test_requires_inputs(self):
+        with pytest.raises(ConfigError):
+            JobSpec(name="j", inputs=(), map_fn=noop_map,
+                    container_factory=ArrayContainer)
+
+    def test_inputs_coerced_to_paths(self, tmp_path):
+        f = tmp_path / "f"
+        f.write_bytes(b"x")
+        job = JobSpec(name="j", inputs=(str(f),), map_fn=noop_map,
+                      container_factory=ArrayContainer)
+        assert job.inputs[0] == f
+
+    def test_total_input_bytes(self, tmp_path):
+        a, b = tmp_path / "a", tmp_path / "b"
+        a.write_bytes(b"123")
+        b.write_bytes(b"4567")
+        job = JobSpec(name="j", inputs=(a, b), map_fn=noop_map,
+                      container_factory=ArrayContainer)
+        assert job.total_input_bytes == 7
+
+    def test_identity_reduce(self):
+        assert list(identity_reduce("k", [1, 2])) == [("k", 1), ("k", 2)]
+
+    def test_default_output_key_is_pair_key(self, tmp_path):
+        f = tmp_path / "f"
+        f.write_bytes(b"x")
+        job = JobSpec(name="j", inputs=(f,), map_fn=noop_map,
+                      container_factory=ArrayContainer)
+        assert job.output_key((b"key", b"value")) == b"key"
+
+
+class TestMapContext:
+    def test_emit_routes_to_emitter(self):
+        collected = []
+
+        class FakeEmitter:
+            def emit(self, k, v):
+                collected.append((k, v))
+
+        ctx = MapContext(data=b"", emitter=FakeEmitter(), task_id=0)
+        ctx.emit(b"k", 1)
+        assert collected == [(b"k", 1)]

@@ -1,0 +1,71 @@
+"""Runtime options validation and constructors."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.options import ChunkStrategy, MergeAlgorithm, RuntimeOptions
+from repro.errors import ConfigError
+
+
+class TestValidation:
+    def test_defaults_are_baseline(self):
+        opts = RuntimeOptions()
+        assert opts.chunk_strategy is ChunkStrategy.NONE
+        assert opts.merge_algorithm is MergeAlgorithm.PAIRWISE
+
+    def test_thread_counts_validated(self):
+        with pytest.raises(ConfigError):
+            RuntimeOptions(num_mappers=0)
+        with pytest.raises(ConfigError):
+            RuntimeOptions(num_reducers=0)
+
+    def test_interfile_requires_chunk_bytes(self):
+        with pytest.raises(ConfigError):
+            RuntimeOptions(chunk_strategy=ChunkStrategy.INTER_FILE)
+
+    def test_intrafile_requires_files_per_chunk(self):
+        with pytest.raises(ConfigError):
+            RuntimeOptions(chunk_strategy=ChunkStrategy.INTRA_FILE)
+
+    def test_merge_parallelism_validated(self):
+        with pytest.raises(ConfigError):
+            RuntimeOptions(merge_parallelism=0)
+
+    def test_effective_merge_parallelism_defaults_to_reducers(self):
+        opts = RuntimeOptions(num_reducers=6)
+        assert opts.effective_merge_parallelism == 6
+        assert opts.with_(merge_parallelism=3).effective_merge_parallelism == 3
+
+
+class TestConstructors:
+    def test_baseline(self):
+        opts = RuntimeOptions.baseline(8, 2)
+        assert opts.num_mappers == 8
+        assert opts.num_reducers == 2
+        assert opts.chunk_strategy is ChunkStrategy.NONE
+
+    def test_supmr_interfile_parses_sizes(self):
+        opts = RuntimeOptions.supmr_interfile("1MB")
+        assert opts.chunk_bytes == 1024 * 1024
+        assert opts.chunk_strategy is ChunkStrategy.INTER_FILE
+        assert opts.merge_algorithm is MergeAlgorithm.PWAY
+
+    def test_supmr_intrafile(self):
+        opts = RuntimeOptions.supmr_intrafile(4)
+        assert opts.files_per_chunk == 4
+        assert opts.chunk_strategy is ChunkStrategy.INTRA_FILE
+
+    def test_with_copies(self):
+        opts = RuntimeOptions.baseline()
+        changed = opts.with_(num_mappers=16)
+        assert changed.num_mappers == 16
+        assert opts.num_mappers == 4  # original untouched
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            RuntimeOptions().num_mappers = 7  # type: ignore[misc]
+
+    def test_pipelined_flag_passthrough(self):
+        opts = RuntimeOptions.supmr_interfile("1MB", pipelined_ingest=False)
+        assert opts.pipelined_ingest is False

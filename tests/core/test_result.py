@@ -1,0 +1,56 @@
+"""Result structures and speedup arithmetic."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.containers.base import ContainerStats
+from repro.core.result import JobResult, PhaseTimings, RoundTiming
+
+
+def timings(read=10.0, mp=5.0, red=1.0, mer=4.0, combined=False):
+    return PhaseTimings(
+        read_s=read, map_s=mp, reduce_s=red, merge_s=mer,
+        total_s=read + mp + red + mer, read_map_combined=combined,
+    )
+
+
+class TestPhaseTimings:
+    def test_read_map_combined_cell(self):
+        t = timings()
+        assert t.read_map_s == pytest.approx(15.0)
+
+    def test_compute_s(self):
+        assert timings().compute_s == pytest.approx(10.0)
+
+    def test_speedup_vs(self):
+        base = timings(read=20.0, mp=10.0, red=2.0, mer=8.0)
+        opt = timings(read=10.0, mp=5.0, red=1.0, mer=4.0)
+        s = opt.speedup_vs(base)
+        assert s["total"] == pytest.approx(2.0)
+        assert s["merge"] == pytest.approx(2.0)
+
+    def test_speedup_vs_zero_phase_is_inf(self):
+        base = timings(mer=8.0)
+        opt = PhaseTimings(read_s=1, map_s=1, reduce_s=1, merge_s=0.0,
+                           total_s=3)
+        assert opt.speedup_vs(base)["merge"] == float("inf")
+
+
+class TestRoundTiming:
+    def test_span_is_max_of_legs(self):
+        r = RoundTiming(index=1, ingest_s=3.0, map_s=1.0, chunk_bytes=100)
+        assert r.span_s == 3.0
+
+
+class TestJobResult:
+    def test_accessors(self):
+        result = JobResult(
+            job_name="j", runtime="phoenix",
+            output=[(b"a", 1), (b"b", 2)],
+            timings=timings(),
+            container_stats=ContainerStats(emits=2, distinct_keys=2, rounds=1),
+            input_bytes=100,
+        )
+        assert result.n_output_pairs == 2
+        assert result.output_keys() == [b"a", b"b"]

@@ -1,0 +1,150 @@
+"""End-to-end runtime tests: Phoenix baseline vs SupMR equivalence.
+
+The central correctness property of the reproduction: for any job, the
+SupMR runtime (any chunking strategy, any chunk size, pipelined or not,
+either merge algorithm) produces byte-identical output to the baseline.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.sortapp import make_sort_job, reference_sort
+from repro.apps.wordcount import make_wordcount_job, reference_wordcount
+from repro.core.options import ChunkStrategy, MergeAlgorithm, RuntimeOptions
+from repro.core.phoenix import PhoenixRuntime, run_baseline
+from repro.core.supmr import SupMRRuntime, run_ingest_mr
+from repro.errors import ConfigError
+
+
+class TestPhoenixRuntime:
+    def test_wordcount_matches_reference(self, text_file):
+        result = PhoenixRuntime().run(make_wordcount_job([text_file]))
+        assert dict(result.output) == reference_wordcount([text_file])
+
+    def test_output_sorted_by_key(self, text_file):
+        result = PhoenixRuntime().run(make_wordcount_job([text_file]))
+        keys = result.output_keys()
+        assert keys == sorted(keys)
+
+    def test_sort_matches_reference(self, terasort_file):
+        result = PhoenixRuntime().run(make_sort_job([terasort_file]))
+        assert result.output == reference_sort([terasort_file])
+
+    def test_timings_populated(self, text_file):
+        result = PhoenixRuntime().run(make_wordcount_job([text_file]))
+        t = result.timings
+        assert t.total_s > 0
+        assert t.total_s >= t.read_s
+        assert not t.read_map_combined
+
+    def test_rejects_chunked_options(self):
+        with pytest.raises(ConfigError):
+            PhoenixRuntime(RuntimeOptions.supmr_interfile("1MB"))
+
+    def test_counters_report_merge_rounds(self, text_file):
+        options = RuntimeOptions.baseline(num_reducers=8)
+        result = PhoenixRuntime(options).run(make_wordcount_job([text_file]))
+        assert result.counters["merge_rounds"] == 3  # log2(8)
+        assert result.counters["merge_algorithm"] == "pairwise"
+
+    def test_run_baseline_helper_forces_pairwise(self, text_file):
+        result = run_baseline(
+            make_wordcount_job([text_file]),
+            RuntimeOptions(merge_algorithm=MergeAlgorithm.PWAY),
+        )
+        assert result.counters["merge_algorithm"] == "pairwise"
+
+
+class TestSupMRRuntime:
+    def test_rejects_unchunked_options(self):
+        with pytest.raises(ConfigError):
+            SupMRRuntime(RuntimeOptions.baseline())
+
+    @pytest.mark.parametrize("chunk_size", ["7KB", "32KB", "1MB"])
+    def test_wordcount_equals_baseline_across_chunk_sizes(
+        self, text_file, chunk_size
+    ):
+        baseline = PhoenixRuntime().run(make_wordcount_job([text_file]))
+        supmr = run_ingest_mr(
+            make_wordcount_job([text_file]),
+            RuntimeOptions.supmr_interfile(chunk_size),
+        )
+        assert supmr.output == baseline.output
+
+    def test_sort_equals_baseline(self, terasort_file):
+        baseline = PhoenixRuntime().run(make_sort_job([terasort_file]))
+        supmr = run_ingest_mr(
+            make_sort_job([terasort_file]),
+            RuntimeOptions.supmr_interfile("25KB"),
+        )
+        assert supmr.output == baseline.output
+
+    def test_intrafile_equals_baseline(self, small_files):
+        baseline = PhoenixRuntime().run(make_wordcount_job(small_files))
+        supmr = run_ingest_mr(
+            make_wordcount_job(small_files),
+            RuntimeOptions.supmr_intrafile(4),
+        )
+        assert supmr.output == baseline.output
+        # paper example: 30 files / 4 per chunk = 8 chunks
+        assert supmr.n_chunks == 8
+
+    def test_unpipelined_identical_to_pipelined(self, text_file):
+        piped = run_ingest_mr(
+            make_wordcount_job([text_file]),
+            RuntimeOptions.supmr_interfile("16KB"),
+        )
+        serial = run_ingest_mr(
+            make_wordcount_job([text_file]),
+            RuntimeOptions.supmr_interfile("16KB", pipelined_ingest=False),
+        )
+        assert piped.output == serial.output
+
+    def test_pairwise_merge_option_identical_output(self, terasort_file):
+        pway = run_ingest_mr(
+            make_sort_job([terasort_file]),
+            RuntimeOptions.supmr_interfile("30KB"),
+        )
+        pairwise = run_ingest_mr(
+            make_sort_job([terasort_file]),
+            RuntimeOptions.supmr_interfile(
+                "30KB", merge_algorithm=MergeAlgorithm.PAIRWISE
+            ),
+        )
+        assert pway.output == pairwise.output
+        assert pway.counters["merge_rounds"] <= 1
+        assert pairwise.counters["merge_rounds"] >= 1
+
+    def test_round_timings_structure(self, text_file):
+        result = run_ingest_mr(
+            make_wordcount_job([text_file]),
+            RuntimeOptions.supmr_interfile("32KB"),
+        )
+        rounds = result.timings.rounds
+        assert len(rounds) == result.n_chunks + 1
+        assert rounds[0].map_s == 0.0  # serial first ingest
+        assert rounds[-1].ingest_s == 0.0  # final map-only round
+
+    def test_read_map_reported_combined(self, text_file):
+        result = run_ingest_mr(
+            make_wordcount_job([text_file]),
+            RuntimeOptions.supmr_interfile("32KB"),
+        )
+        assert result.timings.read_map_combined
+        assert result.timings.map_s == 0.0
+
+    def test_container_persists_across_rounds(self, text_file):
+        result = run_ingest_mr(
+            make_wordcount_job([text_file]),
+            RuntimeOptions.supmr_interfile("16KB"),
+        )
+        assert result.container_stats.rounds == result.n_chunks
+
+    def test_set_data_callback_sees_every_chunk(self, text_file):
+        seen: list[tuple[int, int]] = []
+        job = make_wordcount_job([text_file])
+        job.set_data = lambda chunk, length: seen.append((chunk.index, length))
+        result = run_ingest_mr(job, RuntimeOptions.supmr_interfile("32KB"))
+        assert [idx for idx, _len in seen] == list(range(result.n_chunks))
+        assert all(length > 0 for _idx, length in seen)

@@ -1,0 +1,124 @@
+"""Dynamic task scheduler (work-queue discipline)."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.core.scheduler import TaskScheduler
+from repro.errors import ConfigError, RuntimeStateError
+
+
+class TestBasics:
+    def test_runs_all_tasks(self):
+        done = []
+        with TaskScheduler(workers=3) as sched:
+            for i in range(20):
+                sched.submit(done.append, i)
+            sched.drain()
+        assert sorted(done) == list(range(20))
+
+    def test_map_wave_helper(self):
+        out = []
+        lock = threading.Lock()
+
+        def work(i):
+            with lock:
+                out.append(i * 2)
+
+        with TaskScheduler(workers=2) as sched:
+            sched.map_wave(work, list(range(10)))
+        assert sorted(out) == [i * 2 for i in range(10)]
+
+    def test_reusable_across_waves(self):
+        counter = []
+        with TaskScheduler(workers=2) as sched:
+            sched.map_wave(counter.append, [1, 2, 3])
+            sched.map_wave(counter.append, [4, 5])
+        assert len(counter) == 5
+
+    def test_invalid_workers(self):
+        with pytest.raises(ConfigError):
+            TaskScheduler(workers=0)
+
+    def test_submit_after_shutdown_raises(self):
+        sched = TaskScheduler(workers=1)
+        sched.shutdown()
+        with pytest.raises(RuntimeStateError):
+            sched.submit(lambda: None)
+
+    def test_shutdown_idempotent(self):
+        sched = TaskScheduler(workers=1)
+        sched.shutdown()
+        sched.shutdown()
+
+
+class TestLoadBalancing:
+    def test_slow_task_does_not_idle_other_workers(self):
+        """Dynamic assignment: many short tasks flow around one long one."""
+        order = []
+        lock = threading.Lock()
+
+        def slow():
+            time.sleep(0.15)
+            with lock:
+                order.append("slow")
+
+        def fast(i):
+            with lock:
+                order.append(i)
+
+        with TaskScheduler(workers=2) as sched:
+            sched.submit(slow)
+            for i in range(8):
+                sched.submit(fast, i)
+            sched.drain()
+        # the fast tasks all finished before the slow one
+        assert order[-1] == "slow"
+
+    def test_work_spreads_across_workers(self):
+        with TaskScheduler(workers=4) as sched:
+            sched.map_wave(lambda i: time.sleep(0.002), list(range(40)))
+            counts = sched.stats.per_worker_counts()
+        assert len(counts) >= 2  # more than one worker participated
+        assert sum(counts.values()) == 40
+
+
+class TestErrorsAndStats:
+    def test_error_reraised_on_drain(self):
+        def bad():
+            raise ValueError("task exploded")
+
+        with TaskScheduler(workers=2) as sched:
+            sched.submit(bad)
+            with pytest.raises(ValueError, match="exploded"):
+                sched.drain()
+
+    def test_error_does_not_kill_workers(self):
+        results = []
+        with TaskScheduler(workers=2) as sched:
+            sched.submit(lambda: 1 / 0)
+            with pytest.raises(ZeroDivisionError):
+                sched.drain()
+            sched.map_wave(results.append, [1, 2, 3])  # pool still alive
+        assert sorted(results) == [1, 2, 3]
+
+    def test_stats_recorded(self):
+        with TaskScheduler(workers=2) as sched:
+            sched.map_wave(lambda i: time.sleep(0.001), list(range(6)))
+            stats = sched.stats
+        assert stats.tasks == 6
+        assert stats.total_run_s > 0
+        assert stats.mean_queue_wait_s >= 0
+        assert all(r.error is None for r in stats.records)
+
+    def test_drain_timeout(self):
+        sched = TaskScheduler(workers=1)
+        try:
+            sched.submit(time.sleep, 1.0)
+            with pytest.raises(RuntimeStateError, match="timed out"):
+                sched.drain(timeout=0.05)
+        finally:
+            sched.shutdown()

@@ -1,0 +1,113 @@
+"""Phase timer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.timers import PhaseTimer
+from repro.errors import RuntimeStateError
+
+
+class FakeClock:
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self):
+        return self.t
+
+    def advance(self, dt):
+        self.t += dt
+
+
+class TestPhaseTimer:
+    def test_basic_timing(self):
+        clock = FakeClock()
+        timer = PhaseTimer(clock)
+        timer.start("read")
+        clock.advance(2.5)
+        assert timer.stop("read") == pytest.approx(2.5)
+        assert timer.elapsed("read") == pytest.approx(2.5)
+
+    def test_accumulates_across_slices(self):
+        clock = FakeClock()
+        timer = PhaseTimer(clock)
+        for _ in range(3):
+            timer.start("map")
+            clock.advance(1.0)
+            timer.stop("map")
+        assert timer.elapsed("map") == pytest.approx(3.0)
+
+    def test_nesting_total_around_phases(self):
+        clock = FakeClock()
+        timer = PhaseTimer(clock)
+        timer.start("total")
+        timer.start("read")
+        clock.advance(1.0)
+        timer.stop("read")
+        timer.start("map")
+        clock.advance(2.0)
+        timer.stop("map")
+        timer.stop("total")
+        assert timer.elapsed("total") == pytest.approx(3.0)
+        assert timer.elapsed("read") == pytest.approx(1.0)
+
+    def test_context_manager(self):
+        clock = FakeClock()
+        timer = PhaseTimer(clock)
+        with timer.phase("merge"):
+            clock.advance(4.0)
+        assert timer.elapsed("merge") == pytest.approx(4.0)
+
+    def test_context_manager_stops_on_exception(self):
+        clock = FakeClock()
+        timer = PhaseTimer(clock)
+        with pytest.raises(ValueError):
+            with timer.phase("x"):
+                clock.advance(1.0)
+                raise ValueError
+        assert timer.elapsed("x") == pytest.approx(1.0)
+
+    def test_stop_wrong_phase_raises(self):
+        timer = PhaseTimer()
+        timer.start("a")
+        with pytest.raises(RuntimeStateError):
+            timer.stop("b")
+
+    def test_stop_must_be_innermost(self):
+        timer = PhaseTimer()
+        timer.start("outer")
+        timer.start("inner")
+        with pytest.raises(RuntimeStateError):
+            timer.stop("outer")
+
+    def test_same_phase_twice_concurrently_raises(self):
+        timer = PhaseTimer()
+        timer.start("a")
+        with pytest.raises(RuntimeStateError):
+            timer.start("a")
+
+    def test_elapsed_unknown_phase_is_zero(self):
+        assert PhaseTimer().elapsed("nope") == 0.0
+
+    def test_add_external_slice(self):
+        timer = PhaseTimer()
+        timer.add("ingest", 1.5)
+        timer.add("ingest", 0.5)
+        assert timer.elapsed("ingest") == pytest.approx(2.0)
+
+    def test_add_negative_raises(self):
+        with pytest.raises(RuntimeStateError):
+            PhaseTimer().add("x", -1.0)
+
+    def test_snapshot(self):
+        clock = FakeClock()
+        timer = PhaseTimer(clock)
+        with timer.phase("p"):
+            clock.advance(1.0)
+        assert timer.snapshot() == {"p": pytest.approx(1.0)}
+
+    def test_snapshot_while_running_raises(self):
+        timer = PhaseTimer()
+        timer.start("p")
+        with pytest.raises(RuntimeStateError):
+            timer.snapshot()

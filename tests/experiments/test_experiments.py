@@ -1,0 +1,89 @@
+"""Experiment harness: every paper table/figure regenerates and matches.
+
+``monitor_interval`` is coarsened so each experiment simulates in well
+under a second; tolerances follow EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments import (
+    available_experiments,
+    get_experiment,
+    run_experiment,
+)
+from repro.experiments.base import Comparison
+
+
+class TestRegistry:
+    def test_all_paper_artifacts_covered(self):
+        exps = available_experiments()
+        assert {"table2", "fig1", "fig3", "fig5", "fig6", "fig7",
+                "claims"} <= set(exps)
+
+    def test_unknown_experiment_raises(self):
+        with pytest.raises(ExperimentError, match="unknown experiment"):
+            get_experiment("fig99")
+
+
+class TestComparison:
+    def test_relative_error(self):
+        assert Comparison("m", 100.0, 103.0).relative_error == pytest.approx(0.03)
+
+    def test_zero_paper_value(self):
+        assert Comparison("m", 0.0, 0.0).relative_error == 0.0
+        assert Comparison("m", 0.0, 1.0).relative_error == float("inf")
+
+    def test_render_contains_fields(self):
+        line = Comparison("metric-name", 1.0, 2.0, unit="x").render()
+        assert "metric-name" in line and "paper=" in line
+
+
+@pytest.mark.parametrize("exp_id", ["table2", "fig1", "fig3", "fig5",
+                                    "fig6", "fig7", "claims"])
+class TestEveryExperimentRuns:
+    def test_runs_and_renders(self, exp_id):
+        result = run_experiment(exp_id, monitor_interval=10.0)
+        assert result.exp_id == exp_id
+        rendered = result.render()
+        assert exp_id in rendered
+        assert result.comparisons  # every experiment compares to the paper
+
+
+class TestKeyTolerances:
+    def test_table2_all_large_cells_within_5pct(self):
+        result = run_experiment("table2", monitor_interval=10.0)
+        for comparison in result.comparisons:
+            if comparison.paper >= 1.0:  # sub-second cells are noise-level
+                assert comparison.relative_error < 0.05, comparison.render()
+
+    def test_fig6_merge_speedup_tight(self):
+        result = run_experiment("fig6", monitor_interval=10.0)
+        (speedup,) = [c for c in result.comparisons
+                      if "merge" in c.metric]
+        assert speedup.relative_error < 0.02
+
+    def test_fig7_speedup_close(self):
+        result = run_experiment("fig7", monitor_interval=5.0)
+        (speedup,) = result.comparisons
+        assert abs(speedup.measured - 7.0) < 1.5
+
+    def test_claims_speedup_ranges(self):
+        result = run_experiment("claims", monitor_interval=10.0)
+        by_metric = {c.metric: c for c in result.comparisons}
+        assert by_metric["max phase speedup"].relative_error < 0.02
+        assert by_metric["max time-to-result speedup"].relative_error < 0.02
+        assert by_metric["min phase speedup"].relative_error < 0.05
+
+    def test_fig5_speedups(self):
+        result = run_experiment("fig5", monitor_interval=10.0)
+        for comparison in result.comparisons:
+            assert comparison.relative_error < 0.05, comparison.render()
+
+    def test_artifacts_are_csv(self):
+        result = run_experiment("fig1", monitor_interval=10.0)
+        assert any(name.endswith(".csv") for name in result.artifacts)
+        for content in result.artifacts.values():
+            assert content.startswith("time_s,")

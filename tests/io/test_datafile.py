@@ -1,0 +1,69 @@
+"""Filesystem helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.io.datafile import (
+    ensure_dir,
+    file_sizes,
+    read_slice,
+    remove_if_exists,
+    total_input_bytes,
+)
+
+
+class TestReadSlice:
+    def test_basic_slice(self, tmp_path):
+        path = tmp_path / "f"
+        path.write_bytes(b"0123456789")
+        assert read_slice(path, 2, 4) == b"2345"
+
+    def test_slice_past_eof_is_short(self, tmp_path):
+        path = tmp_path / "f"
+        path.write_bytes(b"abc")
+        assert read_slice(path, 1, 100) == b"bc"
+
+    def test_negative_slice_raises(self, tmp_path):
+        path = tmp_path / "f"
+        path.write_bytes(b"abc")
+        with pytest.raises(WorkloadError):
+            read_slice(path, -1, 2)
+        with pytest.raises(WorkloadError):
+            read_slice(path, 0, -2)
+
+
+class TestInventory:
+    def test_file_sizes(self, tmp_path):
+        a = tmp_path / "a"
+        b = tmp_path / "b"
+        a.write_bytes(b"xx")
+        b.write_bytes(b"yyy")
+        assert file_sizes([a, b]) == [(a, 2), (b, 3)]
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(WorkloadError, match="missing"):
+            file_sizes([tmp_path / "nope"])
+
+    def test_total_input_bytes(self, tmp_path):
+        a = tmp_path / "a"
+        a.write_bytes(b"12345")
+        assert total_input_bytes([a]) == 5
+
+
+class TestDirHelpers:
+    def test_ensure_dir_creates_parents(self, tmp_path):
+        target = tmp_path / "x" / "y" / "z"
+        assert ensure_dir(target).is_dir()
+
+    def test_ensure_dir_idempotent(self, tmp_path):
+        ensure_dir(tmp_path / "d")
+        ensure_dir(tmp_path / "d")
+
+    def test_remove_if_exists(self, tmp_path):
+        f = tmp_path / "f"
+        f.write_bytes(b"x")
+        remove_if_exists(f)
+        assert not f.exists()
+        remove_if_exists(f)  # no error when already gone

@@ -1,0 +1,91 @@
+"""Record codecs."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import WorkloadError
+from repro.io.records import RecordCodec, TeraRecordCodec, TextCodec, WholeLineCodec
+
+
+class TestRecordCodec:
+    def test_iter_records_basic(self):
+        codec = RecordCodec()
+        assert list(codec.iter_records(b"a\nb\nc\n")) == [b"a", b"b", b"c"]
+
+    def test_unterminated_final_record(self):
+        codec = RecordCodec()
+        assert list(codec.iter_records(b"a\nb")) == [b"a", b"b"]
+
+    def test_empty_data(self):
+        assert list(RecordCodec().iter_records(b"")) == []
+
+    def test_empty_records_preserved(self):
+        assert list(RecordCodec().iter_records(b"\n\n")) == [b"", b""]
+
+    def test_multibyte_delimiter(self):
+        codec = RecordCodec(delimiter=b"\r\n")
+        assert list(codec.iter_records(b"x\r\ny\r\n")) == [b"x", b"y"]
+
+    def test_record_end_at_delimiter(self):
+        codec = RecordCodec()
+        data = b"abc\ndef\n"
+        assert codec.record_end(data, 0) == 4
+        assert codec.record_end(data, 4) == 8
+        assert codec.record_end(data, 5) == 8
+
+    def test_record_end_past_data(self):
+        codec = RecordCodec()
+        assert codec.record_end(b"abc", 10) == 3
+
+    def test_record_end_no_delimiter(self):
+        assert RecordCodec().record_end(b"abc", 1) == 3
+
+    @given(st.lists(st.binary(max_size=8).filter(lambda b: b"\n" not in b),
+                    max_size=20))
+    def test_property_roundtrip(self, records):
+        data = b"".join(r + b"\n" for r in records)
+        assert list(RecordCodec().iter_records(data)) == records
+
+
+class TestTeraRecordCodec:
+    def test_split_record(self):
+        codec = TeraRecordCodec()
+        record = b"K" * 10 + b" " + b"P" * 87
+        key, payload = codec.split_record(record)
+        assert key == b"K" * 10
+        assert payload == b"P" * 87
+
+    def test_short_record_raises(self):
+        with pytest.raises(WorkloadError):
+            TeraRecordCodec().split_record(b"tiny")
+
+    def test_iter_pairs(self):
+        codec = TeraRecordCodec()
+        data = (b"A" * 10 + b" pay1\r\n") + (b"B" * 10 + b" pay2\r\n")
+        pairs = list(codec.iter_pairs(data))
+        assert pairs == [(b"A" * 10, b"pay1"), (b"B" * 10, b"pay2")]
+
+    def test_iter_pairs_skips_trailing_fragment(self):
+        codec = TeraRecordCodec()
+        data = b"A" * 10 + b" x\r\n"
+        assert len(list(codec.iter_pairs(data))) == 1
+
+    def test_crlf_delimiter(self):
+        assert TeraRecordCodec().delimiter == b"\r\n"
+
+
+class TestTextAndLineCodecs:
+    def test_iter_words(self):
+        codec = TextCodec()
+        data = b"the quick  fox\njumps\n"
+        assert list(codec.iter_words(data)) == [b"the", b"quick", b"fox", b"jumps"]
+
+    def test_iter_words_handles_tabs(self):
+        assert list(TextCodec().iter_words(b"a\tb\n")) == [b"a", b"b"]
+
+    def test_whole_line_codec(self):
+        codec = WholeLineCodec()
+        assert list(codec.iter_lines(b"one\ntwo\n")) == [b"one", b"two"]

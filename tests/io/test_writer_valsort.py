@@ -1,0 +1,122 @@
+"""Output writers and valsort-style validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.io.records import TeraRecordCodec
+from repro.io.writer import write_terasort_output, write_text_pairs
+from repro.workloads.valsort import (
+    check_sort_job,
+    same_multiset,
+    validate_file,
+    validate_pairs,
+)
+
+
+def make_pairs(n=20, codec=None):
+    codec = codec or TeraRecordCodec()
+    return [
+        (b"%010d" % i, b"p" * (codec.record_len - codec.key_len - 3))
+        for i in range(n)
+    ]
+
+
+class TestWriters:
+    def test_terasort_roundtrip(self, tmp_path):
+        codec = TeraRecordCodec()
+        pairs = make_pairs(25)
+        path = tmp_path / "out.dat"
+        written = write_terasort_output(path, pairs, codec)
+        assert written == path.stat().st_size == 25 * codec.record_len
+        assert list(codec.iter_pairs(path.read_bytes())) == pairs
+
+    def test_bad_key_length_raises(self, tmp_path):
+        with pytest.raises(WorkloadError):
+            write_terasort_output(tmp_path / "x", [(b"short", b"p")])
+
+    def test_text_pairs(self, tmp_path):
+        path = tmp_path / "out.tsv"
+        lines = write_text_pairs(path, [(b"word", 3), ("key", "val")])
+        assert lines == 2
+        assert path.read_text() == "word\t3\nkey\tval\n"
+
+
+class TestValidatePairs:
+    def test_sorted_output_valid(self):
+        report = validate_pairs(make_pairs(10))
+        assert report.valid
+        assert report.records == 10
+        assert report.duplicate_keys == 0
+        assert report.first_unordered_index is None
+
+    def test_unordered_detected(self):
+        pairs = make_pairs(5)
+        pairs[2], pairs[3] = pairs[3], pairs[2]
+        report = validate_pairs(pairs)
+        assert not report.valid
+        assert report.first_unordered_index == 3
+
+    def test_duplicates_counted(self):
+        pairs = [(b"0" * 10, b"a"), (b"0" * 10, b"b"), (b"1" * 10, b"c")]
+        report = validate_pairs(pairs)
+        assert report.valid  # duplicates are legal, just counted
+        assert report.duplicate_keys == 1
+
+    def test_empty_output_valid(self):
+        assert validate_pairs([]).valid
+
+
+class TestMultisetFingerprint:
+    def test_permutation_matches(self):
+        pairs = make_pairs(30)
+        shuffled = list(reversed(pairs))
+        assert same_multiset(pairs, shuffled)
+
+    def test_loss_detected(self):
+        pairs = make_pairs(30)
+        assert not same_multiset(pairs, pairs[:-1])
+
+    def test_corruption_detected(self):
+        pairs = make_pairs(30)
+        corrupted = pairs[:]
+        corrupted[5] = (corrupted[5][0], b"X" + corrupted[5][1][1:])
+        assert not same_multiset(pairs, corrupted)
+
+    def test_duplication_detected(self):
+        pairs = make_pairs(10)
+        assert not same_multiset(pairs, pairs + [pairs[0]])
+
+
+class TestEndToEnd:
+    def test_validate_real_sort_job(self, terasort_file):
+        from repro.apps.sortapp import make_sort_job
+        from repro.core.options import RuntimeOptions
+        from repro.core.supmr import run_ingest_mr
+
+        result = run_ingest_mr(
+            make_sort_job([terasort_file]),
+            RuntimeOptions.supmr_interfile("25KB"),
+        )
+        report = check_sort_job(terasort_file, result.output)
+        assert report.valid
+        assert report.records == 3000
+
+    def test_tampered_output_caught(self, terasort_file):
+        from repro.apps.sortapp import reference_sort
+
+        output = reference_sort([terasort_file])
+        del output[100]  # lose a record
+        with pytest.raises(WorkloadError, match="permutation"):
+            check_sort_job(terasort_file, output)
+
+    def test_validate_file_roundtrip(self, tmp_path, terasort_file):
+        from repro.apps.sortapp import reference_sort
+
+        out = tmp_path / "sorted.dat"
+        codec = TeraRecordCodec()
+        write_terasort_output(out, reference_sort([terasort_file]), codec)
+        report = validate_file(out, codec)
+        assert report.valid
+        assert report.records == 3000

@@ -1,0 +1,129 @@
+"""CPU bank: context occupancy, oversubscription, accounting classes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simhw.cpu import CpuBank, CpuClass
+
+
+class TestOccupy:
+    def test_single_thread_takes_its_time(self, sim):
+        cpu = CpuBank(sim, 4)
+        proc = sim.process(cpu.occupy(3.0))
+        sim.run()
+        assert proc.processed
+        assert sim.now == 3.0
+
+    def test_parallel_threads_within_capacity(self, sim):
+        cpu = CpuBank(sim, 4)
+        for _ in range(4):
+            sim.process(cpu.occupy(2.0))
+        sim.run()
+        assert sim.now == 2.0  # all in parallel
+
+    def test_oversubscription_queues(self, sim):
+        cpu = CpuBank(sim, 2)
+        for _ in range(4):
+            sim.process(cpu.occupy(1.0))
+        sim.run()
+        assert sim.now == 2.0  # two waves of two
+
+    def test_negative_time_raises(self, sim):
+        cpu = CpuBank(sim, 1)
+        sim.process(cpu.occupy(-1.0))
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_zero_contexts_rejected(self, sim):
+        with pytest.raises(SimulationError):
+            CpuBank(sim, 0)
+
+
+class TestAccounting:
+    def test_busy_counts_by_class(self, sim):
+        cpu = CpuBank(sim, 4)
+        sim.process(cpu.occupy(2.0, CpuClass.USER))
+        sim.process(cpu.occupy(2.0, CpuClass.SYS))
+
+        def probe():
+            yield sim.timeout(1.0)
+            return (cpu.busy(CpuClass.USER), cpu.busy(CpuClass.SYS),
+                    cpu.busy_total, cpu.idle)
+
+        proc = sim.process(probe())
+        sim.run()
+        assert proc.value == (1, 1, 2, 2)
+
+    def test_fraction(self, sim):
+        cpu = CpuBank(sim, 8)
+        sim.process(cpu.occupy(1.0))
+
+        def probe():
+            yield sim.timeout(0.5)
+            return cpu.fraction(CpuClass.USER)
+
+        proc = sim.process(probe())
+        sim.run()
+        assert proc.value == pytest.approx(1 / 8)
+
+    def test_consumed_accumulates(self, sim):
+        cpu = CpuBank(sim, 2)
+        sim.process(cpu.occupy(1.5, CpuClass.USER))
+        sim.process(cpu.occupy(0.5, CpuClass.SYS))
+        sim.run()
+        assert cpu.consumed[CpuClass.USER] == pytest.approx(1.5)
+        assert cpu.consumed[CpuClass.SYS] == pytest.approx(0.5)
+
+    def test_iowait_fraction_counts_blocked_threads(self, sim):
+        cpu = CpuBank(sim, 4)
+        cpu.io_blocked = 2
+        assert cpu.iowait_fraction() == pytest.approx(0.5)
+
+    def test_iowait_limited_by_idle_contexts(self, sim):
+        cpu = CpuBank(sim, 2)
+        cpu.io_blocked = 5
+        sim.process(cpu.occupy(1.0))
+
+        def probe():
+            yield sim.timeout(0.5)
+            return cpu.iowait_fraction()
+
+        proc = sim.process(probe())
+        sim.run()
+        assert proc.value == pytest.approx(0.5)  # only 1 idle context
+
+
+class TestContextHold:
+    def test_hold_tracks_busy_and_consumed(self, sim):
+        cpu = CpuBank(sim, 2)
+
+        def body():
+            hold = cpu.occupied(CpuClass.USER)
+            yield from hold.acquire()
+            assert cpu.busy(CpuClass.USER) == 1
+            yield sim.timeout(2.0)
+            hold.release()
+            assert cpu.busy(CpuClass.USER) == 0
+
+        sim.process(body())
+        sim.run()
+        assert cpu.consumed[CpuClass.USER] == pytest.approx(2.0)
+
+    def test_double_acquire_raises(self, sim):
+        cpu = CpuBank(sim, 2)
+
+        def body():
+            hold = cpu.occupied()
+            yield from hold.acquire()
+            yield from hold.acquire()
+
+        sim.process(body())
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_release_without_acquire_raises(self, sim):
+        cpu = CpuBank(sim, 2)
+        with pytest.raises(SimulationError):
+            cpu.occupied().release()

@@ -1,0 +1,72 @@
+"""Disk and RAID-0 models."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simhw.disk import MB, Disk, Raid0
+from repro.simhw.events import Simulator
+
+
+def finish_time(sim, event):
+    box = {}
+    event.callbacks.append(lambda e: box.setdefault("t", sim.now))
+    sim.run()
+    return box["t"]
+
+
+class TestDisk:
+    def test_sequential_read_time(self, sim):
+        disk = Disk(sim, read_bw=100 * MB)
+        assert finish_time(sim, disk.read(200 * MB)) == pytest.approx(2.0)
+
+    def test_write_uses_write_bandwidth(self, sim):
+        disk = Disk(sim, read_bw=100 * MB, write_bw=50 * MB)
+        assert finish_time(sim, disk.write(100 * MB)) == pytest.approx(2.0)
+
+    def test_write_defaults_to_read_bw(self, sim):
+        disk = Disk(sim, read_bw=100 * MB)
+        assert disk.write_bw == disk.read_bw
+
+    def test_concurrent_reads_share(self, sim):
+        disk = Disk(sim, read_bw=100 * MB)
+        a = disk.read(100 * MB)
+        disk.read(100 * MB)
+        assert finish_time(sim, a) == pytest.approx(2.0)
+
+    def test_invalid_bandwidth(self, sim):
+        with pytest.raises(SimulationError):
+            Disk(sim, read_bw=0)
+
+    def test_utilization_and_active_reads(self, sim):
+        disk = Disk(sim, read_bw=100 * MB)
+        disk.read(500 * MB)
+        assert disk.active_reads == 1
+        assert disk.read_utilization == pytest.approx(1.0)
+
+
+class TestRaid0:
+    def test_aggregate_bandwidth_is_sum(self, sim):
+        disks = [Disk(sim, 128 * MB) for _ in range(3)]
+        raid = Raid0(disks)
+        assert raid.read_bw == pytest.approx(384 * MB)
+
+    def test_single_stream_saturates_array(self, sim):
+        raid = Raid0([Disk(sim, 128 * MB) for _ in range(3)])
+        assert finish_time(sim, raid.read(384 * MB)) == pytest.approx(1.0)
+
+    def test_streams_share_array(self, sim):
+        raid = Raid0([Disk(sim, 100 * MB) for _ in range(2)])
+        a = raid.read(100 * MB)
+        raid.read(100 * MB)
+        assert finish_time(sim, a) == pytest.approx(1.0)
+
+    def test_empty_array_rejected(self, sim):
+        with pytest.raises(SimulationError):
+            Raid0([])
+
+    def test_cross_simulator_disks_rejected(self, sim):
+        other = Simulator()
+        with pytest.raises(SimulationError):
+            Raid0([Disk(sim, MB), Disk(other, MB)])

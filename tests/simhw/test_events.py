@@ -1,0 +1,139 @@
+"""Simulation kernel: clock, agenda, event semantics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simhw.events import SimEvent, Simulator
+
+
+class TestSimulatorClock:
+    def test_starts_at_zero(self, sim):
+        assert sim.now == 0.0
+
+    def test_run_empty_agenda_returns_now(self, sim):
+        assert sim.run() == 0.0
+
+    def test_run_until_advances_clock_with_empty_agenda(self, sim):
+        assert sim.run(until=5.0) == 5.0
+        assert sim.now == 5.0
+
+    def test_timeout_advances_clock(self, sim):
+        sim.timeout(2.5)
+        sim.run()
+        assert sim.now == 2.5
+
+    def test_run_until_stops_before_later_events(self, sim):
+        fired = []
+        ev = sim.timeout(10.0)
+        ev.callbacks.append(lambda e: fired.append(sim.now))
+        sim.run(until=3.0)
+        assert sim.now == 3.0
+        assert fired == []
+        sim.run()
+        assert fired == [10.0]
+
+    def test_events_processed_counter(self, sim):
+        sim.timeout(1.0)
+        sim.timeout(2.0)
+        sim.run()
+        assert sim.events_processed == 2
+
+
+class TestEventOrdering:
+    def test_fifo_for_same_timestamp(self, sim):
+        order = []
+        for i in range(5):
+            ev = sim.timeout(1.0)
+            ev.callbacks.append(lambda e, i=i: order.append(i))
+        sim.run()
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_time_ordering(self, sim):
+        order = []
+        for delay in (3.0, 1.0, 2.0):
+            ev = sim.timeout(delay)
+            ev.callbacks.append(lambda e, d=delay: order.append(d))
+        sim.run()
+        assert order == [1.0, 2.0, 3.0]
+
+    def test_call_at_runs_at_absolute_time(self, sim):
+        stamps = []
+        sim.call_at(4.0, lambda: stamps.append(sim.now))
+        sim.run()
+        assert stamps == [4.0]
+
+    def test_call_at_in_past_raises(self, sim):
+        sim.timeout(5.0)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.call_at(1.0, lambda: None)
+
+
+class TestEventSemantics:
+    def test_trigger_twice_raises(self, sim):
+        ev = sim.event()
+        ev.trigger(1)
+        with pytest.raises(SimulationError):
+            ev.trigger(2)
+
+    def test_value_before_trigger_raises(self, sim):
+        ev = sim.event()
+        with pytest.raises(SimulationError):
+            _ = ev.value
+
+    def test_value_carried(self, sim):
+        ev = sim.timeout(1.0, value="payload")
+        sim.run()
+        assert ev.value == "payload"
+
+    def test_negative_delay_raises(self, sim):
+        with pytest.raises(SimulationError):
+            sim.timeout(-1.0)
+
+    def test_nan_delay_raises(self, sim):
+        with pytest.raises(SimulationError):
+            sim.timeout(float("nan"))
+
+    def test_triggered_and_processed_flags(self, sim):
+        ev = sim.event()
+        assert not ev.triggered and not ev.processed
+        ev.trigger(None)
+        assert ev.triggered and not ev.processed
+        sim.run()
+        assert ev.processed
+
+    def test_callback_added_after_processing_never_fires(self, sim):
+        # Documented contract: late callbacks are not called; waiters must
+        # check `processed` first (Process does).
+        ev = sim.timeout(0.0)
+        sim.run()
+        called = []
+        ev.callbacks.append(lambda e: called.append(True))
+        sim.run()
+        assert called == []
+
+
+class TestRunGuards:
+    def test_step_on_empty_agenda_raises(self, sim):
+        with pytest.raises(SimulationError):
+            sim.step()
+
+    def test_max_events_guard(self, sim):
+        def reschedule(_ev):
+            nxt = sim.timeout(1.0)
+            nxt.callbacks.append(reschedule)
+
+        first = sim.timeout(1.0)
+        first.callbacks.append(reschedule)
+        with pytest.raises(SimulationError, match="livelocked"):
+            sim.run(max_events=100)
+
+    def test_peek_empty_is_inf(self, sim):
+        assert sim.peek() == float("inf")
+
+    def test_peek_returns_next_time(self, sim):
+        sim.timeout(7.0)
+        sim.timeout(3.0)
+        assert sim.peek() == 3.0

@@ -1,0 +1,131 @@
+"""Fluid (time-sliced) CPU bank."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simhw.cpu import CpuClass
+from repro.simhw.fluidcpu import FluidCpuBank
+from repro.simhw.monitor import UtilizationMonitor
+
+
+class TestTimeSlicing:
+    def test_single_thread_full_speed(self, sim):
+        cpu = FluidCpuBank(sim, 4)
+        sim.process(cpu.occupy(2.0))
+        sim.run()
+        assert sim.now == pytest.approx(2.0)
+
+    def test_within_capacity_no_slowdown(self, sim):
+        cpu = FluidCpuBank(sim, 4)
+        for _ in range(4):
+            sim.process(cpu.occupy(2.0))
+        sim.run()
+        assert sim.now == pytest.approx(2.0)
+
+    def test_oversubscription_time_slices(self, sim):
+        """8 threads on 4 contexts: everyone at half speed, not two waves.
+
+        The FIFO CpuBank would finish in 2 waves (first at t=1); the
+        fluid bank finishes everyone together at t=2.
+        """
+        cpu = FluidCpuBank(sim, 4)
+        finishes = []
+
+        def worker():
+            yield from cpu.occupy(1.0)
+            finishes.append(sim.now)
+
+        for _ in range(8):
+            sim.process(worker())
+        sim.run()
+        assert all(t == pytest.approx(2.0) for t in finishes)
+
+    def test_late_arrival_slows_everyone(self, sim):
+        cpu = FluidCpuBank(sim, 1)
+        finishes = {}
+
+        def first():
+            yield from cpu.occupy(2.0)
+            finishes["first"] = sim.now
+
+        def second():
+            yield sim.timeout(1.0)
+            yield from cpu.occupy(0.5)
+            finishes["second"] = sim.now
+
+        sim.process(first())
+        sim.process(second())
+        sim.run()
+        # first runs alone 0..1 (1s done), shares 1..2 (0.5 done while
+        # second finishes its 0.5s), then runs alone again: done at 2.5.
+        assert finishes["second"] == pytest.approx(2.0)
+        assert finishes["first"] == pytest.approx(2.5)
+
+    def test_negative_time_raises(self, sim):
+        cpu = FluidCpuBank(sim, 1)
+        sim.process(cpu.occupy(-1.0))
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_zero_contexts_rejected(self, sim):
+        with pytest.raises(SimulationError):
+            FluidCpuBank(sim, 0)
+
+
+class TestAccounting:
+    def test_busy_fraction_mid_run(self, sim):
+        cpu = FluidCpuBank(sim, 4)
+        sim.process(cpu.occupy(1.0, CpuClass.USER))
+        probe = {}
+
+        def check():
+            yield sim.timeout(0.5)
+            probe["frac"] = cpu.fraction(CpuClass.USER)
+            probe["runnable"] = cpu.runnable_threads
+
+        sim.process(check())
+        sim.run()
+        assert probe["frac"] == pytest.approx(0.25)
+        assert probe["runnable"] == 1
+
+    def test_oversubscribed_busy_saturates(self, sim):
+        cpu = FluidCpuBank(sim, 2)
+        for _ in range(6):
+            sim.process(cpu.occupy(1.0))
+        probe = {}
+
+        def check():
+            yield sim.timeout(0.5)
+            probe["busy"] = cpu.busy_total
+
+        sim.process(check())
+        sim.run()
+        assert probe["busy"] == pytest.approx(2.0)
+
+    def test_iowait_fraction(self, sim):
+        cpu = FluidCpuBank(sim, 4)
+        cpu.io_blocked = 2
+        assert cpu.iowait_fraction() == pytest.approx(0.5)
+
+    def test_monitor_compatibility(self, sim):
+        cpu = FluidCpuBank(sim, 4)
+        mon = UtilizationMonitor(sim, cpu, interval=0.25)
+        mon.start()
+        sim.process(cpu.occupy(1.0))
+
+        def stopper():
+            yield sim.timeout(1.0)
+            mon.stop()
+
+        sim.process(stopper())
+        sim.run()
+        mids = [s for s in mon.samples if 0 < s.time < 1.0]
+        assert mids and all(s.user_pct == pytest.approx(25.0) for s in mids)
+
+    def test_consumed_accumulates(self, sim):
+        cpu = FluidCpuBank(sim, 2)
+        sim.process(cpu.occupy(1.5))
+        sim.run()
+        assert cpu.consumed[CpuClass.USER] == pytest.approx(1.5)

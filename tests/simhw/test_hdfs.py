@@ -1,0 +1,80 @@
+"""Simulated HDFS cluster behind one link."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.simhw.disk import MB
+from repro.simhw.hdfs import HdfsCluster, HdfsSpec
+
+
+def finish_time(sim, event):
+    box = {}
+    event.callbacks.append(lambda e: box.setdefault("t", sim.now))
+    sim.run()
+    return box["t"]
+
+
+class TestHdfsSpec:
+    def test_defaults_match_case_study(self):
+        spec = HdfsSpec()
+        assert spec.nodes == 32
+        assert spec.link_gbits == 1.0
+
+    def test_invalid_specs(self):
+        with pytest.raises(ConfigError):
+            HdfsSpec(nodes=0)
+        with pytest.raises(ConfigError):
+            HdfsSpec(block_size=0)
+
+
+class TestHdfsReader:
+    def test_link_is_the_bottleneck(self, sim):
+        cluster = HdfsCluster(sim, HdfsSpec(per_read_overhead_s=0.0,
+                                            per_block_overhead_s=0.0))
+        reader = cluster.reader()
+        nbytes = 1e9
+        t = finish_time(sim, reader.read(nbytes))
+        expected = nbytes / cluster.link.effective_rate
+        assert t == pytest.approx(expected, rel=0.05)
+        # sanity: the datanodes could collectively serve much faster
+        assert cluster.aggregate_disk_bw > cluster.link.effective_rate * 10
+
+    def test_per_read_overhead_charged_once(self, sim):
+        spec = HdfsSpec(per_read_overhead_s=0.5, per_block_overhead_s=0.0)
+        cluster = HdfsCluster(sim, spec)
+        t = finish_time(sim, cluster.reader().read(0.0))
+        assert t == pytest.approx(0.5)
+
+    def test_blocks_round_robin_across_nodes(self, sim):
+        spec = HdfsSpec(nodes=4, per_read_overhead_s=0.0)
+        cluster = HdfsCluster(sim, spec)
+        reader = cluster.reader()
+        ev = reader.read(8 * spec.block_size)
+        sim.run()
+        assert ev.processed
+        assert cluster._rr == 8  # 8 blocks placed over 4 nodes, twice around
+
+    def test_partial_final_block(self, sim):
+        spec = HdfsSpec(per_read_overhead_s=0.0, per_block_overhead_s=0.0)
+        cluster = HdfsCluster(sim, spec)
+        nbytes = spec.block_size * 1.5
+        t = finish_time(sim, cluster.reader().read(nbytes))
+        assert t == pytest.approx(nbytes / cluster.link.effective_rate, rel=0.05)
+
+    def test_negative_read_raises(self, sim):
+        cluster = HdfsCluster(sim)
+        from repro.errors import SimulationError
+        with pytest.raises(SimulationError):
+            cluster.reader().read(-1.0)
+
+    def test_datanode_disks_modeled(self, sim):
+        spec = HdfsSpec(nodes=2, node_disk_bw=10 * MB,
+                        per_read_overhead_s=0.0, per_block_overhead_s=0.0,
+                        link_gbits=10.0)
+        cluster = HdfsCluster(sim, spec)
+        # With a fat link, the slow datanode disks govern: one block from
+        # one node at 10 MB/s.
+        t = finish_time(sim, cluster.reader().read(spec.block_size))
+        assert t == pytest.approx(spec.block_size / (10 * MB), rel=0.01)

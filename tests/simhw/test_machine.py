@@ -1,0 +1,113 @@
+"""Assembled machine model and the paper testbed configuration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.simhw.cpu import CpuClass
+from repro.simhw.disk import MB
+from repro.simhw.events import Simulator
+from repro.simhw.machine import MachineSpec, ScaleUpMachine, paper_machine
+
+
+class TestMachineSpec:
+    def test_paper_testbed_geometry(self):
+        spec = MachineSpec()
+        assert spec.contexts == 32  # 2 sockets x 8 cores x 2 HT
+        assert spec.raid_read_bw == pytest.approx(384 * MB)
+
+    def test_invalid_geometry(self):
+        with pytest.raises(ConfigError):
+            MachineSpec(sockets=0)
+        with pytest.raises(ConfigError):
+            MachineSpec(data_disks=0)
+        with pytest.raises(ConfigError):
+            MachineSpec(ram_bytes=0)
+
+    def test_spec_is_frozen(self):
+        spec = MachineSpec()
+        with pytest.raises(AttributeError):
+            spec.sockets = 4  # type: ignore[misc]
+
+
+class TestScaleUpMachine:
+    def test_paper_machine_assembly(self, sim):
+        m = paper_machine(sim)
+        assert m.cpu.contexts == 32
+        assert len(m.disk.disks) == 3
+        assert m.memory.capacity_bytes == pytest.approx(384 * 1024**3)
+
+    def test_compute_occupies_context(self, sim):
+        m = paper_machine(sim)
+        proc = sim.process(m.compute(2.0))
+        sim.run()
+        assert proc.processed
+        assert sim.now == pytest.approx(2.0)
+        assert m.cpu.consumed[CpuClass.USER] == pytest.approx(2.0)
+
+    def test_read_disk_counts_iowait(self, sim):
+        m = paper_machine(sim)
+        observed = []
+
+        def reader():
+            yield from m.read_disk(384 * MB)
+
+        def probe():
+            yield sim.timeout(0.5)
+            observed.append(m.cpu.io_blocked)
+
+        sim.process(reader())
+        sim.process(probe())
+        sim.run()
+        assert observed == [1]
+        assert m.cpu.io_blocked == 0
+        assert sim.now == pytest.approx(1.0)
+
+    def test_scan_memory_holds_context(self, sim):
+        m = paper_machine(sim)
+        busy = []
+
+        def scanner():
+            yield from m.scan_memory(100 * MB, per_thread_bw=100 * MB)
+
+        def probe():
+            yield sim.timeout(0.5)
+            busy.append(m.cpu.busy(CpuClass.USER))
+
+        sim.process(scanner())
+        sim.process(probe())
+        sim.run()
+        assert busy == [1]
+        assert sim.now == pytest.approx(1.0)
+
+    def test_spawn_and_join_charge_sys(self, sim):
+        m = paper_machine(sim)
+
+        def body():
+            yield from m.spawn_wave(32)
+            yield from m.join_wave(32)
+
+        sim.process(body())
+        sim.run()
+        expected = 32 * (m.spec.thread_costs.spawn_s + m.spec.thread_costs.join_s)
+        assert m.cpu.consumed[CpuClass.SYS] == pytest.approx(expected)
+
+    def test_read_source_uses_custom_device(self, sim):
+        m = paper_machine(sim)
+
+        class FakeSource:
+            def read(self, n):
+                return sim.timeout(3.0)
+
+        def reader():
+            yield from m.read_source(FakeSource(), 123)
+
+        sim.process(reader())
+        sim.run()
+        assert sim.now == pytest.approx(3.0)
+
+    def test_monitor_attached_to_machine(self, sim):
+        m = paper_machine(sim, monitor_interval=0.5)
+        assert m.monitor.interval == 0.5
+        assert m.monitor.cpu is m.cpu

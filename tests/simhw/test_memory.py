@@ -1,0 +1,72 @@
+"""Memory capacity accounting and bus scans."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simhw.memory import MemoryBus
+
+
+class TestCapacity:
+    def test_allocate_and_free(self, sim):
+        mem = MemoryBus(sim, capacity_bytes=100.0, bus_bw=10.0)
+        mem.allocate(60.0)
+        assert mem.allocated == 60.0
+        assert mem.available == 40.0
+        mem.free(60.0)
+        assert mem.allocated == 0.0
+
+    def test_overcommit_raises(self, sim):
+        mem = MemoryBus(sim, 100.0, 10.0)
+        mem.allocate(80.0)
+        with pytest.raises(SimulationError, match="out of memory"):
+            mem.allocate(30.0)
+
+    def test_peak_tracking(self, sim):
+        mem = MemoryBus(sim, 100.0, 10.0)
+        mem.allocate(70.0)
+        mem.free(50.0)
+        mem.allocate(10.0)
+        assert mem.peak_allocated == 70.0
+
+    def test_free_more_than_allocated_raises(self, sim):
+        mem = MemoryBus(sim, 100.0, 10.0)
+        mem.allocate(10.0)
+        with pytest.raises(SimulationError):
+            mem.free(20.0)
+
+    def test_negative_allocation_raises(self, sim):
+        mem = MemoryBus(sim, 100.0, 10.0)
+        with pytest.raises(SimulationError):
+            mem.allocate(-1.0)
+
+    def test_zero_capacity_rejected(self, sim):
+        with pytest.raises(SimulationError):
+            MemoryBus(sim, 0.0, 10.0)
+
+
+class TestBus:
+    def _finish(self, sim, ev):
+        box = {}
+        ev.callbacks.append(lambda e: box.setdefault("t", sim.now))
+        sim.run()
+        return box["t"]
+
+    def test_scan_capped_per_thread(self, sim):
+        mem = MemoryBus(sim, 1000.0, bus_bw=100.0)
+        t = self._finish(sim, mem.scan(50.0, per_thread_bw=10.0))
+        assert t == pytest.approx(5.0)
+
+    def test_bus_ceiling_shared_by_scans(self, sim):
+        mem = MemoryBus(sim, 1000.0, bus_bw=100.0)
+        # four scans each capped at 50 -> demand 200 > bus 100 -> 25 each
+        evs = [mem.scan(25.0, per_thread_bw=50.0) for _ in range(4)]
+        t = self._finish(sim, evs[0])
+        assert t == pytest.approx(1.0)
+        assert mem.active_scans == 0
+
+    def test_invalid_per_thread_bw(self, sim):
+        mem = MemoryBus(sim, 1000.0, 100.0)
+        with pytest.raises(SimulationError):
+            mem.scan(10.0, per_thread_bw=0.0)

@@ -1,0 +1,92 @@
+"""collectl-style utilization monitor."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simhw.cpu import CpuBank, CpuClass
+from repro.simhw.monitor import UtilizationMonitor, UtilizationSample
+
+
+class TestSampling:
+    def test_samples_at_interval(self, sim):
+        cpu = CpuBank(sim, 4)
+        mon = UtilizationMonitor(sim, cpu, interval=1.0)
+        mon.start()
+        sim.process(cpu.occupy(3.0))
+
+        def stopper():
+            yield sim.timeout(3.5)
+            mon.stop()
+
+        sim.process(stopper())
+        sim.run()
+        times = [s.time for s in mon.samples]
+        assert times == [0.0, 1.0, 2.0, 3.0]
+
+    def test_busy_fraction_sampled(self, sim):
+        cpu = CpuBank(sim, 4)
+        mon = UtilizationMonitor(sim, cpu, interval=1.0)
+        mon.start()
+        sim.process(cpu.occupy(2.5, CpuClass.USER))
+
+        def stopper():
+            yield sim.timeout(2.0)
+            mon.stop()
+
+        sim.process(stopper())
+        sim.run()
+        # at t=1 and t=2 one of four contexts is busy
+        assert mon.samples[1].user_pct == pytest.approx(25.0)
+        assert mon.samples[1].sys_pct == 0.0
+
+    def test_iowait_sampled(self, sim):
+        cpu = CpuBank(sim, 4)
+        cpu.io_blocked = 4
+        mon = UtilizationMonitor(sim, cpu, interval=1.0)
+        mon.start()
+        mon.stop()
+        sim.run()
+        assert mon.samples[0].iowait_pct == pytest.approx(100.0)
+
+    def test_double_start_raises(self, sim):
+        mon = UtilizationMonitor(sim, CpuBank(sim, 2))
+        mon.start()
+        with pytest.raises(SimulationError):
+            mon.start()
+
+    def test_invalid_interval(self, sim):
+        with pytest.raises(SimulationError):
+            UtilizationMonitor(sim, CpuBank(sim, 2), interval=0.0)
+
+    def test_stop_is_idempotent(self, sim):
+        mon = UtilizationMonitor(sim, CpuBank(sim, 2))
+        mon.start()
+        mon.stop()
+        mon.stop()
+        sim.run()  # agenda drains
+
+
+class TestSampleAggregation:
+    def _mk(self, time, user, sys_, iow):
+        return UtilizationSample(time, user, sys_, iow)
+
+    def test_total_and_busy_pct(self):
+        s = self._mk(0.0, 40.0, 10.0, 20.0)
+        assert s.total_pct == pytest.approx(70.0)
+        assert s.busy_pct == pytest.approx(50.0)
+
+    def test_mean_total_windowed(self, sim):
+        mon = UtilizationMonitor(sim, CpuBank(sim, 2))
+        mon.samples.extend([
+            self._mk(0.0, 100.0, 0.0, 0.0),
+            self._mk(1.0, 50.0, 0.0, 0.0),
+            self._mk(2.0, 0.0, 0.0, 0.0),
+        ])
+        assert mon.mean_total_pct(0.0, 1.0) == pytest.approx(75.0)
+        assert mon.mean_total_pct() == pytest.approx(50.0)
+
+    def test_mean_of_empty_window_is_zero(self, sim):
+        mon = UtilizationMonitor(sim, CpuBank(sim, 2))
+        assert mon.mean_busy_pct(10.0, 20.0) == 0.0

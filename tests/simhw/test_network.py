@@ -1,0 +1,52 @@
+"""Network link model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simhw.network import GBIT, Link
+
+
+def finish_time(sim, event):
+    box = {}
+    event.callbacks.append(lambda e: box.setdefault("t", sim.now))
+    sim.run()
+    return box["t"]
+
+
+class TestLink:
+    def test_gigabit_goodput(self, sim):
+        link = Link(sim, 1.0 * GBIT)  # 125e6 B/s line, 95% goodput
+        assert link.effective_rate == pytest.approx(118.75e6)
+
+    def test_receive_time(self, sim):
+        link = Link(sim, 1.0 * GBIT)
+        t = finish_time(sim, link.receive(118.75e6 * 2))
+        assert t == pytest.approx(2.0)
+
+    def test_rx_flows_share_link(self, sim):
+        link = Link(sim, 1.0 * GBIT, goodput=1.0)
+        a = link.receive(125e6)
+        link.receive(125e6)
+        assert finish_time(sim, a) == pytest.approx(2.0)
+
+    def test_tx_and_rx_independent(self, sim):
+        link = Link(sim, 1.0 * GBIT, goodput=1.0)
+        rx = link.receive(125e6)
+        link.send(125e6)
+        assert finish_time(sim, rx) == pytest.approx(1.0)  # full duplex
+
+    def test_invalid_line_rate(self, sim):
+        with pytest.raises(SimulationError):
+            Link(sim, 0.0)
+
+    def test_invalid_goodput(self, sim):
+        with pytest.raises(SimulationError):
+            Link(sim, GBIT, goodput=1.5)
+
+    def test_utilization_metrics(self, sim):
+        link = Link(sim, GBIT)
+        link.receive(1e9)
+        assert link.active_receives == 1
+        assert link.rx_utilization == pytest.approx(1.0)

@@ -1,0 +1,101 @@
+"""Power/energy/throttle/availability accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.simhw.monitor import UtilizationSample
+from repro.simhw.power import (
+    PowerModel,
+    availability_loss,
+    energy_from_samples,
+    throttle_exposure,
+)
+
+
+def mk(t, busy=0.0, disks=0):
+    return UtilizationSample(t, user_pct=busy, sys_pct=0.0, iowait_pct=0.0,
+                             disk_active=disks)
+
+
+class TestPowerModel:
+    def test_idle_floor(self):
+        model = PowerModel(idle_w=100, active_w_per_ctx=5, contexts=10)
+        assert model.instantaneous_w(mk(0, busy=0)) == pytest.approx(100)
+
+    def test_full_load(self):
+        model = PowerModel(idle_w=100, active_w_per_ctx=5, contexts=10)
+        assert model.instantaneous_w(mk(0, busy=100)) == pytest.approx(150)
+
+    def test_disk_term_capped_at_three_spindles(self):
+        model = PowerModel(idle_w=0, active_w_per_ctx=0, disk_active_w=8)
+        assert model.instantaneous_w(mk(0, disks=5)) == pytest.approx(24)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            PowerModel(idle_w=-1)
+        with pytest.raises(ConfigError):
+            PowerModel(contexts=0)
+
+
+class TestEnergyIntegration:
+    def test_constant_load(self):
+        model = PowerModel(idle_w=100, active_w_per_ctx=0, disk_active_w=0)
+        samples = [mk(t) for t in range(11)]
+        report = energy_from_samples(samples, model)
+        assert report.energy_j == pytest.approx(1000.0)
+        assert report.mean_power_w == pytest.approx(100.0)
+        assert report.duration_s == 10.0
+        assert report.energy_wh == pytest.approx(1000 / 3600)
+
+    def test_trapezoid_on_ramp(self):
+        model = PowerModel(idle_w=0, active_w_per_ctx=1, contexts=100,
+                           disk_active_w=0)
+        samples = [mk(0, busy=0), mk(1, busy=100)]  # 0 W -> 100 W
+        report = energy_from_samples(samples, model)
+        assert report.energy_j == pytest.approx(50.0)
+        assert report.peak_power_w == pytest.approx(100.0)
+
+    def test_needs_two_samples(self):
+        with pytest.raises(ConfigError):
+            energy_from_samples([mk(0)])
+
+    def test_unordered_samples_rejected(self):
+        with pytest.raises(ConfigError):
+            energy_from_samples([mk(5), mk(1)])
+
+
+class TestThrottleExposure:
+    def test_sustained_episode_counted(self):
+        samples = [mk(t, busy=95) for t in range(10)]
+        assert throttle_exposure(samples, threshold_pct=90,
+                                 min_duration_s=5) == pytest.approx(9.0)
+
+    def test_short_spike_ignored(self):
+        samples = ([mk(0, 10), mk(1, 95), mk(2, 95), mk(3, 10)]
+                   + [mk(t, 10) for t in range(4, 10)])
+        assert throttle_exposure(samples, min_duration_s=5.0) == 0.0
+
+    def test_multiple_episodes_summed(self):
+        samples = ([mk(t, 95) for t in range(7)]
+                   + [mk(t, 10) for t in range(7, 10)]
+                   + [mk(t, 95) for t in range(10, 17)])
+        total = throttle_exposure(samples, min_duration_s=5.0)
+        assert total == pytest.approx(12.0)
+
+    def test_trailing_open_episode_counted(self):
+        samples = [mk(t, 95) for t in range(8)]
+        assert throttle_exposure(samples, min_duration_s=5.0) == pytest.approx(7.0)
+
+    def test_empty_trace(self):
+        assert throttle_exposure([]) == 0.0
+
+
+class TestAvailability:
+    def test_mean_busy_fraction(self):
+        samples = [mk(0, 100), mk(1, 0), mk(2, 50)]
+        assert availability_loss(samples) == pytest.approx(0.5)
+
+    def test_empty(self):
+        assert availability_loss([]) == 0.0

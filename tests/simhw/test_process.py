@@ -1,0 +1,212 @@
+"""Coroutine processes: suspension, joins, failure propagation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simhw.process import AllOf, AnyOf, join_all
+
+
+class TestBasicProcesses:
+    def test_process_advances_through_timeouts(self, sim):
+        trace = []
+
+        def body():
+            trace.append(sim.now)
+            yield sim.timeout(1.0)
+            trace.append(sim.now)
+            yield sim.timeout(2.0)
+            trace.append(sim.now)
+
+        sim.process(body())
+        sim.run()
+        assert trace == [0.0, 1.0, 3.0]
+
+    def test_return_value_becomes_event_value(self, sim):
+        def body():
+            yield sim.timeout(1.0)
+            return 42
+
+        proc = sim.process(body())
+        sim.run()
+        assert proc.value == 42
+
+    def test_yield_value_passes_through(self, sim):
+        got = []
+
+        def body():
+            value = yield sim.timeout(1.0, value="hello")
+            got.append(value)
+
+        sim.process(body())
+        sim.run()
+        assert got == ["hello"]
+
+    def test_non_generator_rejected(self, sim):
+        with pytest.raises(SimulationError):
+            sim.process(lambda: None)  # type: ignore[arg-type]
+
+    def test_yielding_non_event_raises_into_process(self, sim):
+        def body():
+            yield "not an event"
+
+        sim.process(body())
+        with pytest.raises(SimulationError, match="yielded"):
+            sim.run()
+
+    def test_process_alive_flag(self, sim):
+        def body():
+            yield sim.timeout(1.0)
+
+        proc = sim.process(body())
+        assert proc.alive
+        sim.run()
+        assert not proc.alive
+
+
+class TestProcessComposition:
+    def test_waiting_on_another_process(self, sim):
+        def child():
+            yield sim.timeout(2.0)
+            return "done"
+
+        results = []
+
+        def parent():
+            value = yield sim.process(child())
+            results.append((sim.now, value))
+
+        sim.process(parent())
+        sim.run()
+        assert results == [(2.0, "done")]
+
+    def test_waiting_on_already_finished_process(self, sim):
+        def child():
+            yield sim.timeout(1.0)
+            return 7
+
+        kid = sim.process(child())
+
+        def parent():
+            yield sim.timeout(5.0)
+            value = yield kid  # finished long ago
+            return value
+
+        parent_proc = sim.process(parent())
+        sim.run()
+        assert parent_proc.value == 7
+        assert sim.now == 5.0
+
+    def test_fork_join_with_all_of(self, sim):
+        def worker(n):
+            yield sim.timeout(n)
+            return n * 10
+
+        def parent():
+            kids = [sim.process(worker(n)) for n in (3, 1, 2)]
+            values = yield AllOf(sim, kids)
+            return values
+
+        proc = sim.process(parent())
+        sim.run()
+        assert proc.value == [30, 10, 20]  # original order, not finish order
+        assert sim.now == 3.0
+
+    def test_join_all_helper(self, sim):
+        def worker(n):
+            yield sim.timeout(n)
+            return n
+
+        def parent():
+            done = yield join_all(sim, [sim.process(worker(i)) for i in (1, 2)])
+            return done
+
+        proc = sim.process(parent())
+        sim.run()
+        assert proc.value == [1, 2]
+
+    def test_all_of_empty_fires_immediately(self, sim):
+        def parent():
+            values = yield AllOf(sim, [])
+            return (sim.now, values)
+
+        proc = sim.process(parent())
+        sim.run()
+        assert proc.value == (0.0, [])
+
+    def test_any_of_returns_first(self, sim):
+        def worker(n):
+            yield sim.timeout(n)
+            return n
+
+        def parent():
+            idx, value = yield AnyOf(
+                sim, [sim.process(worker(5)), sim.process(worker(1))]
+            )
+            return (sim.now, idx, value)
+
+        proc = sim.process(parent())
+        sim.run()
+        assert proc.value == (1.0, 1, 1)
+
+    def test_any_of_empty_raises(self, sim):
+        with pytest.raises(SimulationError):
+            AnyOf(sim, [])
+
+
+class TestFailurePropagation:
+    def test_unwaited_failure_surfaces(self, sim):
+        def body():
+            yield sim.timeout(1.0)
+            raise ValueError("boom")
+
+        sim.process(body())
+        with pytest.raises(ValueError, match="boom"):
+            sim.run()
+
+    def test_failure_rethrown_in_waiter(self, sim):
+        def child():
+            yield sim.timeout(1.0)
+            raise RuntimeError("child died")
+
+        caught = []
+
+        def parent():
+            try:
+                yield sim.process(child())
+            except RuntimeError as exc:
+                caught.append(str(exc))
+
+        sim.process(parent())
+        sim.run()
+        assert caught == ["child died"]
+
+    def test_failure_through_all_of(self, sim):
+        def ok():
+            yield sim.timeout(5.0)
+
+        def bad():
+            yield sim.timeout(1.0)
+            raise KeyError("bad")
+
+        caught = []
+
+        def parent():
+            try:
+                yield AllOf(sim, [sim.process(ok()), sim.process(bad())])
+            except KeyError:
+                caught.append(sim.now)
+
+        sim.process(parent())
+        sim.run()
+        assert caught == [1.0]  # failure propagates before the slow child ends
+
+    def test_immediate_exception_surfaces(self, sim):
+        def body():
+            raise ZeroDivisionError
+            yield  # pragma: no cover
+
+        sim.process(body())
+        with pytest.raises(ZeroDivisionError):
+            sim.run()

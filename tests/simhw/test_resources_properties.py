@@ -1,0 +1,106 @@
+"""Property-based tests of the fluid-flow bandwidth model.
+
+Invariants that must hold for any workload thrown at the channel:
+
+* conservation — every byte submitted is eventually delivered;
+* capacity — the channel never finishes earlier than perfect sharing
+  allows (total bytes / total rate), nor later than fully serial;
+* per-flow cap — a capped flow never finishes faster than its cap allows;
+* monotonicity — adding traffic never makes the original traffic finish
+  earlier.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simhw.events import Simulator
+from repro.simhw.resources import BandwidthResource
+
+amounts = st.lists(
+    st.floats(min_value=1.0, max_value=1e6, allow_nan=False,
+              allow_infinity=False),
+    min_size=1, max_size=12,
+)
+
+
+def run_transfers(rate, sizes, caps=None, stagger=None):
+    """Run transfers, return (per-flow finish times, simulator)."""
+    sim = Simulator()
+    chan = BandwidthResource(sim, rate)
+    finishes: dict[int, float] = {}
+
+    def launch(idx, size, delay, cap):
+        if delay:
+            yield sim.timeout(delay)
+        yield chan.transfer(size, cap=cap)
+        finishes[idx] = sim.now
+
+    for idx, size in enumerate(sizes):
+        cap = caps[idx] if caps else None
+        delay = stagger[idx] if stagger else 0.0
+        sim.process(launch(idx, size, delay, cap))
+    sim.run()
+    return finishes, chan
+
+
+class TestConservation:
+    @given(amounts)
+    @settings(max_examples=60, deadline=None)
+    def test_all_bytes_delivered(self, sizes):
+        finishes, chan = run_transfers(1000.0, sizes)
+        assert len(finishes) == len(sizes)
+        assert chan.delivered == pytest.approx(sum(sizes), rel=1e-6)
+        assert chan.active_flows == 0
+
+    @given(amounts)
+    @settings(max_examples=60, deadline=None)
+    def test_makespan_bounded_by_capacity(self, sizes):
+        rate = 1000.0
+        finishes, _ = run_transfers(rate, sizes)
+        makespan = max(finishes.values())
+        lower = sum(sizes) / rate  # perfect pipelining of the channel
+        assert makespan >= lower * (1 - 1e-9)
+        # concurrent flows: channel is always fully utilized until the
+        # last byte, so the makespan is exactly the lower bound
+        assert makespan == pytest.approx(lower, rel=1e-6)
+
+    @given(amounts, st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_staggered_arrivals_still_conserve(self, sizes, data):
+        stagger = [
+            data.draw(st.floats(min_value=0.0, max_value=5.0))
+            for _ in sizes
+        ]
+        finishes, chan = run_transfers(1000.0, sizes, stagger=stagger)
+        assert chan.delivered == pytest.approx(sum(sizes), rel=1e-6)
+        for idx, size in enumerate(sizes):
+            # no flow finishes before its own serial time after arrival
+            assert finishes[idx] >= stagger[idx] + size / 1000.0 - 1e-6
+
+
+class TestCaps:
+    @given(amounts, st.floats(min_value=10.0, max_value=500.0))
+    @settings(max_examples=40, deadline=None)
+    def test_capped_flow_respects_cap(self, sizes, cap):
+        caps = [cap] * len(sizes)
+        finishes, _ = run_transfers(1e9, sizes, caps=caps)
+        for idx, size in enumerate(sizes):
+            assert finishes[idx] >= size / cap - 1e-6
+
+    @given(st.floats(min_value=100.0, max_value=1e5))
+    @settings(max_examples=30, deadline=None)
+    def test_single_flow_exact_time(self, size):
+        finishes, _ = run_transfers(250.0, [size])
+        assert finishes[0] == pytest.approx(size / 250.0, rel=1e-9)
+
+
+class TestMonotonicity:
+    @given(st.floats(min_value=100.0, max_value=1e4), amounts)
+    @settings(max_examples=40, deadline=None)
+    def test_background_traffic_never_speeds_up_a_flow(self, size, noise):
+        alone, _ = run_transfers(1000.0, [size])
+        with_noise, _ = run_transfers(1000.0, [size] + noise)
+        assert with_noise[0] >= alone[0] - 1e-9

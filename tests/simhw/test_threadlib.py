@@ -1,0 +1,51 @@
+"""Thread operation cost model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.simhw.cpu import CpuBank, CpuClass
+from repro.simhw.threadlib import ThreadCosts, charge_join, charge_spawn, charge_sync
+
+
+class TestThreadCosts:
+    def test_defaults_are_positive(self):
+        costs = ThreadCosts()
+        assert costs.spawn_s > 0 and costs.join_s > 0 and costs.sync_s > 0
+
+    def test_negative_cost_rejected(self):
+        with pytest.raises(ConfigError):
+            ThreadCosts(spawn_s=-1e-6)
+
+    def test_wave_overhead(self):
+        costs = ThreadCosts(spawn_s=10e-6, join_s=5e-6)
+        assert costs.wave_overhead(32) == pytest.approx(32 * 15e-6)
+
+    def test_wave_overhead_negative_rejected(self):
+        with pytest.raises(ConfigError):
+            ThreadCosts().wave_overhead(-1)
+
+
+class TestCharges:
+    def test_spawn_charges_sys_time(self, sim):
+        cpu = CpuBank(sim, 4)
+        costs = ThreadCosts(spawn_s=1e-3)
+        sim.process(charge_spawn(cpu, costs, 10))
+        sim.run()
+        assert cpu.consumed[CpuClass.SYS] == pytest.approx(10e-3)
+        assert sim.now == pytest.approx(10e-3)
+
+    def test_join_charges_sys_time(self, sim):
+        cpu = CpuBank(sim, 4)
+        costs = ThreadCosts(join_s=2e-3)
+        sim.process(charge_join(cpu, costs, 5))
+        sim.run()
+        assert cpu.consumed[CpuClass.SYS] == pytest.approx(10e-3)
+
+    def test_sync_episodes(self, sim):
+        cpu = CpuBank(sim, 4)
+        costs = ThreadCosts(sync_s=1e-3)
+        sim.process(charge_sync(cpu, costs, episodes=3))
+        sim.run()
+        assert cpu.consumed[CpuClass.SYS] == pytest.approx(3e-3)

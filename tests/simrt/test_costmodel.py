@@ -1,0 +1,100 @@
+"""Calibrated cost model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.simrt.costmodel import (
+    GB_SI,
+    MB_SI,
+    PAPER_SORT,
+    PAPER_WORDCOUNT,
+    AppCostProfile,
+    chunk_sizes,
+)
+
+
+class TestCalibration:
+    """The constants must re-derive Table II's arithmetic."""
+
+    def test_wordcount_ingest_rate(self):
+        # 155 GB at the effective rate == the 403.90 s read cell
+        assert 155 * GB_SI / PAPER_WORDCOUNT.ingest_bw == pytest.approx(
+            403.90, rel=0.01
+        )
+
+    def test_wordcount_map_wall(self):
+        assert PAPER_WORDCOUNT.map_wall_s(155 * GB_SI, 32) == pytest.approx(
+            67.41, rel=0.01
+        )
+
+    def test_sort_ingest_rate(self):
+        assert 60 * GB_SI / PAPER_SORT.ingest_bw == pytest.approx(182.78, rel=0.01)
+
+    def test_sort_map_wall(self):
+        assert PAPER_SORT.map_wall_s(60 * GB_SI, 32) == pytest.approx(6.33, rel=0.01)
+
+    def test_sort_merge_decomposition(self):
+        # block sorts + pairwise rounds = 191.23; + one p-way pass = 61.14
+        inter = PAPER_SORT.intermediate_bytes(60 * GB_SI)
+        block_sorts = inter / 32 / PAPER_SORT.sort_block_bw
+        pairwise_rounds = inter * 1.9375 / PAPER_SORT.merge_scan_bw
+        pway_pass = inter / (32 * PAPER_SORT.pway_scan_bw(32))
+        assert block_sorts + pairwise_rounds == pytest.approx(191.23, rel=0.01)
+        assert block_sorts + pway_pass == pytest.approx(61.14, rel=0.01)
+
+    def test_reduce_round_penalty(self):
+        base = PAPER_WORDCOUNT.reduce_wall_s(155 * GB_SI, 1)
+        chunked = PAPER_WORDCOUNT.reduce_wall_s(155 * GB_SI, 155, 1 * GB_SI)
+        assert base == pytest.approx(0.03, rel=0.05)
+        assert chunked == pytest.approx(1.08, rel=0.05)
+
+    def test_pway_scan_bw_log_penalty(self):
+        assert PAPER_SORT.pway_scan_bw(32) == pytest.approx(
+            PAPER_SORT.merge_scan_bw / 5.0
+        )
+        # merging <=2 runs pays no heap penalty
+        assert PAPER_SORT.pway_scan_bw(1) == PAPER_SORT.merge_scan_bw
+
+
+class TestValidation:
+    def test_rejects_nonpositive_rates(self):
+        with pytest.raises(ConfigError):
+            AppCostProfile(
+                name="bad", ingest_bw=0, map_bw_per_ctx=1, parse_bw_single=1,
+                reduce_s_per_gb=0, container_round_penalty_s=0,
+                intermediate_ratio=0, sort_block_bw=1, merge_scan_bw=1,
+            )
+
+    def test_rejects_negative_ratios(self):
+        with pytest.raises(ConfigError):
+            AppCostProfile(
+                name="bad", ingest_bw=1, map_bw_per_ctx=1, parse_bw_single=1,
+                reduce_s_per_gb=-1, container_round_penalty_s=0,
+                intermediate_ratio=0, sort_block_bw=1, merge_scan_bw=1,
+            )
+
+
+class TestChunkSizes:
+    def test_none_means_single_chunk(self):
+        assert chunk_sizes(10 * GB_SI, None) == [10 * GB_SI]
+
+    def test_even_division(self):
+        sizes = chunk_sizes(4 * GB_SI, 1 * GB_SI)
+        assert len(sizes) == 4
+        assert all(s == pytest.approx(GB_SI) for s in sizes)
+
+    def test_remainder_chunk(self):
+        sizes = chunk_sizes(155 * GB_SI, 50 * GB_SI)
+        assert len(sizes) == 4
+        assert sizes[-1] == pytest.approx(5 * GB_SI)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ConfigError):
+            chunk_sizes(0, 1)
+        with pytest.raises(ConfigError):
+            chunk_sizes(10, 0)
+
+    def test_si_constants(self):
+        assert GB_SI == 1e9 and MB_SI == 1e6

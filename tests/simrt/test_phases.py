@@ -1,0 +1,119 @@
+"""Unit tests of the simulated phase primitives against hand arithmetic."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simhw.cpu import CpuClass
+from repro.simhw.events import Simulator
+from repro.simhw.machine import paper_machine
+from repro.simrt.costmodel import GB_SI, MB_SI, PAPER_SORT, PAPER_WORDCOUNT
+from repro.simrt.phases import (
+    PhaseLog,
+    ingest,
+    map_wave,
+    merge_pairwise,
+    merge_pway,
+    reduce_phase,
+)
+
+
+def run_phase(phase_gen):
+    sim = Simulator()
+    machine = paper_machine(sim, monitor_interval=1000.0)
+    log = PhaseLog(machine)
+
+    def body():
+        t0 = sim.now
+        yield from phase_gen(machine)
+        log.record("phase", t0)
+
+    sim.process(body())
+    sim.run()
+    return machine, log.duration("phase")
+
+
+class TestIngest:
+    def test_rate_capped_at_profile_bw(self):
+        nbytes = 10 * GB_SI
+        _m, dur = run_phase(lambda m: ingest(m, nbytes, PAPER_SORT))
+        assert dur == pytest.approx(nbytes / PAPER_SORT.ingest_bw, rel=1e-6)
+
+    def test_wordcount_uses_full_raid(self):
+        nbytes = 10 * GB_SI
+        _m, dur = run_phase(lambda m: ingest(m, nbytes, PAPER_WORDCOUNT))
+        assert dur == pytest.approx(nbytes / PAPER_WORDCOUNT.ingest_bw,
+                                    rel=1e-6)
+
+    def test_iowait_flag_cleared_after(self):
+        machine, _ = run_phase(lambda m: ingest(m, 1 * MB_SI, PAPER_SORT))
+        assert machine.cpu.io_blocked == 0
+
+
+class TestMapWave:
+    def test_wall_time_matches_profile(self):
+        nbytes = 4 * GB_SI
+        _m, dur = run_phase(lambda m: map_wave(m, nbytes, PAPER_WORDCOUNT))
+        expected = PAPER_WORDCOUNT.map_wall_s(nbytes, 32)
+        # plus thread wave overheads (sys), which are microseconds
+        assert dur == pytest.approx(expected, rel=0.01)
+
+    def test_wave_consumes_sys_time_for_threads(self):
+        machine, _ = run_phase(lambda m: map_wave(m, 1 * GB_SI,
+                                                  PAPER_WORDCOUNT))
+        assert machine.cpu.consumed[CpuClass.SYS] > 0
+
+    def test_all_contexts_engaged(self):
+        machine, dur = run_phase(lambda m: map_wave(m, 32 * GB_SI,
+                                                    PAPER_SORT))
+        # 32 threads of equal work: user consumption = 32 x wall(map part)
+        map_part = PAPER_SORT.map_wall_s(32 * GB_SI, 32)
+        assert machine.cpu.consumed[CpuClass.USER] == pytest.approx(
+            32 * map_part, rel=0.01
+        )
+
+
+class TestReducePhase:
+    def test_baseline_duration(self):
+        _m, dur = run_phase(
+            lambda m: reduce_phase(m, 60 * GB_SI, PAPER_SORT, map_rounds=1)
+        )
+        assert dur == pytest.approx(7.72, rel=0.01)
+
+    def test_round_penalty_applied(self):
+        _m, dur = run_phase(
+            lambda m: reduce_phase(m, 60 * GB_SI, PAPER_SORT, map_rounds=60,
+                                   chunk_bytes=1 * GB_SI)
+        )
+        assert dur == pytest.approx(9.02, rel=0.01)
+
+    def test_zero_work_is_instant(self):
+        _m, dur = run_phase(
+            lambda m: reduce_phase(m, 1.0, PAPER_WORDCOUNT, map_rounds=1)
+        )
+        assert dur < 1e-6
+
+
+class TestMergePhases:
+    def test_pairwise_matches_table2(self):
+        inter = PAPER_SORT.intermediate_bytes(60 * GB_SI)
+        _m, dur = run_phase(lambda m: merge_pairwise(m, inter, PAPER_SORT))
+        assert dur == pytest.approx(191.23, rel=0.01)
+
+    def test_pway_matches_table2(self):
+        inter = PAPER_SORT.intermediate_bytes(60 * GB_SI)
+        _m, dur = run_phase(lambda m: merge_pway(m, inter, PAPER_SORT))
+        assert dur == pytest.approx(61.14, rel=0.01)
+
+    def test_empty_intermediate_is_free(self):
+        _m, dur = run_phase(lambda m: merge_pairwise(m, 0.0, PAPER_SORT))
+        assert dur == 0.0
+
+    def test_pway_beats_pairwise_for_any_size(self):
+        for gb in (1, 10, 60):
+            inter = gb * GB_SI
+            _m, pair = run_phase(
+                lambda m, i=inter: merge_pairwise(m, i, PAPER_SORT))
+            _m, pway = run_phase(
+                lambda m, i=inter: merge_pway(m, i, PAPER_SORT))
+            assert pway < pair

@@ -1,0 +1,161 @@
+"""Simulated runtimes reproduce Table II and the figure mechanics.
+
+These are the quantitative acceptance tests of the reproduction: every
+Table II cell within tolerance, plus the structural properties the
+figures communicate (step-down merge, dense/sparse spikes, overlap).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simrt.costmodel import GB_SI, PAPER_SORT, PAPER_WORDCOUNT
+from repro.simrt.hdfs_case import simulate_hdfs_case_study
+from repro.simrt.openmp_sim import simulate_openmp_sort
+from repro.simrt.phoenix_sim import simulate_phoenix_job
+from repro.simrt.supmr_sim import simulate_supmr_job
+
+WC = 155 * GB_SI
+SORT = 60 * GB_SI
+#: coarse sampling keeps these sims < 1 s each
+INTERVAL = 10.0
+
+
+@pytest.fixture(scope="module")
+def wc_none():
+    return simulate_phoenix_job(PAPER_WORDCOUNT, WC, monitor_interval=INTERVAL)
+
+
+@pytest.fixture(scope="module")
+def wc_1gb():
+    return simulate_supmr_job(PAPER_WORDCOUNT, WC, 1 * GB_SI,
+                              monitor_interval=INTERVAL)
+
+
+@pytest.fixture(scope="module")
+def sort_none():
+    return simulate_phoenix_job(PAPER_SORT, SORT, monitor_interval=INTERVAL)
+
+
+@pytest.fixture(scope="module")
+def sort_1gb():
+    return simulate_supmr_job(PAPER_SORT, SORT, 1 * GB_SI,
+                              monitor_interval=INTERVAL)
+
+
+class TestTable2WordCount:
+    def test_baseline_row(self, wc_none):
+        t = wc_none.timings
+        assert t.total_s == pytest.approx(471.75, rel=0.01)
+        assert t.read_s == pytest.approx(403.90, rel=0.01)
+        assert t.map_s == pytest.approx(67.41, rel=0.01)
+        assert t.reduce_s == pytest.approx(0.03, abs=0.02)
+        assert t.merge_s == pytest.approx(0.01, abs=0.02)
+
+    def test_1gb_row(self, wc_1gb):
+        t = wc_1gb.timings
+        assert t.total_s == pytest.approx(407.58, rel=0.01)
+        assert t.read_map_s == pytest.approx(406.14, rel=0.01)
+        assert t.reduce_s == pytest.approx(1.08, rel=0.05)
+
+    def test_50gb_row_shape(self):
+        r = simulate_supmr_job(PAPER_WORDCOUNT, WC, 50 * GB_SI,
+                               monitor_interval=INTERVAL)
+        # within 5% of 429.76 and ordered between the 1 GB and none rows
+        assert r.timings.total_s == pytest.approx(429.76, rel=0.05)
+        assert 407.58 < r.timings.total_s < 471.75
+
+    def test_n_chunks(self, wc_1gb):
+        assert wc_1gb.extras["n_chunks"] == 155
+
+
+class TestTable2Sort:
+    def test_baseline_row(self, sort_none):
+        t = sort_none.timings
+        assert t.total_s == pytest.approx(397.31, rel=0.01)
+        assert t.read_s == pytest.approx(182.78, rel=0.01)
+        assert t.map_s == pytest.approx(6.33, rel=0.02)
+        assert t.reduce_s == pytest.approx(7.72, rel=0.02)
+        assert t.merge_s == pytest.approx(191.23, rel=0.01)
+
+    def test_1gb_row(self, sort_1gb):
+        t = sort_1gb.timings
+        assert t.total_s == pytest.approx(272.58, rel=0.01)
+        assert t.read_map_s == pytest.approx(196.86, rel=0.01)
+        assert t.reduce_s == pytest.approx(9.04, rel=0.05)
+        assert t.merge_s == pytest.approx(61.14, rel=0.01)
+
+    def test_merge_speedup_matches_paper(self, sort_none, sort_1gb):
+        speedup = sort_none.timings.merge_s / sort_1gb.timings.merge_s
+        assert speedup == pytest.approx(3.13, rel=0.02)
+
+    def test_total_speedup_matches_paper(self, sort_none, sort_1gb):
+        speedup = sort_none.timings.total_s / sort_1gb.timings.total_s
+        assert speedup == pytest.approx(1.46, rel=0.02)
+
+
+class TestFigureMechanics:
+    def test_fig1_step_down_merge(self, sort_none):
+        merge_span = [s for s in sort_none.spans if s.name == "merge"][0]
+        window = [s for s in sort_none.samples
+                  if merge_span.start <= s.time <= merge_span.end]
+        busy = [s.busy_pct for s in window]
+        # high at the start (block sorts), low at the end (1 thread)
+        assert busy[0] > 90
+        assert busy[-1] < 10
+        # monotone non-increasing plateaus (allow sampling jitter)
+        assert all(a >= b - 1.0 for a, b in zip(busy, busy[1:]))
+
+    def test_fig6_supmr_merge_single_high_round(self, sort_1gb):
+        merge_span = [s for s in sort_1gb.spans if s.name == "merge"][0]
+        window = [s for s in sort_1gb.samples
+                  if merge_span.start <= s.time <= merge_span.end]
+        busy = [s.busy_pct for s in window]
+        assert min(busy) > 90  # no step-down: all contexts busy throughout
+
+    def test_fig5_overlap_raises_utilization(self, wc_none, wc_1gb):
+        base_busy = [s.busy_pct for s in wc_none.samples
+                     if s.time <= wc_none.timings.read_s]
+        supmr_busy = [s.busy_pct for s in wc_1gb.samples
+                      if s.time <= wc_1gb.timings.read_map_s]
+        base_mean = sum(base_busy) / len(base_busy)
+        supmr_mean = sum(supmr_busy) / len(supmr_busy)
+        assert base_mean < 1.0  # pure iowait during baseline ingest
+        assert supmr_mean > 10.0  # dense map spikes during SupMR ingest
+
+    def test_pipelining_ablation_overlap_saves_time(self):
+        piped = simulate_supmr_job(PAPER_WORDCOUNT, 10 * GB_SI, 1 * GB_SI,
+                                   monitor_interval=INTERVAL)
+        serial = simulate_supmr_job(PAPER_WORDCOUNT, 10 * GB_SI, 1 * GB_SI,
+                                    monitor_interval=INTERVAL, pipelined=False)
+        assert piped.timings.total_s < serial.timings.total_s
+        # the saving is roughly the overlapped map time
+        saved = serial.timings.total_s - piped.timings.total_s
+        map_time = PAPER_WORDCOUNT.map_wall_s(9 * GB_SI, 32)
+        assert saved == pytest.approx(map_time, rel=0.15)
+
+
+class TestOpenMPSim:
+    def test_fig3_totals(self):
+        openmp = simulate_openmp_sort(PAPER_SORT, SORT, monitor_interval=INTERVAL)
+        mr = simulate_phoenix_job(PAPER_SORT, SORT, monitor_interval=INTERVAL)
+        delta = openmp.timings.total_s - mr.timings.total_s
+        assert delta == pytest.approx(192.0, abs=5.0)
+
+    def test_parse_is_single_threaded(self):
+        openmp = simulate_openmp_sort(PAPER_SORT, SORT, monitor_interval=INTERVAL)
+        parse_span = [s for s in openmp.spans if s.name == "parse"][0]
+        window = [s for s in openmp.samples
+                  if parse_span.start < s.time < parse_span.end]
+        assert all(s.busy_pct <= 100 / 32 + 0.5 for s in window)
+
+
+class TestHdfsCase:
+    def test_fig7_speedup_near_seven_seconds(self):
+        case = simulate_hdfs_case_study(monitor_interval=INTERVAL)
+        assert case.speedup_seconds == pytest.approx(7.0, abs=1.5)
+
+    def test_fig7_utilization_rises_but_speedup_small(self):
+        case = simulate_hdfs_case_study(monitor_interval=INTERVAL)
+        # relative total speedup is tiny (Conclusion 4)
+        assert case.speedup_factor < 1.05

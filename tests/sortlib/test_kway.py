@@ -1,0 +1,69 @@
+"""Heap-based k-way merge."""
+
+from __future__ import annotations
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sortlib.kway import iter_kway_merge, kway_merge, merged_length
+
+
+class TestKwayMerge:
+    def test_empty_input(self):
+        assert kway_merge([]) == []
+
+    def test_all_empty_runs(self):
+        assert kway_merge([[], [], []]) == []
+
+    def test_single_run(self):
+        assert kway_merge([[1, 2, 3]]) == [1, 2, 3]
+
+    def test_three_runs(self):
+        runs = [[1, 4, 7], [2, 5, 8], [3, 6, 9]]
+        assert kway_merge(runs) == list(range(1, 10))
+
+    def test_tie_order_prefers_lower_run_index(self):
+        runs = [[(1, "run0")], [(1, "run1")], [(1, "run2")]]
+        merged = kway_merge(runs, key=lambda kv: kv[0])
+        assert [tag for _k, tag in merged] == ["run0", "run1", "run2"]
+
+    def test_ties_within_run_keep_position_order(self):
+        runs = [[(1, "a"), (1, "b")], [(1, "c")]]
+        merged = kway_merge(runs, key=lambda kv: kv[0])
+        assert [t for _k, t in merged] == ["a", "b", "c"]
+
+    def test_key_never_compares_values(self):
+        # values are uncomparable objects; only keys drive the heap
+        class Opaque:
+            pass
+
+        runs = [[(1, Opaque())], [(1, Opaque())]]
+        merged = kway_merge(runs, key=lambda kv: kv[0])
+        assert len(merged) == 2
+
+    def test_streaming_iterator_form(self):
+        runs = [[1, 3], [2, 4]]
+        it = iter_kway_merge(runs)
+        assert next(it) == 1
+        assert list(it) == [2, 3, 4]
+
+    def test_merged_length(self):
+        assert merged_length([[1, 2], [3], []]) == 3
+
+    @given(st.lists(st.lists(st.integers()), max_size=10))
+    def test_property_equals_sorted_union(self, runs):
+        runs = [sorted(r) for r in runs]
+        assert kway_merge(runs) == sorted(x for r in runs for x in r)
+
+    @given(st.lists(st.lists(st.integers(min_value=0, max_value=5)),
+                    min_size=1, max_size=6))
+    def test_property_matches_pairwise_merge(self, runs):
+        # k-way and iterated stable 2-way agree item-for-item, ties included
+        from repro.sortlib.merge_sort import pairwise_merge_sort
+
+        tagged = [
+            [(x, run_idx, pos) for pos, x in enumerate(sorted(r))]
+            for run_idx, r in enumerate(runs)
+        ]
+        key = lambda t: t[0]  # noqa: E731
+        assert kway_merge(tagged, key) == pairwise_merge_sort(tagged, key)[0]

@@ -1,0 +1,107 @@
+"""Pairwise (2-way) merge rounds: the Phoenix baseline merge."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sortlib.merge_sort import (
+    merge_pair,
+    merge_rounds_schedule,
+    pairwise_merge_sort,
+    total_items_scanned,
+)
+
+
+class TestMergePair:
+    def test_basic_merge(self):
+        assert merge_pair([1, 3, 5], [2, 4, 6]) == [1, 2, 3, 4, 5, 6]
+
+    def test_empty_sides(self):
+        assert merge_pair([], [1, 2]) == [1, 2]
+        assert merge_pair([1, 2], []) == [1, 2]
+        assert merge_pair([], []) == []
+
+    def test_stability_prefers_left(self):
+        left = [(1, "L")]
+        right = [(1, "R")]
+        merged = merge_pair(left, right, key=lambda kv: kv[0])
+        assert merged == [(1, "L"), (1, "R")]
+
+    def test_key_function(self):
+        merged = merge_pair([(3, "a")], [(1, "b"), (5, "c")],
+                            key=lambda kv: kv[0])
+        assert [k for k, _ in merged] == [1, 3, 5]
+
+    @given(st.lists(st.integers()), st.lists(st.integers()))
+    def test_property_equals_sorted_concat(self, a, b):
+        a, b = sorted(a), sorted(b)
+        assert merge_pair(a, b) == sorted(a + b)
+
+
+class TestPairwiseMergeSort:
+    def test_no_runs(self):
+        merged, rounds = pairwise_merge_sort([])
+        assert merged == [] and rounds == 0
+
+    def test_single_run_needs_no_rounds(self):
+        merged, rounds = pairwise_merge_sort([[1, 2, 3]])
+        assert merged == [1, 2, 3] and rounds == 0
+
+    def test_round_count_is_log2(self):
+        runs = [[i] for i in range(32)]
+        _merged, rounds = pairwise_merge_sort(runs)
+        assert rounds == 5  # log2(32)
+
+    def test_odd_run_count(self):
+        runs = [[3], [1], [2]]
+        merged, rounds = pairwise_merge_sort(runs)
+        assert merged == [1, 2, 3]
+        assert rounds == 2  # 3 -> 2 -> 1
+
+    @given(st.lists(st.lists(st.integers()), max_size=12))
+    def test_property_equals_sorted_union(self, runs):
+        runs = [sorted(r) for r in runs]
+        merged, _rounds = pairwise_merge_sort(runs)
+        assert merged == sorted(x for r in runs for x in r)
+
+    @given(st.integers(min_value=2, max_value=64))
+    def test_property_rounds_equal_ceil_log2(self, n):
+        runs = [[i] for i in range(n)]
+        _merged, rounds = pairwise_merge_sort(runs)
+        assert rounds == math.ceil(math.log2(n))
+
+
+class TestRoundsSchedule:
+    def test_empty_and_single(self):
+        assert merge_rounds_schedule([]) == []
+        assert merge_rounds_schedule([10]) == []
+
+    def test_balanced_32_runs(self):
+        schedule = merge_rounds_schedule([100] * 32)
+        assert [r.merges for r in schedule] == [16, 8, 4, 2, 1]
+        # every round rescans all items
+        assert all(r.items_scanned == 3200 for r in schedule)
+
+    def test_total_scan_cost_factor(self):
+        # 32 equal runs: sum over rounds = N * 5 (each round rescans all)
+        assert total_items_scanned([1] * 32) == 32 * 5
+
+    def test_odd_leftover_not_scanned(self):
+        schedule = merge_rounds_schedule([10, 10, 10])
+        assert schedule[0].merges == 1
+        assert schedule[0].items_scanned == 20  # third run carried over
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(ValueError):
+            merge_rounds_schedule([5, -1])
+
+    @given(st.lists(st.integers(min_value=0, max_value=1000),
+                    min_size=2, max_size=40))
+    def test_property_scan_cost_bounded_by_n_log_n(self, lengths):
+        total = sum(lengths)
+        rounds = math.ceil(math.log2(len(lengths)))
+        assert total_items_scanned(lengths) <= total * rounds

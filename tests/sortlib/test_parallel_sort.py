@@ -1,0 +1,70 @@
+"""Parallel multiway mergesort (__gnu_parallel::sort equivalent)."""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sortlib.parallel_sort import parallel_sort, split_blocks
+
+
+class TestSplitBlocks:
+    def test_even_split(self):
+        assert split_blocks([1, 2, 3, 4], 2) == [[1, 2], [3, 4]]
+
+    def test_uneven_split_sizes(self):
+        blocks = split_blocks(list(range(10)), 3)
+        assert [len(b) for b in blocks] == [3, 3, 4]
+        assert [x for b in blocks for x in b] == list(range(10))
+
+    def test_more_parts_than_items(self):
+        blocks = split_blocks([1], 4)
+        assert sum(len(b) for b in blocks) == 1
+
+    def test_invalid_parts(self):
+        with pytest.raises(ValueError):
+            split_blocks([1], 0)
+
+
+class TestParallelSort:
+    def test_empty_and_single(self):
+        assert parallel_sort([], 4) == []
+        assert parallel_sort([9], 4) == [9]
+
+    def test_invalid_parallelism(self):
+        with pytest.raises(ValueError):
+            parallel_sort([1], 0)
+
+    def test_reverse_input(self):
+        data = list(range(100, 0, -1))
+        assert parallel_sort(data, 8) == sorted(data)
+
+    def test_key_function(self):
+        data = [(3, "x"), (1, "y"), (2, "z")]
+        assert parallel_sort(data, 2, key=lambda kv: kv[0]) == [
+            (1, "y"), (2, "z"), (3, "x"),
+        ]
+
+    def test_stable_for_equal_keys(self):
+        data = [(1, i) for i in range(50)]
+        out = parallel_sort(data, 7, key=lambda kv: kv[0])
+        assert out == data  # original order preserved
+
+    def test_with_executor(self):
+        data = list(range(200, 0, -1))
+        with ThreadPoolExecutor(max_workers=4) as pool:
+            assert parallel_sort(data, 4, executor=pool) == sorted(data)
+
+    @given(st.lists(st.integers()), st.integers(min_value=1, max_value=8))
+    def test_property_equals_sorted(self, data, p):
+        assert parallel_sort(data, p) == sorted(data)
+
+    @given(st.lists(st.tuples(st.integers(min_value=0, max_value=3),
+                              st.integers())),
+           st.integers(min_value=1, max_value=8))
+    def test_property_stability(self, data, p):
+        key = lambda kv: kv[0]  # noqa: E731
+        assert parallel_sort(data, p, key=key) == sorted(data, key=key)

@@ -1,0 +1,63 @@
+"""Sample sort (ablation alternative)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sortlib.samplesort import bucket_sizes, choose_splitters, sample_sort
+
+
+class TestSampleSort:
+    def test_empty_and_single(self):
+        assert sample_sort([], 4) == []
+        assert sample_sort([3], 4) == [3]
+
+    def test_invalid_parallelism(self):
+        with pytest.raises(ValueError):
+            sample_sort([1], 0)
+
+    def test_sorts_correctly(self):
+        rng = random.Random(1)
+        data = [rng.randrange(1000) for _ in range(500)]
+        assert sample_sort(data, 8) == sorted(data)
+
+    def test_deterministic_with_seeded_rng(self):
+        data = list(range(100, 0, -1))
+        a = sample_sort(data, 4, rng=random.Random(7))
+        b = sample_sort(data, 4, rng=random.Random(7))
+        assert a == b
+
+    @given(st.lists(st.integers()), st.integers(min_value=1, max_value=8))
+    def test_property_key_order(self, data, p):
+        assert sample_sort(data, p) == sorted(data)
+
+
+class TestSplitters:
+    def test_parallelism_one_needs_no_splitters(self):
+        assert choose_splitters(list(range(10)), 1) == []
+
+    def test_splitter_count(self):
+        splitters = choose_splitters(list(range(1000)), 8)
+        assert len(splitters) == 7
+        assert splitters == sorted(splitters)
+
+    def test_invalid_parts(self):
+        with pytest.raises(ValueError):
+            choose_splitters([1], 0)
+
+    def test_bucket_sizes_sum_to_input(self):
+        data = list(range(300))
+        sizes = bucket_sizes(data, 6)
+        assert sum(sizes) == 300
+        assert len(sizes) == 6
+
+    def test_buckets_roughly_balanced_on_uniform_data(self):
+        rng = random.Random(5)
+        data = [rng.random() for _ in range(4000)]
+        sizes = bucket_sizes(data, 4, rng=random.Random(9))
+        # oversampled splitters keep the skew moderate on uniform input
+        assert max(sizes) < 2.5 * (len(data) / 4)

@@ -1,0 +1,82 @@
+"""Command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            build_parser().parse_args(["--version"])
+        assert exc.value.code == 0
+
+    def test_experiments_defaults(self):
+        args = build_parser().parse_args(["experiments"])
+        assert args.ids == []
+
+
+class TestGen:
+    def test_gen_text(self, tmp_path, capsys):
+        path = tmp_path / "t.txt"
+        assert main(["gen", "text", str(path), "--size", "10KB"]) == 0
+        assert path.stat().st_size == 10 * 1024
+        assert "wrote" in capsys.readouterr().out
+
+    def test_gen_terasort(self, tmp_path):
+        path = tmp_path / "t.dat"
+        assert main(["gen", "terasort", str(path), "--records", "50"]) == 0
+        assert path.stat().st_size == 5000
+
+    def test_gen_files(self, tmp_path):
+        assert main(["gen", "files", str(tmp_path / "d"), "--files", "3",
+                     "--size", "1KB"]) == 0
+        assert len(list((tmp_path / "d").iterdir())) == 3
+
+
+class TestJobs:
+    def test_wordcount_baseline(self, text_file, capsys):
+        assert main(["wordcount", str(text_file), "--baseline",
+                     "--top", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "phoenix" in out
+        assert "read:" in out
+
+    def test_wordcount_chunked(self, text_file, capsys):
+        assert main(["wordcount", str(text_file),
+                     "--chunk-size", "32KB"]) == 0
+        out = capsys.readouterr().out
+        assert "supmr" in out
+        assert "pipelined" in out
+
+    def test_wordcount_intrafile(self, small_files, capsys):
+        argv = ["wordcount"] + [str(p) for p in small_files[:6]]
+        argv += ["--files-per-chunk", "2"]
+        assert main(argv) == 0
+        assert "3 chunk(s)" in capsys.readouterr().out
+
+    def test_sort(self, terasort_file, capsys):
+        assert main(["sort", str(terasort_file),
+                     "--chunk-size", "50KB"]) == 0
+        assert "supmr" in capsys.readouterr().out
+
+    def test_config_error_returns_2(self, text_file, capsys):
+        # inter-file chunking with several files is a user error
+        rc = main(["wordcount", str(text_file), str(text_file),
+                   "--chunk-size", "1KB"])
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestExperimentsCommand:
+    def test_single_experiment_with_artifacts(self, tmp_path, capsys):
+        assert main(["experiments", "fig6", "--out", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "fig6" in out
+        assert (tmp_path / "fig6_supmr.csv").exists()

@@ -1,0 +1,62 @@
+"""CLI tune/validate subcommands and extension experiments."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+from repro.experiments import available_experiments, run_experiment
+
+
+class TestTuneCommand:
+    def test_tune_wordcount(self, capsys):
+        assert main(["tune", "wordcount", "--input-size", "20GB"]) == 0
+        out = capsys.readouterr().out
+        assert "optimal chunk size" in out
+        assert "predicted speedup" in out
+
+    def test_tune_with_comparisons(self, capsys):
+        assert main(["tune", "sort", "--input-size", "60GB",
+                     "--compare", "1GB", "10GB"]) == 0
+        out = capsys.readouterr().out
+        assert "at      1GB" in out
+
+    def test_tune_rejects_unknown_app(self):
+        with pytest.raises(SystemExit):
+            main(["tune", "grep"])
+
+
+class TestValidateCommand:
+    def test_valid_file_returns_zero(self, tmp_path, terasort_file, capsys):
+        from repro.apps.sortapp import reference_sort
+        from repro.io.writer import write_terasort_output
+
+        out = tmp_path / "sorted.dat"
+        write_terasort_output(out, reference_sort([terasort_file]))
+        assert main(["validate", str(out)]) == 0
+        assert "sorted           : True" in capsys.readouterr().out
+
+    def test_unsorted_file_returns_one(self, tmp_path, terasort_file, capsys):
+        # the raw (unsorted) input fails validation
+        assert main(["validate", str(terasort_file)]) == 1
+        assert "sorted           : False" in capsys.readouterr().out
+
+
+class TestExtensionExperiments:
+    def test_registered(self):
+        exps = available_experiments()
+        assert {"ext-energy", "ext-scaleout", "ext-tuning",
+                "ext-spectrum"} <= set(exps)
+
+    @pytest.mark.parametrize("exp_id", ["ext-energy", "ext-scaleout",
+                                        "ext-tuning", "ext-spectrum"])
+    def test_runs_and_renders(self, exp_id):
+        result = run_experiment(exp_id, monitor_interval=20.0)
+        assert result.exp_id == exp_id
+        assert result.body
+        assert result.comparisons
+
+    def test_ext_tuning_never_loses_to_hand_tuning(self):
+        result = run_experiment("ext-tuning", monitor_interval=50.0)
+        for comparison in result.comparisons:
+            assert comparison.measured >= 0.999, comparison.render()

@@ -1,0 +1,73 @@
+"""Reproducibility guarantees: identical runs, identical results.
+
+The simulator's deterministic tie-breaking and the seeded generators
+mean every artifact in EXPERIMENTS.md is exactly reproducible; these
+tests pin that (and keep the full Table II simulation fast enough to
+rerun habitually).
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.apps.wordcount import make_wordcount_job
+from repro.core.options import RuntimeOptions
+from repro.core.supmr import run_ingest_mr
+from repro.simrt.costmodel import GB_SI, PAPER_SORT, PAPER_WORDCOUNT
+from repro.simrt.phoenix_sim import simulate_phoenix_job
+from repro.simrt.supmr_sim import simulate_supmr_job
+
+
+class TestSimulationDeterminism:
+    def test_identical_traces_across_runs(self):
+        a = simulate_phoenix_job(PAPER_SORT, 60 * GB_SI, monitor_interval=2.0)
+        b = simulate_phoenix_job(PAPER_SORT, 60 * GB_SI, monitor_interval=2.0)
+        assert a.timings == b.timings
+        assert a.samples == b.samples
+        assert [(s.name, s.start, s.end) for s in a.spans] == [
+            (s.name, s.start, s.end) for s in b.spans
+        ]
+
+    def test_supmr_rounds_identical_across_runs(self):
+        a = simulate_supmr_job(PAPER_WORDCOUNT, 20 * GB_SI, 1 * GB_SI,
+                               monitor_interval=5.0)
+        b = simulate_supmr_job(PAPER_WORDCOUNT, 20 * GB_SI, 1 * GB_SI,
+                               monitor_interval=5.0)
+        assert a.timings.rounds == b.timings.rounds
+
+    def test_real_runtime_output_deterministic(self, text_file):
+        results = [
+            run_ingest_mr(make_wordcount_job([text_file]),
+                          RuntimeOptions.supmr_interfile("32KB")).output
+            for _ in range(2)
+        ]
+        assert results[0] == results[1]
+
+
+class TestPerformanceGuards:
+    def test_full_table2_simulates_in_seconds(self):
+        """The paper-scale matrix must stay cheap enough to rerun in CI."""
+        t0 = time.perf_counter()
+        simulate_phoenix_job(PAPER_WORDCOUNT, 155 * GB_SI,
+                             monitor_interval=10.0)
+        simulate_supmr_job(PAPER_WORDCOUNT, 155 * GB_SI, 1 * GB_SI,
+                           monitor_interval=10.0)
+        simulate_phoenix_job(PAPER_SORT, 60 * GB_SI, monitor_interval=10.0)
+        simulate_supmr_job(PAPER_SORT, 60 * GB_SI, 1 * GB_SI,
+                           monitor_interval=10.0)
+        assert time.perf_counter() - t0 < 10.0
+
+    def test_event_counts_bounded(self):
+        """~155 pipeline rounds must not explode into millions of events."""
+        from repro.simhw.events import Simulator
+        from repro.simhw.machine import paper_machine
+        from repro.simrt.supmr_sim import simulate_supmr_job as sim_job
+
+        result = sim_job(PAPER_WORDCOUNT, 155 * GB_SI, 1 * GB_SI,
+                         monitor_interval=50.0)
+        # (simulator not exposed on the result; re-run with a local one)
+        sim = Simulator()
+        machine = paper_machine(sim, monitor_interval=50.0)
+        sim_job(PAPER_WORDCOUNT, 155 * GB_SI, 1 * GB_SI, machine=machine)
+        assert sim.events_processed < 200_000
+        assert result.extras["n_chunks"] == 155

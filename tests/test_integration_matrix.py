@@ -1,0 +1,65 @@
+"""Cross-product integration: every app x every runtime configuration.
+
+The reproduction's master equivalence claim, exhaustively: for each
+application, the SupMR runtime produces the baseline's output under
+every chunking strategy and merge algorithm combination.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.grep import make_grep_job
+from repro.apps.histogram import make_histogram_job
+from repro.apps.sortapp import make_sort_job
+from repro.apps.string_match import make_string_match_job
+from repro.apps.wordcount import make_wordcount_job
+from repro.core.options import MergeAlgorithm, RuntimeOptions
+from repro.core.phoenix import PhoenixRuntime
+from repro.core.supmr import run_ingest_mr
+
+
+def _configs():
+    yield "interfile-pway", RuntimeOptions.supmr_interfile("24KB")
+    yield "interfile-pairwise", RuntimeOptions.supmr_interfile(
+        "24KB", merge_algorithm=MergeAlgorithm.PAIRWISE)
+    yield "interfile-serial", RuntimeOptions.supmr_interfile(
+        "24KB", pipelined_ingest=False)
+    yield "variable", RuntimeOptions.supmr_variable(["8KB", "16KB", "48KB"])
+    yield "hybrid", RuntimeOptions.supmr_hybrid("64KB")
+    yield "many-mappers", RuntimeOptions.supmr_interfile(
+        "24KB", num_mappers=7, num_reducers=3)
+
+
+def _jobs(text_file, terasort_file):
+    yield "wordcount", lambda: make_wordcount_job([text_file])
+    yield "sort", lambda: make_sort_job([terasort_file])
+    yield "grep", lambda: make_grep_job([text_file], rb"a")
+    yield "histogram", lambda: make_histogram_job([terasort_file.parent
+                                                   / "_nums.txt"], 0, 10, 8)
+    yield "stringmatch", lambda: make_string_match_job([text_file],
+                                                       [b"th", b"qq"])
+
+
+@pytest.fixture(scope="module")
+def nums_file(terasort_file):
+    path = terasort_file.parent / "_nums.txt"
+    if not path.exists():
+        path.write_bytes(b"".join(b"%d\n" % (i % 10) for i in range(500)))
+    return path
+
+
+@pytest.mark.parametrize("config_name,options", list(_configs()))
+@pytest.mark.parametrize("app", ["wordcount", "sort", "grep", "histogram",
+                                 "stringmatch"])
+def test_supmr_matches_baseline(app, config_name, options, text_file,
+                                terasort_file, nums_file):
+    jobs = dict(_jobs(text_file, terasort_file))
+    make = jobs[app]
+    baseline = PhoenixRuntime(
+        RuntimeOptions.baseline(options.num_mappers, options.num_reducers)
+    ).run(make())
+    supmr = run_ingest_mr(make(), options)
+    assert supmr.output == baseline.output, (
+        f"{app} under {config_name} diverged from the baseline"
+    )

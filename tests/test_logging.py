@@ -1,0 +1,50 @@
+"""Library logging conventions."""
+
+from __future__ import annotations
+
+import logging
+
+from repro.apps.wordcount import make_wordcount_job
+from repro.core.options import RuntimeOptions
+from repro.core.phoenix import PhoenixRuntime
+from repro.core.supmr import run_ingest_mr
+from repro.util.logging import enable_console_logging, get_logger
+
+
+class TestLoggerHierarchy:
+    def test_get_logger_prefixes(self):
+        assert get_logger("core.supmr").name == "repro.core.supmr"
+        assert get_logger("repro.core").name == "repro.core"
+
+    def test_null_handler_installed(self):
+        root = logging.getLogger("repro")
+        assert any(isinstance(h, logging.NullHandler) for h in root.handlers)
+
+    def test_enable_console_returns_removable_handler(self):
+        handler = enable_console_logging(logging.DEBUG)
+        try:
+            assert handler in logging.getLogger("repro").handlers
+        finally:
+            logging.getLogger("repro").removeHandler(handler)
+
+
+class TestRuntimeLogging:
+    def test_phoenix_logs_job_summary(self, text_file, caplog):
+        with caplog.at_level(logging.INFO, logger="repro"):
+            PhoenixRuntime().run(make_wordcount_job([text_file]))
+        messages = [r.message for r in caplog.records]
+        assert any("finished on phoenix" in m for m in messages)
+
+    def test_supmr_logs_rounds_at_debug(self, text_file, caplog):
+        with caplog.at_level(logging.DEBUG, logger="repro"):
+            run_ingest_mr(make_wordcount_job([text_file]),
+                          RuntimeOptions.supmr_interfile("32KB"))
+        messages = [r.message for r in caplog.records]
+        assert any("finished on supmr" in m for m in messages)
+        assert any(m.startswith("round ") for m in messages)
+
+    def test_silent_by_default(self, text_file, capsys):
+        PhoenixRuntime().run(make_wordcount_job([text_file]))
+        captured = capsys.readouterr()
+        assert "finished on phoenix" not in captured.err
+        assert "finished on phoenix" not in captured.out

@@ -1,0 +1,120 @@
+"""Online feedback tuner and the adaptive simulated run."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.simrt.costmodel import GB_SI, PAPER_WORDCOUNT
+from repro.simrt.supmr_sim import simulate_supmr_job
+from repro.tuning.adaptive_sim import simulate_supmr_adaptive
+from repro.tuning.feedback import FeedbackTuner
+
+
+def make_tuner(initial=0.25 * GB_SI, **kw):
+    kw.setdefault("round_overhead_s", PAPER_WORDCOUNT.round_overhead_s)
+    return FeedbackTuner(initial_chunk_bytes=initial, **kw)
+
+
+class TestFeedbackTuner:
+    def test_holds_initial_until_rates_observed(self):
+        tuner = make_tuner()
+        assert tuner.next_chunk_size(155 * GB_SI) == int(0.25 * GB_SI)
+
+    def test_rate_estimates_from_rounds(self):
+        tuner = make_tuner()
+        tuner.record_round(1 * GB_SI, 2.605, map_bytes=1 * GB_SI, map_s=0.435)
+        assert tuner.ingest_bw_estimate == pytest.approx(GB_SI / 2.605)
+        assert tuner.map_bw_estimate == pytest.approx(GB_SI / 0.435)
+
+    def test_converges_to_closed_form(self):
+        tuner = make_tuner(max_growth=8.0)
+        # steady observations at the paper's word count rates
+        for _ in range(6):
+            tuner.record_round(1 * GB_SI, 2.605, 1 * GB_SI, 0.435)
+        size = tuner.next_chunk_size(155 * GB_SI)
+        from repro.tuning.model import closed_form_chunk_bytes
+
+        expected = closed_form_chunk_bytes(PAPER_WORDCOUNT, 155 * GB_SI)
+        assert size == pytest.approx(expected, rel=0.1)
+
+    def test_growth_bounded(self):
+        tuner = make_tuner(initial=10e6, max_growth=2.0)
+        tuner.record_round(1 * GB_SI, 2.605, 1 * GB_SI, 0.435)
+        assert tuner.next_chunk_size(155 * GB_SI) <= 20e6 * 1.001
+
+    def test_never_exceeds_remaining(self):
+        tuner = make_tuner()
+        assert tuner.next_chunk_size(5e6) == int(5e6)
+
+    def test_min_bound_respected(self):
+        tuner = make_tuner(initial=2e6, min_chunk_bytes=1e6)
+        tuner.record_round(1e6, 1000.0, 1e6, 0.001)  # pathological rates
+        assert tuner.next_chunk_size(100e6) >= 1e6
+
+    def test_schedule_covers_input(self):
+        tuner = make_tuner()
+        tuner.record_round(1 * GB_SI, 2.605, 1 * GB_SI, 0.435)
+        schedule = tuner.schedule(20 * GB_SI)
+        assert sum(schedule) >= 20 * GB_SI - 1
+        assert all(s >= 1e6 for s in schedule)
+
+    def test_schedule_does_not_mutate_state(self):
+        tuner = make_tuner()
+        before = tuner.next_chunk_size(155 * GB_SI)
+        tuner.schedule(155 * GB_SI)
+        assert tuner.next_chunk_size(155 * GB_SI) == before
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            FeedbackTuner(initial_chunk_bytes=10, min_chunk_bytes=100)
+        with pytest.raises(ConfigError):
+            make_tuner(alpha=0.0)
+        with pytest.raises(ConfigError):
+            make_tuner(max_growth=1.0)
+        with pytest.raises(ConfigError):
+            make_tuner().next_chunk_size(0)
+
+    def test_zero_duration_observations_ignored(self):
+        tuner = make_tuner()
+        tuner.record_round(1 * GB_SI, 0.0)
+        assert tuner.ingest_bw_estimate is None
+
+
+class TestAdaptiveSimulation:
+    def test_adaptive_beats_small_fixed_chunks(self):
+        tuner = make_tuner(initial=0.25 * GB_SI)
+        adaptive = simulate_supmr_adaptive(PAPER_WORDCOUNT, 155 * GB_SI,
+                                           tuner, monitor_interval=50.0)
+        fixed_small = simulate_supmr_job(PAPER_WORDCOUNT, 155 * GB_SI,
+                                         0.25 * GB_SI, monitor_interval=50.0)
+        assert adaptive.timings.total_s < fixed_small.timings.total_s
+
+    def test_adaptive_close_to_model_optimum(self):
+        from repro.tuning.model import optimal_chunk_size, predict_read_map_s
+
+        tuner = make_tuner(initial=0.25 * GB_SI)
+        adaptive = simulate_supmr_adaptive(PAPER_WORDCOUNT, 155 * GB_SI,
+                                           tuner, monitor_interval=50.0)
+        best = optimal_chunk_size(PAPER_WORDCOUNT, 155 * GB_SI)
+        # within 1% of the offline optimum despite the cold start
+        assert adaptive.timings.read_map_s <= best.predicted_read_map_s * 1.01
+
+    def test_chunk_sizes_ramp_up(self):
+        tuner = make_tuner(initial=0.25 * GB_SI, max_growth=2.0)
+        adaptive = simulate_supmr_adaptive(PAPER_WORDCOUNT, 155 * GB_SI,
+                                           tuner, monitor_interval=50.0)
+        sizes = adaptive.extras["chunk_sizes"]
+        assert sizes[0] == pytest.approx(0.25 * GB_SI, rel=0.01)
+        assert max(sizes) > 4 * sizes[0]
+
+    def test_estimates_converge_to_truth(self):
+        tuner = make_tuner(initial=1 * GB_SI)
+        simulate_supmr_adaptive(PAPER_WORDCOUNT, 20 * GB_SI, tuner,
+                                monitor_interval=50.0)
+        assert tuner.ingest_bw_estimate == pytest.approx(
+            PAPER_WORDCOUNT.ingest_bw, rel=0.02
+        )
+        assert tuner.map_bw_estimate == pytest.approx(
+            PAPER_WORDCOUNT.map_bw_per_ctx * 32, rel=0.02
+        )

@@ -1,0 +1,78 @@
+"""Offline model-based chunk-size optimizer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.simrt.costmodel import GB_SI, PAPER_SORT, PAPER_WORDCOUNT
+from repro.simrt.supmr_sim import simulate_supmr_job
+from repro.tuning.model import (
+    closed_form_chunk_bytes,
+    optimal_chunk_size,
+    predict_read_map_s,
+    predict_total_s,
+)
+
+
+class TestPrediction:
+    @pytest.mark.parametrize("chunk_gb", [0.5, 1, 2, 5, 50])
+    def test_prediction_matches_simulation(self, chunk_gb):
+        pred = predict_read_map_s(PAPER_WORDCOUNT, 155 * GB_SI,
+                                  chunk_gb * GB_SI)
+        sim = simulate_supmr_job(PAPER_WORDCOUNT, 155 * GB_SI,
+                                 chunk_gb * GB_SI,
+                                 monitor_interval=100.0).timings.read_map_s
+        assert pred == pytest.approx(sim, rel=1e-3)
+
+    def test_prediction_matches_simulation_for_sort(self):
+        pred = predict_read_map_s(PAPER_SORT, 60 * GB_SI, 1 * GB_SI)
+        assert pred == pytest.approx(196.86, rel=0.01)  # Table II cell
+
+    def test_total_prediction_close_to_simulation(self):
+        pred = predict_total_s(PAPER_SORT, 60 * GB_SI, 1 * GB_SI)
+        sim = simulate_supmr_job(PAPER_SORT, 60 * GB_SI, 1 * GB_SI,
+                                 monitor_interval=100.0).timings.total_s
+        assert pred == pytest.approx(sim, rel=0.02)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ConfigError):
+            predict_read_map_s(PAPER_WORDCOUNT, 0, 1)
+        with pytest.raises(ConfigError):
+            predict_read_map_s(PAPER_WORDCOUNT, 1, 0)
+
+
+class TestOptimizer:
+    def test_optimum_beats_paper_chunk_sizes(self):
+        result = optimal_chunk_size(PAPER_WORDCOUNT, 155 * GB_SI)
+        for paper_choice in (1 * GB_SI, 50 * GB_SI):
+            paper_t = predict_read_map_s(PAPER_WORDCOUNT, 155 * GB_SI,
+                                         paper_choice)
+            assert result.predicted_read_map_s <= paper_t + 1e-6
+
+    def test_optimum_near_closed_form(self):
+        result = optimal_chunk_size(PAPER_WORDCOUNT, 155 * GB_SI)
+        # same order of magnitude; the exact curve is piecewise so the
+        # refined optimum can sit a small factor away
+        assert 0.2 < result.chunk_bytes / result.closed_form_bytes < 5.0
+
+    def test_speedup_reported_vs_unpipelined(self):
+        result = optimal_chunk_size(PAPER_WORDCOUNT, 155 * GB_SI)
+        assert result.predicted_speedup == pytest.approx(1.16, abs=0.02)
+
+    def test_closed_form_scaling(self):
+        # c* grows with sqrt(N)
+        small = closed_form_chunk_bytes(PAPER_WORDCOUNT, 10 * GB_SI)
+        large = closed_form_chunk_bytes(PAPER_WORDCOUNT, 160 * GB_SI)
+        assert large == pytest.approx(4 * small, rel=0.01)
+
+    def test_bounds_validation(self):
+        with pytest.raises(ConfigError):
+            optimal_chunk_size(PAPER_WORDCOUNT, GB_SI, lo=10.0, hi=5.0)
+
+    def test_sort_optimum_is_larger_than_wordcount(self):
+        # sort has ~19x the per-round overhead, so its optimum chunk is
+        # bigger (c* ~ sqrt(o))
+        wc = optimal_chunk_size(PAPER_WORDCOUNT, 60 * GB_SI)
+        so = optimal_chunk_size(PAPER_SORT, 60 * GB_SI)
+        assert so.chunk_bytes > 2 * wc.chunk_bytes

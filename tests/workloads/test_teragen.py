@@ -1,0 +1,61 @@
+"""Terasort data generation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.io.records import TeraRecordCodec
+from repro.workloads.teragen import generate_terasort_file, teragen_records
+
+
+class TestTeragenRecords:
+    def test_record_count(self):
+        assert len(list(teragen_records(100))) == 100
+
+    def test_record_length_is_exact(self):
+        codec = TeraRecordCodec()
+        for record in teragen_records(20):
+            assert len(record) == codec.record_len
+
+    def test_records_terminate_with_crlf(self):
+        for record in teragen_records(5):
+            assert record.endswith(b"\r\n")
+
+    def test_deterministic_for_seed(self):
+        a = list(teragen_records(50, seed=9))
+        b = list(teragen_records(50, seed=9))
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = list(teragen_records(50, seed=1))
+        b = list(teragen_records(50, seed=2))
+        assert a != b
+
+    def test_negative_count_raises(self):
+        with pytest.raises(WorkloadError):
+            list(teragen_records(-1))
+
+    def test_zero_records(self):
+        assert list(teragen_records(0)) == []
+
+    def test_keys_parse_back(self):
+        codec = TeraRecordCodec()
+        for record in teragen_records(10):
+            key, payload = codec.split_record(record[:-2])
+            assert len(key) == codec.key_len
+            assert payload
+
+
+class TestGenerateFile:
+    def test_file_size_matches(self, tmp_path):
+        path = tmp_path / "t.dat"
+        written = generate_terasort_file(path, 500, seed=3)
+        assert path.stat().st_size == written == 500 * 100
+
+    def test_file_parses_fully(self, tmp_path):
+        path = tmp_path / "t.dat"
+        generate_terasort_file(path, 123, seed=4)
+        codec = TeraRecordCodec()
+        pairs = list(codec.iter_pairs(path.read_bytes()))
+        assert len(pairs) == 123

@@ -1,0 +1,74 @@
+"""Text corpus generation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads.textgen import (
+    generate_small_files,
+    generate_text_file,
+    make_vocabulary,
+)
+
+
+class TestVocabulary:
+    def test_size_and_uniqueness(self):
+        vocab = make_vocabulary(200)
+        assert len(vocab) == 200
+        assert len(set(vocab)) == 200
+
+    def test_deterministic(self):
+        assert make_vocabulary(50, seed=1) == make_vocabulary(50, seed=1)
+
+    def test_invalid_size(self):
+        with pytest.raises(WorkloadError):
+            make_vocabulary(0)
+
+    def test_words_are_lowercase_ascii(self):
+        for word in make_vocabulary(50):
+            assert word.isalpha() and word.islower()
+
+
+class TestBigFile:
+    def test_size_approximate_and_newline_terminated(self, tmp_path):
+        path = tmp_path / "c.txt"
+        written = generate_text_file(path, 10_000, vocab_size=100)
+        assert written == 10_000
+        data = path.read_bytes()
+        assert data.endswith(b"\n")
+
+    def test_deterministic(self, tmp_path):
+        a = tmp_path / "a.txt"
+        b = tmp_path / "b.txt"
+        generate_text_file(a, 5_000, seed=5)
+        generate_text_file(b, 5_000, seed=5)
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_words_from_vocab(self, tmp_path):
+        path = tmp_path / "c.txt"
+        generate_text_file(path, 2_000, vocab_size=50, seed=6)
+        vocab = set(make_vocabulary(50, seed=7))  # seed+1 inside generator
+        # drop the final line: size truncation may cut its last word short
+        lines = path.read_bytes().splitlines()[:-1]
+        words = set(b" ".join(lines).split())
+        assert words and words <= vocab
+
+
+class TestSmallFiles:
+    def test_count_and_order(self, tmp_path):
+        paths = generate_small_files(tmp_path / "many", 7, 1_000)
+        assert len(paths) == 7
+        assert paths == sorted(paths)
+
+    def test_each_file_ends_with_newline(self, tmp_path):
+        for path in generate_small_files(tmp_path / "many", 3, 500):
+            assert path.read_bytes().endswith(b"\n")
+
+    def test_invalid_count(self, tmp_path):
+        with pytest.raises(WorkloadError):
+            generate_small_files(tmp_path, 0, 100)
+
+    def test_files_differ(self, tmp_path):
+        paths = generate_small_files(tmp_path / "many", 2, 500)
+        assert paths[0].read_bytes() != paths[1].read_bytes()

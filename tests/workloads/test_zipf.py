@@ -1,0 +1,47 @@
+"""Zipf sampler."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads.zipf import ZipfSampler
+
+
+class TestZipfSampler:
+    def test_samples_in_range(self):
+        sampler = ZipfSampler(100, seed=1)
+        ranks = sampler.sample(1000)
+        assert ranks.min() >= 0
+        assert ranks.max() < 100
+
+    def test_rank_zero_most_frequent(self):
+        sampler = ZipfSampler(50, exponent=1.2, seed=2)
+        ranks = sampler.sample(20_000)
+        counts = np.bincount(ranks, minlength=50)
+        assert counts[0] == counts.max()
+
+    def test_deterministic_for_seed(self):
+        a = ZipfSampler(20, seed=3).sample(100)
+        b = ZipfSampler(20, seed=3).sample(100)
+        assert (a == b).all()
+
+    def test_expected_top_fraction_monotone(self):
+        sampler = ZipfSampler(100)
+        fracs = [sampler.expected_top_fraction(k) for k in (1, 10, 100)]
+        assert fracs == sorted(fracs)
+        assert fracs[-1] == pytest.approx(1.0)
+
+    def test_invalid_args(self):
+        with pytest.raises(WorkloadError):
+            ZipfSampler(0)
+        with pytest.raises(WorkloadError):
+            ZipfSampler(10, exponent=0)
+        with pytest.raises(WorkloadError):
+            ZipfSampler(10).sample(-1)
+        with pytest.raises(WorkloadError):
+            ZipfSampler(10).expected_top_fraction(0)
+
+    def test_zero_samples(self):
+        assert len(ZipfSampler(10).sample(0)) == 0
