@@ -1,0 +1,67 @@
+"""Out-of-core ablation: memory budget vs wall time and spilled bytes.
+
+The spill subsystem trades disk traffic for a hard memory ceiling; this
+bench quantifies the trade on an MB-scale word count.  Expected shape:
+halving the budget multiplies spill runs (and spilled bytes) while the
+output stays byte-identical — the overhead is the price of the ceiling,
+not a correctness risk.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.tables import AsciiTable
+from repro.apps.wordcount import make_wordcount_job
+from repro.core.phoenix import PhoenixRuntime
+from repro.core.options import RuntimeOptions
+from repro.util.units import fmt_bytes, fmt_seconds
+
+BUDGETS = ["1MB", "512KB", "128KB"]
+
+
+def _run(text_file, budget=None):
+    options = RuntimeOptions.baseline()
+    if budget is not None:
+        options = options.with_(memory_budget=budget)
+    return PhoenixRuntime(options).run(make_wordcount_job([text_file]))
+
+
+def test_wordcount_in_memory(benchmark, bench_text_file):
+    result = benchmark(_run, bench_text_file)
+    assert result.spill_stats is None
+
+
+def test_wordcount_budget_1mb(benchmark, bench_text_file):
+    result = benchmark(_run, bench_text_file, "1MB")
+    assert result.spill_stats.within_budget
+
+
+def test_wordcount_budget_128kb(benchmark, bench_text_file):
+    result = benchmark(_run, bench_text_file, "128KB")
+    assert result.spill_stats.within_budget
+
+
+def test_budget_sweep_shape(bench_text_file, capsys):
+    """Tighter budgets spill more; output never changes."""
+    reference = _run(bench_text_file)
+    table = AsciiTable(
+        ["budget", "runs", "spilled", "peak/budget", "spill time", "total"]
+    )
+    t = reference.timings
+    table.add_row("unlimited", "0", "-", "-", "-", fmt_seconds(t.total_s))
+    prev_runs = 0
+    for budget in BUDGETS:
+        result = _run(bench_text_file, budget)
+        assert result.output == reference.output  # byte-identical
+        s = result.spill_stats
+        assert s.within_budget
+        assert s.runs > prev_runs  # tighter budget => more runs
+        prev_runs = s.runs
+        table.add_row(
+            budget, str(s.runs), fmt_bytes(s.spilled_bytes),
+            f"{fmt_bytes(s.peak_accounted_bytes)}/{fmt_bytes(s.budget_bytes)}",
+            fmt_seconds(s.spill_write_s),
+            fmt_seconds(result.timings.total_s),
+        )
+    with capsys.disabled():
+        print()
+        print(table.render())

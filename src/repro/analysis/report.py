@@ -37,6 +37,7 @@ def timings_dict(timings: PhaseTimings) -> dict[str, Any]:
         "merge_s": timings.merge_s,
         "total_s": timings.total_s,
         "read_map_combined": timings.read_map_combined,
+        "spill_s": timings.spill_s,
         "rounds": [
             {
                 "index": r.index,
@@ -69,6 +70,23 @@ def job_result_dict(result: JobResult, include_output: bool = False) -> dict:
         },
         "counters": _json_safe(result.counters),
     }
+    if result.spill_stats is not None:
+        s = result.spill_stats
+        data["spill"] = {
+            "budget_bytes": s.budget_bytes,
+            "peak_accounted_bytes": s.peak_accounted_bytes,
+            "within_budget": s.within_budget,
+            "runs": s.runs,
+            "spilled_bytes": s.spilled_bytes,
+            "spilled_records": s.spilled_records,
+            "combine_pairs_in": s.combine_pairs_in,
+            "combine_pairs_out": s.combine_pairs_out,
+            "combine_reduction": s.combine_reduction,
+            "merge_fan_in": s.merge_fan_in,
+            "merge_passes": s.merge_passes,
+            "merge_rewritten_bytes": s.merge_rewritten_bytes,
+            "spill_write_s": s.spill_write_s,
+        }
     if include_output:
         data["output"] = [
             [_json_safe(k), _json_safe(v)] for k, v in result.output

@@ -47,19 +47,32 @@ def _print_result(result: JobResult) -> None:
     print(f"  total:  {fmt_seconds(t.total_s)}")
     print(f"  output: {result.n_output_pairs} pairs; "
           f"container rounds={result.container_stats.rounds}")
+    if result.spill_stats is not None:
+        s = result.spill_stats
+        print(f"  spill:  {s.runs} run(s), {fmt_bytes(s.spilled_bytes)} "
+              f"spilled; peak {fmt_bytes(s.peak_accounted_bytes)} of "
+              f"{fmt_bytes(s.budget_bytes)} budget; combine x"
+              f"{s.combine_reduction:.2f}; merge fan-in {s.merge_fan_in} "
+              f"({s.merge_passes} pass(es))")
 
 
 def _options_from(args: argparse.Namespace) -> RuntimeOptions:
+    budget = getattr(args, "memory_budget", None)
     if getattr(args, "baseline", False):
-        return RuntimeOptions.baseline(args.mappers, args.reducers)
-    if getattr(args, "files_per_chunk", None):
-        return RuntimeOptions.supmr_intrafile(
+        options = RuntimeOptions.baseline(args.mappers, args.reducers)
+    elif getattr(args, "files_per_chunk", None):
+        options = RuntimeOptions.supmr_intrafile(
             args.files_per_chunk, args.mappers, args.reducers
         )
-    chunk = getattr(args, "chunk_size", None)
-    if chunk:
-        return RuntimeOptions.supmr_interfile(chunk, args.mappers, args.reducers)
-    return RuntimeOptions.baseline(args.mappers, args.reducers)
+    elif getattr(args, "chunk_size", None):
+        options = RuntimeOptions.supmr_interfile(
+            args.chunk_size, args.mappers, args.reducers
+        )
+    else:
+        options = RuntimeOptions.baseline(args.mappers, args.reducers)
+    if budget is not None:
+        options = options.with_(memory_budget=budget)
+    return options
 
 
 def _cmd_experiments(args: argparse.Namespace) -> int:
@@ -203,6 +216,9 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--baseline", action="store_true",
                        help="original runtime (no ingest chunks)")
         p.add_argument("--chunk-size", help="inter-file chunk size, e.g. 4MB")
+        p.add_argument("--memory-budget",
+                       help="intermediate container byte budget, e.g. 64MB; "
+                            "spills to disk when exceeded")
         p.add_argument("--timeline", action="store_true",
                        help="render the pipeline timeline after the run")
         p.add_argument("--json", action="store_true",

@@ -18,8 +18,31 @@ from repro.core.options import MergeAlgorithm, RuntimeOptions
 from repro.errors import RuntimeStateError
 from repro.sortlib.merge_sort import pairwise_merge_sort
 from repro.sortlib.pway import pway_merge
+from repro.spill.container import SpillableContainer
+from repro.spill.manager import SpillManager
 
 Pair = tuple[Hashable, Any]
+
+
+def build_container(
+    job: JobSpec, options: RuntimeOptions
+) -> tuple[Container, SpillManager | None]:
+    """The job's intermediate container, budget-wrapped when configured.
+
+    With no ``memory_budget`` this is exactly ``job.container_factory()``;
+    with one, the container is wrapped in a
+    :class:`~repro.spill.container.SpillableContainer` whose manager the
+    runtime must ``cleanup()`` after the merge (run files live on disk
+    until then).
+    """
+    if options.memory_budget is None:
+        return job.container_factory(), None
+    manager = SpillManager(
+        budget_bytes=options.memory_budget,
+        combiner=job.spill_combiner,
+        merge_fan_in=options.spill_merge_fan_in,
+    )
+    return SpillableContainer(job.container_factory, manager), manager
 
 
 def split_for_mappers(data: bytes, n_splits: int, delimiter: bytes) -> list[bytes]:

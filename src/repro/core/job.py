@@ -15,6 +15,7 @@ from typing import Any, Callable, Hashable, Iterable, Sequence
 
 from repro.chunking.chunk import Chunk
 from repro.containers.base import Container, Emitter
+from repro.containers.combiners import Combiner
 from repro.errors import ConfigError
 from repro.io.records import RecordCodec
 
@@ -71,6 +72,12 @@ class JobSpec:
     set_data: SetDataFn | None = None
     #: Skip the merge phase entirely (jobs with unordered output).
     sorted_output: bool = True
+    #: Emit-level combiner safe to fold *raw* emitted values at spill
+    #: time (combine-on-spill under a memory budget).  Jobs whose
+    #: container already combines on insert (hash container) can leave
+    #: this None — the spill subsystem picks the container's combiner up
+    #: automatically.
+    spill_combiner: Combiner | None = None
 
     def __post_init__(self) -> None:
         if not self.name:

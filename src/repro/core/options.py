@@ -49,7 +49,9 @@ class RuntimeOptions:
     ``num_mappers``/``num_reducers`` mirror Phoenix++'s thread settings;
     ``chunk_*`` configure the SupMR ingest pipeline; ``pipelined_ingest``
     can be switched off to run the chunk loop synchronously (bit-for-bit
-    the same result, used for deterministic tests and ablations).
+    the same result, used for deterministic tests and ablations);
+    ``memory_budget`` caps the intermediate container and turns on
+    out-of-core spilling (:mod:`repro.spill`).
     """
 
     num_mappers: int = 4
@@ -61,6 +63,13 @@ class RuntimeOptions:
     merge_algorithm: MergeAlgorithm = MergeAlgorithm.PAIRWISE
     merge_parallelism: int | None = None  # default: num_reducers
     pipelined_ingest: bool = True
+    #: Byte budget for the intermediate container ("64MB" accepted);
+    #: None keeps the paper's everything-in-RAM behaviour.  When set,
+    #: both runtimes wrap the job's container in the out-of-core spill
+    #: subsystem (:mod:`repro.spill`).
+    memory_budget: int | str | None = None
+    #: Streams per external-merge pass over spill runs (>= 2).
+    spill_merge_fan_in: int = 8
 
     def __post_init__(self) -> None:
         if self.num_mappers < 1 or self.num_reducers < 1:
@@ -88,6 +97,22 @@ class RuntimeOptions:
                 raise ConfigError("hybrid chunking requires chunk_bytes >= 1")
         if self.merge_parallelism is not None and self.merge_parallelism < 1:
             raise ConfigError("merge_parallelism must be >= 1")
+        if self.spill_merge_fan_in < 2:
+            raise ConfigError("spill_merge_fan_in must be >= 2")
+        if self.memory_budget is not None:
+            budget = parse_size(self.memory_budget)
+            if budget < 1:
+                raise ConfigError("memory_budget must be >= 1 byte")
+            object.__setattr__(self, "memory_budget", budget)
+            largest_chunk = self.chunk_bytes or 0
+            if self.chunk_schedule:
+                largest_chunk = max(largest_chunk, *self.chunk_schedule)
+            if largest_chunk and budget <= largest_chunk:
+                raise ConfigError(
+                    f"memory_budget ({budget} B) must exceed one ingest "
+                    f"chunk ({largest_chunk} B); a budget smaller than a "
+                    "single chunk spills on every mapper wave"
+                )
 
     @property
     def effective_merge_parallelism(self) -> int:

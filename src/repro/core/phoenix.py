@@ -13,7 +13,12 @@ from __future__ import annotations
 from concurrent.futures import ThreadPoolExecutor
 
 from repro.chunking.planner import plan_whole_input
-from repro.core.execution import merge_outputs, run_mapper_wave, run_reducers
+from repro.core.execution import (
+    build_container,
+    merge_outputs,
+    run_mapper_wave,
+    run_reducers,
+)
 from repro.core.job import JobSpec
 from repro.core.options import ChunkStrategy, MergeAlgorithm, RuntimeOptions
 from repro.core.result import JobResult, PhaseTimings
@@ -41,28 +46,34 @@ class PhoenixRuntime:
         """Execute ``job`` and report Table II-style phase timings."""
         options = self.options
         timer = PhaseTimer()
-        container = job.container_factory()
+        container, spill_mgr = build_container(job, options)
         plan = plan_whole_input(job.inputs)
         whole = plan.chunks[0]
 
-        with timer.phase("total"):
-            with timer.phase("read"):
-                data = whole.load()
+        try:
+            with timer.phase("total"):
+                with timer.phase("read"):
+                    data = whole.load()
 
-            with ThreadPoolExecutor(max_workers=options.num_mappers) as pool:
-                with timer.phase("map"):
-                    run_mapper_wave(job, container, data, options, pool)
-                with timer.phase("reduce"):
-                    runs = run_reducers(job, container, options, pool)
+                with ThreadPoolExecutor(max_workers=options.num_mappers) as pool:
+                    with timer.phase("map"):
+                        run_mapper_wave(job, container, data, options, pool)
+                    with timer.phase("reduce"):
+                        runs = run_reducers(job, container, options, pool)
 
-            with timer.phase("merge"):
-                output, merge_rounds = merge_outputs(runs, job, options)
+                with timer.phase("merge"):
+                    output, merge_rounds = merge_outputs(runs, job, options)
 
-        logger.info(
-            "job %s finished on phoenix: total=%.3fs read=%.3fs map=%.3fs",
-            job.name, timer.elapsed("total"), timer.elapsed("read"),
-            timer.elapsed("map"),
-        )
+            logger.info(
+                "job %s finished on phoenix: total=%.3fs read=%.3fs map=%.3fs",
+                job.name, timer.elapsed("total"), timer.elapsed("read"),
+                timer.elapsed("map"),
+            )
+            spill_stats = spill_mgr.stats() if spill_mgr else None
+            container_stats = container.stats()
+        finally:
+            if spill_mgr is not None:
+                spill_mgr.cleanup()
         timings = PhaseTimings(
             read_s=timer.elapsed("read"),
             map_s=timer.elapsed("map"),
@@ -70,19 +81,25 @@ class PhoenixRuntime:
             merge_s=timer.elapsed("merge"),
             total_s=timer.elapsed("total"),
             read_map_combined=False,
+            spill_s=spill_stats.spill_write_s if spill_stats else 0.0,
         )
+        counters = {
+            "merge_rounds": merge_rounds,
+            "merge_algorithm": options.merge_algorithm.value,
+        }
+        if spill_stats is not None:
+            counters["spill_runs"] = spill_stats.runs
+            counters["spilled_bytes"] = spill_stats.spilled_bytes
         return JobResult(
             job_name=job.name,
             runtime=self.name,
             output=output,
             timings=timings,
-            container_stats=container.stats(),
+            container_stats=container_stats,
             input_bytes=whole.length,
             n_chunks=1,
-            counters={
-                "merge_rounds": merge_rounds,
-                "merge_algorithm": options.merge_algorithm.value,
-            },
+            counters=counters,
+            spill_stats=spill_stats,
         )
 
 

@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 from typing import Any, Hashable
 
 from repro.containers.base import ContainerStats
+from repro.spill.stats import SpillStats
 
 
 @dataclass(frozen=True)
@@ -41,6 +42,8 @@ class PhaseTimings:
     total_s: float
     read_map_combined: bool = False
     rounds: tuple[RoundTiming, ...] = ()
+    #: Wall-clock spent writing spill runs (0 for in-memory execution).
+    spill_s: float = 0.0
 
     @property
     def read_map_s(self) -> float:
@@ -78,6 +81,8 @@ class JobResult:
     input_bytes: int
     n_chunks: int = 1
     counters: dict[str, Any] = field(default_factory=dict)
+    #: Out-of-core counters; None when no memory budget was set.
+    spill_stats: SpillStats | None = None
 
     @property
     def n_output_pairs(self) -> int:

@@ -14,7 +14,12 @@ from concurrent.futures import ThreadPoolExecutor
 
 from repro.chunking.chunk import Chunk, ChunkPlan
 from repro.chunking.planner import plan_chunks
-from repro.core.execution import merge_outputs, run_mapper_wave, run_reducers
+from repro.core.execution import (
+    build_container,
+    merge_outputs,
+    run_mapper_wave,
+    run_reducers,
+)
 from repro.core.job import JobSpec
 from repro.core.options import ChunkStrategy, RuntimeOptions
 from repro.core.result import JobResult, PhaseTimings, RoundTiming
@@ -44,39 +49,46 @@ class SupMRRuntime:
         """Execute ``job``; read+map are pipelined and reported combined."""
         options = self.options
         timer = PhaseTimer()
-        container = job.container_factory()
+        container, spill_mgr = build_container(job, options)
         plan: ChunkPlan = plan_chunks(job.inputs, job.codec, options)
         task_counter = [0]
 
-        with ThreadPoolExecutor(max_workers=options.num_mappers) as pool:
+        try:
+            with ThreadPoolExecutor(max_workers=options.num_mappers) as pool:
 
-            def work(chunk: Chunk, data: bytes) -> None:
-                if job.set_data is not None:
-                    job.set_data(chunk, len(data))
-                launched = run_mapper_wave(
-                    job,
-                    container,
-                    data,
-                    options,
-                    pool,
-                    chunk_index=chunk.index,
-                    task_id_base=task_counter[0],
+                def work(chunk: Chunk, data: bytes) -> None:
+                    if job.set_data is not None:
+                        job.set_data(chunk, len(data))
+                    launched = run_mapper_wave(
+                        job,
+                        container,
+                        data,
+                        options,
+                        pool,
+                        chunk_index=chunk.index,
+                        task_id_base=task_counter[0],
+                    )
+                    task_counter[0] += launched
+
+                pipeline = DoubleBufferedPipeline(
+                    load=lambda chunk: chunk.load(),
+                    work=work,
+                    pipelined=options.pipelined_ingest,
                 )
-                task_counter[0] += launched
 
-            pipeline = DoubleBufferedPipeline(
-                load=lambda chunk: chunk.load(),
-                work=work,
-                pipelined=options.pipelined_ingest,
-            )
+                with timer.phase("total"):
+                    with timer.phase("read_map"):
+                        round_records = pipeline.run(list(plan.chunks))
+                    with timer.phase("reduce"):
+                        runs = run_reducers(job, container, options, pool)
+                    with timer.phase("merge"):
+                        output, merge_rounds = merge_outputs(runs, job, options)
 
-            with timer.phase("total"):
-                with timer.phase("read_map"):
-                    round_records = pipeline.run(list(plan.chunks))
-                with timer.phase("reduce"):
-                    runs = run_reducers(job, container, options, pool)
-                with timer.phase("merge"):
-                    output, merge_rounds = merge_outputs(runs, job, options)
+            spill_stats = spill_mgr.stats() if spill_mgr else None
+            container_stats = container.stats()
+        finally:
+            if spill_mgr is not None:
+                spill_mgr.cleanup()
 
         logger.info(
             "job %s finished on supmr: total=%.3fs read+map=%.3fs chunks=%d",
@@ -100,22 +112,28 @@ class SupMRRuntime:
             total_s=timer.elapsed("total"),
             read_map_combined=True,
             rounds=rounds,
+            spill_s=spill_stats.spill_write_s if spill_stats else 0.0,
         )
+        counters = {
+            "merge_rounds": merge_rounds,
+            "merge_algorithm": options.merge_algorithm.value,
+            "chunk_strategy": plan.strategy,
+            "pipeline_rounds": len(rounds),
+            "map_tasks": task_counter[0],
+        }
+        if spill_stats is not None:
+            counters["spill_runs"] = spill_stats.runs
+            counters["spilled_bytes"] = spill_stats.spilled_bytes
         return JobResult(
             job_name=job.name,
             runtime=self.name,
             output=output,
             timings=timings,
-            container_stats=container.stats(),
+            container_stats=container_stats,
             input_bytes=plan.total_bytes,
             n_chunks=plan.n_chunks,
-            counters={
-                "merge_rounds": merge_rounds,
-                "merge_algorithm": options.merge_algorithm.value,
-                "chunk_strategy": plan.strategy,
-                "pipeline_rounds": len(rounds),
-                "map_tasks": task_counter[0],
-            },
+            counters=counters,
+            spill_stats=spill_stats,
         )
 
 

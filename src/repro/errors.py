@@ -38,3 +38,8 @@ class WorkloadError(ReproError):
 
 class ExperimentError(ReproError):
     """An experiment harness was configured or run incorrectly."""
+
+
+class SpillError(ReproError):
+    """The out-of-core spill subsystem hit an invalid state or a bad run
+    file (truncated, corrupted, or misframed)."""

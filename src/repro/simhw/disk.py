@@ -53,8 +53,16 @@ class Disk:
         return self._read_chan.utilization
 
     @property
+    def write_utilization(self) -> float:
+        return self._write_chan.utilization
+
+    @property
     def active_reads(self) -> int:
         return self._read_chan.active_flows
+
+    @property
+    def active_writes(self) -> int:
+        return self._write_chan.active_flows
 
 
 class Raid0:
@@ -89,5 +97,13 @@ class Raid0:
         return self._read_chan.utilization
 
     @property
+    def write_utilization(self) -> float:
+        return self._write_chan.utilization
+
+    @property
     def active_reads(self) -> int:
         return self._read_chan.active_flows
+
+    @property
+    def active_writes(self) -> int:
+        return self._write_chan.active_flows

@@ -32,6 +32,7 @@ class UtilizationSample:
     sys_pct: float
     iowait_pct: float
     disk_active: int = 0
+    disk_write_active: int = 0
 
     @property
     def total_pct(self) -> float:
@@ -86,14 +87,17 @@ class UtilizationMonitor:
 
     def _take_sample(self) -> UtilizationSample:
         disk_active = 0
+        disk_write_active = 0
         if self.disk is not None:
             disk_active = getattr(self.disk, "active_reads", 0)
+            disk_write_active = getattr(self.disk, "active_writes", 0)
         return UtilizationSample(
             time=self.sim.now,
             user_pct=100.0 * self.cpu.fraction(CpuClass.USER),
             sys_pct=100.0 * self.cpu.fraction(CpuClass.SYS),
             iowait_pct=100.0 * self.cpu.iowait_fraction(),
             disk_active=disk_active,
+            disk_write_active=disk_write_active,
         )
 
     # -- convenience reductions (used by tests and analysis) ---------------

@@ -92,8 +92,17 @@ class AppCostProfile:
     #: Same residual for the SupMR rows (smaller for sort: the persistent
     #: container replaces the biggest teardown/reinit).
     setup_supmr_s: float = 0.0
+    #: Bytes written per live intermediate byte when a spill drains the
+    #: container through the combiner (1.0 = no combine-on-spill
+    #: reduction; hash-style containers are already per-key aggregates so
+    #: their drains do not shrink further).
+    spill_combine_ratio: float = 1.0
 
     def __post_init__(self) -> None:
+        if not 0.0 < self.spill_combine_ratio <= 1.0:
+            raise ConfigError(
+                f"{self.name}: spill_combine_ratio must be in (0, 1]"
+            )
         for field in (
             "ingest_bw", "map_bw_per_ctx", "parse_bw_single",
             "sort_block_bw", "merge_scan_bw",
@@ -167,6 +176,63 @@ PAPER_SORT = AppCostProfile(
     setup_baseline_s=9.25,
     setup_supmr_s=5.54,
 )
+
+
+@dataclass(frozen=True)
+class SpillPlan:
+    """How a memory budget fragments an intermediate set into runs.
+
+    The out-of-core container spills exactly when the live intermediate
+    set reaches the budget, so ``n_runs = floor(inter/budget)`` budget-
+    sized runs hit the disk (shrunk by the app's combine-on-spill ratio)
+    and the remainder stays resident for the merge.
+    """
+
+    n_runs: int  # spilled run files
+    run_bytes: float  # bytes written per run (post-combine)
+    spilled_bytes: float  # total bytes written across all runs
+    resident_bytes: float  # live intermediate left in memory at merge time
+
+
+def plan_spills(
+    inter_bytes: float, budget_bytes: float | None, combine_ratio: float = 1.0
+) -> SpillPlan:
+    """Predict the spill behaviour of ``inter_bytes`` under a byte budget.
+
+    ``budget_bytes=None`` (or a budget the intermediate set never
+    reaches) yields the in-memory plan: zero runs, everything resident.
+    """
+    if budget_bytes is None or inter_bytes < budget_bytes:
+        return SpillPlan(0, 0.0, 0.0, inter_bytes)
+    if budget_bytes <= 0:
+        raise ConfigError("memory budget must be positive")
+    n_runs = int(inter_bytes // budget_bytes)
+    run_bytes = budget_bytes * combine_ratio
+    return SpillPlan(
+        n_runs=n_runs,
+        run_bytes=run_bytes,
+        spilled_bytes=n_runs * run_bytes,
+        resident_bytes=inter_bytes - n_runs * budget_bytes,
+    )
+
+
+def merge_passes(n_sources: int, fan_in: int) -> int:
+    """Consolidation passes before one final merge fits the fan-in.
+
+    Mirrors the external merge: while more than ``fan_in`` sources
+    remain, the oldest ``fan_in`` are merged into one on-disk run
+    (net change ``fan_in - 1`` per pass).
+    """
+    if fan_in < 2:
+        raise ConfigError("merge fan-in must be at least 2")
+    if n_sources < 0:
+        raise ConfigError("n_sources must be non-negative")
+    passes = 0
+    remaining = n_sources
+    while remaining > fan_in:
+        remaining -= fan_in - 1
+        passes += 1
+    return passes
 
 
 def chunk_sizes(total_bytes: float, chunk_bytes: float | None) -> list[float]:

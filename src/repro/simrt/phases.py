@@ -7,7 +7,11 @@ Each phase is a generator process over a :class:`ScaleUpMachine`:
 * :func:`reduce_phase` — all contexts busy for the modelled duration;
 * :func:`merge_pairwise` — initial parallel block sorts, then 2-way merge
   rounds with halving worker counts (the Fig. 1 step-down);
-* :func:`merge_pway` — the same block sorts, then one p-way pass.
+* :func:`merge_pway` — the same block sorts, then one p-way pass;
+* :func:`spill_write` / :func:`spill_read` / :func:`spill_rewrite` —
+  out-of-core spill traffic: sort + run write when the memory budget is
+  hit, streaming read-back before the external merge, and fan-in-bounded
+  consolidation passes between the two.
 
 :class:`PhaseLog` records wall-clock spans; :class:`SimJobResult` bundles
 Table II-style timings with the collectl trace.
@@ -117,6 +121,53 @@ def map_wave(machine: ScaleUpMachine, nbytes: float,
     ]
     yield AllOf(machine.sim, workers)
     yield from machine.join_wave(n)
+
+
+def spill_write(machine: ScaleUpMachine, live_bytes: float,
+                profile: AppCostProfile) -> Iterator:
+    """One spill: sort the live container, then write the run to disk.
+
+    The sort is a single-threaded in-memory scan at the app's block-sort
+    rate (the spill runs inline on the inserting thread while the wave
+    stalls); the write is charged to the machine's disk write channel as
+    iowait, shrunk by the app's combine-on-spill ratio.
+    """
+    if live_bytes <= 0:
+        return
+    yield from machine.scan_memory(live_bytes, profile.sort_block_bw)
+    machine.cpu.io_blocked += 1
+    try:
+        yield machine.disk.write(live_bytes * profile.spill_combine_ratio)
+    finally:
+        machine.cpu.io_blocked -= 1
+
+
+def spill_read(machine: ScaleUpMachine, nbytes: float) -> Iterator:
+    """Stream spilled run bytes back off the disk (iowait)."""
+    if nbytes <= 0:
+        return
+    machine.cpu.io_blocked += 1
+    try:
+        yield machine.disk.read(nbytes)
+    finally:
+        machine.cpu.io_blocked -= 1
+
+
+def spill_rewrite(machine: ScaleUpMachine, nbytes: float) -> Iterator:
+    """One external-merge consolidation pass over ``nbytes`` of runs.
+
+    Streams the source runs off the disk and writes the single merged
+    run back; both directions are charged as iowait (the heap scan at
+    memory rates is negligible next to the disk).
+    """
+    if nbytes <= 0:
+        return
+    machine.cpu.io_blocked += 1
+    try:
+        yield machine.disk.read(nbytes)
+        yield machine.disk.write(nbytes)
+    finally:
+        machine.cpu.io_blocked -= 1
 
 
 def reduce_phase(machine: ScaleUpMachine, input_bytes: float,

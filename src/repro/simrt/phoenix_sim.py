@@ -10,10 +10,11 @@ from __future__ import annotations
 from typing import Any
 
 from repro.core.result import PhaseTimings
+from repro.errors import ConfigError
 from repro.simhw.cpu import CpuClass
 from repro.simhw.events import Simulator
 from repro.simhw.machine import ScaleUpMachine, paper_machine
-from repro.simrt.costmodel import AppCostProfile
+from repro.simrt.costmodel import AppCostProfile, merge_passes, plan_spills
 from repro.simrt.phases import (
     PhaseLog,
     SimJobResult,
@@ -22,6 +23,9 @@ from repro.simrt.phases import (
     merge_pairwise,
     merge_pway,
     reduce_phase,
+    spill_read,
+    spill_rewrite,
+    spill_write,
 )
 
 
@@ -32,18 +36,34 @@ def simulate_phoenix_job(
     machine: ScaleUpMachine | None = None,
     source: Any = None,
     merge_algorithm: str = "pairwise",
+    memory_budget: float | None = None,
+    spill_fan_in: int = 8,
 ) -> SimJobResult:
     """Run the baseline job on the (default: paper) simulated machine.
 
     ``source`` overrides the ingest device (e.g. an HDFS reader);
     ``merge_algorithm`` may be set to ``"pway"`` for the merge ablation.
+    ``memory_budget`` caps the live intermediate set: each time the map
+    phase fills it, a budget-sized run is sorted and spilled to disk
+    ("spill" spans; on the real runtime these interleave with mapping —
+    the sim charges them right after the wave, which preserves the total
+    and keeps the trace legible), and before the merge the runs are
+    consolidated to ``spill_fan_in`` sources and streamed back.
     """
+    if memory_budget is not None and memory_budget <= 0:
+        raise ConfigError("memory_budget must be positive")
+    if spill_fan_in < 2:
+        raise ConfigError("spill_fan_in must be at least 2")
     if machine is None:
         sim = Simulator()
         machine = paper_machine(sim, monitor_interval=monitor_interval)
     else:
         sim = machine.sim
     log = PhaseLog(machine)
+    inter_total = profile.intermediate_bytes(input_bytes)
+    plan = plan_spills(inter_total, memory_budget, profile.spill_combine_ratio)
+    n_passes = merge_passes(plan.n_runs + 1, spill_fan_in) if plan.n_runs else 0
+    rewritten = {"bytes": 0.0}
 
     def job():
         t0 = sim.now
@@ -54,16 +74,34 @@ def simulate_phoenix_job(
         yield from map_wave(machine, input_bytes, profile)
         log.record("map", t0)
 
+        if plan.n_runs:
+            t0 = sim.now
+            for _ in range(plan.n_runs):
+                yield from spill_write(machine, memory_budget, profile)
+            log.record("spill", t0)
+
         t0 = sim.now
         yield from reduce_phase(machine, input_bytes, profile, map_rounds=1)
         log.record("reduce", t0)
 
+        if plan.n_runs:
+            # Consolidate to the fan-in, then stream the runs back for
+            # the external merge.
+            t0 = sim.now
+            remaining = plan.n_runs + 1  # + resident remainder
+            while remaining > spill_fan_in:
+                consolidated = spill_fan_in * plan.run_bytes
+                yield from spill_rewrite(machine, consolidated)
+                rewritten["bytes"] += consolidated
+                remaining -= spill_fan_in - 1
+            yield from spill_read(machine, plan.spilled_bytes)
+            log.record("spill", t0)
+
         t0 = sim.now
-        inter = profile.intermediate_bytes(input_bytes)
         if merge_algorithm == "pairwise":
-            yield from merge_pairwise(machine, inter, profile)
+            yield from merge_pairwise(machine, inter_total, profile)
         else:
-            yield from merge_pway(machine, inter, profile)
+            yield from merge_pway(machine, inter_total, profile)
         log.record("merge", t0)
 
         t0 = sim.now
@@ -82,7 +120,18 @@ def simulate_phoenix_job(
         merge_s=log.duration("merge"),
         total_s=log.spans[-1].end,
         read_map_combined=False,
+        spill_s=log.duration("spill"),
     )
+    extras: dict[str, Any] = {"merge_algorithm": merge_algorithm}
+    if memory_budget is not None:
+        extras.update(
+            memory_budget=memory_budget,
+            n_spill_runs=plan.n_runs,
+            spilled_bytes=plan.spilled_bytes,
+            spill_fan_in=spill_fan_in,
+            spill_merge_passes=n_passes,
+            spill_rewritten_bytes=rewritten["bytes"],
+        )
     return SimJobResult(
         app=profile.name,
         runtime="phoenix",
@@ -91,5 +140,5 @@ def simulate_phoenix_job(
         timings=timings,
         samples=machine.monitor.samples,
         spans=log.spans,
-        extras={"merge_algorithm": merge_algorithm},
+        extras=extras,
     )

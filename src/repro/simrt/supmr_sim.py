@@ -13,6 +13,7 @@ from __future__ import annotations
 from typing import Any
 
 from repro.core.result import PhaseTimings, RoundTiming
+from repro.errors import ConfigError
 from repro.simhw.cpu import CpuClass
 from repro.simhw.events import Simulator
 from repro.simhw.machine import ScaleUpMachine, paper_machine
@@ -26,6 +27,9 @@ from repro.simrt.phases import (
     merge_pairwise,
     merge_pway,
     reduce_phase,
+    spill_read,
+    spill_rewrite,
+    spill_write,
 )
 
 
@@ -38,12 +42,22 @@ def simulate_supmr_job(
     source: Any = None,
     merge_algorithm: str = "pway",
     pipelined: bool = True,
+    memory_budget: float | None = None,
+    spill_fan_in: int = 8,
 ) -> SimJobResult:
     """Run the SupMR pipeline on the (default: paper) simulated machine.
 
     ``pipelined=False`` runs the identical round structure without
     overlap (ingest then map per round) — the pipeline-ablation knob.
+    ``memory_budget`` caps the live intermediate set: whenever a map
+    round pushes it to the budget, the container is sorted and spilled
+    to the machine's disk ("spill" spans), and before the merge the runs
+    are consolidated to ``spill_fan_in`` sources and streamed back.
     """
+    if memory_budget is not None and memory_budget <= 0:
+        raise ConfigError("memory_budget must be positive")
+    if spill_fan_in < 2:
+        raise ConfigError("spill_fan_in must be at least 2")
     if machine is None:
         sim = Simulator()
         machine = paper_machine(sim, monitor_interval=monitor_interval)
@@ -52,6 +66,37 @@ def simulate_supmr_job(
     log = PhaseLog(machine)
     sizes = chunk_sizes(input_bytes, chunk_bytes)
     rounds: list[RoundTiming] = []
+    spill = {"live": 0.0, "runs": 0, "spilled": 0.0,
+             "passes": 0, "rewritten": 0.0}
+
+    def absorb_and_spill(mapped_bytes: float):
+        # Intermediate from the finished wave lands in the container;
+        # spill budget-sized runs while the live set is at/over budget.
+        spill["live"] += profile.intermediate_bytes(mapped_bytes)
+        while memory_budget is not None and spill["live"] >= memory_budget:
+            t0 = sim.now
+            yield from spill_write(machine, memory_budget, profile)
+            log.record("spill", t0)
+            spill["live"] -= memory_budget
+            spill["runs"] += 1
+            spill["spilled"] += memory_budget * profile.spill_combine_ratio
+
+    def external_merge_prep():
+        # Consolidate runs down to the fan-in, then stream everything
+        # back for the final merge pass.
+        if not spill["runs"]:
+            return
+        t0 = sim.now
+        run_out = memory_budget * profile.spill_combine_ratio
+        remaining = spill["runs"] + 1  # spilled runs + resident remainder
+        while remaining > spill_fan_in:
+            consolidated = spill_fan_in * run_out
+            yield from spill_rewrite(machine, consolidated)
+            spill["rewritten"] += consolidated
+            remaining -= spill_fan_in - 1
+            spill["passes"] += 1
+        yield from spill_read(machine, spill["spilled"])
+        log.record("spill", t0)
 
     def job():
         t0 = sim.now
@@ -75,6 +120,7 @@ def simulate_supmr_job(
                 # Ablation: same round structure, no overlap.
                 yield from map_wave(machine, sizes[i - 1], profile)
                 yield from ingest(machine, sizes[i], profile, source)
+            yield from absorb_and_spill(sizes[i - 1])
             yield from machine.compute(profile.round_overhead_s, CpuClass.SYS)
             rounds.append(
                 RoundTiming(i, sim.now - r0, sim.now - r0, int(sizes[i]))
@@ -83,6 +129,7 @@ def simulate_supmr_job(
         # Final round: map the last chunk.
         r0 = sim.now
         yield from map_wave(machine, sizes[-1], profile)
+        yield from absorb_and_spill(sizes[-1])
         rounds.append(RoundTiming(len(sizes), 0.0, sim.now - r0, 0))
         log.record("read_map", t0)
 
@@ -92,6 +139,8 @@ def simulate_supmr_job(
             chunk_bytes=chunk_bytes,
         )
         log.record("reduce", t0)
+
+        yield from external_merge_prep()
 
         t0 = sim.now
         inter = profile.intermediate_bytes(input_bytes)
@@ -118,7 +167,22 @@ def simulate_supmr_job(
         total_s=log.spans[-1].end,
         read_map_combined=True,
         rounds=tuple(rounds),
+        spill_s=log.duration("spill"),
     )
+    extras = {
+        "merge_algorithm": merge_algorithm,
+        "n_chunks": len(sizes),
+        "pipelined": pipelined,
+    }
+    if memory_budget is not None:
+        extras.update(
+            memory_budget=memory_budget,
+            n_spill_runs=spill["runs"],
+            spilled_bytes=spill["spilled"],
+            spill_fan_in=spill_fan_in,
+            spill_merge_passes=spill["passes"],
+            spill_rewritten_bytes=spill["rewritten"],
+        )
     return SimJobResult(
         app=profile.name,
         runtime="supmr",
@@ -127,9 +191,5 @@ def simulate_supmr_job(
         timings=timings,
         samples=machine.monitor.samples,
         spans=log.spans,
-        extras={
-            "merge_algorithm": merge_algorithm,
-            "n_chunks": len(sizes),
-            "pipelined": pipelined,
-        },
+        extras=extras,
     )

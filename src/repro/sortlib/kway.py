@@ -2,7 +2,9 @@
 
 One output pass over all input items with an O(log k) tournament per item.
 This is the sequential core that each p-way merge worker runs on its
-assigned output range.
+assigned output range, and — because it accepts **lazy iterators**, not
+just materialized lists — the streaming engine the out-of-core spill
+subsystem drives run files through without loading them fully.
 """
 
 from __future__ import annotations
@@ -18,35 +20,51 @@ def _identity(x: Any) -> Any:
 
 
 def kway_merge(
-    runs: Sequence[Sequence[Any]], key: KeyFn = _identity
+    runs: Sequence[Iterable[Any]], key: KeyFn = _identity
 ) -> list[Any]:
     """Merge k sorted runs into one sorted list in a single pass.
 
-    Stable across runs: ties are emitted in run order (run 0 first), which
-    matches the guarantee of repeated stable 2-way merging and lets tests
-    compare the two algorithms item-for-item.
+    Runs may be any iterables (lists, generators, file-backed readers);
+    each is consumed exactly once.  Stable across runs: ties are emitted
+    in run order (run 0 first), which matches the guarantee of repeated
+    stable 2-way merging and lets tests compare the two algorithms
+    item-for-item.
     """
     return list(iter_kway_merge(runs, key))
 
 
 def iter_kway_merge(
-    runs: Sequence[Sequence[Any]], key: KeyFn = _identity
+    runs: Sequence[Iterable[Any]], key: KeyFn = _identity
 ) -> Iterator[Any]:
-    """Streaming form of :func:`kway_merge`."""
-    heap: list[tuple[Any, int, int]] = []
+    """Streaming form of :func:`kway_merge`: O(k) live items in memory.
+
+    Only one item per run is buffered, so merging k lazily-read runs
+    (e.g. spill run files) never materializes them.  Heap entries are
+    ``(sort_key, run_index, item, iterator)``; the unique run index
+    breaks every tie before ``item`` would be compared, so items
+    themselves never need to be orderable.
+    """
+    heap: list[tuple[Any, int, Any, Iterator[Any]]] = []
     for run_idx, run in enumerate(runs):
-        if len(run) > 0:
-            heap.append((key(run[0]), run_idx, 0))
+        it = iter(run)
+        for first in it:
+            heap.append((key(first), run_idx, first, it))
+            break
     heapq.heapify(heap)
     while heap:
-        k, run_idx, pos = heapq.heappop(heap)
-        run = runs[run_idx]
-        yield run[pos]
-        pos += 1
-        if pos < len(run):
-            heapq.heappush(heap, (key(run[pos]), run_idx, pos))
+        _k, run_idx, item, it = heap[0]
+        yield item
+        for nxt in it:
+            heapq.heapreplace(heap, (key(nxt), run_idx, nxt, it))
+            break
+        else:
+            heapq.heappop(heap)
 
 
 def merged_length(runs: Iterable[Sequence[Any]]) -> int:
-    """Total output length a merge of ``runs`` will produce."""
+    """Total output length a merge of ``runs`` will produce.
+
+    Requires sized runs (``len()``); lazy iterators have no cheap
+    length, so streaming callers count as they consume instead.
+    """
     return sum(len(r) for r in runs)

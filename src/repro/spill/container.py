@@ -1,0 +1,170 @@
+"""Budget-enforcing container wrapper: the spill subsystem's front door.
+
+:class:`SpillableContainer` wraps any :class:`repro.containers.base.Container`
+and gives it out-of-core semantics: every emit is charged to the
+manager's :class:`~repro.spill.accountant.MemoryAccountant` *before* it
+lands, and when the next emit would cross the budget the live inner
+container is drained — sorted, grouped, optionally combined — into a
+run file and replaced by a fresh one.  ``partitions(n)`` then streams
+all runs plus the resident container through the external p-way merge.
+
+Two properties the rest of the system relies on:
+
+* **Zero-spill transparency** — if the budget is never crossed,
+  ``partitions(n)`` delegates to the inner container untouched, so a
+  budgeted run that happens to fit in memory is *bit-identical* to an
+  unbudgeted one by construction.
+* **Spilled equivalence** — with spills, partitions are formed by key
+  hash over the merged stream (the same
+  :func:`~repro.util.hashing.stable_hash` discipline the hash container
+  uses), values of equal keys concatenated oldest-run-first.  Jobs with
+  unique keys (sort) or per-key aggregation (word count) produce
+  byte-identical final output either way; the tests pin this.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Hashable
+
+from repro.containers.base import Container, ContainerStats, Emitter
+from repro.errors import ContainerError, SpillError
+from repro.spill.accountant import estimate_pair_bytes
+from repro.spill.external_merge import ExternalPwayMerge
+from repro.spill.manager import SpillManager, group_sorted_pairs
+from repro.util.hashing import stable_hash
+
+
+class _SpillEmitter(Emitter):
+    """Task-bound handle routing emits through the budget gate."""
+
+    __slots__ = ()
+
+    def emit(self, key: Hashable, value: Any) -> None:
+        """Charge the pair against the budget, spilling first if needed."""
+        self.container._insert(key, value, self.task_id)  # type: ignore[attr-defined]
+
+
+class SpillableContainer(Container):
+    """Wraps an inner container with memory accounting and spilling."""
+
+    def __init__(
+        self,
+        inner_factory: Callable[[], Container],
+        manager: SpillManager,
+    ) -> None:
+        super().__init__()
+        self._inner_factory = inner_factory
+        self.manager = manager
+        self._inner = inner_factory()
+        # Hash-style containers combine on insert; their drains carry
+        # per-key aggregates, which combine-on-spill must not re-fold.
+        self._inner_combines = hasattr(self._inner, "combiner")
+        if manager.combiner is None and self._inner_combines:
+            manager.combiner = self._inner.combiner  # type: ignore[attr-defined]
+        self._lock = threading.RLock()
+        self._task_emitters: dict[int, Emitter] = {}
+        self._emits = 0
+        self._emits_at_spill = 0
+        self._distinct_keys: int | None = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def begin_round(self) -> None:
+        """Start a mapper wave on the wrapper and the live inner container."""
+        super().begin_round()
+        with self._lock:
+            self._inner.begin_round()
+
+    def seal(self) -> None:
+        """No more emits; the inner container is sealed alongside."""
+        super().seal()
+        with self._lock:
+            if not self._inner.sealed:
+                self._inner.seal()
+
+    # -- emit path ---------------------------------------------------------
+
+    def emitter(self, task_id: int) -> Emitter:
+        """A task-bound handle; inner handles are re-bound after spills."""
+        return _SpillEmitter(self, task_id)
+
+    def _insert(self, key: Hashable, value: Any, task_id: int) -> None:
+        cost = estimate_pair_bytes(key, value)
+        with self._lock:
+            self._check_open()
+            if self.manager.accountant.would_exceed(cost):
+                self._spill_live()
+            self.manager.accountant.charge(cost)
+            emitter = self._task_emitters.get(task_id)
+            if emitter is None:
+                emitter = self._inner.emitter(task_id)
+                self._task_emitters[task_id] = emitter
+            emitter.emit(key, value)
+            self._emits += 1
+
+    def _spill_live(self) -> None:
+        """Drain the live inner container to a run file and start fresh."""
+        if self._emits == self._emits_at_spill:
+            raise SpillError(
+                "memory budget too small to hold a single emitted pair; "
+                "raise RuntimeOptions.memory_budget"
+            )
+        self._inner.seal()
+        pairs = self._inner.partitions(1)[0]
+        self.manager.spill_pairs(pairs, raw=not self._inner_combines)
+        self.manager.accountant.release_all()
+        self._inner = self._inner_factory()
+        self._inner.begin_round()
+        self._task_emitters.clear()
+        self._emits_at_spill = self._emits
+
+    # -- reduce-side -------------------------------------------------------
+
+    def partitions(self, n: int) -> list[list[tuple[Hashable, Any]]]:
+        """Reducer partitions, merged externally when spills happened."""
+        if n < 1:
+            raise ContainerError("need at least one reducer partition")
+        if not self.sealed:
+            raise ContainerError("partitions() before seal()")
+        if not self.manager.runs:
+            # Never spilled: the inner container's own partitioning,
+            # bit-identical to an unbudgeted run.
+            self.manager.record_merge(0)
+            return self._inner.partitions(n)
+        resident = sorted(
+            self._inner.partitions(1)[0],
+            key=lambda kv: self.manager.sort_key(kv[0]),
+        )
+        merger = ExternalPwayMerge(self.manager)
+        sources: list[Any] = [
+            self.manager.open_run(info) for info in self.manager.runs
+        ]
+        sources.append(group_sorted_pairs(resident))
+        parts: list[list[tuple[Hashable, Any]]] = [[] for _ in range(n)]
+        distinct = 0
+        for key, values in merger.merge(sources):
+            distinct += 1
+            parts[stable_hash(key) % n].append((key, list(values)))
+        self._distinct_keys = distinct
+        self.manager.accountant.release_all()
+        return parts
+
+    # -- reporting ---------------------------------------------------------
+
+    def stats(self) -> ContainerStats:
+        """Emit/key counters across every generation of the inner container.
+
+        ``distinct_keys`` is exact after ``partitions()`` ran over a
+        spilled job; before that it falls back to the live container
+        plus spilled-record counts (an upper bound when keys repeat
+        across runs).
+        """
+        inner = self._inner.stats()
+        if self._distinct_keys is not None:
+            distinct = self._distinct_keys
+        else:
+            distinct = inner.distinct_keys + self.manager.stats().spilled_records
+        return ContainerStats(
+            emits=self._emits, distinct_keys=distinct, rounds=self.rounds
+        )

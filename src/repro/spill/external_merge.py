@@ -1,0 +1,81 @@
+"""External p-way merge: stream spill runs + the resident container.
+
+The in-memory p-way merge (:mod:`repro.sortlib.pway`) is what SupMR
+uses when everything fits in RAM; this is its out-of-core counterpart.
+Each pass streams at most ``fan_in`` key-sorted sources through the
+heap-based :func:`repro.sortlib.kway.iter_kway_merge` (which accepts
+lazy iterators, so run files never materialize); when more sources
+exist than the fan-in allows, the oldest ``fan_in`` runs are merged
+into a new intermediate run on disk and the pass repeats — the classic
+external merge sort, with memory bounded by ``fan_in`` read buffers
+regardless of how much was spilled.
+
+Sources yield ``(key, values_tuple)`` groups sorted by the manager's
+``sort_key``; the merged output concatenates values of equal keys in
+source order (oldest spill first, resident data last), which preserves
+emit order the same way the in-memory containers do.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.sortlib.kway import iter_kway_merge
+from repro.spill.manager import Group, SpillManager, group_sorted_pairs
+
+
+class ExternalPwayMerge:
+    """Bounded-memory p-way merge over spill runs and resident data.
+
+    ``fan_in`` defaults to the manager's; the number of passes actually
+    performed is reported back through
+    :meth:`SpillManager.record_merge` and the stats counters.
+    """
+
+    def __init__(self, manager: SpillManager, fan_in: int | None = None) -> None:
+        self.manager = manager
+        self.fan_in = max(2, fan_in or manager.merge_fan_in)
+        self.passes = 0
+
+    def _merge_once(self, sources: list[Iterable[Group]]) -> Iterator[Group]:
+        """One streaming p-way pass over up to ``fan_in`` sources."""
+        key_fn = self.manager.sort_key
+        merged = iter_kway_merge(sources, key=lambda group: key_fn(group[0]))
+        return group_sorted_pairs(merged)
+
+    def merge(self, sources: list[Iterable[Group]]) -> Iterator[Group]:
+        """Merge all sources into one grouped, key-sorted stream.
+
+        Consolidation passes write intermediate runs via the manager;
+        the final pass streams straight to the caller.  ``self.passes``
+        counts every pass including the final one.
+        """
+        if not sources:
+            self.passes = 0
+            self.manager.record_merge(0)
+            return iter(())
+        work = list(sources)
+        self.passes = 1
+        while len(work) > self.fan_in:
+            # Consolidate the oldest fan_in sources into one on-disk run;
+            # oldest-first keeps cross-run value order stable.
+            batch, work = work[: self.fan_in], work[self.fan_in:]
+            info = self.manager.write_merged(self._merge_once(batch))
+            work.insert(0, self.manager.open_run(info))
+            self.passes += 1
+        self.manager.record_merge(self.passes)
+        return self._merge_once(work)
+
+
+def merge_spilled(
+    manager: SpillManager,
+    resident: Iterable[Group],
+    fan_in: int | None = None,
+) -> Iterator[Group]:
+    """Merge every run the manager holds plus the resident stream."""
+    merger = ExternalPwayMerge(manager, fan_in=fan_in)
+    sources: list[Iterable[Group]] = [
+        manager.open_run(info) for info in manager.runs
+    ]
+    sources.append(resident)
+    return merger.merge(sources)

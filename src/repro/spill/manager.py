@@ -1,0 +1,196 @@
+"""Spill orchestration: budget, run directory, combine-on-spill.
+
+:class:`SpillManager` owns everything the spillable container needs
+that is not container semantics: the :class:`MemoryAccountant`, the
+spill directory, the run inventory, and the combine-on-spill policy.
+Hadoop-style in-node combining (Lee et al.) happens here: when a drain
+hands over *raw* emitted pairs (array-style containers that do not
+combine on insert), the job's combiner — if any — folds each key's
+values before the run hits disk, so spilled bytes shrink by the same
+ratio in-memory combining would have bought.
+
+Pairs drained from a combining container (e.g. the hash container) are
+already per-key aggregates; re-folding those through an emit-level
+combiner would double-count (``CountCombiner`` is the obvious casualty),
+so the manager only applies the combiner when the drain is marked raw —
+grouping equal keys and concatenating their values is always safe and
+happens regardless.
+"""
+
+from __future__ import annotations
+
+import shutil
+import tempfile
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable, Hashable, Iterable, Iterator
+
+from repro.containers.combiners import Combiner
+from repro.errors import SpillError
+from repro.spill.accountant import MemoryAccountant
+from repro.spill.runfile import RunReader, RunWriter
+from repro.spill.stats import SpillStats
+
+#: Streams merged per external-merge pass when the caller does not say.
+DEFAULT_MERGE_FAN_IN = 8
+
+Pair = tuple[Hashable, Any]
+Group = tuple[Hashable, tuple[Any, ...]]
+SortKeyFn = Callable[[Hashable], Any]
+
+
+@dataclass(frozen=True)
+class RunInfo:
+    """One spill run on disk."""
+
+    index: int
+    path: Path
+    records: int
+    payload_bytes: int
+
+
+def group_sorted_pairs(
+    pairs: Iterable[tuple[Hashable, Iterable[Any]]],
+) -> Iterator[Group]:
+    """Collapse adjacent equal-key entries of a key-sorted pair stream.
+
+    Input entries carry *iterables* of values (drained container
+    partitions already wrap values in lists); output groups concatenate
+    them in arrival order.
+    """
+    current_key: Hashable = None
+    current_values: list[Any] = []
+    have = False
+    for key, values in pairs:
+        if have and key == current_key:
+            current_values.extend(values)
+        else:
+            if have:
+                yield current_key, tuple(current_values)
+            current_key = key
+            current_values = list(values)
+            have = True
+    if have:
+        yield current_key, tuple(current_values)
+
+
+class SpillManager:
+    """Owns the budget, the spill directory, and the run inventory.
+
+    ``combiner`` is the emit-level combiner applied to raw drains
+    (combine-on-spill); ``sort_key`` orders keys within and across runs
+    (default: the key itself, which must then be totally orderable —
+    true for the bytes/str/int keys every bundled app uses).
+    """
+
+    def __init__(
+        self,
+        budget_bytes: int,
+        spill_dir: str | Path | None = None,
+        combiner: Combiner | None = None,
+        sort_key: SortKeyFn | None = None,
+        merge_fan_in: int = DEFAULT_MERGE_FAN_IN,
+    ) -> None:
+        if merge_fan_in < 2:
+            raise SpillError("merge_fan_in must be >= 2")
+        self.accountant = MemoryAccountant(budget_bytes)
+        self._owns_dir = spill_dir is None
+        self.spill_dir = Path(
+            spill_dir
+            if spill_dir is not None
+            else tempfile.mkdtemp(prefix="repro-spill-")
+        )
+        self.spill_dir.mkdir(parents=True, exist_ok=True)
+        self.combiner = combiner
+        self.sort_key: SortKeyFn = sort_key or (lambda key: key)
+        self.merge_fan_in = merge_fan_in
+        self.runs: list[RunInfo] = []
+        self._next_index = 0
+        self._stats = SpillStats(
+            budget_bytes=int(budget_bytes), merge_fan_in=merge_fan_in
+        )
+
+    # -- spilling ----------------------------------------------------------
+
+    def spill_pairs(
+        self, pairs: list[tuple[Hashable, Iterable[Any]]], raw: bool
+    ) -> RunInfo:
+        """Sort, group, optionally combine, and persist one run.
+
+        ``pairs`` is a drained container partition — ``(key, values)``
+        entries in container order.  ``raw=True`` marks values as
+        original emits (array-style drain), enabling combine-on-spill.
+        """
+        if not pairs:
+            raise SpillError("refusing to spill an empty container")
+        started = time.perf_counter()
+        pairs.sort(key=lambda kv: self.sort_key(kv[0]))
+        n_in = sum(1 for _k, values in pairs for _v in values)
+        info = self._write_run(self._combined(group_sorted_pairs(pairs), raw))
+        self._stats.runs += 1
+        self._stats.spilled_bytes += info.payload_bytes
+        self._stats.spilled_records += info.records
+        self._stats.combine_pairs_in += n_in
+        self._stats.combine_pairs_out += info.records
+        self._stats.spill_write_s += time.perf_counter() - started
+        return info
+
+    def _combined(
+        self, groups: Iterator[Group], raw: bool
+    ) -> Iterator[Group]:
+        """Apply combine-on-spill to raw groups; pass aggregates through."""
+        if not raw or self.combiner is None:
+            yield from groups
+            return
+        for key, values in groups:
+            state = self.combiner.initial(values[0])
+            for value in values[1:]:
+                state = self.combiner.update(state, value)
+            yield key, tuple(self.combiner.finish(state))
+
+    def _write_run(self, groups: Iterator[Group]) -> RunInfo:
+        index = self._next_index
+        self._next_index += 1
+        path = self.spill_dir / f"run-{index:05d}.spl"
+        with RunWriter(path) as writer:
+            for key, values in groups:
+                writer.write_group(key, values)
+            records, payload = writer.records, writer.payload_bytes
+        info = RunInfo(
+            index=index, path=path, records=records, payload_bytes=payload
+        )
+        self.runs.append(info)
+        return info
+
+    def write_merged(self, groups: Iterator[Group]) -> RunInfo:
+        """Persist an intermediate external-merge pass as a new run."""
+        info = self._write_run(groups)
+        self._stats.merge_rewritten_bytes += info.payload_bytes
+        return info
+
+    # -- reading -----------------------------------------------------------
+
+    def open_run(self, info: RunInfo) -> RunReader:
+        """A validated streaming reader over one run."""
+        return RunReader(info.path)
+
+    # -- reporting / teardown ----------------------------------------------
+
+    def record_merge(self, passes: int) -> None:
+        """Note how many external-merge passes the job needed."""
+        self._stats.merge_passes = passes
+
+    def stats(self) -> SpillStats:
+        """The job's spill counters (peak memory filled in live)."""
+        self._stats.peak_accounted_bytes = self.accountant.peak
+        return self._stats
+
+    def cleanup(self) -> None:
+        """Delete run files (and the directory, when the manager made it)."""
+        if self._owns_dir:
+            shutil.rmtree(self.spill_dir, ignore_errors=True)
+        else:
+            for info in self.runs:
+                info.path.unlink(missing_ok=True)
+        self.runs.clear()

@@ -1,0 +1,171 @@
+"""Spill run files: sorted on-disk runs of intermediate (key, values).
+
+A run file is the unit the spill subsystem writes when the live
+container crosses its memory budget.  The format is deliberately dumb
+and verifiable:
+
+* a fixed-size **checksummed header** — magic, version, record count,
+  payload length, CRC-32 of the payload section;
+* a payload of length-prefixed frames (:class:`repro.io.writer`
+  framing), one frame per record, each frame the pickle of one
+  ``(key, values_tuple)`` group, **sorted by key** and with equal keys
+  already grouped.
+
+The header is written last (the writer seeks back over a placeholder),
+so a crash mid-spill leaves a file that fails validation instead of a
+file that silently merges garbage.  :class:`RunReader` validates the
+header and the physical length eagerly on open — a truncated run is
+rejected before the merge starts — and verifies the CRC incrementally
+while streaming, so reading stays O(1) in memory.
+"""
+
+from __future__ import annotations
+
+import pickle
+import struct
+import zlib
+from pathlib import Path
+from typing import Any, BinaryIO, Hashable, Iterable, Iterator
+
+from repro.errors import SpillError
+from repro.io.writer import FramedRecordWriter, iter_framed_records
+
+MAGIC = b"SPRN"
+VERSION = 1
+
+#: magic(4s) version(H) reserved(H) records(Q) payload_len(Q) crc32(I)
+_HEADER = struct.Struct(">4sHHQQI")
+HEADER_BYTES = _HEADER.size
+
+Group = tuple[Hashable, tuple[Any, ...]]
+
+
+class RunWriter:
+    """Writes one sorted run file; use as a context manager.
+
+    The caller streams already-sorted, already-grouped records through
+    :meth:`write_group`; the writer frames and checksums them and
+    finalizes the header on close.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._fh: BinaryIO | None = open(self.path, "wb")
+        self._fh.write(b"\0" * HEADER_BYTES)  # placeholder header
+        self._framer = FramedRecordWriter(self._fh)
+
+    def write_group(self, key: Hashable, values: Iterable[Any]) -> None:
+        """Append one (key, grouped values) record."""
+        if self._fh is None:
+            raise SpillError(f"write to closed run file {self.path}")
+        payload = pickle.dumps(
+            (key, tuple(values)), protocol=pickle.HIGHEST_PROTOCOL
+        )
+        self._framer.write(payload)
+
+    @property
+    def records(self) -> int:
+        """Records written so far."""
+        return self._framer.records
+
+    @property
+    def payload_bytes(self) -> int:
+        """Payload-section bytes written so far (frames included)."""
+        return self._framer.payload_bytes
+
+    def close(self) -> None:
+        """Flush, write the real header, and close the file."""
+        if self._fh is None:
+            return
+        self._framer.flush()
+        header = _HEADER.pack(
+            MAGIC, VERSION, 0,
+            self._framer.records, self._framer.payload_bytes,
+            self._framer.crc32,
+        )
+        self._fh.seek(0)
+        self._fh.write(header)
+        self._fh.close()
+        self._fh = None
+
+    def __enter__(self) -> "RunWriter":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+
+class _Crc32Reader:
+    """File wrapper accumulating a CRC-32 over every byte read."""
+
+    def __init__(self, fh: BinaryIO) -> None:
+        self._fh = fh
+        self.crc32 = 0
+
+    def read(self, n: int = -1) -> bytes:
+        """Read and fold the bytes into the running checksum."""
+        data = self._fh.read(n)
+        self.crc32 = zlib.crc32(data, self.crc32)
+        return data
+
+
+class RunReader:
+    """Validated streaming reader over one run file.
+
+    Construction parses and checks the header (magic, version) and
+    rejects files whose physical size disagrees with the recorded
+    payload length — the truncation case.  Iteration yields the
+    ``(key, values_tuple)`` groups in on-disk (key-sorted) order and
+    verifies the payload CRC as the last frame is consumed, raising
+    :class:`~repro.errors.SpillError` on mismatch.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        try:
+            size = self.path.stat().st_size
+            with open(self.path, "rb") as fh:
+                raw = fh.read(HEADER_BYTES)
+        except OSError as exc:
+            raise SpillError(f"cannot open run file {self.path}: {exc}") from exc
+        if len(raw) < HEADER_BYTES:
+            raise SpillError(f"run file {self.path} too short for a header")
+        magic, version, _reserved, records, payload_len, crc = _HEADER.unpack(raw)
+        if magic != MAGIC:
+            raise SpillError(f"{self.path} is not a spill run file")
+        if version != VERSION:
+            raise SpillError(
+                f"{self.path}: unsupported run format version {version}"
+            )
+        if size != HEADER_BYTES + payload_len:
+            raise SpillError(
+                f"{self.path} is truncated or padded: header promises "
+                f"{payload_len} payload bytes, file holds "
+                f"{size - HEADER_BYTES}"
+            )
+        self.records = records
+        self.payload_bytes = payload_len
+        self.crc32 = crc
+
+    def __iter__(self) -> Iterator[Group]:
+        """Stream the (key, values) groups, CRC-checking along the way."""
+        with open(self.path, "rb") as fh:
+            fh.seek(HEADER_BYTES)
+            tracker = _Crc32Reader(fh)
+            for payload in iter_framed_records(tracker, self.records):
+                try:
+                    key, values = pickle.loads(payload)
+                except Exception as exc:
+                    raise SpillError(
+                        f"{self.path}: undecodable spill record: {exc}"
+                    ) from exc
+                yield key, values
+            if tracker.crc32 != self.crc32:
+                raise SpillError(
+                    f"{self.path}: payload checksum mismatch "
+                    f"(header {self.crc32:#010x}, "
+                    f"computed {tracker.crc32:#010x})"
+                )
+
+    def __len__(self) -> int:
+        return self.records

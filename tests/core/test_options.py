@@ -69,3 +69,36 @@ class TestConstructors:
     def test_pipelined_flag_passthrough(self):
         opts = RuntimeOptions.supmr_interfile("1MB", pipelined_ingest=False)
         assert opts.pipelined_ingest is False
+
+
+class TestMemoryBudget:
+    def test_default_is_unbudgeted(self):
+        assert RuntimeOptions().memory_budget is None
+
+    def test_size_strings_parse(self):
+        opts = RuntimeOptions(memory_budget="64KB")
+        assert opts.memory_budget == 64 * 1024
+
+    def test_int_budget_passthrough(self):
+        assert RuntimeOptions(memory_budget=4096).memory_budget == 4096
+
+    def test_budget_must_be_positive(self):
+        with pytest.raises(ConfigError):
+            RuntimeOptions(memory_budget=0)
+
+    def test_budget_must_exceed_one_chunk(self):
+        with pytest.raises(ConfigError, match="ingest chunk"):
+            RuntimeOptions.supmr_interfile("1MB").with_(memory_budget="64KB")
+
+    def test_budget_above_chunk_accepted(self):
+        opts = RuntimeOptions.supmr_interfile("16KB").with_(
+            memory_budget="64KB"
+        )
+        assert opts.memory_budget == 64 * 1024
+
+    def test_fan_in_validated(self):
+        with pytest.raises(ConfigError):
+            RuntimeOptions(spill_merge_fan_in=1)
+
+    def test_fan_in_default(self):
+        assert RuntimeOptions().spill_merge_fan_in == 8

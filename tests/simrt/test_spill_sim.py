@@ -1,0 +1,146 @@
+"""Simulated spill traffic: disk writes, phase spans, cost-model plans."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.simrt.costmodel import (
+    GB_SI,
+    PAPER_SORT,
+    PAPER_WORDCOUNT,
+    merge_passes,
+    plan_spills,
+)
+from repro.simrt.phoenix_sim import simulate_phoenix_job
+from repro.simrt.supmr_sim import simulate_supmr_job
+
+INPUT = 60 * GB_SI
+BUDGET = 4 * GB_SI
+
+
+class TestPlanSpills:
+    def test_no_budget_stays_resident(self):
+        plan = plan_spills(INPUT, None)
+        assert plan.n_runs == 0
+        assert plan.resident_bytes == INPUT
+
+    def test_budget_fragments_into_runs(self):
+        plan = plan_spills(INPUT, BUDGET)
+        assert plan.n_runs == 15
+        assert plan.spilled_bytes == pytest.approx(INPUT)
+        assert plan.resident_bytes == pytest.approx(0.0)
+
+    def test_combine_ratio_shrinks_runs(self):
+        plan = plan_spills(INPUT, BUDGET, combine_ratio=0.5)
+        assert plan.run_bytes == pytest.approx(BUDGET / 2)
+        assert plan.spilled_bytes == pytest.approx(INPUT / 2)
+
+    def test_budget_larger_than_intermediate(self):
+        plan = plan_spills(1 * GB_SI, BUDGET)
+        assert plan.n_runs == 0
+
+    def test_invalid_budget(self):
+        with pytest.raises(ConfigError):
+            plan_spills(INPUT, 0)
+
+
+class TestMergePasses:
+    def test_under_fan_in_needs_no_consolidation(self):
+        assert merge_passes(5, 8) == 0
+        assert merge_passes(8, 8) == 0
+
+    def test_each_pass_retires_fan_in_minus_one(self):
+        assert merge_passes(9, 8) == 1
+        assert merge_passes(16, 8) == 2
+        assert merge_passes(100, 2) == 98
+
+    def test_invalid_fan_in(self):
+        with pytest.raises(ConfigError):
+            merge_passes(5, 1)
+
+
+class TestSpillCombineRatioField:
+    def test_defaults_to_one(self):
+        assert PAPER_SORT.spill_combine_ratio == 1.0
+
+    def test_validated(self):
+        with pytest.raises(ConfigError):
+            dataclasses.replace(PAPER_WORDCOUNT, spill_combine_ratio=0.0)
+        with pytest.raises(ConfigError):
+            dataclasses.replace(PAPER_WORDCOUNT, spill_combine_ratio=1.5)
+
+
+class TestSimulatedPhoenixSpill:
+    def test_spill_spans_and_disk_writes_appear(self):
+        result = simulate_phoenix_job(PAPER_SORT, INPUT, memory_budget=BUDGET)
+        assert result.timings.spill_s > 0
+        assert any(s.name == "spill" for s in result.spans)
+        assert any(s.disk_write_active > 0 for s in result.samples)
+        assert result.extras["n_spill_runs"] == 15
+        assert result.extras["spilled_bytes"] == pytest.approx(INPUT)
+        assert result.extras["spill_merge_passes"] == merge_passes(16, 8)
+
+    def test_spilling_costs_wall_clock(self):
+        in_memory = simulate_phoenix_job(PAPER_SORT, INPUT)
+        spilled = simulate_phoenix_job(PAPER_SORT, INPUT, memory_budget=BUDGET)
+        assert spilled.timings.total_s > in_memory.timings.total_s
+
+    def test_no_budget_is_unchanged(self):
+        result = simulate_phoenix_job(PAPER_SORT, INPUT)
+        assert result.timings.spill_s == 0.0
+        assert "n_spill_runs" not in result.extras
+        assert not any(s.name == "spill" for s in result.spans)
+
+    def test_wordcount_tiny_intermediate_never_spills(self):
+        # Word count's intermediate set is a few MB; a GB budget holds it.
+        result = simulate_phoenix_job(
+            PAPER_WORDCOUNT, 155 * GB_SI, memory_budget=1 * GB_SI
+        )
+        assert result.extras["n_spill_runs"] == 0
+        assert result.timings.spill_s == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            simulate_phoenix_job(PAPER_SORT, INPUT, memory_budget=-1)
+        with pytest.raises(ConfigError):
+            simulate_phoenix_job(
+                PAPER_SORT, INPUT, memory_budget=BUDGET, spill_fan_in=1
+            )
+
+
+class TestSimulatedSupMRSpill:
+    def test_spills_interleave_with_rounds(self):
+        result = simulate_supmr_job(
+            PAPER_SORT, INPUT, 1 * GB_SI, memory_budget=BUDGET
+        )
+        assert result.extras["n_spill_runs"] == 15
+        assert result.timings.spill_s > 0
+        assert any(s.disk_write_active > 0 for s in result.samples)
+        # Spill writes happen during the rounds, not only at the end.
+        read_map_end = result.timings.read_s
+        spill_spans = [s for s in result.spans if s.name == "spill"]
+        assert any(s.end <= read_map_end for s in spill_spans)
+
+    def test_run_count_matches_static_plan(self):
+        result = simulate_supmr_job(
+            PAPER_SORT, INPUT, 1 * GB_SI, memory_budget=BUDGET
+        )
+        plan = plan_spills(
+            PAPER_SORT.intermediate_bytes(INPUT), BUDGET
+        )
+        assert result.extras["n_spill_runs"] == plan.n_runs
+        assert result.extras["spilled_bytes"] == pytest.approx(
+            plan.spilled_bytes
+        )
+
+    def test_no_budget_is_unchanged(self):
+        result = simulate_supmr_job(PAPER_SORT, INPUT, 1 * GB_SI)
+        assert result.timings.spill_s == 0.0
+        assert "n_spill_runs" not in result.extras
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            simulate_supmr_job(PAPER_SORT, INPUT, 1 * GB_SI, memory_budget=0)

@@ -47,6 +47,22 @@ class TestKwayMerge:
         assert next(it) == 1
         assert list(it) == [2, 3, 4]
 
+    def test_accepts_lazy_generators(self):
+        def gen(items):
+            yield from items
+
+        merged = iter_kway_merge([gen([1, 4]), gen([2, 3]), gen([])])
+        assert list(merged) == [1, 2, 3, 4]
+
+    def test_streams_without_materializing_sources(self):
+        # Unbounded sources: only possible if the heap pulls lazily.
+        import itertools
+
+        evens = itertools.count(0, 2)
+        odds = itertools.count(1, 2)
+        head = list(itertools.islice(iter_kway_merge([evens, odds]), 6))
+        assert head == [0, 1, 2, 3, 4, 5]
+
     def test_merged_length(self):
         assert merged_length([[1, 2], [3], []]) == 3
 

@@ -1,0 +1,72 @@
+"""Memory accountant: charging, releasing, peak tracking."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SpillError
+from repro.spill.accountant import (
+    MemoryAccountant,
+    estimate_pair_bytes,
+    estimate_value_bytes,
+)
+
+
+class TestEstimates:
+    def test_pair_estimate_includes_overhead(self):
+        cost = estimate_pair_bytes(b"word", 1)
+        assert cost > len(b"word")
+
+    def test_bigger_values_cost_more(self):
+        small = estimate_value_bytes(b"x")
+        big = estimate_value_bytes(b"x" * 1000)
+        assert big > small
+
+    def test_containers_recurse(self):
+        flat = estimate_value_bytes([1])
+        nested = estimate_value_bytes([1, [2, 3, 4], (5, 6)])
+        assert nested > flat
+
+
+class TestMemoryAccountant:
+    def test_charge_and_release(self):
+        acct = MemoryAccountant(1000)
+        acct.charge(400)
+        acct.charge(300)
+        assert acct.current == 700
+        acct.release(300)
+        assert acct.current == 400
+        assert acct.peak == 700
+
+    def test_would_exceed(self):
+        acct = MemoryAccountant(1000)
+        acct.charge(900)
+        assert acct.would_exceed(200)
+        assert not acct.would_exceed(100)
+
+    def test_charge_past_budget_raises(self):
+        acct = MemoryAccountant(100)
+        acct.charge(80)
+        with pytest.raises(SpillError):
+            acct.charge(50)
+        # the failed charge must not corrupt the ledger
+        assert acct.current == 80
+
+    def test_release_all(self):
+        acct = MemoryAccountant(1000)
+        acct.charge(600)
+        acct.release_all()
+        assert acct.current == 0
+        assert acct.peak == 600
+
+    def test_invalid_budget(self):
+        with pytest.raises(SpillError):
+            MemoryAccountant(0)
+
+    def test_peak_never_exceeds_budget(self):
+        acct = MemoryAccountant(256)
+        for _ in range(100):
+            if acct.would_exceed(60):
+                acct.release_all()
+            acct.charge(60)
+        assert acct.peak <= 256

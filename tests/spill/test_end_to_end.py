@@ -1,0 +1,112 @@
+"""Out-of-core runs through both real runtimes: byte-identical output.
+
+The subsystem's acceptance bar: with a budget small enough to force
+several spill runs, word count and terasort must produce output
+byte-identical to the unbudgeted in-memory run, the accounted peak must
+stay under the budget, and the spill counters must surface in the
+result and the JSON report.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.report import job_result_dict
+from repro.apps.sortapp import make_sort_job
+from repro.apps.wordcount import make_wordcount_job
+from repro.core.options import RuntimeOptions
+from repro.core.phoenix import PhoenixRuntime
+from repro.core.supmr import SupMRRuntime
+
+
+def check_spilled(result, baseline, min_runs=3):
+    assert result.output == baseline.output  # byte-identical
+    stats = result.spill_stats
+    assert stats is not None
+    assert stats.runs >= min_runs
+    assert stats.spilled_bytes > 0
+    assert stats.peak_accounted_bytes <= stats.budget_bytes
+    assert stats.within_budget
+    assert result.counters["spill_runs"] == stats.runs
+    assert result.counters["spilled_bytes"] == stats.spilled_bytes
+    return stats
+
+
+class TestPhoenixSpill:
+    def test_wordcount_byte_identical(self, text_file):
+        baseline = PhoenixRuntime().run(make_wordcount_job([text_file]))
+        budgeted = PhoenixRuntime(
+            RuntimeOptions.baseline().with_(memory_budget="64KB")
+        ).run(make_wordcount_job([text_file]))
+        check_spilled(budgeted, baseline)
+
+    def test_sort_byte_identical(self, terasort_file):
+        baseline = PhoenixRuntime().run(make_sort_job([terasort_file]))
+        budgeted = PhoenixRuntime(
+            RuntimeOptions.baseline().with_(memory_budget="96KB")
+        ).run(make_sort_job([terasort_file]))
+        check_spilled(budgeted, baseline)
+
+    def test_no_budget_reports_no_spill(self, text_file):
+        result = PhoenixRuntime().run(make_wordcount_job([text_file]))
+        assert result.spill_stats is None
+        assert "spill_runs" not in result.counters
+        assert "spill" not in job_result_dict(result)
+
+
+class TestSupMRSpill:
+    def test_wordcount_byte_identical(self, text_file):
+        options = RuntimeOptions.supmr_interfile("16KB")
+        baseline = SupMRRuntime(options).run(make_wordcount_job([text_file]))
+        budgeted = SupMRRuntime(
+            options.with_(memory_budget="64KB")
+        ).run(make_wordcount_job([text_file]))
+        check_spilled(budgeted, baseline)
+
+    def test_sort_byte_identical(self, terasort_file):
+        options = RuntimeOptions.supmr_interfile("25KB")
+        baseline = SupMRRuntime(options).run(make_sort_job([terasort_file]))
+        budgeted = SupMRRuntime(
+            options.with_(memory_budget="96KB")
+        ).run(make_sort_job([terasort_file]))
+        check_spilled(budgeted, baseline)
+
+    def test_large_budget_never_spills(self, text_file):
+        options = RuntimeOptions.supmr_interfile("16KB",).with_(
+            memory_budget="256MB"
+        )
+        baseline = SupMRRuntime(
+            RuntimeOptions.supmr_interfile("16KB")
+        ).run(make_wordcount_job([text_file]))
+        budgeted = SupMRRuntime(options).run(make_wordcount_job([text_file]))
+        assert budgeted.output == baseline.output
+        assert budgeted.spill_stats.runs == 0
+        assert budgeted.spill_stats.peak_accounted_bytes > 0
+
+
+class TestReporting:
+    def test_json_report_carries_spill_section(self, text_file):
+        result = PhoenixRuntime(
+            RuntimeOptions.baseline().with_(memory_budget="64KB")
+        ).run(make_wordcount_job([text_file]))
+        data = job_result_dict(result)
+        spill = data["spill"]
+        assert spill["runs"] == result.spill_stats.runs
+        assert spill["within_budget"] is True
+        assert spill["budget_bytes"] == 64 * 1024
+        assert data["timings"]["spill_s"] >= 0
+        assert data["timings"]["spill_s"] == pytest.approx(
+            result.timings.spill_s
+        )
+
+    def test_external_merge_bounded_fan_in(self, text_file):
+        result = PhoenixRuntime(
+            RuntimeOptions.baseline().with_(
+                memory_budget="64KB", spill_merge_fan_in=4
+            )
+        ).run(make_wordcount_job([text_file]))
+        stats = result.spill_stats
+        assert stats.merge_fan_in == 4
+        assert stats.runs > 4
+        assert stats.merge_passes > 1
+        assert stats.merge_rewritten_bytes > 0

@@ -1,0 +1,60 @@
+"""External p-way merge: bounded fan-in, multi-pass consolidation."""
+
+from __future__ import annotations
+
+from repro.spill.external_merge import ExternalPwayMerge, merge_spilled
+from repro.spill.manager import SpillManager
+
+
+def spill_many(mgr: SpillManager, n_runs: int, keys_per_run: int = 4):
+    for r in range(n_runs):
+        pairs = [
+            (f"k{r:02d}-{i:02d}".encode(), [r * 100 + i])
+            for i in range(keys_per_run)
+        ]
+        mgr.spill_pairs(pairs, raw=True)
+
+
+class TestExternalPwayMerge:
+    def test_single_pass_when_under_fan_in(self, tmp_path):
+        mgr = SpillManager(1024, spill_dir=tmp_path, merge_fan_in=8)
+        spill_many(mgr, 3)
+        merger = ExternalPwayMerge(mgr)
+        groups = list(merger.merge([mgr.open_run(i) for i in mgr.runs]))
+        assert merger.passes == 1
+        assert [k for k, _ in groups] == sorted(k for k, _ in groups)
+        assert len(groups) == 12
+
+    def test_consolidation_passes_when_over_fan_in(self, tmp_path):
+        mgr = SpillManager(1024, spill_dir=tmp_path, merge_fan_in=2)
+        spill_many(mgr, 5)
+        sources = [mgr.open_run(i) for i in mgr.runs]
+        merger = ExternalPwayMerge(mgr)
+        groups = list(merger.merge(sources))
+        assert merger.passes > 1
+        assert len(groups) == 20
+        assert [k for k, _ in groups] == sorted(k for k, _ in groups)
+        stats = mgr.stats()
+        assert stats.merge_rewritten_bytes > 0
+        assert stats.merge_passes == merger.passes
+
+    def test_duplicate_keys_concatenate_oldest_first(self, tmp_path):
+        mgr = SpillManager(1024, spill_dir=tmp_path, merge_fan_in=2)
+        mgr.spill_pairs([(b"k", [1])], raw=True)
+        mgr.spill_pairs([(b"k", [2])], raw=True)
+        mgr.spill_pairs([(b"k", [3])], raw=True)
+        merged = list(merge_spilled(mgr, iter([(b"k", (4,))])))
+        assert merged == [(b"k", (1, 2, 3, 4))]
+
+    def test_empty_sources(self, tmp_path):
+        mgr = SpillManager(1024, spill_dir=tmp_path)
+        merger = ExternalPwayMerge(mgr)
+        assert list(merger.merge([])) == []
+        assert merger.passes == 0
+
+    def test_merge_is_lazy(self, tmp_path):
+        mgr = SpillManager(1024, spill_dir=tmp_path, merge_fan_in=8)
+        spill_many(mgr, 2)
+        stream = merge_spilled(mgr, iter(()))
+        first = next(stream)
+        assert first[0] == b"k00-00"

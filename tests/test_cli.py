@@ -66,6 +66,28 @@ class TestJobs:
                      "--chunk-size", "50KB"]) == 0
         assert "supmr" in capsys.readouterr().out
 
+    def test_wordcount_memory_budget_reports_spill(self, text_file, capsys):
+        assert main(["wordcount", str(text_file), "--baseline",
+                     "--memory-budget", "64KB", "--top", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "spill:" in out
+        assert "run(s)" in out
+
+    def test_memory_budget_json_report(self, text_file, capsys):
+        import json
+
+        assert main(["wordcount", str(text_file), "--baseline",
+                     "--memory-budget", "64KB", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["spill"]["runs"] >= 1
+        assert data["spill"]["within_budget"] is True
+
+    def test_budget_below_chunk_is_an_error(self, text_file, capsys):
+        rc = main(["wordcount", str(text_file), "--chunk-size", "1MB",
+                   "--memory-budget", "64KB"])
+        assert rc == 2
+        assert "ingest chunk" in capsys.readouterr().err
+
     def test_config_error_returns_2(self, text_file, capsys):
         # inter-file chunking with several files is a user error
         rc = main(["wordcount", str(text_file), str(text_file),
