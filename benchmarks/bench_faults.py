@@ -1,0 +1,87 @@
+"""Fault-hook overhead: what a clean run pays for injectability.
+
+The injection sites sit on hot paths (chunk loads, record iteration,
+map-task launch, spill writes), so they must cost ~nothing when no
+plan is armed — the unarmed path is a ``None`` check — and stay cheap
+when a plan arms *other* sites.  Expected shape: unarmed within noise
+of the seed runtime; an armed-but-quiet plan within a few percent; a
+firing plan pays only for its recoveries.
+"""
+
+from __future__ import annotations
+
+from repro.apps.wordcount import make_wordcount_job, reference_wordcount
+from repro.core.options import RuntimeOptions
+from repro.core.supmr import run_ingest_mr
+from repro.faults.plan import (
+    SITE_INGEST_READ,
+    SITE_SIM_DISK_SLOW,
+    FaultPlan,
+    FaultSpec,
+)
+from repro.faults.policy import RecoveryPolicy
+
+#: Arms only a simulated-hardware site, so every runtime hook checks an
+#: armed injector yet no runtime site ever fires.
+QUIET_PLAN = FaultPlan(seed=0, specs=(
+    FaultSpec(site=SITE_SIM_DISK_SLOW, at_s=1.0),
+))
+
+FIRING_PLAN = FaultPlan(seed=0, specs=(
+    FaultSpec(site=SITE_INGEST_READ, once_per_scope=True),
+))
+
+FAST_RECOVERY = RecoveryPolicy(backoff_base_s=0.0)
+
+
+def _run(text_file, plan=None):
+    options = RuntimeOptions.supmr_interfile("64KB")
+    if plan is not None:
+        options = options.with_(fault_plan=plan, recovery=FAST_RECOVERY)
+    return run_ingest_mr(make_wordcount_job([text_file]), options)
+
+
+def test_wordcount_no_plan(benchmark, bench_text_file):
+    """Baseline: hooks present, no plan armed (the common case)."""
+    result = benchmark(_run, bench_text_file)
+    assert result.fault_log is None
+
+
+def test_wordcount_armed_quiet_plan(benchmark, bench_text_file):
+    """A plan is armed but no runtime site fires: per-site dict misses."""
+    result = benchmark(_run, bench_text_file, QUIET_PLAN)
+    assert result.fault_log is not None
+    assert result.fault_log.injected == 0
+
+
+def test_wordcount_firing_plan(benchmark, bench_text_file):
+    """One transient read error per chunk, all recovered."""
+    result = benchmark(_run, bench_text_file, FIRING_PLAN)
+    assert result.fault_log.injected == result.n_chunks
+    assert result.fault_log.recoveries == result.n_chunks
+
+
+def test_overhead_shape(bench_text_file, capsys):
+    """Armed-but-quiet must not change the output; report the deltas."""
+    import time
+
+    def timed(plan=None):
+        t0 = time.perf_counter()
+        result = _run(bench_text_file, plan)
+        return time.perf_counter() - t0, result
+
+    base_s, base = timed()
+    quiet_s, quiet = timed(QUIET_PLAN)
+    firing_s, firing = timed(FIRING_PLAN)
+    reference = reference_wordcount([bench_text_file])
+    assert dict(base.output) == reference
+    assert dict(quiet.output) == reference
+    assert dict(firing.output) == reference
+    with capsys.disabled():
+        print(
+            f"\nfault-hook overhead: no plan {base_s * 1e3:.1f} ms, "
+            f"armed-quiet {quiet_s * 1e3:.1f} ms "
+            f"({(quiet_s / base_s - 1) * 100:+.1f}%), "
+            f"firing {firing_s * 1e3:.1f} ms "
+            f"({(firing_s / base_s - 1) * 100:+.1f}%)"
+        )

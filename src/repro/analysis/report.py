@@ -12,12 +12,15 @@ import json
 from typing import Any
 
 from repro.core.result import JobResult, PhaseTimings
+from repro.faults.log import FaultLog
 from repro.simrt.phases import SimJobResult
 
 
 def _json_safe(value: Any) -> Any:
     if isinstance(value, bytes):
         return value.decode("utf-8", "backslashreplace")
+    if isinstance(value, FaultLog):
+        return fault_log_dict(value)
     if isinstance(value, (list, tuple)):
         return [_json_safe(v) for v in value]
     if isinstance(value, dict):
@@ -25,6 +28,24 @@ def _json_safe(value: Any) -> Any:
     if isinstance(value, BaseException):
         return repr(value)
     return value
+
+
+def fault_log_dict(log: FaultLog) -> dict[str, Any]:
+    """A :class:`~repro.faults.log.FaultLog` as summary plus event list."""
+    return {
+        "summary": _json_safe(log.summary()),
+        "events": [
+            {
+                "site": e.site,
+                "action": e.action,
+                "detail": _json_safe(e.detail),
+                "scope": e.scope,
+                "attempt": e.attempt,
+                "time_s": e.time_s,
+            }
+            for e in log.events
+        ],
+    }
 
 
 def timings_dict(timings: PhaseTimings) -> dict[str, Any]:
@@ -87,6 +108,8 @@ def job_result_dict(result: JobResult, include_output: bool = False) -> dict:
             "merge_rewritten_bytes": s.merge_rewritten_bytes,
             "spill_write_s": s.spill_write_s,
         }
+    if result.fault_log is not None:
+        data["faults"] = fault_log_dict(result.fault_log)
     if include_output:
         data["output"] = [
             [_json_safe(k), _json_safe(v)] for k, v in result.output

@@ -12,10 +12,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Iterator
+from typing import TYPE_CHECKING, Iterator
 
-from repro.errors import ChunkingError
+from repro.errors import ChunkingError, FaultInjected
 from repro.io.datafile import read_slice
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.faults.injector import FaultInjector
 
 
 @dataclass(frozen=True)
@@ -46,13 +49,43 @@ class Chunk:
     def paths(self) -> tuple[Path, ...]:
         return tuple(s.path for s in self.sources)
 
-    def load(self) -> bytes:
-        """Read the chunk into memory (the ingest-phase work)."""
-        if len(self.sources) == 1:
-            src = self.sources[0]
-            return read_slice(src.path, src.offset, src.length)
-        parts = [read_slice(s.path, s.offset, s.length) for s in self.sources]
-        return b"".join(parts)
+    def load(
+        self,
+        injector: "FaultInjector | None" = None,
+        attempt: int = 0,
+    ) -> bytes:
+        """Read the chunk into memory (the ingest-phase work).
+
+        With an armed ``injector`` this is the retry *unit* for the
+        ``ingest.read`` fault site: injected errors propagate and
+        injected short reads are detected against the planned chunk
+        length, so the runtime's bounded retry re-loads the whole chunk.
+        """
+        if injector is None:
+            if len(self.sources) == 1:
+                src = self.sources[0]
+                return read_slice(src.path, src.offset, src.length)
+            parts = [
+                read_slice(s.path, s.offset, s.length) for s in self.sources
+            ]
+            return b"".join(parts)
+        parts = [
+            read_slice(
+                src.path, src.offset, src.length,
+                injector=injector, scope=(self.index, i), attempt=attempt,
+            )
+            for i, src in enumerate(self.sources)
+        ]
+        data = parts[0] if len(parts) == 1 else b"".join(parts)
+        if len(data) != self.length:
+            from repro.faults.plan import SITE_INGEST_READ
+
+            raise FaultInjected(
+                f"chunk {self.index}: short read "
+                f"({len(data)} of {self.length} bytes)",
+                site=SITE_INGEST_READ,
+            )
+        return data
 
 
 @dataclass(frozen=True)

@@ -54,6 +54,10 @@ def _print_result(result: JobResult) -> None:
               f"{fmt_bytes(s.budget_bytes)} budget; combine x"
               f"{s.combine_reduction:.2f}; merge fan-in {s.merge_fan_in} "
               f"({s.merge_passes} pass(es))")
+    if result.fault_log is not None:
+        f = result.fault_log
+        print(f"  faults: {f.injected} injected, {f.retries} retried, "
+              f"{f.recoveries} recovered, {f.quarantined} quarantined")
 
 
 def _options_from(args: argparse.Namespace) -> RuntimeOptions:
@@ -72,6 +76,17 @@ def _options_from(args: argparse.Namespace) -> RuntimeOptions:
         options = RuntimeOptions.baseline(args.mappers, args.reducers)
     if budget is not None:
         options = options.with_(memory_budget=budget)
+    if getattr(args, "faults", None):
+        from repro.faults import RecoveryPolicy, parse_faults
+
+        plan = parse_faults(args.faults, seed=getattr(args, "fault_seed", 0))
+        retry = getattr(args, "retry", None)
+        skip_budget = getattr(args, "skip_budget", None)
+        recovery = RecoveryPolicy(
+            max_retries=retry if retry is not None else 3,
+            skip_budget=skip_budget if skip_budget is not None else 1000,
+        )
+        options = options.with_(fault_plan=plan, recovery=recovery)
     return options
 
 
@@ -223,6 +238,17 @@ def build_parser() -> argparse.ArgumentParser:
                        help="render the pipeline timeline after the run")
         p.add_argument("--json", action="store_true",
                        help="emit the result as JSON instead of text")
+        p.add_argument("--faults",
+                       help="fault plan, e.g. "
+                            "'ingest.read=once,record.corrupt=0.001'")
+        p.add_argument("--fault-seed", type=int, default=0,
+                       help="seed for the deterministic fault plan")
+        p.add_argument("--retry", type=int, default=None, metavar="N",
+                       help="retry budget per fault site (default 3; "
+                            "0 fails fast)")
+        p.add_argument("--skip-budget", type=int, default=None, metavar="N",
+                       help="max corrupt records to quarantine before "
+                            "aborting (default 1000)")
 
     p_wc = sub.add_parser("wordcount", help="run word count on real files")
     p_wc.add_argument("files", nargs="+")

@@ -15,7 +15,10 @@ from repro.chunking.boundary import adjust_split_point
 from repro.containers.base import Container
 from repro.core.job import JobSpec, MapContext
 from repro.core.options import MergeAlgorithm, RuntimeOptions
-from repro.errors import RuntimeStateError
+from repro.errors import FaultInjected, RuntimeStateError
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import SITE_MAP_TASK, SITE_RECORD_CORRUPT
+from repro.io.records import corrupt_record
 from repro.sortlib.merge_sort import pairwise_merge_sort
 from repro.sortlib.pway import pway_merge
 from repro.spill.container import SpillableContainer
@@ -25,7 +28,9 @@ Pair = tuple[Hashable, Any]
 
 
 def build_container(
-    job: JobSpec, options: RuntimeOptions
+    job: JobSpec,
+    options: RuntimeOptions,
+    injector: FaultInjector | None = None,
 ) -> tuple[Container, SpillManager | None]:
     """The job's intermediate container, budget-wrapped when configured.
 
@@ -33,7 +38,8 @@ def build_container(
     with one, the container is wrapped in a
     :class:`~repro.spill.container.SpillableContainer` whose manager the
     runtime must ``cleanup()`` after the merge (run files live on disk
-    until then).
+    until then).  An armed ``injector`` gives the spill manager its
+    ``spill.corrupt`` site and the verify-then-re-spill recovery path.
     """
     if options.memory_budget is None:
         return job.container_factory(), None
@@ -41,8 +47,45 @@ def build_container(
         budget_bytes=options.memory_budget,
         combiner=job.spill_combiner,
         merge_fan_in=options.spill_merge_fan_in,
+        injector=injector,
     )
     return SpillableContainer(job.container_factory, manager), manager
+
+
+def screen_records(
+    data: bytes,
+    job: JobSpec,
+    injector: FaultInjector,
+    chunk_index: int,
+) -> bytes:
+    """Inject record corruption, then quarantine what validation catches.
+
+    The ``record.corrupt`` site damages individual records in ``data``
+    (deterministically, per ``(chunk, record)`` scope); each damaged
+    record is checked with ``codec.validate`` and quarantined against the
+    policy's skip budget — mappers only ever see the surviving clean
+    records.  Where the codec has no checkable structure (free text) the
+    injector's ground truth stands in for a record-level checksum, as the
+    codec docstrings note.  Raises
+    :class:`~repro.errors.QuarantineOverflow` past the budget.
+    """
+    codec = job.codec
+    kept: list[bytes] = []
+    for i, record in enumerate(codec.iter_records(data)):
+        decision = injector.check(SITE_RECORD_CORRUPT, scope=(chunk_index, i))
+        if decision is None:
+            kept.append(record)
+            continue
+        damaged = corrupt_record(record, salt=injector.plan.seed + i)
+        # validate() spots structural damage where the codec can; either
+        # way the record is known-bad here, so it is skipped and charged
+        # against the skip budget rather than poisoning the map output.
+        codec.validate(damaged)
+        injector.quarantine(SITE_RECORD_CORRUPT, damaged, scope=(chunk_index, i))
+    out = codec.delimiter.join(kept)
+    if kept and data.endswith(codec.delimiter):
+        out += codec.delimiter
+    return out
 
 
 def split_for_mappers(data: bytes, n_splits: int, delimiter: bytes) -> list[bytes]:
@@ -77,26 +120,55 @@ def run_mapper_wave(
     pool: ThreadPoolExecutor,
     chunk_index: int = 0,
     task_id_base: int = 0,
+    injector: FaultInjector | None = None,
 ) -> int:
     """One wave of map tasks over ``data``; returns tasks launched.
 
     Equivalent to the paper's ``run_mappers()``: initializes (or, on
     SupMR rounds > 1, *re-enters*) the persistent container and launches
-    mapper threads over record-aligned splits.
+    mapper threads over record-aligned splits.  With an armed
+    ``injector``, records are screened for injected corruption first and
+    each map task runs under the bounded retry loop with ``map.task``
+    failures injected *before* the user map function executes (so a
+    retried task never double-emits).
     """
     container.begin_round()
+    if injector is not None and injector.armed(SITE_RECORD_CORRUPT):
+        data = screen_records(data, job, injector, chunk_index)
     splits = split_for_mappers(data, options.num_mappers, job.codec.delimiter)
     if not splits:
         return 0
 
     def map_task(task_id: int, split: bytes) -> None:
-        ctx = MapContext(
-            data=split,
-            emitter=container.emitter(task_id),
-            task_id=task_id,
-            chunk_index=chunk_index,
-        )
-        job.map_fn(ctx)
+        def attempt_fn(attempt: int) -> None:
+            if injector is not None:
+                decision = injector.check(
+                    SITE_MAP_TASK, scope=(chunk_index, task_id), attempt=attempt
+                )
+                if decision is not None:
+                    raise FaultInjected(
+                        f"injected map-task failure "
+                        f"(chunk {chunk_index}, task {task_id})",
+                        site=SITE_MAP_TASK,
+                    )
+            ctx = MapContext(
+                data=split,
+                emitter=container.emitter(task_id),
+                task_id=task_id,
+                chunk_index=chunk_index,
+            )
+            job.map_fn(ctx)
+
+        if injector is None:
+            attempt_fn(0)
+        else:
+            # Only injected faults are retried here: a genuine exception
+            # from the user's map function already emitted pairs, so a
+            # blind re-run would double-count them.
+            injector.retrying(
+                SITE_MAP_TASK, attempt_fn,
+                scope=(chunk_index, task_id), retryable=(FaultInjected,),
+            )
 
     futures = [
         pool.submit(map_task, task_id_base + i, split)

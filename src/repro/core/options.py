@@ -9,10 +9,12 @@ with the thread counts and merge algorithm selection.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
 from typing import Any, Sequence
 
 from repro.errors import ConfigError
+from repro.faults.plan import FaultPlan
+from repro.faults.policy import RecoveryPolicy
 from repro.util.units import parse_size
 
 
@@ -70,6 +72,14 @@ class RuntimeOptions:
     memory_budget: int | str | None = None
     #: Streams per external-merge pass over spill runs (>= 2).
     spill_merge_fan_in: int = 8
+    #: Seeded fault-injection plan (:mod:`repro.faults`); None runs
+    #: clean with zero checking overhead.  The runtime arms a fresh
+    #: injector per run, so the same options object replays the same
+    #: fault sequence every time.
+    fault_plan: FaultPlan | None = None
+    #: How injected (and genuine transient) faults are answered: bounded
+    #: retry with backoff, record quarantine, verify-then-re-spill.
+    recovery: RecoveryPolicy = field(default_factory=RecoveryPolicy)
 
     def __post_init__(self) -> None:
         if self.num_mappers < 1 or self.num_reducers < 1:

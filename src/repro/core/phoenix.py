@@ -10,6 +10,7 @@ re-scans keys every round (the step-down tail of Fig. 1).
 
 from __future__ import annotations
 
+import time
 from concurrent.futures import ThreadPoolExecutor
 
 from repro.chunking.planner import plan_whole_input
@@ -24,6 +25,7 @@ from repro.core.options import ChunkStrategy, MergeAlgorithm, RuntimeOptions
 from repro.core.result import JobResult, PhaseTimings
 from repro.core.timers import PhaseTimer
 from repro.errors import ConfigError
+from repro.faults.plan import SITE_INGEST_READ
 from repro.util.logging import get_logger
 
 logger = get_logger(__name__)
@@ -46,18 +48,33 @@ class PhoenixRuntime:
         """Execute ``job`` and report Table II-style phase timings."""
         options = self.options
         timer = PhaseTimer()
-        container, spill_mgr = build_container(job, options)
+        injector = None
+        if options.fault_plan is not None:
+            injector = options.fault_plan.arm(
+                options.recovery, clock=time.perf_counter
+            )
+        container, spill_mgr = build_container(job, options, injector)
         plan = plan_whole_input(job.inputs)
         whole = plan.chunks[0]
 
         try:
             with timer.phase("total"):
                 with timer.phase("read"):
-                    data = whole.load()
+                    if injector is None:
+                        data = whole.load()
+                    else:
+                        data = injector.retrying(
+                            SITE_INGEST_READ,
+                            lambda attempt: whole.load(injector, attempt),
+                            scope=(whole.index,),
+                        )
 
                 with ThreadPoolExecutor(max_workers=options.num_mappers) as pool:
                     with timer.phase("map"):
-                        run_mapper_wave(job, container, data, options, pool)
+                        run_mapper_wave(
+                            job, container, data, options, pool,
+                            injector=injector,
+                        )
                     with timer.phase("reduce"):
                         runs = run_reducers(job, container, options, pool)
 
@@ -90,6 +107,11 @@ class PhoenixRuntime:
         if spill_stats is not None:
             counters["spill_runs"] = spill_stats.runs
             counters["spilled_bytes"] = spill_stats.spilled_bytes
+        fault_log = injector.log if injector is not None else None
+        if fault_log is not None:
+            counters["faults_injected"] = fault_log.injected
+            counters["fault_retries"] = fault_log.retries
+            counters["records_quarantined"] = fault_log.quarantined
         return JobResult(
             job_name=job.name,
             runtime=self.name,
@@ -100,6 +122,7 @@ class PhoenixRuntime:
             n_chunks=1,
             counters=counters,
             spill_stats=spill_stats,
+            fault_log=fault_log,
         )
 
 

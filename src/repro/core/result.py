@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 from typing import Any, Hashable
 
 from repro.containers.base import ContainerStats
+from repro.faults.log import FaultLog
 from repro.spill.stats import SpillStats
 
 
@@ -83,6 +84,8 @@ class JobResult:
     counters: dict[str, Any] = field(default_factory=dict)
     #: Out-of-core counters; None when no memory budget was set.
     spill_stats: SpillStats | None = None
+    #: Injection/recovery audit trail; None when no fault plan was armed.
+    fault_log: FaultLog | None = None
 
     @property
     def n_output_pairs(self) -> int:

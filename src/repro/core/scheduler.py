@@ -22,7 +22,8 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
-from repro.errors import ConfigError, RuntimeStateError
+from repro.errors import ConfigError, RetryExhausted, RuntimeStateError
+from repro.faults.policy import DEFAULT_RETRYABLE, RecoveryPolicy
 
 
 @dataclass(frozen=True)
@@ -34,6 +35,10 @@ class TaskRecord:
     queued_s: float  # time spent waiting in the queue
     run_s: float  # execution wall time
     error: BaseException | None = None
+    #: Which attempt this execution was (0 = first try).
+    attempt: int = 0
+    #: True when this failed attempt was requeued for another try.
+    retried: bool = False
 
 
 @dataclass
@@ -43,6 +48,11 @@ class SchedulerStats:
     @property
     def tasks(self) -> int:
         return len(self.records)
+
+    @property
+    def retries(self) -> int:
+        """Failed attempts that were requeued under the retry policy."""
+        return sum(1 for r in self.records if r.retried)
 
     @property
     def total_run_s(self) -> float:
@@ -69,15 +79,30 @@ class TaskScheduler:
     submitted so far has run and re-raises the first task error.  The
     scheduler is reusable across waves (submit/drain cycles) and must be
     ``shutdown()`` (or used as a context manager) when done.
+
+    With a ``retry_policy``, a task that fails with a ``retryable``
+    exception is requeued (after backoff) up to ``max_retries`` times
+    before the failure counts — Hadoop-style task re-execution brought to
+    the shared-queue discipline.  Exhausted tasks surface as
+    :class:`~repro.errors.RetryExhausted` from ``drain``, chained from
+    the last underlying failure.
     """
 
     _SENTINEL = object()
 
-    def __init__(self, workers: int, name: str = "phoenix-pool") -> None:
+    def __init__(
+        self,
+        workers: int,
+        name: str = "phoenix-pool",
+        retry_policy: RecoveryPolicy | None = None,
+        retryable: tuple[type[BaseException], ...] = DEFAULT_RETRYABLE,
+    ) -> None:
         if workers < 1:
             raise ConfigError("need at least one worker")
         self.workers = workers
         self.name = name
+        self.retry_policy = retry_policy
+        self.retryable = retryable
         self._queue: "queue.Queue[Any]" = queue.Queue()
         self._stats = SchedulerStats()
         self._stats_lock = threading.Lock()
@@ -107,7 +132,7 @@ class TaskScheduler:
             self._next_task_id += 1
             self._pending += 1
             self._idle.clear()
-        self._queue.put((task_id, time.perf_counter(), fn, args))
+        self._queue.put((task_id, time.perf_counter(), fn, args, 0))
         return task_id
 
     def drain(self, timeout: float | None = None) -> None:
@@ -155,7 +180,7 @@ class TaskScheduler:
             item = self._queue.get()
             if item is TaskScheduler._SENTINEL:
                 return
-            task_id, enqueued, fn, args = item
+            task_id, enqueued, fn, args, attempt = item
             started = time.perf_counter()
             error: BaseException | None = None
             try:
@@ -163,13 +188,47 @@ class TaskScheduler:
             except BaseException as exc:  # noqa: BLE001 - reported via drain
                 error = exc
             finished = time.perf_counter()
+            retrying = (
+                error is not None
+                and self.retry_policy is not None
+                and isinstance(error, self.retryable)
+                and attempt < self.retry_policy.max_retries
+            )
             record = TaskRecord(
                 task_id=task_id,
                 worker=worker_id,
                 queued_s=started - enqueued,
                 run_s=finished - started,
                 error=error,
+                attempt=attempt,
+                retried=retrying,
             )
+            if retrying:
+                # The requeued attempt inherits the task's pending slot,
+                # so drain() keeps waiting for the retry to resolve.
+                with self._stats_lock:
+                    self._stats.records.append(record)
+                delay = self.retry_policy.backoff_s(attempt)
+                if delay > 0:
+                    time.sleep(delay)
+                self._queue.put(
+                    (task_id, time.perf_counter(), fn, args, attempt + 1)
+                )
+                continue
+            if (
+                error is not None
+                and self.retry_policy is not None
+                and isinstance(error, self.retryable)
+            ):
+                exhausted = RetryExhausted(
+                    f"task {task_id}: {attempt + 1} attempt(s) failed "
+                    f"(retry budget {self.retry_policy.max_retries}); "
+                    f"last error: {error}",
+                    site="scheduler.task",
+                    attempts=attempt + 1,
+                )
+                exhausted.__cause__ = error
+                error = exhausted
             with self._stats_lock:
                 self._stats.records.append(record)
                 if error is not None and self._first_error is None:

@@ -10,6 +10,7 @@ single-pass parallel p-way merge instead of iterative 2-way rounds.
 
 from __future__ import annotations
 
+import time
 from concurrent.futures import ThreadPoolExecutor
 
 from repro.chunking.chunk import Chunk, ChunkPlan
@@ -25,6 +26,7 @@ from repro.core.options import ChunkStrategy, RuntimeOptions
 from repro.core.result import JobResult, PhaseTimings, RoundTiming
 from repro.core.timers import PhaseTimer
 from repro.errors import ConfigError
+from repro.faults.plan import SITE_INGEST_READ
 from repro.pipeline.double_buffer import DoubleBufferedPipeline
 from repro.util.logging import get_logger
 
@@ -49,9 +51,25 @@ class SupMRRuntime:
         """Execute ``job``; read+map are pipelined and reported combined."""
         options = self.options
         timer = PhaseTimer()
-        container, spill_mgr = build_container(job, options)
+        injector = None
+        if options.fault_plan is not None:
+            injector = options.fault_plan.arm(
+                options.recovery, clock=time.perf_counter
+            )
+        container, spill_mgr = build_container(job, options, injector)
         plan: ChunkPlan = plan_chunks(job.inputs, job.codec, options)
         task_counter = [0]
+
+        def load(chunk: Chunk) -> bytes:
+            if injector is None:
+                return chunk.load()
+            # The whole chunk is the retry unit: an injected read error or
+            # detected short read discards the partial buffer and re-loads.
+            return injector.retrying(
+                SITE_INGEST_READ,
+                lambda attempt: chunk.load(injector, attempt),
+                scope=(chunk.index,),
+            )
 
         try:
             with ThreadPoolExecutor(max_workers=options.num_mappers) as pool:
@@ -67,11 +85,12 @@ class SupMRRuntime:
                         pool,
                         chunk_index=chunk.index,
                         task_id_base=task_counter[0],
+                        injector=injector,
                     )
                     task_counter[0] += launched
 
                 pipeline = DoubleBufferedPipeline(
-                    load=lambda chunk: chunk.load(),
+                    load=load,
                     work=work,
                     pipelined=options.pipelined_ingest,
                 )
@@ -124,6 +143,11 @@ class SupMRRuntime:
         if spill_stats is not None:
             counters["spill_runs"] = spill_stats.runs
             counters["spilled_bytes"] = spill_stats.spilled_bytes
+        fault_log = injector.log if injector is not None else None
+        if fault_log is not None:
+            counters["faults_injected"] = fault_log.injected
+            counters["fault_retries"] = fault_log.retries
+            counters["records_quarantined"] = fault_log.quarantined
         return JobResult(
             job_name=job.name,
             runtime=self.name,
@@ -134,6 +158,7 @@ class SupMRRuntime:
             n_chunks=plan.n_chunks,
             counters=counters,
             spill_stats=spill_stats,
+            fault_log=fault_log,
         )
 
 

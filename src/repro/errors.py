@@ -43,3 +43,42 @@ class ExperimentError(ReproError):
 class SpillError(ReproError):
     """The out-of-core spill subsystem hit an invalid state or a bad run
     file (truncated, corrupted, or misframed)."""
+
+
+class FaultError(ReproError):
+    """Base class for the fault-injection and recovery subsystem
+    (:mod:`repro.faults`)."""
+
+
+class FaultInjected(FaultError):
+    """A fault armed by a :class:`~repro.faults.plan.FaultPlan` fired.
+
+    Carries the site name so recovery wrappers and tests can tell an
+    injected fault from an organic one.
+    """
+
+    def __init__(self, message: str, site: str = "") -> None:
+        super().__init__(message)
+        self.site = site
+
+
+class RetryExhausted(FaultError):
+    """A recovery retry loop used up its budget without succeeding.
+
+    Always raised ``from`` the last underlying failure, so the original
+    cause stays on the exception chain (``__cause__``).
+    """
+
+    def __init__(self, message: str, site: str = "", attempts: int = 0) -> None:
+        super().__init__(message)
+        self.site = site
+        self.attempts = attempts
+
+
+class QuarantineOverflow(FaultError):
+    """More records were quarantined than the skip budget allows."""
+
+    def __init__(self, message: str, site: str = "", quarantined: int = 0) -> None:
+        super().__init__(message)
+        self.site = site
+        self.quarantined = quarantined

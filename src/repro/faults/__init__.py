@@ -1,0 +1,65 @@
+"""Deterministic fault injection and recovery (``repro.faults``).
+
+The paper's pipeline assumes hardware that never misbehaves; this
+package removes that assumption behind two knobs on
+:class:`~repro.core.options.RuntimeOptions`:
+
+* a :class:`FaultPlan` — seeded, per-site specs of what breaks where
+  (ingest read errors, corrupt records, map-task faults, spill-run
+  corruption, and timed simulated-hardware faults);
+* a :class:`RecoveryPolicy` — how the runtime answers: bounded retry
+  with backoff, bad-record quarantine with a skip budget,
+  checksum-verify-then-re-spill, speculative re-execution of simulated
+  stragglers, and degraded-mode HDFS reads.
+
+Every action lands in a :class:`FaultLog` surfaced on the job result, so
+experiments can report time-under-faults with the evidence attached.
+"""
+
+from repro.faults.injector import FaultInjector
+from repro.faults.log import FaultEvent, FaultLog
+from repro.faults.plan import (
+    KNOWN_SITES,
+    RUNTIME_SITES,
+    SIM_SITES,
+    SITE_INGEST_READ,
+    SITE_MAP_TASK,
+    SITE_RECORD_CORRUPT,
+    SITE_SIM_DATANODE_LOSS,
+    SITE_SIM_DISK_FAIL,
+    SITE_SIM_DISK_SLOW,
+    SITE_SIM_NET_FLAP,
+    SITE_SIM_STRAGGLER,
+    SITE_SPILL_CORRUPT,
+    FaultDecision,
+    FaultPlan,
+    FaultSpec,
+    parse_faults,
+)
+from repro.faults.policy import DEFAULT_RETRYABLE, RecoveryPolicy
+from repro.faults.simdriver import SimFaultDriver
+
+__all__ = [
+    "FaultInjector",
+    "FaultEvent",
+    "FaultLog",
+    "FaultDecision",
+    "FaultPlan",
+    "FaultSpec",
+    "RecoveryPolicy",
+    "SimFaultDriver",
+    "parse_faults",
+    "DEFAULT_RETRYABLE",
+    "KNOWN_SITES",
+    "RUNTIME_SITES",
+    "SIM_SITES",
+    "SITE_INGEST_READ",
+    "SITE_RECORD_CORRUPT",
+    "SITE_MAP_TASK",
+    "SITE_SPILL_CORRUPT",
+    "SITE_SIM_DISK_SLOW",
+    "SITE_SIM_DISK_FAIL",
+    "SITE_SIM_DATANODE_LOSS",
+    "SITE_SIM_NET_FLAP",
+    "SITE_SIM_STRAGGLER",
+]

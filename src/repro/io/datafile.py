@@ -1,24 +1,64 @@
-"""Filesystem helpers for ingest: sized reads and input inventories."""
+"""Filesystem helpers for ingest: sized reads and input inventories.
+
+``read_slice`` is the fault-injection site ``ingest.read``: when an
+armed :class:`~repro.faults.injector.FaultInjector` is passed in, a
+firing decision either raises a transient
+:class:`~repro.errors.FaultInjected` before the read (kind ``error``) or
+truncates the returned bytes (kind ``short``) — both of which the
+chunk-level retry in the runtimes recovers from.  With no injector the
+function is byte-for-byte the original fast path.
+"""
 
 from __future__ import annotations
 
 import os
 from pathlib import Path
-from typing import Iterable, Sequence
+from typing import TYPE_CHECKING, Hashable, Iterable, Sequence
 
-from repro.errors import WorkloadError
+from repro.errors import FaultInjected, WorkloadError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.faults.injector import FaultInjector
 
 
-def read_slice(path: str | Path, offset: int, length: int) -> bytes:
+def read_slice(
+    path: str | Path,
+    offset: int,
+    length: int,
+    *,
+    injector: "FaultInjector | None" = None,
+    scope: Hashable = (),
+    attempt: int = 0,
+) -> bytes:
     """Read ``length`` bytes of ``path`` starting at ``offset``.
 
     Short reads past EOF return what exists; a negative slice raises.
+    ``injector``/``scope``/``attempt`` arm the ``ingest.read`` fault site
+    (see module docstring); production reads pass none of them.
     """
     if offset < 0 or length < 0:
         raise WorkloadError(f"invalid slice [{offset}, +{length}) of {path}")
+    decision = None
+    if injector is not None:
+        from repro.faults.plan import KIND_SHORT, SITE_INGEST_READ
+
+        decision = injector.check(
+            SITE_INGEST_READ, scope=(str(path),) + tuple(scope), attempt=attempt
+        )
+        if decision is not None and decision.kind != KIND_SHORT:
+            raise FaultInjected(
+                f"injected transient read error on {path} "
+                f"[{offset}, +{length})",
+                site=SITE_INGEST_READ,
+            )
     with open(path, "rb") as fh:
         fh.seek(offset)
-        return fh.read(length)
+        data = fh.read(length)
+    if decision is not None:
+        # kind "short": deliver only half of what the caller asked for,
+        # as a flaky device would; chunk loading detects the shortfall.
+        return data[: len(data) // 2]
+    return data
 
 
 def file_sizes(paths: Iterable[str | Path]) -> list[tuple[Path, int]]:

@@ -20,11 +20,36 @@ from typing import Iterator
 from repro.errors import WorkloadError
 
 
+def corrupt_record(record: bytes, salt: int = 0) -> bytes:
+    """A deterministically damaged copy of ``record`` (fault injection).
+
+    Models bit rot the way the ``record.corrupt`` fault site needs it:
+    a delimiter-free garbage prefix replaces the head of the record, so
+    the result still parses as *one* record but fails structural
+    validation wherever the codec can check structure.  Pure function of
+    ``(record, salt)`` — same plan seed, same corruption.
+    """
+    garbage = bytes((salt + 0x9E + i * 31) % 251 + 1 for i in range(8))
+    garbage = garbage.replace(b"\n", b"\x01").replace(b"\r", b"\x02")
+    return garbage + record[len(garbage):]
+
+
 @dataclass(frozen=True)
 class RecordCodec:
     """Base codec: newline-delimited records, whole line is the payload."""
 
     delimiter: bytes = b"\n"
+
+    def validate(self, record: bytes) -> bool:
+        """Best-effort structural check of one raw record.
+
+        The base codec has no structure to check (any byte run is a
+        legal line), so detection of corrupt records falls back to the
+        injector's ground truth — mirroring real pipelines, where
+        *record-level checksums*, not parsers, catch rot in free text.
+        Structured codecs override this with real checks.
+        """
+        return self.delimiter not in record
 
     def iter_records(self, data: bytes) -> Iterator[bytes]:
         """Yield raw records (without the delimiter)."""
@@ -67,6 +92,15 @@ class TeraRecordCodec(RecordCodec):
     delimiter: bytes = b"\r\n"
     key_len: int = 10
     record_len: int = 100
+
+    def validate(self, record: bytes) -> bool:
+        """Terasort records have checkable structure: printable-ASCII
+        key, separator space, full payload length."""
+        if len(record) < self.key_len + 1:
+            return False
+        if record[self.key_len:self.key_len + 1] != b" ":
+            return False
+        return all(0x20 <= b < 0x7F for b in record[: self.key_len])
 
     def split_record(self, record: bytes) -> tuple[bytes, bytes]:
         """(key, payload) for one raw record."""

@@ -86,9 +86,14 @@ class DoubleBufferedPipeline:
                 )
                 thread.start()
                 map_t0 = time.perf_counter()
-                self._work(chunks[i - 1], current_data)
-                map_s = time.perf_counter() - map_t0
-                thread.join()
+                try:
+                    self._work(chunks[i - 1], current_data)
+                    map_s = time.perf_counter() - map_t0
+                finally:
+                    # Join even when the map wave fails: an abandoned
+                    # ingest thread would leak and keep the file handle
+                    # (and a chunk of memory) alive past the error.
+                    thread.join()
                 if "error" in box:
                     raise box["error"]
                 current_data = box["data"]

@@ -48,6 +48,18 @@ class Disk:
         """Transfer ``nbytes`` onto the spindle."""
         return self._write_chan.transfer(nbytes, tag="write")
 
+    def degrade(self, factor: float) -> None:
+        """Scale both channels to ``factor`` of nominal (fault injection)."""
+        if factor <= 0:
+            raise SimulationError(f"{self.name}: degrade factor must be > 0")
+        self._read_chan.set_rate(self.read_bw * factor)
+        self._write_chan.set_rate(self.write_bw * factor)
+
+    def restore(self) -> None:
+        """Return both channels to nominal bandwidth."""
+        self._read_chan.set_rate(self.read_bw)
+        self._write_chan.set_rate(self.write_bw)
+
     @property
     def read_utilization(self) -> float:
         return self._read_chan.utilization
@@ -79,6 +91,7 @@ class Raid0:
         self.name = name
         self.read_bw = sum(d.read_bw for d in disks)
         self.write_bw = sum(d.write_bw for d in disks)
+        self._alive = len(disks)
         # Striping interleaves every stream across all members, so the
         # array behaves as one channel with the summed rate.
         self._read_chan = BandwidthResource(self.sim, self.read_bw, name=f"{name}.rd")
@@ -91,6 +104,42 @@ class Raid0:
     def write(self, nbytes: float) -> SimEvent:
         """Write ``nbytes`` across the stripe set."""
         return self._write_chan.transfer(nbytes, tag="write")
+
+    @property
+    def alive_members(self) -> int:
+        """Member disks still contributing bandwidth."""
+        return self._alive
+
+    def degrade(self, factor: float) -> None:
+        """Scale the array's channels to ``factor`` of current capacity."""
+        if factor <= 0:
+            raise SimulationError(f"{self.name}: degrade factor must be > 0")
+        self._read_chan.set_rate(self.read_bw * factor)
+        self._write_chan.set_rate(self.write_bw * factor)
+
+    def restore(self) -> None:
+        """Return the array to its full (alive-member) bandwidth."""
+        self._read_chan.set_rate(self.read_bw)
+        self._write_chan.set_rate(self.write_bw)
+
+    def fail_member(self) -> int:
+        """Lose one spindle; returns how many survive.
+
+        RAID-0 has no parity, so a real member loss kills the volume —
+        the model is softer on purpose: it represents the recovery mode
+        of re-reading from a mirror/backup at the surviving spindles'
+        aggregate rate, which is what degraded-mode experiments measure.
+        """
+        if self._alive <= 1:
+            raise SimulationError(f"{self.name}: cannot fail the last member")
+        per_disk_read = self.read_bw / len(self.disks)
+        per_disk_write = self.write_bw / len(self.disks)
+        self._alive -= 1
+        self.read_bw = per_disk_read * self._alive
+        self.write_bw = per_disk_write * self._alive
+        self._read_chan.set_rate(self.read_bw)
+        self._write_chan.set_rate(self.write_bw)
+        return self._alive
 
     @property
     def read_utilization(self) -> float:

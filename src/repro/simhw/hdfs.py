@@ -57,6 +57,7 @@ class HdfsCluster:
             Disk(sim, self.spec.node_disk_bw, name=f"dn{i}")
             for i in range(self.spec.nodes)
         ]
+        self._alive = [True] * self.spec.nodes
         self.link = Link(sim, self.spec.link_gbits * GBIT, name="client-link")
         self._rr = 0  # round-robin block placement cursor
 
@@ -66,7 +67,54 @@ class HdfsCluster:
 
     @property
     def aggregate_disk_bw(self) -> float:
-        return sum(d.read_bw for d in self.datanodes)
+        return sum(
+            d.read_bw for d, alive in zip(self.datanodes, self._alive) if alive
+        )
+
+    # -- degraded mode ----------------------------------------------------
+
+    @property
+    def surviving(self) -> int:
+        """Datanodes still serving blocks."""
+        return sum(self._alive)
+
+    def is_alive(self, index: int) -> bool:
+        """Whether datanode ``index`` still serves blocks."""
+        return self._alive[index]
+
+    def fail_datanode(self, index: int | None = None) -> int:
+        """Kill one datanode; returns its index.
+
+        ``index=None`` kills the next alive node in ring order (matching
+        the placement cursor, so losses spread like real rack failures).
+        Refuses to kill the last survivor — an HDFS cluster with zero
+        datanodes is an outage, not degraded mode — raising
+        :class:`~repro.errors.SimulationError` instead.
+        """
+        if self.surviving <= 1:
+            raise SimulationError(
+                "cannot fail the last surviving datanode; "
+                "degraded mode needs at least one"
+            )
+        if index is None:
+            probe = self._rr
+            while not self._alive[probe % len(self.datanodes)]:
+                probe += 1
+            index = probe % len(self.datanodes)
+        if not 0 <= index < len(self.datanodes):
+            raise SimulationError(f"no datanode dn{index}")
+        if not self._alive[index]:
+            raise SimulationError(f"datanode dn{index} is already dead")
+        self._alive[index] = False
+        return index
+
+    def _next_alive(self) -> Disk:
+        """Round-robin placement over the surviving datanodes only."""
+        while True:
+            candidate = self._rr % len(self.datanodes)
+            self._rr += 1
+            if self._alive[candidate]:
+                return self.datanodes[candidate]
 
 
 class HdfsReader:
@@ -108,8 +156,10 @@ class HdfsReader:
     def _read_block(self, nbytes: float):
         sim = self.cluster.sim
         spec = self.cluster.spec
-        node = self.cluster.datanodes[self.cluster._rr % len(self.cluster.datanodes)]
-        self.cluster._rr += 1
+        # Replica selection skips dead datanodes: with 3-way replication
+        # a block lost with its primary is still served by a survivor,
+        # so reads rebalance over the remaining nodes.
+        node = self.cluster._next_alive()
         yield sim.timeout(spec.per_block_overhead_s)
         # Cut-through streaming: the datanode's disk read and the link
         # transfer pipeline; the slower stage governs.

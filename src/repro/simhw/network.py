@@ -45,6 +45,18 @@ class Link:
     def effective_rate(self) -> float:
         return self.line_rate * self.goodput
 
+    def degrade(self, factor: float) -> None:
+        """Scale both directions to ``factor`` of nominal (a flap)."""
+        if factor <= 0:
+            raise SimulationError(f"{self.name}: degrade factor must be > 0")
+        self._rx.set_rate(self.effective_rate * factor)
+        self._tx.set_rate(self.effective_rate * factor)
+
+    def restore(self) -> None:
+        """Return both directions to nominal rate."""
+        self._rx.set_rate(self.effective_rate)
+        self._tx.set_rate(self.effective_rate)
+
     def receive(self, nbytes: float) -> SimEvent:
         """Pull ``nbytes`` across the link toward this host."""
         return self._rx.transfer(nbytes, tag="rx")

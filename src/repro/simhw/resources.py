@@ -111,6 +111,20 @@ class BandwidthResource:
         self._reallocate()
         return event
 
+    def set_rate(self, total_rate: float) -> None:
+        """Change the aggregate capacity mid-simulation (fault injection).
+
+        In-flight transfers are integrated up to *now* at the old rate,
+        then re-share the new capacity max-min fairly — the fluid-flow
+        equivalent of a device slowing down or recovering under load.
+        """
+        if total_rate <= 0:
+            raise SimulationError(f"{self.name}: total_rate must be positive")
+        self._advance()
+        self.total_rate = float(total_rate)
+        if self._flows:
+            self._reallocate()
+
     @property
     def active_flows(self) -> int:
         """Number of in-flight transfers right now."""

@@ -14,6 +14,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.faults.log import FaultLog
+from repro.faults.plan import FaultPlan
+from repro.faults.policy import RecoveryPolicy
+from repro.faults.simdriver import SimFaultDriver
 from repro.simhw.events import Simulator
 from repro.simhw.hdfs import HdfsCluster, HdfsSpec
 from repro.simhw.machine import paper_machine
@@ -29,13 +33,20 @@ class HdfsCaseStudyResult:
 
     baseline: SimJobResult
     supmr: SimJobResult
+    #: Cluster-side fault logs (datanode loss, link flaps) for each run;
+    #: None when the study ran without a fault plan.  Machine-side logs
+    #: live in each run's ``extras['fault_log']``.
+    baseline_cluster_log: FaultLog | None = None
+    supmr_cluster_log: FaultLog | None = None
 
     @property
     def speedup_seconds(self) -> float:
+        """Baseline total minus SupMR total, in simulated seconds."""
         return self.baseline.timings.total_s - self.supmr.timings.total_s
 
     @property
     def speedup_factor(self) -> float:
+        """Baseline total over SupMR total."""
         return self.baseline.timings.total_s / self.supmr.timings.total_s
 
 
@@ -45,25 +56,51 @@ def simulate_hdfs_case_study(
     profile: AppCostProfile = PAPER_WORDCOUNT,
     hdfs_spec: HdfsSpec | None = None,
     monitor_interval: float = 1.0,
+    fault_plan: FaultPlan | None = None,
+    recovery: RecoveryPolicy | None = None,
 ) -> HdfsCaseStudyResult:
-    """Run baseline and SupMR word count ingesting from simulated HDFS."""
+    """Run baseline and SupMR word count ingesting from simulated HDFS.
+
+    With a ``fault_plan``, both runs suffer the same faults: the
+    cluster-side sites (``sim.hdfs.datanode_loss``, ``sim.net.flap``)
+    strike each run's HDFS cluster — reads rebalance across the
+    surviving datanodes, degraded mode in action — while the machine
+    sites and the SupMR straggler site arm inside the job simulations.
+    """
     spec = hdfs_spec or HdfsSpec()
+
+    def cluster_driver(sim: Simulator, cluster: HdfsCluster) -> FaultLog | None:
+        if fault_plan is None:
+            return None
+        log = FaultLog(clock=lambda: sim.now)
+        SimFaultDriver(fault_plan, log, cluster=cluster).arm()
+        return log
 
     sim_a = Simulator()
     machine_a = paper_machine(sim_a, monitor_interval=monitor_interval)
     cluster_a = HdfsCluster(sim_a, spec)
+    log_a = cluster_driver(sim_a, cluster_a)
     baseline = simulate_phoenix_job(
-        profile, input_bytes, machine=machine_a, source=cluster_a.reader()
+        profile, input_bytes, machine=machine_a, source=cluster_a.reader(),
+        fault_plan=fault_plan, recovery=recovery,
     )
 
     sim_b = Simulator()
     machine_b = paper_machine(sim_b, monitor_interval=monitor_interval)
     cluster_b = HdfsCluster(sim_b, spec)
+    log_b = cluster_driver(sim_b, cluster_b)
     supmr = simulate_supmr_job(
         profile,
         input_bytes,
         chunk_bytes,
         machine=machine_b,
         source=cluster_b.reader(),
+        fault_plan=fault_plan,
+        recovery=recovery,
     )
-    return HdfsCaseStudyResult(baseline=baseline, supmr=supmr)
+    return HdfsCaseStudyResult(
+        baseline=baseline,
+        supmr=supmr,
+        baseline_cluster_log=log_a,
+        supmr_cluster_log=log_b,
+    )

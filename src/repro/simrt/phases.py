@@ -110,14 +110,21 @@ def ingest(machine: ScaleUpMachine, nbytes: float, profile: AppCostProfile,
 
 
 def map_wave(machine: ScaleUpMachine, nbytes: float,
-             profile: AppCostProfile) -> Iterator:
-    """Spawn a contexts-wide wave of mapper threads over ``nbytes``."""
+             profile: AppCostProfile, straggler_s: float = 0.0) -> Iterator:
+    """Spawn a contexts-wide wave of mapper threads over ``nbytes``.
+
+    ``straggler_s`` extends one thread of the wave by that many seconds —
+    the fault-injected slow task; the wave (and so the round) completes
+    when the straggler (or its speculative copy) does.
+    """
     n = machine.spec.contexts
     yield from machine.spawn_wave(n)
     per_thread_s = profile.map_wall_s(nbytes, n)
+    durations = [per_thread_s] * n
+    durations[0] += max(0.0, straggler_s)
     workers = [
-        machine.sim.process(machine.compute(per_thread_s), name=f"map{i}")
-        for i in range(n)
+        machine.sim.process(machine.compute(dur), name=f"map{i}")
+        for i, dur in enumerate(durations)
     ]
     yield AllOf(machine.sim, workers)
     yield from machine.join_wave(n)

@@ -11,6 +11,9 @@ from typing import Any
 
 from repro.core.result import PhaseTimings
 from repro.errors import ConfigError
+from repro.faults.plan import FaultPlan
+from repro.faults.policy import RecoveryPolicy
+from repro.faults.simdriver import SimFaultDriver
 from repro.simhw.cpu import CpuClass
 from repro.simhw.events import Simulator
 from repro.simhw.machine import ScaleUpMachine, paper_machine
@@ -38,6 +41,8 @@ def simulate_phoenix_job(
     merge_algorithm: str = "pairwise",
     memory_budget: float | None = None,
     spill_fan_in: int = 8,
+    fault_plan: FaultPlan | None = None,
+    recovery: RecoveryPolicy | None = None,
 ) -> SimJobResult:
     """Run the baseline job on the (default: paper) simulated machine.
 
@@ -49,6 +54,8 @@ def simulate_phoenix_job(
     the sim charges them right after the wave, which preserves the total
     and keeps the trace legible), and before the merge the runs are
     consolidated to ``spill_fan_in`` sources and streamed back.
+    A ``fault_plan`` arms the timed ``sim.*`` hardware sites against the
+    machine; the resulting log lands in ``extras['fault_log']``.
     """
     if memory_budget is not None and memory_budget <= 0:
         raise ConfigError("memory_budget must be positive")
@@ -60,6 +67,13 @@ def simulate_phoenix_job(
     else:
         sim = machine.sim
     log = PhaseLog(machine)
+
+    injector = None
+    if fault_plan is not None:
+        injector = fault_plan.arm(
+            recovery or RecoveryPolicy(), clock=lambda: sim.now
+        )
+        SimFaultDriver(fault_plan, injector.log, machine=machine).arm()
     inter_total = profile.intermediate_bytes(input_bytes)
     plan = plan_spills(inter_total, memory_budget, profile.spill_combine_ratio)
     n_passes = merge_passes(plan.n_runs + 1, spill_fan_in) if plan.n_runs else 0
@@ -123,6 +137,9 @@ def simulate_phoenix_job(
         spill_s=log.duration("spill"),
     )
     extras: dict[str, Any] = {"merge_algorithm": merge_algorithm}
+    if injector is not None:
+        extras["fault_log"] = injector.log
+        extras["faults_injected"] = injector.log.injected
     if memory_budget is not None:
         extras.update(
             memory_budget=memory_budget,

@@ -14,6 +14,10 @@ from typing import Any
 
 from repro.core.result import PhaseTimings, RoundTiming
 from repro.errors import ConfigError
+from repro.faults.log import ACTION_SPECULATIVE
+from repro.faults.plan import SITE_SIM_STRAGGLER, FaultPlan
+from repro.faults.policy import RecoveryPolicy
+from repro.faults.simdriver import SimFaultDriver
 from repro.simhw.cpu import CpuClass
 from repro.simhw.events import Simulator
 from repro.simhw.machine import ScaleUpMachine, paper_machine
@@ -44,6 +48,8 @@ def simulate_supmr_job(
     pipelined: bool = True,
     memory_budget: float | None = None,
     spill_fan_in: int = 8,
+    fault_plan: FaultPlan | None = None,
+    recovery: RecoveryPolicy | None = None,
 ) -> SimJobResult:
     """Run the SupMR pipeline on the (default: paper) simulated machine.
 
@@ -53,6 +59,15 @@ def simulate_supmr_job(
     round pushes it to the budget, the container is sorted and spilled
     to the machine's disk ("spill" spans), and before the merge the runs
     are consolidated to ``spill_fan_in`` sources and streamed back.
+
+    A ``fault_plan`` arms the simulated-hardware sites: timed disk
+    slowdowns/failures strike the machine via
+    :class:`~repro.faults.simdriver.SimFaultDriver`, and the
+    ``sim.map.straggler`` site slows one mapper per afflicted wave —
+    detected against ``recovery.straggler_threshold`` and, when
+    ``recovery.speculative``, cut short by a speculative re-execution
+    that starts at detection time.  The resulting
+    :class:`~repro.faults.log.FaultLog` lands in ``extras['fault_log']``.
     """
     if memory_budget is not None and memory_budget <= 0:
         raise ConfigError("memory_budget must be positive")
@@ -65,6 +80,40 @@ def simulate_supmr_job(
         sim = machine.sim
     log = PhaseLog(machine)
     sizes = chunk_sizes(input_bytes, chunk_bytes)
+
+    injector = None
+    if fault_plan is not None:
+        policy = recovery or RecoveryPolicy()
+        injector = fault_plan.arm(policy, clock=lambda: sim.now)
+        SimFaultDriver(fault_plan, injector.log, machine=machine).arm()
+
+    def straggler_extra(wave_index: int, wave_bytes: float) -> float:
+        """Extra wall-clock one slow mapper adds to this wave, if any."""
+        if injector is None:
+            return 0.0
+        decision = injector.check(SITE_SIM_STRAGGLER, scope=(wave_index,))
+        if decision is None:
+            return 0.0
+        policy = injector.policy
+        base = profile.map_wall_s(wave_bytes, machine.spec.contexts)
+        factor = decision.spec.factor if decision.spec.factor is not None else 3.0
+        slow = base * factor
+        if policy.speculative:
+            # The scheduler notices the task past threshold x base and
+            # launches a fresh copy; the wave ends when the copy does.
+            detected = base * policy.straggler_threshold
+            effective = min(slow, detected + base)
+            if effective < slow:
+                injector.log.record(
+                    SITE_SIM_STRAGGLER, ACTION_SPECULATIVE,
+                    f"wave {wave_index}: speculative copy saved "
+                    f"{slow - effective:.3g}s "
+                    f"({slow:.3g}s straggler cut to {effective:.3g}s)",
+                    scope=str(wave_index),
+                )
+        else:
+            effective = slow
+        return max(0.0, effective - base)
     rounds: list[RoundTiming] = []
     spill = {"live": 0.0, "runs": 0, "spilled": 0.0,
              "passes": 0, "rewritten": 0.0}
@@ -108,17 +157,21 @@ def simulate_supmr_job(
         # Overlapped rounds: ingest chunk i while mapping chunk i-1.
         for i in range(1, len(sizes)):
             r0 = sim.now
+            extra = straggler_extra(i - 1, sizes[i - 1])
             if pipelined:
                 ing = sim.process(
                     ingest(machine, sizes[i], profile, source), name=f"ingest{i}"
                 )
                 mw = sim.process(
-                    map_wave(machine, sizes[i - 1], profile), name=f"mapwave{i-1}"
+                    map_wave(machine, sizes[i - 1], profile, straggler_s=extra),
+                    name=f"mapwave{i-1}",
                 )
                 yield AllOf(sim, [ing, mw])
             else:
                 # Ablation: same round structure, no overlap.
-                yield from map_wave(machine, sizes[i - 1], profile)
+                yield from map_wave(
+                    machine, sizes[i - 1], profile, straggler_s=extra
+                )
                 yield from ingest(machine, sizes[i], profile, source)
             yield from absorb_and_spill(sizes[i - 1])
             yield from machine.compute(profile.round_overhead_s, CpuClass.SYS)
@@ -128,7 +181,10 @@ def simulate_supmr_job(
 
         # Final round: map the last chunk.
         r0 = sim.now
-        yield from map_wave(machine, sizes[-1], profile)
+        yield from map_wave(
+            machine, sizes[-1], profile,
+            straggler_s=straggler_extra(len(sizes) - 1, sizes[-1]),
+        )
         yield from absorb_and_spill(sizes[-1])
         rounds.append(RoundTiming(len(sizes), 0.0, sim.now - r0, 0))
         log.record("read_map", t0)
@@ -174,6 +230,9 @@ def simulate_supmr_job(
         "n_chunks": len(sizes),
         "pipelined": pipelined,
     }
+    if injector is not None:
+        extras["fault_log"] = injector.log
+        extras["faults_injected"] = injector.log.injected
     if memory_budget is not None:
         extras.update(
             memory_budget=memory_budget,

@@ -24,13 +24,18 @@ import tempfile
 import time
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Callable, Hashable, Iterable, Iterator
+from typing import TYPE_CHECKING, Any, Callable, Hashable, Iterable, Iterator
 
 from repro.containers.combiners import Combiner
 from repro.errors import SpillError
+from repro.faults.log import ACTION_RESPILLED
+from repro.faults.plan import SITE_SPILL_CORRUPT
 from repro.spill.accountant import MemoryAccountant
-from repro.spill.runfile import RunReader, RunWriter
+from repro.spill.runfile import HEADER_BYTES, RunReader, RunWriter
 from repro.spill.stats import SpillStats
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.faults.injector import FaultInjector
 
 #: Streams merged per external-merge pass when the caller does not say.
 DEFAULT_MERGE_FAN_IN = 8
@@ -48,6 +53,15 @@ class RunInfo:
     path: Path
     records: int
     payload_bytes: int
+
+
+def _flip_byte(path: Path, offset: int) -> None:
+    """Invert one byte of ``path`` in place (injected bit rot)."""
+    with open(path, "r+b") as fh:
+        fh.seek(offset)
+        original = fh.read(1)
+        fh.seek(offset)
+        fh.write(bytes(((original[0] ^ 0xFF),)) if original else b"\xff")
 
 
 def group_sorted_pairs(
@@ -91,9 +105,11 @@ class SpillManager:
         combiner: Combiner | None = None,
         sort_key: SortKeyFn | None = None,
         merge_fan_in: int = DEFAULT_MERGE_FAN_IN,
+        injector: "FaultInjector | None" = None,
     ) -> None:
         if merge_fan_in < 2:
             raise SpillError("merge_fan_in must be >= 2")
+        self.injector = injector
         self.accountant = MemoryAccountant(budget_bytes)
         self._owns_dir = spill_dir is None
         self.spill_dir = Path(
@@ -127,7 +143,14 @@ class SpillManager:
         started = time.perf_counter()
         pairs.sort(key=lambda kv: self.sort_key(kv[0]))
         n_in = sum(1 for _k, values in pairs for _v in values)
-        info = self._write_run(self._combined(group_sorted_pairs(pairs), raw))
+        groups = self._combined(group_sorted_pairs(pairs), raw)
+        injector = self.injector
+        if injector is not None and injector.armed(SITE_SPILL_CORRUPT):
+            # Re-spilling needs the groups again, so materialize them;
+            # only paid when the spill.corrupt site is actually armed.
+            info = self._write_run_verified(list(groups), injector)
+        else:
+            info = self._write_run(groups)
         self._stats.runs += 1
         self._stats.spilled_bytes += info.payload_bytes
         self._stats.spilled_records += info.records
@@ -159,6 +182,59 @@ class SpillManager:
             records, payload = writer.records, writer.payload_bytes
         info = RunInfo(
             index=index, path=path, records=records, payload_bytes=payload
+        )
+        self.runs.append(info)
+        return info
+
+    def _write_run_verified(
+        self, groups: list[Group], injector: "FaultInjector"
+    ) -> RunInfo:
+        """Write one run under the ``spill.corrupt`` site with recovery.
+
+        The run index (and so the on-disk path) is reserved once; each
+        attempt rewrites the same file, optionally gets a payload byte
+        flipped by the injector, and is then CRC-verified against its own
+        header.  A verification failure raises
+        :class:`~repro.errors.SpillError` into the bounded retry loop,
+        which re-spills the materialized groups — the
+        checksum-verify-then-re-spill answer.  With
+        ``policy.verify_spills`` off, corruption sails through here and
+        the merge-time streaming CRC check aborts the job instead.
+        """
+        index = self._next_index
+        self._next_index += 1
+        path = self.spill_dir / f"run-{index:05d}.spl"
+
+        def attempt_fn(attempt: int) -> RunInfo:
+            with RunWriter(path) as writer:
+                for key, values in groups:
+                    writer.write_group(key, values)
+                records, payload = writer.records, writer.payload_bytes
+            decision = injector.check(
+                SITE_SPILL_CORRUPT, scope=(index,), attempt=attempt
+            )
+            if decision is not None:
+                _flip_byte(path, HEADER_BYTES + payload // 2)
+            if injector.policy.verify_spills:
+                if not RunReader(path).verify():
+                    raise SpillError(
+                        f"{path}: post-spill checksum verification failed"
+                    )
+                if attempt > 0:
+                    injector.log.record(
+                        SITE_SPILL_CORRUPT, ACTION_RESPILLED,
+                        f"run {index} rewritten cleanly on attempt "
+                        f"{attempt + 1}",
+                        scope=f"run-{index}", attempt=attempt,
+                    )
+            return RunInfo(
+                index=index, path=path, records=records,
+                payload_bytes=payload,
+            )
+
+        info = injector.retrying(
+            SITE_SPILL_CORRUPT, attempt_fn,
+            scope=(index,), retryable=(SpillError,),
         )
         self.runs.append(info)
         return info

@@ -167,5 +167,22 @@ class RunReader:
                     f"computed {tracker.crc32:#010x})"
                 )
 
+    def verify(self) -> bool:
+        """Re-scan the payload bytes against the header CRC.
+
+        Cheaper than iterating (no unpickling) — this is the
+        verify-after-spill check the recovery policy runs before a run
+        is allowed into the merge inventory.
+        """
+        crc = 0
+        with open(self.path, "rb") as fh:
+            fh.seek(HEADER_BYTES)
+            while True:
+                block = fh.read(1 << 20)
+                if not block:
+                    break
+                crc = zlib.crc32(block, crc)
+        return crc == self.crc32
+
     def __len__(self) -> int:
         return self.records

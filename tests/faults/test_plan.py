@@ -1,0 +1,148 @@
+"""FaultPlan: seeded determinism, trigger disciplines, CLI parsing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.faults.plan import (
+    KIND_SHORT,
+    SITE_INGEST_READ,
+    SITE_MAP_TASK,
+    SITE_RECORD_CORRUPT,
+    FaultPlan,
+    FaultSpec,
+    parse_faults,
+)
+
+
+def _probabilistic_plan(seed: int, p: float = 0.3) -> FaultPlan:
+    return FaultPlan(seed=seed, specs=(
+        FaultSpec(site=SITE_RECORD_CORRUPT, probability=p),
+    ))
+
+
+def _fired_scopes(plan: FaultPlan, scopes: list[int]) -> list[int]:
+    injector = plan.arm()
+    return [
+        s for s in scopes
+        if injector.check(SITE_RECORD_CORRUPT, scope=(0, s)) is not None
+    ]
+
+
+class TestSeededDeterminism:
+    def test_same_seed_same_fault_sequence(self, fault_seed):
+        plan = _probabilistic_plan(fault_seed)
+        scopes = list(range(500))
+        first = _fired_scopes(plan, scopes)
+        second = _fired_scopes(plan, scopes)
+        assert first == second
+        assert first, "p=0.3 over 500 scopes must fire at least once"
+
+    def test_check_order_does_not_change_decisions(self, fault_seed):
+        # the pipelined ingest thread races mapper threads, so the
+        # decision for a scope must not depend on when it is checked
+        plan = _probabilistic_plan(fault_seed)
+        scopes = list(range(200))
+        forward = set(_fired_scopes(plan, scopes))
+        backward = set(_fired_scopes(plan, list(reversed(scopes))))
+        assert forward == backward
+
+    def test_different_seeds_differ(self):
+        scopes = list(range(500))
+        a = _fired_scopes(_probabilistic_plan(1), scopes)
+        b = _fired_scopes(_probabilistic_plan(2), scopes)
+        assert a != b
+
+    def test_roll_is_pure_and_uniformish(self, fault_seed):
+        plan = FaultPlan(seed=fault_seed)
+        rolls = [plan.roll("x", (i,), 0) for i in range(2000)]
+        assert all(0.0 <= r < 1.0 for r in rolls)
+        assert rolls == [plan.roll("x", (i,), 0) for i in range(2000)]
+        assert 0.3 < sum(rolls) / len(rolls) < 0.7
+
+    def test_retry_attempt_rerolls(self, fault_seed):
+        # probability faults re-roll per attempt, so a retried scope can
+        # pass even when attempt 0 fired
+        plan = _probabilistic_plan(fault_seed, p=0.5)
+        differs = any(
+            plan.roll(SITE_RECORD_CORRUPT, (0, i), 0)
+            != plan.roll(SITE_RECORD_CORRUPT, (0, i), 1)
+            for i in range(10)
+        )
+        assert differs
+
+
+class TestTriggerDisciplines:
+    def test_once_per_scope_fires_first_check_only(self):
+        plan = FaultPlan(seed=0, specs=(
+            FaultSpec(site=SITE_INGEST_READ, once_per_scope=True),
+        ))
+        injector = plan.arm()
+        assert injector.check(SITE_INGEST_READ, scope=(7,)) is not None
+        # the retry of the same chunk passes
+        assert injector.check(SITE_INGEST_READ, scope=(7,), attempt=1) is None
+        # a different chunk fires again
+        assert injector.check(SITE_INGEST_READ, scope=(8,)) is not None
+
+    def test_max_fires_caps_total(self):
+        plan = FaultPlan(seed=0, specs=(
+            FaultSpec(site=SITE_MAP_TASK, probability=1.0, max_fires=2),
+        ))
+        injector = plan.arm()
+        fired = [
+            injector.check(SITE_MAP_TASK, scope=(0, i)) is not None
+            for i in range(10)
+        ]
+        assert sum(fired) == 2
+        assert injector.fires(SITE_MAP_TASK) == 2
+
+    def test_unarmed_site_never_fires(self):
+        injector = FaultPlan(seed=0).arm()
+        assert not injector.armed(SITE_MAP_TASK)
+        assert injector.check(SITE_MAP_TASK, scope=(0, 0)) is None
+
+
+class TestValidation:
+    def test_probability_out_of_range(self):
+        with pytest.raises(ConfigError, match="probability"):
+            FaultSpec(site=SITE_MAP_TASK, probability=1.5)
+
+    def test_duplicate_site_rejected(self):
+        with pytest.raises(ConfigError, match="duplicate"):
+            FaultPlan(seed=0, specs=(
+                FaultSpec(site=SITE_MAP_TASK),
+                FaultSpec(site=SITE_MAP_TASK),
+            ))
+
+    def test_negative_max_fires_rejected(self):
+        with pytest.raises(ConfigError, match="max_fires"):
+            FaultSpec(site=SITE_MAP_TASK, max_fires=-1)
+
+
+class TestParseFaults:
+    def test_full_syntax(self, fault_seed):
+        plan = parse_faults(
+            "ingest.read=once/short, record.corrupt=0.001, map.task",
+            seed=fault_seed,
+        )
+        assert plan.seed == fault_seed
+        assert plan.sites() == (
+            SITE_INGEST_READ, SITE_RECORD_CORRUPT, SITE_MAP_TASK,
+        )
+        ingest = plan.spec_for(SITE_INGEST_READ)
+        assert ingest.once_per_scope and ingest.kind == KIND_SHORT
+        assert plan.spec_for(SITE_RECORD_CORRUPT).probability == 0.001
+        assert plan.spec_for(SITE_MAP_TASK).probability == 1.0
+
+    def test_unknown_site_rejected(self):
+        with pytest.raises(ConfigError, match="unknown fault site"):
+            parse_faults("warp.core=0.5")
+
+    def test_bad_trigger_rejected(self):
+        with pytest.raises(ConfigError, match="bad fault trigger"):
+            parse_faults("map.task=sometimes")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigError, match="no fault specs"):
+            parse_faults(" , ")

@@ -1,0 +1,137 @@
+"""Bad-record quarantine: budget edges and the end-to-end contract.
+
+The headline robustness scenario: wordcount under one transient read
+error per ingest chunk plus 0.1% record corruption must complete, its
+output must equal the reference wordcount minus exactly the quarantined
+records, and the fault log must account for every intervention.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.wordcount import make_wordcount_job, reference_wordcount
+from repro.chunking.planner import plan_chunks
+from repro.core.options import RuntimeOptions
+from repro.core.supmr import run_ingest_mr
+from repro.errors import QuarantineOverflow, RetryExhausted
+from repro.faults.plan import (
+    SITE_INGEST_READ,
+    SITE_RECORD_CORRUPT,
+    FaultPlan,
+    FaultSpec,
+)
+from repro.faults.policy import RecoveryPolicy
+
+
+class TestSkipBudgetEdges:
+    def test_zero_budget_aborts_on_first_bad_record(self):
+        injector = FaultPlan(seed=0).arm(RecoveryPolicy(skip_budget=0))
+        with pytest.raises(QuarantineOverflow) as excinfo:
+            injector.quarantine("record.corrupt", b"junk")
+        assert excinfo.value.quarantined == 1
+
+    def test_exact_budget_is_allowed(self):
+        injector = FaultPlan(seed=0).arm(RecoveryPolicy(skip_budget=3))
+        for i in range(3):
+            injector.quarantine("record.corrupt", b"junk %d" % i)
+        assert injector.quarantined == 3
+        # the budget-plus-one record overflows
+        with pytest.raises(QuarantineOverflow) as excinfo:
+            injector.quarantine("record.corrupt", b"one too many")
+        assert excinfo.value.quarantined == 4
+
+
+def _acceptance_plan(seed: int) -> FaultPlan:
+    return FaultPlan(seed=seed, specs=(
+        FaultSpec(site=SITE_INGEST_READ, once_per_scope=True),
+        FaultSpec(site=SITE_RECORD_CORRUPT, probability=0.001),
+    ))
+
+
+def _dropped_records(job, options, plan):
+    """The raw records the plan will corrupt (and so quarantine)."""
+    chunk_plan = plan_chunks(job.inputs, job.codec, options)
+    spec = plan.spec_for(SITE_RECORD_CORRUPT)
+    dropped: list[bytes] = []
+    for chunk in chunk_plan.chunks:
+        for i, record in enumerate(job.codec.iter_records(chunk.load())):
+            if plan.roll(SITE_RECORD_CORRUPT, (chunk.index, i), 0) < spec.probability:
+                dropped.append(record)
+    return dropped
+
+
+def _surviving_reference(job, options, plan, tmp_path):
+    """Reference wordcount over exactly the records the plan keeps.
+
+    Replays the plan's pure-function rolls over the same chunk plan the
+    runtime will use, drops the records that will be corrupted and
+    quarantined, and counts the rest.
+    """
+    chunk_plan = plan_chunks(job.inputs, job.codec, options)
+    spec = plan.spec_for(SITE_RECORD_CORRUPT)
+    kept: list[bytes] = []
+    dropped = 0
+    for chunk in chunk_plan.chunks:
+        data = chunk.load()
+        for i, record in enumerate(job.codec.iter_records(data)):
+            roll = plan.roll(SITE_RECORD_CORRUPT, (chunk.index, i), 0)
+            if roll < spec.probability:
+                dropped += 1
+            else:
+                kept.append(record)
+    survivor_file = tmp_path / "survivors.txt"
+    survivor_file.write_bytes(job.codec.delimiter.join(kept))
+    return reference_wordcount([survivor_file]), dropped
+
+
+class TestEndToEndQuarantine:
+    def test_faulted_wordcount_matches_reference_minus_quarantined(
+        self, text_file, tmp_path, fault_seed
+    ):
+        plan = _acceptance_plan(fault_seed)
+        options = RuntimeOptions.supmr_interfile("32KB").with_(
+            fault_plan=plan,
+            recovery=RecoveryPolicy(backoff_base_s=0.0),
+        )
+        job = make_wordcount_job([text_file])
+        expected, dropped = _surviving_reference(job, options, plan, tmp_path)
+
+        result = run_ingest_mr(job, options)
+
+        log = result.fault_log
+        assert log is not None and len(log) > 0
+        # one transient read error per chunk, every one retried+recovered
+        assert log.count("injected", site=SITE_INGEST_READ) == result.n_chunks
+        assert log.count("recovered", site=SITE_INGEST_READ) == result.n_chunks
+        assert log.quarantined == dropped
+        assert result.counters["records_quarantined"] == dropped
+        assert dict(result.output) == expected
+        # when records were dropped the run is lossy on purpose
+        full_reference = reference_wordcount([text_file])
+        assert (
+            sum(full_reference.values()) - sum(expected.values())
+            == sum(len(r.split()) for r in _dropped_records(job, options, plan))
+        )
+
+    def test_zero_retry_budget_raises_retry_exhausted(self, text_file, fault_seed):
+        plan = _acceptance_plan(fault_seed)
+        options = RuntimeOptions.supmr_interfile("32KB").with_(
+            fault_plan=plan,
+            recovery=RecoveryPolicy(max_retries=0, backoff_base_s=0.0),
+        )
+        with pytest.raises(RetryExhausted) as excinfo:
+            run_ingest_mr(make_wordcount_job([text_file]), options)
+        assert excinfo.value.site == SITE_INGEST_READ
+        assert excinfo.value.__cause__ is not None
+
+    def test_tight_skip_budget_aborts_corrupt_run(self, text_file, fault_seed):
+        plan = FaultPlan(seed=fault_seed, specs=(
+            FaultSpec(site=SITE_RECORD_CORRUPT, probability=0.05),
+        ))
+        options = RuntimeOptions.supmr_interfile("32KB").with_(
+            fault_plan=plan,
+            recovery=RecoveryPolicy(skip_budget=0, backoff_base_s=0.0),
+        )
+        with pytest.raises(QuarantineOverflow):
+            run_ingest_mr(make_wordcount_job([text_file]), options)

@@ -19,30 +19,8 @@ from repro.core.phoenix import PhoenixRuntime
 from repro.core.supmr import SupMRRuntime, run_ingest_mr
 from repro.errors import ChunkingError, WorkloadError
 from repro.io.records import TextCodec
-
-
-def failing_map_after(n_calls: int):
-    """A map_fn that succeeds n_calls times and then explodes."""
-    counter = {"calls": 0}
-    lock = threading.Lock()
-
-    def map_fn(ctx):
-        with lock:
-            counter["calls"] += 1
-            if counter["calls"] > n_calls:
-                raise RuntimeError("injected map failure")
-        for word in ctx.data.split():
-            ctx.emit(word, 1)
-
-    return map_fn
-
-
-def _job(path, map_fn):
-    return JobSpec(
-        name="failing", inputs=(path,), map_fn=map_fn,
-        container_factory=lambda: HashContainer(SumCombiner()),
-        codec=TextCodec(),
-    )
+from tests.faults.helpers import failing_job as _job
+from tests.faults.helpers import failing_map_after, ingest_threads
 
 
 class TestMapFailures:
@@ -63,17 +41,21 @@ class TestMapFailures:
             run_ingest_mr(job, RuntimeOptions.supmr_interfile("16KB"))
 
     def test_failure_leaves_no_stuck_threads(self, text_file):
-        before = threading.active_count()
-        job = _job(text_file, failing_map_after(2))
-        with pytest.raises(RuntimeError):
-            run_ingest_mr(job, RuntimeOptions.supmr_interfile("16KB"))
-        # pool and ingest threads wound down (daemon ingest may linger a
-        # moment; allow slack but no monotonic leak across repeats)
-        for _ in range(3):
+        # the pipeline joins its in-flight ingest thread before
+        # re-raising, so a failed run must leave no ingest-* thread
+        # behind and no monotonic growth in total thread count
+        assert ingest_threads() == set()
+        before = {t.ident for t in threading.enumerate()}
+        for _ in range(4):
             with pytest.raises(RuntimeError):
                 run_ingest_mr(_job(text_file, failing_map_after(2)),
                               RuntimeOptions.supmr_interfile("16KB"))
-        assert threading.active_count() <= before + 3
+            assert ingest_threads() == set()
+        leaked = [
+            t for t in threading.enumerate()
+            if t.ident not in before and t.is_alive()
+        ]
+        assert leaked == [], f"threads leaked across failed runs: {leaked}"
 
 
 class TestInputFailures:
