@@ -21,8 +21,17 @@ def _runs(k=16, n=4000, seed=11):
 
 
 def test_bench_kway_merge(benchmark):
+    # key=None: delegates straight to heapq.merge (the fast path).
     runs = _runs()
     out = benchmark(kway_merge, runs)
+    assert len(out) == 64_000
+
+
+def test_bench_kway_merge_keyed(benchmark):
+    # Explicit identity key: the decorated-tuple heap loop.  The gap
+    # between this and the test above is the cost of key decoration.
+    runs = _runs()
+    out = benchmark(kway_merge, runs, lambda x: x)
     assert len(out) == 64_000
 
 

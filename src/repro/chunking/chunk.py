@@ -10,6 +10,8 @@ locating chunk boundaries" (section V.A).
 
 from __future__ import annotations
 
+import mmap
+import os
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import TYPE_CHECKING, Iterator
@@ -53,22 +55,25 @@ class Chunk:
         self,
         injector: "FaultInjector | None" = None,
         attempt: int = 0,
-    ) -> bytes:
+    ) -> "bytes | bytearray":
         """Read the chunk into memory (the ingest-phase work).
 
         With an armed ``injector`` this is the retry *unit* for the
         ``ingest.read`` fault site: injected errors propagate and
         injected short reads are detected against the planned chunk
         length, so the runtime's bounded retry re-loads the whole chunk.
+
+        The fault-free paths avoid ``read_slice``'s seek+read+concat
+        copy chain: single-source chunks slice one copy straight out of
+        an ``mmap`` of the file, and multi-source chunks ``readinto`` a
+        preallocated buffer so the parts are never joined.  The injector
+        path keeps ``read_slice`` because that is where the
+        ``ingest.read`` fault site lives.
         """
         if injector is None:
             if len(self.sources) == 1:
-                src = self.sources[0]
-                return read_slice(src.path, src.offset, src.length)
-            parts = [
-                read_slice(s.path, s.offset, s.length) for s in self.sources
-            ]
-            return b"".join(parts)
+                return self._load_single_mmap(self.sources[0])
+            return self._load_multi_readinto()
         parts = [
             read_slice(
                 src.path, src.offset, src.length,
@@ -86,6 +91,78 @@ class Chunk:
                 site=SITE_INGEST_READ,
             )
         return data
+
+    @staticmethod
+    def _load_single_mmap(src: ChunkSource) -> bytes:
+        """One mmap slice: a single kernel-to-user copy, no seek dance."""
+        if src.length == 0:
+            return b""
+        with open(src.path, "rb") as f:
+            size = os.fstat(f.fileno()).st_size
+            if size == 0:
+                return b""
+            with mmap.mmap(f.fileno(), 0, access=mmap.ACCESS_READ) as mm:
+                start = min(src.offset, size)
+                return mm[start:min(src.offset + src.length, size)]
+
+    def _load_multi_readinto(self) -> bytearray:
+        """All sources read straight into one preallocated buffer.
+
+        Each source lands at its final position via ``readinto`` on a
+        ``memoryview`` window, so there is no per-part bytes object and
+        no ``b"".join`` pass.  Short files shrink the buffer (matching
+        the old path, where ``read_slice`` simply returned fewer bytes).
+        """
+        buf = bytearray(self.length)
+        view = memoryview(buf)
+        filled = 0
+        for src in self.sources:
+            if src.length == 0:
+                continue
+            try:
+                f = open(src.path, "rb")
+            except OSError:
+                continue
+            with f:
+                f.seek(src.offset)
+                want = src.length
+                while want:
+                    got = f.readinto(view[filled:filled + want])
+                    if not got:
+                        break
+                    filled += got
+                    want -= got
+        del view
+        if filled != len(buf):
+            del buf[filled:]
+        return buf
+
+    def warm(self, buffer_size: int = 1 << 20) -> int:
+        """Touch every source byte so it lands in the page cache.
+
+        The process backend's ingest phase: the pipeline's background
+        loader warms the chunk instead of materializing it, and the
+        forked mappers then fault their split windows in from cache.
+        Returns the number of bytes touched.
+        """
+        scratch = bytearray(buffer_size)
+        view = memoryview(scratch)
+        touched = 0
+        for src in self.sources:
+            try:
+                f = open(src.path, "rb")
+            except OSError:
+                continue
+            with f:
+                f.seek(src.offset)
+                want = src.length
+                while want:
+                    got = f.readinto(view[:min(want, buffer_size)])
+                    if not got:
+                        break
+                    touched += got
+                    want -= got
+        return touched
 
 
 @dataclass(frozen=True)

@@ -76,6 +76,9 @@ def _options_from(args: argparse.Namespace) -> RuntimeOptions:
         options = RuntimeOptions.baseline(args.mappers, args.reducers)
     if budget is not None:
         options = options.with_(memory_budget=budget)
+    backend = getattr(args, "backend", None)
+    if backend is not None:
+        options = options.with_(executor_backend=backend)
     if getattr(args, "faults", None):
         from repro.faults import RecoveryPolicy, parse_faults
 
@@ -228,6 +231,12 @@ def build_parser() -> argparse.ArgumentParser:
     def add_runtime_args(p: argparse.ArgumentParser) -> None:
         p.add_argument("--mappers", type=int, default=4)
         p.add_argument("--reducers", type=int, default=4)
+        p.add_argument("--backend",
+                       choices=("serial", "thread", "process"),
+                       default=None,
+                       help="execution backend: serial (inline), thread "
+                            "(default; GIL-bound CPU phases), or process "
+                            "(forked workers, zero-copy mmap ingest)")
         p.add_argument("--baseline", action="store_true",
                        help="original runtime (no ingest chunks)")
         p.add_argument("--chunk-size", help="inter-file chunk size, e.g. 4MB")

@@ -17,7 +17,12 @@ from __future__ import annotations
 import threading
 from typing import Any, Hashable
 
-from repro.containers.base import Container, ContainerStats, Emitter
+from repro.containers.base import (
+    Container,
+    ContainerDelta,
+    ContainerStats,
+    Emitter,
+)
 from repro.errors import ContainerError
 
 
@@ -65,6 +70,25 @@ class ArrayContainer(Container):
             for key, value in segment:
                 bucket.append((key, [value]))
         return parts
+
+    def drain(self) -> ContainerDelta:
+        """Pack this container's segments (non-empty only) for transport."""
+        emits = sum(len(s) for s in self._segments)
+        return ContainerDelta(
+            kind="array",
+            emits=emits,
+            items=[s for s in self._segments if s],
+        )
+
+    def absorb(self, delta: ContainerDelta) -> None:
+        """Adopt a worker's segments; they stay disjoint by construction."""
+        if delta.kind != "array":
+            raise ContainerError(
+                f"ArrayContainer cannot absorb a {delta.kind!r} delta"
+            )
+        self._check_open()
+        with self._registry_lock:
+            self._segments.extend(delta.items)
 
     def stats(self) -> ContainerStats:
         """Emit counters (every emit is a distinct cell here)."""

@@ -18,6 +18,25 @@ class ContainerStats:
     rounds: int = 0
 
 
+@dataclass(frozen=True)
+class ContainerDelta:
+    """A container's contents, packed to cross a process boundary.
+
+    The process backend runs each map task against a private container
+    in the worker (so combining happens *before* serialization), then
+    :meth:`Container.drain`\\ s it into one of these and ships it back;
+    the parent folds it into the job's real container with
+    :meth:`Container.absorb`.  ``kind`` names the producing container
+    family so a mismatched absorb fails loudly, ``emits`` preserves the
+    pre-combine emit count for stats, and ``items`` is family-specific
+    (key/state pairs, value segments, or a summed histogram array).
+    """
+
+    kind: str
+    emits: int
+    items: Any
+
+
 class Container(abc.ABC):
     """Abstract intermediate container.
 
@@ -74,6 +93,32 @@ class Container(abc.ABC):
     @abc.abstractmethod
     def stats(self) -> ContainerStats:
         """Emit/key counters for reporting."""
+
+    # -- process-boundary transport ------------------------------------------
+
+    def drain(self) -> ContainerDelta:
+        """Pack this container's contents for transport to another process.
+
+        Called in a forked worker after its local wave sealed.  Concrete
+        containers override; the default refuses so an unported
+        container type degrades to the parent-loaded path instead of
+        shipping wrong data.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support drain(); "
+            "the process backend cannot transport it"
+        )
+
+    def absorb(self, delta: ContainerDelta) -> None:
+        """Fold a worker's :class:`ContainerDelta` into this container.
+
+        Called in the parent, once per completed map task, in task
+        order (so order-sensitive semantics match the serial backend).
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support absorb(); "
+            "the process backend cannot transport it"
+        )
 
 
 class Emitter:

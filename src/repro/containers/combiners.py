@@ -27,6 +27,21 @@ class Combiner(abc.ABC):
         """Values handed to the reducer for this key."""
         return [state]
 
+    def merge(self, state: Any, other: Any) -> Any:
+        """Fold two per-key states into one (parallel partial merge).
+
+        The process backend combines per worker, then the parent merges
+        each key's partial states; ``merge`` must satisfy
+        ``merge(fold(A), fold(B)) == fold(A + B)`` for the job to be
+        backend-independent.  Order-sensitive combiners that cannot
+        offer that should leave this unimplemented, which disables
+        in-worker combining rather than silently changing results.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} cannot merge partial states; "
+            "the process backend needs merge() for in-worker combining"
+        )
+
 
 class SumCombiner(Combiner):
     """Running sum (word count's combiner)."""
@@ -38,6 +53,10 @@ class SumCombiner(Combiner):
     def update(self, state: Any, value: Any) -> Any:
         """Add the value to the running sum."""
         return state + value
+
+    def merge(self, state: Any, other: Any) -> Any:
+        """Partial sums add."""
+        return state + other
 
 
 class CountCombiner(Combiner):
@@ -51,6 +70,10 @@ class CountCombiner(Combiner):
         """Another emit: increment."""
         return state + 1
 
+    def merge(self, state: int, other: int) -> int:
+        """Partial counts add."""
+        return state + other
+
 
 class MinCombiner(Combiner):
     """Keeps the smallest value seen."""
@@ -61,6 +84,10 @@ class MinCombiner(Combiner):
     def update(self, state: Any, value: Any) -> Any:
         """Keep the smaller of state and value."""
         return value if value < state else state
+
+    def merge(self, state: Any, other: Any) -> Any:
+        """Min of partial minima."""
+        return other if other < state else state
 
 
 class MaxCombiner(Combiner):
@@ -73,6 +100,10 @@ class MaxCombiner(Combiner):
         """Keep the larger of state and value."""
         return value if value > state else state
 
+    def merge(self, state: Any, other: Any) -> Any:
+        """Max of partial maxima."""
+        return other if other > state else state
+
 
 class FirstCombiner(Combiner):
     """Keeps the first value seen (dedup-style jobs)."""
@@ -83,6 +114,10 @@ class FirstCombiner(Combiner):
 
     def update(self, state: Any, value: Any) -> Any:
         """Ignore later values."""
+        return state
+
+    def merge(self, state: Any, other: Any) -> Any:
+        """The earlier partial (absorb order follows task order) wins."""
         return state
 
 
@@ -97,6 +132,11 @@ class ListCombiner(Combiner):
     def update(self, state: list[Any], value: Any) -> list[Any]:
         """Append the value."""
         state.append(value)
+        return state
+
+    def merge(self, state: list[Any], other: list[Any]) -> list[Any]:
+        """Concatenate partial value lists in absorb order."""
+        state.extend(other)
         return state
 
     def finish(self, state: list[Any]) -> Sequence[Any]:

@@ -20,7 +20,12 @@ from typing import Any, Hashable
 
 import numpy as np
 
-from repro.containers.base import Container, ContainerStats, Emitter
+from repro.containers.base import (
+    Container,
+    ContainerDelta,
+    ContainerStats,
+    Emitter,
+)
 from repro.errors import ContainerError
 
 
@@ -95,6 +100,35 @@ class FixedArrayContainer(Container):
             ]
             parts.append(part)
         return parts
+
+    def drain(self) -> ContainerDelta:
+        """Pack the worker's summed cell array (one ndarray, not per-task).
+
+        Summing before transport is the vectorized analog of in-worker
+        combining: however many tasks ran in the worker, the pipe
+        carries ``n_keys`` cells once.
+        """
+        if self._task_cells:
+            total = np.sum(self._task_cells, axis=0)
+        else:
+            total = np.zeros(self.n_keys, dtype=self.dtype)
+        return ContainerDelta(kind="fixed", emits=self._emits, items=total)
+
+    def absorb(self, delta: ContainerDelta) -> None:
+        """Adopt a worker's summed cells as one more task array."""
+        if delta.kind != "fixed":
+            raise ContainerError(
+                f"FixedArrayContainer cannot absorb a {delta.kind!r} delta"
+            )
+        if len(delta.items) != self.n_keys:
+            raise ContainerError(
+                f"fixed delta has {len(delta.items)} cells, container has "
+                f"{self.n_keys}"
+            )
+        self._check_open()
+        with self._lock:
+            self._task_cells.append(np.asarray(delta.items, dtype=self.dtype))
+            self._emits += delta.emits
 
     def stats(self) -> ContainerStats:
         """Emit counters; distinct keys = nonzero cells."""

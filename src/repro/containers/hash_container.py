@@ -17,7 +17,12 @@ from __future__ import annotations
 import threading
 from typing import Any, Hashable
 
-from repro.containers.base import Container, ContainerStats, Emitter
+from repro.containers.base import (
+    Container,
+    ContainerDelta,
+    ContainerStats,
+    Emitter,
+)
 from repro.containers.combiners import Combiner, ListCombiner
 from repro.errors import ContainerError
 from repro.util.hashing import stable_hash
@@ -68,6 +73,37 @@ class HashContainer(Container):
             for key, state in shard.items():
                 parts[stable_hash(key) % n].append((key, self.combiner.finish(state)))
         return parts
+
+    def drain(self) -> ContainerDelta:
+        """Pack combined (key, state) pairs for the parent to absorb.
+
+        States are *pre-finish* combiner states, so absorbing merges
+        them with :meth:`~repro.containers.combiners.Combiner.merge`
+        instead of re-running ``initial``/``update`` per original emit —
+        that is the in-worker-combining payoff: the pipe carries one
+        pair per distinct key, not one per emit.
+        """
+        items = [
+            (key, state) for shard in self._shards for key, state in shard.items()
+        ]
+        return ContainerDelta(kind="hash", emits=self._emits, items=items)
+
+    def absorb(self, delta: ContainerDelta) -> None:
+        """Merge a worker's combined pairs into the live shards."""
+        if delta.kind != "hash":
+            raise ContainerError(
+                f"HashContainer cannot absorb a {delta.kind!r} delta"
+            )
+        self._check_open()
+        for key, state in delta.items:
+            idx = stable_hash(key) % len(self._shards)
+            shard = self._shards[idx]
+            with self._locks[idx]:
+                if key in shard:
+                    shard[key] = self.combiner.merge(shard[key], state)
+                else:
+                    shard[key] = state
+        self._emits += delta.emits
 
     def stats(self) -> ContainerStats:
         """Emit/key counters across all shards."""

@@ -4,11 +4,18 @@ Both runtimes use the same engine; they differ only in *when* ingest
 happens relative to map waves and in which merge algorithm runs.  The
 ``run_mappers()``/``run_reducers()`` wrappers of the paper's Table I map
 onto :func:`run_mapper_wave` / :func:`run_reducers` here.
+
+Each phase honors ``options.executor_backend``: the ``serial`` and
+``thread`` backends drive the parent-side ``pool``, while ``process``
+forks workers per phase (:mod:`repro.parallel.fork_pool`) — map tasks
+read their splits through ``mmap`` in the worker, combine locally, and
+ship back :class:`~repro.containers.base.ContainerDelta` objects the
+parent absorbs in task order.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import Executor
 from typing import Any, Hashable, Sequence
 
 from repro.chunking.boundary import adjust_split_point
@@ -19,12 +26,20 @@ from repro.errors import FaultInjected, RuntimeStateError
 from repro.faults.injector import FaultInjector
 from repro.faults.plan import SITE_MAP_TASK, SITE_RECORD_CORRUPT
 from repro.io.records import corrupt_record
+from repro.io.span import ByteSpan, as_span
+from repro.parallel.backends import ExecutorBackend
+from repro.parallel.fork_pool import ForkExecutor, fork_map
+from repro.parallel.splits import ChunkHandle, SplitRef, split_refs_for_chunk
 from repro.sortlib.merge_sort import pairwise_merge_sort
 from repro.sortlib.pway import pway_merge
 from repro.spill.container import SpillableContainer
 from repro.spill.manager import SpillManager
 
 Pair = tuple[Hashable, Any]
+
+#: Below this many total pairs, forking merge workers costs more than the
+#: merge itself; the process backend merges inline instead.
+_FORK_MERGE_MIN_PAIRS = 20_000
 
 
 def build_container(
@@ -53,7 +68,7 @@ def build_container(
 
 
 def screen_records(
-    data: bytes,
+    data: "bytes | bytearray | ByteSpan",
     job: JobSpec,
     injector: FaultInjector,
     chunk_index: int,
@@ -74,9 +89,9 @@ def screen_records(
     for i, record in enumerate(codec.iter_records(data)):
         decision = injector.check(SITE_RECORD_CORRUPT, scope=(chunk_index, i))
         if decision is None:
-            kept.append(record)
+            kept.append(bytes(record))
             continue
-        damaged = corrupt_record(record, salt=injector.plan.seed + i)
+        damaged = corrupt_record(bytes(record), salt=injector.plan.seed + i)
         # validate() spots structural damage where the codec can; either
         # way the record is known-bad here, so it is skipped and charged
         # against the skip budget rather than poisoning the map output.
@@ -88,36 +103,41 @@ def screen_records(
     return out
 
 
-def split_for_mappers(data: bytes, n_splits: int, delimiter: bytes) -> list[bytes]:
+def split_for_mappers(
+    data: "bytes | bytearray | ByteSpan", n_splits: int, delimiter: bytes
+) -> list[ByteSpan]:
     """Cut ``data`` into <= ``n_splits`` record-aligned input splits.
 
-    Splits are contiguous and cover all of ``data``; short inputs may
-    yield fewer splits (never an empty one).
+    Splits are contiguous :class:`~repro.io.span.ByteSpan` windows that
+    cover all of ``data`` without copying any of it — ``bytes(span)``
+    materializes one when a caller needs a real buffer.  Short inputs
+    may yield fewer splits (never an empty one).
     """
     if n_splits < 1:
         raise RuntimeStateError("need at least one input split")
     if not data:
         return []
-    target = max(1, len(data) // n_splits)
-    splits: list[bytes] = []
+    span = as_span(data)
+    target = max(1, len(span) // n_splits)
+    splits: list[ByteSpan] = []
     start = 0
-    while start < len(data) and len(splits) < n_splits - 1:
-        end = adjust_split_point(data, min(start + target, len(data)), delimiter)
+    while start < len(span) and len(splits) < n_splits - 1:
+        end = adjust_split_point(span, min(start + target, len(span)), delimiter)
         if end <= start:
             break
-        splits.append(data[start:end])
+        splits.append(span.span(start, end))
         start = end
-    if start < len(data):
-        splits.append(data[start:])
+    if start < len(span):
+        splits.append(span.span(start, len(span)))
     return splits
 
 
 def run_mapper_wave(
     job: JobSpec,
     container: Container,
-    data: bytes,
+    data: "bytes | bytearray | ByteSpan | ChunkHandle",
     options: RuntimeOptions,
-    pool: ThreadPoolExecutor,
+    pool: Executor,
     chunk_index: int = 0,
     task_id_base: int = 0,
     injector: FaultInjector | None = None,
@@ -126,20 +146,35 @@ def run_mapper_wave(
 
     Equivalent to the paper's ``run_mappers()``: initializes (or, on
     SupMR rounds > 1, *re-enters*) the persistent container and launches
-    mapper threads over record-aligned splits.  With an armed
+    mapper tasks over record-aligned splits.  With an armed
     ``injector``, records are screened for injected corruption first and
     each map task runs under the bounded retry loop with ``map.task``
     failures injected *before* the user map function executes (so a
     retried task never double-emits).
+
+    Under the ``process`` backend ``data`` may be a
+    :class:`~repro.parallel.splits.ChunkHandle` — a chunk the parent has
+    *not* loaded; the wave then plans ``(path, offset, length)`` split
+    refs and each forked worker mmaps its own range (zero-copy ingest).
+    Armed fault plans force the loaded-bytes path, because injector
+    bookkeeping must stay in the parent process.
     """
     container.begin_round()
     if injector is not None and injector.armed(SITE_RECORD_CORRUPT):
+        if isinstance(data, ChunkHandle):
+            data = data.load()
         data = screen_records(data, job, injector, chunk_index)
+    if options.executor_backend is ExecutorBackend.PROCESS:
+        return _run_mapper_wave_process(
+            job, container, data, options, chunk_index, task_id_base, injector
+        )
+    if isinstance(data, ChunkHandle):
+        data = data.load()
     splits = split_for_mappers(data, options.num_mappers, job.codec.delimiter)
     if not splits:
         return 0
 
-    def map_task(task_id: int, split: bytes) -> None:
+    def map_task(task_id: int, split: ByteSpan) -> None:
         def attempt_fn(attempt: int) -> None:
             if injector is not None:
                 decision = injector.check(
@@ -179,14 +214,99 @@ def run_mapper_wave(
     return len(splits)
 
 
+def _run_mapper_wave_process(
+    job: JobSpec,
+    container: Container,
+    data: "bytes | bytearray | ByteSpan | ChunkHandle",
+    options: RuntimeOptions,
+    chunk_index: int,
+    task_id_base: int,
+    injector: FaultInjector | None,
+) -> int:
+    """The process backend's wave: fork, map+combine in-worker, absorb.
+
+    Splits are either :class:`~repro.parallel.splits.SplitRef` ranges
+    (unloaded chunks — workers mmap their own bytes) or zero-copy spans
+    over parent-loaded data (inherited copy-on-write by the fork).  Each
+    worker task runs against a private container so combining happens
+    before serialization, and the parent absorbs the resulting deltas
+    *in task order* — making the wave's effect on the shared container
+    deterministic and identical to the serial backend's.
+    """
+    delimiter = job.codec.delimiter
+    splits: "Sequence[SplitRef | ByteSpan]"
+    if isinstance(data, ChunkHandle):
+        refs = split_refs_for_chunk(data.chunk, options.num_mappers, delimiter)
+        if refs is None:
+            # Multi-source chunk: load in the parent; the forked workers
+            # still see the buffer for free via copy-on-write.
+            splits = split_for_mappers(data.load(), options.num_mappers, delimiter)
+        else:
+            splits = refs
+    else:
+        splits = split_for_mappers(data, options.num_mappers, delimiter)
+    if not splits:
+        return 0
+
+    if injector is not None and injector.armed(SITE_MAP_TASK):
+        # The injector's counters and fault log live in the parent; a
+        # forked worker's mutations would be lost.  Gate each task here,
+        # before dispatch — the site fires (and retries) against a no-op
+        # body, preserving the per-(chunk, task) fault schedule exactly.
+        for i in range(len(splits)):
+            task_id = task_id_base + i
+
+            def gate(attempt: int, task_id: int = task_id) -> None:
+                decision = injector.check(
+                    SITE_MAP_TASK, scope=(chunk_index, task_id), attempt=attempt
+                )
+                if decision is not None:
+                    raise FaultInjected(
+                        f"injected map-task failure "
+                        f"(chunk {chunk_index}, task {task_id})",
+                        site=SITE_MAP_TASK,
+                    )
+
+            injector.retrying(
+                SITE_MAP_TASK, gate,
+                scope=(chunk_index, task_id), retryable=(FaultInjected,),
+            )
+
+    def map_task(item: "tuple[int, SplitRef | ByteSpan]") -> Any:
+        i, split = item
+        task_id = task_id_base + i
+        resolved = split.resolve() if isinstance(split, SplitRef) else split
+        local = job.container_factory()
+        local.begin_round()
+        ctx = MapContext(
+            data=resolved,
+            emitter=local.emitter(task_id),
+            task_id=task_id,
+            chunk_index=chunk_index,
+        )
+        job.map_fn(ctx)
+        local.seal()
+        return local.drain()
+
+    deltas = fork_map(map_task, list(enumerate(splits)), options.num_mappers)
+    for delta in deltas:
+        container.absorb(delta)
+    return len(splits)
+
+
 def run_reducers(
     job: JobSpec,
     container: Container,
     options: RuntimeOptions,
-    pool: ThreadPoolExecutor,
+    pool: Executor,
 ) -> list[list[Pair]]:
     """Seal the container and reduce each partition; returns one
-    key-sorted output run per reducer (``run_reducers()`` of Table I)."""
+    key-sorted output run per reducer (``run_reducers()`` of Table I).
+
+    Under the ``process`` backend the partitions are reduced in forked
+    workers — the partition lists ride into the fork copy-on-write and
+    only the (typically smaller) reduced runs are pickled back.
+    """
     container.seal()
     partitions = container.partitions(options.num_reducers)
 
@@ -198,6 +318,8 @@ def run_reducers(
             out.sort(key=job.output_key)
         return out
 
+    if options.executor_backend is ExecutorBackend.PROCESS:
+        return fork_map(reduce_task, partitions, options.num_reducers)
     return list(pool.map(reduce_task, partitions))
 
 
@@ -211,6 +333,10 @@ def merge_outputs(
     Returns ``(output, rounds)`` — rounds is the number of pairwise merge
     rounds (0 for the single-pass p-way merge), feeding Conclusion 3's
     "number of merge rounds avoided" accounting.
+
+    With the ``process`` backend and the p-way merge, output ranges are
+    merged by forked workers (each inherits the runs copy-on-write) once
+    the input is large enough to amortize the forks.
     """
     if not job.sorted_output:
         flat: list[Pair] = []
@@ -221,8 +347,15 @@ def merge_outputs(
         merged, rounds = pairwise_merge_sort(runs, key=job.output_key)
         return merged, rounds
     if options.merge_algorithm is MergeAlgorithm.PWAY:
+        executor = None
+        if (
+            options.executor_backend is ExecutorBackend.PROCESS
+            and sum(len(r) for r in runs) >= _FORK_MERGE_MIN_PAIRS
+        ):
+            executor = ForkExecutor(options.effective_merge_parallelism)
         merged = pway_merge(
-            runs, options.effective_merge_parallelism, key=job.output_key
+            runs, options.effective_merge_parallelism,
+            key=job.output_key, executor=executor,
         )
         return merged, 1 if len([r for r in runs if r]) > 1 else 0
     raise RuntimeStateError(f"unknown merge algorithm {options.merge_algorithm!r}")

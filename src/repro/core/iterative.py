@@ -15,7 +15,6 @@ read+map cost is just the map.
 
 from __future__ import annotations
 
-from concurrent.futures import ThreadPoolExecutor
 from typing import Callable
 
 from repro.chunking.chunk import Chunk, ChunkPlan
@@ -26,6 +25,7 @@ from repro.core.options import ChunkStrategy, RuntimeOptions
 from repro.core.result import JobResult, PhaseTimings
 from repro.core.timers import PhaseTimer
 from repro.errors import ConfigError, RuntimeStateError
+from repro.parallel.backends import make_pool
 from repro.pipeline.double_buffer import DoubleBufferedPipeline
 
 
@@ -91,7 +91,7 @@ class IterativeSession:
         timer = PhaseTimer()
         container = job.container_factory()
 
-        with ThreadPoolExecutor(max_workers=options.num_mappers) as pool:
+        with make_pool(options.executor_backend, options.num_mappers) as pool:
 
             def work(chunk: Chunk, data: bytes) -> None:
                 cache.append(data)
@@ -121,7 +121,7 @@ class IterativeSession:
         timer = PhaseTimer()
         container = job.container_factory()
 
-        with ThreadPoolExecutor(max_workers=options.num_mappers) as pool:
+        with make_pool(options.executor_backend, options.num_mappers) as pool:
             with timer.phase("total"):
                 with timer.phase("read_map"):  # no reads: pure map
                     for chunk, data in zip(self.plan.chunks, self._cache):

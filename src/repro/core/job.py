@@ -18,6 +18,7 @@ from repro.containers.base import Container, Emitter
 from repro.containers.combiners import Combiner
 from repro.errors import ConfigError
 from repro.io.records import RecordCodec
+from repro.io.span import ByteSpan
 
 #: ``map_fn(ctx)`` parses ``ctx.data`` and emits via ``ctx.emit`` —
 #: applications parse their own input, as Phoenix++ map tasks do.
@@ -32,9 +33,18 @@ OutputKeyFn = Callable[[tuple[Hashable, Any]], Any]
 
 @dataclass
 class MapContext:
-    """Everything one map task sees: its split bytes and an emit handle."""
+    """Everything one map task sees: its split bytes and an emit handle.
 
-    data: bytes
+    ``data`` is bytes-like, not always ``bytes``: the zero-copy ingest
+    path hands map functions a :class:`~repro.io.span.ByteSpan` window
+    over the ingest buffer (thread/serial backends) or over a worker's
+    ``mmap`` of the input file (process backend).  Spans support the
+    full codec surface — ``find``, ``len``, slicing, ``endswith`` — and
+    record slices come out as real ``bytes``; call ``bytes(ctx.data)``
+    only if a whole-split copy is genuinely needed.
+    """
+
+    data: "bytes | bytearray | ByteSpan"
     emitter: Emitter
     task_id: int
     chunk_index: int = 0

@@ -15,6 +15,7 @@ from typing import Any, Sequence
 from repro.errors import ConfigError
 from repro.faults.plan import FaultPlan
 from repro.faults.policy import RecoveryPolicy
+from repro.parallel.backends import ExecutorBackend, resolve_backend
 from repro.util.units import parse_size
 
 
@@ -80,8 +81,16 @@ class RuntimeOptions:
     #: How injected (and genuine transient) faults are answered: bounded
     #: retry with backoff, record quarantine, verify-then-re-spill.
     recovery: RecoveryPolicy = field(default_factory=RecoveryPolicy)
+    #: How map/reduce/merge tasks execute (``"serial"`` | ``"thread"`` |
+    #: ``"process"``; see :mod:`repro.parallel.backends`).  ``thread``
+    #: is the historical default; ``process`` forks workers per phase
+    #: for real multicore with zero-copy (mmap) split ingest.
+    executor_backend: ExecutorBackend | str = ExecutorBackend.THREAD
 
     def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "executor_backend", resolve_backend(self.executor_backend)
+        )
         if self.num_mappers < 1 or self.num_reducers < 1:
             raise ConfigError("num_mappers and num_reducers must be >= 1")
         if self.chunk_strategy is ChunkStrategy.INTER_FILE:

@@ -11,7 +11,6 @@ re-scans keys every round (the step-down tail of Fig. 1).
 from __future__ import annotations
 
 import time
-from concurrent.futures import ThreadPoolExecutor
 
 from repro.chunking.planner import plan_whole_input
 from repro.core.execution import (
@@ -26,6 +25,7 @@ from repro.core.result import JobResult, PhaseTimings
 from repro.core.timers import PhaseTimer
 from repro.errors import ConfigError
 from repro.faults.plan import SITE_INGEST_READ
+from repro.parallel.backends import make_pool
 from repro.util.logging import get_logger
 
 logger = get_logger(__name__)
@@ -69,7 +69,9 @@ class PhoenixRuntime:
                             scope=(whole.index,),
                         )
 
-                with ThreadPoolExecutor(max_workers=options.num_mappers) as pool:
+                with make_pool(
+                    options.executor_backend, options.num_mappers
+                ) as pool:
                     with timer.phase("map"):
                         run_mapper_wave(
                             job, container, data, options, pool,
@@ -103,6 +105,7 @@ class PhoenixRuntime:
         counters = {
             "merge_rounds": merge_rounds,
             "merge_algorithm": options.merge_algorithm.value,
+            "executor_backend": options.executor_backend.value,
         }
         if spill_stats is not None:
             counters["spill_runs"] = spill_stats.runs

@@ -11,7 +11,6 @@ single-pass parallel p-way merge instead of iterative 2-way rounds.
 from __future__ import annotations
 
 import time
-from concurrent.futures import ThreadPoolExecutor
 
 from repro.chunking.chunk import Chunk, ChunkPlan
 from repro.chunking.planner import plan_chunks
@@ -27,6 +26,8 @@ from repro.core.result import JobResult, PhaseTimings, RoundTiming
 from repro.core.timers import PhaseTimer
 from repro.errors import ConfigError
 from repro.faults.plan import SITE_INGEST_READ
+from repro.parallel.backends import ExecutorBackend, make_pool
+from repro.parallel.splits import ChunkHandle
 from repro.pipeline.double_buffer import DoubleBufferedPipeline
 from repro.util.logging import get_logger
 
@@ -60,8 +61,15 @@ class SupMRRuntime:
         plan: ChunkPlan = plan_chunks(job.inputs, job.codec, options)
         task_counter = [0]
 
-        def load(chunk: Chunk) -> bytes:
+        def load(chunk: Chunk) -> "bytes | bytearray | ChunkHandle":
             if injector is None:
+                if options.executor_backend is ExecutorBackend.PROCESS:
+                    # Zero-copy ingest: the parent never materializes the
+                    # chunk.  Warming pages it into the OS cache (that IS
+                    # the overlapped ingest work) and the forked mappers
+                    # then mmap their own split ranges out of it.
+                    chunk.warm()
+                    return ChunkHandle(chunk)
                 return chunk.load()
             # The whole chunk is the retry unit: an injected read error or
             # detected short read discards the partial buffer and re-loads.
@@ -72,9 +80,9 @@ class SupMRRuntime:
             )
 
         try:
-            with ThreadPoolExecutor(max_workers=options.num_mappers) as pool:
+            with make_pool(options.executor_backend, options.num_mappers) as pool:
 
-                def work(chunk: Chunk, data: bytes) -> None:
+                def work(chunk: Chunk, data: "bytes | bytearray | ChunkHandle") -> None:
                     if job.set_data is not None:
                         job.set_data(chunk, len(data))
                     launched = run_mapper_wave(
@@ -136,6 +144,7 @@ class SupMRRuntime:
         counters = {
             "merge_rounds": merge_rounds,
             "merge_algorithm": options.merge_algorithm.value,
+            "executor_backend": options.executor_backend.value,
             "chunk_strategy": plan.strategy,
             "pipeline_rounds": len(rounds),
             "map_tasks": task_counter[0],

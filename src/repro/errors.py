@@ -45,6 +45,12 @@ class SpillError(ReproError):
     file (truncated, corrupted, or misframed)."""
 
 
+class ParallelError(ReproError):
+    """The process-backed execution engine (:mod:`repro.parallel`) could
+    not run: fork unavailable, a worker died without reporting a result,
+    or a worker's failure could not be transported back."""
+
+
 class FaultError(ReproError):
     """Base class for the fault-injection and recovery subsystem
     (:mod:`repro.faults`)."""

@@ -1,0 +1,182 @@
+"""Fork-based task fan-out: real multicore without a picklable API.
+
+The Phoenix++-style job contract is built on closures (``make_sort_job``
+and friends capture their codec in ``map_fn``), so a conventional
+``ProcessPoolExecutor`` — which pickles the callable — cannot run it.
+:func:`fork_map` sidesteps pickling entirely: the workers are **forked
+at call time**, so the function, the job, and any input buffers are
+inherited copy-on-write; only *results* cross a pipe back to the
+parent.  That is the zero-copy half of the process backend's bargain —
+input bytes never serialize, and map results are compact in-worker
+combined container deltas rather than raw emits.
+
+Work is assigned by stride (worker ``w`` takes items ``w, w+W, ...``),
+results are reordered by item index in the parent, and the first failing
+item's exception is re-raised after all results arrive — the same
+"first future wins" semantics as the thread backend's wave loop.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pickle
+import queue as queue_mod
+from concurrent.futures import Future
+from typing import Any, Callable, Iterable, Sequence, TypeVar
+
+from repro.errors import ParallelError
+from repro.parallel.backends import require_process_backend
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: Seconds between liveness checks while waiting on worker results.
+_POLL_S = 0.2
+
+
+def _run_assigned(
+    fn: Callable[[Any], Any],
+    items: Sequence[Any],
+    worker: int,
+    stride: int,
+    results: Any,
+) -> None:
+    """Worker body: compute this worker's strided share of ``items``.
+
+    Every outcome — value or exception — is posted as ``(index, ok,
+    payload)``.  Results must pickle (they cross a pipe); the payload is
+    pickled *here*, synchronously, because ``Queue.put`` pickles in a
+    feeder thread where failures cannot be caught — anything unpicklable
+    is downgraded to a :class:`~repro.errors.ParallelError` carrying its
+    ``repr`` so the parent still learns what happened.
+    """
+    for idx in range(worker, len(items), stride):
+        try:
+            payload = (idx, True, fn(items[idx]))
+        except BaseException as exc:  # noqa: BLE001 - transported to parent
+            payload = (idx, False, exc)
+        try:
+            blob = pickle.dumps(payload)
+        except Exception:  # noqa: BLE001 - unpicklable result or error
+            kind = "result" if payload[1] else "error"
+            blob = pickle.dumps((
+                idx, False,
+                ParallelError(
+                    f"worker {kind} for item {idx} could not be pickled: "
+                    f"{payload[2]!r}"
+                ),
+            ))
+        results.put(blob)
+
+
+def fork_map(
+    fn: Callable[[T], R],
+    items: Iterable[T],
+    workers: int,
+) -> list[R]:
+    """Run ``fn`` over ``items`` in forked worker processes.
+
+    Returns results in item order.  ``fn``, ``items``, and everything
+    they close over are inherited by fork (never pickled); each result
+    is pickled once on its way back.  Raises the lowest-index item's
+    exception after the whole wave has reported, or
+    :class:`~repro.errors.ParallelError` if a worker dies without
+    reporting (e.g. killed by the OOM killer).
+    """
+    items = list(items)
+    if not items:
+        return []
+    require_process_backend()
+    workers = max(1, min(workers, len(items), (os.cpu_count() or 1) * 4))
+    ctx = multiprocessing.get_context("fork")
+    results_q = ctx.Queue()
+    procs = [
+        ctx.Process(
+            target=_run_assigned,
+            args=(fn, items, w, workers, results_q),
+            daemon=True,
+            name=f"repro-fork-{w}",
+        )
+        for w in range(workers)
+    ]
+    for p in procs:
+        p.start()
+
+    out: list[Any] = [None] * len(items)
+    failures: dict[int, BaseException] = {}
+    pending = len(items)
+    grace_polls = 0
+    try:
+        while pending:
+            try:
+                blob = results_q.get(timeout=_POLL_S)
+            except queue_mod.Empty:
+                if any(p.is_alive() for p in procs):
+                    continue
+                # All workers exited; allow a couple of polls for data
+                # still buffered in the pipe, then declare a crash.
+                grace_polls += 1
+                if grace_polls < 3:
+                    continue
+                raise ParallelError(
+                    f"{pending} of {len(items)} fork-map tasks never "
+                    "reported; a worker process died (exit codes: "
+                    f"{[p.exitcode for p in procs]})"
+                )
+            grace_polls = 0
+            pending -= 1
+            try:
+                idx, ok, payload = pickle.loads(blob)
+            except Exception as exc:  # noqa: BLE001 - corrupt transport
+                raise ParallelError(
+                    f"could not decode a fork-map worker result: {exc!r}"
+                ) from exc
+            if ok:
+                out[idx] = payload
+            else:
+                failures[idx] = payload
+    finally:
+        for p in procs:
+            p.join(timeout=5.0)
+        for p in procs:
+            if p.is_alive():  # pragma: no cover - defensive cleanup
+                p.terminate()
+                p.join(timeout=1.0)
+        results_q.close()
+    if failures:
+        raise failures[min(failures)]
+    return out
+
+
+class ForkExecutor:
+    """Minimal executor facade over :func:`fork_map` for the sort library.
+
+    ``sortlib.pway_merge`` / ``parallel_sort`` drive their workers
+    through ``executor.map``; handing them a ``ForkExecutor`` makes the
+    merge phase genuinely parallel — each forked worker inherits the
+    sorted runs copy-on-write and sends back only its output range.
+    """
+
+    def __init__(self, workers: int) -> None:
+        if workers < 1:
+            raise ParallelError("ForkExecutor needs at least one worker")
+        self.workers = workers
+
+    def map(self, fn: Callable[..., R], *iterables: Iterable[Any]) -> list[R]:
+        """`Executor.map` semantics (results in order, eager)."""
+        if len(iterables) == 1:
+            items = list(iterables[0])
+            return fork_map(fn, items, self.workers)
+        packed = list(zip(*iterables))
+        return fork_map(lambda args: fn(*args), packed, self.workers)
+
+    def submit(self, fn: Callable[..., R], /, *args: Any, **kwargs: Any) -> Future:
+        """Single-task form; runs one forked worker synchronously."""
+        future: Future = Future()
+        try:
+            result = fork_map(lambda _: fn(*args, **kwargs), [None], 1)[0]
+            future.set_result(result)
+        except BaseException as exc:  # noqa: BLE001 - parked on the future
+            future.set_exception(exc)
+        return future

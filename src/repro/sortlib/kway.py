@@ -20,7 +20,7 @@ def _identity(x: Any) -> Any:
 
 
 def kway_merge(
-    runs: Sequence[Iterable[Any]], key: KeyFn = _identity
+    runs: Sequence[Iterable[Any]], key: KeyFn | None = None
 ) -> list[Any]:
     """Merge k sorted runs into one sorted list in a single pass.
 
@@ -34,16 +34,26 @@ def kway_merge(
 
 
 def iter_kway_merge(
-    runs: Sequence[Iterable[Any]], key: KeyFn = _identity
+    runs: Sequence[Iterable[Any]], key: KeyFn | None = None
 ) -> Iterator[Any]:
     """Streaming form of :func:`kway_merge`: O(k) live items in memory.
 
     Only one item per run is buffered, so merging k lazily-read runs
-    (e.g. spill run files) never materializes them.  Heap entries are
-    ``(sort_key, run_index, item, iterator)``; the unique run index
-    breaks every tie before ``item`` would be compared, so items
-    themselves never need to be orderable.
+    (e.g. spill run files) never materializes them.
+
+    With ``key=None`` (natural item order) the merge delegates straight
+    to :func:`heapq.merge`, whose tight loop skips the per-item tuple
+    decoration entirely — ties still resolve in run order, as
+    ``heapq.merge`` is stable across its input iterables.  With a key
+    function, entries are decorated **once** per item as ``(sort_key,
+    run_index, item, iterator)`` — the key is never recomputed during
+    heap sifting, and the unique run index breaks every tie before
+    ``item`` would be compared, so items themselves never need to be
+    orderable.
     """
+    if key is None:
+        yield from heapq.merge(*runs)
+        return
     heap: list[tuple[Any, int, Any, Iterator[Any]]] = []
     for run_idx, run in enumerate(runs):
         it = iter(run)

@@ -43,12 +43,16 @@ def split_blocks(items: Sequence[Any], parts: int) -> list[list[Any]]:
 def parallel_sort(
     items: Sequence[Any],
     parallelism: int,
-    key: KeyFn = _identity,
+    key: KeyFn | None = None,
     executor: Executor | None = None,
 ) -> list[Any]:
     """Sort ``items`` with p-block sort + single p-way merge.
 
-    Matches ``sorted(items, key=key)`` (stable) for any input.
+    Matches ``sorted(items, key=key)`` (stable) for any input;
+    ``key=None`` sorts by natural order and takes the no-key merge fast
+    path.  An ``executor`` (thread pool or
+    :class:`~repro.parallel.fork_pool.ForkExecutor`) overlaps both the
+    block sorts and the range merges.
     """
     if parallelism < 1:
         raise ValueError("parallelism must be >= 1")

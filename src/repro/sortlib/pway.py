@@ -32,13 +32,15 @@ def _identity(x: Any) -> Any:
 def pway_merge(
     runs: Sequence[Sequence[Any]],
     parallelism: int,
-    key: KeyFn = _identity,
+    key: KeyFn | None = None,
     executor: Executor | None = None,
 ) -> list[Any]:
     """Merge sorted ``runs`` with ``parallelism`` single-pass workers.
 
     Equivalent output to :func:`repro.sortlib.kway.kway_merge` (including
     tie order); raises ``ValueError`` for non-positive parallelism.
+    ``key=None`` means natural item order and lets each range merge take
+    the ``heapq.merge`` fast path.
     """
     if parallelism < 1:
         raise ValueError("parallelism must be >= 1")
@@ -47,7 +49,7 @@ def pway_merge(
     if total == 0:
         return []
     parallelism = min(parallelism, total)
-    bounds = multiway_partition(runs, parallelism, key)
+    bounds = multiway_partition(runs, parallelism, key or _identity)
 
     def merge_range(t: int) -> list[Any]:
         slices = [

@@ -27,7 +27,12 @@ from __future__ import annotations
 import threading
 from typing import Any, Callable, Hashable
 
-from repro.containers.base import Container, ContainerStats, Emitter
+from repro.containers.base import (
+    Container,
+    ContainerDelta,
+    ContainerStats,
+    Emitter,
+)
 from repro.errors import ContainerError, SpillError
 from repro.spill.accountant import estimate_pair_bytes
 from repro.spill.external_merge import ExternalPwayMerge
@@ -67,6 +72,9 @@ class SpillableContainer(Container):
         self._emits = 0
         self._emits_at_spill = 0
         self._distinct_keys: int | None = None
+        # Synthetic task ids for absorbed segments (negative so they can
+        # never collide with real mapper task ids).
+        self._absorb_task_id = -1
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -118,6 +126,65 @@ class SpillableContainer(Container):
         self._inner.begin_round()
         self._task_emitters.clear()
         self._emits_at_spill = self._emits
+
+    # -- process-boundary transport ----------------------------------------
+
+    def absorb(self, delta: ContainerDelta) -> None:
+        """Fold a worker's delta in while honoring the memory budget.
+
+        Workers run the *unwrapped* inner container (the budget is a
+        parent-side resource), so the deltas arriving here are plain
+        hash/array/fixed deltas.  Every absorbed pair passes the same
+        charge-or-spill gate as a directly emitted one, which keeps
+        budgeted process runs within budget — and spill-file contents
+        deterministic, because absorption happens in task order.
+        """
+        with self._lock:
+            self._check_open()
+            if delta.kind == "hash":
+                self._absorb_hash(delta)
+            elif delta.kind == "array":
+                self._absorb_array(delta)
+            elif delta.kind == "fixed":
+                self._absorb_fixed(delta)
+            else:
+                raise ContainerError(
+                    f"SpillableContainer cannot absorb a {delta.kind!r} delta"
+                )
+
+    def _absorb_hash(self, delta: ContainerDelta) -> None:
+        for key, state in delta.items:
+            cost = estimate_pair_bytes(key, state)
+            if self.manager.accountant.would_exceed(cost):
+                self._spill_live()
+            self.manager.accountant.charge(cost)
+            self._inner.absorb(
+                ContainerDelta(kind="hash", emits=0, items=[(key, state)])
+            )
+            self._emits += 1  # per-pair, so _spill_live sees progress
+        # True up to the pre-combine emit count for stats parity.
+        self._emits += delta.emits - len(delta.items)
+
+    def _absorb_array(self, delta: ContainerDelta) -> None:
+        # Re-emit through _insert so the per-pair budget gate runs; one
+        # synthetic task id per segment keeps the inner array container's
+        # segment structure (and thus its reducer partitioning) identical
+        # to the serial backend's one-segment-per-task layout.
+        for segment in delta.items:
+            task_id = self._absorb_task_id
+            self._absorb_task_id -= 1
+            for key, value in segment:
+                self._insert(key, value, task_id)
+
+    def _absorb_fixed(self, delta: ContainerDelta) -> None:
+        cost = int(getattr(delta.items, "nbytes", 0)) or estimate_pair_bytes(
+            0, delta.items
+        )
+        if self.manager.accountant.would_exceed(cost):
+            self._spill_live()
+        self.manager.accountant.charge(cost)
+        self._inner.absorb(delta)
+        self._emits += delta.emits
 
     # -- reduce-side -------------------------------------------------------
 

@@ -1,0 +1,104 @@
+"""Chunk.load fast paths (mmap / readinto) and Chunk.warm."""
+
+from __future__ import annotations
+
+from repro.chunking.chunk import Chunk, ChunkSource
+
+
+def _write(tmp_path, name, data):
+    path = tmp_path / name
+    path.write_bytes(data)
+    return path
+
+
+class TestSingleSourceMmapLoad:
+    def test_full_file(self, tmp_path):
+        data = b"hello\nworld\n"
+        path = _write(tmp_path, "in.txt", data)
+        chunk = Chunk(0, (ChunkSource(path, 0, len(data)),))
+        assert chunk.load() == data
+
+    def test_interior_window(self, tmp_path):
+        path = _write(tmp_path, "in.txt", b"0123456789")
+        chunk = Chunk(0, (ChunkSource(path, 3, 4),))
+        assert chunk.load() == b"3456"
+
+    def test_range_past_eof_is_clamped(self, tmp_path):
+        path = _write(tmp_path, "in.txt", b"abc")
+        chunk = Chunk(0, (ChunkSource(path, 1, 100),))
+        assert chunk.load() == b"bc"
+
+    def test_zero_length_source(self, tmp_path):
+        path = _write(tmp_path, "in.txt", b"abc")
+        chunk = Chunk(0, (ChunkSource(path, 3, 0),))
+        assert chunk.load() == b""
+
+    def test_empty_file(self, tmp_path):
+        path = _write(tmp_path, "empty.txt", b"")
+        chunk = Chunk(0, (ChunkSource(path, 0, 0),))
+        assert chunk.load() == b""
+
+
+class TestMultiSourceReadintoLoad:
+    def test_parts_land_in_order(self, tmp_path):
+        a = _write(tmp_path, "a.txt", b"first-")
+        b = _write(tmp_path, "b.txt", b"second-")
+        c = _write(tmp_path, "c.txt", b"third")
+        chunk = Chunk(
+            0,
+            (
+                ChunkSource(a, 0, 6),
+                ChunkSource(b, 0, 7),
+                ChunkSource(c, 0, 5),
+            ),
+        )
+        assert bytes(chunk.load()) == b"first-second-third"
+
+    def test_short_file_shrinks_buffer(self, tmp_path):
+        a = _write(tmp_path, "a.txt", b"ab")
+        b = _write(tmp_path, "b.txt", b"cd")
+        # Source a claims 10 bytes but the file only has 2.
+        chunk = Chunk(0, (ChunkSource(a, 0, 10), ChunkSource(b, 0, 2)))
+        loaded = bytes(chunk.load())
+        assert loaded.startswith(b"ab")
+        assert len(loaded) < 12
+
+    def test_missing_file_is_skipped(self, tmp_path):
+        a = _write(tmp_path, "a.txt", b"data")
+        gone = tmp_path / "gone.txt"
+        chunk = Chunk(0, (ChunkSource(gone, 0, 4), ChunkSource(a, 0, 4)))
+        assert len(bytes(chunk.load())) <= 8  # no crash, partial fill
+
+    def test_matches_legacy_concat_semantics(self, tmp_path):
+        files = [
+            _write(tmp_path, f"f{i}.txt", bytes([65 + i]) * (10 + i))
+            for i in range(4)
+        ]
+        sources = tuple(ChunkSource(p, 2, 5) for p in files)
+        chunk = Chunk(0, sources)
+        expected = b"".join(p.read_bytes()[2:7] for p in files)
+        assert bytes(chunk.load()) == expected
+
+
+class TestWarm:
+    def test_counts_all_source_bytes(self, tmp_path):
+        a = _write(tmp_path, "a.txt", b"x" * 5000)
+        b = _write(tmp_path, "b.txt", b"y" * 300)
+        chunk = Chunk(0, (ChunkSource(a, 0, 5000), ChunkSource(b, 0, 300)))
+        assert chunk.warm(buffer_size=1024) == 5300
+
+    def test_short_file_touches_what_exists(self, tmp_path):
+        a = _write(tmp_path, "a.txt", b"x" * 10)
+        chunk = Chunk(0, (ChunkSource(a, 0, 100),))
+        assert chunk.warm() == 10
+
+    def test_missing_file_touches_nothing(self, tmp_path):
+        chunk = Chunk(0, (ChunkSource(tmp_path / "gone.txt", 0, 100),))
+        assert chunk.warm() == 0
+
+    def test_does_not_change_load_result(self, tmp_path):
+        data = b"payload " * 100
+        path = _write(tmp_path, "in.txt", data)
+        chunk = Chunk(0, (ChunkSource(path, 0, len(data)),))
+        chunk.warm()
+        assert chunk.load() == data

@@ -20,13 +20,21 @@ from repro.core.execution import (
 from repro.core.job import JobSpec
 from repro.core.options import MergeAlgorithm, RuntimeOptions
 from repro.errors import RuntimeStateError
+from repro.io.span import ByteSpan
 
 
 class TestSplitForMappers:
     def test_covers_all_data(self):
         data = b"aa\nbb\ncc\ndd\n"
         splits = split_for_mappers(data, 3, b"\n")
-        assert b"".join(splits) == data
+        assert b"".join(bytes(s) for s in splits) == data
+
+    def test_splits_are_zero_copy_spans(self):
+        data = b"aa\nbb\ncc\ndd\n"
+        splits = split_for_mappers(data, 3, b"\n")
+        assert all(isinstance(s, ByteSpan) for s in splits)
+        # Every span windows the original buffer, not a copy of it.
+        assert all(s.base is data for s in splits)
 
     def test_splits_are_record_aligned(self):
         data = b"one\ntwo\nthree\nfour\n"
@@ -55,7 +63,7 @@ class TestSplitForMappers:
     def test_property_reassembles_and_aligns(self, records, n):
         data = b"".join(r + b"\n" for r in records)
         splits = split_for_mappers(data, n, b"\n")
-        assert b"".join(splits) == data
+        assert b"".join(bytes(s) for s in splits) == data
         for split in splits[:-1]:
             assert split.endswith(b"\n")
 

@@ -1,0 +1,141 @@
+"""Backend equivalence: serial, thread, and process runs are byte-identical.
+
+The whole contract of ``executor_backend`` is that it changes *speed*,
+never *answers*.  This matrix runs real jobs (wordcount, terasort,
+histogram) through the SupMR runtime under every backend — plain, under
+a memory budget (spill paths), and with an armed fault plan (recovery
+paths) — and asserts the final ``JobResult.output`` is identical to the
+serial reference, pair for pair.  With faults armed, the injected-fault
+counters must match too: the fault schedule is part of the determinism
+contract.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.apps.histogram import make_histogram_job
+from repro.apps.sortapp import make_sort_job
+from repro.apps.wordcount import make_wordcount_job
+from repro.core.options import RuntimeOptions
+from repro.core.phoenix import PhoenixRuntime
+from repro.core.supmr import SupMRRuntime
+from repro.faults import parse_faults
+from repro.parallel.backends import fork_available
+
+BACKENDS = ["serial", "thread", "process"]
+
+needs_fork = pytest.mark.skipif(not fork_available(), reason="needs os.fork")
+
+
+@pytest.fixture(scope="module")
+def numbers_file(tmp_path_factory: pytest.TempPathFactory) -> Path:
+    import random
+
+    rng = random.Random(44)
+    path = tmp_path_factory.mktemp("data") / "numbers.txt"
+    path.write_bytes(
+        b"\n".join(str(rng.randrange(0, 64)).encode() for _ in range(5000))
+        + b"\n"
+    )
+    return path
+
+
+def _options(backend: str, *, budget: bool = False, faults: bool = False):
+    opts = RuntimeOptions.supmr_interfile(
+        "16KB", num_mappers=4, num_reducers=3
+    ).with_(executor_backend=backend)
+    if budget:
+        opts = opts.with_(memory_budget="96KB")
+    if faults:
+        opts = opts.with_(
+            fault_plan=parse_faults(
+                "ingest.read=once,map.task=once,record.corrupt=0.005", seed=9
+            )
+        )
+    return opts
+
+
+def _job(name: str, text_file, terasort_file, numbers_file):
+    if name == "wordcount":
+        return make_wordcount_job([text_file])
+    if name == "sort":
+        return make_sort_job([terasort_file])
+    if name == "histogram":
+        return make_histogram_job([numbers_file], lo=0, hi=64, n_buckets=64)
+    if name == "histogram-fixed":
+        return make_histogram_job(
+            [numbers_file], lo=0, hi=64, n_buckets=64, container="fixed"
+        )
+    raise AssertionError(name)
+
+
+_FAULT_COUNTERS = ("faults_injected", "fault_retries", "records_quarantined")
+
+
+@needs_fork
+@pytest.mark.parametrize("budget", [False, True], ids=["no-budget", "budget"])
+@pytest.mark.parametrize(
+    "job_name", ["wordcount", "sort", "histogram", "histogram-fixed"]
+)
+class TestSupMRBackendEquivalence:
+    def test_outputs_byte_identical(
+        self, job_name, budget, text_file, terasort_file, numbers_file
+    ):
+        results = {
+            backend: SupMRRuntime(_options(backend, budget=budget)).run(
+                _job(job_name, text_file, terasort_file, numbers_file)
+            )
+            for backend in BACKENDS
+        }
+        reference = results["serial"]
+        assert reference.output, "reference run produced no output"
+        for backend in ("thread", "process"):
+            assert results[backend].output == reference.output, (
+                f"{job_name}: {backend} output diverged from serial"
+            )
+
+
+@needs_fork
+@pytest.mark.parametrize("job_name", ["wordcount", "sort"])
+class TestFaultedBackendEquivalence:
+    def test_outputs_and_fault_schedule_identical(
+        self, job_name, text_file, terasort_file, numbers_file
+    ):
+        results = {
+            backend: SupMRRuntime(_options(backend, faults=True)).run(
+                _job(job_name, text_file, terasort_file, numbers_file)
+            )
+            for backend in BACKENDS
+        }
+        reference = results["serial"]
+        assert reference.counters["faults_injected"] > 0, (
+            "fault plan never fired; the test is vacuous"
+        )
+        for backend in ("thread", "process"):
+            assert results[backend].output == reference.output
+            for counter in _FAULT_COUNTERS:
+                assert (
+                    results[backend].counters[counter]
+                    == reference.counters[counter]
+                ), f"{job_name}: {backend} {counter} diverged"
+
+
+@needs_fork
+class TestPhoenixBackendEquivalence:
+    def test_wordcount_matches_across_backends(self, text_file):
+        outputs = {}
+        for backend in BACKENDS:
+            opts = RuntimeOptions.baseline(4, 3).with_(executor_backend=backend)
+            outputs[backend] = (
+                PhoenixRuntime(opts).run(make_wordcount_job([text_file])).output
+            )
+        assert outputs["thread"] == outputs["serial"]
+        assert outputs["process"] == outputs["serial"]
+
+    def test_backend_reported_in_counters(self, text_file):
+        opts = RuntimeOptions.baseline(2, 2).with_(executor_backend="process")
+        result = PhoenixRuntime(opts).run(make_wordcount_job([text_file]))
+        assert result.counters["executor_backend"] == "process"

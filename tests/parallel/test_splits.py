@@ -1,0 +1,95 @@
+"""SplitRef planning: descriptor boundaries match the in-memory splitter."""
+
+from __future__ import annotations
+
+from repro.chunking.chunk import Chunk, ChunkSource
+from repro.chunking.planner import plan_chunks
+from repro.core.execution import split_for_mappers
+from repro.core.options import RuntimeOptions
+from repro.io.records import RecordCodec
+from repro.parallel.splits import ChunkHandle, SplitRef, split_refs_for_chunk
+
+
+def _write(tmp_path, name, data):
+    path = tmp_path / name
+    path.write_bytes(data)
+    return path
+
+
+class TestSplitRefsForChunk:
+    def test_boundaries_match_in_memory_splitter(self, tmp_path):
+        data = b"".join(b"record-%04d\n" % i for i in range(200))
+        path = _write(tmp_path, "in.txt", data)
+        chunk = Chunk(0, (ChunkSource(path, 0, len(data)),))
+        refs = split_refs_for_chunk(chunk, 4, b"\n")
+        spans = split_for_mappers(data, 4, b"\n")
+        assert refs is not None and len(refs) == len(spans)
+        for ref, span in zip(refs, spans):
+            assert (ref.offset, ref.length) == (span.start, len(span))
+            assert bytes(ref.resolve()) == bytes(span)
+
+    def test_offsets_are_absolute_file_positions(self, tmp_path):
+        data = b"aaaa\nbbbb\ncccc\ndddd\n"
+        path = _write(tmp_path, "in.txt", data)
+        # A chunk covering the file's second half only.
+        chunk = Chunk(1, (ChunkSource(path, 10, 10),))
+        refs = split_refs_for_chunk(chunk, 2, b"\n")
+        assert refs is not None
+        assert refs[0].offset == 10
+        assert b"".join(bytes(r.resolve()) for r in refs) == data[10:]
+
+    def test_multi_source_chunk_declines(self, tmp_path):
+        a = _write(tmp_path, "a.txt", b"one\n")
+        b = _write(tmp_path, "b.txt", b"two\n")
+        chunk = Chunk(0, (ChunkSource(a, 0, 4), ChunkSource(b, 0, 4)))
+        assert split_refs_for_chunk(chunk, 2, b"\n") is None
+
+    def test_vanished_file_declines(self, tmp_path):
+        chunk = Chunk(0, (ChunkSource(tmp_path / "gone.txt", 0, 8),))
+        assert split_refs_for_chunk(chunk, 2, b"\n") is None
+
+    def test_range_past_eof_is_clamped(self, tmp_path):
+        path = _write(tmp_path, "in.txt", b"ab\ncd\n")
+        chunk = Chunk(0, (ChunkSource(path, 0, 1000),))
+        refs = split_refs_for_chunk(chunk, 2, b"\n")
+        assert refs is not None
+        assert b"".join(bytes(r.resolve()) for r in refs) == b"ab\ncd\n"
+
+    def test_empty_range_gives_no_refs(self, tmp_path):
+        path = _write(tmp_path, "in.txt", b"data\n")
+        chunk = Chunk(0, (ChunkSource(path, 5, 0),))
+        assert split_refs_for_chunk(chunk, 2, b"\n") == []
+
+    def test_planned_interfile_chunks_resolve_to_their_bytes(self, tmp_path):
+        data = b"".join(b"%05d-payload\n" % i for i in range(300))
+        path = _write(tmp_path, "big.txt", data)
+        options = RuntimeOptions.supmr_interfile("1KB")
+        plan = plan_chunks((path,), RecordCodec(), options)
+        rebuilt = b""
+        for chunk in plan.chunks:
+            refs = split_refs_for_chunk(chunk, 3, b"\n")
+            assert refs is not None
+            rebuilt += b"".join(bytes(r.resolve()) for r in refs)
+        assert rebuilt == data
+
+
+class TestSplitRefResolve:
+    def test_zero_length_ref(self, tmp_path):
+        path = _write(tmp_path, "in.txt", b"abc")
+        assert bytes(SplitRef(str(path), 0, 0).resolve()) == b""
+
+    def test_resolve_window(self, tmp_path):
+        path = _write(tmp_path, "in.txt", b"0123456789")
+        span = SplitRef(str(path), 3, 4).resolve()
+        assert bytes(span) == b"3456"
+        assert span.find(b"5") == 2  # relative to the window
+
+
+class TestChunkHandle:
+    def test_len_and_load(self, tmp_path):
+        path = _write(tmp_path, "in.txt", b"hello\nworld\n")
+        chunk = Chunk(0, (ChunkSource(path, 0, 12),))
+        handle = ChunkHandle(chunk)
+        assert len(handle) == 12
+        assert handle.load() == b"hello\nworld\n"
+        assert "ChunkHandle" in repr(handle)

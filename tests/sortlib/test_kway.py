@@ -83,3 +83,32 @@ class TestKwayMerge:
         ]
         key = lambda t: t[0]  # noqa: E731
         assert kway_merge(tagged, key) == pairwise_merge_sort(tagged, key)[0]
+
+
+class TestNoKeyFastPath:
+    """key=None delegates to heapq.merge; semantics must not change."""
+
+    def test_matches_keyed_merge(self):
+        runs = [[1, 4, 7], [2, 5, 8], [3, 6, 9]]
+        assert kway_merge(runs) == kway_merge(runs, key=lambda x: x)
+
+    def test_stable_in_run_order_on_ties(self):
+        # heapq.merge documents stability across its input iterables —
+        # the same run-0-first tie rule the decorated path guarantees.
+        # 1 == 1.0 but the types tell us which run each came from.
+        merged = kway_merge([[1.0, 2.0], [1, 2]])
+        assert merged == [1.0, 1, 2.0, 2]
+        assert [type(x) for x in merged] == [float, int, float, int]
+
+    def test_streams_lazily_without_key(self):
+        import itertools
+
+        evens = itertools.count(0, 2)
+        odds = itertools.count(1, 2)
+        head = list(itertools.islice(iter_kway_merge([evens, odds]), 6))
+        assert head == [0, 1, 2, 3, 4, 5]
+
+    @given(st.lists(st.lists(st.integers()), max_size=10))
+    def test_property_no_key_equals_keyed(self, runs):
+        runs = [sorted(r) for r in runs]
+        assert kway_merge(runs, key=None) == kway_merge(runs, key=lambda x: x)

@@ -1,0 +1,235 @@
+#!/usr/bin/env python
+"""Benchmark gate: time the execution backends and fail on regression.
+
+Runs the reference jobs (wordcount, terasort, histogram) through the
+SupMR runtime under each requested backend, records best-of-N wall
+times plus a sha256 over every job's output pairs, and writes the
+results to ``BENCH_pr3.json``.
+
+The gate fails (non-zero exit) when:
+
+* any backend's output digest diverges from the serial reference
+  (backends must change *speed*, never *answers*);
+* a baseline file is given and any (job, backend) time regressed more
+  than ``--threshold`` beyond its baseline — only enforced when the
+  baseline was recorded on a box with the same CPU count, since wall
+  times from different core counts are not comparable;
+* the box has >= 2 CPUs and the process backend fails to beat the
+  thread backend by ``--min-speedup`` on wordcount (the CPU-bound
+  workload the process backend exists for).  On a single-core box the
+  speedup check is *skipped and recorded as skipped* — fork overhead
+  with no parallelism to pay for it is expected to lose there.
+
+Usage::
+
+    PYTHONPATH=src python tools/bench_gate.py --quick
+    PYTHONPATH=src python tools/bench_gate.py --baseline BENCH_pr3.json
+    PYTHONPATH=src python tools/bench_gate.py --update   # refresh baseline
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import os
+import random
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.apps.histogram import make_histogram_job  # noqa: E402
+from repro.apps.sortapp import make_sort_job  # noqa: E402
+from repro.apps.wordcount import make_wordcount_job  # noqa: E402
+from repro.core.options import RuntimeOptions  # noqa: E402
+from repro.core.supmr import SupMRRuntime  # noqa: E402
+from repro.parallel.backends import fork_available  # noqa: E402
+from repro.workloads.teragen import generate_terasort_file  # noqa: E402
+
+WORDS = (
+    "map reduce merge sort chunk spill bandwidth disk memory pipeline "
+    "ingest combine shard scale worker split record budget fault retry"
+).split()
+
+
+def make_corpus(root: Path, scale: int, seed: int = 1234) -> dict:
+    """Write the seeded input files; returns paths keyed by job name."""
+    rng = random.Random(seed)
+    text = root / "corpus.txt"
+    with open(text, "wb") as f:
+        for _ in range(2000 * scale):
+            line = " ".join(rng.choice(WORDS) for _ in range(12))
+            f.write(line.encode() + b"\n")
+    tera = root / "tera.txt"
+    generate_terasort_file(tera, 3000 * scale, seed=seed)
+    numbers = root / "numbers.txt"
+    with open(numbers, "wb") as f:
+        for _ in range(5000 * scale):
+            f.write(b"%d\n" % rng.randrange(0, 256))
+    return {"wordcount": text, "sort": tera, "histogram": numbers}
+
+
+def make_job(name: str, paths: dict):
+    """Build the named reference job over the generated corpus."""
+    if name == "wordcount":
+        return make_wordcount_job([paths["wordcount"]])
+    if name == "sort":
+        return make_sort_job([paths["sort"]])
+    if name == "histogram":
+        return make_histogram_job(
+            [paths["histogram"]], lo=0, hi=256, n_buckets=64
+        )
+    raise ValueError(name)
+
+
+def digest_output(output) -> str:
+    """sha256 over the job's output pairs, order-sensitive."""
+    h = hashlib.sha256()
+    for key, value in output:
+        h.update(repr(key).encode())
+        h.update(b"\x00")
+        h.update(repr(value).encode())
+        h.update(b"\x01")
+    return h.hexdigest()
+
+
+def run_once(job_name: str, backend: str, paths: dict) -> tuple[float, str]:
+    """One timed run; returns (seconds, output digest)."""
+    options = RuntimeOptions.supmr_interfile(
+        "256KB", num_mappers=4, num_reducers=4
+    ).with_(executor_backend=backend)
+    job = make_job(job_name, paths)
+    start = time.perf_counter()
+    result = SupMRRuntime(options).run(job)
+    elapsed = time.perf_counter() - start
+    return elapsed, digest_output(result.output)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller corpus, 2 repeats (CI smoke)")
+    parser.add_argument("--backends", default="serial,thread,process",
+                        help="comma-separated backends to time")
+    parser.add_argument("--out", default="BENCH_pr3.json",
+                        help="where to write results")
+    parser.add_argument("--baseline", default=None,
+                        help="prior BENCH_pr3.json to compare against")
+    parser.add_argument("--threshold", type=float, default=0.25,
+                        help="allowed fractional slowdown vs baseline")
+    parser.add_argument("--min-speedup", type=float, default=1.5,
+                        help="required process/thread speedup on multicore")
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite --out even if the gate fails")
+    args = parser.parse_args(argv)
+
+    backends = [b.strip() for b in args.backends.split(",") if b.strip()]
+    if "process" in backends and not fork_available():
+        print("bench_gate: os.fork unavailable; dropping process backend")
+        backends = [b for b in backends if b != "process"]
+
+    scale = 1 if args.quick else 4
+    repeats = 2 if args.quick else 3
+    cpus = os.cpu_count() or 1
+    failures: list[str] = []
+    results: dict = {
+        "bench": "pr3-backend-gate",
+        "cpu_count": cpus,
+        "quick": args.quick,
+        "repeats": repeats,
+        "scale": scale,
+        "jobs": {},
+    }
+
+    with tempfile.TemporaryDirectory(prefix="bench_gate_") as tmp:
+        paths = make_corpus(Path(tmp), scale)
+        for job_name in ("wordcount", "sort", "histogram"):
+            row: dict = {}
+            digests: dict[str, str] = {}
+            for backend in backends:
+                times = []
+                for _ in range(repeats):
+                    elapsed, digest = run_once(job_name, backend, paths)
+                    times.append(elapsed)
+                digests[backend] = digest
+                row[backend] = {"best_s": round(min(times), 4),
+                                "all_s": [round(t, 4) for t in times],
+                                "sha256": digest}
+                print(f"{job_name:10s} {backend:8s} best "
+                      f"{min(times):7.3f}s  sha {digest[:12]}")
+            reference = digests.get("serial") or next(iter(digests.values()))
+            for backend, digest in digests.items():
+                if digest != reference:
+                    failures.append(
+                        f"{job_name}: {backend} output diverged "
+                        f"(sha {digest[:12]} != {reference[:12]})"
+                    )
+            results["jobs"][job_name] = row
+
+    # Multicore speedup gate: the reason the process backend exists.
+    speedup_row: dict = {"min_required": args.min_speedup}
+    if "process" in backends and "thread" in backends:
+        wc = results["jobs"]["wordcount"]
+        ratio = wc["thread"]["best_s"] / max(wc["process"]["best_s"], 1e-9)
+        speedup_row["wordcount_process_vs_thread"] = round(ratio, 3)
+        if cpus < 2:
+            # Documented skip: with one core, forked workers run serially
+            # and only pay the fork + pickle overhead.  The gate records
+            # the ratio for the curious but does not enforce it.
+            speedup_row["enforced"] = False
+            speedup_row["skip_reason"] = f"single-core box (cpu_count={cpus})"
+            print(f"speedup gate skipped: cpu_count={cpus} < 2 "
+                  f"(measured {ratio:.2f}x)")
+        else:
+            speedup_row["enforced"] = True
+            if ratio < args.min_speedup:
+                failures.append(
+                    f"process backend only {ratio:.2f}x vs thread on "
+                    f"wordcount (need {args.min_speedup}x on {cpus} cpus)"
+                )
+            print(f"speedup gate: process {ratio:.2f}x thread "
+                  f"(need {args.min_speedup}x)")
+    results["speedup"] = speedup_row
+
+    # Regression gate vs a recorded baseline from the same class of box.
+    if args.baseline and Path(args.baseline).exists():
+        baseline = json.loads(Path(args.baseline).read_text())
+        if baseline.get("cpu_count") != cpus:
+            print(f"baseline skipped: recorded on cpu_count="
+                  f"{baseline.get('cpu_count')}, this box has {cpus}")
+        elif baseline.get("quick") != args.quick:
+            print("baseline skipped: quick/full mode mismatch")
+        else:
+            for job_name, row in results["jobs"].items():
+                base_row = baseline.get("jobs", {}).get(job_name, {})
+                for backend, cell in row.items():
+                    base = base_row.get(backend, {}).get("best_s")
+                    if not base:
+                        continue
+                    slowdown = cell["best_s"] / base - 1.0
+                    if slowdown > args.threshold:
+                        failures.append(
+                            f"{job_name}/{backend}: {cell['best_s']:.3f}s is "
+                            f"{slowdown:+.0%} vs baseline {base:.3f}s "
+                            f"(threshold {args.threshold:.0%})"
+                        )
+
+    results["failures"] = failures
+    if not failures or args.update:
+        Path(args.out).write_text(json.dumps(results, indent=2) + "\n")
+        print(f"wrote {args.out}")
+    if failures:
+        print("\nBENCH GATE FAILED:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print("bench gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
