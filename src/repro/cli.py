@@ -58,6 +58,20 @@ def _print_result(result: JobResult) -> None:
         f = result.fault_log
         print(f"  faults: {f.injected} injected, {f.retries} retried, "
               f"{f.recoveries} recovered, {f.quarantined} quarantined")
+    if result.counters.get("resumed"):
+        print(f"  resume: restored {result.counters.get('resumed_rounds', 0)} "
+              "completed round(s) from the checkpoint")
+    if result.counters.get("degraded"):
+        marks = []
+        if result.counters.get("deadline_expired"):
+            marks.append("job deadline expired")
+        if result.counters.get("pool_failures"):
+            marks.append(
+                f"pool failed {result.counters['pool_failures']}x, "
+                f"finished on {result.counters.get('degraded_backend')}"
+            )
+        print(f"  DEGRADED: {'; '.join(marks) or 'partial result'}")
+    print(f"  digest: {result.output_digest()}")
 
 
 def _options_from(args: argparse.Namespace) -> RuntimeOptions:
@@ -90,6 +104,17 @@ def _options_from(args: argparse.Namespace) -> RuntimeOptions:
             skip_budget=skip_budget if skip_budget is not None else 1000,
         )
         options = options.with_(fault_plan=plan, recovery=recovery)
+    if getattr(args, "checkpoint_dir", None):
+        options = options.with_(
+            checkpoint_dir=args.checkpoint_dir,
+            resume=bool(getattr(args, "resume", False)),
+        )
+    if getattr(args, "job_deadline", None) is not None:
+        options = options.with_(job_deadline_s=args.job_deadline)
+    if getattr(args, "no_supervise", False):
+        options = options.with_(
+            supervised_pool=False, degrade_on_pool_failure=False
+        )
     return options
 
 
@@ -258,6 +283,19 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--skip-budget", type=int, default=None, metavar="N",
                        help="max corrupt records to quarantine before "
                             "aborting (default 1000)")
+        p.add_argument("--checkpoint-dir", metavar="DIR",
+                       help="journal completed work under DIR so a killed "
+                            "job can be resumed")
+        p.add_argument("--resume", action="store_true",
+                       help="resume from the journal in --checkpoint-dir "
+                            "instead of starting fresh")
+        p.add_argument("--job-deadline", type=float, default=None,
+                       metavar="SECONDS",
+                       help="stop admitting new work after SECONDS and "
+                            "return the partial result marked DEGRADED")
+        p.add_argument("--no-supervise", action="store_true",
+                       help="disable worker supervision and the backend "
+                            "degradation ladder (PR-3 behavior)")
 
     p_wc = sub.add_parser("wordcount", help="run word count on real files")
     p_wc.add_argument("files", nargs="+")

@@ -30,6 +30,11 @@ from repro.io.span import ByteSpan, as_span
 from repro.parallel.backends import ExecutorBackend
 from repro.parallel.fork_pool import ForkExecutor, fork_map
 from repro.parallel.splits import ChunkHandle, SplitRef, split_refs_for_chunk
+from repro.resilience.gates import gate_worker_sites, worker_sites_armed
+from repro.resilience.supervisor import (
+    SupervisedForkExecutor,
+    supervised_fork_map,
+)
 from repro.sortlib.merge_sort import pairwise_merge_sort
 from repro.sortlib.pway import pway_merge
 from repro.spill.container import SpillableContainer
@@ -46,6 +51,7 @@ def build_container(
     job: JobSpec,
     options: RuntimeOptions,
     injector: FaultInjector | None = None,
+    spill_dir: "str | None" = None,
 ) -> tuple[Container, SpillManager | None]:
     """The job's intermediate container, budget-wrapped when configured.
 
@@ -55,11 +61,14 @@ def build_container(
     runtime must ``cleanup()`` after the merge (run files live on disk
     until then).  An armed ``injector`` gives the spill manager its
     ``spill.corrupt`` site and the verify-then-re-spill recovery path.
+    ``spill_dir`` pins the run directory (checkpointed jobs put it inside
+    the journal directory so sealed runs survive a crash).
     """
     if options.memory_budget is None:
         return job.container_factory(), None
     manager = SpillManager(
         budget_bytes=options.memory_budget,
+        spill_dir=spill_dir,
         combiner=job.spill_combiner,
         merge_fan_in=options.spill_merge_fan_in,
         injector=injector,
@@ -175,6 +184,19 @@ def run_mapper_wave(
         return 0
 
     def map_task(task_id: int, split: ByteSpan) -> None:
+        # Resolve the worker-fault sites first (crash, then hang) — the
+        # same protocol the process supervisor runs at dispatch time —
+        # so the fault schedule is backend-independent.  A poison task
+        # is quarantined here and never runs.
+        if injector is not None and worker_sites_armed(injector):
+            scope = (chunk_index, task_id)
+            should_run = gate_worker_sites(
+                injector, scope, allow_skip=True,
+                task_repr=f"map task {scope}".encode(),
+            )
+            if not should_run:
+                return
+
         def attempt_fn(attempt: int) -> None:
             if injector is not None:
                 decision = injector.check(
@@ -248,29 +270,26 @@ def _run_mapper_wave_process(
     if not splits:
         return 0
 
-    if injector is not None and injector.armed(SITE_MAP_TASK):
-        # The injector's counters and fault log live in the parent; a
-        # forked worker's mutations would be lost.  Gate each task here,
-        # before dispatch — the site fires (and retries) against a no-op
-        # body, preserving the per-(chunk, task) fault schedule exactly.
-        for i in range(len(splits)):
-            task_id = task_id_base + i
+    def map_task_gate(task_id: int) -> None:
+        """The parent-side ``map.task`` gate (injector state cannot live
+        in a forked worker): the site fires and retries against a no-op
+        body, preserving the per-(chunk, task) fault schedule exactly."""
 
-            def gate(attempt: int, task_id: int = task_id) -> None:
-                decision = injector.check(
-                    SITE_MAP_TASK, scope=(chunk_index, task_id), attempt=attempt
-                )
-                if decision is not None:
-                    raise FaultInjected(
-                        f"injected map-task failure "
-                        f"(chunk {chunk_index}, task {task_id})",
-                        site=SITE_MAP_TASK,
-                    )
-
-            injector.retrying(
-                SITE_MAP_TASK, gate,
-                scope=(chunk_index, task_id), retryable=(FaultInjected,),
+        def gate(attempt: int) -> None:
+            decision = injector.check(
+                SITE_MAP_TASK, scope=(chunk_index, task_id), attempt=attempt
             )
+            if decision is not None:
+                raise FaultInjected(
+                    f"injected map-task failure "
+                    f"(chunk {chunk_index}, task {task_id})",
+                    site=SITE_MAP_TASK,
+                )
+
+        injector.retrying(
+            SITE_MAP_TASK, gate,
+            scope=(chunk_index, task_id), retryable=(FaultInjected,),
+        )
 
     def map_task(item: "tuple[int, SplitRef | ByteSpan]") -> Any:
         i, split = item
@@ -288,7 +307,49 @@ def _run_mapper_wave_process(
         local.seal()
         return local.drain()
 
-    deltas = fork_map(map_task, list(enumerate(splits)), options.num_mappers)
+    map_task_armed = injector is not None and injector.armed(SITE_MAP_TASK)
+    if options.supervised_pool:
+        # The supervised wave: worker-fault sites are decided at dispatch
+        # (killing/hanging real workers under the same per-scope
+        # schedule the serial gate replays), orphaned tasks re-dispatch,
+        # poison tasks quarantine, and the map.task gate runs as the
+        # pre-dispatch hook so per-task site ordering matches serial.
+        outcome = supervised_fork_map(
+            map_task,
+            list(enumerate(splits)),
+            options.num_mappers,
+            policy=options.recovery,
+            injector=injector,
+            scope_of=lambda i: (chunk_index, task_id_base + i),
+            allow_skip=True,
+            pre_run=(
+                (lambda i: map_task_gate(task_id_base + i))
+                if map_task_armed else None
+            ),
+        )
+        deltas = outcome.completed()
+    else:
+        # PR-3 behaviour: unsupervised fork_map (any worker death aborts
+        # the wave).  Worker-fault sites are still gated in the parent so
+        # the fault schedule stays backend-independent.
+        indices = list(range(len(splits)))
+        if injector is not None and worker_sites_armed(injector):
+            indices = [
+                i for i in indices
+                if gate_worker_sites(
+                    injector, (chunk_index, task_id_base + i),
+                    allow_skip=True,
+                    task_repr=(
+                        f"map task {(chunk_index, task_id_base + i)}".encode()
+                    ),
+                )
+            ]
+        if map_task_armed:
+            for i in indices:
+                map_task_gate(task_id_base + i)
+        deltas = fork_map(
+            map_task, [(i, splits[i]) for i in indices], options.num_mappers
+        )
     for delta in deltas:
         container.absorb(delta)
     return len(splits)
@@ -319,6 +380,14 @@ def run_reducers(
         return out
 
     if options.executor_backend is ExecutorBackend.PROCESS:
+        if options.supervised_pool:
+            # Reduce tasks are pure (partition -> pairs), so genuine
+            # worker deaths are safely re-dispatched; no fault sites are
+            # checked here, keeping reduce schedules backend-identical.
+            return supervised_fork_map(
+                reduce_task, partitions, options.num_reducers,
+                policy=options.recovery,
+            ).results
         return fork_map(reduce_task, partitions, options.num_reducers)
     return list(pool.map(reduce_task, partitions))
 
@@ -352,7 +421,13 @@ def merge_outputs(
             options.executor_backend is ExecutorBackend.PROCESS
             and sum(len(r) for r in runs) >= _FORK_MERGE_MIN_PAIRS
         ):
-            executor = ForkExecutor(options.effective_merge_parallelism)
+            if options.supervised_pool:
+                executor = SupervisedForkExecutor(
+                    options.effective_merge_parallelism,
+                    policy=options.recovery,
+                )
+            else:
+                executor = ForkExecutor(options.effective_merge_parallelism)
         merged = pway_merge(
             runs, options.effective_merge_parallelism,
             key=job.output_key, executor=executor,

@@ -86,6 +86,26 @@ class RuntimeOptions:
     #: is the historical default; ``process`` forks workers per phase
     #: for real multicore with zero-copy (mmap) split ingest.
     executor_backend: ExecutorBackend | str = ExecutorBackend.THREAD
+    #: Directory for the crash-safe job journal (:mod:`repro.resilience`).
+    #: When set, the runtime checkpoints each completed ingest round and
+    #: the reduced partitions there; None runs without durability.
+    checkpoint_dir: str | None = None
+    #: Resume from an existing journal in ``checkpoint_dir`` instead of
+    #: starting fresh (completed rounds are skipped; output is identical
+    #: to an uninterrupted run).
+    resume: bool = False
+    #: Whole-job wall-clock deadline in seconds; when it expires the
+    #: runtime stops admitting new ingest rounds and returns the partial
+    #: result with ``counters["degraded"]`` set.  None never expires.
+    job_deadline_s: float | None = None
+    #: Run the process backend's forked waves under the resilience
+    #: supervisor (lease tracking, worker respawn, poison-task
+    #: quarantine).  Off = PR-3 behaviour: any worker death aborts.
+    supervised_pool: bool = True
+    #: Step the executor backend down (process -> thread -> serial) and
+    #: re-run the job when a pool failure escapes the supervisor,
+    #: instead of propagating :class:`~repro.errors.ParallelError`.
+    degrade_on_pool_failure: bool = True
 
     def __post_init__(self) -> None:
         object.__setattr__(
@@ -116,6 +136,12 @@ class RuntimeOptions:
                 raise ConfigError("hybrid chunking requires chunk_bytes >= 1")
         if self.merge_parallelism is not None and self.merge_parallelism < 1:
             raise ConfigError("merge_parallelism must be >= 1")
+        if self.checkpoint_dir is not None:
+            object.__setattr__(self, "checkpoint_dir", str(self.checkpoint_dir))
+        if self.resume and self.checkpoint_dir is None:
+            raise ConfigError("resume=True requires checkpoint_dir")
+        if self.job_deadline_s is not None and self.job_deadline_s <= 0:
+            raise ConfigError("job_deadline_s must be positive")
         if self.spill_merge_fan_in < 2:
             raise ConfigError("spill_merge_fan_in must be >= 2")
         if self.memory_budget is not None:

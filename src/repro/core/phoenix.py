@@ -6,6 +6,11 @@ input splits, reducers coalesce, and the merge phase combines per-reducer
 sorted runs with iterative 2-way merge rounds.  The ingest is one
 serial scan (the long low-utilization prefix of Figs. 1/5a) and the merge
 re-scans keys every round (the step-down tail of Fig. 1).
+
+Resilience (PR 4): the baseline shares the SupMR runtime's degradation
+ladder and deadline handling, and — having no ingest rounds to journal —
+checkpoints only the reduced stage, so a crash during the merge phase
+resumes straight into the merge.
 """
 
 from __future__ import annotations
@@ -23,12 +28,17 @@ from repro.core.job import JobSpec
 from repro.core.options import ChunkStrategy, MergeAlgorithm, RuntimeOptions
 from repro.core.result import JobResult, PhaseTimings
 from repro.core.timers import PhaseTimer
-from repro.errors import ConfigError
+from repro.errors import ConfigError, DeadlineExceeded
+from repro.faults.log import ACTION_DEGRADED
 from repro.faults.plan import SITE_INGEST_READ
 from repro.parallel.backends import make_pool
+from repro.resilience.degrade import Deadline, run_with_degradation
+from repro.resilience.journal import STAGE_REDUCED, JobJournal, job_fingerprint
 from repro.util.logging import get_logger
 
 logger = get_logger(__name__)
+
+_SITE_DEADLINE = "job.deadline"
 
 
 class PhoenixRuntime:
@@ -45,44 +55,90 @@ class PhoenixRuntime:
             )
 
     def run(self, job: JobSpec) -> JobResult:
-        """Execute ``job`` and report Table II-style phase timings."""
-        options = self.options
+        """Execute ``job`` and report Table II-style phase timings.
+
+        Runs under the graceful-degradation ladder (process → thread →
+        serial) on unrecoverable pool failures.
+        """
+        return run_with_degradation(self._run_once, job, self.options)
+
+    def _run_once(self, job: JobSpec, options: RuntimeOptions) -> JobResult:
+        """One full execution under explicit ``options`` (one ladder rung)."""
         timer = PhaseTimer()
         injector = None
         if options.fault_plan is not None:
             injector = options.fault_plan.arm(
                 options.recovery, clock=time.perf_counter
             )
-        container, spill_mgr = build_container(job, options, injector)
+        journal = None
+        if options.checkpoint_dir is not None:
+            journal = JobJournal(
+                options.checkpoint_dir,
+                job_fingerprint(job, options),
+                resume=options.resume,
+            )
+        container, spill_mgr = build_container(
+            job, options, injector,
+            spill_dir=str(journal.spill_dir) if journal is not None else None,
+        )
         plan = plan_whole_input(job.inputs)
         whole = plan.chunks[0]
+        deadline = Deadline(options.job_deadline_s)
+        deadline_hit = False
+        resume_at_reduced = (
+            journal is not None
+            and journal.resumed
+            and journal.stage == STAGE_REDUCED
+        )
 
+        succeeded = False
         try:
             with timer.phase("total"):
                 with timer.phase("read"):
-                    if injector is None:
-                        data = whole.load()
-                    else:
-                        data = injector.retrying(
-                            SITE_INGEST_READ,
-                            lambda attempt: whole.load(injector, attempt),
-                            scope=(whole.index,),
-                        )
+                    data = b""
+                    if not resume_at_reduced:
+                        try:
+                            deadline.check("ingest")
+                            if injector is None:
+                                data = whole.load()
+                            else:
+                                data = injector.retrying(
+                                    SITE_INGEST_READ,
+                                    lambda attempt: whole.load(
+                                        injector, attempt
+                                    ),
+                                    scope=(whole.index,),
+                                )
+                        except DeadlineExceeded as exc:
+                            deadline_hit = True
+                            logger.warning("deadline degradation: %s", exc)
+                            if injector is not None:
+                                injector.log.record(
+                                    _SITE_DEADLINE, ACTION_DEGRADED, str(exc)
+                                )
 
                 with make_pool(
                     options.executor_backend, options.num_mappers
                 ) as pool:
                     with timer.phase("map"):
-                        run_mapper_wave(
-                            job, container, data, options, pool,
-                            injector=injector,
-                        )
+                        if not resume_at_reduced and not deadline_hit:
+                            run_mapper_wave(
+                                job, container, data, options, pool,
+                                injector=injector,
+                            )
                     with timer.phase("reduce"):
-                        runs = run_reducers(job, container, options, pool)
+                        if resume_at_reduced:
+                            runs = journal.load_reduced()
+                        else:
+                            runs = run_reducers(job, container, options, pool)
+                            if journal is not None:
+                                journal.record_reduced(runs)
 
                 with timer.phase("merge"):
                     output, merge_rounds = merge_outputs(runs, job, options)
 
+            if journal is not None:
+                journal.finalize()
             logger.info(
                 "job %s finished on phoenix: total=%.3fs read=%.3fs map=%.3fs",
                 job.name, timer.elapsed("total"), timer.elapsed("read"),
@@ -90,8 +146,10 @@ class PhoenixRuntime:
             )
             spill_stats = spill_mgr.stats() if spill_mgr else None
             container_stats = container.stats()
+            succeeded = True
         finally:
-            if spill_mgr is not None:
+            # Keep sealed runs for the resume when a journaled run fails.
+            if spill_mgr is not None and (journal is None or succeeded):
                 spill_mgr.cleanup()
         timings = PhaseTimings(
             read_s=timer.elapsed("read"),
@@ -107,6 +165,13 @@ class PhoenixRuntime:
             "merge_algorithm": options.merge_algorithm.value,
             "executor_backend": options.executor_backend.value,
         }
+        if journal is not None:
+            counters["checkpointed"] = True
+        if resume_at_reduced:
+            counters["resumed"] = True
+        if deadline_hit:
+            counters["degraded"] = True
+            counters["deadline_expired"] = True
         if spill_stats is not None:
             counters["spill_runs"] = spill_stats.runs
             counters["spilled_bytes"] = spill_stats.spilled_bytes

@@ -94,3 +94,17 @@ class JobResult:
     def output_keys(self) -> list[Hashable]:
         """The output keys, in output order."""
         return [k for k, _v in self.output]
+
+    def output_digest(self) -> str:
+        """A sha256 digest of the ordered output pairs.
+
+        Two runs produced byte-identical output iff their digests match;
+        the crash/resume tests and the CI smoke job diff this instead of
+        shipping full outputs around.
+        """
+        import hashlib
+
+        h = hashlib.sha256()
+        for key, value in self.output:
+            h.update(repr((key, value)).encode())
+        return h.hexdigest()

@@ -22,7 +22,12 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
-from repro.errors import ConfigError, RetryExhausted, RuntimeStateError
+from repro.errors import (
+    ConfigError,
+    DrainTimeout,
+    RetryExhausted,
+    RuntimeStateError,
+)
 from repro.faults.policy import DEFAULT_RETRYABLE, RecoveryPolicy
 
 
@@ -44,6 +49,9 @@ class TaskRecord:
 @dataclass
 class SchedulerStats:
     records: list[TaskRecord] = field(default_factory=list)
+    #: Tasks submitted but not yet finished at the time the stats were
+    #: read (0 after a successful drain).
+    pending: int = 0
 
     @property
     def tasks(self) -> int:
@@ -136,10 +144,17 @@ class TaskScheduler:
         return task_id
 
     def drain(self, timeout: float | None = None) -> None:
-        """Wait until all submitted tasks completed; re-raise first error."""
+        """Wait until all submitted tasks completed; re-raise first error.
+
+        Raises :class:`~repro.errors.DrainTimeout` (carrying the pending
+        count) when ``timeout`` elapses with tasks still outstanding.
+        """
         if not self._idle.wait(timeout):
-            raise RuntimeStateError(
-                f"{self.name}: drain timed out with {self._pending} pending"
+            with self._pending_lock:
+                pending = self._pending
+            raise DrainTimeout(
+                f"{self.name}: drain timed out with {pending} pending",
+                pending=pending,
             )
         if self._first_error is not None:
             error, self._first_error = self._first_error, None
@@ -171,6 +186,9 @@ class TaskScheduler:
 
     @property
     def stats(self) -> SchedulerStats:
+        """Live accounting; ``pending`` is refreshed on every read."""
+        with self._pending_lock:
+            self._stats.pending = self._pending
         return self._stats
 
     # -- worker side -----------------------------------------------------------

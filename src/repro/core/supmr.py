@@ -6,6 +6,15 @@ through the double-buffered pipeline (mapper waves on chunk *i* overlap
 the ingest of chunk *i+1*), keeps one persistent intermediate container
 across all map rounds, runs the reducers once, and merges with the
 single-pass parallel p-way merge instead of iterative 2-way rounds.
+
+Resilience (PR 4): with ``options.checkpoint_dir`` every completed
+ingest round is journaled (container snapshot + sealed spill runs), the
+reduced partitions are checkpointed before the merge, and
+``options.resume`` restarts a killed job from the journal with
+byte-identical output.  ``options.job_deadline_s`` stops admitting new
+rounds once the deadline passes (partial result, ``degraded`` marker),
+and unrecoverable pool failures step the backend down the ladder via
+:func:`repro.resilience.degrade.run_with_degradation`.
 """
 
 from __future__ import annotations
@@ -24,14 +33,21 @@ from repro.core.job import JobSpec
 from repro.core.options import ChunkStrategy, RuntimeOptions
 from repro.core.result import JobResult, PhaseTimings, RoundTiming
 from repro.core.timers import PhaseTimer
-from repro.errors import ConfigError
+from repro.errors import ConfigError, DeadlineExceeded
+from repro.faults.log import ACTION_CHECKPOINTED, ACTION_DEGRADED, ACTION_RESUMED
 from repro.faults.plan import SITE_INGEST_READ
 from repro.parallel.backends import ExecutorBackend, make_pool
 from repro.parallel.splits import ChunkHandle
 from repro.pipeline.double_buffer import DoubleBufferedPipeline
+from repro.resilience.degrade import Deadline, run_with_degradation
+from repro.resilience.journal import STAGE_REDUCED, JobJournal, job_fingerprint
 from repro.util.logging import get_logger
 
 logger = get_logger(__name__)
+
+#: Fault-log pseudo-sites for durability events.
+_SITE_CHECKPOINT = "checkpoint"
+_SITE_DEADLINE = "job.deadline"
 
 
 class SupMRRuntime:
@@ -49,17 +65,37 @@ class SupMRRuntime:
         self.options = options
 
     def run(self, job: JobSpec) -> JobResult:
-        """Execute ``job``; read+map are pipelined and reported combined."""
-        options = self.options
+        """Execute ``job``; read+map are pipelined and reported combined.
+
+        Runs under the graceful-degradation ladder: an unrecoverable
+        pool failure re-runs the job one backend rung down (resuming
+        from the journal when checkpointing is on) instead of aborting.
+        """
+        return run_with_degradation(self._run_once, job, self.options)
+
+    def _run_once(self, job: JobSpec, options: RuntimeOptions) -> JobResult:
+        """One full execution under explicit ``options`` (one ladder rung)."""
         timer = PhaseTimer()
         injector = None
         if options.fault_plan is not None:
             injector = options.fault_plan.arm(
                 options.recovery, clock=time.perf_counter
             )
-        container, spill_mgr = build_container(job, options, injector)
+        journal = None
+        if options.checkpoint_dir is not None:
+            journal = JobJournal(
+                options.checkpoint_dir,
+                job_fingerprint(job, options),
+                resume=options.resume,
+            )
+        container, spill_mgr = build_container(
+            job, options, injector,
+            spill_dir=str(journal.spill_dir) if journal is not None else None,
+        )
         plan: ChunkPlan = plan_chunks(job.inputs, job.codec, options)
         task_counter = [0]
+        deadline = Deadline(options.job_deadline_s)
+        deadline_hit = False
 
         def load(chunk: Chunk) -> "bytes | bytearray | ChunkHandle":
             if injector is None:
@@ -79,10 +115,37 @@ class SupMRRuntime:
                 scope=(chunk.index,),
             )
 
+        restored_rounds: frozenset[int] = frozenset()
+        resume_at_reduced = (
+            journal is not None
+            and journal.resumed
+            and journal.stage == STAGE_REDUCED
+        )
+        if (
+            journal is not None
+            and journal.resumed
+            and not resume_at_reduced
+            and journal.restore(container, spill_mgr)
+        ):
+            task_counter[0] = journal.map_tasks
+            restored_rounds = journal.completed_rounds
+            if injector is not None:
+                injector.log.record(
+                    _SITE_CHECKPOINT, ACTION_RESUMED,
+                    f"restored {len(restored_rounds)} completed round(s) "
+                    f"from {journal.directory}",
+                )
+        logger.debug(
+            "supmr run: %d chunks planned, %d restored from journal",
+            plan.n_chunks, len(restored_rounds),
+        )
+
+        succeeded = False
         try:
             with make_pool(options.executor_backend, options.num_mappers) as pool:
 
                 def work(chunk: Chunk, data: "bytes | bytearray | ChunkHandle") -> None:
+                    deadline.check(f"ingest round {chunk.index}")
                     if job.set_data is not None:
                         job.set_data(chunk, len(data))
                     launched = run_mapper_wave(
@@ -96,6 +159,15 @@ class SupMRRuntime:
                         injector=injector,
                     )
                     task_counter[0] += launched
+                    if journal is not None:
+                        journal.record_round(
+                            chunk.index, container, task_counter[0], spill_mgr
+                        )
+                        if injector is not None:
+                            injector.log.record(
+                                _SITE_CHECKPOINT, ACTION_CHECKPOINTED,
+                                f"round {chunk.index} journaled",
+                            )
 
                 pipeline = DoubleBufferedPipeline(
                     load=load,
@@ -105,16 +177,44 @@ class SupMRRuntime:
 
                 with timer.phase("total"):
                     with timer.phase("read_map"):
-                        round_records = pipeline.run(list(plan.chunks))
+                        round_records = []
+                        chunks = [
+                            c for c in plan.chunks
+                            if c.index not in restored_rounds
+                        ]
+                        if not resume_at_reduced and chunks:
+                            try:
+                                round_records = pipeline.run(chunks)
+                            except DeadlineExceeded as exc:
+                                # Completed rounds stay in the container;
+                                # reduce/merge the partial state instead
+                                # of hanging past the operator's budget.
+                                deadline_hit = True
+                                logger.warning("deadline degradation: %s", exc)
+                                if injector is not None:
+                                    injector.log.record(
+                                        _SITE_DEADLINE, ACTION_DEGRADED,
+                                        str(exc),
+                                    )
                     with timer.phase("reduce"):
-                        runs = run_reducers(job, container, options, pool)
+                        if resume_at_reduced:
+                            runs = journal.load_reduced()
+                        else:
+                            runs = run_reducers(job, container, options, pool)
+                            if journal is not None:
+                                journal.record_reduced(runs)
                     with timer.phase("merge"):
                         output, merge_rounds = merge_outputs(runs, job, options)
 
+            if journal is not None:
+                journal.finalize()
             spill_stats = spill_mgr.stats() if spill_mgr else None
             container_stats = container.stats()
+            succeeded = True
         finally:
-            if spill_mgr is not None:
+            # On failure with a journal, sealed runs must survive for the
+            # resume; otherwise they are dead weight and go now.
+            if spill_mgr is not None and (journal is None or succeeded):
                 spill_mgr.cleanup()
 
         logger.info(
@@ -149,6 +249,16 @@ class SupMRRuntime:
             "pipeline_rounds": len(rounds),
             "map_tasks": task_counter[0],
         }
+        if journal is not None:
+            counters["checkpointed"] = True
+        if restored_rounds or resume_at_reduced:
+            counters["resumed"] = True
+            counters["resumed_rounds"] = (
+                plan.n_chunks if resume_at_reduced else len(restored_rounds)
+            )
+        if deadline_hit:
+            counters["degraded"] = True
+            counters["deadline_expired"] = True
         if spill_stats is not None:
             counters["spill_runs"] = spill_stats.runs
             counters["spilled_bytes"] = spill_stats.spilled_bytes

@@ -28,6 +28,38 @@ class RuntimeStateError(ReproError):
     """A runtime was driven through an invalid state transition."""
 
 
+class DrainTimeout(RuntimeStateError):
+    """:meth:`~repro.core.scheduler.TaskScheduler.drain` timed out.
+
+    Carries the number of tasks still pending so callers can size a
+    retry or report how much work was abandoned.  Subclasses
+    :class:`RuntimeStateError` because an un-drained scheduler is an
+    invalid state to tear down from.
+    """
+
+    def __init__(self, message: str, pending: int = 0) -> None:
+        super().__init__(message)
+        self.pending = pending
+
+
+class DeadlineExceeded(RuntimeStateError):
+    """A whole-job deadline (``RuntimeOptions.job_deadline_s``) expired.
+
+    Raised internally to stop admitting new work; the runtimes catch it
+    and return the partial result with a ``degraded`` marker rather than
+    letting it propagate.
+    """
+
+
+class CheckpointError(ReproError):
+    """A job journal could not be read, written, or matched to the job.
+
+    Raised on fingerprint mismatches (resuming a checkpoint that was
+    written by a *different* job or option set) and on structurally
+    invalid journal files whose corruption cannot be safely ignored.
+    """
+
+
 class SimulationError(ReproError):
     """The discrete-event simulation reached an inconsistent state."""
 

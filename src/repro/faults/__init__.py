@@ -30,7 +30,10 @@ from repro.faults.plan import (
     SITE_SIM_DISK_SLOW,
     SITE_SIM_NET_FLAP,
     SITE_SIM_STRAGGLER,
+    SITE_SIM_WORKER_CRASH,
     SITE_SPILL_CORRUPT,
+    SITE_TASK_HANG,
+    SITE_WORKER_CRASH,
     FaultDecision,
     FaultPlan,
     FaultSpec,
@@ -62,4 +65,7 @@ __all__ = [
     "SITE_SIM_DATANODE_LOSS",
     "SITE_SIM_NET_FLAP",
     "SITE_SIM_STRAGGLER",
+    "SITE_SIM_WORKER_CRASH",
+    "SITE_WORKER_CRASH",
+    "SITE_TASK_HANG",
 ]

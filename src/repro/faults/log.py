@@ -25,6 +25,9 @@ ACTION_QUARANTINED = "quarantined"
 ACTION_RESPILLED = "respilled"
 ACTION_DEGRADED = "degraded"
 ACTION_SPECULATIVE = "speculative"
+ACTION_RESPAWNED = "respawned"
+ACTION_CHECKPOINTED = "checkpointed"
+ACTION_RESUMED = "resumed"
 
 
 @dataclass(frozen=True)

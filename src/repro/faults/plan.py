@@ -32,19 +32,23 @@ SITE_INGEST_READ = "ingest.read"        # io.datafile / chunking.chunk
 SITE_RECORD_CORRUPT = "record.corrupt"  # io.records screening
 SITE_MAP_TASK = "map.task"              # core.execution / core.scheduler
 SITE_SPILL_CORRUPT = "spill.corrupt"    # spill.manager run files
+SITE_WORKER_CRASH = "worker.crash"      # resilience.supervisor (worker dies)
+SITE_TASK_HANG = "task.hang"            # resilience.supervisor (lease expiry)
 # Simulated-hardware sites (applied by faults.simdriver / simrt):
 SITE_SIM_DISK_SLOW = "sim.disk.slow"
 SITE_SIM_DISK_FAIL = "sim.disk.fail"
 SITE_SIM_DATANODE_LOSS = "sim.hdfs.datanode_loss"
 SITE_SIM_NET_FLAP = "sim.net.flap"
 SITE_SIM_STRAGGLER = "sim.map.straggler"
+SITE_SIM_WORKER_CRASH = "sim.worker.crash"
 
 RUNTIME_SITES = (
     SITE_INGEST_READ, SITE_RECORD_CORRUPT, SITE_MAP_TASK, SITE_SPILL_CORRUPT,
+    SITE_WORKER_CRASH, SITE_TASK_HANG,
 )
 SIM_SITES = (
     SITE_SIM_DISK_SLOW, SITE_SIM_DISK_FAIL, SITE_SIM_DATANODE_LOSS,
-    SITE_SIM_NET_FLAP, SITE_SIM_STRAGGLER,
+    SITE_SIM_NET_FLAP, SITE_SIM_STRAGGLER, SITE_SIM_WORKER_CRASH,
 )
 KNOWN_SITES = RUNTIME_SITES + SIM_SITES
 

@@ -53,6 +53,13 @@ class RecoveryPolicy:
     #: Simulator: a task is a straggler once it runs this multiple of
     #: the expected task wall time without finishing.
     straggler_threshold: float = 1.5
+    #: Supervisor: seconds a dispatched task may run without reporting a
+    #: result before its lease expires and the worker is presumed hung.
+    lease_timeout_s: float = 30.0
+    #: Supervisor: total worker respawns allowed per supervised wave
+    #: before the pool is declared unrecoverable (feeds the degradation
+    #: ladder rather than respawning forever).
+    worker_respawn_budget: int = 8
 
     def __post_init__(self) -> None:
         if self.max_retries < 0:
@@ -65,6 +72,10 @@ class RecoveryPolicy:
             raise ConfigError("skip_budget must be >= 0")
         if self.straggler_threshold < 1.0:
             raise ConfigError("straggler_threshold must be >= 1.0")
+        if self.lease_timeout_s <= 0:
+            raise ConfigError("lease_timeout_s must be positive")
+        if self.worker_respawn_budget < 0:
+            raise ConfigError("worker_respawn_budget must be >= 0")
 
     def backoff_s(self, attempt: int) -> float:
         """Delay before retry ``attempt`` (0-based), exponential + capped."""

@@ -119,16 +119,22 @@ def fork_map(
                 grace_polls += 1
                 if grace_polls < 3:
                     continue
+                # Drop the queue's feeder thread before raising: with a
+                # worker dead mid-put, join-on-close could hang shutdown.
+                results_q.cancel_join_thread()
+                dead = ", ".join(
+                    f"{p.name}={p.exitcode}" for p in procs
+                )
                 raise ParallelError(
                     f"{pending} of {len(items)} fork-map tasks never "
-                    "reported; a worker process died (exit codes: "
-                    f"{[p.exitcode for p in procs]})"
+                    f"reported; a worker process died ({dead})"
                 )
             grace_polls = 0
             pending -= 1
             try:
                 idx, ok, payload = pickle.loads(blob)
             except Exception as exc:  # noqa: BLE001 - corrupt transport
+                results_q.cancel_join_thread()
                 raise ParallelError(
                     f"could not decode a fork-map worker result: {exc!r}"
                 ) from exc

@@ -1,0 +1,116 @@
+"""Graceful degradation: the backend ladder and the whole-job deadline.
+
+When worker supervision itself gives up — the respawn budget is spent,
+or the platform's fork support is broken in a way no retry fixes — the
+job is still worth finishing slower.  :func:`run_with_degradation` steps
+the executor backend down one rung at a time (process → thread →
+serial) and re-runs the job; with a checkpoint directory configured the
+retry resumes from the journal instead of starting over.  Every
+step-down is logged, counted in ``JobResult.counters`` (``degraded``,
+``degraded_backend``, ``pool_failures``) and appended to the result's
+fault log, so a degraded run is never mistaken for a healthy one.
+
+:class:`Deadline` backs the ``--job-deadline`` knob: the runtimes check
+it between pipeline rounds and stop admitting new work once it expires,
+returning the partial result with an explicit ``degraded`` marker
+rather than hanging past the operator's budget.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import TYPE_CHECKING, Callable
+
+from repro.errors import DeadlineExceeded, ParallelError
+from repro.faults.log import ACTION_DEGRADED, FaultLog
+from repro.parallel.backends import ExecutorBackend
+from repro.util.logging import get_logger
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.job import JobSpec
+    from repro.core.options import RuntimeOptions
+    from repro.core.result import JobResult
+
+logger = get_logger(__name__)
+
+#: Pseudo-site used for degradation events in the fault log.
+SITE_POOL = "executor.pool"
+
+
+class Deadline:
+    """A monotonic whole-job deadline; inert when ``seconds`` is None."""
+
+    def __init__(self, seconds: float | None) -> None:
+        self.seconds = seconds
+        self._expiry = (
+            time.monotonic() + seconds if seconds is not None else None
+        )
+
+    def expired(self) -> bool:
+        """True once the deadline has passed (never, when unset)."""
+        return self._expiry is not None and time.monotonic() > self._expiry
+
+    def check(self, what: str) -> None:
+        """Raise :class:`~repro.errors.DeadlineExceeded` once expired."""
+        if self.expired():
+            raise DeadlineExceeded(
+                f"job deadline of {self.seconds:.3g}s expired before {what}"
+            )
+
+
+def next_backend(backend: ExecutorBackend) -> ExecutorBackend | None:
+    """The next rung down the ladder, or None at the bottom."""
+    if backend is ExecutorBackend.PROCESS:
+        return ExecutorBackend.THREAD
+    if backend is ExecutorBackend.THREAD:
+        return ExecutorBackend.SERIAL
+    return None
+
+
+def run_with_degradation(
+    run_once: "Callable[[JobSpec, RuntimeOptions], JobResult]",
+    job: "JobSpec",
+    options: "RuntimeOptions",
+) -> "JobResult":
+    """Run a job, stepping the backend down on unrecoverable pool failure.
+
+    ``run_once`` is one full runtime execution under explicit options.
+    A :class:`~repro.errors.ParallelError` — the supervisor's "I give
+    up" signal — triggers a retry on the next rung; with a checkpoint
+    directory the retry resumes from the journal, so rounds that
+    finished under the failed backend are not recomputed.  Any other
+    exception propagates untouched.
+    """
+    attempts: list[tuple[str, str]] = []
+    current = options
+    while True:
+        try:
+            result = run_once(job, current)
+        except ParallelError as exc:
+            fallback = next_backend(current.executor_backend)
+            if fallback is None or not options.degrade_on_pool_failure:
+                raise
+            attempts.append((current.executor_backend.value, str(exc)))
+            logger.warning(
+                "pool failure on the %s backend (%s); degrading to %s",
+                current.executor_backend.value, exc, fallback.value,
+            )
+            changes: dict[str, object] = {"executor_backend": fallback}
+            if current.checkpoint_dir is not None:
+                changes["resume"] = True
+            current = current.with_(**changes)
+            continue
+        if attempts:
+            result.counters["degraded"] = True
+            result.counters["degraded_backend"] = (
+                current.executor_backend.value
+            )
+            result.counters["pool_failures"] = len(attempts)
+            if result.fault_log is None:
+                result.fault_log = FaultLog()
+            for backend, detail in attempts:
+                result.fault_log.record(
+                    SITE_POOL, ACTION_DEGRADED,
+                    f"stepped down from the {backend} backend: {detail}",
+                )
+        return result

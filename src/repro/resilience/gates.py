@@ -1,0 +1,66 @@
+"""Worker-fault gates for the backends that have no workers to kill.
+
+The ``worker.crash`` and ``task.hang`` sites model *process* deaths, but
+the backend-equivalence contract says a fault plan's schedule — which
+sites fire for which scopes, how many retries it costs, what gets
+quarantined — must be identical across serial, thread, and process
+backends.  The serial and thread backends therefore run this gate
+before each task body: every site decision goes through the same
+``injector.check`` / ``injector.retrying`` machinery the supervisor
+mirrors, producing the identical fault-log sequence without an actual
+process to kill.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from repro.errors import FaultInjected, RetryExhausted
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import SITE_TASK_HANG, SITE_WORKER_CRASH
+
+#: Sites the gate resolves, in resolution order (crash fully, then hang
+#: — the supervisor's dispatch protocol follows the same order).
+WORKER_SITES = (SITE_WORKER_CRASH, SITE_TASK_HANG)
+
+
+def worker_sites_armed(injector: FaultInjector | None) -> bool:
+    """True when the plan arms either worker-fault site."""
+    if injector is None:
+        return False
+    return any(injector.armed(site) for site in WORKER_SITES)
+
+
+def gate_worker_sites(
+    injector: FaultInjector,
+    scope: Hashable,
+    allow_skip: bool = False,
+    task_repr: bytes = b"",
+) -> bool:
+    """Resolve both worker-fault sites for one task scope.
+
+    Returns True when the task should run; False when it was declared
+    poison and quarantined against the skip budget (``allow_skip``).
+    With ``allow_skip`` off, exhaustion raises
+    :class:`~repro.errors.RetryExhausted` exactly as the supervisor's
+    un-skippable waves do.
+    """
+    for site in WORKER_SITES:
+        if not injector.armed(site):
+            continue
+
+        def attempt_fn(attempt: int, site: str = site) -> None:
+            decision = injector.check(site, scope, attempt)
+            if decision is not None:
+                raise FaultInjected(f"injected {site}", site=site)
+
+        try:
+            injector.retrying(
+                site, attempt_fn, scope=scope, retryable=(FaultInjected,)
+            )
+        except RetryExhausted:
+            if not allow_skip:
+                raise
+            injector.quarantine(site, task_repr[:64], scope=scope)
+            return False
+    return True

@@ -1,0 +1,557 @@
+"""Supervised fork pool: leases, respawn, and poison-task quarantine.
+
+:func:`fork_map` (PR 3) aborts the whole wave the moment one worker
+dies; this module is the Hadoop-style answer for a shared-memory
+runtime.  :func:`supervised_fork_map` runs the same fork-at-call-time
+contract — ``fn``, ``items`` and their closures are inherited
+copy-on-write, only pickled results cross a pipe — but the parent keeps
+a **lease** per dispatched task (deadline + the result queue as the
+heartbeat), detects dead or hung workers, respawns them with fresh
+inboxes, and re-dispatches orphaned tasks with a bounded attempt count.
+
+A task that repeatedly kills its worker is *poison*: after the retry
+budget is spent it is routed through the injector's skip-budget
+quarantine (when the wave allows skips) instead of failing the job.
+
+Determinism contract: the ``worker.crash`` / ``task.hang`` fault sites
+are decided **in the parent at dispatch time** — the worker is merely
+told to die (``os._exit``) or stall (sleep past its lease) — and the
+fault-log sequence per task (injected → retried… → recovered /
+exhausted → quarantined) is emitted exactly as the serial backend's
+pre-task gate (:func:`repro.resilience.gates.gate_worker_sites`) emits
+it, so outputs *and fault counters* stay identical across backends.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pickle
+import queue as queue_mod
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Hashable, Iterable, Sequence, TypeVar
+
+from repro.errors import (
+    FaultInjected,
+    ParallelError,
+    RetryExhausted,
+)
+from repro.faults.injector import FaultInjector
+from repro.faults.log import (
+    ACTION_EXHAUSTED,
+    ACTION_RECOVERED,
+    ACTION_RESPAWNED,
+    ACTION_RETRIED,
+)
+from repro.faults.plan import SITE_TASK_HANG, SITE_WORKER_CRASH
+from repro.faults.policy import RecoveryPolicy
+from repro.parallel.backends import require_process_backend
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: Seconds between supervisor liveness/lease sweeps.
+_POLL_S = 0.05
+#: Exit code a worker uses when told to crash (distinct from genuine
+#: faults' codes so logs can tell injected deaths from organic ones).
+_CRASH_EXIT = 37
+
+#: Dispatch modes a worker understands.
+_MODE_RUN = "run"
+_MODE_CRASH = "crash"
+_MODE_HANG = "hang"
+
+
+def _scope_str(scope: Hashable) -> str:
+    return repr(scope) if scope != () else ""
+
+
+@dataclass
+class _TaskState:
+    """Parent-side bookkeeping for one item of the wave."""
+
+    index: int
+    scope: Hashable
+    #: Per-site retry attempt counters (mirror the serial gate's
+    #: independent retry loops).
+    crash_attempt: int = 0
+    hang_attempt: int = 0
+    #: A site is resolved once one of its checks passed clean.
+    crash_resolved: bool = False
+    hang_resolved: bool = False
+    #: Genuine (non-injected) dispatch failures, bounded separately.
+    organic_failures: int = 0
+    #: Mode of the in-flight dispatch (only meaningful while running).
+    mode: str = _MODE_RUN
+    #: Set once the per-task ``pre_run`` hook has been invoked.
+    pre_run_done: bool = False
+
+
+@dataclass
+class _Worker:
+    """One supervised worker process and its dispatch inbox."""
+
+    proc: multiprocessing.process.BaseProcess
+    inbox: Any
+    busy: _TaskState | None = None
+    lease_expiry: float = 0.0
+
+    @property
+    def idle(self) -> bool:
+        return self.busy is None
+
+
+@dataclass
+class SupervisionResult:
+    """What one supervised wave produced, plus its survival record."""
+
+    #: Per-item results in item order; ``None`` at quarantined indices.
+    results: list[Any]
+    #: Indices of tasks skipped via poison-task quarantine.
+    skipped: tuple[int, ...] = ()
+    #: Workers respawned after a death or a lease kill.
+    respawns: int = 0
+    #: Worker deaths observed (injected and organic).
+    crashes: int = 0
+    #: Leases that expired (hung workers killed by the supervisor).
+    hangs: int = 0
+
+    def completed(self) -> list[Any]:
+        """The non-skipped results, in item order."""
+        skipped = set(self.skipped)
+        return [r for i, r in enumerate(self.results) if i not in skipped]
+
+
+def _worker_main(
+    fn: Callable[[Any], Any],
+    items: Sequence[Any],
+    inbox: Any,
+    results: Any,
+) -> None:
+    """Worker body: serve dispatches until the ``None`` sentinel.
+
+    ``(index, mode)`` messages run one task each.  ``crash`` exits the
+    process without cleanup (the deterministic stand-in for an OOM
+    kill); ``hang`` sleeps past any lease (a wedged I/O call); ``run``
+    computes ``fn(items[index])`` and posts ``(index, ok, payload)``
+    back, pickling synchronously so unpicklable results downgrade to a
+    transportable :class:`~repro.errors.ParallelError`.
+    """
+    while True:
+        msg = inbox.get()
+        if msg is None:
+            return
+        index, mode = msg
+        if mode == _MODE_CRASH:
+            os._exit(_CRASH_EXIT)
+        if mode == _MODE_HANG:
+            while True:  # pragma: no cover - killed by the supervisor
+                time.sleep(3600)
+        try:
+            payload = (index, True, fn(items[index]))
+        except BaseException as exc:  # noqa: BLE001 - transported to parent
+            payload = (index, False, exc)
+        try:
+            blob = pickle.dumps(payload)
+        except Exception:  # noqa: BLE001 - unpicklable result or error
+            kind = "result" if payload[1] else "error"
+            blob = pickle.dumps((
+                index, False,
+                ParallelError(
+                    f"worker {kind} for item {index} could not be pickled: "
+                    f"{payload[2]!r}"
+                ),
+            ))
+        results.put(blob)
+
+
+class Supervisor:
+    """Drives one wave of items through leased, respawnable fork workers.
+
+    Use through :func:`supervised_fork_map`; the class exists so tests
+    can poke at the dispatch protocol directly.
+    """
+
+    def __init__(
+        self,
+        fn: Callable[[Any], Any],
+        items: Sequence[Any],
+        workers: int,
+        policy: RecoveryPolicy,
+        injector: FaultInjector | None = None,
+        scope_of: Callable[[int], Hashable] | None = None,
+        allow_skip: bool = False,
+        pre_run: Callable[[int], None] | None = None,
+        worker_name: str = "repro-sup",
+    ) -> None:
+        self._fn = fn
+        self._items = list(items)
+        self._policy = policy
+        self._injector = injector
+        self._allow_skip = allow_skip
+        self._pre_run = pre_run
+        self._worker_name = worker_name
+        self._n_workers = max(
+            1, min(workers, len(self._items), (os.cpu_count() or 1) * 4)
+        )
+        self._ctx = multiprocessing.get_context("fork")
+        self._results_q = self._ctx.Queue()
+        scope = scope_of or (lambda i: (i,))
+        self._states = [
+            _TaskState(index=i, scope=scope(i))
+            for i in range(len(self._items))
+        ]
+        self._pending: list[int] = list(range(len(self._items)))
+        self._done: set[int] = set()
+        self._skipped: set[int] = set()
+        self._failures: dict[int, BaseException] = {}
+        self._out: list[Any] = [None] * len(self._items)
+        self._respawns = 0
+        self._crashes = 0
+        self._hangs = 0
+        self._workers: list[_Worker] = []
+        self._next_worker_id = 0
+
+    # -- worker lifecycle --------------------------------------------------
+
+    def _spawn(self) -> _Worker:
+        inbox = self._ctx.Queue()
+        wid = self._next_worker_id
+        self._next_worker_id += 1
+        proc = self._ctx.Process(
+            target=_worker_main,
+            args=(self._fn, self._items, inbox, self._results_q),
+            daemon=True,
+            name=f"{self._worker_name}-{wid}",
+        )
+        proc.start()
+        worker = _Worker(proc=proc, inbox=inbox)
+        self._workers.append(worker)
+        return worker
+
+    def _discard(self, worker: _Worker) -> None:
+        """Drop a dead/killed worker and its inbox without blocking."""
+        worker.inbox.cancel_join_thread()
+        worker.inbox.close()
+        self._workers.remove(worker)
+
+    def _respawn_after(self, worker: _Worker, site: str, detail: str) -> None:
+        self._discard(worker)
+        self._respawns += 1
+        if self._injector is not None:
+            self._injector.log.record(
+                site, ACTION_RESPAWNED,
+                f"worker {worker.proc.name} replaced: {detail}",
+            )
+        if self._respawns > self._policy.worker_respawn_budget:
+            raise ParallelError(
+                f"supervised pool exceeded its respawn budget "
+                f"({self._policy.worker_respawn_budget}): {detail}"
+            )
+        self._spawn()
+
+    # -- fault protocol ----------------------------------------------------
+
+    def _decide_mode(self, state: _TaskState) -> str:
+        """Resolve the task's fault sites for this dispatch (parent side).
+
+        Mirrors the serial gate exactly: the crash site's retry loop
+        runs to resolution before the hang site is consulted, each with
+        its own attempt counter, and a clean check after a failed
+        attempt logs the recovery.
+        """
+        injector = self._injector
+        if injector is None:
+            return _MODE_RUN
+        if not state.crash_resolved:
+            if injector.armed(SITE_WORKER_CRASH):
+                decision = injector.check(
+                    SITE_WORKER_CRASH, state.scope, state.crash_attempt
+                )
+                if decision is not None:
+                    return _MODE_CRASH
+                if state.crash_attempt > 0:
+                    injector.log.record(
+                        SITE_WORKER_CRASH, ACTION_RECOVERED,
+                        f"succeeded on attempt {state.crash_attempt + 1}",
+                        scope=_scope_str(state.scope),
+                        attempt=state.crash_attempt,
+                    )
+            state.crash_resolved = True
+        if not state.hang_resolved:
+            if injector.armed(SITE_TASK_HANG):
+                decision = injector.check(
+                    SITE_TASK_HANG, state.scope, state.hang_attempt
+                )
+                if decision is not None:
+                    return _MODE_HANG
+                if state.hang_attempt > 0:
+                    injector.log.record(
+                        SITE_TASK_HANG, ACTION_RECOVERED,
+                        f"succeeded on attempt {state.hang_attempt + 1}",
+                        scope=_scope_str(state.scope),
+                        attempt=state.hang_attempt,
+                    )
+            state.hang_resolved = True
+        return _MODE_RUN
+
+    def _site_failure(self, state: _TaskState, site: str, attempt: int) -> None:
+        """An injected fault killed/hung the dispatch; retry or give up.
+
+        Emits the same log sequence as the serial gate's
+        ``injector.retrying`` loop: ``retried`` while budget remains,
+        ``exhausted`` (then quarantine, when allowed) past it.
+        """
+        injector = self._injector
+        assert injector is not None
+        if attempt < self._policy.max_retries:
+            delay = self._policy.backoff_s(attempt)
+            injector.log.record(
+                site, ACTION_RETRIED,
+                f"attempt {attempt + 1} failed (injected {site}); "
+                f"backing off {delay:.3g}s",
+                scope=_scope_str(state.scope), attempt=attempt,
+            )
+            if site == SITE_WORKER_CRASH:
+                state.crash_attempt += 1
+            else:
+                state.hang_attempt += 1
+            self._pending.append(state.index)
+            return
+        injector.log.record(
+            site, ACTION_EXHAUSTED,
+            f"giving up after {attempt + 1} attempt(s): injected {site}",
+            scope=_scope_str(state.scope), attempt=attempt,
+        )
+        if self._allow_skip:
+            injector.quarantine(
+                site,
+                repr(self._items[state.index]).encode()[:64],
+                scope=state.scope,
+            )
+            self._skipped.add(state.index)
+            self._done.add(state.index)
+            return
+        raise RetryExhausted(
+            f"{site}: {attempt + 1} attempt(s) failed "
+            f"(retry budget {self._policy.max_retries}); "
+            f"last error: injected {site}",
+            site=site,
+            attempts=attempt + 1,
+        ) from FaultInjected(f"injected {site}", site=site)
+
+    def _organic_failure(self, state: _TaskState, detail: str) -> None:
+        """A worker died (or hung) with no injected fault to blame."""
+        state.organic_failures += 1
+        if state.organic_failures > self._policy.max_retries:
+            raise ParallelError(
+                f"task {state.index} killed its worker "
+                f"{state.organic_failures} time(s) ({detail}); "
+                "out of retries"
+            )
+        if self._injector is not None:
+            self._injector.log.record(
+                SITE_WORKER_CRASH, ACTION_RETRIED,
+                f"re-dispatching task {state.index} after {detail}",
+                scope=_scope_str(state.scope),
+                attempt=state.organic_failures - 1,
+            )
+        self._pending.append(state.index)
+
+    # -- dispatch / sweep --------------------------------------------------
+
+    def _dispatch_ready(self) -> None:
+        """Hand pending tasks to idle workers, resolving fault modes."""
+        for worker in self._workers:
+            if not worker.idle:
+                continue
+            while self._pending:
+                index = self._pending.pop(0)
+                state = self._states[index]
+                if index in self._done:
+                    continue
+                mode = self._decide_mode(state)
+                if mode == _MODE_RUN and not state.pre_run_done:
+                    state.pre_run_done = True
+                    if self._pre_run is not None:
+                        # Hook failures (e.g. an exhausted map.task gate)
+                        # propagate: they fail the wave exactly as the
+                        # serial backend's in-task gate would.
+                        self._pre_run(index)
+                state.mode = mode
+                worker.busy = state
+                worker.lease_expiry = (
+                    time.monotonic() + self._policy.lease_timeout_s
+                )
+                worker.inbox.put((index, mode))
+                break
+
+    def _sweep(self) -> None:
+        """Detect dead workers and expired leases; recover each."""
+        for worker in list(self._workers):
+            state = worker.busy
+            if not worker.proc.is_alive():
+                self._crashes += 1
+                detail = (
+                    f"{worker.proc.name} exited with code "
+                    f"{worker.proc.exitcode}"
+                )
+                if state is not None:
+                    worker.busy = None
+                    if state.mode == _MODE_CRASH:
+                        self._site_failure(
+                            state, SITE_WORKER_CRASH, state.crash_attempt
+                        )
+                    else:
+                        self._organic_failure(state, detail)
+                self._respawn_after(worker, SITE_WORKER_CRASH, detail)
+                continue
+            if state is not None and time.monotonic() > worker.lease_expiry:
+                self._hangs += 1
+                worker.proc.kill()
+                worker.proc.join(timeout=5.0)
+                detail = (
+                    f"{worker.proc.name} exceeded its "
+                    f"{self._policy.lease_timeout_s:.3g}s lease"
+                )
+                worker.busy = None
+                if state.mode == _MODE_HANG:
+                    self._site_failure(
+                        state, SITE_TASK_HANG, state.hang_attempt
+                    )
+                else:
+                    self._organic_failure(state, detail)
+                self._respawn_after(worker, SITE_TASK_HANG, detail)
+
+    def _collect(self) -> None:
+        """Drain one result from the queue, if any arrived."""
+        try:
+            blob = self._results_q.get(timeout=_POLL_S)
+        except queue_mod.Empty:
+            return
+        try:
+            index, ok, payload = pickle.loads(blob)
+        except Exception as exc:  # noqa: BLE001 - corrupt transport
+            raise ParallelError(
+                f"could not decode a supervised worker result: {exc!r}"
+            ) from exc
+        for worker in self._workers:
+            if worker.busy is not None and worker.busy.index == index:
+                worker.busy = None
+                break
+        if index in self._done:
+            return  # stale duplicate from a lease-killed straggler
+        self._done.add(index)
+        if ok:
+            self._out[index] = payload
+        else:
+            self._failures[index] = payload
+
+    # -- main loop ---------------------------------------------------------
+
+    def run(self) -> SupervisionResult:
+        """Drive the wave to completion; the supervised ``fork_map``."""
+        if not self._items:
+            return SupervisionResult(results=[])
+        require_process_backend()
+        for _ in range(self._n_workers):
+            self._spawn()
+        try:
+            while len(self._done) < len(self._items):
+                self._dispatch_ready()
+                self._collect()
+                self._sweep()
+        except BaseException:
+            self._results_q.cancel_join_thread()
+            raise
+        finally:
+            for worker in self._workers:
+                try:
+                    worker.inbox.put(None)
+                except (ValueError, OSError):  # pragma: no cover
+                    pass
+            for worker in self._workers:
+                worker.proc.join(timeout=5.0)
+            for worker in self._workers:
+                if worker.proc.is_alive():  # pragma: no cover - defensive
+                    worker.proc.kill()
+                    worker.proc.join(timeout=1.0)
+            for worker in self._workers:
+                worker.inbox.cancel_join_thread()
+                worker.inbox.close()
+            self._results_q.close()
+        if self._failures:
+            raise self._failures[min(self._failures)]
+        return SupervisionResult(
+            results=self._out,
+            skipped=tuple(sorted(self._skipped)),
+            respawns=self._respawns,
+            crashes=self._crashes,
+            hangs=self._hangs,
+        )
+
+
+def supervised_fork_map(
+    fn: Callable[[T], R],
+    items: Iterable[T],
+    workers: int,
+    *,
+    policy: RecoveryPolicy | None = None,
+    injector: FaultInjector | None = None,
+    scope_of: Callable[[int], Hashable] | None = None,
+    allow_skip: bool = False,
+    pre_run: Callable[[int], None] | None = None,
+) -> SupervisionResult:
+    """:func:`~repro.parallel.fork_pool.fork_map` under supervision.
+
+    Same zero-pickle input contract, but worker death no longer aborts
+    the wave: orphaned tasks are re-dispatched (bounded by
+    ``policy.max_retries``), dead workers are respawned (bounded by
+    ``policy.worker_respawn_budget``), and a hung task is killed when
+    its ``policy.lease_timeout_s`` lease expires.  With an armed
+    ``injector``, the ``worker.crash`` / ``task.hang`` sites are decided
+    here in the parent per ``scope_of(index)`` — emitting the identical
+    fault-log sequence the serial gate emits — and a poison task is
+    quarantined against the skip budget when ``allow_skip`` is set.
+
+    ``pre_run(index)`` runs in the parent exactly once per task, after
+    its worker-fault sites resolved clean and before its first real
+    dispatch (the hook point for the ``map.task`` gate, preserving the
+    serial backend's site ordering).
+    """
+    return Supervisor(
+        fn, list(items), workers,
+        policy=policy or RecoveryPolicy(),
+        injector=injector,
+        scope_of=scope_of,
+        allow_skip=allow_skip,
+        pre_run=pre_run,
+    ).run()
+
+
+class SupervisedForkExecutor:
+    """Executor facade over :func:`supervised_fork_map` for the sort library.
+
+    Drop-in for :class:`~repro.parallel.fork_pool.ForkExecutor` where
+    the caller wants merge workers supervised too (respawn on death)
+    without any fault-site checking.
+    """
+
+    def __init__(self, workers: int, policy: RecoveryPolicy | None = None) -> None:
+        if workers < 1:
+            raise ParallelError("SupervisedForkExecutor needs at least one worker")
+        self.workers = workers
+        self.policy = policy or RecoveryPolicy()
+
+    def map(self, fn: Callable[..., R], *iterables: Iterable[Any]) -> list[R]:
+        """`Executor.map` semantics (results in order, eager)."""
+        if len(iterables) == 1:
+            items = list(iterables[0])
+        else:
+            items = list(zip(*iterables))
+            original_fn = fn
+            fn = lambda args: original_fn(*args)  # noqa: E731
+        return supervised_fork_map(
+            fn, items, self.workers, policy=self.policy
+        ).results

@@ -14,8 +14,12 @@ from typing import Any
 
 from repro.core.result import PhaseTimings, RoundTiming
 from repro.errors import ConfigError
-from repro.faults.log import ACTION_SPECULATIVE
-from repro.faults.plan import SITE_SIM_STRAGGLER, FaultPlan
+from repro.faults.log import ACTION_RESPAWNED, ACTION_SPECULATIVE
+from repro.faults.plan import (
+    SITE_SIM_STRAGGLER,
+    SITE_SIM_WORKER_CRASH,
+    FaultPlan,
+)
 from repro.faults.policy import RecoveryPolicy
 from repro.faults.simdriver import SimFaultDriver
 from repro.simhw.cpu import CpuClass
@@ -114,6 +118,41 @@ def simulate_supmr_job(
         else:
             effective = slow
         return max(0.0, effective - base)
+
+    def crash_extra(wave_index: int, wave_bytes: float) -> float:
+        """Extra wall-clock one crashed-and-respawned mapper adds.
+
+        The ``sim.worker.crash`` site kills one worker mid-wave; the
+        exit is detected immediately (no lease wait), the worker is
+        respawned, and its task re-executes from scratch — the wave ends
+        one task-time late.  ``factor`` scales the lost fraction of the
+        task (default: crash at the very end, a full re-execution).
+        """
+        if injector is None:
+            return 0.0
+        decision = injector.check(SITE_SIM_WORKER_CRASH, scope=(wave_index,))
+        if decision is None:
+            return 0.0
+        base = profile.map_wall_s(wave_bytes, machine.spec.contexts)
+        fraction = (
+            min(1.0, decision.spec.factor)
+            if decision.spec.factor is not None else 1.0
+        )
+        lost = base * fraction
+        injector.log.record(
+            SITE_SIM_WORKER_CRASH, ACTION_RESPAWNED,
+            f"wave {wave_index}: worker crashed {fraction:.0%} through its "
+            f"task; respawn re-executes {lost:.3g}s of map work",
+            scope=str(wave_index),
+        )
+        return lost
+
+    def wave_extra(wave_index: int, wave_bytes: float) -> float:
+        """Total slowdown a wave suffers from stragglers and crashes."""
+        return (
+            straggler_extra(wave_index, wave_bytes)
+            + crash_extra(wave_index, wave_bytes)
+        )
     rounds: list[RoundTiming] = []
     spill = {"live": 0.0, "runs": 0, "spilled": 0.0,
              "passes": 0, "rewritten": 0.0}
@@ -157,7 +196,7 @@ def simulate_supmr_job(
         # Overlapped rounds: ingest chunk i while mapping chunk i-1.
         for i in range(1, len(sizes)):
             r0 = sim.now
-            extra = straggler_extra(i - 1, sizes[i - 1])
+            extra = wave_extra(i - 1, sizes[i - 1])
             if pipelined:
                 ing = sim.process(
                     ingest(machine, sizes[i], profile, source), name=f"ingest{i}"
@@ -183,7 +222,7 @@ def simulate_supmr_job(
         r0 = sim.now
         yield from map_wave(
             machine, sizes[-1], profile,
-            straggler_s=straggler_extra(len(sizes) - 1, sizes[-1]),
+            straggler_s=wave_extra(len(sizes) - 1, sizes[-1]),
         )
         yield from absorb_and_spill(sizes[-1])
         rounds.append(RoundTiming(len(sizes), 0.0, sim.now - r0, 0))

@@ -129,6 +129,17 @@ class SpillableContainer(Container):
 
     # -- process-boundary transport ----------------------------------------
 
+    def drain(self) -> ContainerDelta:
+        """Pack the *live* inner container's contents for transport.
+
+        Spilled runs are already durable on disk and travel separately
+        (the job journal records their inventory); this drains only the
+        resident, post-last-spill state — exactly what a checkpoint
+        snapshot needs.
+        """
+        with self._lock:
+            return self._inner.drain()
+
     def absorb(self, delta: ContainerDelta) -> None:
         """Fold a worker's delta in while honoring the memory budget.
 

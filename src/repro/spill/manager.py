@@ -251,6 +251,31 @@ class SpillManager:
         """A validated streaming reader over one run."""
         return RunReader(info.path)
 
+    # -- resume ------------------------------------------------------------
+
+    def adopt_runs(self, infos: "Iterable[RunInfo]") -> None:
+        """Take ownership of runs a previous (crashed) job sealed.
+
+        Each run is re-verified against its header checksum before
+        adoption — a run that rotted on disk between the crash and the
+        resume raises :class:`~repro.errors.SpillError` rather than
+        silently merging garbage.  Adopted runs count into the stats so
+        a resumed job reports its true spill totals, and new spills are
+        numbered after the adopted ones.
+        """
+        for info in infos:
+            if not info.path.exists():
+                raise SpillError(f"cannot adopt missing spill run {info.path}")
+            if not RunReader(info.path).verify():
+                raise SpillError(
+                    f"spill run {info.path} failed its checksum on resume"
+                )
+            self.runs.append(info)
+            self._next_index = max(self._next_index, info.index + 1)
+            self._stats.runs += 1
+            self._stats.spilled_bytes += info.payload_bytes
+            self._stats.spilled_records += info.records
+
     # -- reporting / teardown ----------------------------------------------
 
     def record_merge(self, passes: int) -> None:

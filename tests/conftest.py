@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import multiprocessing
+import time
 from pathlib import Path
 
 import pytest
@@ -12,6 +14,35 @@ from repro.workloads import (
     generate_terasort_file,
     generate_text_file,
 )
+
+
+_WORKER_PREFIXES = ("repro-fork-", "repro-sup-")
+
+
+@pytest.fixture(autouse=True)
+def no_leaked_worker_processes():
+    """Fail any test that leaves fork-pool workers behind.
+
+    Covers both the plain fork pool (``repro-fork-*``) and supervised
+    workers — including ones the supervisor *respawned* after a crash
+    or lease kill (``repro-sup-*``).  A short grace loop absorbs the
+    instant between a pool returning and its children being reaped.
+    """
+    yield
+    deadline = time.monotonic() + 5.0
+    leaked = [
+        p for p in multiprocessing.active_children()
+        if p.name.startswith(_WORKER_PREFIXES)
+    ]
+    while leaked and time.monotonic() < deadline:
+        time.sleep(0.05)
+        leaked = [
+            p for p in multiprocessing.active_children()
+            if p.name.startswith(_WORKER_PREFIXES)
+        ]
+    assert not leaked, (
+        f"leaked worker processes: {[p.name for p in leaked]}"
+    )
 
 
 @pytest.fixture

@@ -122,3 +122,27 @@ class TestErrorsAndStats:
                 sched.drain(timeout=0.05)
         finally:
             sched.shutdown()
+
+    def test_drain_timeout_is_dedicated_error_with_pending_count(self):
+        from repro.errors import DrainTimeout
+
+        sched = TaskScheduler(workers=1)
+        try:
+            sched.submit(time.sleep, 1.0)
+            sched.submit(lambda: None)
+            with pytest.raises(DrainTimeout) as excinfo:
+                sched.drain(timeout=0.05)
+            assert excinfo.value.pending == 2
+        finally:
+            sched.shutdown()
+
+    def test_stats_report_pending_count(self):
+        sched = TaskScheduler(workers=1)
+        try:
+            sched.submit(time.sleep, 0.5)
+            sched.submit(lambda: None)
+            assert sched.stats.pending >= 1
+            sched.drain()
+            assert sched.stats.pending == 0
+        finally:
+            sched.shutdown()

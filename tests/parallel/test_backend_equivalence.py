@@ -23,6 +23,7 @@ from repro.core.options import RuntimeOptions
 from repro.core.phoenix import PhoenixRuntime
 from repro.core.supmr import SupMRRuntime
 from repro.faults import parse_faults
+from repro.faults.policy import RecoveryPolicy
 from repro.parallel.backends import fork_available
 
 BACKENDS = ["serial", "thread", "process"]
@@ -116,6 +117,50 @@ class TestFaultedBackendEquivalence:
         )
         for backend in ("thread", "process"):
             assert results[backend].output == reference.output
+            for counter in _FAULT_COUNTERS:
+                assert (
+                    results[backend].counters[counter]
+                    == reference.counters[counter]
+                ), f"{job_name}: {backend} {counter} diverged"
+
+
+@needs_fork
+@pytest.mark.parametrize("job_name", ["wordcount", "sort"])
+class TestWorkerFaultBackendEquivalence:
+    """Seeded worker kills and hangs leave outputs AND counters identical.
+
+    In the process backend the ``worker.crash`` / ``task.hang`` sites
+    genuinely kill and wedge forked workers (supervisor recovers them);
+    serial and thread backends resolve the same sites through the
+    pre-task gate.  Both the outputs and the three fault counters must
+    agree — the supervisor's log protocol mirrors the serial gate's.
+    """
+
+    def test_outputs_and_fault_schedule_identical(
+        self, job_name, text_file, terasort_file, numbers_file
+    ):
+        results = {}
+        for backend in BACKENDS:
+            opts = RuntimeOptions.supmr_interfile(
+                "16KB", num_mappers=4, num_reducers=3
+            ).with_(
+                executor_backend=backend,
+                fault_plan=parse_faults(
+                    "worker.crash=once,task.hang=once", seed=7
+                ),
+                recovery=RecoveryPolicy(lease_timeout_s=2.0),
+            )
+            results[backend] = SupMRRuntime(opts).run(
+                _job(job_name, text_file, terasort_file, numbers_file)
+            )
+        reference = results["serial"]
+        assert reference.counters["faults_injected"] > 0, (
+            "worker fault plan never fired; the test is vacuous"
+        )
+        for backend in ("thread", "process"):
+            assert results[backend].output == reference.output, (
+                f"{job_name}: {backend} output diverged from serial"
+            )
             for counter in _FAULT_COUNTERS:
                 assert (
                     results[backend].counters[counter]

@@ -74,6 +74,15 @@ class TestForkMap:
         with pytest.raises(ParallelError, match="worker process died"):
             fork_map(task, range(3), 2)
 
+    def test_dead_worker_error_names_the_worker_and_exit_code(self):
+        def task(x):
+            if x == 1:
+                os._exit(13)
+            return x
+
+        with pytest.raises(ParallelError, match=r"repro-fork-\d+=13"):
+            fork_map(task, range(3), 2)
+
 
 class TestForkExecutor:
     def test_map_single_iterable(self):

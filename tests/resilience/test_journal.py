@@ -1,0 +1,147 @@
+"""Job journal: fingerprints, atomic persistence, restore, corruption."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.apps.wordcount import make_wordcount_job
+from repro.containers.combiners import CountCombiner
+from repro.containers.hash_container import HashContainer
+from repro.core.options import RuntimeOptions
+from repro.errors import CheckpointError
+from repro.resilience.journal import (
+    STAGE_COMPLETE,
+    STAGE_MAPPING,
+    STAGE_REDUCED,
+    JobJournal,
+    job_fingerprint,
+)
+
+
+def _filled_container(pairs) -> HashContainer:
+    container = HashContainer(CountCombiner())
+    container.begin_round()
+    emitter = container.emitter(0)
+    for key, value in pairs:
+        emitter.emit(key, value)
+    return container
+
+
+class TestFingerprint:
+    def test_stable_for_identical_setup(self, text_file):
+        job = make_wordcount_job([text_file])
+        opts = RuntimeOptions.supmr_interfile("16KB", 2, 2)
+        assert job_fingerprint(job, opts) == job_fingerprint(job, opts)
+
+    def test_changes_with_chunking(self, text_file):
+        job = make_wordcount_job([text_file])
+        a = job_fingerprint(job, RuntimeOptions.supmr_interfile("16KB", 2, 2))
+        b = job_fingerprint(job, RuntimeOptions.supmr_interfile("32KB", 2, 2))
+        assert a != b
+
+    def test_ignores_wall_clock_knobs(self, text_file):
+        job = make_wordcount_job([text_file])
+        opts = RuntimeOptions.supmr_interfile("16KB", 2, 2)
+        longer = opts.with_(job_deadline_s=120.0)
+        assert job_fingerprint(job, opts) == job_fingerprint(job, longer)
+
+
+class TestRoundTrip:
+    def test_record_and_restore_container_state(self, tmp_path):
+        journal = JobJournal(tmp_path / "ckpt", "fp")
+        container = _filled_container([(b"a", 1), (b"a", 1), (b"b", 1)])
+        journal.record_round(0, container, map_tasks=2)
+        assert journal.completed_rounds == frozenset({0})
+        assert journal.map_tasks == 2
+        assert journal.stage == STAGE_MAPPING
+
+        resumed = JobJournal(tmp_path / "ckpt", "fp", resume=True)
+        assert resumed.resumed
+        restored = HashContainer(CountCombiner())
+        assert resumed.restore(restored)
+        restored.seal()
+        container.seal()
+        assert restored.partitions(1) == container.partitions(1)
+
+    def test_successive_rounds_replace_the_snapshot(self, tmp_path):
+        journal = JobJournal(tmp_path / "ckpt", "fp")
+        container = _filled_container([(b"a", 1)])
+        journal.record_round(0, container, map_tasks=1)
+        journal.record_round(1, container, map_tasks=2)
+        snapshots = list((tmp_path / "ckpt").glob("snapshot-*.bin"))
+        assert [p.name for p in snapshots] == ["snapshot-00001.bin"]
+        assert journal.completed_rounds == frozenset({0, 1})
+
+    def test_reduced_stage_round_trip(self, tmp_path):
+        journal = JobJournal(tmp_path / "ckpt", "fp")
+        runs = [[(b"a", 2)], [(b"b", 1)]]
+        journal.record_reduced(runs)
+        assert journal.stage == STAGE_REDUCED
+        resumed = JobJournal(tmp_path / "ckpt", "fp", resume=True)
+        assert resumed.resumed
+        assert resumed.load_reduced() == runs
+
+    def test_finalize_marks_complete_and_drops_blobs(self, tmp_path):
+        journal = JobJournal(tmp_path / "ckpt", "fp")
+        journal.record_round(0, _filled_container([(b"a", 1)]), map_tasks=1)
+        journal.record_reduced([[(b"a", 1)]])
+        journal.finalize()
+        assert journal.stage == STAGE_COMPLETE
+        assert not list((tmp_path / "ckpt").glob("*.bin"))
+        # A completed journal resumes as a fresh start.
+        fresh = JobJournal(tmp_path / "ckpt", "fp", resume=True)
+        assert not fresh.resumed
+
+    def test_fresh_start_wipes_previous_state(self, tmp_path):
+        JobJournal(tmp_path / "ckpt", "fp").record_round(
+            0, _filled_container([(b"a", 1)]), map_tasks=1
+        )
+        fresh = JobJournal(tmp_path / "ckpt", "fp", resume=False)
+        assert not fresh.resumed
+        assert fresh.completed_rounds == frozenset()
+        assert not list((tmp_path / "ckpt").glob("snapshot-*.bin"))
+
+    def test_restore_without_progress_returns_false(self, tmp_path):
+        journal = JobJournal(tmp_path / "ckpt", "fp")
+        assert not journal.restore(HashContainer(CountCombiner()))
+
+
+class TestValidation:
+    def test_fingerprint_mismatch_refuses_resume(self, tmp_path):
+        JobJournal(tmp_path / "ckpt", "fp-a").record_round(
+            0, _filled_container([(b"a", 1)]), map_tasks=1
+        )
+        with pytest.raises(CheckpointError, match="fingerprint mismatch"):
+            JobJournal(tmp_path / "ckpt", "fp-b", resume=True)
+
+    def test_torn_journal_fails_crc(self, tmp_path):
+        journal = JobJournal(tmp_path / "ckpt", "fp")
+        journal.record_round(0, _filled_container([(b"a", 1)]), map_tasks=1)
+        path = journal.journal_path
+        envelope = json.loads(path.read_text())
+        envelope["payload"]["map_tasks"] = 999  # tamper without re-CRC
+        path.write_text(json.dumps(envelope))
+        with pytest.raises(CheckpointError, match="CRC"):
+            JobJournal(tmp_path / "ckpt", "fp", resume=True)
+
+    def test_corrupt_snapshot_blob_is_rejected(self, tmp_path):
+        journal = JobJournal(tmp_path / "ckpt", "fp")
+        journal.record_round(0, _filled_container([(b"a", 1)]), map_tasks=1)
+        blob = tmp_path / "ckpt" / "snapshot-00000.bin"
+        raw = bytearray(blob.read_bytes())
+        raw[-1] ^= 0xFF
+        blob.write_bytes(bytes(raw))
+        resumed = JobJournal(tmp_path / "ckpt", "fp", resume=True)
+        with pytest.raises(CheckpointError, match="CRC"):
+            resumed.restore(HashContainer(CountCombiner()))
+
+    def test_truncated_blob_is_rejected(self, tmp_path):
+        journal = JobJournal(tmp_path / "ckpt", "fp")
+        journal.record_reduced([[(b"a", 1)]])
+        blob = tmp_path / "ckpt" / "reduced.bin"
+        blob.write_bytes(blob.read_bytes()[:4])
+        resumed = JobJournal(tmp_path / "ckpt", "fp", resume=True)
+        with pytest.raises(CheckpointError, match="truncated"):
+            resumed.load_reduced()

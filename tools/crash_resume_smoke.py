@@ -1,0 +1,126 @@
+#!/usr/bin/env python
+"""CI smoke: SIGKILL a checkpointed wordcount mid-run, resume, diff digests.
+
+Exercises the whole crash-safety story end to end through the real CLI:
+
+1. generate a corpus and run wordcount uninterrupted, recording the
+   output digest;
+2. start the same job with ``--checkpoint-dir``, poll the journal, and
+   ``kill -9`` the process as soon as at least one ingest round is
+   journaled;
+3. run again with ``--resume`` and require the digest to match step 1.
+
+Exits non-zero (failing the CI job) on any divergence.  If the job
+finishes before the kill lands (fast runner), the input is doubled and
+the round trip retried a few times before giving up as inconclusive.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[1]
+ENV = dict(os.environ, PYTHONPATH=str(REPO / "src"))
+
+_DIGEST_RE = re.compile(r"^\s*digest:\s*([0-9a-f]{64})\s*$", re.MULTILINE)
+
+
+def run_cli(*args: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, "-m", "repro.cli", *args],
+        capture_output=True, text=True, env=ENV, timeout=600,
+    )
+
+
+def digest_of(proc: subprocess.CompletedProcess) -> str:
+    match = _DIGEST_RE.search(proc.stdout)
+    if proc.returncode != 0 or match is None:
+        sys.exit(
+            f"CLI run failed (rc={proc.returncode}):\n"
+            f"{proc.stdout}\n{proc.stderr}"
+        )
+    return match.group(1)
+
+
+def kill_mid_run(corpus: Path, ckpt: Path, chunk: str) -> bool:
+    """Start a checkpointed run; SIGKILL once a round is journaled."""
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "wordcount", str(corpus),
+         "--chunk-size", chunk, "--checkpoint-dir", str(ckpt)],
+        env=ENV, stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+    )
+    journal = ckpt / "journal.json"
+    deadline = time.monotonic() + 300
+    try:
+        while time.monotonic() < deadline and proc.poll() is None:
+            if journal.exists():
+                try:
+                    state = json.loads(journal.read_text())["payload"]
+                except (ValueError, KeyError, OSError):
+                    time.sleep(0.002)
+                    continue
+                if state["completed_rounds"] and state["stage"] == "mapping":
+                    proc.send_signal(signal.SIGKILL)
+                    proc.wait(timeout=60)
+                    print(
+                        f"  killed mid-run with rounds "
+                        f"{state['completed_rounds']} journaled"
+                    )
+                    return True
+            time.sleep(0.002)
+        proc.wait(timeout=60)
+        return False
+    finally:
+        if proc.poll() is None:  # pragma: no cover - defensive
+            proc.kill()
+
+
+def main() -> int:
+    tmp = Path(tempfile.mkdtemp(prefix="crash-resume-smoke-"))
+    corpus = tmp / "corpus.txt"
+    size, chunk = "2MB", "64KB"
+    for attempt in range(3):
+        print(f"attempt {attempt + 1}: corpus={size} chunk={chunk}")
+        gen = run_cli("gen", "text", str(corpus), "--size", size, "--seed", "5")
+        if gen.returncode != 0:
+            sys.exit(f"corpus generation failed:\n{gen.stderr}")
+
+        reference = digest_of(run_cli(
+            "wordcount", str(corpus), "--chunk-size", chunk,
+        ))
+        print(f"  reference digest {reference}")
+
+        ckpt = tmp / f"ckpt-{attempt}"
+        if not kill_mid_run(corpus, ckpt, chunk):
+            print("  job finished before the kill; growing the input")
+            size = f"{4 * (attempt + 1)}MB"
+            continue
+
+        resumed = run_cli(
+            "wordcount", str(corpus), "--chunk-size", chunk,
+            "--checkpoint-dir", str(ckpt), "--resume",
+        )
+        resumed_digest = digest_of(resumed)
+        if "resume: restored" not in resumed.stdout:
+            sys.exit(f"resumed run did not report a resume:\n{resumed.stdout}")
+        if resumed_digest != reference:
+            sys.exit(
+                f"DIGEST MISMATCH after resume: "
+                f"{resumed_digest} != {reference}"
+            )
+        print(f"  resumed digest   {resumed_digest} (identical)")
+        print("crash/resume round trip OK")
+        return 0
+    sys.exit("could not kill the job mid-run after 3 attempts")
+
+
+if __name__ == "__main__":
+    sys.exit(main())
