@@ -83,6 +83,7 @@ def job_result_dict(result: JobResult, include_output: bool = False) -> dict:
         "input_bytes": result.input_bytes,
         "n_chunks": result.n_chunks,
         "n_output_pairs": result.n_output_pairs,
+        "digest": result.output_digest(),
         "timings": timings_dict(result.timings),
         "container": {
             "emits": result.container_stats.emits,

@@ -8,15 +8,36 @@ terminal::
     map         |==|  |==|  |==|  |==|
 
 ``render_round_timeline`` consumes the :class:`RoundTiming` records every
-SupMR result carries (real or simulated).
+SupMR result carries (real or simulated), and
+:func:`render_supervision_summary` condenses a result's supervision and
+shard-recovery counters into one status line for the same ``--timeline``
+view.
 """
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Mapping, Sequence
 
 from repro.core.result import RoundTiming
 from repro.errors import ExperimentError
+
+#: ``(counter key, display label)`` pairs rendered by
+#: :func:`render_supervision_summary`, in display order.  Worker-level
+#: supervision tallies first, then shard/coordinator-level recovery.
+_SUPERVISION_FIELDS: tuple[tuple[str, str], ...] = (
+    ("worker_respawns", "respawns"),
+    ("worker_crashes", "crashes"),
+    ("lease_expiries", "lease-expiries"),
+    ("task_redispatches", "re-dispatches"),
+    ("tasks_skipped", "skipped"),
+    ("shard_respawns", "shard-respawns"),
+    ("shard_crashes", "shard-crashes"),
+    ("shard_lease_expiries", "shard-lease-expiries"),
+    ("shards_lost", "shards-lost"),
+    ("partitions_reassigned", "partitions-reassigned"),
+    ("speculative_shards", "speculative"),
+    ("exchange_refetches", "exchange-refetches"),
+)
 
 
 def _lane(segments: list[tuple[float, float]], total: float, width: int,
@@ -70,6 +91,25 @@ def render_round_timeline(
         "map    |" + _lane(mapping, total, width, "=") + "|",
     ]
     return "\n".join(lines)
+
+
+def render_supervision_summary(counters: Mapping[str, object]) -> str:
+    """One-line summary of supervision/recovery counters, or ``""``.
+
+    Picks the supervisor- and shard-level tallies out of a
+    :class:`~repro.core.result.JobResult` ``counters`` mapping and
+    renders the non-zero ones as ``supervision: respawns=2 crashes=1``.
+    Returns the empty string when nothing noteworthy happened, so
+    callers can print it unconditionally.
+    """
+    parts = [
+        f"{label}={counters[key]}"
+        for key, label in _SUPERVISION_FIELDS
+        if counters.get(key)
+    ]
+    if not parts:
+        return ""
+    return "supervision: " + " ".join(parts)
 
 
 def overlap_fraction(rounds: Sequence[RoundTiming]) -> float:

@@ -58,6 +58,13 @@ def _print_result(result: JobResult) -> None:
         f = result.fault_log
         print(f"  faults: {f.injected} injected, {f.retries} retried, "
               f"{f.recoveries} recovered, {f.quarantined} quarantined")
+    if result.counters.get("shards"):
+        print(f"  shards: {result.counters['shards']} shard worker(s); "
+              f"{result.counters.get('shard_respawns', 0)} respawned, "
+              f"{result.counters.get('partitions_reassigned', 0)} "
+              f"partition(s) reassigned, "
+              f"{result.counters.get('exchange_refetches', 0)} "
+              f"exchange refetch(es)")
     if result.counters.get("resumed"):
         print(f"  resume: restored {result.counters.get('resumed_rounds', 0)} "
               "completed round(s) from the checkpoint")
@@ -115,6 +122,10 @@ def _options_from(args: argparse.Namespace) -> RuntimeOptions:
         options = options.with_(
             supervised_pool=False, degrade_on_pool_failure=False
         )
+    if getattr(args, "shards", None) is not None:
+        options = options.with_(num_shards=args.shards)
+    if getattr(args, "shard_dir", None):
+        options = options.with_(shard_dir=args.shard_dir)
     return options
 
 
@@ -138,22 +149,32 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
 
 
 def _run_job(job, options: RuntimeOptions) -> JobResult:
+    if options.num_shards is not None:
+        from repro.shard import ShardedRuntime
+
+        return ShardedRuntime(options).run(job)
     if options.chunk_strategy.value == "none":
         return PhoenixRuntime(options).run(job)
     return SupMRRuntime(options).run(job)
 
 
 def _maybe_timeline(args: argparse.Namespace, result: JobResult) -> None:
-    if getattr(args, "timeline", False) and result.timings.rounds:
-        from repro.analysis.timeline import (
-            overlap_fraction,
-            render_round_timeline,
-        )
+    if not getattr(args, "timeline", False):
+        return
+    from repro.analysis.timeline import (
+        overlap_fraction,
+        render_round_timeline,
+        render_supervision_summary,
+    )
 
+    if result.timings.rounds:
         print()
         print(render_round_timeline(result.timings.rounds))
         print(f"overlap: {100 * overlap_fraction(result.timings.rounds):.0f}% "
               "of map time ran under ingest")
+    summary = render_supervision_summary(result.counters)
+    if summary:
+        print(summary)
 
 
 def _cmd_wordcount(args: argparse.Namespace) -> int:
@@ -296,6 +317,14 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--no-supervise", action="store_true",
                        help="disable worker supervision and the backend "
                             "degradation ladder (PR-3 behavior)")
+        p.add_argument("--shards", type=int, default=None, metavar="N",
+                       help="run the job scaled out across N supervised "
+                            "shard worker processes (fault-tolerant "
+                            "sharded runtime)")
+        p.add_argument("--shard-dir", metavar="DIR",
+                       help="working directory for shard pid files and "
+                            "exchanged run files (default: a private "
+                            "temporary directory)")
 
     p_wc = sub.add_parser("wordcount", help="run word count on real files")
     p_wc.add_argument("files", nargs="+")

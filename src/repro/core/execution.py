@@ -33,6 +33,7 @@ from repro.parallel.splits import ChunkHandle, SplitRef, split_refs_for_chunk
 from repro.resilience.gates import gate_worker_sites, worker_sites_armed
 from repro.resilience.supervisor import (
     SupervisedForkExecutor,
+    SupervisionResult,
     supervised_fork_map,
 )
 from repro.sortlib.merge_sort import pairwise_merge_sort
@@ -141,6 +142,30 @@ def split_for_mappers(
     return splits
 
 
+def accumulate_wave_stats(
+    stats: "dict[str, int] | None", outcome: SupervisionResult
+) -> None:
+    """Fold one supervised wave's survival record into a stats dict.
+
+    The runtimes pass one dict through every wave of a job and copy the
+    non-zero tallies into the result counters, so ``--timeline`` can
+    report respawns, re-dispatches and lease expiries per job.
+    """
+    if stats is None:
+        return
+    stats["worker_respawns"] = (
+        stats.get("worker_respawns", 0) + outcome.respawns
+    )
+    stats["worker_crashes"] = stats.get("worker_crashes", 0) + outcome.crashes
+    stats["lease_expiries"] = stats.get("lease_expiries", 0) + outcome.hangs
+    stats["task_redispatches"] = (
+        stats.get("task_redispatches", 0) + outcome.redispatches
+    )
+    stats["tasks_skipped"] = (
+        stats.get("tasks_skipped", 0) + len(outcome.skipped)
+    )
+
+
 def run_mapper_wave(
     job: JobSpec,
     container: Container,
@@ -150,6 +175,7 @@ def run_mapper_wave(
     chunk_index: int = 0,
     task_id_base: int = 0,
     injector: FaultInjector | None = None,
+    wave_stats: "dict[str, int] | None" = None,
 ) -> int:
     """One wave of map tasks over ``data``; returns tasks launched.
 
@@ -175,7 +201,8 @@ def run_mapper_wave(
         data = screen_records(data, job, injector, chunk_index)
     if options.executor_backend is ExecutorBackend.PROCESS:
         return _run_mapper_wave_process(
-            job, container, data, options, chunk_index, task_id_base, injector
+            job, container, data, options, chunk_index, task_id_base,
+            injector, wave_stats,
         )
     if isinstance(data, ChunkHandle):
         data = data.load()
@@ -244,6 +271,7 @@ def _run_mapper_wave_process(
     chunk_index: int,
     task_id_base: int,
     injector: FaultInjector | None,
+    wave_stats: "dict[str, int] | None" = None,
 ) -> int:
     """The process backend's wave: fork, map+combine in-worker, absorb.
 
@@ -327,6 +355,7 @@ def _run_mapper_wave_process(
                 if map_task_armed else None
             ),
         )
+        accumulate_wave_stats(wave_stats, outcome)
         deltas = outcome.completed()
     else:
         # PR-3 behaviour: unsupervised fork_map (any worker death aborts
@@ -360,6 +389,7 @@ def run_reducers(
     container: Container,
     options: RuntimeOptions,
     pool: Executor,
+    wave_stats: "dict[str, int] | None" = None,
 ) -> list[list[Pair]]:
     """Seal the container and reduce each partition; returns one
     key-sorted output run per reducer (``run_reducers()`` of Table I).
@@ -384,10 +414,12 @@ def run_reducers(
             # Reduce tasks are pure (partition -> pairs), so genuine
             # worker deaths are safely re-dispatched; no fault sites are
             # checked here, keeping reduce schedules backend-identical.
-            return supervised_fork_map(
+            outcome = supervised_fork_map(
                 reduce_task, partitions, options.num_reducers,
                 policy=options.recovery,
-            ).results
+            )
+            accumulate_wave_stats(wave_stats, outcome)
+            return outcome.results
         return fork_map(reduce_task, partitions, options.num_reducers)
     return list(pool.map(reduce_task, partitions))
 

@@ -106,6 +106,18 @@ class RuntimeOptions:
     #: re-run the job when a pool failure escapes the supervisor,
     #: instead of propagating :class:`~repro.errors.ParallelError`.
     degrade_on_pool_failure: bool = True
+    #: Split the job over this many fault-tolerant shard worker processes
+    #: (:mod:`repro.shard`): each shard maps a contiguous block of ingest
+    #: chunks and reduces the partitions a consistent-hash map assigns
+    #: it, exchanging intermediate state as checksummed run files.  None
+    #: (default) runs unsharded on the classic runtimes; ``1`` still
+    #: routes through the sharded coordinator (the digest baseline the
+    #: determinism tests compare multi-shard runs against).
+    num_shards: int | None = None
+    #: Directory for the shard run exchange (outboxes, inboxes, worker
+    #: pid files).  None lets the coordinator create and clean up a
+    #: temporary directory.
+    shard_dir: str | None = None
 
     def __post_init__(self) -> None:
         object.__setattr__(
@@ -142,6 +154,10 @@ class RuntimeOptions:
             raise ConfigError("resume=True requires checkpoint_dir")
         if self.job_deadline_s is not None and self.job_deadline_s <= 0:
             raise ConfigError("job_deadline_s must be positive")
+        if self.num_shards is not None and self.num_shards < 1:
+            raise ConfigError("num_shards must be >= 1")
+        if self.shard_dir is not None:
+            object.__setattr__(self, "shard_dir", str(self.shard_dir))
         if self.spill_merge_fan_in < 2:
             raise ConfigError("spill_merge_fan_in must be >= 2")
         if self.memory_budget is not None:

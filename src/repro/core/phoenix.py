@@ -83,6 +83,7 @@ class PhoenixRuntime:
         )
         plan = plan_whole_input(job.inputs)
         whole = plan.chunks[0]
+        wave_stats: dict[str, int] = {}
         deadline = Deadline(options.job_deadline_s)
         deadline_hit = False
         resume_at_reduced = (
@@ -125,12 +126,16 @@ class PhoenixRuntime:
                             run_mapper_wave(
                                 job, container, data, options, pool,
                                 injector=injector,
+                                wave_stats=wave_stats,
                             )
                     with timer.phase("reduce"):
                         if resume_at_reduced:
                             runs = journal.load_reduced()
                         else:
-                            runs = run_reducers(job, container, options, pool)
+                            runs = run_reducers(
+                                job, container, options, pool,
+                                wave_stats=wave_stats,
+                            )
                             if journal is not None:
                                 journal.record_reduced(runs)
 
@@ -165,6 +170,9 @@ class PhoenixRuntime:
             "merge_algorithm": options.merge_algorithm.value,
             "executor_backend": options.executor_backend.value,
         }
+        for key, value in wave_stats.items():
+            if value:
+                counters[key] = value
         if journal is not None:
             counters["checkpointed"] = True
         if resume_at_reduced:

@@ -94,6 +94,7 @@ class SupMRRuntime:
         )
         plan: ChunkPlan = plan_chunks(job.inputs, job.codec, options)
         task_counter = [0]
+        wave_stats: dict[str, int] = {}
         deadline = Deadline(options.job_deadline_s)
         deadline_hit = False
 
@@ -157,6 +158,7 @@ class SupMRRuntime:
                         chunk_index=chunk.index,
                         task_id_base=task_counter[0],
                         injector=injector,
+                        wave_stats=wave_stats,
                     )
                     task_counter[0] += launched
                     if journal is not None:
@@ -200,7 +202,10 @@ class SupMRRuntime:
                         if resume_at_reduced:
                             runs = journal.load_reduced()
                         else:
-                            runs = run_reducers(job, container, options, pool)
+                            runs = run_reducers(
+                                job, container, options, pool,
+                                wave_stats=wave_stats,
+                            )
                             if journal is not None:
                                 journal.record_reduced(runs)
                     with timer.phase("merge"):
@@ -249,6 +254,9 @@ class SupMRRuntime:
             "pipeline_rounds": len(rounds),
             "map_tasks": task_counter[0],
         }
+        for key, value in wave_stats.items():
+            if value:
+                counters[key] = value
         if journal is not None:
             counters["checkpointed"] = True
         if restored_rounds or resume_at_reduced:

@@ -25,6 +25,9 @@ from repro.faults.plan import (
     SITE_INGEST_READ,
     SITE_MAP_TASK,
     SITE_RECORD_CORRUPT,
+    SITE_SHARD_EXCHANGE_CORRUPT,
+    SITE_SHARD_STRAGGLER,
+    SITE_SHARD_WORKER_LOSS,
     SITE_SIM_DATANODE_LOSS,
     SITE_SIM_DISK_FAIL,
     SITE_SIM_DISK_SLOW,
@@ -68,4 +71,7 @@ __all__ = [
     "SITE_SIM_WORKER_CRASH",
     "SITE_WORKER_CRASH",
     "SITE_TASK_HANG",
+    "SITE_SHARD_WORKER_LOSS",
+    "SITE_SHARD_EXCHANGE_CORRUPT",
+    "SITE_SHARD_STRAGGLER",
 ]

@@ -28,6 +28,8 @@ ACTION_SPECULATIVE = "speculative"
 ACTION_RESPAWNED = "respawned"
 ACTION_CHECKPOINTED = "checkpointed"
 ACTION_RESUMED = "resumed"
+ACTION_REASSIGNED = "reassigned"
+ACTION_REFETCHED = "refetched"
 
 
 @dataclass(frozen=True)

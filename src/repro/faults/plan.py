@@ -34,6 +34,9 @@ SITE_MAP_TASK = "map.task"              # core.execution / core.scheduler
 SITE_SPILL_CORRUPT = "spill.corrupt"    # spill.manager run files
 SITE_WORKER_CRASH = "worker.crash"      # resilience.supervisor (worker dies)
 SITE_TASK_HANG = "task.hang"            # resilience.supervisor (lease expiry)
+SITE_SHARD_WORKER_LOSS = "shard.worker_loss"        # shard.coordinator
+SITE_SHARD_EXCHANGE_CORRUPT = "shard.exchange_corrupt"  # shard.exchange
+SITE_SHARD_STRAGGLER = "shard.straggler"            # shard.coordinator
 # Simulated-hardware sites (applied by faults.simdriver / simrt):
 SITE_SIM_DISK_SLOW = "sim.disk.slow"
 SITE_SIM_DISK_FAIL = "sim.disk.fail"
@@ -45,6 +48,7 @@ SITE_SIM_WORKER_CRASH = "sim.worker.crash"
 RUNTIME_SITES = (
     SITE_INGEST_READ, SITE_RECORD_CORRUPT, SITE_MAP_TASK, SITE_SPILL_CORRUPT,
     SITE_WORKER_CRASH, SITE_TASK_HANG,
+    SITE_SHARD_WORKER_LOSS, SITE_SHARD_EXCHANGE_CORRUPT, SITE_SHARD_STRAGGLER,
 )
 SIM_SITES = (
     SITE_SIM_DISK_SLOW, SITE_SIM_DISK_FAIL, SITE_SIM_DATANODE_LOSS,

@@ -1,0 +1,261 @@
+"""Shard worker entrypoint: one supervised process group member.
+
+Each shard of a :class:`~repro.shard.coordinator.ShardedRuntime` job is
+one forked process running :func:`shard_worker_main`.  The contract
+mirrors the resilience supervisor's worker protocol — the job, options,
+and chunk block ride into the fork copy-on-write; only small command
+dicts and pickled result blobs cross the queues — but a shard worker is
+long-lived and *phased*: it serves a ``map`` command (map its contiguous
+chunk block, publish per-partition exchange runs to its outbox), then
+any number of ``reduce`` commands (fetch + CRC-verify the named
+partitions' runs from every shard's outbox and reduce them), until the
+``None`` sentinel.
+
+Fault-site split: the **shard-level** sites (``shard.worker_loss``,
+``shard.straggler``, ``shard.exchange_corrupt``) are decided by the
+coordinator at dispatch time and arrive pre-resolved inside the command
+(``mode``/``corrupt``), keeping the schedule deterministic no matter how
+workers race.  The **task-level** sites (``ingest.read``,
+``record.corrupt``, ``map.task``...) are armed *inside* the worker
+against the same plan, with globally-stable scopes, and the resulting
+fault events are shipped back for replay into the coordinator's log.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import time
+from pathlib import Path
+from typing import Any, Sequence
+
+from repro.chunking.chunk import Chunk
+from repro.core.execution import build_container, run_mapper_wave
+from repro.core.job import JobSpec
+from repro.core.options import RuntimeOptions
+from repro.errors import ParallelError
+from repro.faults.plan import SITE_INGEST_READ
+from repro.parallel.backends import ExecutorBackend, SerialExecutor
+from repro.resilience.journal import JobJournal, job_fingerprint
+from repro.shard.exchange import (
+    EventRow,
+    fetch_run,
+    merged_partition_groups,
+    reduce_partition,
+    run_name,
+    write_partition_runs,
+)
+
+#: Exit code for a commanded (injected) shard-worker death — same value
+#: the task supervisor uses, so process post-mortems read uniformly.
+SHARD_CRASH_EXIT = 37
+
+#: Message kinds the worker understands.
+MSG_MAP = "map"
+MSG_REDUCE = "reduce"
+#: Dispatch modes for both phases (pre-resolved shard-level faults).
+MODE_RUN = "run"
+MODE_LOSS = "loss"
+MODE_STRAGGLE = "straggle"
+
+
+def shard_fingerprint(job: JobSpec, options: RuntimeOptions, shard_id: int) -> str:
+    """Per-shard journal fingerprint: the job fingerprint, salted.
+
+    Salting with the shard id stops shard 2 resuming from shard 1's
+    checkpoint after a reassignment reshuffles directories.
+    """
+    return f"{job_fingerprint(job, options)}:shard-{shard_id}"
+
+
+def _post(results: Any, payload: tuple) -> None:
+    """Ship one result tuple, downgrading unpicklables to an error."""
+    try:
+        blob = pickle.dumps(payload)
+    except Exception as exc:  # noqa: BLE001 - unpicklable result
+        blob = pickle.dumps((
+            "error", payload[1] if len(payload) > 1 else -1,
+            f"shard result could not be pickled: {exc!r}",
+        ))
+    results.put(blob)
+
+
+def _log_rows(injector: Any) -> list[EventRow]:
+    """The worker injector's fault events as transportable rows."""
+    if injector is None:
+        return []
+    return [
+        (e.site, e.action, e.detail, e.scope, e.attempt)
+        for e in injector.log.events
+    ]
+
+
+def _serve_map(
+    shard_id: int,
+    job: JobSpec,
+    options: RuntimeOptions,
+    chunks: Sequence[Chunk],
+    num_partitions: int,
+    msg: dict,
+    results: Any,
+) -> None:
+    """Map the shard's chunk block and publish its exchange runs."""
+    mode = msg.get("mode", MODE_RUN)
+    if mode == MODE_LOSS and not chunks:
+        # Nothing to checkpoint first: die straight away.
+        os._exit(SHARD_CRASH_EXIT)
+    straggle_s = float(msg.get("straggle_s") or 0.0)
+    # Task-level sites are re-armed per attempt inside the worker; the
+    # shard-level sites were already resolved by the coordinator.
+    injector = None
+    if options.fault_plan is not None:
+        injector = options.fault_plan.arm(
+            options.recovery, clock=time.perf_counter
+        )
+    journal = None
+    if msg.get("ckpt"):
+        journal = JobJournal(
+            msg["ckpt"],
+            shard_fingerprint(job, options, shard_id),
+            resume=bool(msg.get("resume")),
+        )
+    container, spill_mgr = build_container(
+        job, options, injector,
+        spill_dir=str(journal.spill_dir) if journal is not None else None,
+    )
+    serial = options.with_(executor_backend=ExecutorBackend.SERIAL)
+    pool = SerialExecutor()
+    restored: frozenset[int] = frozenset()
+    map_tasks = 0
+    if journal is not None and journal.resumed:
+        if journal.restore(container, spill_mgr):
+            restored = journal.completed_rounds
+            map_tasks = journal.map_tasks
+    rounds_run = 0
+    for chunk in chunks:
+        if chunk.index in restored:
+            continue
+        if mode == MODE_STRAGGLE and straggle_s > 0:
+            time.sleep(straggle_s)
+        if injector is not None and injector.armed(SITE_INGEST_READ):
+            data = injector.retrying(
+                SITE_INGEST_READ,
+                lambda attempt: chunk.load(injector, attempt),
+                scope=(chunk.index,),
+            )
+        else:
+            data = chunk.load()
+        if job.set_data is not None:
+            job.set_data(chunk, len(data))
+        # task_id_base is a pure function of the *global* chunk index,
+        # so (chunk, task) fault scopes are shard-count invariant.
+        launched = run_mapper_wave(
+            job, container, data, serial, pool,
+            chunk_index=chunk.index,
+            task_id_base=chunk.index * options.num_mappers,
+            injector=injector,
+        )
+        map_tasks += launched
+        rounds_run += 1
+        if journal is not None:
+            journal.record_round(chunk.index, container, map_tasks, spill_mgr)
+        _post(results, ("hb", shard_id, msg.get("attempt", 0), chunk.index))
+        if mode == MODE_LOSS:
+            # Die *after* the first journaled round, exactly the window
+            # the checkpoint/resume path has to cover.
+            os._exit(SHARD_CRASH_EXIT)
+    manifest = write_partition_runs(
+        container, num_partitions, msg["outbox"]
+    )
+    if journal is not None:
+        journal.finalize()
+    if spill_mgr is not None:
+        spill_mgr.cleanup()
+    stats = container.stats()
+    _post(results, (
+        "map_done", shard_id, msg.get("attempt", 0),
+        {
+            "manifest": manifest,
+            "outbox": msg["outbox"],
+            "rounds": rounds_run,
+            "restored_rounds": len(restored),
+            "map_tasks": map_tasks,
+            "emits": stats.emits,
+            "distinct_keys": stats.distinct_keys,
+            "events": _log_rows(injector),
+        },
+    ))
+
+
+def _serve_reduce(
+    shard_id: int,
+    job: JobSpec,
+    options: RuntimeOptions,
+    msg: dict,
+    results: Any,
+) -> None:
+    """Fetch, verify, merge, and reduce the commanded partitions."""
+    if msg.get("mode", MODE_RUN) == MODE_LOSS:
+        os._exit(SHARD_CRASH_EXIT)
+    sources: dict[int, str] = msg["sources"]
+    corrupt: dict[tuple[int, int], list[int]] = msg.get("corrupt", {})
+    inbox_dir = Path(msg["workdir"])
+    inbox_dir.mkdir(parents=True, exist_ok=True)
+    events: list[EventRow] = []
+    refetches = 0
+    parts: dict[int, list] = {}
+    for p in msg["partitions"]:
+        readers = []
+        for src in sorted(sources):
+            reader, attempts = fetch_run(
+                Path(sources[src]) / run_name(p),
+                inbox_dir / f"p{p:05d}-from-{src:05d}.spl",
+                corrupt_attempts=corrupt.get((p, src), ()),
+                max_retries=options.recovery.max_retries,
+                events=events,
+                scope=repr((p, src)),
+            )
+            refetches += attempts
+            readers.append(reader)
+        parts[p] = reduce_partition(job, merged_partition_groups(readers))
+        _post(results, ("hb", shard_id, 0, p))
+    _post(results, (
+        "reduce_done", shard_id,
+        {"parts": parts, "events": events, "refetches": refetches},
+    ))
+
+
+def shard_worker_main(
+    shard_id: int,
+    job: JobSpec,
+    options: RuntimeOptions,
+    chunks: Sequence[Chunk],
+    num_partitions: int,
+    inbox: Any,
+    results: Any,
+) -> None:
+    """Worker body: serve map/reduce commands until the ``None`` sentinel.
+
+    Everything positional is inherited by the fork (never pickled);
+    commands are small dicts, results are pre-pickled blobs.  Exceptions
+    are transported back as ``("error", shard_id, detail)`` rows rather
+    than killing the process — only a commanded loss exits.
+    """
+    while True:
+        msg = inbox.get()
+        if msg is None:
+            return
+        try:
+            if msg["kind"] == MSG_MAP:
+                _serve_map(
+                    shard_id, job, options, chunks, num_partitions,
+                    msg, results,
+                )
+            elif msg["kind"] == MSG_REDUCE:
+                _serve_reduce(shard_id, job, options, msg, results)
+            else:
+                raise ParallelError(
+                    f"shard worker got an unknown command {msg['kind']!r}"
+                )
+        except BaseException as exc:  # noqa: BLE001 - transported to parent
+            _post(results, ("error", shard_id, f"{type(exc).__name__}: {exc}"))

@@ -3,9 +3,14 @@
 When worker supervision itself gives up — the respawn budget is spent,
 or the platform's fork support is broken in a way no retry fixes — the
 job is still worth finishing slower.  :func:`run_with_degradation` steps
-the executor backend down one rung at a time (process → thread →
-serial) and re-runs the job; with a checkpoint directory configured the
-retry resumes from the journal instead of starting over.  Every
+the executor backend down one rung at a time and re-runs the job; with
+a checkpoint directory configured the retry resumes from the journal
+instead of starting over.  The process backend gets intermediate rungs
+first: a failure under fork-based workers is often load-induced (OOM
+kills, fd exhaustion), so the ladder retries the *same* backend with
+the mapper count halved — repeatedly, down to a single worker — before
+conceding to the thread backend (process → process/half-width → …
+→ thread → serial).  Every
 step-down is logged, counted in ``JobResult.counters`` (``degraded``,
 ``degraded_backend``, ``pool_failures``) and appended to the result's
 fault log, so a degraded run is never mistaken for a healthy one.
@@ -67,6 +72,25 @@ def next_backend(backend: ExecutorBackend) -> ExecutorBackend | None:
     return None
 
 
+def next_rung(options: "RuntimeOptions") -> "RuntimeOptions | None":
+    """The option set for the next ladder rung, or None at the bottom.
+
+    Process-backend failures first retry the process backend with the
+    mapper count halved (load-induced failures — OOM kills, fd
+    exhaustion — often clear at lower parallelism) until a single
+    worker remains; only then does the ladder change backend.
+    """
+    if (
+        options.executor_backend is ExecutorBackend.PROCESS
+        and options.num_mappers > 1
+    ):
+        return options.with_(num_mappers=options.num_mappers // 2)
+    fallback = next_backend(options.executor_backend)
+    if fallback is None:
+        return None
+    return options.with_(executor_backend=fallback)
+
+
 def run_with_degradation(
     run_once: "Callable[[JobSpec, RuntimeOptions], JobResult]",
     job: "JobSpec",
@@ -76,10 +100,11 @@ def run_with_degradation(
 
     ``run_once`` is one full runtime execution under explicit options.
     A :class:`~repro.errors.ParallelError` — the supervisor's "I give
-    up" signal — triggers a retry on the next rung; with a checkpoint
-    directory the retry resumes from the journal, so rounds that
-    finished under the failed backend are not recomputed.  Any other
-    exception propagates untouched.
+    up" signal — triggers a retry on the next rung (process-backend
+    failures first retry at half the mapper count, see
+    :func:`next_rung`); with a checkpoint directory the retry resumes
+    from the journal, so rounds that finished under the failed rung are
+    not recomputed.  Any other exception propagates untouched.
     """
     attempts: list[tuple[str, str]] = []
     current = options
@@ -87,30 +112,42 @@ def run_with_degradation(
         try:
             result = run_once(job, current)
         except ParallelError as exc:
-            fallback = next_backend(current.executor_backend)
+            fallback = next_rung(current)
             if fallback is None or not options.degrade_on_pool_failure:
                 raise
-            attempts.append((current.executor_backend.value, str(exc)))
+            if fallback.executor_backend is current.executor_backend:
+                step = (
+                    f"halved the {current.executor_backend.value} pool: "
+                    f"{current.num_mappers} -> {fallback.num_mappers} "
+                    f"worker(s)"
+                )
+            else:
+                step = (
+                    f"stepped down from the "
+                    f"{current.executor_backend.value} backend"
+                )
+            attempts.append((step, str(exc)))
             logger.warning(
-                "pool failure on the %s backend (%s); degrading to %s",
-                current.executor_backend.value, exc, fallback.value,
+                "pool failure on the %s backend with %d worker(s) (%s); "
+                "retrying on %s with %d worker(s)",
+                current.executor_backend.value, current.num_mappers, exc,
+                fallback.executor_backend.value, fallback.num_mappers,
             )
-            changes: dict[str, object] = {"executor_backend": fallback}
             if current.checkpoint_dir is not None:
-                changes["resume"] = True
-            current = current.with_(**changes)
+                fallback = fallback.with_(resume=True)
+            current = fallback
             continue
         if attempts:
             result.counters["degraded"] = True
             result.counters["degraded_backend"] = (
                 current.executor_backend.value
             )
+            result.counters["degraded_workers"] = current.num_mappers
             result.counters["pool_failures"] = len(attempts)
             if result.fault_log is None:
                 result.fault_log = FaultLog()
-            for backend, detail in attempts:
+            for step, detail in attempts:
                 result.fault_log.record(
-                    SITE_POOL, ACTION_DEGRADED,
-                    f"stepped down from the {backend} backend: {detail}",
+                    SITE_POOL, ACTION_DEGRADED, f"{step}: {detail}",
                 )
         return result

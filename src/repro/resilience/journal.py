@@ -61,10 +61,13 @@ def job_fingerprint(job: "JobSpec", options: "RuntimeOptions") -> str:
     """A stable digest of everything that must match to resume a job.
 
     Covers the job name, the input files (paths and byte sizes), and
-    every option that shapes the intermediate state: chunking, task
-    counts, merge algorithm, memory budget, and the fault plan's seed
-    and sites.  Wall-clock knobs (deadline, lease length) deliberately
-    stay out — resuming with a longer deadline is legitimate.
+    every option that shapes the intermediate state: chunking, reducer
+    count, merge algorithm, memory budget, and the fault plan's seed
+    and sites.  Wall-clock knobs (deadline, lease length) and the
+    mapper count deliberately stay out — resuming with a longer
+    deadline or on a halved worker pool (the degradation ladder's
+    half-width retry) is legitimate, since the journaled container
+    state is independent of how many mappers produced it.
     """
     inputs = [
         (str(path), os.path.getsize(path)) for path in job.inputs
@@ -77,7 +80,6 @@ def job_fingerprint(job: "JobSpec", options: "RuntimeOptions") -> str:
         options.chunk_bytes,
         options.files_per_chunk,
         options.chunk_schedule,
-        options.num_mappers,
         options.num_reducers,
         options.merge_algorithm.value,
         options.memory_budget,

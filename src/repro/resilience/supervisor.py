@@ -116,6 +116,8 @@ class SupervisionResult:
     crashes: int = 0
     #: Leases that expired (hung workers killed by the supervisor).
     hangs: int = 0
+    #: Orphaned tasks re-dispatched after their worker died or hung.
+    redispatches: int = 0
 
     def completed(self) -> list[Any]:
         """The non-skipped results, in item order."""
@@ -210,6 +212,7 @@ class Supervisor:
         self._respawns = 0
         self._crashes = 0
         self._hangs = 0
+        self._redispatches = 0
         self._workers: list[_Worker] = []
         self._next_worker_id = 0
 
@@ -317,6 +320,7 @@ class Supervisor:
                 state.crash_attempt += 1
             else:
                 state.hang_attempt += 1
+            self._redispatches += 1
             self._pending.append(state.index)
             return
         injector.log.record(
@@ -357,6 +361,7 @@ class Supervisor:
                 scope=_scope_str(state.scope),
                 attempt=state.organic_failures - 1,
             )
+        self._redispatches += 1
         self._pending.append(state.index)
 
     # -- dispatch / sweep --------------------------------------------------
@@ -489,6 +494,7 @@ class Supervisor:
             respawns=self._respawns,
             crashes=self._crashes,
             hangs=self._hangs,
+            redispatches=self._redispatches,
         )
 
 

@@ -1,0 +1,719 @@
+"""The sharded coordinator: fault-tolerant scale-out on one machine.
+
+:class:`ShardedRuntime` splits one job over ``options.num_shards``
+independent supervised worker processes (:mod:`repro.parallel.
+shard_worker`).  Each shard maps a *contiguous* block of the ingest
+chunk plan, publishes its intermediate state as one checksummed spill-run
+file per reducer partition (:mod:`repro.shard.exchange`), then reduces
+the partitions the consistent-hash :class:`~repro.shard.hashring.
+ShardMap` assigns it.  The coordinator merges the reduced partitions
+with the job's configured merge algorithm, exactly like the unsharded
+runtimes.
+
+Robustness protocol:
+
+* **leases** — every dispatched shard holds a lease renewed by each
+  heartbeat on the result channel; a silent shard past
+  ``policy.lease_timeout_s`` is killed and treated as dead.
+* **map-phase deaths** — the dead shard's worker is respawned (bounded
+  by ``policy.worker_respawn_budget``) and re-runs its block, resuming
+  from its own per-shard journal when checkpointing is on.
+* **stragglers** — once half the shards finished, a shard running past
+  ``policy.straggler_threshold`` × the median finish time gets a
+  speculative twin; the first ``map_done`` wins and the loser is killed.
+  Both twins compute the identical deterministic block, so the adopted
+  outbox is byte-identical either way (the tie-break is "first result
+  message wins").
+* **reduce-phase deaths** — the dead shard's partitions are *reassigned*
+  to their ring successors among the survivors (only those partitions
+  move), exercising the consistent-hash failover path.
+* **exchange integrity** — every fetched run is CRC-verified before
+  adoption; corruption is refetched, never silently merged.
+
+The ``shard.worker_loss`` / ``shard.straggler`` /
+``shard.exchange_corrupt`` fault sites are decided here, in the
+coordinator, so a seeded plan replays the same failure schedule on
+every run.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import pickle
+import queue as queue_mod
+import shutil
+import statistics
+import tempfile
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro.chunking.planner import plan_chunks, plan_whole_input
+from repro.containers.base import ContainerStats
+from repro.core.execution import merge_outputs
+from repro.core.job import JobSpec
+from repro.core.options import ChunkStrategy, RuntimeOptions
+from repro.core.result import JobResult, PhaseTimings
+from repro.core.timers import PhaseTimer
+from repro.errors import ConfigError, ParallelError
+from repro.faults.injector import FaultInjector
+from repro.faults.log import (
+    ACTION_REASSIGNED,
+    ACTION_RESPAWNED,
+    ACTION_RETRIED,
+    ACTION_SPECULATIVE,
+)
+from repro.faults.plan import (
+    SITE_SHARD_EXCHANGE_CORRUPT,
+    SITE_SHARD_STRAGGLER,
+    SITE_SHARD_WORKER_LOSS,
+)
+from repro.parallel.backends import require_process_backend
+from repro.parallel.shard_worker import (
+    MODE_LOSS,
+    MODE_RUN,
+    MODE_STRAGGLE,
+    MSG_MAP,
+    MSG_REDUCE,
+    shard_worker_main,
+)
+from repro.shard.exchange import collect_worker_events
+from repro.shard.plan import ShardPlan
+from repro.util.logging import get_logger
+
+logger = get_logger(__name__)
+
+#: Seconds between coordinator liveness/lease sweeps.
+_POLL_S = 0.05
+#: A shard is never declared a straggler before running this long —
+#: speculation on sub-second jobs would only burn forks.
+_SPECULATE_FLOOR_S = 1.0
+
+
+@dataclass
+class _ShardWorker:
+    """One shard worker process, its inbox, and its lease state."""
+
+    sid: int
+    wid: int
+    proc: multiprocessing.process.BaseProcess
+    inbox: Any
+    attempt: int = 0
+    speculative: bool = False
+    busy: bool = False
+    started: float = 0.0
+    last_heard: float = 0.0
+    outbox: str = ""
+
+
+@dataclass
+class _Tally:
+    """Coordinator-side survival counters surfaced on the job result."""
+
+    respawns: int = 0
+    crashes: int = 0
+    lease_expiries: int = 0
+    refetches: int = 0
+    reassigned_partitions: int = 0
+    speculated: set = field(default_factory=set)
+    shards_lost: set = field(default_factory=set)
+
+
+class _Coordinator:
+    """Drives one sharded job: spawn, lease, recover, collect."""
+
+    def __init__(
+        self,
+        job: JobSpec,
+        options: RuntimeOptions,
+        plan: ShardPlan,
+        workdir: Path,
+        injector: FaultInjector | None,
+    ) -> None:
+        self.job = job
+        self.options = options
+        self.plan = plan
+        self.policy = options.recovery
+        self.workdir = workdir
+        self.injector = injector
+        self.ctx = multiprocessing.get_context("fork")
+        self.results_q = self.ctx.Queue()
+        #: Active worker per shard id (the one reduce work goes to).
+        self.workers: dict[int, _ShardWorker] = {}
+        #: Speculative twins, keyed by shard id.
+        self.backups: dict[int, _ShardWorker] = {}
+        self.map_done: dict[int, dict] = {}
+        self.outboxes: dict[int, str] = {}
+        self.tally = _Tally()
+        self._wid = 0
+        self._attempts: dict[int, int] = {}
+
+    # -- worker lifecycle ---------------------------------------------------
+
+    def _spawn(self, sid: int, speculative: bool = False) -> _ShardWorker:
+        inbox = self.ctx.Queue()
+        wid = self._wid
+        self._wid += 1
+        proc = self.ctx.Process(
+            target=shard_worker_main,
+            args=(
+                sid, self.job, self.options, self.plan.chunks_for(sid),
+                self.plan.num_partitions, inbox, self.results_q,
+            ),
+            daemon=True,
+            name=f"repro-shard-{sid}.{wid}",
+        )
+        proc.start()
+        worker = _ShardWorker(sid=sid, wid=wid, proc=proc, inbox=inbox,
+                              speculative=speculative)
+        if speculative:
+            self.backups[sid] = worker
+        else:
+            self.workers[sid] = worker
+            self._write_pid(worker)
+        return worker
+
+    def _write_pid(self, worker: _ShardWorker) -> None:
+        """Publish the shard's current worker pid (for kill-based tests)."""
+        pid_path = self.workdir / f"worker-{worker.sid}.pid"
+        pid_path.write_text(f"{worker.proc.pid}\n")
+
+    def _kill(self, worker: _ShardWorker) -> None:
+        """Forcibly end one worker and drop its inbox."""
+        worker.proc.kill()
+        worker.proc.join(timeout=5.0)
+        worker.inbox.cancel_join_thread()
+        worker.inbox.close()
+
+    def _discard(self, worker: _ShardWorker) -> None:
+        """Drop a dead worker's inbox without blocking on its feeder."""
+        worker.inbox.cancel_join_thread()
+        worker.inbox.close()
+
+    def shutdown(self) -> None:
+        """Supervisor-style teardown: sentinel, join, kill stragglers."""
+        everyone = list(self.workers.values()) + list(self.backups.values())
+        for worker in everyone:
+            try:
+                worker.inbox.put(None)
+            except (ValueError, OSError):  # pragma: no cover - closed inbox
+                pass
+        for worker in everyone:
+            worker.proc.join(timeout=5.0)
+        for worker in everyone:
+            if worker.proc.is_alive():  # pragma: no cover - defensive
+                worker.proc.kill()
+                worker.proc.join(timeout=1.0)
+        for worker in everyone:
+            worker.inbox.cancel_join_thread()
+            worker.inbox.close()
+        self.results_q.cancel_join_thread()
+        self.results_q.close()
+
+    # -- transport ----------------------------------------------------------
+
+    def _collect(self) -> "tuple | None":
+        try:
+            blob = self.results_q.get(timeout=_POLL_S)
+        except queue_mod.Empty:
+            return None
+        try:
+            return pickle.loads(blob)
+        except Exception as exc:  # noqa: BLE001 - corrupt transport
+            raise ParallelError(
+                f"could not decode a shard worker result: {exc!r}"
+            ) from exc
+
+    def _record(self, site: str, action: str, detail: str,
+                scope: str = "", attempt: int = 0) -> None:
+        if self.injector is not None:
+            self.injector.log.record(
+                site, action, detail, scope=scope, attempt=attempt
+            )
+
+    def _touch(self, sid: int, attempt: int) -> None:
+        """Renew the lease of whichever worker of ``sid`` spoke."""
+        now = time.monotonic()
+        for worker in (self.workers.get(sid), self.backups.get(sid)):
+            if worker is not None and worker.attempt == attempt:
+                worker.last_heard = now
+                return
+        # Attempt no longer registered (already settled): renew the
+        # shard's active worker so a late heartbeat never kills it.
+        worker = self.workers.get(sid)
+        if worker is not None:
+            worker.last_heard = now
+
+    # -- map phase ----------------------------------------------------------
+
+    def _dispatch_map(self, worker: _ShardWorker, resume: bool) -> None:
+        sid = worker.sid
+        worker.attempt = self._attempts.get(sid, 0)
+        self._attempts[sid] = worker.attempt + 1
+        mode, straggle_s = MODE_RUN, 0.0
+        if self.injector is not None and not worker.speculative:
+            if self.injector.check(
+                SITE_SHARD_WORKER_LOSS, scope=(sid,), attempt=worker.attempt
+            ) is not None:
+                mode = MODE_LOSS
+            elif self.injector.check(
+                SITE_SHARD_STRAGGLER, scope=(sid,), attempt=worker.attempt
+            ) is not None:
+                mode = MODE_STRAGGLE
+                spec = self.injector.plan.spec_for(SITE_SHARD_STRAGGLER)
+                straggle_s = (
+                    spec.duration_s if spec.duration_s is not None else 1.0
+                )
+        outbox = self.workdir / f"out-{sid}.{worker.wid}"
+        ckpt = None
+        if self.options.checkpoint_dir is not None and not worker.speculative:
+            # Twins must not share a journal directory with the primary
+            # (concurrent writers), so only primaries checkpoint.
+            ckpt = str(Path(self.options.checkpoint_dir) / f"shard-{sid}")
+        worker.outbox = str(outbox)
+        worker.busy = True
+        worker.started = worker.last_heard = time.monotonic()
+        worker.inbox.put({
+            "kind": MSG_MAP,
+            "attempt": worker.attempt,
+            "outbox": str(outbox),
+            "mode": mode,
+            "straggle_s": straggle_s,
+            "ckpt": ckpt,
+            "resume": resume,
+        })
+
+    def _settle_twins(self, sid: int, winner_attempt: int) -> None:
+        """First ``map_done`` wins; the losing twin is killed.
+
+        Both twins computed the same deterministic block, so either
+        outbox is byte-identical — the tie-break only picks a process.
+        """
+        primary = self.workers.get(sid)
+        backup = self.backups.pop(sid, None)
+        if primary is not None and primary.attempt == winner_attempt:
+            primary.busy = False
+            if backup is not None:
+                self._kill(backup)
+            return
+        if backup is not None and backup.attempt == winner_attempt:
+            if primary is not None:
+                self._kill(primary)
+            backup.speculative = False
+            backup.busy = False
+            self.workers[sid] = backup
+            self._write_pid(backup)
+
+    def _recover_map_death(self, worker: _ShardWorker, detail: str) -> None:
+        """Respawn (or promote the twin of) a shard that died mid-map."""
+        sid = worker.sid
+        if worker.speculative:
+            # A dead backup costs nothing: the primary is still running.
+            del self.backups[sid]
+            self._discard(worker)
+            return
+        del self.workers[sid]
+        self._discard(worker)
+        backup = self.backups.pop(sid, None)
+        if backup is not None:
+            # The twin is already computing the same block — promote it
+            # instead of spending a respawn.
+            backup.speculative = False
+            self.workers[sid] = backup
+            self._write_pid(backup)
+            self._record(
+                SITE_SHARD_WORKER_LOSS, ACTION_RETRIED,
+                f"shard {sid} primary died ({detail}); "
+                "its speculative twin carries on",
+                scope=repr((sid,)),
+            )
+            return
+        self.tally.respawns += 1
+        self._record(
+            SITE_SHARD_WORKER_LOSS, ACTION_RESPAWNED,
+            f"shard {sid} worker replaced: {detail}",
+            scope=repr((sid,)),
+        )
+        if self.tally.respawns > self.policy.worker_respawn_budget:
+            raise ParallelError(
+                f"sharded coordinator exceeded its respawn budget "
+                f"({self.policy.worker_respawn_budget}): {detail}"
+            )
+        replacement = self._spawn(sid)
+        self._dispatch_map(
+            replacement, resume=self.options.checkpoint_dir is not None
+        )
+
+    def _sweep_map(self) -> None:
+        now = time.monotonic()
+        for worker in (
+            list(self.workers.values()) + list(self.backups.values())
+        ):
+            if worker.sid in self.map_done:
+                continue
+            if worker.proc.is_alive():
+                if (
+                    worker.busy
+                    and now - worker.last_heard > self.policy.lease_timeout_s
+                ):
+                    self.tally.lease_expiries += 1
+                    worker.proc.kill()
+                    worker.proc.join(timeout=5.0)
+                    self._recover_map_death(
+                        worker,
+                        f"{worker.proc.name} exceeded its "
+                        f"{self.policy.lease_timeout_s:.3g}s lease",
+                    )
+                continue
+            self.tally.crashes += 1
+            self._recover_map_death(
+                worker,
+                f"{worker.proc.name} exited with code {worker.proc.exitcode}",
+            )
+
+    def _maybe_speculate(self) -> None:
+        if not self.policy.speculative or self.plan.num_shards < 2:
+            return
+        done = [p["duration"] for p in self.map_done.values()]
+        if len(done) < max(1, self.plan.num_shards // 2):
+            return
+        threshold = max(
+            _SPECULATE_FLOOR_S,
+            self.policy.straggler_threshold * statistics.median(done),
+        )
+        now = time.monotonic()
+        for sid, worker in list(self.workers.items()):
+            if (
+                sid in self.map_done
+                or sid in self.backups
+                or sid in self.tally.speculated
+                or now - worker.started <= threshold
+            ):
+                continue
+            self.tally.speculated.add(sid)
+            self._record(
+                SITE_SHARD_STRAGGLER, ACTION_SPECULATIVE,
+                f"shard {sid} running {now - worker.started:.2f}s "
+                f"(> {threshold:.2f}s); launching a speculative twin",
+                scope=repr((sid,)),
+            )
+            twin = self._spawn(sid, speculative=True)
+            self._dispatch_map(twin, resume=False)
+
+    def run_map_phase(self) -> None:
+        """Map every shard's block; survives deaths, hangs, stragglers."""
+        require_process_backend()
+        started = time.monotonic()
+        for spec in self.plan.shards:
+            worker = self._spawn(spec.shard_id)
+            self._dispatch_map(worker, resume=self.options.resume)
+        while len(self.map_done) < self.plan.num_shards:
+            msg = self._collect()
+            if msg is not None:
+                kind = msg[0]
+                if kind == "hb":
+                    _, sid, attempt, _round = msg
+                    self._touch(sid, attempt)
+                elif kind == "map_done":
+                    _, sid, attempt, payload = msg
+                    self._touch(sid, attempt)
+                    if sid not in self.map_done:
+                        payload["duration"] = time.monotonic() - started
+                        self.map_done[sid] = payload
+                        self.outboxes[sid] = payload["outbox"]
+                        self._settle_twins(sid, attempt)
+                elif kind == "error":
+                    _, sid, detail = msg
+                    raise ParallelError(
+                        f"shard {sid} failed during its map phase: {detail}"
+                    )
+            self._sweep_map()
+            self._maybe_speculate()
+        # Worker-side fault events replay in shard-id order so the log
+        # sequence is deterministic regardless of completion order.
+        if self.injector is not None:
+            for sid in sorted(self.map_done):
+                collect_worker_events(
+                    self.injector.log, self.map_done[sid]["events"]
+                )
+
+    # -- reduce phase -------------------------------------------------------
+
+    def _corrupt_plan(
+        self, partitions: "list[int]"
+    ) -> dict[tuple[int, int], list[int]]:
+        """Pre-roll the exchange-corruption schedule for one dispatch.
+
+        Attempts are rolled lazily — attempt ``k+1`` is only consulted
+        when attempt ``k`` fired — exactly mirroring the worker's
+        verify-then-refetch loop, so injected counts match fetch counts.
+        """
+        table: dict[tuple[int, int], list[int]] = {}
+        injector = self.injector
+        if injector is None:
+            return table
+        for p in partitions:
+            for src in sorted(self.outboxes):
+                attempts = []
+                for a in range(self.policy.max_retries + 1):
+                    if injector.check(
+                        SITE_SHARD_EXCHANGE_CORRUPT, scope=(p, src), attempt=a
+                    ) is None:
+                        break
+                    attempts.append(a)
+                if attempts:
+                    table[(p, src)] = attempts
+        return table
+
+    def _dispatch_reduce(
+        self, worker: _ShardWorker, partitions: "list[int]", mode: str
+    ) -> None:
+        worker.busy = True
+        worker.started = worker.last_heard = time.monotonic()
+        worker.inbox.put({
+            "kind": MSG_REDUCE,
+            "mode": mode,
+            "partitions": list(partitions),
+            "sources": dict(self.outboxes),
+            "corrupt": self._corrupt_plan(partitions),
+            "workdir": str(self.workdir / f"in-{worker.sid}.{worker.wid}"),
+        })
+
+    def _reassign(
+        self,
+        worker: _ShardWorker,
+        outstanding: dict[int, list[int]],
+        pending: dict[int, list[int]],
+        detail: str,
+    ) -> None:
+        """Move a dead reducer's partitions to their ring successors."""
+        sid = worker.sid
+        self.tally.shards_lost.add(sid)
+        del self.workers[sid]
+        self._discard(worker)
+        orphans = outstanding.pop(sid, [])
+        if not self.workers:
+            raise ParallelError(
+                f"every shard worker died during the reduce phase "
+                f"(last: {detail})"
+            )
+        if not orphans:
+            return
+        ring = self.plan.ring.without(sorted(self.tally.shards_lost))
+        moved: dict[int, list[int]] = {}
+        for p in orphans:
+            moved.setdefault(ring.owner(p), []).append(p)
+        self.tally.reassigned_partitions += len(orphans)
+        for new_owner, ps in sorted(moved.items()):
+            self._record(
+                SITE_SHARD_WORKER_LOSS, ACTION_REASSIGNED,
+                f"shard {sid} lost ({detail}); partition(s) "
+                f"{','.join(map(str, ps))} reassigned to shard {new_owner}",
+                scope=repr((sid,)),
+            )
+            target = self.workers[new_owner]
+            if target.busy:
+                pending.setdefault(new_owner, []).extend(ps)
+            else:
+                outstanding.setdefault(new_owner, []).extend(ps)
+                self._dispatch_reduce(target, ps, MODE_RUN)
+
+    def run_reduce_phase(self) -> dict[int, list]:
+        """Reduce every partition; shard loss reassigns, never aborts."""
+        parts: dict[int, list] = {}
+        outstanding: dict[int, list[int]] = {}
+        pending: dict[int, list[int]] = {}
+        planned_losses = 0
+        for spec in self.plan.shards:
+            worker = self.workers[spec.shard_id]
+            mode = MODE_RUN
+            if (
+                self.injector is not None
+                # Never lose the last survivor: there would be nobody
+                # left to reassign the partitions to.
+                and planned_losses < self.plan.num_shards - 1
+                and self.injector.check(
+                    SITE_SHARD_WORKER_LOSS, scope=(spec.shard_id, "reduce")
+                ) is not None
+            ):
+                mode = MODE_LOSS
+                planned_losses += 1
+            outstanding[spec.shard_id] = list(spec.partitions)
+            self._dispatch_reduce(worker, list(spec.partitions), mode)
+        while len(parts) < self.plan.num_partitions:
+            msg = self._collect()
+            if msg is not None:
+                kind = msg[0]
+                if kind == "hb":
+                    _, sid, attempt, _p = msg
+                    self._touch(sid, attempt)
+                elif kind == "reduce_done":
+                    _, sid, payload = msg
+                    worker = self.workers.get(sid)
+                    if worker is not None:
+                        worker.busy = False
+                        worker.last_heard = time.monotonic()
+                    parts.update(payload["parts"])
+                    self.tally.refetches += payload["refetches"]
+                    if self.injector is not None:
+                        collect_worker_events(
+                            self.injector.log, payload["events"]
+                        )
+                    got = set(payload["parts"])
+                    if sid in outstanding:
+                        outstanding[sid] = [
+                            p for p in outstanding[sid] if p not in got
+                        ]
+                    queued = pending.pop(sid, None)
+                    if queued and worker is not None:
+                        outstanding.setdefault(sid, []).extend(queued)
+                        self._dispatch_reduce(worker, queued, MODE_RUN)
+                elif kind == "error":
+                    _, sid, detail = msg
+                    raise ParallelError(
+                        f"shard {sid} failed during its reduce phase: "
+                        f"{detail}"
+                    )
+            now = time.monotonic()
+            for worker in list(self.workers.values()):
+                if not worker.proc.is_alive():
+                    self.tally.crashes += 1
+                    self._reassign(
+                        worker, outstanding, pending,
+                        f"{worker.proc.name} exited with code "
+                        f"{worker.proc.exitcode}",
+                    )
+                elif (
+                    worker.busy
+                    and now - worker.last_heard > self.policy.lease_timeout_s
+                ):
+                    self.tally.lease_expiries += 1
+                    worker.proc.kill()
+                    worker.proc.join(timeout=5.0)
+                    self._reassign(
+                        worker, outstanding, pending,
+                        f"{worker.proc.name} exceeded its "
+                        f"{self.policy.lease_timeout_s:.3g}s lease",
+                    )
+        return parts
+
+
+class ShardedRuntime:
+    """SupMR split over fault-tolerant shard process groups."""
+
+    name = "sharded"
+
+    def __init__(self, options: RuntimeOptions) -> None:
+        if options.num_shards is None:
+            raise ConfigError(
+                "ShardedRuntime requires options.num_shards (>= 1)"
+            )
+        self.options = options
+
+    def run(self, job: JobSpec) -> JobResult:
+        """Execute ``job`` across the shard group; one merged result."""
+        options = self.options
+        timer = PhaseTimer()
+        injector = None
+        if options.fault_plan is not None:
+            injector = options.fault_plan.arm(
+                options.recovery, clock=time.perf_counter
+            )
+        if options.chunk_strategy is ChunkStrategy.NONE:
+            chunk_plan = plan_whole_input(job.inputs)
+        else:
+            chunk_plan = plan_chunks(job.inputs, job.codec, options)
+        plan = ShardPlan(
+            chunk_plan, options.num_shards, options.num_reducers
+        )
+        owned = options.shard_dir is None
+        workdir = Path(
+            options.shard_dir or tempfile.mkdtemp(prefix="repro-shard-")
+        )
+        workdir.mkdir(parents=True, exist_ok=True)
+        coordinator = _Coordinator(job, options, plan, workdir, injector)
+        logger.debug(
+            "sharded run: %d shards over %d chunks, %d partitions",
+            plan.num_shards, chunk_plan.n_chunks, plan.num_partitions,
+        )
+        try:
+            with timer.phase("total"):
+                with timer.phase("read_map"):
+                    coordinator.run_map_phase()
+                with timer.phase("reduce"):
+                    parts = coordinator.run_reduce_phase()
+                    runs = [
+                        parts[p] for p in range(plan.num_partitions)
+                    ]
+                with timer.phase("merge"):
+                    output, merge_rounds = merge_outputs(runs, job, options)
+        finally:
+            coordinator.shutdown()
+            if owned:
+                shutil.rmtree(workdir, ignore_errors=True)
+        done = coordinator.map_done
+        container_stats = ContainerStats(
+            emits=sum(p["emits"] for p in done.values()),
+            distinct_keys=sum(p["distinct_keys"] for p in done.values()),
+            rounds=max(
+                (p["rounds"] + p["restored_rounds"] for p in done.values()),
+                default=0,
+            ),
+        )
+        tally = coordinator.tally
+        resumed_rounds = sum(p["restored_rounds"] for p in done.values())
+        counters: dict[str, Any] = {
+            "shards": plan.num_shards,
+            "merge_rounds": merge_rounds,
+            "merge_algorithm": options.merge_algorithm.value,
+            "executor_backend": options.executor_backend.value,
+            "chunk_strategy": chunk_plan.strategy,
+            "pipeline_rounds": chunk_plan.n_chunks,
+            "map_tasks": sum(p["map_tasks"] for p in done.values()),
+            "shard_respawns": tally.respawns,
+            "shard_crashes": tally.crashes,
+            "shard_lease_expiries": tally.lease_expiries,
+            "shards_lost": len(tally.shards_lost),
+            "partitions_reassigned": tally.reassigned_partitions,
+            "speculative_shards": len(tally.speculated),
+            "exchange_refetches": tally.refetches,
+        }
+        if options.checkpoint_dir is not None:
+            counters["checkpointed"] = True
+        if resumed_rounds:
+            counters["resumed"] = True
+            counters["resumed_rounds"] = resumed_rounds
+        fault_log = injector.log if injector is not None else None
+        if fault_log is not None:
+            counters["faults_injected"] = fault_log.injected
+            counters["fault_retries"] = fault_log.retries
+            counters["records_quarantined"] = fault_log.quarantined
+        timings = PhaseTimings(
+            read_s=timer.elapsed("read_map"),
+            map_s=0.0,
+            reduce_s=timer.elapsed("reduce"),
+            merge_s=timer.elapsed("merge"),
+            total_s=timer.elapsed("total"),
+            read_map_combined=True,
+        )
+        logger.info(
+            "job %s finished on sharded: total=%.3fs shards=%d respawns=%d",
+            job.name, timer.elapsed("total"), plan.num_shards, tally.respawns,
+        )
+        return JobResult(
+            job_name=job.name,
+            runtime=self.name,
+            output=output,
+            timings=timings,
+            container_stats=container_stats,
+            input_bytes=chunk_plan.total_bytes,
+            n_chunks=chunk_plan.n_chunks,
+            counters=counters,
+            fault_log=fault_log,
+        )
+
+
+def run_sharded(job: JobSpec, options: RuntimeOptions) -> JobResult:
+    """Run ``job`` on the sharded coordinator (``options.num_shards``)."""
+    return ShardedRuntime(options).run(job)

@@ -1,0 +1,199 @@
+"""Integrity-verified run exchange between shards.
+
+The exchange unit is the existing checksummed spill-run file
+(:mod:`repro.spill.runfile`) — already a portable, self-validating
+on-disk format.  After its map phase every shard writes one run per
+reducer partition into its **outbox** (keys bucketed by the same
+process-stable hash on every shard, sorted and grouped within the run);
+during the reduce phase the owning shard **fetches** each source run
+into its own inbox — a byte copy standing in for the network transfer —
+and CRC-verifies the copy before adoption.  A verification failure
+deletes the copy and refetches from the pristine outbox (bounded by the
+recovery policy's retry budget) rather than silently merging garbage.
+
+Reduction streams the fetched runs through a grouping k-way merge:
+equal keys across shards are folded into one ``reduce_fn`` call with
+their values concatenated in shard-id order, which — because shards map
+*contiguous* chunk blocks — is exactly the global chunk order an
+unsharded run would have produced.
+"""
+
+from __future__ import annotations
+
+import heapq
+import shutil
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable, Hashable, Iterable, Iterator, Sequence
+
+from repro.containers.base import Container
+from repro.core.job import JobSpec
+from repro.errors import RetryExhausted, SpillError
+from repro.faults.log import ACTION_REFETCHED
+from repro.faults.plan import SITE_SHARD_EXCHANGE_CORRUPT
+from repro.spill.manager import _flip_byte, group_sorted_pairs
+from repro.spill.runfile import HEADER_BYTES, RunReader, RunWriter
+from repro.util.hashing import stable_hash
+
+Pair = tuple[Hashable, Any]
+Group = tuple[Hashable, tuple[Any, ...]]
+SortKeyFn = Callable[[Hashable], Any]
+#: ``(site, action, detail, scope, attempt)`` rows a worker ships back
+#: to the coordinator for replay into the job's fault log.
+EventRow = tuple[str, str, str, str, int]
+
+
+@dataclass(frozen=True)
+class ExchangeRun:
+    """One partition run a shard published to its outbox."""
+
+    partition: int
+    name: str
+    records: int
+    payload_bytes: int
+
+
+def run_name(partition: int) -> str:
+    """Canonical outbox file name for one partition's run."""
+    return f"part-{partition:05d}.spl"
+
+
+def write_partition_runs(
+    container: Container,
+    num_partitions: int,
+    directory: str | Path,
+    sort_key: SortKeyFn | None = None,
+) -> list[ExchangeRun]:
+    """Seal ``container`` and publish one sorted run per partition.
+
+    Keys are bucketed by ``stable_hash(key) % num_partitions`` — *not*
+    by the container's own partitioning — so partition ``p`` holds the
+    same key set on every shard regardless of container type (the array
+    container buckets by segment index, which would scatter a key across
+    partitions differently per shard count).  Pairs are drawn from
+    ``partitions(1)`` so equal keys keep pure emit (segment) order —
+    round-robin segment interleaving would make the value order depend
+    on the shard-local segment count.  The bucket sort is stable, so
+    that order survives into the run; empty partitions still get a
+    (zero-record) run, keeping the fetch protocol uniform.
+    """
+    key_of = sort_key or (lambda key: key)
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    container.seal()
+    buckets: list[list[tuple[Hashable, Iterable[Any]]]] = [
+        [] for _ in range(num_partitions)
+    ]
+    (all_pairs,) = container.partitions(1)
+    for key, values in all_pairs:
+        buckets[stable_hash(key) % num_partitions].append((key, values))
+    manifest: list[ExchangeRun] = []
+    for p, pairs in enumerate(buckets):
+        pairs.sort(key=lambda kv: key_of(kv[0]))
+        path = directory / run_name(p)
+        with RunWriter(path) as writer:
+            for key, values in group_sorted_pairs(pairs):
+                writer.write_group(key, values)
+            records, payload = writer.records, writer.payload_bytes
+        manifest.append(ExchangeRun(
+            partition=p, name=path.name, records=records,
+            payload_bytes=payload,
+        ))
+    return manifest
+
+
+def fetch_run(
+    src: Path,
+    dst: Path,
+    corrupt_attempts: Sequence[int] = (),
+    max_retries: int = 3,
+    events: "list[EventRow] | None" = None,
+    scope: str = "",
+) -> tuple[RunReader, int]:
+    """Copy one exchange run and CRC-verify the copy before adoption.
+
+    ``corrupt_attempts`` are the fetch attempts the coordinator decided
+    the ``shard.exchange_corrupt`` site damages in transit (a byte of
+    the *copy* is flipped; the outbox original stays pristine, which is
+    why a refetch can succeed).  A copy that fails validation or the CRC
+    re-scan is deleted and refetched, bounded by ``max_retries``;
+    exhaustion raises :class:`~repro.errors.RetryExhausted`.
+
+    Returns the validated reader over the adopted copy and how many
+    refetches it took.
+    """
+    last: Exception | None = None
+    for attempt in range(max_retries + 1):
+        shutil.copyfile(src, dst)
+        if attempt in corrupt_attempts:
+            size = dst.stat().st_size
+            # Flip a payload byte when there is payload, else a header
+            # byte — either way validation must catch it.
+            offset = (
+                HEADER_BYTES + (size - HEADER_BYTES) // 2
+                if size > HEADER_BYTES else max(0, size - 1)
+            )
+            _flip_byte(dst, offset)
+        try:
+            reader = RunReader(dst)
+            if not reader.verify():
+                raise SpillError(
+                    f"{dst}: exchanged run failed its checksum"
+                )
+        except SpillError as exc:
+            last = exc
+            dst.unlink(missing_ok=True)
+            if events is not None and attempt < max_retries:
+                events.append((
+                    SITE_SHARD_EXCHANGE_CORRUPT, ACTION_REFETCHED,
+                    f"attempt {attempt + 1} rejected ({exc}); refetching",
+                    scope, attempt,
+                ))
+            continue
+        return reader, attempt
+    raise RetryExhausted(
+        f"{SITE_SHARD_EXCHANGE_CORRUPT}: {max_retries + 1} fetch attempt(s) "
+        f"of {src.name} failed; last error: {last}",
+        site=SITE_SHARD_EXCHANGE_CORRUPT,
+        attempts=max_retries + 1,
+    ) from last
+
+
+def merged_partition_groups(
+    readers: Sequence[RunReader],
+    sort_key: SortKeyFn | None = None,
+) -> Iterator[Group]:
+    """K-way merge the shards' runs for one partition, grouping keys.
+
+    ``readers`` must be in shard-id order; ``heapq.merge`` is stable, so
+    equal keys concatenate their value tuples in that order — the global
+    chunk order under contiguous block assignment.
+    """
+    key_of = sort_key or (lambda key: key)
+    streams: list[Iterator[Group]] = [iter(r) for r in readers]
+    merged = heapq.merge(*streams, key=lambda group: key_of(group[0]))
+    return group_sorted_pairs(merged)
+
+
+def reduce_partition(
+    job: JobSpec, groups: Iterable[Group]
+) -> list[Pair]:
+    """Run the job's reducer over one partition's merged groups."""
+    out: list[Pair] = []
+    for key, values in groups:
+        out.extend(job.reduce_fn(key, values))
+    if job.sorted_output:
+        out.sort(key=job.output_key)
+    return out
+
+
+def collect_worker_events(log: Any, events: Iterable[EventRow]) -> None:
+    """Replay worker-side event rows into the coordinator's fault log."""
+    for site, action, detail, scope, attempt in events:
+        log.record(site, action, detail, scope=scope, attempt=attempt)
+
+
+def elapsed_since(started: float) -> float:
+    """Seconds since ``started`` on the perf-counter clock."""
+    return time.perf_counter() - started

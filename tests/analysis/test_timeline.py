@@ -7,6 +7,7 @@ import pytest
 from repro.analysis.timeline import (
     overlap_fraction,
     render_round_timeline,
+    render_supervision_summary,
     round_spans,
 )
 from repro.core.result import RoundTiming
@@ -71,6 +72,39 @@ class TestRenderTimeline:
         )
         art = render_round_timeline(result.timings.rounds)
         assert f"{len(result.timings.rounds)} rounds" in art
+
+
+class TestSupervisionSummary:
+    def test_quiet_run_renders_nothing(self):
+        assert render_supervision_summary({}) == ""
+        assert render_supervision_summary(
+            {"worker_respawns": 0, "merge_rounds": 3}
+        ) == ""
+
+    def test_nonzero_counters_render_in_order(self):
+        line = render_supervision_summary({
+            "worker_crashes": 1,
+            "worker_respawns": 2,
+            "task_redispatches": 3,
+        })
+        assert line == (
+            "supervision: respawns=2 crashes=1 re-dispatches=3"
+        )
+
+    def test_shard_counters_included(self):
+        line = render_supervision_summary({
+            "shard_respawns": 1,
+            "partitions_reassigned": 4,
+            "exchange_refetches": 2,
+        })
+        assert "shard-respawns=1" in line
+        assert "partitions-reassigned=4" in line
+        assert "exchange-refetches=2" in line
+
+    def test_unrelated_counters_ignored(self):
+        assert render_supervision_summary(
+            {"merge_rounds": 1, "map_tasks": 9}
+        ) == ""
 
 
 class TestOverlapFraction:

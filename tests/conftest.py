@@ -16,7 +16,7 @@ from repro.workloads import (
 )
 
 
-_WORKER_PREFIXES = ("repro-fork-", "repro-sup-")
+_WORKER_PREFIXES = ("repro-fork-", "repro-sup-", "repro-shard-")
 
 
 @pytest.fixture(autouse=True)

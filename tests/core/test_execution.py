@@ -12,6 +12,7 @@ from repro.containers.array_container import ArrayContainer
 from repro.containers.combiners import SumCombiner
 from repro.containers.hash_container import HashContainer
 from repro.core.execution import (
+    accumulate_wave_stats,
     merge_outputs,
     run_mapper_wave,
     run_reducers,
@@ -126,6 +127,39 @@ class TestWaveAndReducers:
             with pytest.raises(RuntimeError, match="mapper crashed"):
                 run_mapper_wave(job, job.container_factory(), b"data\n",
                                 options, pool)
+
+
+class TestAccumulateWaveStats:
+    def test_folds_supervision_outcome_into_named_counters(self):
+        from repro.resilience.supervisor import SupervisionResult
+
+        stats: dict[str, int] = {}
+        accumulate_wave_stats(stats, SupervisionResult(
+            results=[1, None], skipped=(1,),
+            respawns=2, crashes=3, hangs=1, redispatches=4,
+        ))
+        assert stats == {
+            "worker_respawns": 2,
+            "worker_crashes": 3,
+            "lease_expiries": 1,
+            "task_redispatches": 4,
+            "tasks_skipped": 1,
+        }
+
+    def test_accumulates_across_waves(self):
+        from repro.resilience.supervisor import SupervisionResult
+
+        stats: dict[str, int] = {}
+        wave = SupervisionResult(results=[1], respawns=1, crashes=1)
+        accumulate_wave_stats(stats, wave)
+        accumulate_wave_stats(stats, wave)
+        assert stats["worker_respawns"] == 2
+        assert stats["worker_crashes"] == 2
+
+    def test_none_stats_dict_is_a_no_op(self):
+        from repro.resilience.supervisor import SupervisionResult
+
+        accumulate_wave_stats(None, SupervisionResult(results=[], respawns=5))
 
 
 class TestMergeOutputs:

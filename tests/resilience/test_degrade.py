@@ -17,6 +17,7 @@ from repro.resilience.degrade import (
     SITE_POOL,
     Deadline,
     next_backend,
+    next_rung,
     run_with_degradation,
 )
 
@@ -43,27 +44,50 @@ class TestLadder:
         assert next_backend(ExecutorBackend.THREAD) is ExecutorBackend.SERIAL
         assert next_backend(ExecutorBackend.SERIAL) is None
 
+    def test_next_rung_halves_process_pool_before_thread(self):
+        options = RuntimeOptions.supmr_interfile("32KB", 8, 2).with_(
+            executor_backend=ExecutorBackend.PROCESS
+        )
+        rung = next_rung(options)
+        assert rung.executor_backend is ExecutorBackend.PROCESS
+        assert rung.num_mappers == 4
+        floor = options.with_(num_mappers=1)
+        assert next_rung(floor).executor_backend is ExecutorBackend.THREAD
+
+    def test_next_rung_never_halves_thread_pool(self):
+        options = RuntimeOptions.supmr_interfile("32KB", 8, 2).with_(
+            executor_backend=ExecutorBackend.THREAD
+        )
+        rung = next_rung(options)
+        assert rung.executor_backend is ExecutorBackend.SERIAL
+        assert rung.num_mappers == 8
+        assert next_rung(rung.with_(executor_backend=ExecutorBackend.SERIAL)) is None
+
     def test_step_down_marks_result_degraded(self, text_file):
         job = make_wordcount_job([text_file])
         options = RuntimeOptions.supmr_interfile("32KB", 2, 2).with_(
             executor_backend=ExecutorBackend.PROCESS
         )
-        seen: list[str] = []
+        seen: list[tuple[str, int]] = []
 
         def run_once(j, opts):
-            seen.append(opts.executor_backend.value)
+            seen.append((opts.executor_backend.value, opts.num_mappers))
             if opts.executor_backend is ExecutorBackend.PROCESS:
                 raise ParallelError("pool blew up")
             return SupMRRuntime(opts)._run_once(j, opts)
 
         result = run_with_degradation(run_once, job, options)
-        assert seen == ["process", "thread"]
+        assert seen == [("process", 2), ("process", 1), ("thread", 1)]
         assert result.counters["degraded"] is True
         assert result.counters["degraded_backend"] == "thread"
-        assert result.counters["pool_failures"] == 1
-        assert any(
-            e.site == SITE_POOL for e in result.fault_log.events
-        )
+        assert result.counters["degraded_workers"] == 1
+        assert result.counters["pool_failures"] == 2
+        pool_events = [
+            e for e in result.fault_log.events if e.site == SITE_POOL
+        ]
+        assert len(pool_events) == 2
+        assert "halved" in pool_events[0].detail
+        assert "stepped down" in pool_events[1].detail
 
     def test_retry_resumes_from_the_journal(self, tmp_path, text_file):
         job = make_wordcount_job([text_file])
@@ -80,7 +104,7 @@ class TestLadder:
             return SupMRRuntime(opts)._run_once(j, opts)
 
         run_with_degradation(run_once, job, options)
-        assert resume_flags == [False, True]
+        assert resume_flags == [False, True, True]
 
     def test_bottom_of_the_ladder_reraises(self, text_file):
         job = make_wordcount_job([text_file])

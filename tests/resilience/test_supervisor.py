@@ -83,6 +83,7 @@ class TestInjectedCrashes:
             if e.action == ACTION_RETRIED and e.site == SITE_WORKER_CRASH
         ]
         assert len(redispatches) == 4
+        assert outcome.redispatches == 4
 
     def test_injected_hang_is_lease_killed_and_retried(self):
         policy, injector = _armed("task.hang=once", seed=5, lease_timeout_s=0.3)

@@ -1,0 +1,128 @@
+"""Integrity-verified run exchange: bucketing, CRC refetch, merging."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.wordcount import make_wordcount_job
+from repro.containers.hash_container import HashContainer
+from repro.containers.combiners import SumCombiner
+from repro.errors import RetryExhausted
+from repro.faults.log import ACTION_REFETCHED
+from repro.shard.exchange import (
+    fetch_run,
+    merged_partition_groups,
+    reduce_partition,
+    run_name,
+    write_partition_runs,
+)
+from repro.spill.manager import _flip_byte
+from repro.spill.runfile import HEADER_BYTES
+from repro.util.hashing import stable_hash
+
+
+def _container(pairs):
+    container = HashContainer(combiner=SumCombiner())
+    container.begin_round()
+    emitter = container.emitter(0)
+    for key, value in pairs:
+        emitter.emit(key, value)
+    return container
+
+
+class TestWritePartitionRuns:
+    def test_buckets_by_stable_hash(self, tmp_path):
+        keys = [f"k{i}".encode() for i in range(40)]
+        manifest = write_partition_runs(
+            _container((k, 1) for k in keys), 4, tmp_path
+        )
+        assert [run.partition for run in manifest] == [0, 1, 2, 3]
+        for run in manifest:
+            reader, _ = fetch_run(
+                tmp_path / run.name, tmp_path / f"copy-{run.name}"
+            )
+            for key, _values in reader:
+                assert stable_hash(key) % 4 == run.partition
+
+    def test_empty_partitions_still_get_runs(self, tmp_path):
+        manifest = write_partition_runs(_container([(b"solo", 1)]), 8, tmp_path)
+        assert len(manifest) == 8
+        assert sum(run.records for run in manifest) == 1
+        for run in manifest:
+            assert (tmp_path / run.name).exists()
+
+    def test_run_names_are_canonical(self, tmp_path):
+        manifest = write_partition_runs(_container([(b"a", 1)]), 2, tmp_path)
+        assert [run.name for run in manifest] == [run_name(0), run_name(1)]
+
+
+class TestFetchRun:
+    def _one_run(self, tmp_path):
+        manifest = write_partition_runs(
+            _container((f"w{i}".encode(), 1) for i in range(50)),
+            1, tmp_path / "outbox",
+        )
+        return tmp_path / "outbox" / manifest[0].name
+
+    def test_clean_fetch_verifies_first_try(self, tmp_path):
+        src = self._one_run(tmp_path)
+        reader, attempt = fetch_run(src, tmp_path / "copy.spl")
+        assert attempt == 0
+        assert sum(1 for _ in reader) == 50
+
+    def test_corrupt_copy_detected_and_refetched(self, tmp_path):
+        src = self._one_run(tmp_path)
+        events = []
+        reader, attempt = fetch_run(
+            src, tmp_path / "copy.spl",
+            corrupt_attempts=[0, 1], events=events, scope="(0, 0)",
+        )
+        # Two damaged copies rejected, third adopted; the original run
+        # was never merged in its corrupted form.
+        assert attempt == 2
+        assert sum(1 for _ in reader) == 50
+        assert [e[1] for e in events] == [ACTION_REFETCHED] * 2
+
+    def test_corrupted_source_never_silently_merged(self, tmp_path):
+        src = self._one_run(tmp_path)
+        _flip_byte(src, HEADER_BYTES + 4)
+        with pytest.raises(RetryExhausted, match="exchange_corrupt"):
+            fetch_run(src, tmp_path / "copy.spl", max_retries=2)
+        assert not (tmp_path / "copy.spl").exists()
+
+    def test_retry_budget_exhaustion_raises(self, tmp_path):
+        src = self._one_run(tmp_path)
+        with pytest.raises(RetryExhausted):
+            fetch_run(
+                src, tmp_path / "copy.spl",
+                corrupt_attempts=[0, 1, 2], max_retries=2,
+            )
+
+
+class TestMergeAndReduce:
+    def test_equal_keys_fold_in_reader_order(self, tmp_path):
+        a = write_partition_runs(
+            _container([(b"x", 1), (b"y", 2)]), 1, tmp_path / "a"
+        )
+        b = write_partition_runs(
+            _container([(b"x", 10), (b"z", 3)]), 1, tmp_path / "b"
+        )
+        readers = [
+            fetch_run(tmp_path / "a" / a[0].name, tmp_path / "ca.spl")[0],
+            fetch_run(tmp_path / "b" / b[0].name, tmp_path / "cb.spl")[0],
+        ]
+        groups = dict(merged_partition_groups(readers))
+        assert groups[b"x"] == (1, 10)
+        assert groups[b"y"] == (2,)
+        assert groups[b"z"] == (3,)
+
+    def test_reduce_partition_runs_the_jobs_reducer(self, tmp_path, text_file):
+        job = make_wordcount_job([text_file])
+        manifest = write_partition_runs(
+            _container([(b"b", 2), (b"a", 1), (b"a", 4)]), 1, tmp_path
+        )
+        reader, _ = fetch_run(
+            tmp_path / manifest[0].name, tmp_path / "copy.spl"
+        )
+        out = reduce_partition(job, merged_partition_groups([reader]))
+        assert dict(out) == {b"a": 5, b"b": 2}

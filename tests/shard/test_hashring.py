@@ -1,0 +1,66 @@
+"""Consistent-hash shard map: determinism, balance, minimal disturbance."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.shard.hashring import DEFAULT_REPLICAS, ShardMap
+
+
+class TestConstruction:
+    def test_needs_at_least_one_shard(self):
+        with pytest.raises(ConfigError):
+            ShardMap([])
+
+    def test_needs_positive_replicas(self):
+        with pytest.raises(ConfigError):
+            ShardMap([0, 1], replicas=0)
+
+    def test_duplicate_and_unordered_ids_normalize(self):
+        ring = ShardMap([2, 0, 1, 2, 0])
+        assert ring.shard_ids == (0, 1, 2)
+        assert len(ring) == 3
+
+
+class TestOwnership:
+    def test_owner_deterministic_across_instances(self):
+        a = ShardMap(range(4))
+        b = ShardMap([3, 2, 1, 0])
+        assert [a.owner(p) for p in range(64)] == [
+            b.owner(p) for p in range(64)
+        ]
+
+    def test_assign_covers_every_partition_exactly_once(self):
+        table = ShardMap(range(3)).assign(32)
+        flat = sorted(p for ps in table.values() for p in ps)
+        assert flat == list(range(32))
+        assert set(table) == {0, 1, 2}
+
+    def test_assign_roughly_balanced(self):
+        table = ShardMap(range(4), replicas=DEFAULT_REPLICAS).assign(256)
+        sizes = sorted(len(ps) for ps in table.values())
+        # Consistent hashing is only statistically balanced; with 64
+        # virtual nodes per shard no shard should starve or hog.
+        assert sizes[0] >= 16
+        assert sizes[-1] <= 160
+
+
+class TestFailover:
+    def test_without_moves_only_the_dead_shards_partitions(self):
+        ring = ShardMap(range(4))
+        before = {p: ring.owner(p) for p in range(128)}
+        after = ring.without(2)
+        for p, owner in before.items():
+            if owner != 2:
+                assert after.owner(p) == owner
+            else:
+                assert after.owner(p) != 2
+
+    def test_without_accepts_a_sequence(self):
+        ring = ShardMap(range(4)).without([1, 3])
+        assert ring.shard_ids == (0, 2)
+
+    def test_cannot_remove_the_last_shard(self):
+        with pytest.raises(ConfigError):
+            ShardMap([0]).without(0)

@@ -66,6 +66,31 @@ class TestJobs:
                      "--chunk-size", "50KB"]) == 0
         assert "supmr" in capsys.readouterr().out
 
+    def test_shards_flag_routes_to_sharded_runtime(self, text_file, capsys):
+        from repro.parallel.backends import fork_available
+
+        if not fork_available():
+            pytest.skip("needs os.fork")
+        assert main(["wordcount", str(text_file), "--chunk-size", "32KB",
+                     "--shards", "2", "--top", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "sharded" in out
+        assert "shards: 2" in out
+
+    def test_shard_faults_render_supervision_summary(
+        self, text_file, capsys
+    ):
+        from repro.parallel.backends import fork_available
+
+        if not fork_available():
+            pytest.skip("needs os.fork")
+        assert main(["wordcount", str(text_file), "--chunk-size", "32KB",
+                     "--shards", "2", "--top", "1", "--timeline",
+                     "--faults", "shard.exchange_corrupt=once"]) == 0
+        out = capsys.readouterr().out
+        assert "supervision:" in out
+        assert "exchange-refetches=" in out
+
     def test_wordcount_memory_budget_reports_spill(self, text_file, capsys):
         assert main(["wordcount", str(text_file), "--baseline",
                      "--memory-budget", "64KB", "--top", "1"]) == 0

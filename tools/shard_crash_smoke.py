@@ -1,0 +1,133 @@
+#!/usr/bin/env python
+"""CI smoke: SIGKILL one shard worker mid-job, require identical digests.
+
+Exercises the sharded coordinator's organic failover end to end through
+the real CLI:
+
+1. generate a corpus and run ``--shards 1`` uninterrupted, recording the
+   output digest (the unsharded-equivalent reference);
+2. start the same job with ``--shards 3 --shard-dir``, poll the
+   published ``worker-<sid>.pid`` files, and ``kill -9`` one shard
+   worker as soon as its pid appears;
+3. require the run to finish successfully anyway (the coordinator
+   respawns the dead shard, or reassigns its partitions if the kill
+   lands in the reduce phase) with a digest byte-identical to step 1.
+
+Exits non-zero (failing the CI job) on any divergence.  If the job
+finishes before the kill lands (fast runner), the input is grown and
+the round trip retried a few times before giving up as inconclusive.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[1]
+ENV = dict(os.environ, PYTHONPATH=str(REPO / "src"))
+
+_DIGEST_RE = re.compile(r"^\s*digest:\s*([0-9a-f]{64})\s*$", re.MULTILINE)
+
+SHARDS = 3
+VICTIM = 1  # which shard's worker gets the SIGKILL
+
+
+def run_cli(*args: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, "-m", "repro.cli", *args],
+        capture_output=True, text=True, env=ENV, timeout=600,
+    )
+
+
+def digest_of(proc: subprocess.CompletedProcess) -> str:
+    match = _DIGEST_RE.search(proc.stdout)
+    if proc.returncode != 0 or match is None:
+        sys.exit(
+            f"CLI run failed (rc={proc.returncode}):\n"
+            f"{proc.stdout}\n{proc.stderr}"
+        )
+    return match.group(1)
+
+
+def kill_one_shard_worker(corpus: Path, shard_dir: Path, chunk: str) -> "tuple[str, bool]":
+    """Run the sharded job, SIGKILL shard VICTIM's worker; return (stdout, killed)."""
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "wordcount", str(corpus),
+         "--chunk-size", chunk, "--shards", str(SHARDS),
+         "--shard-dir", str(shard_dir), "--top", "0"],
+        env=ENV, stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+    )
+    pid_file = shard_dir / f"worker-{VICTIM}.pid"
+    killed = False
+    deadline = time.monotonic() + 300
+    while time.monotonic() < deadline and proc.poll() is None:
+        if not killed and pid_file.exists():
+            try:
+                pid = int(pid_file.read_text().strip())
+            except (ValueError, OSError):
+                time.sleep(0.002)
+                continue
+            try:
+                os.kill(pid, signal.SIGKILL)
+            except ProcessLookupError:
+                # The worker finished between publish and kill; the
+                # caller grows the input and retries.
+                break
+            killed = True
+            print(f"  SIGKILLed shard {VICTIM} worker (pid {pid})")
+        time.sleep(0.002)
+    stdout, stderr = proc.communicate(timeout=600)
+    if proc.returncode != 0:
+        sys.exit(
+            f"sharded run failed after the kill (rc={proc.returncode}):\n"
+            f"{stdout}\n{stderr}"
+        )
+    return stdout, killed
+
+
+def main() -> int:
+    tmp = Path(tempfile.mkdtemp(prefix="shard-crash-smoke-"))
+    corpus = tmp / "corpus.txt"
+    size, chunk = "2MB", "64KB"
+    for attempt in range(3):
+        print(f"attempt {attempt + 1}: corpus={size} chunk={chunk}")
+        gen = run_cli("gen", "text", str(corpus), "--size", size, "--seed", "5")
+        if gen.returncode != 0:
+            sys.exit(f"corpus generation failed:\n{gen.stderr}")
+
+        reference = digest_of(run_cli(
+            "wordcount", str(corpus), "--chunk-size", chunk,
+            "--shards", "1", "--top", "0",
+        ))
+        print(f"  reference digest {reference} (--shards 1)")
+
+        shard_dir = tmp / f"shards-{attempt}"
+        stdout, killed = kill_one_shard_worker(corpus, shard_dir, chunk)
+        if not killed:
+            print("  job finished before the kill; growing the input")
+            size = f"{4 * (attempt + 1)}MB"
+            continue
+
+        match = _DIGEST_RE.search(stdout)
+        if match is None:
+            sys.exit(f"no digest in the sharded run's output:\n{stdout}")
+        sharded_digest = match.group(1)
+        if sharded_digest != reference:
+            sys.exit(
+                f"DIGEST MISMATCH after shard kill: "
+                f"{sharded_digest} != {reference}"
+            )
+        print(f"  sharded digest   {sharded_digest} (identical)")
+        print("shard-kill failover round trip OK")
+        return 0
+    sys.exit("could not kill a shard worker mid-run after 3 attempts")
+
+
+if __name__ == "__main__":
+    sys.exit(main())
