@@ -164,6 +164,12 @@ def _serve_map(
             # Die *after* the first journaled round, exactly the window
             # the checkpoint/resume path has to cover.
             os._exit(SHARD_CRASH_EXIT)
+    if mode == MODE_LOSS:
+        # Every round was restored from the journal, so the per-chunk
+        # death window never opened — but the coordinator has already
+        # consumed the shard.worker_loss injection, so honor it anyway
+        # to keep the seeded schedule and fault log in step.
+        os._exit(SHARD_CRASH_EXIT)
     manifest = write_partition_runs(
         container, num_partitions, msg["outbox"]
     )

@@ -492,7 +492,9 @@ class _Coordinator:
         self.tally.shards_lost.add(sid)
         del self.workers[sid]
         self._discard(worker)
-        orphans = outstanding.pop(sid, [])
+        # Both the in-flight partitions AND any queued behind the dead
+        # worker are orphaned — dropping the queue would hang the phase.
+        orphans = outstanding.pop(sid, []) + pending.pop(sid, [])
         if not self.workers:
             raise ParallelError(
                 f"every shard worker died during the reduce phase "
@@ -565,10 +567,15 @@ class _Coordinator:
                         outstanding[sid] = [
                             p for p in outstanding[sid] if p not in got
                         ]
-                    queued = pending.pop(sid, None)
-                    if queued and worker is not None:
-                        outstanding.setdefault(sid, []).extend(queued)
-                        self._dispatch_reduce(worker, queued, MODE_RUN)
+                    if worker is not None:
+                        # Only drain the queue while the worker is still
+                        # registered; if it was already removed (a done
+                        # racing its own lease-expiry kill), _reassign
+                        # has re-routed pending[sid] to a survivor.
+                        queued = pending.pop(sid, None)
+                        if queued:
+                            outstanding.setdefault(sid, []).extend(queued)
+                            self._dispatch_reduce(worker, queued, MODE_RUN)
                 elif kind == "error":
                     _, sid, detail = msg
                     raise ParallelError(

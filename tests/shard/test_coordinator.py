@@ -8,10 +8,16 @@ output.
 
 from __future__ import annotations
 
+import multiprocessing
+import pickle
+import queue as queue_mod
+from types import SimpleNamespace
+
 import pytest
 
 from repro.apps.sortapp import make_sort_job
 from repro.apps.wordcount import make_wordcount_job
+from repro.chunking.planner import plan_whole_input
 from repro.core.options import RuntimeOptions
 from repro.errors import ConfigError
 from repro.faults import parse_faults
@@ -24,7 +30,16 @@ from repro.faults.log import (
 from repro.faults.plan import SITE_SHARD_STRAGGLER, FaultPlan, FaultSpec
 from repro.faults.policy import RecoveryPolicy
 from repro.parallel.backends import fork_available
+from repro.parallel.shard_worker import (
+    MODE_LOSS,
+    MODE_RUN,
+    MSG_MAP,
+    SHARD_CRASH_EXIT,
+    shard_worker_main,
+)
 from repro.shard import ShardedRuntime, run_sharded
+from repro.shard.coordinator import _Coordinator, _ShardWorker, _Tally
+from repro.shard.hashring import ShardMap
 
 needs_fork = pytest.mark.skipif(not fork_available(), reason="needs os.fork")
 
@@ -132,3 +147,139 @@ class TestRecovery:
         assert any(
             e.action == ACTION_SPECULATIVE for e in result.fault_log.events
         )
+
+
+class _FakeInbox:
+    """List-backed inbox so `_dispatch_reduce` works without a process."""
+
+    def __init__(self) -> None:
+        self.msgs: list = []
+
+    def put(self, msg) -> None:
+        self.msgs.append(msg)
+
+    def cancel_join_thread(self) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+
+def _bare_coordinator(num_shards: int, tmp_path) -> _Coordinator:
+    """A `_Coordinator` with fake in-memory workers, no processes."""
+    coord = object.__new__(_Coordinator)
+    coord.injector = None
+    coord.policy = RecoveryPolicy()
+    coord.tally = _Tally()
+    coord.outboxes = {}
+    coord.workdir = tmp_path
+    coord.plan = SimpleNamespace(ring=ShardMap(range(num_shards)))
+    coord.workers = {
+        sid: _ShardWorker(sid=sid, wid=sid, proc=None, inbox=_FakeInbox())
+        for sid in range(num_shards)
+    }
+    return coord
+
+
+class TestReassignDrainsPending:
+    """Regression: a dead reducer's *queued* partitions must be
+    re-routed too, or `run_reduce_phase` waits on them forever."""
+
+    def test_second_death_rescues_partitions_queued_behind_it(
+        self, tmp_path
+    ):
+        coord = _bare_coordinator(3, tmp_path)
+        for worker in coord.workers.values():
+            worker.busy = True
+        # Find a survivor ("mid") that shard 0's death routes work to;
+        # the ring can skew a small partition set entirely one way.
+        ring1 = ShardMap(range(3)).without([0])
+        routed: dict[int, list[int]] = {}
+        for p in range(64):
+            routed.setdefault(ring1.owner(p), []).append(p)
+        mid = 1 if routed.get(1) else 2
+        last = 2 if mid == 1 else 1
+        to_mid = routed[mid][:4]
+        outstanding = {0: list(to_mid), mid: [100], last: [200]}
+        pending: dict[int, list[int]] = {}
+        coord._reassign(coord.workers[0], outstanding, pending, "test kill")
+        # `mid` was busy, so shard 0's orphans are queued behind it.
+        assert sorted(pending.get(mid, [])) == sorted(to_mid)
+        coord._reassign(
+            coord.workers[mid], outstanding, pending, "test kill"
+        )
+        # Both `mid`'s in-flight partition and the queue behind it must
+        # land with the survivor — nothing may be dropped.
+        survivor_work = (
+            outstanding.get(last, []) + pending.get(last, [])
+            + [
+                p
+                for msg in coord.workers[last].inbox.msgs
+                for p in msg["partitions"]
+            ]
+        )
+        assert sorted(survivor_work) == sorted(to_mid + [100, 200])
+        assert 0 not in pending and mid not in pending
+        assert 0 not in outstanding and mid not in outstanding
+
+
+@needs_fork
+class TestCommandedLossAlwaysFires:
+    """Regression: a MODE_LOSS map command must still kill the worker
+    when its journal restore covers every chunk — otherwise the seeded
+    schedule under-fires and the fault log drifts from the plan."""
+
+    def _run_worker(self, job, options, chunks, msg):
+        ctx = multiprocessing.get_context("fork")
+        inbox, results = ctx.Queue(), ctx.Queue()
+        inbox.put(msg)
+        inbox.put(None)  # sentinel, for the surviving MODE_RUN case
+        proc = ctx.Process(
+            target=shard_worker_main,
+            args=(0, job, options, chunks, 4, inbox, results),
+        )
+        proc.start()
+        proc.join(timeout=60)
+        assert proc.exitcode is not None, "shard worker hung"
+        rows = []
+        while True:
+            try:
+                rows.append(pickle.loads(results.get(timeout=0.2)))
+            except queue_mod.Empty:
+                break
+        return proc.exitcode, rows
+
+    def test_loss_fires_even_when_journal_covers_all_rounds(
+        self, text_file, tmp_path
+    ):
+        job = make_wordcount_job([text_file])
+        options = _options(1)
+        chunks = list(plan_whole_input(job.inputs).chunks)
+        assert len(chunks) == 1  # restore of round 0 covers everything
+
+        def msg(mode, resume):
+            return {
+                "kind": MSG_MAP,
+                "attempt": 0,
+                "mode": mode,
+                "outbox": str(tmp_path / "outbox"),
+                "ckpt": str(tmp_path / "ckpt"),
+                "resume": resume,
+            }
+
+        # Attempt 0: maps the only chunk, journals it, then dies.
+        code, _ = self._run_worker(job, options, chunks, msg(MODE_LOSS, False))
+        assert code == SHARD_CRASH_EXIT
+        # Attempt 1: the journal restores the whole block, so the
+        # per-chunk death window never opens — the commanded loss must
+        # fire anyway.
+        code, _ = self._run_worker(job, options, chunks, msg(MODE_LOSS, True))
+        assert code == SHARD_CRASH_EXIT
+        # Attempt 2: a clean run still resumes from the same journal.
+        code, rows = self._run_worker(
+            job, options, chunks, msg(MODE_RUN, True)
+        )
+        assert code == 0
+        done = [r for r in rows if r[0] == "map_done"]
+        assert len(done) == 1
+        assert done[0][3]["restored_rounds"] == 1
