@@ -7,7 +7,15 @@ Subcommands:
   CSV artifacts;
 * ``supmr wordcount FILES...`` / ``supmr sort FILE`` — run the real
   runtime on real data, baseline or SupMR configuration;
-* ``supmr gen {text,terasort,files}`` — produce workload inputs.
+* ``supmr gen {text,terasort,files}`` — produce workload inputs;
+* ``supmr serve`` / ``submit`` / ``status`` / ``result`` / ``cancel`` /
+  ``shutdown`` — the long-lived multi-job daemon (:mod:`repro.service`)
+  and its client side;
+* ``supmr gc DIR...`` — reclaim completed checkpoint directories.
+
+Exit codes are part of the contract (:mod:`repro.exitcodes`): 0 success,
+1 runtime failure, 2 usage error, 3 fault budget exhausted, 4 job
+deadline expired — identical for one-shot runs and ``submit --wait``.
 """
 
 from __future__ import annotations
@@ -24,7 +32,9 @@ from repro.core.phoenix import PhoenixRuntime
 from repro.core.result import JobResult
 from repro.core.supmr import SupMRRuntime
 from repro.errors import ReproError
+from repro.exitcodes import classify_exception, classify_result
 from repro.experiments import available_experiments, run_experiment
+from repro.service.jobspec import build_options
 from repro.util.units import fmt_bytes, fmt_seconds, parse_size
 from repro.workloads import (
     generate_small_files,
@@ -81,52 +91,10 @@ def _print_result(result: JobResult) -> None:
     print(f"  digest: {result.output_digest()}")
 
 
-def _options_from(args: argparse.Namespace) -> RuntimeOptions:
-    budget = getattr(args, "memory_budget", None)
-    if getattr(args, "baseline", False):
-        options = RuntimeOptions.baseline(args.mappers, args.reducers)
-    elif getattr(args, "files_per_chunk", None):
-        options = RuntimeOptions.supmr_intrafile(
-            args.files_per_chunk, args.mappers, args.reducers
-        )
-    elif getattr(args, "chunk_size", None):
-        options = RuntimeOptions.supmr_interfile(
-            args.chunk_size, args.mappers, args.reducers
-        )
-    else:
-        options = RuntimeOptions.baseline(args.mappers, args.reducers)
-    if budget is not None:
-        options = options.with_(memory_budget=budget)
-    backend = getattr(args, "backend", None)
-    if backend is not None:
-        options = options.with_(executor_backend=backend)
-    if getattr(args, "faults", None):
-        from repro.faults import RecoveryPolicy, parse_faults
-
-        plan = parse_faults(args.faults, seed=getattr(args, "fault_seed", 0))
-        retry = getattr(args, "retry", None)
-        skip_budget = getattr(args, "skip_budget", None)
-        recovery = RecoveryPolicy(
-            max_retries=retry if retry is not None else 3,
-            skip_budget=skip_budget if skip_budget is not None else 1000,
-        )
-        options = options.with_(fault_plan=plan, recovery=recovery)
-    if getattr(args, "checkpoint_dir", None):
-        options = options.with_(
-            checkpoint_dir=args.checkpoint_dir,
-            resume=bool(getattr(args, "resume", False)),
-        )
-    if getattr(args, "job_deadline", None) is not None:
-        options = options.with_(job_deadline_s=args.job_deadline)
-    if getattr(args, "no_supervise", False):
-        options = options.with_(
-            supervised_pool=False, degrade_on_pool_failure=False
-        )
-    if getattr(args, "shards", None) is not None:
-        options = options.with_(num_shards=args.shards)
-    if getattr(args, "shard_dir", None):
-        options = options.with_(shard_dir=args.shard_dir)
-    return options
+#: One shared lowering for CLI namespaces and submitted job specs, so
+#: the one-shot and service paths cannot drift
+#: (:func:`repro.service.jobspec.build_options`).
+_options_from = build_options
 
 
 def _cmd_experiments(args: argparse.Namespace) -> int:
@@ -184,12 +152,12 @@ def _cmd_wordcount(args: argparse.Namespace) -> int:
         from repro.analysis.report import to_json
 
         print(to_json(result))
-        return 0
+        return classify_result(result.counters)
     _print_result(result)
     for key, count in result.output[: args.top]:
         print(f"  {key.decode('utf-8', 'replace'):<24s} {count}")
     _maybe_timeline(args, result)
-    return 0
+    return classify_result(result.counters)
 
 
 def _cmd_sort(args: argparse.Namespace) -> int:
@@ -199,10 +167,10 @@ def _cmd_sort(args: argparse.Namespace) -> int:
         from repro.analysis.report import to_json
 
         print(to_json(result))
-        return 0
+        return classify_result(result.counters)
     _print_result(result)
     _maybe_timeline(args, result)
-    return 0
+    return classify_result(result.counters)
 
 
 def _cmd_tune(args: argparse.Namespace) -> int:
@@ -238,6 +206,63 @@ def _cmd_validate(args: argparse.Namespace) -> int:
     print(f"duplicate keys   : {report.duplicate_keys}")
     print(f"checksum         : {report.checksum:016x}")
     return 0 if report.valid else 1
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service.cli import cmd_serve
+
+    return cmd_serve(args)
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from repro.service.cli import cmd_submit
+
+    return cmd_submit(args)
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    from repro.service.cli import cmd_status
+
+    return cmd_status(args)
+
+
+def _cmd_result(args: argparse.Namespace) -> int:
+    from repro.service.cli import cmd_result
+
+    return cmd_result(args)
+
+
+def _cmd_cancel(args: argparse.Namespace) -> int:
+    from repro.service.cli import cmd_cancel
+
+    return cmd_cancel(args)
+
+
+def _cmd_shutdown(args: argparse.Namespace) -> int:
+    from repro.service.cli import cmd_shutdown
+
+    return cmd_shutdown(args)
+
+
+def _cmd_gc(args: argparse.Namespace) -> int:
+    from repro.resilience.journal import JobJournal
+
+    removed = kept = 0
+    for raw in args.dirs:
+        directory = Path(raw)
+        if not directory.exists():
+            print(f"  {directory}: no such directory", file=sys.stderr)
+            continue
+        if JobJournal.purge_dir(directory, require_complete=not args.force):
+            removed += 1
+            print(f"  {directory}: removed")
+        else:
+            kept += 1
+            stage = JobJournal.peek_stage(directory) or "no journal"
+            print(f"  {directory}: kept ({stage}; resumable state is "
+                  "only collected with --force)")
+    print(f"gc: {removed} removed, {kept} kept")
+    return 0
 
 
 def _cmd_gen(args: argparse.Namespace) -> int:
@@ -356,6 +381,107 @@ def build_parser() -> argparse.ArgumentParser:
     p_val.add_argument("file")
     p_val.set_defaults(fn=_cmd_validate)
 
+    # -- job service --------------------------------------------------------
+
+    def add_state_dir(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--state-dir", required=True, metavar="DIR",
+                       help="the service state directory (endpoint file, "
+                            "job records, per-job checkpoints)")
+
+    p_serve = sub.add_parser(
+        "serve", help="run the long-lived multi-job daemon"
+    )
+    add_state_dir(p_serve)
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=0,
+                         help="TCP port (default 0: pick a free one and "
+                              "advertise it in the state dir)")
+    p_serve.add_argument("--max-jobs", type=int, default=2, metavar="N",
+                         help="jobs allowed to run concurrently")
+    p_serve.add_argument("--queue-depth", type=int, default=16, metavar="N",
+                         help="queued jobs before submissions are "
+                              "rejected with queue-full")
+    p_serve.add_argument("--service-budget", metavar="SIZE",
+                         help="cap on the sum of admitted jobs' memory "
+                              "budgets, e.g. 1GB; submissions past it are "
+                              "rejected with budget-exceeded")
+    p_serve.add_argument("--retention", type=int, default=4, metavar="N",
+                         help="finished jobs whose checkpoint dirs are "
+                              "kept after result retrieval")
+    p_serve.add_argument("--max-attempts", type=int, default=3, metavar="N",
+                         help="runner launches per job before it is failed")
+    p_serve.add_argument("--job-timeout", type=float, default=None,
+                         metavar="SECONDS",
+                         help="hard wall-clock cap per runner attempt")
+    p_serve.add_argument("--faults",
+                         help="service-site fault plan, e.g. "
+                              "'service.conn.drop=0.2,service.job.crash=once'")
+    p_serve.add_argument("--fault-seed", type=int, default=0)
+    p_serve.set_defaults(fn=_cmd_serve)
+
+    p_submit = sub.add_parser(
+        "submit", help="submit a job to a running daemon"
+    )
+    add_state_dir(p_submit)
+    p_submit.add_argument("--wait", action="store_true",
+                          help="stream state transitions, print the result "
+                               "report, and exit with the one-shot exit code")
+    p_submit.add_argument("--wait-timeout", type=float, default=None,
+                          metavar="SECONDS")
+    p_submit.add_argument("--rerun", action="store_true",
+                          help="wipe a finished identical job and run it "
+                               "again instead of returning its result")
+    p_submit.add_argument("--priority", type=int, default=0,
+                          help="queue priority (higher runs earlier; FIFO "
+                               "within a level)")
+    p_submit.add_argument("--tag", default="",
+                          help="free-form label folded into the job id so "
+                               "deliberate duplicates stay distinct")
+    submit_sub = p_submit.add_subparsers(dest="app", required=True)
+    p_sub_wc = submit_sub.add_parser("wordcount")
+    p_sub_wc.add_argument("files", nargs="+")
+    p_sub_wc.add_argument("--files-per-chunk", type=int)
+    add_runtime_args(p_sub_wc)
+    p_sub_sort = submit_sub.add_parser("sort")
+    p_sub_sort.add_argument("file")
+    add_runtime_args(p_sub_sort)
+    p_submit.set_defaults(fn=_cmd_submit)
+
+    p_status = sub.add_parser(
+        "status", help="show service / job state"
+    )
+    add_state_dir(p_status)
+    p_status.add_argument("job_id", nargs="?", default=None)
+    p_status.set_defaults(fn=_cmd_status)
+
+    p_result = sub.add_parser(
+        "result", help="fetch a finished job's JSON report (incl. digest)"
+    )
+    add_state_dir(p_result)
+    p_result.add_argument("job_id")
+    p_result.set_defaults(fn=_cmd_result)
+
+    p_cancel = sub.add_parser("cancel", help="cancel a queued or running job")
+    add_state_dir(p_cancel)
+    p_cancel.add_argument("job_id")
+    p_cancel.set_defaults(fn=_cmd_cancel)
+
+    p_shutdown = sub.add_parser(
+        "shutdown", help="ask the daemon to drain and exit"
+    )
+    add_state_dir(p_shutdown)
+    p_shutdown.set_defaults(fn=_cmd_shutdown)
+
+    p_gc = sub.add_parser(
+        "gc", help="remove completed checkpoint directories"
+    )
+    p_gc.add_argument("dirs", nargs="+", metavar="DIR",
+                      help="checkpoint directories (--checkpoint-dir "
+                           "values) to consider")
+    p_gc.add_argument("--force", action="store_true",
+                      help="also remove resumable (incomplete) checkpoints")
+    p_gc.set_defaults(fn=_cmd_gc)
+
     p_gen = sub.add_parser("gen", help="generate workload data")
     p_gen.add_argument("kind", choices=("text", "terasort", "files"))
     p_gen.add_argument("path")
@@ -378,7 +504,7 @@ def main(argv: list[str] | None = None) -> int:
         return args.fn(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
-        return 2
+        return classify_exception(exc)
 
 
 if __name__ == "__main__":  # pragma: no cover

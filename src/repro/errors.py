@@ -83,6 +83,42 @@ class ParallelError(ReproError):
     or a worker's failure could not be transported back."""
 
 
+class ServiceError(ReproError):
+    """Base class for the long-lived job service (:mod:`repro.service`):
+    daemon, framed transport, and client failures."""
+
+
+class ProtocolError(ServiceError):
+    """A transport frame violated the wire protocol.
+
+    Carries a ``reason`` tag (``truncated`` | ``bad-magic`` | ``bad-crc``
+    | ``version`` | ``oversize`` | ``bad-payload``) so tests and retry
+    logic can branch on *how* the frame was bad, not just that it was.
+    """
+
+    def __init__(self, message: str, reason: str = "") -> None:
+        super().__init__(message)
+        self.reason = reason
+
+
+class AdmissionError(ServiceError):
+    """The service refused to admit a submitted job.
+
+    ``code`` is the typed rejection class (``queue-full`` |
+    ``budget-exceeded`` | ``draining``) — over-admission is answered
+    with this error instead of unbounded queuing.
+    """
+
+    def __init__(self, message: str, code: str = "") -> None:
+        super().__init__(message)
+        self.code = code
+
+
+class JobNotFound(ServiceError):
+    """A status/result/cancel request named a job the service does not
+    know (never submitted, or already garbage-collected)."""
+
+
 class FaultError(ReproError):
     """Base class for the fault-injection and recovery subsystem
     (:mod:`repro.faults`)."""

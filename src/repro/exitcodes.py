@@ -1,0 +1,51 @@
+"""Process exit codes shared by the one-shot CLI and the job service.
+
+Scripts branch on these, so they are part of the public contract:
+
+* ``0`` — success;
+* ``1`` — runtime failure (an unexpected :class:`~repro.errors.ReproError`);
+* ``2`` — usage/configuration error (bad flags, invalid option combos);
+* ``3`` — fault budget exhausted (:class:`~repro.errors.RetryExhausted`
+  or :class:`~repro.errors.QuarantineOverflow`);
+* ``4`` — the job deadline expired and a partial (DEGRADED) result was
+  returned.
+
+``repro submit --wait`` and ``repro result`` exit with the same code the
+equivalent one-shot invocation would have, so automation cannot tell the
+two paths apart.
+"""
+
+from __future__ import annotations
+
+from repro.errors import (
+    ChunkingError,
+    ConfigError,
+    QuarantineOverflow,
+    ReproError,
+    RetryExhausted,
+    WorkloadError,
+)
+
+EXIT_OK = 0
+EXIT_FAILURE = 1
+EXIT_USAGE = 2
+EXIT_FAULTS = 3
+EXIT_DEADLINE = 4
+
+
+def classify_exception(exc: BaseException) -> int:
+    """The exit code a library error maps to."""
+    if isinstance(exc, (ConfigError, WorkloadError, ChunkingError)):
+        # bad flags, invalid option combos, unusable inputs
+        return EXIT_USAGE
+    if isinstance(exc, (RetryExhausted, QuarantineOverflow)):
+        return EXIT_FAULTS
+    if isinstance(exc, ReproError):
+        return EXIT_FAILURE
+    raise exc
+
+
+def classify_result(counters: "dict[str, object]") -> int:
+    """The exit code for a finished job: 0, or 4 when the whole-job
+    deadline expired and the result is partial."""
+    return EXIT_DEADLINE if counters.get("deadline_expired") else EXIT_OK

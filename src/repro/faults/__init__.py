@@ -21,11 +21,14 @@ from repro.faults.log import FaultEvent, FaultLog
 from repro.faults.plan import (
     KNOWN_SITES,
     RUNTIME_SITES,
+    SERVICE_SITES,
     SIM_SITES,
     SITE_INGEST_READ,
     SITE_MAP_TASK,
     SITE_RECORD_CORRUPT,
     SITE_SHARD_EXCHANGE_CORRUPT,
+    SITE_SERVICE_CONN_DROP,
+    SITE_SERVICE_JOB_CRASH,
     SITE_SHARD_STRAGGLER,
     SITE_SHARD_WORKER_LOSS,
     SITE_SIM_DATANODE_LOSS,
@@ -58,6 +61,7 @@ __all__ = [
     "DEFAULT_RETRYABLE",
     "KNOWN_SITES",
     "RUNTIME_SITES",
+    "SERVICE_SITES",
     "SIM_SITES",
     "SITE_INGEST_READ",
     "SITE_RECORD_CORRUPT",
@@ -74,4 +78,6 @@ __all__ = [
     "SITE_SHARD_WORKER_LOSS",
     "SITE_SHARD_EXCHANGE_CORRUPT",
     "SITE_SHARD_STRAGGLER",
+    "SITE_SERVICE_CONN_DROP",
+    "SITE_SERVICE_JOB_CRASH",
 ]

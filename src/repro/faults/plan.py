@@ -37,6 +37,9 @@ SITE_TASK_HANG = "task.hang"            # resilience.supervisor (lease expiry)
 SITE_SHARD_WORKER_LOSS = "shard.worker_loss"        # shard.coordinator
 SITE_SHARD_EXCHANGE_CORRUPT = "shard.exchange_corrupt"  # shard.exchange
 SITE_SHARD_STRAGGLER = "shard.straggler"            # shard.coordinator
+# Service-daemon sites (checked by repro.service):
+SITE_SERVICE_CONN_DROP = "service.conn.drop"   # service.server connections
+SITE_SERVICE_JOB_CRASH = "service.job.crash"   # service runner processes
 # Simulated-hardware sites (applied by faults.simdriver / simrt):
 SITE_SIM_DISK_SLOW = "sim.disk.slow"
 SITE_SIM_DISK_FAIL = "sim.disk.fail"
@@ -50,11 +53,14 @@ RUNTIME_SITES = (
     SITE_WORKER_CRASH, SITE_TASK_HANG,
     SITE_SHARD_WORKER_LOSS, SITE_SHARD_EXCHANGE_CORRUPT, SITE_SHARD_STRAGGLER,
 )
+SERVICE_SITES = (
+    SITE_SERVICE_CONN_DROP, SITE_SERVICE_JOB_CRASH,
+)
 SIM_SITES = (
     SITE_SIM_DISK_SLOW, SITE_SIM_DISK_FAIL, SITE_SIM_DATANODE_LOSS,
     SITE_SIM_NET_FLAP, SITE_SIM_STRAGGLER, SITE_SIM_WORKER_CRASH,
 )
-KNOWN_SITES = RUNTIME_SITES + SIM_SITES
+KNOWN_SITES = RUNTIME_SITES + SERVICE_SITES + SIM_SITES
 
 #: Fault flavors (``FaultSpec.kind``); sites ignore kinds they do not model.
 KIND_ERROR = "error"  # transient I/O error (ingest.read default)

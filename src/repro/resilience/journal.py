@@ -299,6 +299,59 @@ class JobJournal:
             if name:
                 (self.directory / name).unlink(missing_ok=True)
 
+    # -- garbage collection --------------------------------------------------
+
+    def purge(self) -> None:
+        """Delete this journal's directory and every artifact in it.
+
+        Used once a job's result has been retrieved (the journal holds
+        nothing a finished job needs); the directory itself is removed,
+        so a later job may reuse the path from scratch.
+        """
+        shutil.rmtree(self.directory, ignore_errors=True)
+
+    @classmethod
+    def peek_stage(cls, directory: "str | Path") -> str | None:
+        """The journaled stage under ``directory``, or None when no
+        intact journal exists there.
+
+        Skips the fingerprint check — garbage collection must be able to
+        classify journals written by arbitrary jobs.
+        """
+        path = Path(directory) / cls.JOURNAL_NAME
+        if not path.exists():
+            return None
+        try:
+            envelope = json.loads(path.read_text())
+            payload = envelope["payload"]
+            encoded = json.dumps(
+                payload, sort_keys=True, separators=(",", ":")
+            ).encode()
+            if envelope.get("crc32") != zlib.crc32(encoded):
+                return None
+            return str(payload.get("stage"))
+        except (OSError, ValueError, KeyError, TypeError):
+            return None
+
+    @classmethod
+    def purge_dir(
+        cls, directory: "str | Path", require_complete: bool = False
+    ) -> bool:
+        """Remove one checkpoint directory; returns True when removed.
+
+        With ``require_complete=True`` only directories whose journal
+        reached the ``complete`` stage are touched (the safe default for
+        ``repro gc`` over one-shot checkpoint dirs — an interrupted
+        job's resumable state is never collected).
+        """
+        directory = Path(directory)
+        if not directory.exists():
+            return False
+        if require_complete and cls.peek_stage(directory) != STAGE_COMPLETE:
+            return False
+        shutil.rmtree(directory, ignore_errors=True)
+        return True
+
     # -- restoring ----------------------------------------------------------
 
     def restore(

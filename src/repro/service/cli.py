@@ -1,0 +1,179 @@
+"""Service subcommand bodies (``repro serve`` / ``submit`` / ``status`` /
+``result`` / ``cancel`` / ``shutdown``).
+
+The argument surface lives in :mod:`repro.cli` (so ``--help`` shows one
+coherent tool); these functions are imported lazily from there and do
+the work.  ``submit --wait`` streams state transitions and exits with
+the **same** :mod:`repro.exitcodes` the equivalent one-shot invocation
+would have, so scripts can branch on outcome without caring which path
+ran the job.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+
+from repro.errors import ServiceError
+from repro.exitcodes import EXIT_FAILURE, EXIT_OK
+from repro.service.client import ServiceClient
+from repro.service.jobspec import ServiceJobSpec
+from repro.service.server import ServiceConfig, serve
+from repro.service.state import STATE_DONE, JobRecord
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the daemon in the foreground until SIGTERM/shutdown."""
+    fault_plan = None
+    if getattr(args, "faults", None):
+        from repro.faults import parse_faults
+
+        fault_plan = parse_faults(args.faults, seed=args.fault_seed)
+    config = ServiceConfig(
+        state_dir=args.state_dir,
+        host=args.host,
+        port=args.port,
+        max_concurrent=args.max_jobs,
+        max_queue_depth=args.queue_depth,
+        service_budget=args.service_budget,
+        retention=args.retention,
+        max_attempts=args.max_attempts,
+        job_timeout_s=args.job_timeout,
+        fault_plan=fault_plan,
+    )
+    asyncio.run(serve(config))
+    return EXIT_OK
+
+
+def _client(args: argparse.Namespace) -> ServiceClient:
+    return ServiceClient.from_state_dir(args.state_dir)
+
+
+def spec_from_args(args: argparse.Namespace) -> ServiceJobSpec:
+    """Build the wire spec from the shared runtime-args namespace."""
+    if args.app == "wordcount":
+        inputs = tuple(args.files)
+    else:
+        inputs = (args.file,)
+    return ServiceJobSpec(
+        app=args.app,
+        inputs=inputs,
+        mappers=args.mappers,
+        reducers=args.reducers,
+        baseline=bool(getattr(args, "baseline", False)),
+        chunk_size=getattr(args, "chunk_size", None),
+        files_per_chunk=getattr(args, "files_per_chunk", None),
+        memory_budget=getattr(args, "memory_budget", None),
+        backend=getattr(args, "backend", None),
+        faults=getattr(args, "faults", None),
+        fault_seed=getattr(args, "fault_seed", 0),
+        retry=getattr(args, "retry", None),
+        skip_budget=getattr(args, "skip_budget", None),
+        job_deadline=getattr(args, "job_deadline", None),
+        no_supervise=bool(getattr(args, "no_supervise", False)),
+        shards=getattr(args, "shards", None),
+        priority=getattr(args, "priority", 0),
+        tag=getattr(args, "tag", ""),
+    )
+
+
+def cmd_submit(args: argparse.Namespace) -> int:
+    """Submit one job; with ``--wait``, stream transitions and exit with
+    the one-shot exit code."""
+    spec = spec_from_args(args)
+    # validate eagerly: a bad knob (unparsable --chunk-size, invalid
+    # combo) should exit with the usage code here, not after a daemon
+    # round trip and a failed runner attempt.
+    spec.to_options()
+    client = _client(args)
+    if not args.wait:
+        reply = client.submit(spec, rerun=args.rerun)
+        verb = "reattached to" if reply.get("reattached") else "submitted"
+        print(f"{verb} job {reply['job_id']} ({reply['state']})")
+        return EXIT_OK
+
+    def on_transition(record: JobRecord) -> None:
+        line = f"job {record.job_id}: {record.state}"
+        if record.attempts > 1 and record.state == "running":
+            line += f" (attempt {record.attempts})"
+        print(line, file=sys.stderr, flush=True)
+
+    record, report = client.submit_and_wait(
+        spec, rerun=args.rerun, on_transition=on_transition,
+        timeout_s=args.wait_timeout,
+    )
+    if report is not None:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    elif record.error:
+        print(f"error: job {record.job_id} {record.state}: {record.error}",
+              file=sys.stderr)
+    code = record.exit_code
+    return code if code is not None else (
+        EXIT_OK if record.state == STATE_DONE else EXIT_FAILURE
+    )
+
+
+def cmd_status(args: argparse.Namespace) -> int:
+    """Show one job's record, or a table of every known job."""
+    client = _client(args)
+    if args.job_id:
+        reply = client.status(args.job_id)
+        print(json.dumps(reply["job"], indent=2, sort_keys=True))
+        return EXIT_OK
+    reply = client.status()
+    jobs = reply.get("jobs", [])
+    print(f"service: {reply.get('running', 0)} running, "
+          f"{reply.get('queued', 0)} queued, {len(jobs)} known job(s)")
+    for job in jobs:
+        marks = []
+        if job.get("digest"):
+            marks.append(f"digest {job['digest'][:12]}…")
+        if job.get("resumed"):
+            marks.append("resumed")
+        if job.get("error"):
+            marks.append(job["error"])
+        suffix = f"  ({'; '.join(marks)})" if marks else ""
+        print(f"  {job['job_id']}  {job['state']:<9s} "
+              f"attempts={job.get('attempts', 0)}{suffix}")
+    return EXIT_OK
+
+
+def cmd_result(args: argparse.Namespace) -> int:
+    """Print a finished job's stored report; exits with its code."""
+    client = _client(args)
+    reply = client.result(args.job_id)
+    record = JobRecord.from_dict(reply["job"])
+    report = reply.get("report")
+    if report is not None:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    elif record.error:
+        print(f"error: job {record.job_id} {record.state}: {record.error}",
+              file=sys.stderr)
+    code = record.exit_code
+    return code if code is not None else (
+        EXIT_OK if record.state == STATE_DONE else EXIT_FAILURE
+    )
+
+
+def cmd_cancel(args: argparse.Namespace) -> int:
+    """Cancel a queued or running job."""
+    client = _client(args)
+    reply = client.cancel(args.job_id)
+    job = reply.get("job", {})
+    state = "cancelling" if reply.get("cancelling") else job.get("state")
+    print(f"job {args.job_id}: {state}")
+    return EXIT_OK
+
+
+def cmd_shutdown(args: argparse.Namespace) -> int:
+    """Ask the daemon to drain running jobs and exit."""
+    client = _client(args)
+    try:
+        client.shutdown()
+    except ServiceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_FAILURE
+    print("service draining")
+    return EXIT_OK

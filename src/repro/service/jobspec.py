@@ -1,0 +1,204 @@
+"""Serializable job specifications for the service.
+
+A :class:`ServiceJobSpec` is the wire form of "run this job with these
+knobs": the application name, its inputs, and **every** runtime option
+the one-shot CLI exposes (``--backend``, ``--memory-budget``,
+``--faults``, ``--shards``, …).  It round-trips through JSON
+(:meth:`to_dict`/:meth:`from_dict`), hashes to a stable :meth:`job_id`,
+and lowers to the same :class:`~repro.core.options.RuntimeOptions` the
+one-shot path builds — :func:`build_options` is shared with
+``repro.cli``, so a submitted job and the equivalent CLI invocation
+cannot drift apart (their output digests are byte-identical).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Any
+
+from repro.core.job import JobSpec
+from repro.core.options import RuntimeOptions
+from repro.errors import ConfigError
+
+#: Applications a spec may name, mapped to their job factories.
+KNOWN_APPS = ("wordcount", "sort")
+
+
+def build_options(spec: Any) -> RuntimeOptions:
+    """Lower CLI-shaped knobs to :class:`RuntimeOptions`.
+
+    Duck-typed over attribute access so the one-shot CLI's
+    ``argparse.Namespace`` and :class:`ServiceJobSpec` share one code
+    path (missing attributes mean "not set").
+    """
+    budget = getattr(spec, "memory_budget", None)
+    if getattr(spec, "baseline", False):
+        options = RuntimeOptions.baseline(spec.mappers, spec.reducers)
+    elif getattr(spec, "files_per_chunk", None):
+        options = RuntimeOptions.supmr_intrafile(
+            spec.files_per_chunk, spec.mappers, spec.reducers
+        )
+    elif getattr(spec, "chunk_size", None):
+        options = RuntimeOptions.supmr_interfile(
+            spec.chunk_size, spec.mappers, spec.reducers
+        )
+    else:
+        options = RuntimeOptions.baseline(spec.mappers, spec.reducers)
+    if budget is not None:
+        options = options.with_(memory_budget=budget)
+    backend = getattr(spec, "backend", None)
+    if backend is not None:
+        options = options.with_(executor_backend=backend)
+    if getattr(spec, "faults", None):
+        from repro.faults import RecoveryPolicy, parse_faults
+
+        plan = parse_faults(spec.faults, seed=getattr(spec, "fault_seed", 0))
+        retry = getattr(spec, "retry", None)
+        skip_budget = getattr(spec, "skip_budget", None)
+        recovery = RecoveryPolicy(
+            max_retries=retry if retry is not None else 3,
+            skip_budget=skip_budget if skip_budget is not None else 1000,
+        )
+        options = options.with_(fault_plan=plan, recovery=recovery)
+    if getattr(spec, "checkpoint_dir", None):
+        options = options.with_(
+            checkpoint_dir=spec.checkpoint_dir,
+            resume=bool(getattr(spec, "resume", False)),
+        )
+    if getattr(spec, "job_deadline", None) is not None:
+        options = options.with_(job_deadline_s=spec.job_deadline)
+    if getattr(spec, "no_supervise", False):
+        options = options.with_(
+            supervised_pool=False, degrade_on_pool_failure=False
+        )
+    if getattr(spec, "shards", None) is not None:
+        options = options.with_(num_shards=spec.shards)
+    if getattr(spec, "shard_dir", None):
+        options = options.with_(shard_dir=spec.shard_dir)
+    return options
+
+
+@dataclass(frozen=True)
+class ServiceJobSpec:
+    """One submittable job: app + inputs + every one-shot CLI knob.
+
+    Field names deliberately mirror the CLI flags (``chunk_size`` ↔
+    ``--chunk-size``) so :func:`build_options` serves both.  ``priority``
+    orders the service queue (higher first, FIFO within a level) and
+    ``tag`` distinguishes deliberate duplicate submissions — two specs
+    that differ only in ``tag`` get distinct job ids.
+    """
+
+    app: str
+    inputs: tuple[str, ...]
+    mappers: int = 4
+    reducers: int = 4
+    baseline: bool = False
+    chunk_size: str | None = None
+    files_per_chunk: int | None = None
+    memory_budget: str | None = None
+    backend: str | None = None
+    faults: str | None = None
+    fault_seed: int = 0
+    retry: int | None = None
+    skip_budget: int | None = None
+    job_deadline: float | None = None
+    no_supervise: bool = False
+    shards: int | None = None
+    priority: int = 0
+    tag: str = ""
+
+    def __post_init__(self) -> None:
+        if self.app not in KNOWN_APPS:
+            raise ConfigError(
+                f"unknown app {self.app!r}; known apps: "
+                + ", ".join(KNOWN_APPS)
+            )
+        object.__setattr__(
+            self, "inputs", tuple(str(p) for p in self.inputs)
+        )
+        if not self.inputs:
+            raise ConfigError("a job spec needs at least one input file")
+
+    # -- serialization ------------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-safe dictionary; :meth:`from_dict` inverts it exactly."""
+        data = dataclasses.asdict(self)
+        data["inputs"] = list(self.inputs)
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "ServiceJobSpec":
+        """Parse a submitted spec; unknown keys are a typed error."""
+        if not isinstance(data, dict):
+            raise ConfigError(f"job spec must be an object, got {type(data)}")
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ConfigError(
+                f"unknown job spec field(s): {', '.join(sorted(unknown))}"
+            )
+        missing = {"app", "inputs"} - set(data)
+        if missing:
+            raise ConfigError(
+                f"job spec missing field(s): {', '.join(sorted(missing))}"
+            )
+        try:
+            return cls(**{k: v for k, v in data.items()})
+        except TypeError as exc:
+            raise ConfigError(f"malformed job spec: {exc}") from exc
+
+    def canonical_json(self) -> str:
+        """The byte-stable encoding :meth:`job_id` hashes."""
+        return json.dumps(self.to_dict(), sort_keys=True,
+                          separators=(",", ":"))
+
+    def job_id(self) -> str:
+        """Stable 12-hex-digit id derived from the spec contents.
+
+        Identical specs (same app, inputs, knobs, and ``tag``) get the
+        same id, which is what makes "resubmit after a daemon restart"
+        reattach to the original job's checkpoint dir and resume from
+        its journal instead of starting over.
+        """
+        digest = hashlib.sha256(self.canonical_json().encode()).hexdigest()
+        return digest[:12]
+
+    # -- lowering -----------------------------------------------------------
+
+    def to_options(
+        self,
+        checkpoint_dir: str | None = None,
+        resume: bool = False,
+        shard_dir: str | None = None,
+    ) -> RuntimeOptions:
+        """The :class:`RuntimeOptions` this spec describes.
+
+        ``checkpoint_dir``/``resume``/``shard_dir`` are service-assigned
+        (per-job dirs under the state dir), not part of the submitted
+        spec, so they arrive as parameters.
+        """
+        class _WithDirs:
+            pass
+
+        proxy = _WithDirs()
+        for f in dataclasses.fields(self):
+            setattr(proxy, f.name, getattr(self, f.name))
+        proxy.checkpoint_dir = checkpoint_dir
+        proxy.resume = resume
+        proxy.shard_dir = shard_dir
+        return build_options(proxy)
+
+    def build_job(self) -> JobSpec:
+        """The executable :class:`~repro.core.job.JobSpec`."""
+        if self.app == "wordcount":
+            from repro.apps.wordcount import make_wordcount_job
+
+            return make_wordcount_job(self.inputs)
+        from repro.apps.sortapp import make_sort_job
+
+        return make_sort_job(list(self.inputs))

@@ -1,0 +1,247 @@
+"""Framed wire protocol for the job service.
+
+Every message on a service connection — requests, replies, and streamed
+state transitions — travels as one **frame**:
+
+.. code-block:: text
+
+    +-------+---------+------+-------+--------+----------------+
+    | magic | version | kind | crc32 | length |    payload     |
+    | 4s    | B       | B    | I     | I      | length bytes   |
+    +-------+---------+------+-------+--------+----------------+
+           big-endian header (14 bytes), then the payload
+
+``kind`` selects the payload encoding: ``KIND_JSON`` (a UTF-8 JSON
+object — every control message) or ``KIND_BYTES`` (an opaque binary
+blob — the transport the next step reuses to ship shard run files
+between hosts).  The CRC is ``zlib.crc32`` over the raw payload, the
+same envelope discipline the job journal and the spill run files use,
+so a torn or bit-flipped frame is rejected with a typed
+:class:`~repro.errors.ProtocolError` instead of being half-parsed.
+
+Both an ``asyncio`` stream API (used by the server) and a blocking
+socket API (used by the client) are provided over the same
+``encode_frame``/``decode_frame`` core, so the two sides cannot drift.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket
+import struct
+from typing import Any
+
+from repro.errors import ProtocolError
+
+#: Bumped on incompatible frame-layout or message-schema changes; a
+#: mismatched peer is rejected with ``reason="version"``.
+PROTOCOL_VERSION = 1
+
+#: Payload encodings.
+KIND_JSON = 0
+KIND_BYTES = 1
+
+#: Upper bound on one frame's payload; guards the daemon against a
+#: garbage length field allocating gigabytes.
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+_MAGIC = b"RSVC"
+_HEADER = struct.Struct(">4sBBII")  # magic, version, kind, crc32, length
+
+# -- core encode/decode ------------------------------------------------------
+
+
+def encode_frame(payload: "dict[str, Any] | bytes") -> bytes:
+    """One wire frame for a JSON object or an opaque binary blob."""
+    import zlib
+
+    if isinstance(payload, (bytes, bytearray, memoryview)):
+        kind, body = KIND_BYTES, bytes(payload)
+    else:
+        kind = KIND_JSON
+        body = json.dumps(
+            payload, sort_keys=True, separators=(",", ":")
+        ).encode("utf-8")
+    if len(body) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame payload of {len(body)} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte frame limit", reason="oversize",
+        )
+    header = _HEADER.pack(
+        _MAGIC, PROTOCOL_VERSION, kind, zlib.crc32(body), len(body)
+    )
+    return header + body
+
+
+def decode_header(header: bytes) -> tuple[int, int, int]:
+    """Validate a 14-byte header; returns ``(kind, crc32, length)``."""
+    if len(header) < _HEADER.size:
+        raise ProtocolError(
+            f"truncated frame header ({len(header)} of {_HEADER.size} bytes)",
+            reason="truncated",
+        )
+    magic, version, kind, crc, length = _HEADER.unpack_from(header)
+    if magic != _MAGIC:
+        raise ProtocolError(
+            f"bad frame magic {magic!r} (not a service connection?)",
+            reason="bad-magic",
+        )
+    if version != PROTOCOL_VERSION:
+        raise ProtocolError(
+            f"peer speaks protocol version {version}, "
+            f"this side speaks {PROTOCOL_VERSION}", reason="version",
+        )
+    if kind not in (KIND_JSON, KIND_BYTES):
+        raise ProtocolError(
+            f"unknown frame kind {kind}", reason="bad-payload"
+        )
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame claims {length} payload bytes, over the "
+            f"{MAX_FRAME_BYTES}-byte limit", reason="oversize",
+        )
+    return kind, crc, length
+
+
+def decode_payload(kind: int, crc: int, body: bytes) -> "dict[str, Any] | bytes":
+    """CRC-check and decode one payload read after :func:`decode_header`."""
+    import zlib
+
+    if zlib.crc32(body) != crc:
+        raise ProtocolError(
+            "frame payload failed its CRC check", reason="bad-crc"
+        )
+    if kind == KIND_BYTES:
+        return body
+    try:
+        obj = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError) as exc:
+        raise ProtocolError(
+            f"frame payload is not valid JSON: {exc}", reason="bad-payload"
+        ) from exc
+    if not isinstance(obj, dict):
+        raise ProtocolError(
+            "JSON frame payload must be an object", reason="bad-payload"
+        )
+    return obj
+
+
+def decode_frame(data: bytes) -> "dict[str, Any] | bytes":
+    """Decode one complete frame held in memory (tests, buffers)."""
+    kind, crc, length = decode_header(data[:_HEADER.size])
+    body = data[_HEADER.size:]
+    if len(body) != length:
+        raise ProtocolError(
+            f"frame payload truncated ({len(body)} of {length} bytes)",
+            reason="truncated",
+        )
+    return decode_payload(kind, crc, body)
+
+
+# -- asyncio stream API (server side) ----------------------------------------
+
+
+async def read_frame(reader: asyncio.StreamReader) -> "dict[str, Any] | bytes":
+    """Read one frame; raises :class:`ProtocolError` on any damage and
+    :class:`EOFError` on a clean close between frames."""
+    try:
+        header = await reader.readexactly(_HEADER.size)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            raise EOFError("connection closed between frames") from exc
+        raise ProtocolError(
+            f"connection closed mid-header "
+            f"({len(exc.partial)} of {_HEADER.size} bytes)",
+            reason="truncated",
+        ) from exc
+    kind, crc, length = decode_header(header)
+    try:
+        body = await reader.readexactly(length)
+    except asyncio.IncompleteReadError as exc:
+        raise ProtocolError(
+            f"connection closed mid-payload "
+            f"({len(exc.partial)} of {length} bytes)", reason="truncated",
+        ) from exc
+    return decode_payload(kind, crc, body)
+
+
+async def write_frame(
+    writer: asyncio.StreamWriter, payload: "dict[str, Any] | bytes"
+) -> None:
+    """Encode, send, and drain one frame."""
+    writer.write(encode_frame(payload))
+    await writer.drain()
+
+
+# -- blocking socket API (client side) ---------------------------------------
+
+
+def send_frame(sock: socket.socket, payload: "dict[str, Any] | bytes") -> None:
+    """Send one frame over a connected blocking socket."""
+    sock.sendall(encode_frame(payload))
+
+
+def recv_frame(sock: socket.socket) -> "dict[str, Any] | bytes":
+    """Receive one frame; :class:`EOFError` on a clean close between
+    frames, :class:`ProtocolError` on a torn or corrupt one."""
+    header = _recv_exactly(sock, _HEADER.size, mid="header")
+    kind, crc, length = decode_header(header)
+    body = _recv_exactly(sock, length, mid="payload")
+    return decode_payload(kind, crc, body)
+
+
+def _recv_exactly(sock: socket.socket, n: int, mid: str) -> bytes:
+    chunks: list[bytes] = []
+    got = 0
+    while got < n:
+        chunk = sock.recv(min(65536, n - got))
+        if not chunk:
+            if not got and mid == "header":
+                raise EOFError("connection closed between frames")
+            raise ProtocolError(
+                f"connection closed mid-{mid} ({got} of {n} bytes)",
+                reason="truncated",
+            )
+        chunks.append(chunk)
+        got += len(chunk)
+    return b"".join(chunks)
+
+
+# -- message helpers ---------------------------------------------------------
+
+#: Request types the server understands.
+REQ_PING = "ping"
+REQ_SUBMIT = "submit"
+REQ_STATUS = "status"
+REQ_RESULT = "result"
+REQ_CANCEL = "cancel"
+REQ_WATCH = "watch"
+REQ_SHUTDOWN = "shutdown"
+
+#: Typed error codes carried on error replies.
+ERR_QUEUE_FULL = "queue-full"
+ERR_BUDGET_EXCEEDED = "budget-exceeded"
+ERR_DRAINING = "draining"
+ERR_NOT_FOUND = "not-found"
+ERR_BAD_REQUEST = "bad-request"
+ERR_NOT_FINISHED = "not-finished"
+
+
+def request(req_type: str, **fields: Any) -> dict[str, Any]:
+    """A request message (the client's side of one exchange)."""
+    msg = {"type": req_type}
+    msg.update(fields)
+    return msg
+
+
+def ok_reply(**fields: Any) -> dict[str, Any]:
+    """A successful reply message."""
+    msg: dict[str, Any] = {"ok": True}
+    msg.update(fields)
+    return msg
+
+
+def error_reply(code: str, message: str) -> dict[str, Any]:
+    """A typed error reply (``code`` is one of the ``ERR_*`` values)."""
+    return {"ok": False, "error": {"code": code, "message": message}}

@@ -1,0 +1,711 @@
+"""The job-service daemon: asyncio TCP server + queue + admission control.
+
+One :class:`JobService` owns a state directory and serves many
+concurrent clients over the framed protocol.  The moving parts:
+
+* **Job queue** — a priority heap (higher ``priority`` first, FIFO
+  within a level via the admission sequence number).  A scheduler fills
+  up to ``max_concurrent`` runner subprocesses from it.
+* **Admission control** — submissions are *rejected with a typed error*
+  rather than queued unboundedly: ``queue-full`` past
+  ``max_queue_depth``, ``budget-exceeded`` when the sum of admitted
+  jobs' memory budgets would pass the service budget, ``draining``
+  during shutdown.  Submitting a spec identical to a live or finished
+  job reattaches/returns it (idempotent resubmission — the behaviour
+  that makes "resubmit after a daemon restart" resume from the journal).
+* **Crash safety** — every record mutation is durable before it is
+  acknowledged; on startup, jobs found ``queued``/``running`` are
+  re-queued (orphaned runners from a killed daemon are reaped first),
+  and their journals turn the re-run into a resume.
+* **Graceful drain** — SIGTERM stops the listener, terminates running
+  runners (their journals hold the completed rounds), re-queues them
+  durably, and exits; a restarted daemon picks the queue back up.
+* **Fault sites** — ``service.conn.drop`` severs accepted connections
+  mid-exchange and ``service.job.crash`` SIGKILLs runners mid-job, so
+  the seeded fault matrix covers the daemon the way it covers the
+  runtimes.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import heapq
+import json
+import signal
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro.errors import AdmissionError, ConfigError, ProtocolError
+from repro.faults.log import ACTION_RESPAWNED
+from repro.faults.plan import (
+    SITE_SERVICE_CONN_DROP,
+    SITE_SERVICE_JOB_CRASH,
+    FaultPlan,
+)
+from repro.service import protocol
+from repro.service.jobspec import ServiceJobSpec
+from repro.service.state import (
+    STATE_CANCELLED,
+    STATE_DONE,
+    STATE_FAILED,
+    STATE_QUEUED,
+    STATE_RUNNING,
+    JobRecord,
+    ServiceState,
+)
+from repro.util.units import parse_size
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Daemon knobs (the ``repro serve`` flags)."""
+
+    state_dir: str
+    host: str = "127.0.0.1"
+    #: 0 asks the kernel for a free port; the bound port is advertised
+    #: in ``state_dir/endpoint.json``.
+    port: int = 0
+    #: Runner subprocesses allowed to execute at once.
+    max_concurrent: int = 2
+    #: Queued (not yet running) jobs allowed before ``queue-full``.
+    max_queue_depth: int = 16
+    #: Cap on the sum of admitted jobs' ``memory_budget`` ("1GB" ok);
+    #: None disables budget admission control.
+    service_budget: int | str | None = None
+    #: Finished jobs whose checkpoint dirs are retained after their
+    #: result has been fetched; older ones are purged.
+    retention: int = 4
+    #: Runner launches per job before it is failed outright.
+    max_attempts: int = 3
+    #: Hard wall-clock cap per runner attempt; None trusts the job's
+    #: own ``job_deadline`` knob.
+    job_timeout_s: float | None = None
+    #: Seeded service-site fault plan (``service.conn.drop`` /
+    #: ``service.job.crash``).
+    fault_plan: FaultPlan | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_concurrent < 1:
+            raise ConfigError("max_concurrent must be >= 1")
+        if self.max_queue_depth < 1:
+            raise ConfigError("max_queue_depth must be >= 1")
+        if self.retention < 0:
+            raise ConfigError("retention must be >= 0")
+        if self.max_attempts < 1:
+            raise ConfigError("max_attempts must be >= 1")
+        if self.service_budget is not None:
+            object.__setattr__(
+                self, "service_budget", parse_size(self.service_budget)
+            )
+
+
+@dataclass
+class _RunningJob:
+    record: JobRecord
+    proc: "asyncio.subprocess.Process"
+    cancelling: bool = False
+
+
+@dataclass
+class JobService:
+    """A running daemon instance (construct, then :meth:`run_until_stopped`)."""
+
+    config: ServiceConfig
+    state: ServiceState = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.state = ServiceState(Path(self.config.state_dir))
+        self._queue: list[tuple[int, int, str]] = []  # (-priority, seq, id)
+        self._queued_ids: set[str] = set()
+        self._running: dict[str, _RunningJob] = {}
+        self._job_tasks: set[asyncio.Task] = set()
+        self._watchers: dict[str, list[asyncio.Queue]] = {}
+        self._seq = 0
+        self._conn_seq = 0
+        self._draining = False
+        self._stop = asyncio.Event()
+        self._server: asyncio.AbstractServer | None = None
+        self._injector = (
+            self.config.fault_plan.arm()
+            if self.config.fault_plan is not None else None
+        )
+        self.counters: dict[str, int] = {
+            "admitted": 0, "reattached": 0, "rejected": 0,
+            "completed": 0, "failed": 0, "cancelled": 0,
+            "runner_crashes": 0, "conn_drops": 0, "reaped": 0,
+        }
+
+    # -- lifecycle ----------------------------------------------------------
+
+    async def start(self) -> tuple[str, int]:
+        """Bind, recover durable state, and start serving; returns the
+        advertised (host, port)."""
+        self._recover()
+        self._server = await asyncio.start_server(
+            self._handle_connection, host=self.config.host,
+            port=self.config.port,
+        )
+        host, port = self._server.sockets[0].getsockname()[:2]
+        self.state.write_endpoint(host, port)
+        with contextlib.suppress(NotImplementedError, RuntimeError):
+            loop = asyncio.get_running_loop()
+            for sig in (signal.SIGTERM, signal.SIGINT):
+                loop.add_signal_handler(sig, self.request_stop)
+        self._schedule()
+        return host, port
+
+    async def run_until_stopped(self) -> None:
+        """Serve until :meth:`request_stop` (SIGTERM/shutdown), then drain."""
+        if self._server is None:
+            await self.start()
+        await self._stop.wait()
+        await self._drain()
+
+    def request_stop(self) -> None:
+        """Begin the graceful drain (idempotent, signal-safe)."""
+        self._draining = True
+        self._stop.set()
+
+    async def _drain(self) -> None:
+        """Stop accepting, stop runners (journals keep their progress),
+        re-queue them durably, and clear the endpoint."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        for running in list(self._running.values()):
+            with contextlib.suppress(ProcessLookupError):
+                running.proc.terminate()
+        if self._job_tasks:
+            done, pending = await asyncio.wait(
+                list(self._job_tasks), timeout=10.0
+            )
+            for task in pending:
+                task.cancel()
+            if pending:
+                await asyncio.wait(pending, timeout=5.0)
+        # anything the tasks left running goes back to the queue
+        for job_id, running in list(self._running.items()):
+            with contextlib.suppress(ProcessLookupError):
+                running.proc.kill()
+            self._set_state(running.record.with_(state=STATE_QUEUED))
+            del self._running[job_id]
+        self.state.clear_endpoint()
+
+    def _recover(self) -> None:
+        """Reload records; re-queue interrupted jobs; reap orphan runners."""
+        for record in self.state.load_all_records():
+            self._seq = max(self._seq, record.seq + 1)
+            if record.state == STATE_RUNNING:
+                self._kill_orphan_runner(record.job_id)
+                record = record.with_(state=STATE_QUEUED)
+                self.state.save_record(record)
+            if record.state == STATE_QUEUED:
+                self._push(record)
+
+    def _kill_orphan_runner(self, job_id: str) -> None:
+        """SIGKILL a runner left over from a daemon that died mid-job, so
+        the relaunched attempt never races it over the checkpoint dir."""
+        import os
+
+        pid_path = self.state.job_dir(job_id) / "runner.pid"
+        try:
+            pid = int(pid_path.read_text().strip())
+        except (OSError, ValueError):
+            return
+        with contextlib.suppress(OSError):
+            os.kill(pid, signal.SIGKILL)
+        pid_path.unlink(missing_ok=True)
+
+    # -- queue + scheduler ---------------------------------------------------
+
+    def _push(self, record: JobRecord) -> None:
+        heapq.heappush(
+            self._queue, (-record.priority, record.seq, record.job_id)
+        )
+        self._queued_ids.add(record.job_id)
+
+    def _pop_next(self) -> JobRecord | None:
+        while self._queue:
+            _, _, job_id = heapq.heappop(self._queue)
+            if job_id not in self._queued_ids:
+                continue  # cancelled while queued
+            self._queued_ids.discard(job_id)
+            record = self.state.load_record(job_id)
+            if record is not None and record.state == STATE_QUEUED:
+                return record
+        return None
+
+    def queue_depth(self) -> int:
+        """Jobs admitted but not yet running."""
+        return len(self._queued_ids)
+
+    def _schedule(self) -> None:
+        """Fill free runner slots from the queue (never blocks).
+
+        Slots are counted via ``_job_tasks`` (one task per live runner
+        attempt) rather than ``_running``: a task occupies its slot from
+        the synchronous moment it is created, so a burst of submissions
+        cannot launch more than ``max_concurrent`` runners.
+        """
+        if self._draining:
+            return
+        while len(self._job_tasks) < self.config.max_concurrent:
+            record = self._pop_next()
+            if record is None:
+                return
+            task = asyncio.ensure_future(self._run_job(record))
+            self._job_tasks.add(task)
+            task.add_done_callback(self._job_done)
+
+    def _job_done(self, task: asyncio.Task) -> None:
+        """Free the slot and refill (runs after ``_run_job`` returns)."""
+        self._job_tasks.discard(task)
+        self._schedule()
+
+    # -- admission -----------------------------------------------------------
+
+    def _admitted_budget_bytes(self) -> int:
+        """Sum of memory budgets across queued + running jobs."""
+        total = 0
+        for job_id in (*self._queued_ids, *self._running):
+            spec = self.state.load_spec(job_id)
+            if spec.memory_budget is not None:
+                total += parse_size(spec.memory_budget)
+        return total
+
+    def admit(
+        self, spec: ServiceJobSpec, rerun: bool = False
+    ) -> tuple[JobRecord, bool]:
+        """Admit one submission; returns ``(record, reattached)``.
+
+        Raises :class:`~repro.errors.AdmissionError` instead of queuing
+        unboundedly — the caller turns it into a typed error reply.
+        """
+        if self._draining:
+            raise AdmissionError(
+                "service is draining and accepts no new jobs",
+                code=protocol.ERR_DRAINING,
+            )
+        job_id = spec.job_id()
+        existing = self.state.load_record(job_id)
+        if existing is not None and not rerun:
+            # live → reattach; finished → idempotent result handle
+            self.counters["reattached"] += 1
+            return existing, True
+        if existing is not None and rerun:
+            if job_id in self._running or job_id in self._queued_ids:
+                raise AdmissionError(
+                    f"job {job_id} is {existing.state}; cancel it before "
+                    "rerunning", code=protocol.ERR_BAD_REQUEST,
+                )
+            import shutil
+
+            shutil.rmtree(self.state.job_dir(job_id), ignore_errors=True)
+        if self.queue_depth() >= self.config.max_queue_depth:
+            self.counters["rejected"] += 1
+            raise AdmissionError(
+                f"queue depth {self.queue_depth()} is at the limit "
+                f"({self.config.max_queue_depth}); retry later",
+                code=protocol.ERR_QUEUE_FULL,
+            )
+        if self.config.service_budget is not None:
+            if spec.memory_budget is None:
+                self.counters["rejected"] += 1
+                raise AdmissionError(
+                    "this service enforces a memory budget; submit with "
+                    "a per-job memory_budget",
+                    code=protocol.ERR_BUDGET_EXCEEDED,
+                )
+            admitted = self._admitted_budget_bytes()
+            asked = parse_size(spec.memory_budget)
+            if admitted + asked > self.config.service_budget:
+                self.counters["rejected"] += 1
+                raise AdmissionError(
+                    f"admitting {asked} budget bytes on top of {admitted} "
+                    f"would exceed the service budget "
+                    f"({self.config.service_budget})",
+                    code=protocol.ERR_BUDGET_EXCEEDED,
+                )
+        record = JobRecord(
+            job_id=job_id, state=STATE_QUEUED, priority=spec.priority,
+            seq=self._seq,
+        )
+        self._seq += 1
+        self.state.create_job(spec, record)
+        self.counters["admitted"] += 1
+        self._push(record)
+        self._schedule()
+        return record, False
+
+    # -- execution -----------------------------------------------------------
+
+    async def _run_job(self, record: JobRecord) -> None:
+        job_id = record.job_id
+        attempt = record.attempts + 1
+        record = record.with_(state=STATE_RUNNING, attempts=attempt)
+        job_dir = self.state.job_dir(job_id)
+        argv = [sys.executable, "-m", "repro.service.runner", str(job_dir)]
+        if self._injector is not None:
+            decision = self._injector.check(
+                SITE_SERVICE_JOB_CRASH, scope=job_id, attempt=attempt
+            )
+            if decision is not None:
+                argv += ["--crash-after-round", "1"]
+        log_fh = open(self.state.runner_log_path(job_id), "ab")
+        try:
+            proc = await asyncio.create_subprocess_exec(
+                *argv, stdout=log_fh, stderr=log_fh,
+            )
+        except OSError as exc:
+            log_fh.close()
+            self._finish(record.with_(
+                state=STATE_FAILED, error=f"runner launch failed: {exc}",
+                exit_code=1,
+            ))
+            return
+        (job_dir / "runner.pid").write_text(str(proc.pid))
+        running = _RunningJob(record=record, proc=proc)
+        self._running[job_id] = running
+        self._set_state(record)
+        try:
+            try:
+                rc = await asyncio.wait_for(
+                    proc.wait(), timeout=self.config.job_timeout_s
+                )
+            except asyncio.TimeoutError:
+                with contextlib.suppress(ProcessLookupError):
+                    proc.kill()
+                await proc.wait()
+                self._finish(running.record.with_(
+                    state=STATE_FAILED, exit_code=4,
+                    error=f"runner exceeded the service job timeout "
+                          f"({self.config.job_timeout_s}s)",
+                ))
+                return
+        finally:
+            log_fh.close()
+            self._running.pop(job_id, None)
+            (job_dir / "runner.pid").unlink(missing_ok=True)
+        if self._draining:
+            # drain terminated the runner; put the job back for the
+            # next daemon instance (the journal keeps its rounds)
+            self._set_state(running.record.with_(state=STATE_QUEUED))
+            return
+        if running.cancelling:
+            self._finish(running.record.with_(
+                state=STATE_CANCELLED, exit_code=rc,
+                error="cancelled while running",
+            ))
+        elif rc == 0 or rc == 4:
+            self._record_success(running.record, rc)
+        elif rc in (1, 2, 3):
+            error = self._read_error(job_dir)
+            self._finish(running.record.with_(
+                state=STATE_FAILED, exit_code=rc, error=error,
+            ))
+        else:
+            # killed by a signal or an unclassified crash: relaunch and
+            # resume from the journal, bounded by max_attempts
+            self.counters["runner_crashes"] += 1
+            if self._injector is not None:
+                self._injector.log.record(
+                    SITE_SERVICE_JOB_CRASH, ACTION_RESPAWNED,
+                    f"runner for {job_id} exited {rc}; relaunching",
+                    scope=job_id, attempt=attempt,
+                )
+            if attempt >= self.config.max_attempts:
+                self._finish(running.record.with_(
+                    state=STATE_FAILED, exit_code=1,
+                    error=f"runner crashed (exit {rc}) "
+                          f"{attempt} time(s); attempts exhausted",
+                ))
+            else:
+                requeued = running.record.with_(state=STATE_QUEUED)
+                self.state.save_record(requeued)
+                self._push(requeued)
+                self._broadcast(requeued)
+
+    def _record_success(self, record: JobRecord, rc: int) -> None:
+        job_dir = self.state.job_dir(record.job_id)
+        digest = None
+        resumed = False
+        try:
+            report = json.loads((job_dir / "result.json").read_text())
+            digest = report.get("digest")
+            resumed = bool(report.get("counters", {}).get("resumed"))
+        except (OSError, ValueError):
+            self._finish(record.with_(
+                state=STATE_FAILED, exit_code=1,
+                error="runner exited 0 without a readable result.json",
+            ))
+            return
+        self._finish(record.with_(
+            state=STATE_DONE, exit_code=rc, digest=digest, resumed=resumed,
+        ))
+
+    def _read_error(self, job_dir: Path) -> str:
+        try:
+            err = json.loads((job_dir / "error.json").read_text())
+            return f"{err.get('type')}: {err.get('message')}"
+        except (OSError, ValueError):
+            return "runner failed without an error report"
+
+    def _finish(self, record: JobRecord) -> None:
+        if record.state == STATE_DONE:
+            self.counters["completed"] += 1
+        elif record.state == STATE_FAILED:
+            self.counters["failed"] += 1
+        elif record.state == STATE_CANCELLED:
+            self.counters["cancelled"] += 1
+        self._set_state(record)
+
+    # -- state broadcast -----------------------------------------------------
+
+    def _set_state(self, record: JobRecord) -> None:
+        self.state.save_record(record)
+        self._broadcast(record)
+
+    def _broadcast(self, record: JobRecord) -> None:
+        for queue in self._watchers.get(record.job_id, ()):
+            queue.put_nowait(record)
+        if record.finished:
+            self._watchers.pop(record.job_id, None)
+
+    # -- connection handling -------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._conn_seq += 1
+        conn_id = self._conn_seq
+        msg_index = 0
+        try:
+            while True:
+                try:
+                    msg = await protocol.read_frame(reader)
+                except EOFError:
+                    return
+                except ProtocolError as exc:
+                    with contextlib.suppress(ConnectionError):
+                        await protocol.write_frame(writer, protocol.error_reply(
+                            protocol.ERR_BAD_REQUEST,
+                            f"protocol violation: {exc}",
+                        ))
+                    return
+                msg_index += 1
+                if self._injector is not None:
+                    decision = self._injector.check(
+                        SITE_SERVICE_CONN_DROP, scope=(conn_id, msg_index)
+                    )
+                    if decision is not None:
+                        self.counters["conn_drops"] += 1
+                        return  # sever without a reply; client retries
+                if not isinstance(msg, dict):
+                    await protocol.write_frame(writer, protocol.error_reply(
+                        protocol.ERR_BAD_REQUEST,
+                        "binary frames carry no requests",
+                    ))
+                    continue
+                done = await self._dispatch(msg, writer)
+                if done:
+                    return
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            writer.close()
+            with contextlib.suppress(ConnectionError, OSError):
+                await writer.wait_closed()
+
+    async def _dispatch(
+        self, msg: dict[str, Any], writer: asyncio.StreamWriter
+    ) -> bool:
+        """Handle one request; True ends the connection (shutdown/watch)."""
+        req = msg.get("type")
+        try:
+            if req == protocol.REQ_PING:
+                await protocol.write_frame(writer, protocol.ok_reply(
+                    version=protocol.PROTOCOL_VERSION,
+                    draining=self._draining,
+                    running=len(self._running),
+                    queued=self.queue_depth(),
+                    counters=dict(self.counters),
+                ))
+            elif req == protocol.REQ_SUBMIT:
+                await self._handle_submit(msg, writer)
+            elif req == protocol.REQ_STATUS:
+                await self._handle_status(msg, writer)
+            elif req == protocol.REQ_RESULT:
+                await self._handle_result(msg, writer)
+            elif req == protocol.REQ_CANCEL:
+                await self._handle_cancel(msg, writer)
+            elif req == protocol.REQ_WATCH:
+                await self._handle_watch(msg, writer)
+                return True
+            elif req == protocol.REQ_SHUTDOWN:
+                await protocol.write_frame(writer, protocol.ok_reply(
+                    draining=True
+                ))
+                self.request_stop()
+                return True
+            else:
+                await protocol.write_frame(writer, protocol.error_reply(
+                    protocol.ERR_BAD_REQUEST,
+                    f"unknown request type {req!r}",
+                ))
+        except AdmissionError as exc:
+            await protocol.write_frame(
+                writer, protocol.error_reply(exc.code, str(exc))
+            )
+        except ConfigError as exc:
+            await protocol.write_frame(
+                writer, protocol.error_reply(protocol.ERR_BAD_REQUEST, str(exc))
+            )
+        return False
+
+    async def _handle_submit(
+        self, msg: dict[str, Any], writer: asyncio.StreamWriter
+    ) -> None:
+        spec = ServiceJobSpec.from_dict(msg.get("spec"))
+        record, reattached = self.admit(spec, rerun=bool(msg.get("rerun")))
+        await protocol.write_frame(writer, protocol.ok_reply(
+            job_id=record.job_id, state=record.state,
+            reattached=reattached, position=self.queue_depth(),
+        ))
+
+    def _record_reply(self, record: JobRecord) -> dict[str, Any]:
+        return record.to_dict()
+
+    async def _handle_status(
+        self, msg: dict[str, Any], writer: asyncio.StreamWriter
+    ) -> None:
+        job_id = msg.get("job_id")
+        if job_id is None:
+            records = [self._record_reply(r)
+                       for r in self.state.load_all_records()]
+            await protocol.write_frame(writer, protocol.ok_reply(
+                jobs=records, running=len(self._running),
+                queued=self.queue_depth(), counters=dict(self.counters),
+            ))
+            return
+        record = self.state.load_record(str(job_id))
+        if record is None:
+            await protocol.write_frame(writer, protocol.error_reply(
+                protocol.ERR_NOT_FOUND, f"no such job: {job_id}",
+            ))
+            return
+        await protocol.write_frame(
+            writer, protocol.ok_reply(job=self._record_reply(record))
+        )
+
+    async def _handle_result(
+        self, msg: dict[str, Any], writer: asyncio.StreamWriter
+    ) -> None:
+        job_id = str(msg.get("job_id"))
+        record = self.state.load_record(job_id)
+        if record is None:
+            await protocol.write_frame(writer, protocol.error_reply(
+                protocol.ERR_NOT_FOUND, f"no such job: {job_id}",
+            ))
+            return
+        if not record.finished:
+            await protocol.write_frame(writer, protocol.error_reply(
+                protocol.ERR_NOT_FINISHED,
+                f"job {job_id} is {record.state}; no result yet",
+            ))
+            return
+        report = None
+        if record.state == STATE_DONE:
+            report = json.loads(self.state.read_result(job_id))
+        if not record.result_fetched:
+            record = record.with_(result_fetched=True)
+            self.state.save_record(record)
+        reaped = self.state.reap_checkpoints(self.config.retention)
+        self.counters["reaped"] += len(reaped)
+        await protocol.write_frame(writer, protocol.ok_reply(
+            job=self._record_reply(record), report=report,
+        ))
+
+    async def _handle_cancel(
+        self, msg: dict[str, Any], writer: asyncio.StreamWriter
+    ) -> None:
+        job_id = str(msg.get("job_id"))
+        record = self.state.load_record(job_id)
+        if record is None:
+            await protocol.write_frame(writer, protocol.error_reply(
+                protocol.ERR_NOT_FOUND, f"no such job: {job_id}",
+            ))
+            return
+        if record.finished:
+            await protocol.write_frame(
+                writer, protocol.ok_reply(job=self._record_reply(record))
+            )
+            return
+        running = self._running.get(job_id)
+        if running is not None:
+            running.cancelling = True
+            with contextlib.suppress(ProcessLookupError):
+                running.proc.terminate()
+            await protocol.write_frame(writer, protocol.ok_reply(
+                job=self._record_reply(running.record), cancelling=True,
+            ))
+            return
+        # queued: drop it from the heap lazily
+        self._queued_ids.discard(job_id)
+        record = record.with_(
+            state=STATE_CANCELLED, error="cancelled while queued"
+        )
+        self.counters["cancelled"] += 1
+        self._set_state(record)
+        await protocol.write_frame(
+            writer, protocol.ok_reply(job=self._record_reply(record))
+        )
+
+    async def _handle_watch(
+        self, msg: dict[str, Any], writer: asyncio.StreamWriter
+    ) -> None:
+        """Stream state transitions for one job until it finishes."""
+        job_id = str(msg.get("job_id"))
+        record = self.state.load_record(job_id)
+        if record is None:
+            await protocol.write_frame(writer, protocol.error_reply(
+                protocol.ERR_NOT_FOUND, f"no such job: {job_id}",
+            ))
+            return
+        queue: asyncio.Queue = asyncio.Queue()
+        if not record.finished:
+            self._watchers.setdefault(job_id, []).append(queue)
+        await protocol.write_frame(writer, protocol.ok_reply(
+            event="state", job=self._record_reply(record),
+        ))
+        try:
+            while not record.finished:
+                record = await queue.get()
+                await protocol.write_frame(writer, protocol.ok_reply(
+                    event="state", job=self._record_reply(record),
+                ))
+        finally:
+            watchers = self._watchers.get(job_id)
+            if watchers and queue in watchers:
+                watchers.remove(queue)
+
+    # -- convenience ---------------------------------------------------------
+
+    @property
+    def fault_events(self) -> list:
+        """Service-site fault-log events (for status/tests)."""
+        if self._injector is None:
+            return []
+        return list(self._injector.log.events)
+
+
+async def serve(config: ServiceConfig) -> None:
+    """Run a daemon until SIGTERM/shutdown; the ``repro serve`` body."""
+    service = JobService(config)
+    host, port = await service.start()
+    print(f"repro service listening on {host}:{port} "
+          f"(state dir {config.state_dir})", flush=True)
+    await service.run_until_stopped()
+    print("repro service drained; exiting", flush=True)

@@ -1,0 +1,274 @@
+"""Durable service state: one directory per job, CRC-enveloped records.
+
+The daemon keeps everything it must survive a ``kill -9`` with on disk,
+under its **state dir**:
+
+.. code-block:: text
+
+    state_dir/
+      endpoint.json            # host, port, pid of the live daemon
+      jobs/<job_id>/
+        record.json            # JobRecord (state machine position)
+        spec.json              # the submitted ServiceJobSpec
+        checkpoint/            # the job's JobJournal (crash resume)
+        result.json            # one-shot-identical JSON report (done jobs)
+        runner.log             # the runner subprocess's stdout+stderr
+
+Records use the same CRC-inside-JSON + write-to-temp + ``os.replace``
+envelope as the job journal, so a record is always either the old or the
+new consistent value.  On restart the daemon reloads every record and
+re-queues jobs that were ``queued`` or ``running`` when it died — their
+checkpoints make the re-run resume instead of restart.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import zlib
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Any
+
+from repro.errors import ServiceError
+from repro.service.jobspec import ServiceJobSpec
+
+#: Job lifecycle states.
+STATE_QUEUED = "queued"
+STATE_RUNNING = "running"
+STATE_DONE = "done"
+STATE_FAILED = "failed"
+STATE_CANCELLED = "cancelled"
+
+#: States a job cannot leave.
+TERMINAL_STATES = (STATE_DONE, STATE_FAILED, STATE_CANCELLED)
+
+
+def write_json_crc(path: Path, payload: dict[str, Any]) -> None:
+    """Atomically persist ``payload`` inside a CRC envelope."""
+    encoded = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    envelope = {"crc32": zlib.crc32(encoded.encode()), "payload": payload}
+    tmp = path.with_suffix(path.suffix + ".tmp")
+    with open(tmp, "w") as fh:
+        json.dump(envelope, fh, sort_keys=True)
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, path)
+
+
+def read_json_crc(path: Path) -> dict[str, Any]:
+    """Load a CRC-enveloped JSON file; :class:`ServiceError` on damage."""
+    try:
+        envelope = json.loads(path.read_text())
+    except (OSError, ValueError) as exc:
+        raise ServiceError(f"{path}: unreadable state file: {exc}") from exc
+    payload = envelope.get("payload")
+    encoded = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    if envelope.get("crc32") != zlib.crc32(encoded.encode()):
+        raise ServiceError(f"{path}: state file failed its CRC check")
+    if not isinstance(payload, dict):
+        raise ServiceError(f"{path}: state payload is not an object")
+    return payload
+
+
+@dataclass(frozen=True)
+class JobRecord:
+    """One job's position in the service state machine."""
+
+    job_id: str
+    state: str
+    priority: int = 0
+    #: Admission order within a priority level (FIFO tiebreak).
+    seq: int = 0
+    #: Runner launches so far (1 on the first run; crashes increment).
+    attempts: int = 0
+    #: Runner exit code of the last finished attempt (None while live).
+    exit_code: int | None = None
+    #: Human-readable failure summary (failed jobs).
+    error: str | None = None
+    #: Output digest (done jobs) — identical to the one-shot CLI's.
+    digest: str | None = None
+    #: True when the last attempt resumed journaled work.
+    resumed: bool = False
+    #: Set after the result has been fetched at least once (GC hint).
+    result_fetched: bool = False
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-safe dictionary; :meth:`from_dict` inverts it."""
+        return {
+            "job_id": self.job_id,
+            "state": self.state,
+            "priority": self.priority,
+            "seq": self.seq,
+            "attempts": self.attempts,
+            "exit_code": self.exit_code,
+            "error": self.error,
+            "digest": self.digest,
+            "resumed": self.resumed,
+            "result_fetched": self.result_fetched,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "JobRecord":
+        import dataclasses
+
+        names = {f.name for f in dataclasses.fields(cls)}
+        return cls(**{k: v for k, v in data.items() if k in names})
+
+    def with_(self, **changes: Any) -> "JobRecord":
+        """A copy with ``changes`` applied (records are immutable)."""
+        return replace(self, **changes)
+
+    @property
+    def finished(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+
+@dataclass
+class ServiceState:
+    """Filesystem view of one daemon's durable state."""
+
+    state_dir: Path
+    _specs: dict[str, ServiceJobSpec] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.state_dir = Path(self.state_dir)
+        self.jobs_dir.mkdir(parents=True, exist_ok=True)
+
+    # -- paths --------------------------------------------------------------
+
+    @property
+    def jobs_dir(self) -> Path:
+        return self.state_dir / "jobs"
+
+    @property
+    def endpoint_path(self) -> Path:
+        return self.state_dir / "endpoint.json"
+
+    def job_dir(self, job_id: str) -> Path:
+        """One job's directory under ``jobs/``."""
+        return self.jobs_dir / job_id
+
+    def checkpoint_dir(self, job_id: str) -> Path:
+        """The job's JobJournal directory (crash resume)."""
+        return self.job_dir(job_id) / "checkpoint"
+
+    def spec_path(self, job_id: str) -> Path:
+        """The submitted spec's on-disk path."""
+        return self.job_dir(job_id) / "spec.json"
+
+    def record_path(self, job_id: str) -> Path:
+        """The durable JobRecord's on-disk path."""
+        return self.job_dir(job_id) / "record.json"
+
+    def result_path(self, job_id: str) -> Path:
+        """The stored JSON report's on-disk path (done jobs)."""
+        return self.job_dir(job_id) / "result.json"
+
+    def runner_log_path(self, job_id: str) -> Path:
+        """The runner subprocess log (stdout+stderr, all attempts)."""
+        return self.job_dir(job_id) / "runner.log"
+
+    # -- endpoint -----------------------------------------------------------
+
+    def write_endpoint(self, host: str, port: int) -> None:
+        """Advertise the live daemon's (host, port, pid)."""
+        write_json_crc(
+            self.endpoint_path,
+            {"host": host, "port": port, "pid": os.getpid()},
+        )
+
+    def read_endpoint(self) -> tuple[str, int]:
+        """The advertised (host, port); :class:`ServiceError` if absent."""
+        if not self.endpoint_path.exists():
+            raise ServiceError(
+                f"no service endpoint under {self.state_dir} "
+                "(is the daemon running?)"
+            )
+        data = read_json_crc(self.endpoint_path)
+        return str(data["host"]), int(data["port"])
+
+    def clear_endpoint(self) -> None:
+        """Remove the advertisement (daemon drained or dead)."""
+        self.endpoint_path.unlink(missing_ok=True)
+
+    # -- job records --------------------------------------------------------
+
+    def create_job(self, spec: ServiceJobSpec, record: JobRecord) -> None:
+        """Lay out a new job dir: spec, record, empty checkpoint."""
+        job_dir = self.job_dir(record.job_id)
+        job_dir.mkdir(parents=True, exist_ok=True)
+        self.checkpoint_dir(record.job_id).mkdir(parents=True, exist_ok=True)
+        write_json_crc(self.spec_path(record.job_id), spec.to_dict())
+        self._specs[record.job_id] = spec
+        self.save_record(record)
+
+    def save_record(self, record: JobRecord) -> None:
+        """Durably persist one state-machine transition."""
+        write_json_crc(self.record_path(record.job_id), record.to_dict())
+
+    def load_record(self, job_id: str) -> JobRecord | None:
+        """The job's record, or None when the job is unknown."""
+        path = self.record_path(job_id)
+        if not path.exists():
+            return None
+        return JobRecord.from_dict(read_json_crc(path))
+
+    def load_spec(self, job_id: str) -> ServiceJobSpec:
+        """The job's submitted spec (cached after first read)."""
+        if job_id in self._specs:
+            return self._specs[job_id]
+        spec = ServiceJobSpec.from_dict(read_json_crc(self.spec_path(job_id)))
+        self._specs[job_id] = spec
+        return spec
+
+    def load_all_records(self) -> list[JobRecord]:
+        """Every job record on disk, in admission (``seq``) order."""
+        records = []
+        if not self.jobs_dir.exists():
+            return records
+        for entry in sorted(self.jobs_dir.iterdir()):
+            record = self.load_record(entry.name)
+            if record is not None:
+                records.append(record)
+        records.sort(key=lambda r: r.seq)
+        return records
+
+    def write_result(self, job_id: str, report_json: str) -> None:
+        """Atomically store the one-shot-identical JSON report."""
+        path = self.result_path(job_id)
+        tmp = path.with_suffix(".tmp")
+        tmp.write_text(report_json)
+        os.replace(tmp, path)
+
+    def read_result(self, job_id: str) -> str:
+        """The stored report; :class:`ServiceError` when absent."""
+        path = self.result_path(job_id)
+        if not path.exists():
+            raise ServiceError(f"job {job_id} has no stored result")
+        return path.read_text()
+
+    # -- garbage collection -------------------------------------------------
+
+    def reap_checkpoints(self, retention: int) -> list[str]:
+        """Drop checkpoint dirs of finished, fetched jobs beyond the
+        ``retention`` most recently admitted; returns reaped job ids."""
+        from repro.resilience.journal import JobJournal
+
+        finished = [
+            r for r in self.load_all_records()
+            if r.finished and r.result_fetched
+            and self.checkpoint_dir(r.job_id).exists()
+        ]
+        finished.sort(key=lambda r: r.seq)
+        reaped: list[str] = []
+        excess = len(finished) - max(0, retention)
+        for record in finished[:max(0, excess)]:
+            if JobJournal.purge_dir(self.checkpoint_dir(record.job_id)):
+                # the job's shard exchange dir rides along with the
+                # checkpoint: both only matter to a resumable job
+                shutil.rmtree(self.job_dir(record.job_id) / "shards",
+                              ignore_errors=True)
+                reaped.append(record.job_id)
+        return reaped

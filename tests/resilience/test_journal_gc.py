@@ -1,0 +1,97 @@
+"""Journal garbage collection: purge, stage peeking, and ``repro gc``."""
+
+from __future__ import annotations
+
+from repro.cli import main
+from repro.resilience.journal import (
+    STAGE_COMPLETE,
+    STAGE_MAPPING,
+    JobJournal,
+)
+
+
+def _fresh_journal(directory) -> JobJournal:
+    return JobJournal(directory, fingerprint="fp-test", resume=False)
+
+
+class TestPurge:
+    def test_purge_removes_the_directory(self, tmp_path):
+        ckpt = tmp_path / "ckpt"
+        journal = _fresh_journal(ckpt)
+        assert ckpt.exists()
+        journal.purge()
+        assert not ckpt.exists()
+
+    def test_peek_stage(self, tmp_path):
+        ckpt = tmp_path / "ckpt"
+        journal = _fresh_journal(ckpt)
+        assert JobJournal.peek_stage(ckpt) == STAGE_MAPPING
+        journal.finalize()
+        assert JobJournal.peek_stage(ckpt) == STAGE_COMPLETE
+
+    def test_peek_stage_without_a_journal(self, tmp_path):
+        assert JobJournal.peek_stage(tmp_path / "nope") is None
+        (tmp_path / "empty").mkdir()
+        assert JobJournal.peek_stage(tmp_path / "empty") is None
+
+    def test_peek_stage_on_a_corrupt_journal(self, tmp_path):
+        ckpt = tmp_path / "ckpt"
+        _fresh_journal(ckpt)
+        (ckpt / JobJournal.JOURNAL_NAME).write_text("{} trailing garbage")
+        assert JobJournal.peek_stage(ckpt) is None
+
+    def test_purge_dir_spares_resumable_state(self, tmp_path):
+        ckpt = tmp_path / "ckpt"
+        _fresh_journal(ckpt)  # stage: mapping — an interrupted job
+        assert JobJournal.purge_dir(ckpt, require_complete=True) is False
+        assert ckpt.exists()
+        assert JobJournal.purge_dir(ckpt) is True
+        assert not ckpt.exists()
+
+    def test_purge_dir_collects_complete_journals(self, tmp_path):
+        ckpt = tmp_path / "ckpt"
+        _fresh_journal(ckpt).finalize()
+        assert JobJournal.purge_dir(ckpt, require_complete=True) is True
+        assert not ckpt.exists()
+
+    def test_purge_dir_on_a_missing_directory(self, tmp_path):
+        assert JobJournal.purge_dir(tmp_path / "nope") is False
+
+
+class TestGcCommand:
+    def test_gc_collects_completed_checkpoints(self, text_file, tmp_path,
+                                               capsys):
+        ckpt = tmp_path / "ckpt"
+        assert main(["wordcount", str(text_file), "--chunk-size", "64KB",
+                     "--checkpoint-dir", str(ckpt)]) == 0
+        capsys.readouterr()
+        assert main(["gc", str(ckpt)]) == 0
+        out = capsys.readouterr().out
+        assert "removed" in out
+        assert not ckpt.exists()
+
+    def test_gc_keeps_interrupted_checkpoints_without_force(self, tmp_path,
+                                                            capsys):
+        ckpt = tmp_path / "ckpt"
+        _fresh_journal(ckpt)
+        assert main(["gc", str(ckpt)]) == 0
+        out = capsys.readouterr().out
+        assert "kept" in out
+        assert ckpt.exists()
+
+        assert main(["gc", str(ckpt), "--force"]) == 0
+        out = capsys.readouterr().out
+        assert "removed" in out
+        assert not ckpt.exists()
+
+    def test_gc_mixed_batch(self, tmp_path, capsys):
+        done = tmp_path / "done"
+        live = tmp_path / "live"
+        _fresh_journal(done).finalize()
+        _fresh_journal(live)
+        assert main(["gc", str(done), str(live),
+                     str(tmp_path / "missing")]) == 0
+        out = capsys.readouterr().out
+        assert "gc: 1 removed, 1 kept" in out
+        assert not done.exists()
+        assert live.exists()

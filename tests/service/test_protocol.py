@@ -1,0 +1,219 @@
+"""Framed wire protocol: round-trips, damage rejection, both transports."""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+import struct
+import threading
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.service.protocol import (
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    decode_frame,
+    encode_frame,
+    recv_frame,
+    read_frame,
+    send_frame,
+)
+
+_HEADER_SIZE = 14
+
+
+class TestRoundTrip:
+    def test_json_frame(self):
+        msg = {"type": "submit", "spec": {"app": "wordcount", "n": 3}}
+        assert decode_frame(encode_frame(msg)) == msg
+
+    def test_empty_object(self):
+        assert decode_frame(encode_frame({})) == {}
+
+    def test_unicode_payload(self):
+        msg = {"text": "héllo wörld — ¤"}
+        assert decode_frame(encode_frame(msg)) == msg
+
+    def test_binary_frame(self):
+        blob = bytes(range(256)) * 17
+        out = decode_frame(encode_frame(blob))
+        assert isinstance(out, bytes)
+        assert out == blob
+
+    def test_empty_binary_frame(self):
+        assert decode_frame(encode_frame(b"")) == b""
+
+    def test_json_encoding_is_canonical(self):
+        a = encode_frame({"b": 1, "a": 2})
+        b = encode_frame({"a": 2, "b": 1})
+        assert a == b
+
+
+class TestDamage:
+    def test_truncated_header(self):
+        frame = encode_frame({"x": 1})
+        with pytest.raises(ProtocolError) as exc:
+            decode_frame(frame[:_HEADER_SIZE - 3])
+        assert exc.value.reason == "truncated"
+
+    def test_truncated_payload(self):
+        frame = encode_frame({"x": 1})
+        with pytest.raises(ProtocolError) as exc:
+            decode_frame(frame[:-2])
+        assert exc.value.reason == "truncated"
+
+    def test_corrupt_crc(self):
+        frame = bytearray(encode_frame({"x": 1}))
+        frame[-1] ^= 0xFF
+        with pytest.raises(ProtocolError) as exc:
+            decode_frame(bytes(frame))
+        assert exc.value.reason == "bad-crc"
+
+    def test_bad_magic(self):
+        frame = encode_frame({"x": 1})
+        with pytest.raises(ProtocolError) as exc:
+            decode_frame(b"XXXX" + frame[4:])
+        assert exc.value.reason == "bad-magic"
+
+    def test_version_mismatch(self):
+        header = struct.pack(
+            ">4sBBII", b"RSVC", PROTOCOL_VERSION + 1, 0, 0, 0
+        )
+        with pytest.raises(ProtocolError) as exc:
+            decode_frame(header)
+        assert exc.value.reason == "version"
+
+    def test_unknown_kind(self):
+        header = struct.pack(">4sBBII", b"RSVC", PROTOCOL_VERSION, 7, 0, 0)
+        with pytest.raises(ProtocolError) as exc:
+            decode_frame(header)
+        assert exc.value.reason == "bad-payload"
+
+    def test_oversize_length_field(self):
+        header = struct.pack(
+            ">4sBBII", b"RSVC", PROTOCOL_VERSION, 0, 0, MAX_FRAME_BYTES + 1
+        )
+        with pytest.raises(ProtocolError) as exc:
+            decode_frame(header)
+        assert exc.value.reason == "oversize"
+
+    def test_oversize_payload_refused_at_encode(self):
+        with pytest.raises(ProtocolError) as exc:
+            encode_frame(b"x" * (MAX_FRAME_BYTES + 1))
+        assert exc.value.reason == "oversize"
+
+    def test_non_json_payload(self):
+        import zlib
+
+        body = b"\xff\xfenot json"
+        header = struct.pack(
+            ">4sBBII", b"RSVC", PROTOCOL_VERSION, 0,
+            zlib.crc32(body), len(body),
+        )
+        with pytest.raises(ProtocolError) as exc:
+            decode_frame(header + body)
+        assert exc.value.reason == "bad-payload"
+
+    def test_json_array_payload_rejected(self):
+        import json
+        import zlib
+
+        body = json.dumps([1, 2, 3]).encode()
+        header = struct.pack(
+            ">4sBBII", b"RSVC", PROTOCOL_VERSION, 0,
+            zlib.crc32(body), len(body),
+        )
+        with pytest.raises(ProtocolError) as exc:
+            decode_frame(header + body)
+        assert exc.value.reason == "bad-payload"
+
+
+class TestBlockingSockets:
+    def _pair(self):
+        a, b = socket.socketpair()
+        a.settimeout(5.0)
+        b.settimeout(5.0)
+        return a, b
+
+    def test_send_recv_round_trip(self):
+        a, b = self._pair()
+        try:
+            send_frame(a, {"hello": "world"})
+            send_frame(a, b"\x00\x01binary")
+            assert recv_frame(b) == {"hello": "world"}
+            assert recv_frame(b) == b"\x00\x01binary"
+        finally:
+            a.close()
+            b.close()
+
+    def test_clean_close_between_frames_is_eof(self):
+        a, b = self._pair()
+        try:
+            send_frame(a, {"one": 1})
+            a.close()
+            assert recv_frame(b) == {"one": 1}
+            with pytest.raises(EOFError):
+                recv_frame(b)
+        finally:
+            b.close()
+
+    def test_close_mid_frame_is_truncated(self):
+        a, b = self._pair()
+        try:
+            frame = encode_frame({"big": "x" * 1000})
+            a.sendall(frame[: len(frame) // 2])
+            a.close()
+            with pytest.raises(ProtocolError) as exc:
+                recv_frame(b)
+            assert exc.value.reason == "truncated"
+        finally:
+            b.close()
+
+    def test_large_frame_crosses_recv_chunks(self):
+        blob = b"z" * 300_000
+        a, b = self._pair()
+        try:
+            sender = threading.Thread(target=send_frame, args=(a, blob))
+            sender.start()
+            assert recv_frame(b) == blob
+            sender.join(timeout=5.0)
+        finally:
+            a.close()
+            b.close()
+
+
+class TestAsyncioStreams:
+    def _read(self, data: bytes, eof: bool = True):
+        async def scenario():
+            reader = asyncio.StreamReader()
+            reader.feed_data(data)
+            if eof:
+                reader.feed_eof()
+            return await read_frame(reader)
+
+        return asyncio.run(scenario())
+
+    def test_read_frame_round_trip(self):
+        assert self._read(encode_frame({"a": [1, 2]})) == {"a": [1, 2]}
+
+    def test_eof_between_frames(self):
+        with pytest.raises(EOFError):
+            self._read(b"")
+
+    def test_eof_mid_header(self):
+        with pytest.raises(ProtocolError) as exc:
+            self._read(encode_frame({"a": 1})[:5])
+        assert exc.value.reason == "truncated"
+
+    def test_eof_mid_payload(self):
+        with pytest.raises(ProtocolError) as exc:
+            self._read(encode_frame({"a": 1})[:-1])
+        assert exc.value.reason == "truncated"
+
+    def test_corrupt_crc_over_stream(self):
+        frame = bytearray(encode_frame({"a": 1}))
+        frame[-1] ^= 0x01
+        with pytest.raises(ProtocolError) as exc:
+            self._read(bytes(frame))
+        assert exc.value.reason == "bad-crc"

@@ -127,3 +127,51 @@ class TestExperimentsCommand:
         out = capsys.readouterr().out
         assert "fig6" in out
         assert (tmp_path / "fig6_supmr.csv").exists()
+
+
+class TestExitCodes:
+    """The shared exit-code contract (repro.exitcodes): scripts branch on
+    2 = usage, 3 = fault budget exhausted, 4 = deadline expired — for
+    one-shot runs and (over the service) ``repro submit --wait`` alike."""
+
+    def test_usage_error_is_2(self, text_file, capsys):
+        from repro.exitcodes import EXIT_USAGE
+
+        rc = main(["wordcount", str(text_file), "--chunk-size", "banana"])
+        assert rc == EXIT_USAGE
+        assert "error:" in capsys.readouterr().err
+
+    def test_unknown_fault_site_is_2(self, text_file, capsys):
+        from repro.exitcodes import EXIT_USAGE
+
+        rc = main(["wordcount", str(text_file), "--faults", "warp.core"])
+        assert rc == EXIT_USAGE
+        assert "unknown fault site" in capsys.readouterr().err
+
+    def test_retry_exhaustion_is_3(self, text_file, capsys):
+        from repro.exitcodes import EXIT_FAULTS
+
+        # every ingest read fails (probability 1), so the retry budget
+        # can never absorb the fault
+        rc = main(["wordcount", str(text_file), "--chunk-size", "32KB",
+                   "--faults", "ingest.read", "--retry", "1"])
+        assert rc == EXIT_FAULTS
+        assert "attempt(s) failed" in capsys.readouterr().err
+
+    def test_deadline_expiry_is_4(self, text_file, capsys):
+        from repro.exitcodes import EXIT_DEADLINE
+
+        rc = main(["wordcount", str(text_file), "--chunk-size", "32KB",
+                   "--job-deadline", "0.000001", "--json"])
+        assert rc == EXIT_DEADLINE
+        import json
+
+        data = json.loads(capsys.readouterr().out)
+        assert data["counters"]["deadline_expired"] == 1
+
+    def test_absorbed_faults_still_exit_0(self, text_file, capsys):
+        from repro.exitcodes import EXIT_OK
+
+        rc = main(["wordcount", str(text_file), "--chunk-size", "32KB",
+                   "--faults", "ingest.read=once", "--retry", "3"])
+        assert rc == EXIT_OK
