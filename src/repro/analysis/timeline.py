@@ -112,6 +112,30 @@ def render_supervision_summary(counters: Mapping[str, object]) -> str:
     return "supervision: " + " ".join(parts)
 
 
+def render_qos_summary(counters: Mapping[str, object]) -> str:
+    """One-line summary of bandwidth-throttle counters, or ``""``.
+
+    Rendered by ``--timeline`` alongside the supervision summary when a
+    run carried an I/O budget: the metered byte count, the number of
+    token-bucket waits and their total stall time, plus any injected
+    ``qos.throttle.stall`` faults.  Unthrottled runs (no
+    ``io_budget_bps`` counter) render nothing.
+    """
+    rate = counters.get("io_budget_bps")
+    if not rate:
+        return ""
+    parts = [
+        f"tenant={counters.get('tenant', 'default')}",
+        f"rate={rate}B/s",
+        f"metered={counters.get('throttle_bytes', 0)}B",
+        f"waits={counters.get('throttle_waits', 0)}",
+        f"wait_s={counters.get('throttle_wait_s', 0.0)}",
+    ]
+    if counters.get("throttle_stalls"):
+        parts.append(f"stalls={counters['throttle_stalls']}")
+    return "qos: " + " ".join(parts)
+
+
 def overlap_fraction(rounds: Sequence[RoundTiming]) -> float:
     """Fraction of total map time hidden under ingest, in [0, 1].
 

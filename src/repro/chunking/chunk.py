@@ -21,6 +21,7 @@ from repro.io.datafile import read_slice
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.faults.injector import FaultInjector
+    from repro.qos.throttle import TokenBucket
 
 
 @dataclass(frozen=True)
@@ -55,6 +56,7 @@ class Chunk:
         self,
         injector: "FaultInjector | None" = None,
         attempt: int = 0,
+        throttle: "TokenBucket | None" = None,
     ) -> "bytes | bytearray":
         """Read the chunk into memory (the ingest-phase work).
 
@@ -62,6 +64,11 @@ class Chunk:
         ``ingest.read`` fault site: injected errors propagate and
         injected short reads are detected against the planned chunk
         length, so the runtime's bounded retry re-loads the whole chunk.
+
+        With a ``throttle`` (:class:`repro.qos.throttle.TokenBucket`)
+        the chunk's bytes are charged against the job's I/O budget
+        before they are read — the ingest half of bandwidth isolation.
+        Retries re-charge, because a retry re-reads the bytes.
 
         The fault-free paths avoid ``read_slice``'s seek+read+concat
         copy chain: single-source chunks slice one copy straight out of
@@ -71,6 +78,8 @@ class Chunk:
         ``ingest.read`` fault site lives.
         """
         if injector is None:
+            if throttle is not None:
+                throttle.acquire(self.length)
             if len(self.sources) == 1:
                 return self._load_single_mmap(self.sources[0])
             return self._load_multi_readinto()
@@ -78,6 +87,7 @@ class Chunk:
             read_slice(
                 src.path, src.offset, src.length,
                 injector=injector, scope=(self.index, i), attempt=attempt,
+                throttle=throttle,
             )
             for i, src in enumerate(self.sources)
         ]
@@ -137,14 +147,21 @@ class Chunk:
             del buf[filled:]
         return buf
 
-    def warm(self, buffer_size: int = 1 << 20) -> int:
+    def warm(
+        self,
+        buffer_size: int = 1 << 20,
+        throttle: "TokenBucket | None" = None,
+    ) -> int:
         """Touch every source byte so it lands in the page cache.
 
         The process backend's ingest phase: the pipeline's background
         loader warms the chunk instead of materializing it, and the
         forked mappers then fault their split windows in from cache.
-        Returns the number of bytes touched.
+        Returns the number of bytes touched.  A ``throttle`` charges the
+        chunk's bytes up front, same as :meth:`load`.
         """
+        if throttle is not None:
+            throttle.acquire(self.length)
         scratch = bytearray(buffer_size)
         view = memoryview(scratch)
         touched = 0

@@ -75,6 +75,13 @@ def _print_result(result: JobResult) -> None:
               f"partition(s) reassigned, "
               f"{result.counters.get('exchange_refetches', 0)} "
               f"exchange refetch(es)")
+    if result.counters.get("io_budget_bps"):
+        c = result.counters
+        print(f"  qos:    tenant {c.get('tenant', 'default')!r} throttled at "
+              f"{fmt_bytes(int(c['io_budget_bps']))}/s; "
+              f"{fmt_bytes(int(c.get('throttle_bytes', 0)))} metered, "
+              f"{c.get('throttle_waits', 0)} wait(s) totalling "
+              f"{fmt_seconds(float(c.get('throttle_wait_s', 0.0)))}")
     if result.counters.get("resumed"):
         print(f"  resume: restored {result.counters.get('resumed_rounds', 0)} "
               "completed round(s) from the checkpoint")
@@ -131,6 +138,7 @@ def _maybe_timeline(args: argparse.Namespace, result: JobResult) -> None:
         return
     from repro.analysis.timeline import (
         overlap_fraction,
+        render_qos_summary,
         render_round_timeline,
         render_supervision_summary,
     )
@@ -143,6 +151,9 @@ def _maybe_timeline(args: argparse.Namespace, result: JobResult) -> None:
     summary = render_supervision_summary(result.counters)
     if summary:
         print(summary)
+    qos_line = render_qos_summary(result.counters)
+    if qos_line:
+        print(qos_line)
 
 
 def _cmd_wordcount(args: argparse.Namespace) -> int:
@@ -350,6 +361,19 @@ def build_parser() -> argparse.ArgumentParser:
                        help="working directory for shard pid files and "
                             "exchanged run files (default: a private "
                             "temporary directory)")
+        p.add_argument("--io-budget", metavar="RATE",
+                       help="token-bucket I/O bandwidth cap in bytes/s, "
+                            "e.g. 64MB; throttles ingest reads and spill "
+                            "writes (default: unthrottled)")
+        p.add_argument("--io-burst", metavar="SIZE",
+                       help="token-bucket burst capacity in bytes "
+                            "(default: one second's worth of --io-budget)")
+        p.add_argument("--tenant", default="default",
+                       help="tenant the job is accounted to (QoS counters, "
+                            "per-tenant service budgets)")
+        p.add_argument("--io-priority", type=int, default=0,
+                       help="bandwidth priority class for priority-aware "
+                            "QoS policies (higher gets bandwidth first)")
 
     p_wc = sub.add_parser("wordcount", help="run word count on real files")
     p_wc.add_argument("files", nargs="+")
@@ -413,6 +437,33 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--job-timeout", type=float, default=None,
                          metavar="SECONDS",
                          help="hard wall-clock cap per runner attempt")
+    p_serve.add_argument("--node-bandwidth", metavar="RATE",
+                         help="aggregate node I/O bandwidth in bytes/s, "
+                              "e.g. 200MB; enables dispatch-time fair-share "
+                              "assignment and overload shedding")
+    p_serve.add_argument("--qos-policy", default="max-min",
+                         choices=("fair-share", "max-min", "priority"),
+                         help="bandwidth allocation policy used at dispatch "
+                              "(default max-min water-filling)")
+    p_serve.add_argument("--tenant-budget", metavar="SIZE",
+                         help="per-tenant cap on the sum of admitted memory "
+                              "budgets; past it submissions are rejected "
+                              "with tenant-budget-exceeded")
+    p_serve.add_argument("--tenant-jobs", type=int, default=None,
+                         metavar="N",
+                         help="per-tenant cap on queued+running jobs")
+    p_serve.add_argument("--default-job-budget", metavar="SIZE",
+                         help="memory budget charged to jobs that declare "
+                              "none (default: such jobs are rejected when "
+                              "--service-budget is set)")
+    p_serve.add_argument("--aging-every", type=int, default=None,
+                         metavar="N",
+                         help="bump a waiting job's effective priority "
+                              "every N dispatches (starvation bound)")
+    p_serve.add_argument("--shed-factor", type=float, default=None,
+                         help="shed new work once declared I/O demand "
+                              "exceeds this multiple of --node-bandwidth "
+                              "(default 2.0)")
     p_serve.add_argument("--faults",
                          help="service-site fault plan, e.g. "
                               "'service.conn.drop=0.2,service.job.crash=once'")

@@ -53,6 +53,7 @@ def build_container(
     options: RuntimeOptions,
     injector: FaultInjector | None = None,
     spill_dir: "str | None" = None,
+    throttle: "Any | None" = None,
 ) -> tuple[Container, SpillManager | None]:
     """The job's intermediate container, budget-wrapped when configured.
 
@@ -63,7 +64,9 @@ def build_container(
     until then).  An armed ``injector`` gives the spill manager its
     ``spill.corrupt`` site and the verify-then-re-spill recovery path.
     ``spill_dir`` pins the run directory (checkpointed jobs put it inside
-    the journal directory so sealed runs survive a crash).
+    the journal directory so sealed runs survive a crash).  A
+    ``throttle`` (:class:`repro.qos.throttle.TokenBucket`) meters spill
+    run writes against the job's I/O budget.
     """
     if options.memory_budget is None:
         return job.container_factory(), None
@@ -73,6 +76,7 @@ def build_container(
         combiner=job.spill_combiner,
         merge_fan_in=options.spill_merge_fan_in,
         injector=injector,
+        throttle=throttle,
     )
     return SpillableContainer(job.container_factory, manager), manager
 

@@ -118,6 +118,20 @@ class RuntimeOptions:
     #: pid files).  None lets the coordinator create and clean up a
     #: temporary directory.
     shard_dir: str | None = None
+    #: I/O bandwidth budget in bytes/second ("64MB" accepted); when set,
+    #: the runtime meters ingest reads and spill writes through a token
+    #: bucket (:mod:`repro.qos.throttle`) so concurrent tenants share
+    #: the node's disk bandwidth at their assigned rates.  None (the
+    #: default) runs unthrottled with zero QoS overhead.
+    io_budget: int | str | None = None
+    #: Token-bucket burst allowance in bytes; None defaults to one
+    #: second of tokens at ``io_budget``.
+    io_burst: int | str | None = None
+    #: Tenant label for multi-tenant accounting (service-side budgets,
+    #: per-tenant counters, fault-site scoping).
+    tenant: str = "default"
+    #: Bandwidth priority class fed to priority-aware allocators.
+    io_priority: int = 0
 
     def __post_init__(self) -> None:
         object.__setattr__(
@@ -174,6 +188,20 @@ class RuntimeOptions:
                     f"chunk ({largest_chunk} B); a budget smaller than a "
                     "single chunk spills on every mapper wave"
                 )
+        if self.io_budget is not None:
+            io_budget = parse_size(self.io_budget)
+            if io_budget < 1:
+                raise ConfigError("io_budget must be >= 1 byte/second")
+            object.__setattr__(self, "io_budget", io_budget)
+        if self.io_burst is not None:
+            if self.io_budget is None:
+                raise ConfigError("io_burst requires io_budget")
+            io_burst = parse_size(self.io_burst)
+            if io_burst < 1:
+                raise ConfigError("io_burst must be >= 1 byte")
+            object.__setattr__(self, "io_burst", io_burst)
+        if not self.tenant:
+            raise ConfigError("tenant must be a non-empty string")
 
     @property
     def effective_merge_parallelism(self) -> int:

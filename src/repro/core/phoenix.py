@@ -32,6 +32,7 @@ from repro.errors import ConfigError, DeadlineExceeded
 from repro.faults.log import ACTION_DEGRADED
 from repro.faults.plan import SITE_INGEST_READ
 from repro.parallel.backends import make_pool
+from repro.qos.throttle import bucket_from_options
 from repro.resilience.degrade import Deadline, run_with_degradation
 from repro.resilience.journal import STAGE_REDUCED, JobJournal, job_fingerprint
 from repro.util.logging import get_logger
@@ -77,9 +78,11 @@ class PhoenixRuntime:
                 job_fingerprint(job, options),
                 resume=options.resume,
             )
+        throttle = bucket_from_options(options, injector)
         container, spill_mgr = build_container(
             job, options, injector,
             spill_dir=str(journal.spill_dir) if journal is not None else None,
+            throttle=throttle,
         )
         plan = plan_whole_input(job.inputs)
         whole = plan.chunks[0]
@@ -100,13 +103,15 @@ class PhoenixRuntime:
                     if not resume_at_reduced:
                         try:
                             deadline.check("ingest")
-                            if injector is None:
+                            if injector is None and throttle is None:
                                 data = whole.load()
+                            elif injector is None:
+                                data = whole.load(throttle=throttle)
                             else:
                                 data = injector.retrying(
                                     SITE_INGEST_READ,
                                     lambda attempt: whole.load(
-                                        injector, attempt
+                                        injector, attempt, throttle=throttle
                                     ),
                                     scope=(whole.index,),
                                 )
@@ -183,6 +188,9 @@ class PhoenixRuntime:
         if spill_stats is not None:
             counters["spill_runs"] = spill_stats.runs
             counters["spilled_bytes"] = spill_stats.spilled_bytes
+        if throttle is not None:
+            counters["tenant"] = options.tenant
+            counters.update(throttle.counters())
         fault_log = injector.log if injector is not None else None
         if fault_log is not None:
             counters["faults_injected"] = fault_log.injected

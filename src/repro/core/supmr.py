@@ -39,6 +39,7 @@ from repro.faults.plan import SITE_INGEST_READ
 from repro.parallel.backends import ExecutorBackend, make_pool
 from repro.parallel.splits import ChunkHandle
 from repro.pipeline.double_buffer import DoubleBufferedPipeline
+from repro.qos.throttle import bucket_from_options
 from repro.resilience.degrade import Deadline, run_with_degradation
 from repro.resilience.journal import STAGE_REDUCED, JobJournal, job_fingerprint
 from repro.util.logging import get_logger
@@ -88,9 +89,11 @@ class SupMRRuntime:
                 job_fingerprint(job, options),
                 resume=options.resume,
             )
+        throttle = bucket_from_options(options, injector)
         container, spill_mgr = build_container(
             job, options, injector,
             spill_dir=str(journal.spill_dir) if journal is not None else None,
+            throttle=throttle,
         )
         plan: ChunkPlan = plan_chunks(job.inputs, job.codec, options)
         task_counter = [0]
@@ -99,7 +102,7 @@ class SupMRRuntime:
         deadline_hit = False
 
         def load(chunk: Chunk) -> "bytes | bytearray | ChunkHandle":
-            if injector is None:
+            if injector is None and throttle is None:
                 if options.executor_backend is ExecutorBackend.PROCESS:
                     # Zero-copy ingest: the parent never materializes the
                     # chunk.  Warming pages it into the OS cache (that IS
@@ -108,11 +111,16 @@ class SupMRRuntime:
                     chunk.warm()
                     return ChunkHandle(chunk)
                 return chunk.load()
+            if injector is None:
+                if options.executor_backend is ExecutorBackend.PROCESS:
+                    chunk.warm(throttle=throttle)
+                    return ChunkHandle(chunk)
+                return chunk.load(throttle=throttle)
             # The whole chunk is the retry unit: an injected read error or
             # detected short read discards the partial buffer and re-loads.
             return injector.retrying(
                 SITE_INGEST_READ,
-                lambda attempt: chunk.load(injector, attempt),
+                lambda attempt: chunk.load(injector, attempt, throttle=throttle),
                 scope=(chunk.index,),
             )
 
@@ -270,6 +278,9 @@ class SupMRRuntime:
         if spill_stats is not None:
             counters["spill_runs"] = spill_stats.runs
             counters["spilled_bytes"] = spill_stats.spilled_bytes
+        if throttle is not None:
+            counters["tenant"] = options.tenant
+            counters.update(throttle.counters())
         fault_log = injector.log if injector is not None else None
         if fault_log is not None:
             counters["faults_injected"] = fault_log.injected

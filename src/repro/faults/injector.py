@@ -30,6 +30,7 @@ from repro.faults.log import (
 )
 from repro.faults.plan import FaultDecision, FaultPlan
 from repro.faults.policy import DEFAULT_RETRYABLE, RecoveryPolicy
+from repro.util.backoff import exponential_jitter
 
 T = TypeVar("T")
 
@@ -173,7 +174,13 @@ class FaultInjector:
                         site=site,
                         attempts=attempt + 1,
                     ) from exc
-                delay = self.policy.backoff_s(attempt)
+                delay = exponential_jitter(
+                    attempt,
+                    base=self.policy.backoff_base_s,
+                    cap=self.policy.backoff_max_s,
+                    seed=self.plan.seed,
+                    factor=self.policy.backoff_factor,
+                )
                 self.log.record(
                     site, ACTION_RETRIED,
                     f"attempt {attempt + 1} failed ({exc}); "

@@ -37,9 +37,11 @@ SITE_TASK_HANG = "task.hang"            # resilience.supervisor (lease expiry)
 SITE_SHARD_WORKER_LOSS = "shard.worker_loss"        # shard.coordinator
 SITE_SHARD_EXCHANGE_CORRUPT = "shard.exchange_corrupt"  # shard.exchange
 SITE_SHARD_STRAGGLER = "shard.straggler"            # shard.coordinator
+SITE_QOS_THROTTLE_STALL = "qos.throttle.stall"      # qos.throttle buckets
 # Service-daemon sites (checked by repro.service):
 SITE_SERVICE_CONN_DROP = "service.conn.drop"   # service.server connections
 SITE_SERVICE_JOB_CRASH = "service.job.crash"   # service runner processes
+SITE_QOS_TENANT_SURGE = "qos.tenant.surge"     # service.server admission
 # Simulated-hardware sites (applied by faults.simdriver / simrt):
 SITE_SIM_DISK_SLOW = "sim.disk.slow"
 SITE_SIM_DISK_FAIL = "sim.disk.fail"
@@ -52,9 +54,10 @@ RUNTIME_SITES = (
     SITE_INGEST_READ, SITE_RECORD_CORRUPT, SITE_MAP_TASK, SITE_SPILL_CORRUPT,
     SITE_WORKER_CRASH, SITE_TASK_HANG,
     SITE_SHARD_WORKER_LOSS, SITE_SHARD_EXCHANGE_CORRUPT, SITE_SHARD_STRAGGLER,
+    SITE_QOS_THROTTLE_STALL,
 )
 SERVICE_SITES = (
-    SITE_SERVICE_CONN_DROP, SITE_SERVICE_JOB_CRASH,
+    SITE_SERVICE_CONN_DROP, SITE_SERVICE_JOB_CRASH, SITE_QOS_TENANT_SURGE,
 )
 SIM_SITES = (
     SITE_SIM_DISK_SLOW, SITE_SIM_DISK_FAIL, SITE_SIM_DATANODE_LOSS,

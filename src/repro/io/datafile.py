@@ -19,6 +19,7 @@ from repro.errors import FaultInjected, WorkloadError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.faults.injector import FaultInjector
+    from repro.qos.throttle import TokenBucket
 
 
 def read_slice(
@@ -29,15 +30,20 @@ def read_slice(
     injector: "FaultInjector | None" = None,
     scope: Hashable = (),
     attempt: int = 0,
+    throttle: "TokenBucket | None" = None,
 ) -> bytes:
     """Read ``length`` bytes of ``path`` starting at ``offset``.
 
     Short reads past EOF return what exists; a negative slice raises.
     ``injector``/``scope``/``attempt`` arm the ``ingest.read`` fault site
-    (see module docstring); production reads pass none of them.
+    (see module docstring); production reads pass none of them.  A
+    ``throttle`` charges the requested bytes against the job's I/O
+    budget before the read happens.
     """
     if offset < 0 or length < 0:
         raise WorkloadError(f"invalid slice [{offset}, +{length}) of {path}")
+    if throttle is not None:
+        throttle.acquire(length)
     decision = None
     if injector is not None:
         from repro.faults.plan import KIND_SHORT, SITE_INGEST_READ

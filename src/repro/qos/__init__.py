@@ -1,0 +1,42 @@
+"""Multi-tenant QoS: bandwidth allocators, token-bucket throttling,
+and the weighted-fair job queue.
+
+The paper's thesis is that disk and memory *bandwidth* — not CPU — is
+the scarce resource on a scale-up node.  Once the job service runs many
+concurrent jobs on one box, that bandwidth is contended across tenants;
+this package is the arbitration layer:
+
+* :mod:`repro.qos.allocator` — deterministic, unit-conserving bandwidth
+  allocation policies (:class:`FairShare`, :class:`MaxMinFairShare`,
+  :class:`PriorityLevels`) shared by the simulator's fluid-flow disk
+  model and the service's dispatch-time share assignment;
+* :mod:`repro.qos.throttle` — the real enforcement mechanism: a
+  monotonic-clock :class:`TokenBucket` wired into the runtimes' hot I/O
+  edges (chunk ingest reads, spill run writes), plus per-tenant bucket
+  registries fed by an allocator's current shares;
+* :mod:`repro.qos.scheduling` — the service's weighted-fair queue with
+  priority aging, replacing the single priority heap so no tenant and
+  no priority class can starve.
+"""
+
+from repro.qos.allocator import (
+    BandwidthAllocator,
+    FairShare,
+    MaxMinFairShare,
+    PriorityLevels,
+    make_allocator,
+)
+from repro.qos.scheduling import QueueEntry, WeightedFairQueue
+from repro.qos.throttle import TenantBuckets, TokenBucket
+
+__all__ = [
+    "BandwidthAllocator",
+    "FairShare",
+    "MaxMinFairShare",
+    "PriorityLevels",
+    "make_allocator",
+    "QueueEntry",
+    "WeightedFairQueue",
+    "TenantBuckets",
+    "TokenBucket",
+]

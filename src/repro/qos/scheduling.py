@@ -1,0 +1,137 @@
+"""Weighted-fair job queueing with priority aging.
+
+The service's replacement for its original single priority heap.  Two
+fairness mechanisms compose:
+
+* **Across tenants** — virtual-time weighted fair queueing: each tenant
+  advances a virtual clock by ``1/weight`` per dispatched job, and the
+  tenant with the smallest clock goes next.  A tenant that floods the
+  queue only advances its own clock, so an interactive tenant's next job
+  is never more than one round behind regardless of backlog depth.
+* **Within a tenant** — priority ordering (higher first, FIFO within a
+  level) softened by aging: a queued job's effective priority rises by
+  one for every ``aging_every`` dispatches it sits through, so a
+  low-priority class is delayed by a *bounded* number of higher-priority
+  dispatches instead of starving forever.
+
+Determinism: ties break on tenant name and admission sequence number —
+no clocks, no randomness — so a queue replayed from the same admissions
+pops in the same order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+
+#: Default dispatches-per-priority-step for aging (0 disables aging).
+DEFAULT_AGING_EVERY = 8
+
+
+@dataclass
+class QueueEntry:
+    """One queued job: identity plus everything ordering needs."""
+
+    job_id: str
+    tenant: str = "default"
+    priority: int = 0
+    seq: int = 0
+    #: Global dispatch count at enqueue time (the aging baseline).
+    enqueued_at_pop: int = field(default=0, compare=False)
+
+
+class WeightedFairQueue:
+    """Virtual-time WFQ across tenants, aged priorities within each."""
+
+    def __init__(
+        self,
+        aging_every: int = DEFAULT_AGING_EVERY,
+        weights: "dict[str, float] | None" = None,
+    ) -> None:
+        if aging_every < 0:
+            raise ConfigError("aging_every must be >= 0 (0 disables aging)")
+        self.aging_every = aging_every
+        self._weights = dict(weights or {})
+        self._queues: dict[str, list[QueueEntry]] = {}
+        self._vtime: dict[str, float] = {}
+        #: Virtual clock of the most recent dispatch — newly active
+        #: tenants start here, not at zero, so a latecomer cannot claim
+        #: an unbounded backlog of "owed" service.
+        self._clock_v = 0.0
+        self._pops = 0
+        #: Dispatches whose winner outran its nominal priority via aging.
+        self.aged = 0
+
+    # -- inspection --------------------------------------------------------
+
+    def __len__(self) -> int:
+        return sum(len(q) for q in self._queues.values())
+
+    def depth(self, tenant: "str | None" = None) -> int:
+        """Queued jobs for one tenant, or in total when ``tenant`` is None."""
+        if tenant is None:
+            return len(self)
+        return len(self._queues.get(tenant, ()))
+
+    def tenants(self) -> dict[str, int]:
+        """Queued-job count per tenant with a non-empty queue."""
+        return {t: len(q) for t, q in self._queues.items() if q}
+
+    def weight(self, tenant: str) -> float:
+        """The tenant's fair-share weight (1.0 unless configured)."""
+        return self._weights.get(tenant, 1.0)
+
+    # -- mutation ----------------------------------------------------------
+
+    def push(self, entry: QueueEntry) -> None:
+        """Enqueue one job under its tenant."""
+        queue = self._queues.setdefault(entry.tenant, [])
+        if not queue:
+            # (re)activation: pick the virtual clock up from "now"
+            self._vtime[entry.tenant] = max(
+                self._vtime.get(entry.tenant, 0.0), self._clock_v
+            )
+        entry.enqueued_at_pop = self._pops
+        queue.append(entry)
+
+    def remove(self, job_id: str) -> bool:
+        """Drop one queued job by id (cancellation); True when found."""
+        for queue in self._queues.values():
+            for i, entry in enumerate(queue):
+                if entry.job_id == job_id:
+                    del queue[i]
+                    return True
+        return False
+
+    def _effective_priority(self, entry: QueueEntry) -> int:
+        if not self.aging_every:
+            return entry.priority
+        waited = self._pops - entry.enqueued_at_pop
+        return entry.priority + waited // self.aging_every
+
+    def pop(self) -> "QueueEntry | None":
+        """Dispatch the next job (None when empty)."""
+        active = sorted(
+            (t for t, q in self._queues.items() if q),
+            key=lambda t: (self._vtime.get(t, 0.0), t),
+        )
+        if not active:
+            return None
+        tenant = active[0]
+        queue = self._queues[tenant]
+        best = max(
+            range(len(queue)),
+            key=lambda i: (
+                self._effective_priority(queue[i]), -queue[i].seq
+            ),
+        )
+        entry = queue.pop(best)
+        if self._effective_priority(entry) > entry.priority:
+            self.aged += 1
+        self._pops += 1
+        self._vtime[tenant] = (
+            self._vtime.get(tenant, 0.0) + 1.0 / self.weight(tenant)
+        )
+        self._clock_v = self._vtime[tenant]
+        return entry

@@ -31,6 +31,11 @@ def cmd_serve(args: argparse.Namespace) -> int:
         from repro.faults import parse_faults
 
         fault_plan = parse_faults(args.faults, seed=args.fault_seed)
+    extra: dict = {}
+    if getattr(args, "aging_every", None) is not None:
+        extra["aging_every"] = args.aging_every
+    if getattr(args, "shed_factor", None) is not None:
+        extra["shed_factor"] = args.shed_factor
     config = ServiceConfig(
         state_dir=args.state_dir,
         host=args.host,
@@ -42,6 +47,12 @@ def cmd_serve(args: argparse.Namespace) -> int:
         max_attempts=args.max_attempts,
         job_timeout_s=args.job_timeout,
         fault_plan=fault_plan,
+        node_bandwidth=getattr(args, "node_bandwidth", None),
+        qos_policy=getattr(args, "qos_policy", "max-min"),
+        tenant_budget=getattr(args, "tenant_budget", None),
+        tenant_max_concurrent=getattr(args, "tenant_jobs", None),
+        default_job_budget=getattr(args, "default_job_budget", None),
+        **extra,
     )
     asyncio.run(serve(config))
     return EXIT_OK
@@ -76,6 +87,9 @@ def spec_from_args(args: argparse.Namespace) -> ServiceJobSpec:
         shards=getattr(args, "shards", None),
         priority=getattr(args, "priority", 0),
         tag=getattr(args, "tag", ""),
+        tenant=getattr(args, "tenant", "default") or "default",
+        io_budget=getattr(args, "io_budget", None),
+        io_priority=getattr(args, "io_priority", 0),
     )
 
 
@@ -126,6 +140,20 @@ def cmd_status(args: argparse.Namespace) -> int:
     jobs = reply.get("jobs", [])
     print(f"service: {reply.get('running', 0)} running, "
           f"{reply.get('queued', 0)} queued, {len(jobs)} known job(s)")
+    qos = reply.get("counters") or {}
+    tenants = reply.get("tenants") or {}
+    if qos.get("shed") or qos.get("tenant_rejected") or qos.get("aged") \
+            or reply.get("io_assigned_bps") or tenants:
+        print(f"qos: {reply.get('io_assigned_bps', 0)} B/s assigned; "
+              f"{qos.get('shed', 0)} shed, "
+              f"{qos.get('tenant_rejected', 0)} tenant-rejected, "
+              f"{qos.get('aged', 0)} aged dispatch(es)")
+        for name in sorted(tenants):
+            t = tenants[name]
+            print(f"  tenant {name}: {t.get('queued', 0)} queued, "
+                  f"{int(t.get('jobs', 0))} finished, "
+                  f"{int(t.get('throttle_bytes', 0))} B metered, "
+                  f"{t.get('throttle_wait_s', 0.0):.3f}s throttled")
     for job in jobs:
         marks = []
         if job.get("digest"):

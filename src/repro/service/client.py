@@ -30,11 +30,14 @@ from repro.errors import (
 from repro.service import protocol
 from repro.service.jobspec import ServiceJobSpec
 from repro.service.state import JobRecord, ServiceState
+from repro.util.backoff import exponential_jitter
 
 #: Error codes that map to AdmissionError.
 _ADMISSION_CODES = (
     protocol.ERR_QUEUE_FULL,
     protocol.ERR_BUDGET_EXCEEDED,
+    protocol.ERR_TENANT_BUDGET,
+    protocol.ERR_OVERLOADED,
     protocol.ERR_DRAINING,
 )
 
@@ -49,12 +52,28 @@ class ServiceClient:
         timeout_s: float = 30.0,
         max_retries: int = 3,
         retry_delay_s: float = 0.05,
+        retry_seed: int = 0,
     ) -> None:
         self.host = host
         self.port = port
         self.timeout_s = timeout_s
         self.max_retries = max_retries
         self.retry_delay_s = retry_delay_s
+        self.retry_seed = retry_seed
+
+    def _backoff(self, attempt: int) -> float:
+        """Seeded exponential backoff with jitter for retry ``attempt``.
+
+        Jitter decorrelates a fleet of clients that all saw the same
+        drop (no thundering-herd reconnect); the seed keeps each
+        client's delays reproducible under test.
+        """
+        return exponential_jitter(
+            attempt,
+            base=self.retry_delay_s,
+            cap=self.retry_delay_s * 8,
+            seed=self.retry_seed,
+        )
 
     @classmethod
     def from_state_dir(cls, state_dir: "str | Path", **kw: Any) -> "ServiceClient":
@@ -80,7 +99,7 @@ class ServiceClient:
         last: Exception | None = None
         for attempt in range(self.max_retries + 1):
             if attempt:
-                time.sleep(self.retry_delay_s * attempt)
+                time.sleep(self._backoff(attempt - 1))
             try:
                 with self._connect() as sock:
                     protocol.send_frame(sock, msg)
@@ -196,7 +215,7 @@ class ServiceClient:
                         f"watch stream for {job_id} dropped "
                         f"{drops} time(s): {exc}"
                     ) from exc
-                time.sleep(self.retry_delay_s * drops)
+                time.sleep(self._backoff(drops - 1))
             except ProtocolError as exc:
                 if exc.reason != "truncated":
                     raise
@@ -206,7 +225,7 @@ class ServiceClient:
                         f"watch stream for {job_id} dropped "
                         f"{drops} time(s): {exc}"
                     ) from exc
-                time.sleep(self.retry_delay_s * drops)
+                time.sleep(self._backoff(drops - 1))
 
     def submit_and_wait(
         self,

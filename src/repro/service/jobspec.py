@@ -78,6 +78,14 @@ def build_options(spec: Any) -> RuntimeOptions:
         options = options.with_(num_shards=spec.shards)
     if getattr(spec, "shard_dir", None):
         options = options.with_(shard_dir=spec.shard_dir)
+    if getattr(spec, "io_budget", None) is not None:
+        options = options.with_(io_budget=spec.io_budget)
+    if getattr(spec, "io_burst", None) is not None:
+        options = options.with_(io_burst=spec.io_burst)
+    if getattr(spec, "tenant", None):
+        options = options.with_(tenant=spec.tenant)
+    if getattr(spec, "io_priority", None):
+        options = options.with_(io_priority=spec.io_priority)
     return options
 
 
@@ -110,6 +118,15 @@ class ServiceJobSpec:
     shards: int | None = None
     priority: int = 0
     tag: str = ""
+    #: Tenant the job is accounted to (per-tenant budgets, weighted-fair
+    #: queueing, QoS counters).
+    tenant: str = "default"
+    #: Declared I/O bandwidth demand in bytes/second ("64MB" ok); feeds
+    #: the service's dispatch-time share assignment and the runtime's
+    #: token-bucket throttle.  None runs unthrottled.
+    io_budget: str | None = None
+    #: Bandwidth priority class for priority-aware allocation policies.
+    io_priority: int = 0
 
     def __post_init__(self) -> None:
         if self.app not in KNOWN_APPS:
@@ -122,6 +139,8 @@ class ServiceJobSpec:
         )
         if not self.inputs:
             raise ConfigError("a job spec needs at least one input file")
+        if not self.tenant:
+            raise ConfigError("tenant must be a non-empty string")
 
     # -- serialization ------------------------------------------------------
 

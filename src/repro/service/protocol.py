@@ -222,6 +222,8 @@ REQ_SHUTDOWN = "shutdown"
 #: Typed error codes carried on error replies.
 ERR_QUEUE_FULL = "queue-full"
 ERR_BUDGET_EXCEEDED = "budget-exceeded"
+ERR_TENANT_BUDGET = "tenant-budget-exceeded"
+ERR_OVERLOADED = "overloaded"
 ERR_DRAINING = "draining"
 ERR_NOT_FOUND = "not-found"
 ERR_BAD_REQUEST = "bad-request"

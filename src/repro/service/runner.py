@@ -76,6 +76,17 @@ def run_job_dir(job_dir: Path, crash_after_round: int | None = None) -> int:
             resume=True,
             shard_dir=str(shard_dir) if shard_dir else None,
         )
+        # The daemon's dispatch-time bandwidth assignment (qos.json)
+        # overrides the spec's raw io_budget ask: under contention the
+        # allocator hands this job its *share* of the node bandwidth.
+        qos_path = job_dir / "qos.json"
+        if qos_path.exists():
+            qos = read_json_crc(qos_path)
+            options = options.with_(
+                io_budget=int(qos["io_budget"]),
+                tenant=str(qos.get("tenant", spec.tenant)),
+                io_priority=int(qos.get("io_priority", spec.io_priority)),
+            )
         if crash_after_round is not None:
             _arm_crash_watchdog(checkpoint, crash_after_round)
 

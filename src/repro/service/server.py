@@ -3,16 +3,28 @@
 One :class:`JobService` owns a state directory and serves many
 concurrent clients over the framed protocol.  The moving parts:
 
-* **Job queue** — a priority heap (higher ``priority`` first, FIFO
-  within a level via the admission sequence number).  A scheduler fills
-  up to ``max_concurrent`` runner subprocesses from it.
+* **Job queue** — a weighted-fair queue across tenants
+  (:class:`repro.qos.scheduling.WeightedFairQueue`): each tenant's
+  virtual clock advances per dispatch, within a tenant higher
+  ``priority`` goes first (FIFO within a level) softened by priority
+  aging so no class starves.  A scheduler fills up to
+  ``max_concurrent`` runner subprocesses from it.
 * **Admission control** — submissions are *rejected with a typed error*
   rather than queued unboundedly: ``queue-full`` past
   ``max_queue_depth``, ``budget-exceeded`` when the sum of admitted
-  jobs' memory budgets would pass the service budget, ``draining``
-  during shutdown.  Submitting a spec identical to a live or finished
-  job reattaches/returns it (idempotent resubmission — the behaviour
+  jobs' charged memory budgets would pass the service budget (jobs
+  without one are charged ``default_job_budget`` when configured),
+  ``tenant-budget-exceeded`` past a tenant's concurrency or memory
+  caps, ``overloaded`` when aggregate declared I/O demand would swamp
+  the configured node bandwidth, ``draining`` during shutdown.
+  Submitting a spec identical to a live or finished job
+  reattaches/returns it (idempotent resubmission — the behaviour
   that makes "resubmit after a daemon restart" resume from the journal).
+* **Bandwidth QoS** — with ``node_bandwidth`` configured, each
+  dispatched job that declared an ``io_budget`` is assigned an
+  allocator share (:mod:`repro.qos.allocator`) of the node bandwidth,
+  written to its job dir as ``qos.json``; the runner enforces it with a
+  token bucket on the real I/O edges.
 * **Crash safety** — every record mutation is durable before it is
   acknowledged; on startup, jobs found ``queued``/``running`` are
   re-queued (orphaned runners from a killed daemon are reaped first),
@@ -30,7 +42,6 @@ from __future__ import annotations
 
 import asyncio
 import contextlib
-import heapq
 import json
 import signal
 import sys
@@ -41,10 +52,13 @@ from typing import Any
 from repro.errors import AdmissionError, ConfigError, ProtocolError
 from repro.faults.log import ACTION_RESPAWNED
 from repro.faults.plan import (
+    SITE_QOS_TENANT_SURGE,
     SITE_SERVICE_CONN_DROP,
     SITE_SERVICE_JOB_CRASH,
     FaultPlan,
 )
+from repro.qos.allocator import POLICIES, make_allocator
+from repro.qos.scheduling import DEFAULT_AGING_EVERY, QueueEntry, WeightedFairQueue
 from repro.service import protocol
 from repro.service.jobspec import ServiceJobSpec
 from repro.service.state import (
@@ -55,6 +69,7 @@ from repro.service.state import (
     STATE_RUNNING,
     JobRecord,
     ServiceState,
+    write_json_crc,
 )
 from repro.util.units import parse_size
 
@@ -84,8 +99,32 @@ class ServiceConfig:
     #: own ``job_deadline`` knob.
     job_timeout_s: float | None = None
     #: Seeded service-site fault plan (``service.conn.drop`` /
-    #: ``service.job.crash``).
+    #: ``service.job.crash`` / ``qos.tenant.surge``).
     fault_plan: FaultPlan | None = None
+    #: The node's disk bandwidth in bytes/second ("200MB" ok); enables
+    #: dispatch-time bandwidth share assignment (jobs that declared an
+    #: ``io_budget`` get an allocator share of this) and overload
+    #: shedding.  None disables both.
+    node_bandwidth: int | str | None = None
+    #: Bandwidth allocation policy for dispatch-time shares
+    #: (:data:`repro.qos.allocator.POLICIES`).
+    qos_policy: str = "max-min"
+    #: Per-tenant cap on the sum of admitted jobs' memory budgets;
+    #: None disables the per-tenant budget check.
+    tenant_budget: int | str | None = None
+    #: Per-tenant cap on admitted-but-unfinished (queued + running)
+    #: jobs; None disables the per-tenant concurrency check.
+    tenant_max_concurrent: int | None = None
+    #: Memory budget charged to jobs submitted *without* one when the
+    #: service enforces ``service_budget``/``tenant_budget``.  None
+    #: keeps the strict behaviour: budgetless submissions are rejected.
+    default_job_budget: int | str | None = None
+    #: Dispatches per priority step of queue aging (0 disables aging).
+    aging_every: int = DEFAULT_AGING_EVERY
+    #: Overload shedding threshold: submissions are shed once the sum of
+    #: declared ``io_budget`` demand would exceed
+    #: ``node_bandwidth * shed_factor``.
+    shed_factor: float = 2.0
 
     def __post_init__(self) -> None:
         if self.max_concurrent < 1:
@@ -100,6 +139,30 @@ class ServiceConfig:
             object.__setattr__(
                 self, "service_budget", parse_size(self.service_budget)
             )
+        if self.node_bandwidth is not None:
+            node_bw = parse_size(self.node_bandwidth)
+            if node_bw < 1:
+                raise ConfigError("node_bandwidth must be >= 1 byte/second")
+            object.__setattr__(self, "node_bandwidth", node_bw)
+        if self.qos_policy not in POLICIES:
+            raise ConfigError(
+                f"unknown qos_policy {self.qos_policy!r}; known policies: "
+                + ", ".join(sorted(POLICIES))
+            )
+        if self.tenant_budget is not None:
+            object.__setattr__(
+                self, "tenant_budget", parse_size(self.tenant_budget)
+            )
+        if self.tenant_max_concurrent is not None and self.tenant_max_concurrent < 1:
+            raise ConfigError("tenant_max_concurrent must be >= 1")
+        if self.default_job_budget is not None:
+            object.__setattr__(
+                self, "default_job_budget", parse_size(self.default_job_budget)
+            )
+        if self.aging_every < 0:
+            raise ConfigError("aging_every must be >= 0")
+        if self.shed_factor <= 0:
+            raise ConfigError("shed_factor must be positive")
 
 
 @dataclass
@@ -118,7 +181,7 @@ class JobService:
 
     def __post_init__(self) -> None:
         self.state = ServiceState(Path(self.config.state_dir))
-        self._queue: list[tuple[int, int, str]] = []  # (-priority, seq, id)
+        self._queue = WeightedFairQueue(aging_every=self.config.aging_every)
         self._queued_ids: set[str] = set()
         self._running: dict[str, _RunningJob] = {}
         self._job_tasks: set[asyncio.Task] = set()
@@ -132,10 +195,18 @@ class JobService:
             self.config.fault_plan.arm()
             if self.config.fault_plan is not None else None
         )
+        #: Dispatch-time bandwidth shares of currently running jobs
+        #: (job_id -> assigned bytes/second); must drain back to {} —
+        #: a non-empty map at shutdown means tokens leaked.
+        self._io_assigned: dict[str, int] = {}
+        #: Per-tenant completion tallies accumulated from finished jobs'
+        #: result counters (jobs, throttled bytes, waiting done).
+        self.tenant_stats: dict[str, dict[str, float]] = {}
         self.counters: dict[str, int] = {
             "admitted": 0, "reattached": 0, "rejected": 0,
             "completed": 0, "failed": 0, "cancelled": 0,
             "runner_crashes": 0, "conn_drops": 0, "reaped": 0,
+            "shed": 0, "tenant_rejected": 0,
         }
 
     # -- lifecycle ----------------------------------------------------------
@@ -221,19 +292,29 @@ class JobService:
 
     # -- queue + scheduler ---------------------------------------------------
 
+    def _tenant_of(self, job_id: str) -> str:
+        try:
+            spec = self.state.load_spec(job_id)
+        except Exception:
+            return "default"
+        return getattr(spec, "tenant", "default") or "default"
+
     def _push(self, record: JobRecord) -> None:
-        heapq.heappush(
-            self._queue, (-record.priority, record.seq, record.job_id)
-        )
+        self._queue.push(QueueEntry(
+            job_id=record.job_id,
+            tenant=self._tenant_of(record.job_id),
+            priority=record.priority,
+            seq=record.seq,
+        ))
         self._queued_ids.add(record.job_id)
 
     def _pop_next(self) -> JobRecord | None:
-        while self._queue:
-            _, _, job_id = heapq.heappop(self._queue)
-            if job_id not in self._queued_ids:
+        while len(self._queue):
+            entry = self._queue.pop()
+            if entry is None or entry.job_id not in self._queued_ids:
                 continue  # cancelled while queued
-            self._queued_ids.discard(job_id)
-            record = self.state.load_record(job_id)
+            self._queued_ids.discard(entry.job_id)
+            record = self.state.load_record(entry.job_id)
             if record is not None and record.state == STATE_QUEUED:
                 return record
         return None
@@ -267,13 +348,49 @@ class JobService:
 
     # -- admission -----------------------------------------------------------
 
-    def _admitted_budget_bytes(self) -> int:
-        """Sum of memory budgets across queued + running jobs."""
+    def _charged_budget(self, spec: ServiceJobSpec) -> int:
+        """Memory bytes one spec is charged against the budget caps.
+
+        Jobs submitted without a ``memory_budget`` are charged the
+        configured ``default_job_budget`` — previously they were charged
+        nothing, which let budgetless jobs slip past the service-wide
+        Σ-budget cap entirely.
+        """
+        if spec.memory_budget is not None:
+            return parse_size(spec.memory_budget)
+        if self.config.default_job_budget is not None:
+            return self.config.default_job_budget
+        return 0
+
+    def _admitted_budget_bytes(self, tenant: "str | None" = None) -> int:
+        """Charged memory bytes across queued + running jobs.
+
+        With ``tenant`` the sum covers that tenant's jobs only (the
+        per-tenant budget check); without it, every admitted job.
+        """
         total = 0
         for job_id in (*self._queued_ids, *self._running):
             spec = self.state.load_spec(job_id)
-            if spec.memory_budget is not None:
-                total += parse_size(spec.memory_budget)
+            if tenant is not None and getattr(spec, "tenant", "default") != tenant:
+                continue
+            total += self._charged_budget(spec)
+        return total
+
+    def _tenant_active_jobs(self, tenant: str) -> int:
+        """Queued + running jobs currently accounted to one tenant."""
+        return sum(
+            1 for job_id in (*self._queued_ids, *self._running)
+            if getattr(self.state.load_spec(job_id), "tenant", "default")
+            == tenant
+        )
+
+    def _declared_io_demand(self) -> int:
+        """Sum of declared ``io_budget`` across queued + running jobs."""
+        total = 0
+        for job_id in (*self._queued_ids, *self._running):
+            spec = self.state.load_spec(job_id)
+            if getattr(spec, "io_budget", None) is not None:
+                total += parse_size(spec.io_budget)
         return total
 
     def admit(
@@ -283,6 +400,10 @@ class JobService:
 
         Raises :class:`~repro.errors.AdmissionError` instead of queuing
         unboundedly — the caller turns it into a typed error reply.
+        Checks run cheapest-first: drain state, dedup, the
+        ``qos.tenant.surge`` shedding site, queue depth, per-tenant
+        concurrency and memory budgets, the service-wide memory budget,
+        and finally bandwidth-overload shedding.
         """
         if self._draining:
             raise AdmissionError(
@@ -304,6 +425,22 @@ class JobService:
             import shutil
 
             shutil.rmtree(self.state.job_dir(job_id), ignore_errors=True)
+        if self._injector is not None:
+            # The chaos half of overload protection: an injected tenant
+            # surge sheds this admission exactly as a real overload
+            # would.  The scope includes the job id, so a once-per-scope
+            # spec lets the client's resubmission of the same job pass.
+            decision = self._injector.check(
+                SITE_QOS_TENANT_SURGE, scope=(spec.tenant, job_id)
+            )
+            if decision is not None:
+                self.counters["shed"] += 1
+                self.counters["rejected"] += 1
+                raise AdmissionError(
+                    f"tenant {spec.tenant!r} admission surge shed "
+                    "(injected); resubmit",
+                    code=protocol.ERR_OVERLOADED,
+                )
         if self.queue_depth() >= self.config.max_queue_depth:
             self.counters["rejected"] += 1
             raise AdmissionError(
@@ -311,8 +448,34 @@ class JobService:
                 f"({self.config.max_queue_depth}); retry later",
                 code=protocol.ERR_QUEUE_FULL,
             )
+        if self.config.tenant_max_concurrent is not None:
+            active = self._tenant_active_jobs(spec.tenant)
+            if active >= self.config.tenant_max_concurrent:
+                self.counters["tenant_rejected"] += 1
+                self.counters["rejected"] += 1
+                raise AdmissionError(
+                    f"tenant {spec.tenant!r} already has {active} admitted "
+                    f"job(s); the per-tenant limit is "
+                    f"{self.config.tenant_max_concurrent}",
+                    code=protocol.ERR_TENANT_BUDGET,
+                )
+        if self.config.tenant_budget is not None:
+            tenant_admitted = self._admitted_budget_bytes(spec.tenant)
+            asked = self._charged_budget(spec)
+            if tenant_admitted + asked > self.config.tenant_budget:
+                self.counters["tenant_rejected"] += 1
+                self.counters["rejected"] += 1
+                raise AdmissionError(
+                    f"admitting {asked} budget bytes for tenant "
+                    f"{spec.tenant!r} on top of {tenant_admitted} would "
+                    f"exceed its budget ({self.config.tenant_budget})",
+                    code=protocol.ERR_TENANT_BUDGET,
+                )
         if self.config.service_budget is not None:
-            if spec.memory_budget is None:
+            if (
+                spec.memory_budget is None
+                and self.config.default_job_budget is None
+            ):
                 self.counters["rejected"] += 1
                 raise AdmissionError(
                     "this service enforces a memory budget; submit with "
@@ -320,7 +483,7 @@ class JobService:
                     code=protocol.ERR_BUDGET_EXCEEDED,
                 )
             admitted = self._admitted_budget_bytes()
-            asked = parse_size(spec.memory_budget)
+            asked = self._charged_budget(spec)
             if admitted + asked > self.config.service_budget:
                 self.counters["rejected"] += 1
                 raise AdmissionError(
@@ -328,6 +491,21 @@ class JobService:
                     f"would exceed the service budget "
                     f"({self.config.service_budget})",
                     code=protocol.ERR_BUDGET_EXCEEDED,
+                )
+        if (
+            self.config.node_bandwidth is not None
+            and getattr(spec, "io_budget", None) is not None
+        ):
+            demand = self._declared_io_demand() + parse_size(spec.io_budget)
+            limit = self.config.node_bandwidth * self.config.shed_factor
+            if demand > limit:
+                self.counters["shed"] += 1
+                self.counters["rejected"] += 1
+                raise AdmissionError(
+                    f"aggregate declared I/O demand ({demand} B/s) would "
+                    f"exceed {self.config.shed_factor}x the node bandwidth "
+                    f"({self.config.node_bandwidth} B/s); shedding load",
+                    code=protocol.ERR_OVERLOADED,
                 )
         record = JobRecord(
             job_id=job_id, state=STATE_QUEUED, priority=spec.priority,
@@ -342,11 +520,53 @@ class JobService:
 
     # -- execution -----------------------------------------------------------
 
+    def _assign_io_share(self, job_id: str) -> "int | None":
+        """Dispatch-time bandwidth share for one job (bytes/second).
+
+        With ``node_bandwidth`` configured, the job's declared demand is
+        run through the configured allocator policy alongside the
+        demands of every currently running job, and its share of the
+        node bandwidth — not its raw ask — becomes the token-bucket rate
+        the runner enforces.  Jobs with no declared ``io_budget`` run
+        unthrottled and return None.
+        """
+        if self.config.node_bandwidth is None:
+            return None
+        spec = self.state.load_spec(job_id)
+        if getattr(spec, "io_budget", None) is None:
+            return None
+        allocator = make_allocator(
+            self.config.qos_policy, self.config.node_bandwidth
+        )
+        allocator.register(
+            job_id, parse_size(spec.io_budget),
+            priority=getattr(spec, "io_priority", 0),
+        )
+        for other_id in self._running:
+            other = self.state.load_spec(other_id)
+            if getattr(other, "io_budget", None) is None:
+                continue
+            allocator.register(
+                other_id, parse_size(other.io_budget),
+                priority=getattr(other, "io_priority", 0),
+            )
+        shares = allocator.allocate()
+        return max(1, int(shares[job_id]))
+
     async def _run_job(self, record: JobRecord) -> None:
         job_id = record.job_id
         attempt = record.attempts + 1
         record = record.with_(state=STATE_RUNNING, attempts=attempt)
         job_dir = self.state.job_dir(job_id)
+        assigned = self._assign_io_share(job_id)
+        if assigned is not None:
+            spec = self.state.load_spec(job_id)
+            write_json_crc(job_dir / "qos.json", {
+                "io_budget": assigned,
+                "tenant": getattr(spec, "tenant", "default"),
+                "io_priority": getattr(spec, "io_priority", 0),
+            })
+            self._io_assigned[job_id] = assigned
         argv = [sys.executable, "-m", "repro.service.runner", str(job_dir)]
         if self._injector is not None:
             decision = self._injector.check(
@@ -361,6 +581,7 @@ class JobService:
             )
         except OSError as exc:
             log_fh.close()
+            self._io_assigned.pop(job_id, None)
             self._finish(record.with_(
                 state=STATE_FAILED, error=f"runner launch failed: {exc}",
                 exit_code=1,
@@ -388,6 +609,7 @@ class JobService:
         finally:
             log_fh.close()
             self._running.pop(job_id, None)
+            self._io_assigned.pop(job_id, None)
             (job_dir / "runner.pid").unlink(missing_ok=True)
         if self._draining:
             # drain terminated the runner; put the job back for the
@@ -442,6 +664,17 @@ class JobService:
                 error="runner exited 0 without a readable result.json",
             ))
             return
+        counters = report.get("counters", {}) or {}
+        tenant = counters.get("tenant") or self._tenant_of(record.job_id)
+        stats = self.tenant_stats.setdefault(tenant, {
+            "jobs": 0, "throttle_bytes": 0, "throttle_wait_s": 0.0,
+        })
+        stats["jobs"] += 1
+        stats["throttle_bytes"] += int(counters.get("throttle_bytes", 0))
+        stats["throttle_wait_s"] = round(
+            stats["throttle_wait_s"]
+            + float(counters.get("throttle_wait_s", 0.0)), 6,
+        )
         self._finish(record.with_(
             state=STATE_DONE, exit_code=rc, digest=digest, resumed=resumed,
         ))
@@ -461,6 +694,19 @@ class JobService:
         elif record.state == STATE_CANCELLED:
             self.counters["cancelled"] += 1
         self._set_state(record)
+
+    def _qos_counters(self) -> dict[str, int]:
+        """The counters dict plus the queue's live aging tally."""
+        return {**self.counters, "aged": self._queue.aged}
+
+    def _tenant_overview(self) -> dict[str, dict[str, Any]]:
+        """Per-tenant queue depth and finished-job QoS stats."""
+        overview: dict[str, dict[str, Any]] = {}
+        for tenant, depth in self._queue.tenants().items():
+            overview.setdefault(tenant, {})["queued"] = depth
+        for tenant, stats in self.tenant_stats.items():
+            overview.setdefault(tenant, {}).update(stats)
+        return overview
 
     # -- state broadcast -----------------------------------------------------
 
@@ -531,7 +777,9 @@ class JobService:
                     draining=self._draining,
                     running=len(self._running),
                     queued=self.queue_depth(),
-                    counters=dict(self.counters),
+                    counters=self._qos_counters(),
+                    io_assigned_bps=sum(self._io_assigned.values()),
+                    tenants=self._tenant_overview(),
                 ))
             elif req == protocol.REQ_SUBMIT:
                 await self._handle_submit(msg, writer)
@@ -587,7 +835,9 @@ class JobService:
                        for r in self.state.load_all_records()]
             await protocol.write_frame(writer, protocol.ok_reply(
                 jobs=records, running=len(self._running),
-                queued=self.queue_depth(), counters=dict(self.counters),
+                queued=self.queue_depth(), counters=self._qos_counters(),
+                io_assigned_bps=sum(self._io_assigned.values()),
+                tenants=self._tenant_overview(),
             ))
             return
         record = self.state.load_record(str(job_id))
@@ -652,7 +902,8 @@ class JobService:
                 job=self._record_reply(running.record), cancelling=True,
             ))
             return
-        # queued: drop it from the heap lazily
+        # queued: drop it from the fair queue
+        self._queue.remove(job_id)
         self._queued_ids.discard(job_id)
         record = record.with_(
             state=STATE_CANCELLED, error="cancelled while queued"

@@ -14,6 +14,7 @@ chunk ``i+1`` while nothing else touches the disk gets the full 384 MB/s.
 from __future__ import annotations
 
 from repro.errors import SimulationError
+from repro.qos.allocator import make_allocator
 from repro.simhw.events import SimEvent, Simulator
 from repro.simhw.resources import BandwidthResource
 
@@ -22,7 +23,12 @@ GB = 1024 * MB
 
 
 class Disk:
-    """A single spindle with symmetric sequential bandwidth."""
+    """A single spindle with symmetric sequential bandwidth.
+
+    ``qos_policy`` selects the contention model for concurrent streams
+    (a :data:`repro.qos.allocator.POLICIES` name); the default
+    ``max-min`` water-filling is the paper's processor-sharing model.
+    """
 
     def __init__(
         self,
@@ -30,23 +36,33 @@ class Disk:
         read_bw: float,
         write_bw: float | None = None,
         name: str = "hdd",
+        qos_policy: str = "max-min",
     ) -> None:
         if read_bw <= 0:
             raise SimulationError(f"{name}: read bandwidth must be positive")
         self.sim = sim
         self.name = name
+        self.qos_policy = qos_policy
         self.read_bw = float(read_bw)
         self.write_bw = float(write_bw if write_bw is not None else read_bw)
-        self._read_chan = BandwidthResource(sim, self.read_bw, name=f"{name}.rd")
-        self._write_chan = BandwidthResource(sim, self.write_bw, name=f"{name}.wr")
+        self._read_chan = BandwidthResource(
+            sim, self.read_bw, name=f"{name}.rd",
+            allocator=make_allocator(qos_policy, self.read_bw),
+        )
+        self._write_chan = BandwidthResource(
+            sim, self.write_bw, name=f"{name}.wr",
+            allocator=make_allocator(qos_policy, self.write_bw),
+        )
 
-    def read(self, nbytes: float) -> SimEvent:
+    def read(self, nbytes: float, priority: int = 0) -> SimEvent:
         """Transfer ``nbytes`` off the spindle (shared fluidly)."""
-        return self._read_chan.transfer(nbytes, tag="read")
+        return self._read_chan.transfer(nbytes, tag="read", priority=priority)
 
-    def write(self, nbytes: float) -> SimEvent:
+    def write(self, nbytes: float, priority: int = 0) -> SimEvent:
         """Transfer ``nbytes`` onto the spindle."""
-        return self._write_chan.transfer(nbytes, tag="write")
+        return self._write_chan.transfer(
+            nbytes, tag="write", priority=priority
+        )
 
     def degrade(self, factor: float) -> None:
         """Scale both channels to ``factor`` of nominal (fault injection)."""
@@ -80,7 +96,12 @@ class Disk:
 class Raid0:
     """Striped array: aggregate bandwidth, shared fluidly among streams."""
 
-    def __init__(self, disks: list[Disk], name: str = "raid0") -> None:
+    def __init__(
+        self,
+        disks: list[Disk],
+        name: str = "raid0",
+        qos_policy: str = "max-min",
+    ) -> None:
         if not disks:
             raise SimulationError(f"{name}: need at least one member disk")
         sims = {d.sim for d in disks}
@@ -89,21 +110,30 @@ class Raid0:
         self.sim = disks[0].sim
         self.disks = disks
         self.name = name
+        self.qos_policy = qos_policy
         self.read_bw = sum(d.read_bw for d in disks)
         self.write_bw = sum(d.write_bw for d in disks)
         self._alive = len(disks)
         # Striping interleaves every stream across all members, so the
         # array behaves as one channel with the summed rate.
-        self._read_chan = BandwidthResource(self.sim, self.read_bw, name=f"{name}.rd")
-        self._write_chan = BandwidthResource(self.sim, self.write_bw, name=f"{name}.wr")
+        self._read_chan = BandwidthResource(
+            self.sim, self.read_bw, name=f"{name}.rd",
+            allocator=make_allocator(qos_policy, self.read_bw),
+        )
+        self._write_chan = BandwidthResource(
+            self.sim, self.write_bw, name=f"{name}.wr",
+            allocator=make_allocator(qos_policy, self.write_bw),
+        )
 
-    def read(self, nbytes: float) -> SimEvent:
+    def read(self, nbytes: float, priority: int = 0) -> SimEvent:
         """Read ``nbytes`` across the stripe set."""
-        return self._read_chan.transfer(nbytes, tag="read")
+        return self._read_chan.transfer(nbytes, tag="read", priority=priority)
 
-    def write(self, nbytes: float) -> SimEvent:
+    def write(self, nbytes: float, priority: int = 0) -> SimEvent:
         """Write ``nbytes`` across the stripe set."""
-        return self._write_chan.transfer(nbytes, tag="write")
+        return self._write_chan.transfer(
+            nbytes, tag="write", priority=priority
+        )
 
     @property
     def alive_members(self) -> int:

@@ -8,6 +8,15 @@ the paper's bottleneck analysis relies on — one sequential reader gets the
 RAID-0's full 384 MB/s, two concurrent readers get half each, and a thread
 can never use more than one CPU context no matter how idle the others are.
 
+Since the QoS work, the *allocation policy* is pluggable: the channel
+delegates rate computation to a :class:`repro.qos.allocator
+.BandwidthAllocator` (default :class:`~repro.qos.allocator
+.MaxMinFairShare`, whose water-fill loop is the verbatim twin of the one
+this module used to inline — simulated timings are bit-identical).  The
+same allocator classes drive the real service's dispatch-time bandwidth
+shares, so multi-tenant slowdown predictions and real throttled runs
+share one arithmetic.
+
 Also provided: a counting :class:`Semaphore`, a producer/consumer
 :class:`Store`, and a broadcast :class:`Gate` used for pipeline barriers.
 """
@@ -19,6 +28,7 @@ from collections import deque
 from typing import Any, Deque
 
 from repro.errors import SimulationError
+from repro.qos.allocator import BandwidthAllocator, MaxMinFairShare
 from repro.simhw.events import PRIORITY_URGENT, SimEvent, Simulator
 
 #: Completion slop for float accumulation, in resource units (bytes,
@@ -32,10 +42,18 @@ _TIME_EPSILON = 1e-9
 
 
 class _Flow:
-    __slots__ = ("remaining", "weight", "cap", "tag", "event", "rate")
+    __slots__ = (
+        "remaining", "weight", "cap", "tag", "event", "rate", "priority"
+    )
 
     def __init__(
-        self, amount: float, weight: float, cap: float, tag: str, event: SimEvent
+        self,
+        amount: float,
+        weight: float,
+        cap: float,
+        tag: str,
+        event: SimEvent,
+        priority: int = 0,
     ) -> None:
         self.remaining = amount
         self.weight = weight
@@ -43,6 +61,7 @@ class _Flow:
         self.tag = tag
         self.event = event
         self.rate = 0.0
+        self.priority = priority
 
 
 class BandwidthResource:
@@ -58,6 +77,13 @@ class BandwidthResource:
     per_flow_cap:
         Maximum rate a single flow may receive (default: no cap).  A CPU
         bank sets this to 1.0 so one thread occupies at most one context.
+    allocator:
+        The :class:`~repro.qos.allocator.BandwidthAllocator` that turns
+        the active flow set into per-flow rates (default: a fresh
+        :class:`~repro.qos.allocator.MaxMinFairShare`, the historical
+        behaviour).  Pass a :class:`~repro.qos.allocator.PriorityLevels`
+        to model strict-priority devices; ``transfer(priority=...)``
+        feeds it.
     name:
         Diagnostic label.
     """
@@ -68,6 +94,7 @@ class BandwidthResource:
         total_rate: float,
         *,
         per_flow_cap: float = math.inf,
+        allocator: "BandwidthAllocator | None" = None,
         name: str = "channel",
     ) -> None:
         if total_rate <= 0:
@@ -77,6 +104,10 @@ class BandwidthResource:
         self.sim = sim
         self.total_rate = float(total_rate)
         self.per_flow_cap = float(per_flow_cap)
+        self.allocator = (
+            allocator if allocator is not None
+            else MaxMinFairShare(total_rate)
+        )
         self.name = name
         self._flows: list[_Flow] = []
         self._last_update = 0.0
@@ -93,8 +124,14 @@ class BandwidthResource:
         weight: float = 1.0,
         cap: float | None = None,
         tag: str = "",
+        priority: int = 0,
     ) -> SimEvent:
-        """Move ``amount`` units through the channel; returns a completion event."""
+        """Move ``amount`` units through the channel; returns a completion event.
+
+        ``priority`` is forwarded to the channel's allocator; the default
+        max-min policy ignores it, a ``PriorityLevels`` allocator serves
+        higher values first.
+        """
         if amount < 0:
             raise SimulationError(f"{self.name}: negative transfer {amount!r}")
         if weight <= 0:
@@ -105,7 +142,7 @@ class BandwidthResource:
             event.trigger(amount)
             return event
         flow = _Flow(amount, weight, cap if cap is not None else self.per_flow_cap,
-                     tag, event)
+                     tag, event, priority=priority)
         self._advance()
         self._flows.append(flow)
         self._reallocate()
@@ -166,28 +203,26 @@ class BandwidthResource:
                 flow.event.trigger(None)
 
     def _reallocate(self) -> None:
-        """Water-filling max-min fair shares, then schedule next completion."""
+        """Recompute per-flow rates via the allocator, then schedule the
+        next completion wakeup.
+
+        A flow's *demand* on the allocator is its rate cap (how fast it
+        could possibly go), so the default max-min policy reproduces the
+        historical inline water-fill bit for bit.
+        """
         if not self._flows:
             return
-        # Max-min fairness with per-flow caps: repeatedly hand uncapped
-        # flows an equal (weighted) share of the leftover capacity.
-        unallocated = self.total_rate
-        pending = list(self._flows)
-        for flow in pending:
-            flow.rate = 0.0
-        while pending and unallocated > _EPSILON:
-            total_weight = sum(f.weight for f in pending)
-            share_per_weight = unallocated / total_weight
-            capped = [f for f in pending if f.weight * share_per_weight >= f.cap - _EPSILON]
-            if not capped:
-                for flow in pending:
-                    flow.rate = flow.weight * share_per_weight
-                unallocated = 0.0
-                break
-            for flow in capped:
-                flow.rate = flow.cap
-                unallocated -= flow.cap
-            pending = [f for f in pending if f not in capped]
+        alloc = self.allocator
+        alloc.reset()
+        alloc.set_capacity(self.total_rate)
+        for flow in self._flows:
+            alloc.register(
+                id(flow), flow.cap, weight=flow.weight,
+                priority=flow.priority,
+            )
+        rates = alloc.allocate()
+        for flow in self._flows:
+            flow.rate = rates[id(flow)]
         # Schedule an internal wakeup at the earliest completion. A
         # generation counter invalidates stale wakeups after reallocation.
         self._wakeup_seq += 1

@@ -1,0 +1,164 @@
+"""Multi-tenant bandwidth-contention predictions.
+
+The service assigns each dispatched job an allocator share of the
+configured node bandwidth and enforces it with a token bucket
+(:mod:`repro.qos`).  This module answers, *before* running anything,
+"how much slower does tenant A get when tenant B shows up?" — using the
+**same** :class:`~repro.qos.allocator.BandwidthAllocator` classes the
+service and the fluid-flow simulator use, so the prediction and the
+enforcement share one arithmetic.
+
+The model is fluid and piecewise-constant: all tenants start at t=0,
+rates are re-allocated every time a tenant finishes (its surplus flows
+to the survivors, exactly like
+:class:`repro.simhw.resources.BandwidthResource` re-shares a channel),
+and a tenant's finish time is when its byte volume drains.  Tests
+compare these predictions against *real* throttled runs: wall-clock for
+a throttled job is lower-bounded by ``bytes / rate`` minus one burst
+allowance, and the predicted completion *order* must match reality.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import SimulationError
+from repro.qos.allocator import make_allocator
+
+#: Residual bytes below this count as drained (float-accumulation slop,
+#: same scale as the allocator epsilon).
+_EPSILON = 1e-9
+
+
+@dataclass(frozen=True)
+class TenantLoad:
+    """One tenant's offered load for a contention prediction.
+
+    ``volume_bytes`` is how much I/O the tenant must move end to end;
+    ``demand_bps`` its declared bandwidth ask (``math.inf`` = "whatever
+    the node gives me"); ``weight``/``priority`` feed the allocator the
+    same way the service's dispatch-time registration does.
+    """
+
+    name: str
+    volume_bytes: float
+    demand_bps: float = math.inf
+    weight: float = 1.0
+    priority: int = 0
+
+    def __post_init__(self) -> None:
+        if self.volume_bytes <= 0:
+            raise SimulationError(
+                f"tenant {self.name!r}: volume_bytes must be positive"
+            )
+        if self.demand_bps <= 0:
+            raise SimulationError(
+                f"tenant {self.name!r}: demand_bps must be positive"
+            )
+
+
+def solo_completion_s(load: TenantLoad, capacity_bps: float) -> float:
+    """Seconds the tenant needs with the node to itself.
+
+    Its rate is the smaller of its demand and the node capacity — a
+    token bucket never delivers more than its configured rate even on an
+    idle node.
+    """
+    if capacity_bps <= 0:
+        raise SimulationError("capacity_bps must be positive")
+    return load.volume_bytes / min(load.demand_bps, capacity_bps)
+
+
+def predict_completions(
+    loads: "list[TenantLoad]",
+    capacity_bps: float,
+    policy: str = "max-min",
+) -> dict[str, float]:
+    """Predicted finish time (seconds from t=0) for each tenant.
+
+    Piecewise-constant fluid model: between completions every active
+    tenant drains at its allocator rate; at each completion the
+    allocator re-shares the capacity among the survivors.  Deterministic
+    in its inputs.  Raises :class:`~repro.errors.SimulationError` if the
+    policy starves every remaining tenant (zero aggregate rate with
+    bytes still pending), which cannot happen under ``max-min`` but can
+    under a saturated ``priority`` level set — mirroring why the service
+    pairs strict priority with queue-side aging.
+    """
+    if capacity_bps <= 0:
+        raise SimulationError("capacity_bps must be positive")
+    names = [load.name for load in loads]
+    if len(set(names)) != len(names):
+        raise SimulationError("tenant names must be unique")
+    remaining = {load.name: float(load.volume_bytes) for load in loads}
+    active = list(loads)
+    finish: dict[str, float] = {}
+    now = 0.0
+    while active:
+        allocator = make_allocator(policy, capacity_bps)
+        for load in active:
+            allocator.register(
+                load.name, load.demand_bps,
+                weight=load.weight, priority=load.priority,
+            )
+        rates = allocator.allocate()
+        horizon = min(
+            (remaining[load.name] / rates[load.name]
+             for load in active if rates[load.name] > 0),
+            default=math.inf,
+        )
+        if math.isinf(horizon):
+            starved = ", ".join(sorted(load.name for load in active))
+            raise SimulationError(
+                f"policy {policy!r} starves tenant(s) {starved} "
+                "(zero allocated rate with bytes remaining)"
+            )
+        now += horizon
+        still_active: list[TenantLoad] = []
+        for load in active:
+            remaining[load.name] -= rates[load.name] * horizon
+            if remaining[load.name] <= _EPSILON:
+                remaining[load.name] = 0.0
+                finish[load.name] = now
+            else:
+                still_active.append(load)
+        active = still_active
+    return finish
+
+
+def predict_slowdowns(
+    loads: "list[TenantLoad]",
+    capacity_bps: float,
+    policy: str = "max-min",
+) -> dict[str, float]:
+    """Contended completion over solo completion, per tenant (>= 1.0).
+
+    A slowdown of 1.0 means contention cost the tenant nothing (its
+    demand fit alongside everyone else's); 2.0 means it finished in
+    twice its solo time.  Work conservation of the allocators guarantees
+    the value never drops below 1.0 (modulo float slop).
+    """
+    completions = predict_completions(loads, capacity_bps, policy=policy)
+    return {
+        load.name: completions[load.name] / solo_completion_s(
+            load, capacity_bps
+        )
+        for load in loads
+    }
+
+
+def throttled_floor_s(
+    volume_bytes: float, rate_bps: float, burst_bytes: float = 0.0
+) -> float:
+    """Lower bound on the wall-clock of a real run throttled at ``rate_bps``.
+
+    A token bucket that starts full forgives up to one burst of bytes
+    before the rate binds, so a real throttled run satisfies
+    ``elapsed >= (volume - burst) / rate``.  Tests use this to check the
+    enforcement side against the model without asserting exact timings
+    on shared CI hardware.
+    """
+    if rate_bps <= 0:
+        raise SimulationError("rate_bps must be positive")
+    return max(0.0, (volume_bytes - burst_bytes) / rate_bps)

@@ -36,6 +36,7 @@ from repro.spill.stats import SpillStats
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.faults.injector import FaultInjector
+    from repro.qos.throttle import TokenBucket
 
 #: Streams merged per external-merge pass when the caller does not say.
 DEFAULT_MERGE_FAN_IN = 8
@@ -106,10 +107,12 @@ class SpillManager:
         sort_key: SortKeyFn | None = None,
         merge_fan_in: int = DEFAULT_MERGE_FAN_IN,
         injector: "FaultInjector | None" = None,
+        throttle: "TokenBucket | None" = None,
     ) -> None:
         if merge_fan_in < 2:
             raise SpillError("merge_fan_in must be >= 2")
         self.injector = injector
+        self.throttle = throttle
         self.accountant = MemoryAccountant(budget_bytes)
         self._owns_dir = spill_dir is None
         self.spill_dir = Path(
@@ -176,7 +179,7 @@ class SpillManager:
         index = self._next_index
         self._next_index += 1
         path = self.spill_dir / f"run-{index:05d}.spl"
-        with RunWriter(path) as writer:
+        with RunWriter(path, throttle=self.throttle) as writer:
             for key, values in groups:
                 writer.write_group(key, values)
             records, payload = writer.records, writer.payload_bytes
@@ -206,7 +209,7 @@ class SpillManager:
         path = self.spill_dir / f"run-{index:05d}.spl"
 
         def attempt_fn(attempt: int) -> RunInfo:
-            with RunWriter(path) as writer:
+            with RunWriter(path, throttle=self.throttle) as writer:
                 for key, values in groups:
                     writer.write_group(key, values)
                 records, payload = writer.records, writer.payload_bytes

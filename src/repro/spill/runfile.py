@@ -25,10 +25,13 @@ import pickle
 import struct
 import zlib
 from pathlib import Path
-from typing import Any, BinaryIO, Hashable, Iterable, Iterator
+from typing import TYPE_CHECKING, Any, BinaryIO, Hashable, Iterable, Iterator
 
 from repro.errors import SpillError
 from repro.io.writer import FramedRecordWriter, iter_framed_records
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.qos.throttle import TokenBucket
 
 MAGIC = b"SPRN"
 VERSION = 1
@@ -45,11 +48,17 @@ class RunWriter:
 
     The caller streams already-sorted, already-grouped records through
     :meth:`write_group`; the writer frames and checksums them and
-    finalizes the header on close.
+    finalizes the header on close.  A ``throttle``
+    (:class:`repro.qos.throttle.TokenBucket`) charges the payload bytes
+    against the job's I/O budget when the run is sealed — the spill-write
+    half of bandwidth isolation.
     """
 
-    def __init__(self, path: str | Path) -> None:
+    def __init__(
+        self, path: str | Path, throttle: "TokenBucket | None" = None
+    ) -> None:
         self.path = Path(path)
+        self._throttle = throttle
         self._fh: BinaryIO | None = open(self.path, "wb")
         self._fh.write(b"\0" * HEADER_BYTES)  # placeholder header
         self._framer = FramedRecordWriter(self._fh)
@@ -77,6 +86,8 @@ class RunWriter:
         """Flush, write the real header, and close the file."""
         if self._fh is None:
             return
+        if self._throttle is not None:
+            self._throttle.acquire(self._framer.payload_bytes)
         self._framer.flush()
         header = _HEADER.pack(
             MAGIC, VERSION, 0,

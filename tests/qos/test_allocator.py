@@ -1,0 +1,200 @@
+"""Allocator invariants: conservation, demand caps, policy semantics.
+
+The property tests sweep random demand vectors and check the invariants
+every policy must hold (never allocate past capacity, never past a
+flow's demand), then pin max-min against :func:`brute_force_max_min` —
+a structurally different bisection reference — so a future edit to the
+water-fill loop cannot silently change the arithmetic both the
+simulator and the service depend on.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.qos.allocator import (
+    EPSILON,
+    FairShare,
+    MaxMinFairShare,
+    PriorityLevels,
+    brute_force_max_min,
+    make_allocator,
+    POLICIES,
+)
+
+_SLOP = 1e-6
+
+
+def _random_demands(rng: random.Random, n: int) -> list[float]:
+    return [rng.choice([rng.uniform(0.1, 50.0), math.inf]) for _ in range(n)]
+
+
+class TestInvariants:
+    """Properties every policy must satisfy on arbitrary demand vectors."""
+
+    @pytest.mark.parametrize("policy", sorted(POLICIES))
+    def test_conservation_and_demand_caps(self, policy):
+        rng = random.Random(1234)
+        for trial in range(60):
+            capacity = rng.uniform(1.0, 100.0)
+            allocator = make_allocator(policy, capacity)
+            demands = _random_demands(rng, rng.randint(1, 9))
+            for i, demand in enumerate(demands):
+                allocator.register(
+                    f"flow-{i}", demand,
+                    weight=rng.choice([0.5, 1.0, 2.0]),
+                    priority=rng.randint(0, 2),
+                )
+            rates = allocator.allocate()
+            assert sum(rates.values()) <= capacity + _SLOP
+            for i, demand in enumerate(demands):
+                assert rates[f"flow-{i}"] <= demand + _SLOP
+                assert rates[f"flow-{i}"] >= 0.0
+
+    @pytest.mark.parametrize("policy", sorted(POLICIES))
+    def test_underloaded_node_satisfies_everyone(self, policy):
+        allocator = make_allocator(policy, 100.0)
+        allocator.register("a", 10.0)
+        allocator.register("b", 20.0, priority=1)
+        rates = allocator.allocate()
+        assert rates["a"] == pytest.approx(10.0)
+        assert rates["b"] == pytest.approx(20.0)
+
+    @pytest.mark.parametrize("policy", sorted(POLICIES))
+    def test_registration_order_does_not_matter(self, policy):
+        demands = [(f"f{i}", d, w, p) for i, (d, w, p) in enumerate([
+            (30.0, 1.0, 0), (5.0, 2.0, 1), (math.inf, 1.0, 0), (12.0, 0.5, 2),
+        ])]
+        forward = make_allocator(policy, 40.0)
+        for flow, d, w, p in demands:
+            forward.register(flow, d, weight=w, priority=p)
+        backward = make_allocator(policy, 40.0)
+        for flow, d, w, p in reversed(demands):
+            backward.register(flow, d, weight=w, priority=p)
+        fw, bw = forward.allocate(), backward.allocate()
+        for flow, *_ in demands:
+            assert fw[flow] == pytest.approx(bw[flow])
+
+
+class TestMaxMin:
+    def test_matches_brute_force_on_random_vectors(self):
+        rng = random.Random(77)
+        for trial in range(80):
+            capacity = rng.uniform(5.0, 200.0)
+            demands = _random_demands(rng, rng.randint(1, 8))
+            allocator = MaxMinFairShare(capacity)
+            for i, demand in enumerate(demands):
+                allocator.register(i, demand)
+            rates = allocator.allocate()
+            reference = brute_force_max_min(demands, capacity)
+            for i, want in enumerate(reference):
+                assert rates[i] == pytest.approx(want, abs=1e-4), (
+                    f"trial {trial}: demands={demands} capacity={capacity}"
+                )
+
+    def test_surplus_recycles_to_hungry_flows(self):
+        allocator = MaxMinFairShare(90.0)
+        allocator.register("tiny", 10.0)
+        allocator.register("hungry", math.inf)
+        rates = allocator.allocate()
+        assert rates["tiny"] == pytest.approx(10.0)
+        assert rates["hungry"] == pytest.approx(80.0)
+
+    def test_weighted_split(self):
+        allocator = MaxMinFairShare(90.0)
+        allocator.register("heavy", math.inf, weight=2.0)
+        allocator.register("light", math.inf, weight=1.0)
+        rates = allocator.allocate()
+        assert rates["heavy"] == pytest.approx(60.0)
+        assert rates["light"] == pytest.approx(30.0)
+
+    def test_aggregate_at_least_fair_share(self):
+        # max-min recycles surplus; plain fair share leaves it stranded.
+        rng = random.Random(5)
+        for _ in range(40):
+            capacity = rng.uniform(10.0, 100.0)
+            demands = _random_demands(rng, rng.randint(2, 6))
+            mm, fs = MaxMinFairShare(capacity), FairShare(capacity)
+            for i, demand in enumerate(demands):
+                mm.register(i, demand)
+                fs.register(i, demand)
+            assert sum(mm.allocate().values()) >= \
+                sum(fs.allocate().values()) - _SLOP
+
+
+class TestFairShare:
+    def test_surplus_not_recycled(self):
+        allocator = FairShare(90.0)
+        allocator.register("tiny", 10.0)
+        allocator.register("hungry", math.inf)
+        rates = allocator.allocate()
+        assert rates["tiny"] == pytest.approx(10.0)
+        assert rates["hungry"] == pytest.approx(45.0)  # its half, no more
+
+
+class TestPriorityLevels:
+    def test_higher_level_served_first(self):
+        allocator = PriorityLevels(100.0)
+        allocator.register("batch", math.inf, priority=0)
+        allocator.register("interactive", 30.0, priority=5)
+        rates = allocator.allocate()
+        assert rates["interactive"] == pytest.approx(30.0)
+        assert rates["batch"] == pytest.approx(70.0)
+
+    def test_saturated_high_level_starves_low(self):
+        allocator = PriorityLevels(100.0)
+        allocator.register("greedy", math.inf, priority=1)
+        allocator.register("starved", 10.0, priority=0)
+        rates = allocator.allocate()
+        assert rates["greedy"] == pytest.approx(100.0)
+        assert rates["starved"] <= EPSILON
+
+    def test_waterfill_within_a_level(self):
+        allocator = PriorityLevels(60.0)
+        allocator.register("a", math.inf, priority=1)
+        allocator.register("b", math.inf, priority=1)
+        rates = allocator.allocate()
+        assert rates["a"] == pytest.approx(30.0)
+        assert rates["b"] == pytest.approx(30.0)
+
+
+class TestRegistrationSurface:
+    def test_duplicate_flow_rejected(self):
+        allocator = MaxMinFairShare(10.0)
+        allocator.register("a", 1.0)
+        with pytest.raises(ConfigError):
+            allocator.register("a", 2.0)
+
+    def test_bad_parameters_rejected(self):
+        allocator = MaxMinFairShare(10.0)
+        with pytest.raises(ConfigError):
+            allocator.register("a", -1.0)
+        with pytest.raises(ConfigError):
+            allocator.register("b", 1.0, weight=0.0)
+        with pytest.raises(ConfigError):
+            MaxMinFairShare(0.0)
+        with pytest.raises(ConfigError):
+            make_allocator("round-robin", 10.0)
+
+    def test_reset_and_share_lookup(self):
+        allocator = MaxMinFairShare(10.0)
+        allocator.register("a", 4.0)
+        allocator.allocate()
+        assert allocator.share("a") == pytest.approx(4.0)
+        assert allocator.share("missing") == 0.0
+        assert allocator.utilization == pytest.approx(0.4)
+        allocator.reset()
+        assert allocator.allocate() == {}
+        assert allocator.total_allocated == 0.0
+
+    def test_set_capacity_changes_the_split(self):
+        allocator = MaxMinFairShare(10.0)
+        allocator.register("a", math.inf)
+        allocator.register("b", math.inf)
+        assert allocator.allocate()["a"] == pytest.approx(5.0)
+        allocator.set_capacity(40.0)
+        assert allocator.allocate()["a"] == pytest.approx(20.0)

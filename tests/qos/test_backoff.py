@@ -1,0 +1,58 @@
+"""Shared deterministic backoff (``repro.util.backoff``)."""
+
+from __future__ import annotations
+
+from repro.util.backoff import exponential_jitter, jitter_fraction
+
+
+class TestJitterFraction:
+    def test_deterministic_in_seed_and_attempt(self):
+        assert jitter_fraction(7, 3) == jitter_fraction(7, 3)
+        assert jitter_fraction(7, 3) != jitter_fraction(7, 4)
+        assert jitter_fraction(7, 3) != jitter_fraction(8, 3)
+
+    def test_in_unit_interval(self):
+        for seed in range(5):
+            for attempt in range(10):
+                assert 0.0 <= jitter_fraction(seed, attempt) < 1.0
+
+
+class TestExponentialJitter:
+    def test_equal_jitter_bounds(self):
+        # equal-jitter form: raw/2 <= delay <= raw, raw = base * f^attempt
+        for attempt in range(6):
+            raw = min(0.01 * 2.0 ** attempt, 1.0)
+            delay = exponential_jitter(attempt, base=0.01, cap=1.0, seed=3)
+            assert raw / 2 <= delay <= raw
+
+    def test_cap_is_respected(self):
+        assert exponential_jitter(50, base=0.01, cap=0.25, seed=0) <= 0.25
+
+    def test_deterministic_under_a_seed(self):
+        a = [exponential_jitter(i, base=0.01, cap=1.0, seed=9)
+             for i in range(8)]
+        b = [exponential_jitter(i, base=0.01, cap=1.0, seed=9)
+             for i in range(8)]
+        assert a == b
+
+    def test_seeds_decorrelate(self):
+        a = [exponential_jitter(i, base=0.01, cap=1.0, seed=1)
+             for i in range(8)]
+        b = [exponential_jitter(i, base=0.01, cap=1.0, seed=2)
+             for i in range(8)]
+        assert a != b
+
+    def test_zero_base_or_cap_disables_sleeping(self):
+        assert exponential_jitter(3, base=0.0, cap=1.0) == 0.0
+        assert exponential_jitter(3, base=0.1, cap=0.0) == 0.0
+
+    def test_negative_attempt_clamps_to_first_attempt_magnitude(self):
+        delay = exponential_jitter(-2, base=0.01, cap=1.0, seed=4)
+        assert 0.005 <= delay <= 0.01  # same bounds as attempt 0
+
+    def test_grows_on_average(self):
+        early = sum(exponential_jitter(0, base=0.01, cap=10.0, seed=s)
+                    for s in range(20))
+        late = sum(exponential_jitter(6, base=0.01, cap=10.0, seed=s)
+                   for s in range(20))
+        assert late > early

@@ -1,0 +1,191 @@
+"""The QoS model vs the simulator vs real throttled runs.
+
+Three views of the same arithmetic must agree: the closed-form fluid
+model (``repro.simrt.qos_model``), the event-driven fluid simulator
+(``repro.simhw.resources.BandwidthResource``, now backed by the same
+allocator classes), and real token-bucket-throttled execution.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+
+import pytest
+
+from repro.apps.wordcount import make_wordcount_job
+from repro.core.options import RuntimeOptions
+from repro.core.supmr import SupMRRuntime
+from repro.errors import SimulationError
+from repro.qos.allocator import MaxMinFairShare
+from repro.qos.throttle import TenantBuckets
+from repro.simhw.resources import BandwidthResource
+from repro.simrt.qos_model import (
+    TenantLoad,
+    predict_completions,
+    predict_slowdowns,
+    solo_completion_s,
+    throttled_floor_s,
+)
+
+
+class TestFluidModel:
+    def test_solo_completion_is_demand_capped(self):
+        load = TenantLoad("a", volume_bytes=1000.0, demand_bps=50.0)
+        assert solo_completion_s(load, 100.0) == pytest.approx(20.0)
+        # an unbounded demand runs at node capacity
+        hungry = TenantLoad("a", volume_bytes=1000.0)
+        assert solo_completion_s(hungry, 100.0) == pytest.approx(10.0)
+
+    def test_two_equal_tenants_epoch_by_epoch(self):
+        # both at 50/s; a drains at t=2, then b runs alone at 100/s
+        finish = predict_completions(
+            [TenantLoad("a", 100.0), TenantLoad("b", 300.0)], 100.0
+        )
+        assert finish["a"] == pytest.approx(2.0)
+        assert finish["b"] == pytest.approx(4.0)
+
+    def test_surplus_flows_to_survivors(self):
+        # with no reallocation b would take 300/50 = 6s, not 4s
+        finish = predict_completions(
+            [TenantLoad("a", 100.0), TenantLoad("b", 300.0)], 100.0
+        )
+        assert finish["b"] < 6.0
+
+    def test_slowdowns_are_at_least_one(self):
+        loads = [
+            TenantLoad("a", 100.0, weight=2.0),
+            TenantLoad("b", 300.0),
+            TenantLoad("c", 50.0, demand_bps=10.0),
+        ]
+        slowdowns = predict_slowdowns(loads, 100.0)
+        assert all(s >= 1.0 - 1e-9 for s in slowdowns.values())
+        # c's demand fits beside everyone: contention costs it nothing
+        assert slowdowns["c"] == pytest.approx(1.0)
+
+    def test_priority_saturation_delays_the_low_level(self):
+        loads = [
+            TenantLoad("vip", 1000.0, priority=1),
+            TenantLoad("peasant", 10.0, priority=0),
+        ]
+        finish = predict_completions(loads, 100.0, policy="priority")
+        # the peasant moves zero bytes until the vip drains at t=10,
+        # then runs alone: 10.1s total vs 0.1s solo
+        assert finish["vip"] == pytest.approx(10.0)
+        assert finish["peasant"] == pytest.approx(10.1)
+        slow = predict_slowdowns(loads, 100.0, policy="priority")
+        assert slow["peasant"] == pytest.approx(101.0)
+        # max-min over the same loads lets the peasant slip out early
+        fair = predict_completions(loads, 100.0, policy="max-min")
+        assert fair["peasant"] < 1.0
+
+    def test_input_validation(self):
+        with pytest.raises(SimulationError):
+            TenantLoad("a", volume_bytes=0.0)
+        with pytest.raises(SimulationError):
+            TenantLoad("a", volume_bytes=1.0, demand_bps=0.0)
+        with pytest.raises(SimulationError):
+            predict_completions([TenantLoad("a", 1.0)], 0.0)
+        with pytest.raises(SimulationError):
+            predict_completions(
+                [TenantLoad("a", 1.0), TenantLoad("a", 2.0)], 100.0
+            )
+        with pytest.raises(SimulationError):
+            throttled_floor_s(100.0, 0.0)
+
+    def test_throttled_floor(self):
+        assert throttled_floor_s(1000.0, 100.0) == pytest.approx(10.0)
+        assert throttled_floor_s(1000.0, 100.0, burst_bytes=500.0) == (
+            pytest.approx(5.0)
+        )
+        assert throttled_floor_s(100.0, 100.0, burst_bytes=500.0) == 0.0
+
+
+class TestModelVsSimulator:
+    """The closed-form model and the event-driven simulator must agree
+    exactly — they now share the allocator classes."""
+
+    @pytest.mark.parametrize("policy", ["fair-share", "max-min"])
+    def test_finish_times_match(self, sim, policy):
+        loads = [
+            TenantLoad("a", 120.0),
+            TenantLoad("b", 500.0, weight=2.0),
+            TenantLoad("c", 80.0, demand_bps=15.0),
+        ]
+        predicted = predict_completions(loads, 100.0, policy=policy)
+
+        from repro.qos.allocator import make_allocator
+
+        chan = BandwidthResource(
+            sim, total_rate=100.0, allocator=make_allocator(policy, 100.0)
+        )
+        finished: dict[str, float] = {}
+        for load in loads:
+            cap = None if math.isinf(load.demand_bps) else load.demand_bps
+            event = chan.transfer(
+                load.volume_bytes, weight=load.weight, cap=cap,
+                priority=load.priority, tag=load.name,
+            )
+            event.callbacks.append(
+                lambda _e, name=load.name: finished.setdefault(name, sim.now)
+            )
+        sim.run()
+        for name, predicted_s in predicted.items():
+            assert finished[name] == pytest.approx(predicted_s), name
+
+
+class TestModelVsRealRuns:
+    def test_real_throttled_run_respects_the_floor(self, text_file):
+        rate, burst = 100 * 1024, 32 * 1024
+        options = RuntimeOptions.supmr_interfile("64KB").with_(
+            io_budget=rate, io_burst=burst
+        )
+        start = time.monotonic()
+        result = SupMRRuntime(options).run(make_wordcount_job([text_file]))
+        elapsed = time.monotonic() - start
+        floor = throttled_floor_s(result.input_bytes, rate, burst)
+        assert floor > 0.5  # the fixture is big enough for the rate to bind
+        assert elapsed >= floor * 0.9  # slack for counter granularity
+
+    def test_tenant_buckets_match_predicted_ordering(self):
+        # two tenants drain through real (wall-clock) token buckets fed
+        # by the same allocator the model uses; completion order and
+        # rough magnitudes must match the prediction
+        capacity = 400_000.0
+        volumes = {"heavy": 60_000.0, "quick": 15_000.0}
+        predicted = predict_completions(
+            [TenantLoad(name, vol) for name, vol in volumes.items()],
+            capacity,
+        )
+        buckets = TenantBuckets(MaxMinFairShare(capacity), burst_s=0.01)
+        for name in volumes:
+            buckets.set_demand(name, capacity)
+
+        done: dict[str, float] = {}
+        start = time.monotonic()
+
+        def drain(name: str) -> None:
+            bucket = buckets.bucket(name)
+            remaining = volumes[name]
+            while remaining > 0:
+                chunk = min(4096, remaining)
+                bucket.acquire(int(chunk))
+                remaining -= chunk
+            done[name] = time.monotonic() - start
+
+        threads = [
+            threading.Thread(target=drain, args=(name,)) for name in volumes
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        assert done["quick"] < done["heavy"]
+        assert predicted["quick"] < predicted["heavy"]
+        # enforcement cannot beat the model's fluid lower bound by more
+        # than the burst allowance
+        assert done["heavy"] >= throttled_floor_s(
+            volumes["heavy"], capacity / 2, burst_bytes=capacity / 2 * 0.01
+        ) * 0.9

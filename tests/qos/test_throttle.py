@@ -1,0 +1,170 @@
+"""Token-bucket semantics under a fake monotonic clock."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.options import RuntimeOptions
+from repro.errors import ConfigError
+from repro.faults import FaultInjector, RecoveryPolicy, parse_faults
+from repro.qos.allocator import MaxMinFairShare
+from repro.qos.throttle import (
+    DEFAULT_STALL_S,
+    TenantBuckets,
+    TokenBucket,
+    bucket_from_options,
+)
+
+
+class FakeClock:
+    """A controllable monotonic clock whose sleep advances it.
+
+    ``advance_on_sleep=False`` records the sleeps without moving time,
+    for tests that want to control refill elapsed time exactly.
+    """
+
+    def __init__(self, advance_on_sleep: bool = True) -> None:
+        self.now = 0.0
+        self.slept: list[float] = []
+        self._advance = advance_on_sleep
+
+    def __call__(self) -> float:
+        return self.now
+
+    def sleep(self, seconds: float) -> None:
+        self.slept.append(seconds)
+        if self._advance:
+            self.now += seconds
+
+
+def make_bucket(rate=100.0, burst=100.0, **kw) -> tuple[TokenBucket, FakeClock]:
+    clock = FakeClock()
+    bucket = TokenBucket(rate, burst, clock=clock, sleep=clock.sleep, **kw)
+    return bucket, clock
+
+
+class TestTokenBucket:
+    def test_starts_full_so_a_burst_is_free(self):
+        bucket, clock = make_bucket(rate=100.0, burst=100.0)
+        assert bucket.acquire(100) == 0.0
+        assert clock.slept == []
+
+    def test_debt_model_waits_the_overdraft_out(self):
+        bucket, clock = make_bucket(rate=100.0, burst=100.0)
+        bucket.acquire(100)           # drains the burst
+        wait = bucket.acquire(50)     # 50 bytes of debt at 100 B/s
+        assert wait == pytest.approx(0.5)
+        assert clock.slept == [pytest.approx(0.5)]
+
+    def test_average_rate_converges(self):
+        bucket, clock = make_bucket(rate=1000.0, burst=1000.0)
+        total = 0
+        for _ in range(20):
+            total += 500
+            bucket.acquire(500)
+        # elapsed >= (bytes - one burst) / rate
+        assert clock.now >= (total - 1000.0) / 1000.0 - 1e-9
+
+    def test_refill_caps_at_burst(self):
+        bucket, clock = make_bucket(rate=100.0, burst=100.0)
+        clock.now += 1000.0           # a long idle period
+        assert bucket.tokens == pytest.approx(100.0)
+
+    def test_set_rate_integrates_at_the_old_rate_first(self):
+        clock = FakeClock(advance_on_sleep=False)
+        bucket = TokenBucket(100.0, 100.0, clock=clock, sleep=clock.sleep)
+        bucket.acquire(200)           # 100 B of debt
+        clock.now += 0.5              # old rate repays 50 B of it
+        bucket.set_rate(1000.0)
+        wait = bucket.acquire(0)
+        assert wait == pytest.approx(0.05)  # remaining 50 B at 1000 B/s
+
+    def test_zero_acquire_is_free_and_negative_rejected(self):
+        bucket, _ = make_bucket()
+        assert bucket.acquire(0) == 0.0
+        with pytest.raises(ConfigError):
+            bucket.acquire(-1)
+        with pytest.raises(ConfigError):
+            TokenBucket(0.0)
+        with pytest.raises(ConfigError):
+            bucket.set_rate(-5.0)
+
+    def test_counters_tally_bytes_and_waits(self):
+        bucket, _ = make_bucket(rate=100.0, burst=100.0)
+        bucket.acquire(100)
+        bucket.acquire(30)
+        counters = bucket.counters()
+        assert counters["throttle_bytes"] == 130
+        assert counters["throttle_waits"] == 1
+        assert counters["throttle_wait_s"] == pytest.approx(0.3)
+        assert counters["io_budget_bps"] == 100
+        assert "throttle_stalls" not in counters
+
+    def test_injected_stall_adds_wait_and_counts(self):
+        plan = parse_faults("qos.throttle.stall", seed=0)
+        injector = FaultInjector(plan, RecoveryPolicy())
+        clock = FakeClock()
+        bucket = TokenBucket(
+            1000.0, 1000.0, clock=clock, sleep=clock.sleep,
+            injector=injector, scope="tenant-a",
+        )
+        waits = [bucket.acquire(1) for _ in range(5)]
+        assert bucket.stalls == 5  # probability-1 plan stalls every acquire
+        assert min(waits) >= DEFAULT_STALL_S
+        assert bucket.counters()["throttle_stalls"] == 5
+
+
+class TestBucketFromOptions:
+    def test_none_when_unbudgeted(self):
+        assert bucket_from_options(RuntimeOptions()) is None
+
+    def test_built_from_options_fields(self):
+        options = RuntimeOptions().with_(
+            io_budget="1MB", io_burst="2MB", tenant="acme"
+        )
+        bucket = bucket_from_options(options)
+        assert bucket is not None
+        assert bucket.rate_bps == 1024 * 1024
+        assert bucket.burst_bytes == 2 * 1024 * 1024
+
+
+class TestTenantBuckets:
+    def test_shares_track_contention(self):
+        clock = FakeClock()
+        buckets = TenantBuckets(
+            MaxMinFairShare(100.0), clock=clock, sleep=clock.sleep
+        )
+        assert buckets.set_demand("a", 100.0) == pytest.approx(100.0)
+        # a second tenant halves the first's share and re-rates its bucket
+        assert buckets.set_demand("b", 100.0) == pytest.approx(50.0)
+        assert buckets.bucket("a").rate_bps == pytest.approx(50.0)
+        assert sorted(buckets.tenants()) == ["a", "b"]
+
+    def test_removal_returns_the_share(self):
+        clock = FakeClock()
+        buckets = TenantBuckets(
+            MaxMinFairShare(100.0), clock=clock, sleep=clock.sleep
+        )
+        buckets.set_demand("a", 100.0)
+        buckets.set_demand("b", 100.0)
+        buckets.remove("b")
+        assert buckets.shares()["a"] == pytest.approx(100.0)
+        assert buckets.bucket("a").rate_bps == pytest.approx(100.0)
+        with pytest.raises(ConfigError):
+            buckets.bucket("b")
+
+    def test_enforced_rates_shape_real_waiting(self):
+        clock = FakeClock()
+        buckets = TenantBuckets(
+            MaxMinFairShare(1000.0), burst_s=0.001,
+            clock=clock, sleep=clock.sleep,
+        )
+        buckets.set_demand("heavy", 1000.0)
+        buckets.set_demand("interactive", 1000.0)
+        heavy, interactive = buckets.bucket("heavy"), buckets.bucket("interactive")
+        for _ in range(10):
+            heavy.acquire(100)
+        quick = interactive.acquire(10)
+        # heavy's traffic never drains interactive's bucket
+        assert heavy.counters()["throttle_wait_s"] > 0
+        assert quick <= 10 / interactive.rate_bps + 1e-9

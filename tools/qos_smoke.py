@@ -1,0 +1,192 @@
+#!/usr/bin/env python
+"""CI smoke: two tenants share a bandwidth-capped daemon end to end.
+
+Exercises the whole QoS story through the real CLI and wire protocol:
+
+1. record one-shot *unthrottled* digests for a heavy job and an
+   interactive job;
+2. start the daemon with a ``--node-bandwidth`` cap and submit both
+   concurrently under different tenants, each declaring an I/O demand
+   that alone would saturate the node;
+3. require the interactive job to finish within a bound derived from
+   its fair share (it must not wait behind the heavy tenant's bytes),
+   both digests to match their unthrottled one-shot runs (throttling
+   delays I/O, never changes it), and per-job throttle counters to
+   show the bucket actually metered the bytes;
+4. after both jobs finish and the daemon shuts down, require the
+   service to report zero assigned bandwidth — no leaked tokens.
+
+Exits non-zero (failing the CI job) on any divergence.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[1]
+SRC = str(REPO / "src")
+ENV = dict(os.environ)
+ENV["PYTHONPATH"] = SRC + (
+    os.pathsep + ENV["PYTHONPATH"] if ENV.get("PYTHONPATH") else ""
+)
+sys.path.insert(0, SRC)
+
+from repro.service.client import ServiceClient  # noqa: E402
+from repro.service.jobspec import ServiceJobSpec  # noqa: E402
+from repro.service.state import STATE_DONE  # noqa: E402
+
+#: Node cap and inputs sized so the heavy job is rate-bound for several
+#: seconds while the interactive job's bytes fit in a fraction of that.
+NODE_BW = "1MB"
+HEAVY_SIZE = "4MB"
+INTERACTIVE_SIZE = "128KB"
+#: The interactive job at half the node (its max-min share) moves its
+#: bytes in ~0.25s; allow generous slack for process startup and CI.
+INTERACTIVE_BOUND_S = 30.0
+
+
+def run_cli(*args: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, "-m", "repro.cli", *args],
+        capture_output=True, text=True, env=ENV, timeout=600,
+    )
+
+
+def one_shot_digest(*args: str) -> str:
+    proc = run_cli(*args, "--json")
+    if proc.returncode != 0:
+        sys.exit(
+            f"one-shot run failed (rc={proc.returncode}):\n"
+            f"{proc.stdout}\n{proc.stderr}"
+        )
+    return json.loads(proc.stdout)["digest"]
+
+
+def start_daemon(state_dir: Path) -> subprocess.Popen:
+    state_dir.mkdir(parents=True, exist_ok=True)
+    log = open(state_dir / "daemon.log", "ab")
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve",
+         "--state-dir", str(state_dir), "--max-jobs", "2",
+         "--node-bandwidth", NODE_BW, "--qos-policy", "max-min"],
+        env=ENV, stdout=log, stderr=subprocess.STDOUT,
+    )
+    log.close()
+    deadline = time.monotonic() + 30.0
+    while time.monotonic() < deadline:
+        if (state_dir / "endpoint.json").exists():
+            return proc
+        if proc.poll() is not None:
+            sys.exit("daemon exited before advertising its endpoint; see "
+                     + str(state_dir / "daemon.log"))
+        time.sleep(0.02)
+    proc.kill()
+    sys.exit("daemon did not come up within 30s")
+
+
+def main() -> int:
+    tmp = Path(tempfile.mkdtemp(prefix="qos-smoke-"))
+    heavy_input = tmp / "heavy.txt"
+    interactive_input = tmp / "interactive.txt"
+    run_cli("gen", "text", str(heavy_input), "--size", HEAVY_SIZE,
+            "--seed", "41")
+    run_cli("gen", "text", str(interactive_input), "--size",
+            INTERACTIVE_SIZE, "--seed", "42")
+
+    print("qos smoke: recording unthrottled one-shot digests")
+    expected = {
+        "heavy": one_shot_digest(
+            "wordcount", str(heavy_input), "--chunk-size", "64KB"),
+        "interactive": one_shot_digest(
+            "wordcount", str(interactive_input), "--chunk-size", "64KB"),
+    }
+
+    heavy_spec = ServiceJobSpec(
+        app="wordcount", inputs=(str(heavy_input),), chunk_size="64KB",
+        tenant="heavy", io_budget=NODE_BW,
+    )
+    interactive_spec = ServiceJobSpec(
+        app="wordcount", inputs=(str(interactive_input),),
+        chunk_size="64KB", tenant="interactive", io_budget="512KB",
+    )
+
+    state_dir = tmp / "svc"
+    daemon = start_daemon(state_dir)
+    client = ServiceClient.from_state_dir(state_dir)
+
+    print(f"qos smoke: node capped at {NODE_BW}/s; submitting "
+          f"heavy ({HEAVY_SIZE}) + interactive ({INTERACTIVE_SIZE}) "
+          "concurrently")
+    client.submit(heavy_spec)
+    submitted = time.monotonic()
+    client.submit(interactive_spec)
+
+    failures: list[str] = []
+    interactive_rec = client.wait(
+        interactive_spec.job_id(), timeout_s=300)
+    interactive_elapsed = time.monotonic() - submitted
+    heavy_rec = client.wait(heavy_spec.job_id(), timeout_s=600)
+
+    if interactive_elapsed > INTERACTIVE_BOUND_S:
+        failures.append(
+            f"interactive job took {interactive_elapsed:.1f}s — it waited "
+            f"behind the heavy tenant (bound {INTERACTIVE_BOUND_S:.0f}s)"
+        )
+    else:
+        print(f"  interactive finished in {interactive_elapsed:.1f}s "
+              f"(bound {INTERACTIVE_BOUND_S:.0f}s)")
+
+    for label, rec in (("heavy", heavy_rec), ("interactive", interactive_rec)):
+        if rec.state != STATE_DONE:
+            failures.append(f"{label} job: {rec.state} ({rec.error})")
+            continue
+        if rec.digest != expected[label]:
+            failures.append(
+                f"{label} job: throttled digest {rec.digest} != "
+                f"unthrottled one-shot {expected[label]}"
+            )
+        else:
+            print(f"  {label}: digest matches the unthrottled run")
+        report = client.result(rec.job_id).get("report") or {}
+        counters = report.get("counters") or {}
+        if not counters.get("throttle_bytes"):
+            failures.append(
+                f"{label} job: no throttle_bytes counter — the token "
+                "bucket never metered its I/O"
+            )
+        else:
+            print(f"  {label}: metered {counters['throttle_bytes']} bytes "
+                  f"at {counters.get('io_budget_bps')} B/s, "
+                  f"waited {counters.get('throttle_wait_s', 0.0):.2f}s")
+
+    status = client.status()
+    leaked = status.get("io_assigned_bps", 0)
+    if leaked:
+        failures.append(
+            f"daemon still reports {leaked} B/s assigned after both jobs "
+            "finished — leaked tokens"
+        )
+    else:
+        print("  zero bandwidth assigned after completion (no leaks)")
+    shed = (status.get("counters") or {}).get("shed", 0)
+    if shed:
+        failures.append(f"daemon shed {shed} job(s); none should shed here")
+
+    client.shutdown()
+    daemon.wait(timeout=30)
+
+    if failures:
+        sys.exit("qos smoke FAILED:\n  " + "\n  ".join(failures))
+    print("qos smoke PASSED: capped node shared across tenants; "
+          "interactive latency bounded; digests unchanged; no leaks")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
