@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import mmap
 import os
+import threading
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import TYPE_CHECKING, Iterator
@@ -22,6 +23,21 @@ from repro.io.datafile import read_slice
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.faults.injector import FaultInjector
     from repro.qos.throttle import TokenBucket
+
+#: Per-thread scratch buffer for :meth:`Chunk.warm`.  Warm is called once
+#: per chunk per ingest reader; with multi-reader prefetch that is a hot
+#: path, and reusing one buffer per thread (threads never share it, so no
+#: locking) avoids a fresh megabyte allocation per chunk.
+_warm_local = threading.local()
+
+
+def _warm_scratch(size: int) -> memoryview:
+    """Return this thread's warm buffer, growing it to ``size`` if needed."""
+    buf = getattr(_warm_local, "buf", None)
+    if buf is None or len(buf) < size:
+        buf = bytearray(size)
+        _warm_local.buf = buf
+    return memoryview(buf)
 
 
 @dataclass(frozen=True)
@@ -158,12 +174,17 @@ class Chunk:
         loader warms the chunk instead of materializing it, and the
         forked mappers then fault their split windows in from cache.
         Returns the number of bytes touched.  A ``throttle`` charges the
-        chunk's bytes up front, same as :meth:`load`.
+        chunk's bytes up front, same as :meth:`load` — exactly once per
+        chunk, regardless of how many prefetch readers are running.
+
+        Reads go through a per-thread reusable scratch buffer: warm is
+        never the consumer of the bytes, so the buffer's contents are
+        discarded and each ingest reader can recycle one allocation
+        across every chunk it touches.
         """
         if throttle is not None:
             throttle.acquire(self.length)
-        scratch = bytearray(buffer_size)
-        view = memoryview(scratch)
+        view = _warm_scratch(buffer_size)
         touched = 0
         for src in self.sources:
             try:

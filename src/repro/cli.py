@@ -374,6 +374,21 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--io-priority", type=int, default=0,
                        help="bandwidth priority class for priority-aware "
                             "QoS policies (higher gets bandwidth first)")
+        p.add_argument("--transport",
+                       choices=("auto", "shm", "pipe"),
+                       default=None,
+                       help="process-backend result transport: shared-memory "
+                            "segments (shm), queue pipes (pipe), or auto "
+                            "(shm when /dev/shm works; the default)")
+        p.add_argument("--no-persistent-pool", action="store_true",
+                       help="fork a fresh worker pool per wave instead of "
+                            "reusing one pre-forked pool per job")
+        p.add_argument("--ingest-readers", type=int, default=None, metavar="N",
+                       help="concurrent ingest prefetch readers (N>1 enables "
+                            "the multi-queue async ingest pipeline)")
+        p.add_argument("--ingest-depth", type=int, default=None, metavar="N",
+                       help="buffered-chunk window for the prefetch pipeline "
+                            "(default: readers+1)")
 
     p_wc = sub.add_parser("wordcount", help="run word count on real files")
     p_wc.add_argument("files", nargs="+")

@@ -34,18 +34,116 @@ from repro.resilience.gates import gate_worker_sites, worker_sites_armed
 from repro.resilience.supervisor import (
     SupervisedForkExecutor,
     SupervisionResult,
+    WorkerPool,
     supervised_fork_map,
 )
 from repro.sortlib.merge_sort import pairwise_merge_sort
 from repro.sortlib.pway import pway_merge
 from repro.spill.container import SpillableContainer
 from repro.spill.manager import SpillManager
+from repro.xfer.transport import make_transport
 
 Pair = tuple[Hashable, Any]
 
 #: Below this many total pairs, forking merge workers costs more than the
 #: merge itself; the process backend merges inline instead.
 _FORK_MERGE_MIN_PAIRS = 20_000
+
+
+def job_task_handler(job: JobSpec) -> "Any":
+    """The persistent pool's dispatch body: one closure for every phase.
+
+    A :class:`~repro.resilience.supervisor.WorkerPool` is forked once
+    per job around this handler — ``job`` (map/reduce functions, codec,
+    container factory) rides into every worker copy-on-write — and each
+    wave then sends small ``("map", ...)`` / ``("reduce", ...)``
+    descriptors through the command channel instead of re-forking.
+    """
+
+    def handle(task: tuple) -> Any:
+        kind = task[0]
+        if kind == "map":
+            _kind, task_id, chunk_index, split = task
+            data = split.resolve() if isinstance(split, SplitRef) else split
+            local = job.container_factory()
+            local.begin_round()
+            ctx = MapContext(
+                data=data,
+                emitter=local.emitter(task_id),
+                task_id=task_id,
+                chunk_index=chunk_index,
+            )
+            job.map_fn(ctx)
+            local.seal()
+            return local.drain()
+        if kind == "reduce":
+            out: list[Pair] = []
+            for key, values in task[1]:
+                out.extend(job.reduce_fn(key, values))
+            if job.sorted_output:
+                out.sort(key=job.output_key)
+            return out
+        raise RuntimeStateError(f"unknown pool task kind {task[0]!r}")
+
+    return handle
+
+
+class ProcessPoolContext:
+    """Job-lifetime process-backend state: one transport, one pool.
+
+    Created by the runtimes once per job run when the backend is
+    ``process``; every wave shares its transport (so segments carry one
+    job nonce and one cleanup covers them all) and, when
+    ``options.persistent_pool`` is on, its lazily-forked
+    :class:`~repro.resilience.supervisor.WorkerPool`.  ``close()`` is
+    the job-exit guarantee: workers are shut down and every
+    shared-memory segment of this job — including a SIGKILLed worker's
+    strays — is unlinked.
+    """
+
+    def __init__(self, job: JobSpec, options: RuntimeOptions) -> None:
+        self.job = job
+        self.options = options
+        self.transport = make_transport(options.transport)
+        #: Descriptor waves need the supervisor's dispatch protocol;
+        #: with supervision off the wave falls back to fork-per-wave.
+        self.persistent = bool(
+            options.persistent_pool and options.supervised_pool
+        )
+        self._pool: "WorkerPool | None" = None
+
+    @property
+    def transport_kind(self) -> str:
+        return self.transport.kind
+
+    def pool(self) -> WorkerPool:
+        """The persistent pool, forked on first use."""
+        if self._pool is None:
+            self._pool = WorkerPool(
+                job_task_handler(self.job),
+                max(self.options.num_mappers, self.options.num_reducers),
+                transport=self.transport,
+                worker_name="repro-job",
+            )
+        return self._pool
+
+    def close(self) -> None:
+        """Shut down the pool and unlink every live segment (idempotent).
+
+        The runtimes call this in their ``finally`` — it is the job-exit
+        guarantee that no shared-memory segment outlives the job, even
+        on a crash-path abort.
+        """
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+        self.transport.cleanup()
+
+    def __enter__(self) -> "ProcessPoolContext":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
 
 
 def build_container(
@@ -180,6 +278,7 @@ def run_mapper_wave(
     task_id_base: int = 0,
     injector: FaultInjector | None = None,
     wave_stats: "dict[str, int] | None" = None,
+    xfer: "ProcessPoolContext | None" = None,
 ) -> int:
     """One wave of map tasks over ``data``; returns tasks launched.
 
@@ -206,7 +305,7 @@ def run_mapper_wave(
     if options.executor_backend is ExecutorBackend.PROCESS:
         return _run_mapper_wave_process(
             job, container, data, options, chunk_index, task_id_base,
-            injector, wave_stats,
+            injector, wave_stats, xfer,
         )
     if isinstance(data, ChunkHandle):
         data = data.load()
@@ -276,8 +375,10 @@ def _run_mapper_wave_process(
     task_id_base: int,
     injector: FaultInjector | None,
     wave_stats: "dict[str, int] | None" = None,
+    xfer: "ProcessPoolContext | None" = None,
 ) -> int:
-    """The process backend's wave: fork, map+combine in-worker, absorb.
+    """The process backend's wave: fork (or reuse the pool), map+combine
+    in-worker, absorb.
 
     Splits are either :class:`~repro.parallel.splits.SplitRef` ranges
     (unloaded chunks — workers mmap their own bytes) or zero-copy spans
@@ -286,9 +387,16 @@ def _run_mapper_wave_process(
     before serialization, and the parent absorbs the resulting deltas
     *in task order* — making the wave's effect on the shared container
     deterministic and identical to the serial backend's.
+
+    With a persistent ``xfer`` pool and ``SplitRef`` splits the wave is
+    dispatched as descriptors to the already-forked workers — no forks,
+    no COW dependency.  Parent-loaded spans keep fork-per-wave: the
+    buffer reaches the workers copy-on-write for free, which no
+    transport can beat.
     """
     delimiter = job.codec.delimiter
     splits: "Sequence[SplitRef | ByteSpan]"
+    ref_splits = False
     if isinstance(data, ChunkHandle):
         refs = split_refs_for_chunk(data.chunk, options.num_mappers, delimiter)
         if refs is None:
@@ -297,6 +405,7 @@ def _run_mapper_wave_process(
             splits = split_for_mappers(data.load(), options.num_mappers, delimiter)
         else:
             splits = refs
+            ref_splits = True
     else:
         splits = split_for_mappers(data, options.num_mappers, delimiter)
     if not splits:
@@ -346,19 +455,38 @@ def _run_mapper_wave_process(
         # schedule the serial gate replays), orphaned tasks re-dispatch,
         # poison tasks quarantine, and the map.task gate runs as the
         # pre-dispatch hook so per-task site ordering matches serial.
-        outcome = supervised_fork_map(
-            map_task,
-            list(enumerate(splits)),
-            options.num_mappers,
-            policy=options.recovery,
-            injector=injector,
-            scope_of=lambda i: (chunk_index, task_id_base + i),
-            allow_skip=True,
-            pre_run=(
-                (lambda i: map_task_gate(task_id_base + i))
-                if map_task_armed else None
-            ),
+        pre_run = (
+            (lambda i: map_task_gate(task_id_base + i))
+            if map_task_armed else None
         )
+        if xfer is not None and xfer.persistent and ref_splits:
+            # Descriptor dispatch: the pool's workers were forked once
+            # at job start; each task ships as a tiny SplitRef frame
+            # and the worker mmaps its own byte range.
+            outcome = xfer.pool().run_wave(
+                [
+                    ("map", task_id_base + i, chunk_index, split)
+                    for i, split in enumerate(splits)
+                ],
+                workers=options.num_mappers,
+                policy=options.recovery,
+                injector=injector,
+                scope_of=lambda i: (chunk_index, task_id_base + i),
+                allow_skip=True,
+                pre_run=pre_run,
+            )
+        else:
+            outcome = supervised_fork_map(
+                map_task,
+                list(enumerate(splits)),
+                options.num_mappers,
+                policy=options.recovery,
+                injector=injector,
+                scope_of=lambda i: (chunk_index, task_id_base + i),
+                allow_skip=True,
+                pre_run=pre_run,
+                transport=xfer.transport if xfer is not None else None,
+            )
         accumulate_wave_stats(wave_stats, outcome)
         deltas = outcome.completed()
     else:
@@ -381,7 +509,8 @@ def _run_mapper_wave_process(
             for i in indices:
                 map_task_gate(task_id_base + i)
         deltas = fork_map(
-            map_task, [(i, splits[i]) for i in indices], options.num_mappers
+            map_task, [(i, splits[i]) for i in indices], options.num_mappers,
+            transport=xfer.transport if xfer is not None else None,
         )
     for delta in deltas:
         container.absorb(delta)
@@ -394,13 +523,15 @@ def run_reducers(
     options: RuntimeOptions,
     pool: Executor,
     wave_stats: "dict[str, int] | None" = None,
+    xfer: "ProcessPoolContext | None" = None,
 ) -> list[list[Pair]]:
     """Seal the container and reduce each partition; returns one
     key-sorted output run per reducer (``run_reducers()`` of Table I).
 
     Under the ``process`` backend the partitions are reduced in forked
-    workers — the partition lists ride into the fork copy-on-write and
-    only the (typically smaller) reduced runs are pickled back.
+    workers — the partition lists ride into the fork copy-on-write (or,
+    with a persistent ``xfer`` pool, cross as shared-memory task frames)
+    and only the (typically smaller) reduced runs travel back.
     """
     container.seal()
     partitions = container.partitions(options.num_reducers)
@@ -418,13 +549,24 @@ def run_reducers(
             # Reduce tasks are pure (partition -> pairs), so genuine
             # worker deaths are safely re-dispatched; no fault sites are
             # checked here, keeping reduce schedules backend-identical.
-            outcome = supervised_fork_map(
-                reduce_task, partitions, options.num_reducers,
-                policy=options.recovery,
-            )
+            if xfer is not None and xfer.persistent:
+                outcome = xfer.pool().run_wave(
+                    [("reduce", partition) for partition in partitions],
+                    workers=options.num_reducers,
+                    policy=options.recovery,
+                )
+            else:
+                outcome = supervised_fork_map(
+                    reduce_task, partitions, options.num_reducers,
+                    policy=options.recovery,
+                    transport=xfer.transport if xfer is not None else None,
+                )
             accumulate_wave_stats(wave_stats, outcome)
             return outcome.results
-        return fork_map(reduce_task, partitions, options.num_reducers)
+        return fork_map(
+            reduce_task, partitions, options.num_reducers,
+            transport=xfer.transport if xfer is not None else None,
+        )
     return list(pool.map(reduce_task, partitions))
 
 
@@ -432,6 +574,7 @@ def merge_outputs(
     runs: list[list[Pair]],
     job: JobSpec,
     options: RuntimeOptions,
+    xfer: "ProcessPoolContext | None" = None,
 ) -> tuple[list[Pair], int]:
     """Merge per-reducer sorted runs into the final output.
 
@@ -457,13 +600,20 @@ def merge_outputs(
             options.executor_backend is ExecutorBackend.PROCESS
             and sum(len(r) for r in runs) >= _FORK_MERGE_MIN_PAIRS
         ):
+            # Merge workers close over the runs (COW), so they stay
+            # fork-per-wave; the merged ranges still ride back through
+            # the job transport.
+            transport = xfer.transport if xfer is not None else None
             if options.supervised_pool:
                 executor = SupervisedForkExecutor(
                     options.effective_merge_parallelism,
                     policy=options.recovery,
+                    transport=transport,
                 )
             else:
-                executor = ForkExecutor(options.effective_merge_parallelism)
+                executor = ForkExecutor(
+                    options.effective_merge_parallelism, transport=transport,
+                )
         merged = pway_merge(
             runs, options.effective_merge_parallelism,
             key=job.output_key, executor=executor,

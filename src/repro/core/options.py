@@ -132,6 +132,25 @@ class RuntimeOptions:
     tenant: str = "default"
     #: Bandwidth priority class fed to priority-aware allocators.
     io_priority: int = 0
+    #: How forked workers ship results back (:mod:`repro.xfer`):
+    #: ``"shm"`` posts pickle-5 payloads through shared-memory segments
+    #: and sends only tiny control frames over the queue; ``"pipe"`` is
+    #: the PR-3 pickle-over-the-queue path; ``"auto"`` (default) picks
+    #: shm when the box supports it and falls back to pipe otherwise.
+    transport: str = "auto"
+    #: Fork the process backend's workers once per job and feed them
+    #: task descriptors over a command channel, instead of forking a
+    #: fresh pool every mapper wave.  Off restores fork-per-wave (each
+    #: wave COW-inherits the parent at dispatch time).
+    persistent_pool: bool = True
+    #: Prefetch reader threads for pipelined ingest.  ``1`` keeps the
+    #: single look-ahead-one background thread; ``N > 1`` runs N
+    #: ``readinto``-based readers over a bounded in-flight window so
+    #: ingest keeps up with more than two concurrent mapper waves.
+    ingest_readers: int = 1
+    #: Bound on chunks buffered ahead of the mapper (the prefetch
+    #: window); None defaults to ``ingest_readers + 1``.
+    ingest_depth: int | None = None
 
     def __post_init__(self) -> None:
         object.__setattr__(
@@ -202,6 +221,22 @@ class RuntimeOptions:
             object.__setattr__(self, "io_burst", io_burst)
         if not self.tenant:
             raise ConfigError("tenant must be a non-empty string")
+        transport = str(self.transport).lower()
+        if transport not in ("auto", "pipe", "shm"):
+            raise ConfigError(
+                f"unknown transport {self.transport!r}; "
+                "choose one of auto, pipe, shm"
+            )
+        object.__setattr__(self, "transport", transport)
+        if self.ingest_readers < 1:
+            raise ConfigError("ingest_readers must be >= 1")
+        if self.ingest_depth is not None and self.ingest_depth < 1:
+            raise ConfigError("ingest_depth must be >= 1")
+
+    @property
+    def effective_ingest_depth(self) -> int:
+        """Chunks buffered ahead of the mapper under pipelined ingest."""
+        return self.ingest_depth or (self.ingest_readers + 1)
 
     @property
     def effective_merge_parallelism(self) -> int:

@@ -19,6 +19,7 @@ import time
 
 from repro.chunking.planner import plan_whole_input
 from repro.core.execution import (
+    ProcessPoolContext,
     build_container,
     merge_outputs,
     run_mapper_wave,
@@ -31,7 +32,7 @@ from repro.core.timers import PhaseTimer
 from repro.errors import ConfigError, DeadlineExceeded
 from repro.faults.log import ACTION_DEGRADED
 from repro.faults.plan import SITE_INGEST_READ
-from repro.parallel.backends import make_pool
+from repro.parallel.backends import ExecutorBackend, make_pool
 from repro.qos.throttle import bucket_from_options
 from repro.resilience.degrade import Deadline, run_with_degradation
 from repro.resilience.journal import STAGE_REDUCED, JobJournal, job_fingerprint
@@ -95,6 +96,9 @@ class PhoenixRuntime:
             and journal.stage == STAGE_REDUCED
         )
 
+        xfer = None
+        if options.executor_backend is ExecutorBackend.PROCESS:
+            xfer = ProcessPoolContext(job, options)
         succeeded = False
         try:
             with timer.phase("total"):
@@ -132,6 +136,7 @@ class PhoenixRuntime:
                                 job, container, data, options, pool,
                                 injector=injector,
                                 wave_stats=wave_stats,
+                                xfer=xfer,
                             )
                     with timer.phase("reduce"):
                         if resume_at_reduced:
@@ -139,13 +144,15 @@ class PhoenixRuntime:
                         else:
                             runs = run_reducers(
                                 job, container, options, pool,
-                                wave_stats=wave_stats,
+                                wave_stats=wave_stats, xfer=xfer,
                             )
                             if journal is not None:
                                 journal.record_reduced(runs)
 
                 with timer.phase("merge"):
-                    output, merge_rounds = merge_outputs(runs, job, options)
+                    output, merge_rounds = merge_outputs(
+                        runs, job, options, xfer=xfer
+                    )
 
             if journal is not None:
                 journal.finalize()
@@ -158,6 +165,10 @@ class PhoenixRuntime:
             container_stats = container.stats()
             succeeded = True
         finally:
+            # Job-exit guarantee: shut the pool down and unlink every
+            # shared-memory segment this job created.
+            if xfer is not None:
+                xfer.close()
             # Keep sealed runs for the resume when a journaled run fails.
             if spill_mgr is not None and (journal is None or succeeded):
                 spill_mgr.cleanup()
@@ -175,6 +186,9 @@ class PhoenixRuntime:
             "merge_algorithm": options.merge_algorithm.value,
             "executor_backend": options.executor_backend.value,
         }
+        if xfer is not None:
+            counters["transport"] = xfer.transport_kind
+            counters["persistent_pool"] = xfer.persistent
         for key, value in wave_stats.items():
             if value:
                 counters[key] = value

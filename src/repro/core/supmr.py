@@ -24,6 +24,7 @@ import time
 from repro.chunking.chunk import Chunk, ChunkPlan
 from repro.chunking.planner import plan_chunks
 from repro.core.execution import (
+    ProcessPoolContext,
     build_container,
     merge_outputs,
     run_mapper_wave,
@@ -39,6 +40,7 @@ from repro.faults.plan import SITE_INGEST_READ
 from repro.parallel.backends import ExecutorBackend, make_pool
 from repro.parallel.splits import ChunkHandle
 from repro.pipeline.double_buffer import DoubleBufferedPipeline
+from repro.pipeline.prefetch import PrefetchPipeline
 from repro.qos.throttle import bucket_from_options
 from repro.resilience.degrade import Deadline, run_with_degradation
 from repro.resilience.journal import STAGE_REDUCED, JobJournal, job_fingerprint
@@ -149,6 +151,9 @@ class SupMRRuntime:
             plan.n_chunks, len(restored_rounds),
         )
 
+        xfer = None
+        if options.executor_backend is ExecutorBackend.PROCESS:
+            xfer = ProcessPoolContext(job, options)
         succeeded = False
         try:
             with make_pool(options.executor_backend, options.num_mappers) as pool:
@@ -167,6 +172,7 @@ class SupMRRuntime:
                         task_id_base=task_counter[0],
                         injector=injector,
                         wave_stats=wave_stats,
+                        xfer=xfer,
                     )
                     task_counter[0] += launched
                     if journal is not None:
@@ -179,11 +185,19 @@ class SupMRRuntime:
                                 f"round {chunk.index} journaled",
                             )
 
-                pipeline = DoubleBufferedPipeline(
-                    load=load,
-                    work=work,
-                    pipelined=options.pipelined_ingest,
-                )
+                if options.pipelined_ingest and options.ingest_readers > 1:
+                    pipeline = PrefetchPipeline(
+                        load=load,
+                        work=work,
+                        readers=options.ingest_readers,
+                        depth=options.effective_ingest_depth,
+                    )
+                else:
+                    pipeline = DoubleBufferedPipeline(
+                        load=load,
+                        work=work,
+                        pipelined=options.pipelined_ingest,
+                    )
 
                 with timer.phase("total"):
                     with timer.phase("read_map"):
@@ -212,12 +226,14 @@ class SupMRRuntime:
                         else:
                             runs = run_reducers(
                                 job, container, options, pool,
-                                wave_stats=wave_stats,
+                                wave_stats=wave_stats, xfer=xfer,
                             )
                             if journal is not None:
                                 journal.record_reduced(runs)
                     with timer.phase("merge"):
-                        output, merge_rounds = merge_outputs(runs, job, options)
+                        output, merge_rounds = merge_outputs(
+                            runs, job, options, xfer=xfer
+                        )
 
             if journal is not None:
                 journal.finalize()
@@ -225,6 +241,11 @@ class SupMRRuntime:
             container_stats = container.stats()
             succeeded = True
         finally:
+            # Pool shutdown + segment cleanup is the job-exit guarantee:
+            # no shared-memory segment of this job survives, even after
+            # a crash-path abort.
+            if xfer is not None:
+                xfer.close()
             # On failure with a journal, sealed runs must survive for the
             # resume; otherwise they are dead weight and go now.
             if spill_mgr is not None and (journal is None or succeeded):
@@ -262,6 +283,11 @@ class SupMRRuntime:
             "pipeline_rounds": len(rounds),
             "map_tasks": task_counter[0],
         }
+        if xfer is not None:
+            counters["transport"] = xfer.transport_kind
+            counters["persistent_pool"] = xfer.persistent
+        if options.ingest_readers > 1:
+            counters["ingest_readers"] = options.ingest_readers
         for key, value in wave_stats.items():
             if value:
                 counters[key] = value

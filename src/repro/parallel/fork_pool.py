@@ -14,25 +14,34 @@ Work is assigned by stride (worker ``w`` takes items ``w, w+W, ...``),
 results are reordered by item index in the parent, and the first failing
 item's exception is re-raised after all results arrive — the same
 "first future wins" semantics as the thread backend's wave loop.
+
+Results cross back through a :mod:`repro.xfer` transport: the default
+pipe transport is the original synchronous-pickle-over-the-queue path;
+handing in a shared-memory transport moves large payloads out of the
+pipe entirely.  The parent never polls — it blocks in
+``multiprocessing.connection.wait`` on the result pipe *and* every
+worker sentinel, so a result wakes it instantly and so does a death.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import os
-import pickle
 import queue as queue_mod
 from concurrent.futures import Future
+from multiprocessing import connection as mp_connection
 from typing import Any, Callable, Iterable, Sequence, TypeVar
 
 from repro.errors import ParallelError
 from repro.parallel.backends import require_process_backend
+from repro.xfer.transport import PipeTransport, ShmTransport
 
 T = TypeVar("T")
 R = TypeVar("R")
 
-#: Seconds between liveness checks while waiting on worker results.
-_POLL_S = 0.2
+#: How long the silent result pipe is given to flush buffered frames
+#: after every worker has exited, before declaring the wave crashed.
+_DRAIN_GRACE_S = 0.2
 
 
 def _run_assigned(
@@ -41,15 +50,16 @@ def _run_assigned(
     worker: int,
     stride: int,
     results: Any,
+    transport: "PipeTransport | ShmTransport",
 ) -> None:
     """Worker body: compute this worker's strided share of ``items``.
 
     Every outcome — value or exception — is posted as ``(index, ok,
-    payload)``.  Results must pickle (they cross a pipe); the payload is
-    pickled *here*, synchronously, because ``Queue.put`` pickles in a
-    feeder thread where failures cannot be caught — anything unpicklable
-    is downgraded to a :class:`~repro.errors.ParallelError` carrying its
-    ``repr`` so the parent still learns what happened.
+    payload)``.  The payload is packed *here*, synchronously, because
+    ``Queue.put`` pickles in a feeder thread where failures cannot be
+    caught — anything unpicklable is downgraded to a
+    :class:`~repro.errors.ParallelError` carrying its ``repr`` so the
+    parent still learns what happened.
     """
     for idx in range(worker, len(items), stride):
         try:
@@ -57,44 +67,46 @@ def _run_assigned(
         except BaseException as exc:  # noqa: BLE001 - transported to parent
             payload = (idx, False, exc)
         try:
-            blob = pickle.dumps(payload)
+            frame = transport.pack(payload)
         except Exception:  # noqa: BLE001 - unpicklable result or error
             kind = "result" if payload[1] else "error"
-            blob = pickle.dumps((
+            frame = transport.pack((
                 idx, False,
                 ParallelError(
                     f"worker {kind} for item {idx} could not be pickled: "
                     f"{payload[2]!r}"
                 ),
             ))
-        results.put(blob)
+        results.put(frame)
 
 
 def fork_map(
     fn: Callable[[T], R],
     items: Iterable[T],
     workers: int,
+    transport: "PipeTransport | ShmTransport | None" = None,
 ) -> list[R]:
     """Run ``fn`` over ``items`` in forked worker processes.
 
     Returns results in item order.  ``fn``, ``items``, and everything
     they close over are inherited by fork (never pickled); each result
-    is pickled once on its way back.  Raises the lowest-index item's
-    exception after the whole wave has reported, or
-    :class:`~repro.errors.ParallelError` if a worker dies without
-    reporting (e.g. killed by the OOM killer).
+    crosses back once through ``transport`` (default: the pipe codec).
+    Raises the lowest-index item's exception after the whole wave has
+    reported, or :class:`~repro.errors.ParallelError` if a worker dies
+    without reporting (e.g. killed by the OOM killer).
     """
     items = list(items)
     if not items:
         return []
     require_process_backend()
+    transport = transport or PipeTransport()
     workers = max(1, min(workers, len(items), (os.cpu_count() or 1) * 4))
     ctx = multiprocessing.get_context("fork")
     results_q = ctx.Queue()
     procs = [
         ctx.Process(
             target=_run_assigned,
-            args=(fn, items, w, workers, results_q),
+            args=(fn, items, w, workers, results_q, transport),
             daemon=True,
             name=f"repro-fork-{w}",
         )
@@ -106,21 +118,27 @@ def fork_map(
     out: list[Any] = [None] * len(items)
     failures: dict[int, BaseException] = {}
     pending = len(items)
-    grace_polls = 0
+    reader = results_q._reader
     try:
         while pending:
-            try:
-                blob = results_q.get(timeout=_POLL_S)
-            except queue_mod.Empty:
-                if any(p.is_alive() for p in procs):
+            # Block until a frame lands or a worker's sentinel trips —
+            # no fixed-interval polling, so results wake the parent
+            # instantly and a small wave pays zero idle latency.
+            live = [p.sentinel for p in procs if p.is_alive()]
+            ready = mp_connection.wait(
+                [reader, *live],
+                timeout=None if live else _DRAIN_GRACE_S,
+            )
+            if reader not in ready:
+                if ready or live:
+                    # A worker exited (cleanly or not); reassess.  Any
+                    # frames it flushed first are already in the pipe.
                     continue
-                # All workers exited; allow a couple of polls for data
-                # still buffered in the pipe, then declare a crash.
-                grace_polls += 1
-                if grace_polls < 3:
-                    continue
-                # Drop the queue's feeder thread before raising: with a
-                # worker dead mid-put, join-on-close could hang shutdown.
+                # Every worker is gone and the pipe stayed silent for
+                # the grace window: the missing results are never
+                # coming.  Drop the queue's feeder thread before
+                # raising: with a worker dead mid-put, join-on-close
+                # could hang shutdown.
                 results_q.cancel_join_thread()
                 dead = ", ".join(
                     f"{p.name}={p.exitcode}" for p in procs
@@ -129,10 +147,13 @@ def fork_map(
                     f"{pending} of {len(items)} fork-map tasks never "
                     f"reported; a worker process died ({dead})"
                 )
-            grace_polls = 0
+            try:
+                frame = results_q.get_nowait()
+            except queue_mod.Empty:  # pragma: no cover - partial write
+                continue
             pending -= 1
             try:
-                idx, ok, payload = pickle.loads(blob)
+                idx, ok, payload = transport.unpack(frame)
             except Exception as exc:  # noqa: BLE001 - corrupt transport
                 results_q.cancel_join_thread()
                 raise ParallelError(
@@ -164,18 +185,26 @@ class ForkExecutor:
     sorted runs copy-on-write and sends back only its output range.
     """
 
-    def __init__(self, workers: int) -> None:
+    def __init__(
+        self,
+        workers: int,
+        transport: "PipeTransport | ShmTransport | None" = None,
+    ) -> None:
         if workers < 1:
             raise ParallelError("ForkExecutor needs at least one worker")
         self.workers = workers
+        self.transport = transport
 
     def map(self, fn: Callable[..., R], *iterables: Iterable[Any]) -> list[R]:
         """`Executor.map` semantics (results in order, eager)."""
         if len(iterables) == 1:
             items = list(iterables[0])
-            return fork_map(fn, items, self.workers)
+            return fork_map(fn, items, self.workers, transport=self.transport)
         packed = list(zip(*iterables))
-        return fork_map(lambda args: fn(*args), packed, self.workers)
+        return fork_map(
+            lambda args: fn(*args), packed, self.workers,
+            transport=self.transport,
+        )
 
     def submit(self, fn: Callable[..., R], /, *args: Any, **kwargs: Any) -> Future:
         """Single-task form; runs one forked worker synchronously."""

@@ -1,0 +1,158 @@
+"""Multi-queue async ingest: N prefetch readers ahead of the mapper.
+
+:class:`~repro.pipeline.double_buffer.DoubleBufferedPipeline` is the
+paper's schedule verbatim — exactly one ingest thread, one chunk of
+lookahead.  That is the right shape when one reader saturates the disk,
+but once mapper waves get short (persistent pool, shm transport) a
+single reader becomes the bottleneck: the mapper finishes chunk ``i``
+before chunk ``i+1`` has landed and the pipeline degrades to serial.
+
+:class:`PrefetchPipeline` generalizes the schedule: ``readers`` threads
+pull chunk indices from a shared cursor and load concurrently into a
+bounded window of ``depth`` buffered chunks (the memory cap — a permit
+is taken before a load starts and returned when the mapper consumes the
+chunk).  The *consumption* order is unchanged — chunk ``i`` is always
+mapped before chunk ``i+1``, so container absorption order and output
+digests are byte-identical to the double-buffered pipeline — and the
+QoS token bucket is charged inside each ``load`` exactly once per
+chunk, same as before (readers contend on the bucket's lock, never
+double-charge).
+
+Round records keep the ``n + 1`` shape the runtimes and ``--timeline``
+expect: ``ingest_s`` is the reader-measured load time of that round's
+chunk, ``map_s`` the map time of the previous one.
+
+A load error (or an injector giving up) is re-raised at the round that
+*consumes* the failed chunk, preserving the owning-round attribution of
+the single-threaded pipeline; any error — including a mid-wave
+``DeadlineExceeded`` — stops and joins every reader before propagating,
+so no thread outlives the run.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Sequence
+
+from repro.chunking.chunk import Chunk
+from repro.errors import RuntimeStateError
+from repro.pipeline.double_buffer import LoadFn, RoundRecord, WorkFn
+from repro.util.logging import get_logger
+
+logger = get_logger(__name__)
+
+
+class PrefetchPipeline:
+    """Drives chunks through load/work with N readers of bounded lookahead."""
+
+    def __init__(
+        self,
+        load: LoadFn,
+        work: WorkFn,
+        readers: int = 2,
+        depth: "int | None" = None,
+    ) -> None:
+        if readers < 1:
+            raise RuntimeStateError("prefetch pipeline needs >= 1 reader")
+        self._load = load
+        self._work = work
+        self.readers = readers
+        self.depth = max(depth if depth is not None else readers + 1, 1)
+
+    def run(self, chunks: Sequence[Chunk]) -> list[RoundRecord]:
+        """Drive all chunks; returns one record per round (n+1 total)."""
+        if not chunks:
+            raise RuntimeStateError("pipeline needs at least one chunk")
+        n = len(chunks)
+        #: index -> ("ok", data, elapsed) | ("error", exc, elapsed)
+        results: dict[int, tuple] = {}
+        ready = threading.Condition()
+        cursor = [0]
+        window = threading.Semaphore(self.depth)
+        stop = threading.Event()
+
+        def reader() -> None:
+            while True:
+                window.acquire()
+                if stop.is_set():
+                    return
+                with ready:
+                    i = cursor[0]
+                    if i >= n:
+                        return
+                    cursor[0] = i + 1
+                t0 = time.perf_counter()
+                try:
+                    entry = ("ok", self._load(chunks[i]),
+                             time.perf_counter() - t0)
+                except BaseException as exc:  # noqa: BLE001 - re-raised by owner
+                    entry = ("error", exc, time.perf_counter() - t0)
+                with ready:
+                    results[i] = entry
+                    ready.notify_all()
+
+        def take(i: int) -> tuple[Any, float]:
+            """Block for chunk ``i``; frees its window slot to the readers."""
+            with ready:
+                while i not in results:
+                    ready.wait()
+                kind, value, elapsed = results.pop(i)
+            window.release()
+            if kind == "error":
+                raise value
+            return value, elapsed
+
+        threads = [
+            threading.Thread(
+                target=reader, daemon=True, name=f"prefetch-{r}",
+            )
+            for r in range(min(self.readers, n))
+        ]
+        records: list[RoundRecord] = []
+        try:
+            for thread in threads:
+                thread.start()
+
+            # Round 0: nothing to overlap the first chunk with (though the
+            # readers are already loading chunks 1.. behind it).
+            t0 = time.perf_counter()
+            current, ingest_s = take(0)
+            records.append(
+                RoundRecord(
+                    0, 0, ingest_s, 0.0,
+                    time.perf_counter() - t0, chunks[0].length,
+                )
+            )
+
+            for i in range(1, n):
+                round_t0 = time.perf_counter()
+                self._work(chunks[i - 1], current)
+                map_s = time.perf_counter() - round_t0
+                current, ingest_s = take(i)
+                span = time.perf_counter() - round_t0
+                logger.debug(
+                    "prefetch round %d: ingest=%.4fs map=%.4fs span=%.4fs "
+                    "chunk=%dB",
+                    i, ingest_s, map_s, span, chunks[i].length,
+                )
+                records.append(
+                    RoundRecord(i, i, ingest_s, map_s, span, chunks[i].length)
+                )
+
+            # Final round: map the last chunk with nothing left to ingest.
+            t0 = time.perf_counter()
+            self._work(chunks[-1], current)
+            map_s = time.perf_counter() - t0
+            records.append(RoundRecord(n, None, 0.0, map_s, map_s, 0))
+            return records
+        finally:
+            # Reached on success and on any error (including a mid-wave
+            # DeadlineExceeded): wake every reader — whether blocked on
+            # the window or mid-load — and join them all, so no thread
+            # or open file handle outlives the run.
+            stop.set()
+            for _ in threads:
+                window.release()
+            for thread in threads:
+                thread.join()

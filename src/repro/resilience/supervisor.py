@@ -4,7 +4,7 @@
 dies; this module is the Hadoop-style answer for a shared-memory
 runtime.  :func:`supervised_fork_map` runs the same fork-at-call-time
 contract — ``fn``, ``items`` and their closures are inherited
-copy-on-write, only pickled results cross a pipe — but the parent keeps
+copy-on-write, only packed results cross a pipe — but the parent keeps
 a **lease** per dispatched task (deadline + the result queue as the
 heartbeat), detects dead or hung workers, respawns them with fresh
 inboxes, and re-dispatches orphaned tasks with a bounded attempt count.
@@ -12,6 +12,21 @@ inboxes, and re-dispatches orphaned tasks with a bounded attempt count.
 A task that repeatedly kills its worker is *poison*: after the retry
 budget is spent it is routed through the injector's skip-budget
 quarantine (when the wave allows skips) instead of failing the job.
+
+:class:`WorkerPool` is the persistent form of the same machinery: the
+workers are forked **once per job** around a job-level handler closure
+(COW-inheriting the job exactly as a per-wave fork would) and each wave
+then feeds them small picklable task descriptors over their inboxes —
+``Supervisor`` drives any number of waves over one pool, with results
+epoch-tagged so a lease-killed straggler's late frame can never bleed
+into the next wave.  Results travel through a :mod:`repro.xfer`
+transport, so under shared memory a multi-megabyte container delta
+crosses as a segment name instead of a pipe-borne pickle.
+
+The parent never polls: it blocks in ``multiprocessing.connection.wait``
+on the result pipe, every worker sentinel, and the earliest lease
+expiry, so results, deaths, and hangs each wake it exactly when they
+happen.
 
 Determinism contract: the ``worker.crash`` / ``task.hang`` fault sites
 are decided **in the parent at dispatch time** — the worker is merely
@@ -26,10 +41,10 @@ from __future__ import annotations
 
 import multiprocessing
 import os
-import pickle
 import queue as queue_mod
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+from multiprocessing import connection as mp_connection
 from typing import Any, Callable, Hashable, Iterable, Sequence, TypeVar
 
 from repro.errors import (
@@ -47,15 +62,19 @@ from repro.faults.log import (
 from repro.faults.plan import SITE_TASK_HANG, SITE_WORKER_CRASH
 from repro.faults.policy import RecoveryPolicy
 from repro.parallel.backends import require_process_backend
+from repro.xfer.segments import SegmentLost
+from repro.xfer.transport import PipeTransport, ShmTransport
 
 T = TypeVar("T")
 R = TypeVar("R")
 
-#: Seconds between supervisor liveness/lease sweeps.
-_POLL_S = 0.05
 #: Exit code a worker uses when told to crash (distinct from genuine
 #: faults' codes so logs can tell injected deaths from organic ones).
 _CRASH_EXIT = 37
+
+#: Fallback wake-up interval when nothing is in flight (a state the
+#: main loop cannot normally reach; this only guards against a hang).
+_IDLE_WAKE_S = 1.0
 
 #: Dispatch modes a worker understands.
 _MODE_RUN = "run"
@@ -86,6 +105,9 @@ class _TaskState:
     mode: str = _MODE_RUN
     #: Set once the per-task ``pre_run`` hook has been invoked.
     pre_run_done: bool = False
+    #: The packed task payload, built once at first real dispatch and
+    #: reused verbatim on every re-dispatch; released at wave end.
+    frame: "tuple | None" = None
 
 
 @dataclass
@@ -126,58 +148,179 @@ class SupervisionResult:
 
 
 def _worker_main(
-    fn: Callable[[Any], Any],
-    items: Sequence[Any],
+    handler: Callable[[Any], Any],
     inbox: Any,
     results: Any,
+    transport: "PipeTransport | ShmTransport",
 ) -> None:
     """Worker body: serve dispatches until the ``None`` sentinel.
 
-    ``(index, mode)`` messages run one task each.  ``crash`` exits the
-    process without cleanup (the deterministic stand-in for an OOM
-    kill); ``hang`` sleeps past any lease (a wedged I/O call); ``run``
-    computes ``fn(items[index])`` and posts ``(index, ok, payload)``
-    back, pickling synchronously so unpicklable results downgrade to a
-    transportable :class:`~repro.errors.ParallelError`.
+    ``(epoch, index, mode, frame)`` messages run one task each.
+    ``crash`` exits the process without cleanup (the deterministic
+    stand-in for an OOM kill); ``hang`` sleeps past any lease (a wedged
+    I/O call); ``run`` unpacks the task frame and posts
+    ``(epoch, index, ok, payload)`` back through the transport, packing
+    synchronously so unpicklable results downgrade to a transportable
+    :class:`~repro.errors.ParallelError`.
     """
     while True:
         msg = inbox.get()
         if msg is None:
             return
-        index, mode = msg
+        epoch, index, mode, task_frame = msg
         if mode == _MODE_CRASH:
             os._exit(_CRASH_EXIT)
         if mode == _MODE_HANG:
             while True:  # pragma: no cover - killed by the supervisor
                 time.sleep(3600)
         try:
-            payload = (index, True, fn(items[index]))
+            task = transport.unpack(task_frame)
+            payload = (epoch, index, True, handler(task))
         except BaseException as exc:  # noqa: BLE001 - transported to parent
-            payload = (index, False, exc)
+            payload = (epoch, index, False, exc)
         try:
-            blob = pickle.dumps(payload)
+            frame = transport.pack(payload)
         except Exception:  # noqa: BLE001 - unpicklable result or error
-            kind = "result" if payload[1] else "error"
-            blob = pickle.dumps((
-                index, False,
+            kind = "result" if payload[2] else "error"
+            frame = transport.pack((
+                epoch, index, False,
                 ParallelError(
                     f"worker {kind} for item {index} could not be pickled: "
-                    f"{payload[2]!r}"
+                    f"{payload[3]!r}"
                 ),
             ))
-        results.put(blob)
+        results.put(frame)
+
+
+class WorkerPool:
+    """A persistent pool of forked workers serving task descriptors.
+
+    Forked lazily, once, around ``handler`` — a job-level closure that
+    COW-inherits whatever it captures (the job, the loaded input, the
+    container factory) exactly as a per-wave fork would.  Waves are then
+    driven through :meth:`run_wave`, which pays only a queue round-trip
+    per task instead of ``workers`` forks per wave.  The pool survives
+    worker deaths (the supervisor respawns through :meth:`spawn`) and is
+    closed once per job via :meth:`close`.
+    """
+
+    def __init__(
+        self,
+        handler: Callable[[Any], Any],
+        workers: int,
+        *,
+        transport: "PipeTransport | ShmTransport | None" = None,
+        worker_name: str = "repro-pool",
+    ) -> None:
+        if workers < 1:
+            raise ParallelError("WorkerPool needs at least one worker")
+        require_process_backend()
+        self._handler = handler
+        self.requested = workers
+        self.transport = transport or PipeTransport()
+        self._worker_name = worker_name
+        self._ctx = multiprocessing.get_context("fork")
+        self.results_q = self._ctx.Queue()
+        self.workers: list[_Worker] = []
+        self._next_worker_id = 0
+        self.epoch = 0
+        self._closed = False
+
+    def ensure_started(self, workers: int) -> None:
+        """Grow the pool to ``workers`` processes (it never shrinks)."""
+        if self._closed:
+            raise ParallelError("worker pool is closed")
+        while len(self.workers) < min(workers, self.requested):
+            self.spawn()
+
+    def spawn(self) -> _Worker:
+        """Fork one worker (initial fill and post-death respawn)."""
+        inbox = self._ctx.Queue()
+        wid = self._next_worker_id
+        self._next_worker_id += 1
+        proc = self._ctx.Process(
+            target=_worker_main,
+            args=(self._handler, inbox, self.results_q, self.transport),
+            daemon=True,
+            name=f"{self._worker_name}-{wid}",
+        )
+        proc.start()
+        worker = _Worker(proc=proc, inbox=inbox)
+        self.workers.append(worker)
+        return worker
+
+    def discard(self, worker: _Worker) -> None:
+        """Drop a dead/killed worker, its inbox, and its stray segments."""
+        pid = worker.proc.pid
+        worker.inbox.cancel_join_thread()
+        worker.inbox.close()
+        self.workers.remove(worker)
+        # The worker is confirmed dead, so any segment it created and
+        # never delivered is unreachable; unlink before its replacement
+        # starts writing.
+        self.transport.reap(pid)
+
+    def begin_wave(self) -> int:
+        """Advance the wave epoch (stale-frame fencing) and return it."""
+        self.epoch += 1
+        return self.epoch
+
+    def run_wave(
+        self,
+        tasks: Sequence[Any],
+        *,
+        workers: "int | None" = None,
+        policy: "RecoveryPolicy | None" = None,
+        injector: "FaultInjector | None" = None,
+        scope_of: "Callable[[int], Hashable] | None" = None,
+        allow_skip: bool = False,
+        pre_run: "Callable[[int], None] | None" = None,
+    ) -> SupervisionResult:
+        """Run one supervised wave of ``handler(task)`` over this pool."""
+        return Supervisor(
+            None, list(tasks), workers or self.requested,
+            policy=policy or RecoveryPolicy(),
+            injector=injector,
+            scope_of=scope_of,
+            allow_skip=allow_skip,
+            pre_run=pre_run,
+            pool=self,
+        ).run()
+
+    def close(self) -> None:
+        """Shut every worker down and drop the queues (once per job)."""
+        if self._closed:
+            return
+        self._closed = True
+        for worker in self.workers:
+            try:
+                worker.inbox.put(None)
+            except (ValueError, OSError):  # pragma: no cover
+                pass
+        for worker in self.workers:
+            worker.proc.join(timeout=5.0)
+        for worker in self.workers:
+            if worker.proc.is_alive():  # pragma: no cover - defensive
+                worker.proc.kill()
+                worker.proc.join(timeout=1.0)
+        for worker in self.workers:
+            worker.inbox.cancel_join_thread()
+            worker.inbox.close()
+        self.results_q.close()
+        self.workers.clear()
 
 
 class Supervisor:
     """Drives one wave of items through leased, respawnable fork workers.
 
-    Use through :func:`supervised_fork_map`; the class exists so tests
-    can poke at the dispatch protocol directly.
+    Use through :func:`supervised_fork_map` (ephemeral, fork-per-wave)
+    or :meth:`WorkerPool.run_wave` (persistent pool); the class exists
+    so tests can poke at the dispatch protocol directly.
     """
 
     def __init__(
         self,
-        fn: Callable[[Any], Any],
+        fn: "Callable[[Any], Any] | None",
         items: Sequence[Any],
         workers: int,
         policy: RecoveryPolicy,
@@ -186,6 +329,8 @@ class Supervisor:
         allow_skip: bool = False,
         pre_run: Callable[[int], None] | None = None,
         worker_name: str = "repro-sup",
+        pool: "WorkerPool | None" = None,
+        transport: "PipeTransport | ShmTransport | None" = None,
     ) -> None:
         self._fn = fn
         self._items = list(items)
@@ -195,10 +340,14 @@ class Supervisor:
         self._pre_run = pre_run
         self._worker_name = worker_name
         self._n_workers = max(
-            1, min(workers, len(self._items), (os.cpu_count() or 1) * 4)
+            1, min(workers, len(self._items) or 1, (os.cpu_count() or 1) * 4)
         )
-        self._ctx = multiprocessing.get_context("fork")
-        self._results_q = self._ctx.Queue()
+        self._pool = pool
+        self._owns_pool = pool is None
+        if pool is not None:
+            self._transport = pool.transport
+        else:
+            self._transport = transport or PipeTransport()
         scope = scope_of or (lambda i: (i,))
         self._states = [
             _TaskState(index=i, scope=scope(i))
@@ -213,34 +362,12 @@ class Supervisor:
         self._crashes = 0
         self._hangs = 0
         self._redispatches = 0
-        self._workers: list[_Worker] = []
-        self._next_worker_id = 0
+        self._epoch = 0
 
     # -- worker lifecycle --------------------------------------------------
 
-    def _spawn(self) -> _Worker:
-        inbox = self._ctx.Queue()
-        wid = self._next_worker_id
-        self._next_worker_id += 1
-        proc = self._ctx.Process(
-            target=_worker_main,
-            args=(self._fn, self._items, inbox, self._results_q),
-            daemon=True,
-            name=f"{self._worker_name}-{wid}",
-        )
-        proc.start()
-        worker = _Worker(proc=proc, inbox=inbox)
-        self._workers.append(worker)
-        return worker
-
-    def _discard(self, worker: _Worker) -> None:
-        """Drop a dead/killed worker and its inbox without blocking."""
-        worker.inbox.cancel_join_thread()
-        worker.inbox.close()
-        self._workers.remove(worker)
-
     def _respawn_after(self, worker: _Worker, site: str, detail: str) -> None:
-        self._discard(worker)
+        self._pool.discard(worker)
         self._respawns += 1
         if self._injector is not None:
             self._injector.log.record(
@@ -252,7 +379,7 @@ class Supervisor:
                 f"supervised pool exceeded its respawn budget "
                 f"({self._policy.worker_respawn_budget}): {detail}"
             )
-        self._spawn()
+        self._pool.spawn()
 
     # -- fault protocol ----------------------------------------------------
 
@@ -364,11 +491,20 @@ class Supervisor:
         self._redispatches += 1
         self._pending.append(state.index)
 
-    # -- dispatch / sweep --------------------------------------------------
+    # -- dispatch / wait / sweep -------------------------------------------
+
+    def _task_payload(self, index: int) -> Any:
+        """What crosses the inbox: the descriptor (pool) or index (owned).
+
+        In owned mode the worker's handler closes over ``items`` via
+        fork, so the index alone suffices; a pool's workers predate the
+        wave, so the item itself must travel.
+        """
+        return self._items[index] if not self._owns_pool else index
 
     def _dispatch_ready(self) -> None:
         """Hand pending tasks to idle workers, resolving fault modes."""
-        for worker in self._workers:
+        for worker in self._pool.workers:
             if not worker.idle:
                 continue
             while self._pending:
@@ -377,24 +513,76 @@ class Supervisor:
                 if index in self._done:
                     continue
                 mode = self._decide_mode(state)
-                if mode == _MODE_RUN and not state.pre_run_done:
-                    state.pre_run_done = True
-                    if self._pre_run is not None:
-                        # Hook failures (e.g. an exhausted map.task gate)
-                        # propagate: they fail the wave exactly as the
-                        # serial backend's in-task gate would.
-                        self._pre_run(index)
+                if mode == _MODE_RUN:
+                    if not state.pre_run_done:
+                        state.pre_run_done = True
+                        if self._pre_run is not None:
+                            # Hook failures (e.g. an exhausted map.task
+                            # gate) propagate: they fail the wave exactly
+                            # as the serial backend's in-task gate would.
+                            self._pre_run(index)
+                    if state.frame is None:
+                        # Packed once; re-dispatches reuse the same
+                        # frame (and, under shm, the same segment).
+                        state.frame = self._transport.pack(
+                            self._task_payload(index), keep=True
+                        )
                 state.mode = mode
                 worker.busy = state
                 worker.lease_expiry = (
                     time.monotonic() + self._policy.lease_timeout_s
                 )
-                worker.inbox.put((index, mode))
+                worker.inbox.put((self._epoch, index, mode, state.frame))
                 break
 
+    def _wait(self) -> None:
+        """Block until a result frame, a worker death, or a lease expiry.
+
+        The timeout is the earliest outstanding lease — not a polling
+        interval — so an idle supervisor costs nothing and a hang is
+        detected the moment its lease lapses.
+        """
+        reader = self._pool.results_q._reader
+        if reader.poll():
+            return
+        sentinels = [w.proc.sentinel for w in self._pool.workers]
+        expiries = [
+            w.lease_expiry for w in self._pool.workers if w.busy is not None
+        ]
+        if expiries:
+            timeout = max(0.0, min(expiries) - time.monotonic()) + 0.005
+        else:
+            timeout = _IDLE_WAKE_S
+        mp_connection.wait([reader, *sentinels], timeout=timeout)
+
     def _sweep(self) -> None:
-        """Detect dead workers and expired leases; recover each."""
-        for worker in list(self._workers):
+        """Detect dead workers and expired leases; recover each.
+
+        Swept in busy-task order, not worker-list order: a persistent
+        pool's list carries respawn reshuffles from earlier waves, and
+        two simultaneously-dead workers must produce fault-log rows in
+        the same task order a fresh fork-per-wave pool would — the
+        fault-sequence determinism contract of the transport matrix.
+        """
+        snapshot = sorted(
+            enumerate(self._pool.workers),
+            key=lambda pos_w: (0, pos_w[1].busy.index)
+            if pos_w[1].busy is not None else (1, pos_w[0]),
+        )
+        for _pos, worker in snapshot:
+            state = worker.busy
+            if (
+                state is not None
+                and state.mode == _MODE_CRASH
+                and worker.proc.is_alive()
+            ):
+                # An injected crash is certain death (the worker
+                # ``os._exit``s on receipt).  Wait for it here so that
+                # simultaneous crashes are all recovered in this sweep —
+                # in task order — instead of whichever subset the OS
+                # happened to have reaped first.
+                worker.proc.join(timeout=5.0)
+        for _pos, worker in snapshot:
             state = worker.busy
             if not worker.proc.is_alive():
                 self._crashes += 1
@@ -430,28 +618,36 @@ class Supervisor:
                 self._respawn_after(worker, SITE_TASK_HANG, detail)
 
     def _collect(self) -> None:
-        """Drain one result from the queue, if any arrived."""
-        try:
-            blob = self._results_q.get(timeout=_POLL_S)
-        except queue_mod.Empty:
-            return
-        try:
-            index, ok, payload = pickle.loads(blob)
-        except Exception as exc:  # noqa: BLE001 - corrupt transport
-            raise ParallelError(
-                f"could not decode a supervised worker result: {exc!r}"
-            ) from exc
-        for worker in self._workers:
-            if worker.busy is not None and worker.busy.index == index:
-                worker.busy = None
-                break
-        if index in self._done:
-            return  # stale duplicate from a lease-killed straggler
-        self._done.add(index)
-        if ok:
-            self._out[index] = payload
-        else:
-            self._failures[index] = payload
+        """Drain every result frame the queue currently holds."""
+        while True:
+            try:
+                frame = self._pool.results_q.get_nowait()
+            except queue_mod.Empty:
+                return
+            try:
+                epoch, index, ok, payload = self._transport.unpack(frame)
+            except SegmentLost:
+                # Posted by a worker that died after delivery and whose
+                # segments were reaped; its task was re-dispatched (or
+                # already done), so the frame is droppable by design.
+                continue
+            except Exception as exc:  # noqa: BLE001 - corrupt transport
+                raise ParallelError(
+                    f"could not decode a supervised worker result: {exc!r}"
+                ) from exc
+            if epoch != self._epoch:
+                continue  # straggler from an earlier wave on this pool
+            for worker in self._pool.workers:
+                if worker.busy is not None and worker.busy.index == index:
+                    worker.busy = None
+                    break
+            if index in self._done:
+                continue  # stale duplicate from a lease-killed straggler
+            self._done.add(index)
+            if ok:
+                self._out[index] = payload
+            else:
+                self._failures[index] = payload
 
     # -- main loop ---------------------------------------------------------
 
@@ -460,32 +656,32 @@ class Supervisor:
         if not self._items:
             return SupervisionResult(results=[])
         require_process_backend()
-        for _ in range(self._n_workers):
-            self._spawn()
+        if self._owns_pool:
+            fn, items = self._fn, self._items
+            self._pool = WorkerPool(
+                lambda index: fn(items[index]),
+                self._n_workers,
+                transport=self._transport,
+                worker_name=self._worker_name,
+            )
+        self._epoch = self._pool.begin_wave()
         try:
+            self._pool.ensure_started(self._n_workers)
             while len(self._done) < len(self._items):
                 self._dispatch_ready()
+                self._wait()
                 self._collect()
                 self._sweep()
-        except BaseException:
-            self._results_q.cancel_join_thread()
-            raise
         finally:
-            for worker in self._workers:
-                try:
-                    worker.inbox.put(None)
-                except (ValueError, OSError):  # pragma: no cover
-                    pass
-            for worker in self._workers:
-                worker.proc.join(timeout=5.0)
-            for worker in self._workers:
-                if worker.proc.is_alive():  # pragma: no cover - defensive
-                    worker.proc.kill()
-                    worker.proc.join(timeout=1.0)
-            for worker in self._workers:
-                worker.inbox.cancel_join_thread()
-                worker.inbox.close()
-            self._results_q.close()
+            # Dispatch frames are wave-scoped; drop them (and their
+            # segments) whether the wave finished or raised.
+            for state in self._states:
+                if state.frame is not None:
+                    self._transport.release(state.frame)
+                    state.frame = None
+            if self._owns_pool:
+                self._pool.close()
+                self._pool = None
         if self._failures:
             raise self._failures[min(self._failures)]
         return SupervisionResult(
@@ -508,6 +704,7 @@ def supervised_fork_map(
     scope_of: Callable[[int], Hashable] | None = None,
     allow_skip: bool = False,
     pre_run: Callable[[int], None] | None = None,
+    transport: "PipeTransport | ShmTransport | None" = None,
 ) -> SupervisionResult:
     """:func:`~repro.parallel.fork_pool.fork_map` under supervision.
 
@@ -533,6 +730,7 @@ def supervised_fork_map(
         scope_of=scope_of,
         allow_skip=allow_skip,
         pre_run=pre_run,
+        transport=transport,
     ).run()
 
 
@@ -544,11 +742,17 @@ class SupervisedForkExecutor:
     without any fault-site checking.
     """
 
-    def __init__(self, workers: int, policy: RecoveryPolicy | None = None) -> None:
+    def __init__(
+        self,
+        workers: int,
+        policy: RecoveryPolicy | None = None,
+        transport: "PipeTransport | ShmTransport | None" = None,
+    ) -> None:
         if workers < 1:
             raise ParallelError("SupervisedForkExecutor needs at least one worker")
         self.workers = workers
         self.policy = policy or RecoveryPolicy()
+        self.transport = transport
 
     def map(self, fn: Callable[..., R], *iterables: Iterable[Any]) -> list[R]:
         """`Executor.map` semantics (results in order, eager)."""
@@ -559,5 +763,6 @@ class SupervisedForkExecutor:
             original_fn = fn
             fn = lambda args: original_fn(*args)  # noqa: E731
         return supervised_fork_map(
-            fn, items, self.workers, policy=self.policy
+            fn, items, self.workers, policy=self.policy,
+            transport=self.transport,
         ).results

@@ -90,6 +90,10 @@ def spec_from_args(args: argparse.Namespace) -> ServiceJobSpec:
         tenant=getattr(args, "tenant", "default") or "default",
         io_budget=getattr(args, "io_budget", None),
         io_priority=getattr(args, "io_priority", 0),
+        transport=getattr(args, "transport", None),
+        no_persistent_pool=bool(getattr(args, "no_persistent_pool", False)),
+        ingest_readers=getattr(args, "ingest_readers", None),
+        ingest_depth=getattr(args, "ingest_depth", None),
     )
 
 

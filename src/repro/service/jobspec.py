@@ -86,6 +86,14 @@ def build_options(spec: Any) -> RuntimeOptions:
         options = options.with_(tenant=spec.tenant)
     if getattr(spec, "io_priority", None):
         options = options.with_(io_priority=spec.io_priority)
+    if getattr(spec, "transport", None):
+        options = options.with_(transport=spec.transport)
+    if getattr(spec, "no_persistent_pool", False):
+        options = options.with_(persistent_pool=False)
+    if getattr(spec, "ingest_readers", None) is not None:
+        options = options.with_(ingest_readers=spec.ingest_readers)
+    if getattr(spec, "ingest_depth", None) is not None:
+        options = options.with_(ingest_depth=spec.ingest_depth)
     return options
 
 
@@ -127,6 +135,18 @@ class ServiceJobSpec:
     io_budget: str | None = None
     #: Bandwidth priority class for priority-aware allocation policies.
     io_priority: int = 0
+    #: Result transport for the process backend: ``auto`` (shared memory
+    #: when ``/dev/shm`` works, else pipes), ``shm``, or ``pipe``.
+    transport: str | None = None
+    #: Opt out of the persistent pre-forked worker pool (fall back to
+    #: fork-per-wave).
+    no_persistent_pool: bool = False
+    #: Concurrent ingest prefetch readers (>1 enables the multi-queue
+    #: async ingest pipeline).
+    ingest_readers: int | None = None
+    #: Buffered-chunk window for the prefetch pipeline (defaults to
+    #: ``ingest_readers + 1``).
+    ingest_depth: int | None = None
 
     def __post_init__(self) -> None:
         if self.app not in KNOWN_APPS:

@@ -685,6 +685,10 @@ class ShardedRuntime:
             "partitions_reassigned": tally.reassigned_partitions,
             "speculative_shards": len(tally.speculated),
             "exchange_refetches": tally.refetches,
+            # Sharded results travel as checksummed exchange-run files,
+            # not the in-process xfer transport; record that explicitly
+            # so `transport` is present on every process-backend result.
+            "transport": "exchange-file",
         }
         if options.checkpoint_dir is not None:
             counters["checkpointed"] = True

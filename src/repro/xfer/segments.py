@@ -1,0 +1,311 @@
+"""Shared-memory segments: storage layer of the zero-copy transport.
+
+Naming contract: every segment a job creates is called
+``rxf<nonce>p<pid>s<seq>`` — the job nonce scopes reaping (a cleanup
+pass may unlink *only* its own job's strays, never a concurrent job's),
+and the pid identifies the creating process so the supervisor can reap a
+SIGKILLed worker's orphans specifically.
+
+Lifecycle contract: the **parent** unlinks everything.  Workers create
+result segments, write, ``close()`` and post the name; the parent maps,
+reads, and ``close()+unlink()``s.  Python's ``resource_tracker`` is
+deliberately unregistered on both sides (on 3.11/3.12 even *attaching*
+registers a segment, so the tracker would double-unlink or warn about
+segments the pool manages by hand).  Crash paths are covered by
+:meth:`SegmentPool.reap`: ``/dev/shm`` is scanned for the job's nonce
+prefix and any segment not accounted for is unlinked — run after the
+supervisor's dead-worker detection and unconditionally on job exit, so
+a SIGKILLed worker cannot leak.
+"""
+
+from __future__ import annotations
+
+import os
+import secrets
+import threading
+from typing import Iterable, Sequence
+
+from repro.errors import ParallelError
+
+try:  # pragma: no cover - import guard for exotic platforms
+    from multiprocessing import shared_memory as _shm_mod
+except ImportError:  # pragma: no cover
+    _shm_mod = None  # type: ignore[assignment]
+
+#: Prefix shared by every segment this repo creates; the reaper keys on it.
+SEG_PREFIX = "rxf"
+
+#: Where POSIX shm segments appear as files (Linux); used only for reaping.
+_SHM_DIR = "/dev/shm"
+
+
+class SegmentLost(ParallelError):
+    """A posted segment vanished before the receiver could map it."""
+
+
+def segment_name(nonce: str, pid: int, seq: int) -> str:
+    """The canonical segment name (short: POSIX caps shm names tightly)."""
+    return f"{SEG_PREFIX}{nonce}p{pid}s{seq}"
+
+
+def new_nonce() -> str:
+    """A fresh 8-hex job nonce scoping segment names and reaping."""
+    return secrets.token_hex(4)
+
+
+def _untrack(shm: "_shm_mod.SharedMemory") -> None:
+    """Drop a segment from the resource tracker; the pool owns cleanup.
+
+    Registers before unregistering so the net effect is "not tracked" on
+    every interpreter version — 3.11 registers only on create, 3.12+
+    also on attach, and the tracker's cache is a set so the extra
+    register is harmless.
+    """
+    try:  # pragma: no cover - depends on interpreter internals
+        from multiprocessing import resource_tracker
+
+        resource_tracker.register(shm._name, "shared_memory")
+        resource_tracker.unregister(shm._name, "shared_memory")
+    except Exception:  # noqa: BLE001 - tracker bookkeeping is best-effort
+        pass
+
+
+def _unlink(shm: "_shm_mod.SharedMemory") -> bool:
+    """Unlink a segment the pool untracked, without tracker noise.
+
+    ``SharedMemory.unlink`` unregisters from the resource tracker as a
+    side effect; since :func:`_untrack` already removed the name, that
+    would make the tracker process log a KeyError.  Re-register first so
+    unlink's unregister is balanced.
+    """
+    try:  # pragma: no cover - tracker bookkeeping is best-effort
+        from multiprocessing import resource_tracker
+
+        resource_tracker.register(shm._name, "shared_memory")
+    except Exception:  # noqa: BLE001
+        pass
+    try:
+        shm.unlink()
+        return True
+    except FileNotFoundError:
+        try:  # pragma: no cover - raced cleanup
+            from multiprocessing import resource_tracker
+
+            resource_tracker.unregister(shm._name, "shared_memory")
+        except Exception:  # noqa: BLE001
+            pass
+        return False
+
+
+_AVAILABLE: "bool | None" = None
+
+
+def shm_available() -> bool:
+    """True when shared-memory segments can actually be created here.
+
+    Probes once per process: creates and immediately unlinks a 1-byte
+    segment.  Containers without a writable ``/dev/shm`` (and platforms
+    without ``multiprocessing.shared_memory``) return False, and the
+    transport falls back to the pipe path.
+    """
+    global _AVAILABLE
+    if _AVAILABLE is None:
+        if _shm_mod is None:
+            _AVAILABLE = False
+        else:
+            try:
+                probe = _shm_mod.SharedMemory(
+                    create=True, size=1,
+                    name=segment_name(new_nonce(), os.getpid(), 0),
+                )
+                _untrack(probe)
+                probe.close()
+                _unlink(probe)
+                _AVAILABLE = True
+            except Exception:  # noqa: BLE001 - any failure means "no shm"
+                _AVAILABLE = False
+    return _AVAILABLE
+
+
+def write_segment(name: str, parts: Sequence["bytes | memoryview"]) -> int:
+    """Create ``name`` and lay ``parts`` out back to back; returns size.
+
+    Used by whichever side *produces* a payload.  The segment is closed
+    (unmapped) before returning — the receiver maps it by name — and is
+    never unlinked here: the parent-side :class:`SegmentPool` owns that.
+    """
+    total = sum(len(p) for p in parts)
+    shm = _shm_mod.SharedMemory(create=True, size=max(1, total), name=name)
+    _untrack(shm)
+    offset = 0
+    for part in parts:
+        shm.buf[offset:offset + len(part)] = part
+        offset += len(part)
+    shm.close()
+    return total
+
+
+class SegmentPool:
+    """Ref-counted registry of one job's live shared-memory segments.
+
+    One pool lives in the job's parent process.  Forked workers inherit
+    it but only use :meth:`next_name` (their pid keeps names distinct);
+    all map/unlink bookkeeping stays parent-side.  ``cleanup()`` is the
+    job-exit guarantee: it releases everything still tracked *and* reaps
+    nonce-matching strays from ``/dev/shm``, so even segments created by
+    a worker that was SIGKILLed between ``write`` and ``post`` are
+    unlinked.
+    """
+
+    def __init__(self, nonce: "str | None" = None) -> None:
+        self.nonce = nonce or new_nonce()
+        self._owner_pid = os.getpid()
+        self._seq = 0
+        self._seq_pid = os.getpid()
+        self._lock = threading.Lock()
+        #: name -> (SharedMemory, refcount); parent-side only.
+        self._live: dict[str, list] = {}
+
+    # -- naming ------------------------------------------------------------
+
+    def next_name(self) -> str:
+        """A fresh name for this process to create (fork-aware)."""
+        with self._lock:
+            if self._seq_pid != os.getpid():
+                # Forked child: restart its own sequence under its pid.
+                self._seq_pid = os.getpid()
+                self._seq = 0
+            self._seq += 1
+            return segment_name(self.nonce, os.getpid(), self._seq)
+
+    @property
+    def is_owner(self) -> bool:
+        """True in the process that created the pool (the job parent)."""
+        return os.getpid() == self._owner_pid
+
+    # -- mapping -----------------------------------------------------------
+
+    def attach(self, name: str) -> memoryview:
+        """Map ``name`` and return its buffer; balanced by :meth:`release`.
+
+        Re-attaching a name the pool already holds bumps a refcount
+        instead of double-mapping (a re-dispatched task payload).
+        """
+        with self._lock:
+            entry = self._live.get(name)
+            if entry is not None:
+                entry[1] += 1
+                return entry[0].buf
+        try:
+            shm = _shm_mod.SharedMemory(name=name)
+        except FileNotFoundError:
+            raise SegmentLost(f"shared-memory segment {name!r} vanished")
+        _untrack(shm)
+        with self._lock:
+            self._live[name] = [shm, 1]
+        return shm.buf
+
+    def adopt(self, name: str, shm: "_shm_mod.SharedMemory") -> None:
+        """Track a segment this process created itself (dispatch payloads)."""
+        _untrack(shm)
+        with self._lock:
+            self._live[name] = [shm, 1]
+
+    def release(self, name: str) -> None:
+        """Drop one reference; the last one unmaps and (owner) unlinks."""
+        with self._lock:
+            entry = self._live.get(name)
+            if entry is None:
+                return
+            entry[1] -= 1
+            if entry[1] > 0:
+                return
+            del self._live[name]
+            shm = entry[0]
+        try:
+            shm.close()
+        except Exception:  # noqa: BLE001 - unmap is best-effort
+            pass
+        if self.is_owner:
+            _unlink(shm)
+
+    def live_names(self) -> tuple[str, ...]:
+        """Names currently tracked (tests and leak diagnostics)."""
+        with self._lock:
+            return tuple(self._live)
+
+    # -- crash cleanup -----------------------------------------------------
+
+    def stray_names(self, pid: "int | None" = None) -> list[str]:
+        """Nonce-matching segments on disk that this pool is not tracking.
+
+        ``pid`` narrows the scan to one (dead) worker's segments.  An
+        unreadable or missing ``/dev/shm`` yields an empty list — on such
+        platforms the transport would have fallen back to pipes anyway.
+        """
+        marker = f"p{pid}s" if pid is not None else ""
+        prefix = SEG_PREFIX + self.nonce
+        try:
+            entries = os.listdir(_SHM_DIR)
+        except OSError:
+            return []
+        with self._lock:
+            tracked = set(self._live)
+        return [
+            e for e in entries
+            if e.startswith(prefix) and marker in e and e not in tracked
+        ]
+
+    def reap(self, pid: "int | None" = None) -> int:
+        """Unlink stray segments (optionally one worker's); returns count.
+
+        Only the pool owner reaps, and only segments whose creators can
+        no longer post them — call with a ``pid`` after that worker was
+        confirmed dead, or with no pid once all workers have exited.
+        """
+        if not self.is_owner:
+            return 0
+        reaped = 0
+        for name in self.stray_names(pid):
+            try:
+                shm = _shm_mod.SharedMemory(name=name)
+            except FileNotFoundError:
+                continue
+            _untrack(shm)
+            try:
+                shm.close()
+            except Exception:  # noqa: BLE001 - unmap is best-effort
+                pass
+            if _unlink(shm):
+                reaped += 1
+        return reaped
+
+    def cleanup(self) -> int:
+        """Job-exit guarantee: release every mapping, reap every stray."""
+        for name in self.live_names():
+            # Force the refcount to zero: cleanup outranks leaked refs.
+            with self._lock:
+                entry = self._live.pop(name, None)
+            if entry is None:
+                continue
+            try:
+                entry[0].close()
+            except Exception:  # noqa: BLE001
+                pass
+            if self.is_owner:
+                _unlink(entry[0])
+        return self.reap()
+
+
+def orphaned_segments(nonces: Iterable[str] = ()) -> list[str]:
+    """All ``rxf``-prefixed segments on disk (optionally nonce-filtered).
+
+    Test helper for the leak assertions: after a job — crashes and all —
+    this must come back empty for that job's nonce.
+    """
+    try:
+        entries = os.listdir(_SHM_DIR)
+    except OSError:
+        return []
+    prefixes = tuple(SEG_PREFIX + n for n in nonces) or (SEG_PREFIX,)
+    return [e for e in entries if e.startswith(prefixes)]

@@ -168,6 +168,122 @@ class TestWorkerFaultBackendEquivalence:
                 ), f"{job_name}: {backend} {counter} diverged"
 
 
+#: (transport, persistent_pool) corners of the process-backend matrix.
+_XFER_AXIS = [
+    ("pipe", False),
+    ("pipe", True),
+    ("shm", False),
+    ("shm", True),
+]
+
+
+@needs_fork
+@pytest.mark.parametrize("job_name", ["wordcount", "sort"])
+class TestTransportEquivalence:
+    """Transport and pool mode change speed, never answers.
+
+    Every corner of the (pipe|shm) × (fork-per-wave|persistent-pool)
+    matrix must reproduce the serial reference byte for byte — plain and
+    with seeded worker kills/hangs, where the fault *event sequence*
+    (site, action, scope order) must match too: the supervisor's
+    deterministic fault decisions are part of the contract, whatever
+    carries the results back.
+    """
+
+    def test_outputs_byte_identical(
+        self, job_name, text_file, terasort_file, numbers_file
+    ):
+        job_args = (text_file, terasort_file, numbers_file)
+        reference = SupMRRuntime(_options("serial")).run(
+            _job(job_name, *job_args)
+        )
+        assert reference.output
+        for transport, persistent in _XFER_AXIS:
+            opts = _options("process").with_(
+                transport=transport, persistent_pool=persistent
+            )
+            result = SupMRRuntime(opts).run(_job(job_name, *job_args))
+            assert result.output == reference.output, (
+                f"{job_name}: transport={transport} "
+                f"persistent_pool={persistent} diverged from serial"
+            )
+            assert result.counters["transport"] == transport
+            assert result.counters["persistent_pool"] is (
+                persistent and opts.supervised_pool
+            )
+
+    def test_fault_sequences_identical_across_transports(
+        self, job_name, text_file, terasort_file, numbers_file
+    ):
+        job_args = (text_file, terasort_file, numbers_file)
+
+        def run(transport, persistent):
+            opts = RuntimeOptions.supmr_interfile(
+                "16KB", num_mappers=4, num_reducers=3
+            ).with_(
+                executor_backend="process",
+                transport=transport,
+                persistent_pool=persistent,
+                fault_plan=parse_faults(
+                    "worker.crash=once,task.hang=once", seed=7
+                ),
+                recovery=RecoveryPolicy(lease_timeout_s=2.0),
+            )
+            return SupMRRuntime(opts).run(_job(job_name, *job_args))
+
+        reference = run("pipe", False)  # PR-3-shaped baseline
+        assert reference.counters["faults_injected"] > 0, (
+            "worker fault plan never fired; the test is vacuous"
+        )
+        ref_events = [
+            (e.site, e.action, e.scope) for e in reference.fault_log.events
+        ]
+        for transport, persistent in _XFER_AXIS[1:]:
+            result = run(transport, persistent)
+            assert result.output == reference.output, (
+                f"{job_name}: faulted transport={transport} "
+                f"persistent_pool={persistent} output diverged"
+            )
+            events = [
+                (e.site, e.action, e.scope) for e in result.fault_log.events
+            ]
+            assert events == ref_events, (
+                f"{job_name}: transport={transport} "
+                f"persistent_pool={persistent} fault sequence diverged"
+            )
+
+
+@needs_fork
+class TestPrefetchIngestEquivalence:
+    """Multi-reader ingest keeps output and QoS accounting identical."""
+
+    def test_outputs_identical_with_prefetch_readers(self, text_file):
+        reference = SupMRRuntime(_options("serial")).run(
+            make_wordcount_job([text_file])
+        )
+        opts = _options("process").with_(ingest_readers=3)
+        result = SupMRRuntime(opts).run(make_wordcount_job([text_file]))
+        assert result.output == reference.output
+        assert result.counters["ingest_readers"] == 3
+
+    def test_prefetch_charges_qos_bucket_exactly_once(self, text_file):
+        # The multi-queue ingest must not double-charge the token bucket:
+        # throttled bytes == input bytes, once, same as the single-reader
+        # pipeline.
+        def run(readers):
+            opts = _options("process").with_(
+                ingest_readers=readers, io_budget="64MB", tenant="t-xfer"
+            )
+            return SupMRRuntime(opts).run(make_wordcount_job([text_file]))
+
+        single, multi = run(1), run(3)
+        assert multi.output == single.output
+        assert (
+            multi.counters["throttle_bytes"]
+            == single.counters["throttle_bytes"]
+        )
+
+
 @needs_fork
 class TestPhoenixBackendEquivalence:
     def test_wordcount_matches_across_backends(self, text_file):

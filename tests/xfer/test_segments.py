@@ -1,0 +1,109 @@
+"""Segment pool: naming, refcounts, stray reaping, job-exit cleanup."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.xfer.segments import (
+    SEG_PREFIX,
+    SegmentLost,
+    SegmentPool,
+    new_nonce,
+    orphaned_segments,
+    segment_name,
+    shm_available,
+    write_segment,
+)
+
+pytestmark = pytest.mark.skipif(
+    not shm_available(), reason="needs working /dev/shm"
+)
+
+
+@pytest.fixture
+def pool():
+    p = SegmentPool()
+    yield p
+    p.cleanup()
+    assert orphaned_segments([p.nonce]) == []
+
+
+class TestNaming:
+    def test_name_carries_nonce_pid_seq(self):
+        assert segment_name("abcd1234", 42, 7) == "rxfabcd1234p42s7"
+
+    def test_next_name_is_monotonic_and_scoped(self, pool):
+        a, b = pool.next_name(), pool.next_name()
+        assert a != b
+        assert a.startswith(SEG_PREFIX + pool.nonce)
+        assert f"p{os.getpid()}s" in a
+
+    def test_nonces_are_distinct(self):
+        assert new_nonce() != new_nonce()
+
+    def test_owner_is_creating_process(self, pool):
+        assert pool.is_owner
+
+
+class TestLifecycle:
+    def test_write_attach_roundtrip(self, pool):
+        name = pool.next_name()
+        write_segment(name, [b"hello ", b"world"])
+        view = pool.attach(name)
+        assert bytes(view[:11]) == b"hello world"
+        pool.release(name)
+        assert orphaned_segments([pool.nonce]) == []
+
+    def test_attach_refcounts_instead_of_double_mapping(self, pool):
+        name = pool.next_name()
+        write_segment(name, [b"x" * 64])
+        pool.attach(name)
+        pool.attach(name)  # second ref, same mapping
+        pool.release(name)
+        assert name in pool.live_names()  # one ref still held
+        pool.release(name)
+        assert name not in pool.live_names()
+        assert orphaned_segments([pool.nonce]) == []
+
+    def test_attach_missing_raises_segment_lost(self, pool):
+        with pytest.raises(SegmentLost):
+            pool.attach(segment_name(pool.nonce, os.getpid(), 999))
+
+    def test_release_unknown_name_is_noop(self, pool):
+        pool.release("rxfnot-a-segment")
+
+
+class TestReaping:
+    def test_reap_is_pid_scoped(self, pool):
+        fake_pid = 999999  # no such worker; simulates a SIGKILLed child
+        stray = segment_name(pool.nonce, fake_pid, 1)
+        write_segment(stray, [b"orphan"])
+        live = pool.next_name()
+        write_segment(live, [b"live"])
+        pool.attach(live)
+        assert pool.reap(fake_pid) == 1
+        # The tracked segment survived the scoped reap.
+        assert live in pool.live_names()
+        assert stray not in orphaned_segments([pool.nonce])
+        pool.release(live)
+
+    def test_reap_ignores_other_jobs_nonces(self, pool):
+        other = SegmentPool()
+        theirs = other.next_name()
+        write_segment(theirs, [b"not yours"])
+        assert pool.reap() == 0
+        assert theirs in orphaned_segments([other.nonce])
+        other.cleanup()
+
+    def test_cleanup_releases_and_reaps_everything(self):
+        pool = SegmentPool()
+        held = pool.next_name()
+        write_segment(held, [b"held"])
+        pool.attach(held)
+        pool.attach(held)  # extra ref: cleanup must still unlink
+        stray = segment_name(pool.nonce, 999998, 1)
+        write_segment(stray, [b"stray"])
+        assert pool.cleanup() >= 1
+        assert orphaned_segments([pool.nonce]) == []

@@ -1,0 +1,121 @@
+"""Transport codec: inline vs segment frames, resolution, fallback."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.xfer.segments import SegmentLost, orphaned_segments, shm_available
+from repro.xfer.transport import (
+    TRANSPORT_PIPE,
+    TRANSPORT_SHM,
+    PipeTransport,
+    ShmTransport,
+    make_transport,
+    resolve_transport,
+)
+
+needs_shm = pytest.mark.skipif(
+    not shm_available(), reason="needs working /dev/shm"
+)
+
+PAYLOADS = [
+    {"counts": {"a": 1, "b": 2}, "blob": b"x" * 100},
+    [(b"key", (1, 2, 3)), (b"longer-key", (4,))],
+    ("tuple", None, 3.5, True),
+]
+
+
+class TestResolve:
+    def test_unknown_value_is_a_config_error(self):
+        with pytest.raises(ConfigError):
+            resolve_transport("carrier-pigeon")
+
+    def test_pipe_stays_pipe(self):
+        assert resolve_transport("pipe") == TRANSPORT_PIPE
+
+    @needs_shm
+    def test_auto_prefers_shm_when_available(self):
+        assert resolve_transport("auto") == TRANSPORT_SHM
+        assert resolve_transport(None) == TRANSPORT_SHM
+
+    def test_make_transport_kinds(self):
+        assert make_transport("pipe").kind == TRANSPORT_PIPE
+
+
+class TestPipeTransport:
+    @pytest.mark.parametrize("payload", PAYLOADS)
+    def test_roundtrip(self, payload):
+        t = PipeTransport()
+        assert t.unpack(t.pack(payload)) == payload
+
+    def test_lifecycle_hooks_are_inert(self):
+        t = PipeTransport()
+        frame = t.pack({"k": "v"})
+        t.release(frame)
+        assert t.reap() == 0
+        assert t.cleanup() == 0
+
+
+@needs_shm
+class TestShmTransport:
+    @pytest.fixture
+    def transport(self):
+        t = ShmTransport()
+        yield t
+        t.cleanup()
+        assert orphaned_segments([t.nonce]) == []
+
+    @pytest.mark.parametrize("payload", PAYLOADS)
+    def test_small_payloads_stay_inline(self, transport, payload):
+        frame = transport.pack(payload)
+        assert frame[0] == "i"
+        assert transport.unpack(frame) == payload
+
+    def test_large_payload_rides_a_segment(self, transport):
+        payload = {"big": b"z" * (1 << 20), "meta": ("r", 3)}
+        frame = transport.pack(payload)
+        assert frame[0] == "s"
+        assert transport.unpack(frame) == payload
+        # keep=False: the receiving unpack unlinked the segment.
+        assert orphaned_segments([transport.nonce]) == []
+
+    def test_numpy_cells_travel_out_of_band(self, transport):
+        np = pytest.importorskip("numpy")
+        cells = np.arange(1 << 16, dtype=np.int64)
+        frame = transport.pack({"cells": cells})
+        assert frame[0] == "s"
+        (tag, name, blob_len, buf_lens) = frame
+        # protocol-5 buffer_callback: the array body is a raw out-of-band
+        # buffer, not re-serialized into the pickle blob.
+        assert sum(buf_lens) >= cells.nbytes
+        assert blob_len < cells.nbytes
+        out = transport.unpack(frame)["cells"]
+        assert (out == cells).all()
+        # The reconstructed array owns its memory (copied before unlink):
+        # writing to it must not fault or corrupt anything.
+        out[0] = -1
+
+    def test_keep_frame_survives_unpack_until_release(self, transport):
+        payload = {"task": b"t" * (1 << 18)}
+        frame = transport.pack(payload, keep=True)
+        assert transport.unpack(frame) == payload
+        assert transport.unpack(frame) == payload  # re-dispatch reuse
+        transport.release(frame)
+        assert orphaned_segments([transport.nonce]) == []
+
+    def test_unpack_after_reap_raises_segment_lost(self):
+        t = ShmTransport()
+        frame = t.pack({"r": b"b" * (1 << 18)})  # worker-style, unmapped
+        assert t.pool.reap() == 1  # parent reaps the "dead worker's" stray
+        with pytest.raises(SegmentLost):
+            t.unpack(frame)
+        t.cleanup()
+
+    def test_inline_threshold_is_honoured(self):
+        t = ShmTransport(inline_max=64)
+        small = t.pack("tiny")
+        big = t.pack("x" * 256)
+        assert small[0] == "i" and big[0] == "s"
+        t.unpack(big)
+        t.cleanup()

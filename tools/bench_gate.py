@@ -132,6 +132,146 @@ def run_qos_once(job_name: str, paths: dict, io_budget) -> tuple[float, str]:
     return elapsed, digest_output(result.output)
 
 
+#: The PR8 transport matrix: (transport, persistent_pool, ingest_readers).
+TRANSPORT_ARMS = {
+    "pipe-fork": ("pipe", False, 1),      # PR-3-shaped baseline
+    "shm-pool": ("shm", True, 1),         # zero-copy + pre-forked pool
+    "shm-pool-prefetch": ("shm", True, 2),  # + multi-queue ingest
+}
+
+
+def run_transport_once(job_name: str, paths: dict, arm: str) -> tuple[float, str]:
+    """One timed process-backend run under one transport-matrix arm."""
+    transport, persistent, readers = TRANSPORT_ARMS[arm]
+    options = RuntimeOptions.supmr_interfile(
+        "256KB", num_mappers=4, num_reducers=4
+    ).with_(
+        executor_backend="process",
+        transport=transport,
+        persistent_pool=persistent,
+        ingest_readers=readers,
+    )
+    job = make_job(job_name, paths)
+    start = time.perf_counter()
+    result = SupMRRuntime(options).run(job)
+    elapsed = time.perf_counter() - start
+    return elapsed, digest_output(result.output)
+
+
+def transport_gate(args) -> int:
+    """The PR8 gate: the shm transport + persistent pool must not lose.
+
+    Interleaves process-backend runs across the transport matrix
+    (pipe + fork-per-wave baseline vs shared-memory + pre-forked pool,
+    with and without prefetch readers) and fails when any arm's output
+    digest diverges.  The speedup leg (``shm-pool`` beating
+    ``pipe-fork`` by ``--min-xfer-speedup`` on wordcount) is enforced
+    only on a multi-core box whose same-arm noise floor can resolve it;
+    a single-core box records the ratio and skips, same idiom as the
+    PR3 speedup gate.
+    """
+    if not fork_available():
+        print("transport gate skipped: os.fork unavailable")
+        return 0
+    from repro.xfer import shm_available
+
+    scale = 4 if args.quick else 8
+    repeats = 3 if args.quick else 5
+    cpus = os.cpu_count() or 1
+    arms = list(TRANSPORT_ARMS)
+    if not shm_available():
+        print("transport gate: no usable /dev/shm; shm arms resolve to pipe")
+    failures: list[str] = []
+    results: dict = {
+        "bench": "pr8-transport-gate",
+        "cpu_count": cpus,
+        "shm_available": shm_available(),
+        "quick": args.quick,
+        "repeats": repeats,
+        "scale": scale,
+        "arms": {arm: dict(zip(("transport", "persistent_pool",
+                                "ingest_readers"), TRANSPORT_ARMS[arm]))
+                 for arm in arms},
+        "jobs": {},
+    }
+    with tempfile.TemporaryDirectory(prefix="bench_gate_") as tmp:
+        paths = make_corpus(Path(tmp), scale)
+        for job_name in ("wordcount", "sort"):
+            times: dict[str, list[float]] = {arm: [] for arm in arms}
+            digests: dict[str, str] = {}
+            for rep in range(repeats):
+                order = list(arms)
+                if rep % 2:
+                    order.reverse()
+                for arm in order:
+                    elapsed, digest = run_transport_once(job_name, paths, arm)
+                    times[arm].append(elapsed)
+                    digests[arm] = digest
+            best = {arm: min(ts) for arm, ts in times.items()}
+            noise = max(
+                statistics.median(ts) / min(ts) - 1.0
+                for ts in times.values()
+            )
+            results["jobs"][job_name] = {
+                arm: {"best_s": round(best[arm], 4),
+                      "all_s": [round(t, 4) for t in times[arm]],
+                      "sha256": digests[arm]}
+                for arm in arms
+            }
+            results["jobs"][job_name]["noise"] = round(noise, 4)
+            for arm in arms:
+                print(f"{job_name:10s} {arm:18s} best {best[arm]:7.3f}s  "
+                      f"sha {digests[arm][:12]}")
+            reference = digests["pipe-fork"]
+            for arm, digest in digests.items():
+                if digest != reference:
+                    failures.append(
+                        f"{job_name}: {arm} output diverged "
+                        f"(sha {digest[:12]} != {reference[:12]})"
+                    )
+    # Speedup leg: why the zero-copy transport and pre-forked pool exist.
+    wc = results["jobs"]["wordcount"]
+    ratio = wc["pipe-fork"]["best_s"] / max(wc["shm-pool"]["best_s"], 1e-9)
+    noise = wc["noise"]
+    speedup_row: dict = {
+        "min_required": args.min_xfer_speedup,
+        "wordcount_shm_pool_vs_pipe_fork": round(ratio, 3),
+    }
+    if cpus < 2:
+        speedup_row["enforced"] = False
+        speedup_row["skip_reason"] = f"single-core box (cpu_count={cpus})"
+        print(f"transport speedup gate skipped: cpu_count={cpus} < 2 "
+              f"(measured {ratio:.2f}x)")
+    elif noise > max(args.min_xfer_speedup - 1.0, 0.0):
+        speedup_row["enforced"] = False
+        speedup_row["skip_reason"] = (
+            f"noise floor {noise:.1%} cannot resolve the gate"
+        )
+        print(f"transport speedup gate skipped: same-arm repeats differ "
+              f"by {noise:.1%} (measured {ratio:.2f}x)")
+    else:
+        speedup_row["enforced"] = True
+        if ratio < args.min_xfer_speedup:
+            failures.append(
+                f"shm-pool only {ratio:.2f}x vs pipe-fork on wordcount "
+                f"(need {args.min_xfer_speedup}x on {cpus} cpus)"
+            )
+        print(f"transport speedup gate: shm-pool {ratio:.2f}x pipe-fork "
+              f"(need {args.min_xfer_speedup}x)")
+    results["speedup"] = speedup_row
+    results["failures"] = failures
+    if not failures or args.update:
+        Path(args.out).write_text(json.dumps(results, indent=2) + "\n")
+        print(f"wrote {args.out}")
+    if failures:
+        print("\nBENCH GATE FAILED:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print("transport gate passed")
+    return 0
+
+
 def qos_gate(args) -> int:
     """The PR7 gate: the throttle plumbing must cost < ``--qos-overhead``.
 
@@ -249,12 +389,21 @@ def main(argv: list[str] | None = None) -> int:
                         help="run the PR7 QoS overhead gate instead")
     parser.add_argument("--qos-overhead", type=float, default=0.03,
                         help="max fractional cost of the throttle plumbing")
+    parser.add_argument("--transport", action="store_true",
+                        help="run the PR8 transport/pool gate instead")
+    parser.add_argument("--min-xfer-speedup", type=float, default=1.05,
+                        help="required shm-pool/pipe-fork speedup on "
+                             "multicore (transport gate)")
     args = parser.parse_args(argv)
 
     if args.qos:
         if args.out == "BENCH_pr3.json":
             args.out = "BENCH_pr7.json"
         return qos_gate(args)
+    if args.transport:
+        if args.out == "BENCH_pr3.json":
+            args.out = "BENCH_pr8.json"
+        return transport_gate(args)
 
     backends = [b.strip() for b in args.backends.split(",") if b.strip()]
     if "process" in backends and not fork_available():
