@@ -255,6 +255,12 @@ def _cmd_shutdown(args: argparse.Namespace) -> int:
     return cmd_shutdown(args)
 
 
+def _cmd_agent(args: argparse.Namespace) -> int:
+    from repro.net.agent import cmd_agent
+
+    return cmd_agent(args)
+
+
 def _cmd_gc(args: argparse.Namespace) -> int:
     from repro.resilience.journal import JobJournal
 
@@ -361,6 +367,16 @@ def build_parser() -> argparse.ArgumentParser:
                        help="working directory for shard pid files and "
                             "exchanged run files (default: a private "
                             "temporary directory)")
+        p.add_argument("--peers", metavar="HOST:PORT,...",
+                       help="place the shard workers on these remote "
+                            "agents (requires --shards; start each with "
+                            "'supmr agent --listen HOST:PORT'); "
+                            "unreachable hosts degrade to local "
+                            "execution with an identical digest")
+        p.add_argument("--net-timeout", type=float, default=None,
+                       metavar="SECONDS",
+                       help="liveness and transfer deadline for --peers "
+                            "runs (default 10)")
         p.add_argument("--io-budget", metavar="RATE",
                        help="token-bucket I/O bandwidth cap in bytes/s, "
                             "e.g. 64MB; throttles ingest reads and spill "
@@ -537,6 +553,27 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_state_dir(p_shutdown)
     p_shutdown.set_defaults(fn=_cmd_shutdown)
+
+    p_agent = sub.add_parser(
+        "agent", help="host shard workers for a remote coordinator"
+    )
+    p_agent.add_argument("--listen", default="127.0.0.1:0",
+                         metavar="HOST:PORT",
+                         help="bind address (port 0 picks a free port; "
+                              "the bound address is printed and written "
+                              "to --addr-file)")
+    p_agent.add_argument("--workdir", metavar="DIR",
+                         help="exchange workdir for hosted workers "
+                              "(default: a private temporary directory)")
+    p_agent.add_argument("--addr-file", metavar="FILE",
+                         help="write the bound host:port here once "
+                              "listening (for scripts racing startup)")
+    p_agent.add_argument("--grace", type=float, default=10.0,
+                         metavar="SECONDS",
+                         help="keep hosted workers this long after losing "
+                              "the coordinator connection before reaping "
+                              "them (a reconnect inside it resumes)")
+    p_agent.set_defaults(fn=_cmd_agent)
 
     p_gc = sub.add_parser(
         "gc", help="remove completed checkpoint directories"

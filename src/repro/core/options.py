@@ -15,6 +15,7 @@ from typing import Any, Sequence
 from repro.errors import ConfigError
 from repro.faults.plan import FaultPlan
 from repro.faults.policy import RecoveryPolicy
+from repro.net.peers import parse_peers
 from repro.parallel.backends import ExecutorBackend, resolve_backend
 from repro.util.units import parse_size
 
@@ -143,6 +144,17 @@ class RuntimeOptions:
     #: fresh pool every mapper wave.  Off restores fork-per-wave (each
     #: wave COW-inherits the parent at dispatch time).
     persistent_pool: bool = True
+    #: Remote agent endpoints (``"host:port,..."`` or a sequence) the
+    #: sharded coordinator may place shard worker groups on
+    #: (:mod:`repro.net`).  Requires ``num_shards``; shards are placed
+    #: round-robin over the reachable peers, and an unreachable or
+    #: partitioned peer degrades to local execution rather than failing
+    #: the job.  None (default) keeps every worker on this host.
+    peers: tuple[str, ...] | str | None = None
+    #: Liveness and transfer deadline in seconds for the multi-host
+    #: transport: an agent silent past this is treated as lost, and a
+    #: run-file transfer may not exceed it end to end.
+    net_timeout_s: float = 10.0
     #: Prefetch reader threads for pipelined ingest.  ``1`` keeps the
     #: single look-ahead-one background thread; ``N > 1`` runs N
     #: ``readinto``-based readers over a bounded in-flight window so
@@ -228,6 +240,15 @@ class RuntimeOptions:
                 "choose one of auto, pipe, shm"
             )
         object.__setattr__(self, "transport", transport)
+        if self.peers is not None:
+            object.__setattr__(self, "peers", parse_peers(self.peers))
+            if self.num_shards is None:
+                raise ConfigError(
+                    "peers requires num_shards (combine --peers with "
+                    "--shards N)"
+                )
+        if self.net_timeout_s <= 0:
+            raise ConfigError("net_timeout_s must be positive")
         if self.ingest_readers < 1:
             raise ConfigError("ingest_readers must be >= 1")
         if self.ingest_depth is not None and self.ingest_depth < 1:

@@ -92,8 +92,9 @@ class ProtocolError(ServiceError):
     """A transport frame violated the wire protocol.
 
     Carries a ``reason`` tag (``truncated`` | ``bad-magic`` | ``bad-crc``
-    | ``version`` | ``oversize`` | ``bad-payload``) so tests and retry
-    logic can branch on *how* the frame was bad, not just that it was.
+    | ``version`` | ``oversize`` | ``bad-payload`` | ``stalled``) so
+    tests and retry logic can branch on *how* the frame was bad, not
+    just that it was.
     """
 
     def __init__(self, message: str, reason: str = "") -> None:
@@ -117,6 +118,25 @@ class AdmissionError(ServiceError):
 class JobNotFound(ServiceError):
     """A status/result/cancel request named a job the service does not
     know (never submitted, or already garbage-collected)."""
+
+
+class NetError(ServiceError):
+    """Base class for the multi-host transport (:mod:`repro.net`):
+    agent links, remote worker dispatch, and the remote run exchange."""
+
+
+class PeerUnreachable(NetError):
+    """A configured peer could not be reached.
+
+    At coordinator startup this is a usage error (the ``--peers`` list
+    names a host that is not running an agent — exit code 2); mid-job it
+    is handled internally by the degradation ladder (local respawn or
+    full local fallback) and never escapes to the caller.
+    """
+
+    def __init__(self, message: str, peer: str = "") -> None:
+        super().__init__(message)
+        self.peer = peer
 
 
 class FaultError(ReproError):

@@ -20,6 +20,7 @@ from __future__ import annotations
 from repro.errors import (
     ChunkingError,
     ConfigError,
+    PeerUnreachable,
     QuarantineOverflow,
     ReproError,
     RetryExhausted,
@@ -35,8 +36,12 @@ EXIT_DEADLINE = 4
 
 def classify_exception(exc: BaseException) -> int:
     """The exit code a library error maps to."""
-    if isinstance(exc, (ConfigError, WorkloadError, ChunkingError)):
-        # bad flags, invalid option combos, unusable inputs
+    if isinstance(exc, (ConfigError, WorkloadError, ChunkingError,
+                        PeerUnreachable)):
+        # bad flags, invalid option combos, unusable inputs, or a
+        # --peers entry with no agent behind it at startup (mid-job
+        # peer loss is absorbed by the fallback ladder and never
+        # raises this)
         return EXIT_USAGE
     if isinstance(exc, (RetryExhausted, QuarantineOverflow)):
         return EXIT_FAULTS

@@ -42,6 +42,12 @@ SITE_QOS_THROTTLE_STALL = "qos.throttle.stall"      # qos.throttle buckets
 SITE_SERVICE_CONN_DROP = "service.conn.drop"   # service.server connections
 SITE_SERVICE_JOB_CRASH = "service.job.crash"   # service runner processes
 SITE_QOS_TENANT_SURGE = "qos.tenant.surge"     # service.server admission
+# Multi-host transport sites (checked by repro.net / shard.coordinator):
+SITE_NET_CONN_DROP = "net.conn.drop"           # net.wire send/fetch attempts
+SITE_NET_FRAME_CORRUPT = "net.frame.corrupt"   # net.exchange transfers
+SITE_NET_PARTIAL_WRITE = "net.partial.write"   # net.wire torn sends
+SITE_NET_HOST_LOSS = "net.host.loss"           # net.agent dies mid-job
+SITE_NET_PARTITION = "net.partition"           # net.agent live-but-unreachable
 # Simulated-hardware sites (applied by faults.simdriver / simrt):
 SITE_SIM_DISK_SLOW = "sim.disk.slow"
 SITE_SIM_DISK_FAIL = "sim.disk.fail"
@@ -59,11 +65,15 @@ RUNTIME_SITES = (
 SERVICE_SITES = (
     SITE_SERVICE_CONN_DROP, SITE_SERVICE_JOB_CRASH, SITE_QOS_TENANT_SURGE,
 )
+NET_SITES = (
+    SITE_NET_CONN_DROP, SITE_NET_FRAME_CORRUPT, SITE_NET_PARTIAL_WRITE,
+    SITE_NET_HOST_LOSS, SITE_NET_PARTITION,
+)
 SIM_SITES = (
     SITE_SIM_DISK_SLOW, SITE_SIM_DISK_FAIL, SITE_SIM_DATANODE_LOSS,
     SITE_SIM_NET_FLAP, SITE_SIM_STRAGGLER, SITE_SIM_WORKER_CRASH,
 )
-KNOWN_SITES = RUNTIME_SITES + SERVICE_SITES + SIM_SITES
+KNOWN_SITES = RUNTIME_SITES + SERVICE_SITES + NET_SITES + SIM_SITES
 
 #: Fault flavors (``FaultSpec.kind``); sites ignore kinds they do not model.
 KIND_ERROR = "error"  # transient I/O error (ingest.read default)

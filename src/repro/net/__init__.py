@@ -1,0 +1,59 @@
+"""Multi-host shard transport (``repro.net``).
+
+Lets the sharded coordinator (:mod:`repro.shard.coordinator`) place
+shard worker groups on remote hosts, talking the same CRC-framed wire
+protocol the job service speaks (:mod:`repro.service.protocol`):
+
+* :func:`parse_peers` / :func:`split_addr` — the ``--peers
+  host:port,...`` surface;
+* :mod:`repro.net.wire` — deadline-bounded framed send/recv with
+  seeded ``net.conn.drop`` / ``net.partial.write`` injection and
+  jittered reconnect;
+* :class:`AgentServer` / :func:`agent_main` — the ``supmr agent``
+  daemon hosting shard workers as subprocesses and relaying their
+  heartbeats/results back to the coordinator;
+* :func:`fetch_run_remote` — the remote run-exchange path: resumable
+  range requests, CRC verify-then-refetch, per-transfer deadlines;
+* :class:`AgentLink` / :class:`RemoteHandle` — the coordinator's side
+  of one agent connection (command stream, ping liveness, result
+  relay into the existing lease machinery).
+
+Everything here degrades instead of failing: an unreachable agent's
+shards respawn locally, and total peer loss falls back to single-host
+execution with the same byte-identical digest.
+"""
+
+from repro.net.peers import format_addr, parse_peers, split_addr
+
+__all__ = [
+    "AgentLink",
+    "AgentServer",
+    "RemoteHandle",
+    "agent_main",
+    "fetch_run_remote",
+    "format_addr",
+    "parse_peers",
+    "split_addr",
+]
+
+
+def __getattr__(name: str):
+    """Lazily import the heavier exports (PEP 562).
+
+    The agent/link layers import the shard worker entrypoint, which
+    would close an import cycle with :mod:`repro.core.options` (options
+    must stay importable from ``repro.net.peers`` alone).
+    """
+    if name in ("AgentServer", "agent_main"):
+        from repro.net import agent
+
+        return getattr(agent, name)
+    if name in ("AgentLink", "RemoteHandle"):
+        from repro.net import remote
+
+        return getattr(remote, name)
+    if name == "fetch_run_remote":
+        from repro.net.exchange import fetch_run_remote
+
+        return fetch_run_remote
+    raise AttributeError(f"module 'repro.net' has no attribute {name!r}")

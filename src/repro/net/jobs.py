@@ -1,0 +1,140 @@
+"""Wire forms for dispatching shard work to a remote agent.
+
+A local shard worker fork inherits the job callables, options, and
+chunk block copy-on-write; a remote worker gets none of that, so the
+spawn command must carry a JSON-safe description the agent can rebuild
+the identical objects from:
+
+* the **job** travels as its app name + input paths (the same registry
+  the job service uses — callables never cross the wire);
+* the **options** travel as the subset a shard worker actually reads
+  (mapper/reducer counts, memory budget, fault plan + recovery policy,
+  QoS knobs) — ``task_id_base`` math and fault scopes stay identical,
+  which is what keeps digests byte-identical across placements;
+* the **chunks** travel as their source descriptors (path, offset,
+  length) — inputs are expected on a shared filesystem, exactly like
+  every production MapReduce's input contract.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from pathlib import Path
+from typing import Any, Sequence
+
+from repro.chunking.chunk import Chunk, ChunkSource
+from repro.core.job import JobSpec
+from repro.core.options import MergeAlgorithm, RuntimeOptions
+from repro.errors import ConfigError
+from repro.faults.plan import FaultPlan, FaultSpec
+from repro.faults.policy import RecoveryPolicy
+
+#: Apps a remote spawn may name (the job-service registry).
+KNOWN_APPS = ("wordcount", "sort")
+
+
+def job_to_wire(job: JobSpec) -> dict[str, Any]:
+    """``{"app", "inputs"}`` for a job built by a known app factory."""
+    if job.name not in KNOWN_APPS:
+        raise ConfigError(
+            f"remote shard execution needs a registered app; job "
+            f"{job.name!r} is not one of {', '.join(KNOWN_APPS)}"
+        )
+    return {"app": job.name, "inputs": [str(p) for p in job.inputs]}
+
+
+def job_from_wire(data: dict[str, Any]) -> JobSpec:
+    """Rebuild the executable job from its wire form."""
+    app = data.get("app")
+    inputs = data.get("inputs") or ()
+    if app == "wordcount":
+        from repro.apps.wordcount import make_wordcount_job
+
+        return make_wordcount_job(inputs)
+    if app == "sort":
+        from repro.apps.sortapp import make_sort_job
+
+        return make_sort_job(list(inputs))
+    raise ConfigError(f"unknown remote app {app!r}")
+
+
+def options_to_wire(options: RuntimeOptions) -> dict[str, Any]:
+    """The worker-relevant option subset, JSON-safe.
+
+    Deliberately excludes placement-side knobs (``peers``, shard and
+    checkpoint directories, executor backend — workers run their block
+    serially either way) so the same wire form is valid on any host.
+    """
+    wire: dict[str, Any] = {
+        "num_mappers": options.num_mappers,
+        "num_reducers": options.num_reducers,
+        "memory_budget": options.memory_budget,
+        "spill_merge_fan_in": options.spill_merge_fan_in,
+        "merge_algorithm": options.merge_algorithm.value,
+        "io_budget": options.io_budget,
+        "io_burst": options.io_burst,
+        "tenant": options.tenant,
+        "io_priority": options.io_priority,
+    }
+    if options.fault_plan is not None:
+        wire["fault_plan"] = {
+            "seed": options.fault_plan.seed,
+            "specs": [
+                dataclasses.asdict(spec) for spec in options.fault_plan.specs
+            ],
+        }
+    wire["recovery"] = dataclasses.asdict(options.recovery)
+    return wire
+
+
+def options_from_wire(data: dict[str, Any]) -> RuntimeOptions:
+    """Rebuild worker options from :func:`options_to_wire`'s form."""
+    plan = None
+    if data.get("fault_plan"):
+        plan = FaultPlan(
+            seed=int(data["fault_plan"].get("seed", 0)),
+            specs=tuple(
+                FaultSpec(**spec) for spec in data["fault_plan"]["specs"]
+            ),
+        )
+    recovery = RecoveryPolicy(**data.get("recovery", {}))
+    return RuntimeOptions(
+        num_mappers=int(data.get("num_mappers", 4)),
+        num_reducers=int(data.get("num_reducers", 4)),
+        memory_budget=data.get("memory_budget"),
+        spill_merge_fan_in=int(data.get("spill_merge_fan_in", 8)),
+        merge_algorithm=MergeAlgorithm(data.get("merge_algorithm", "pairwise")),
+        io_budget=data.get("io_budget"),
+        io_burst=data.get("io_burst"),
+        tenant=data.get("tenant", "default"),
+        io_priority=int(data.get("io_priority", 0)),
+        fault_plan=plan,
+        recovery=recovery,
+    )
+
+
+def chunks_to_wire(chunks: Sequence[Chunk]) -> list[dict[str, Any]]:
+    """Chunk descriptors as JSON-safe source lists."""
+    return [
+        {
+            "index": chunk.index,
+            "sources": [
+                [str(s.path), s.offset, s.length] for s in chunk.sources
+            ],
+        }
+        for chunk in chunks
+    ]
+
+
+def chunks_from_wire(data: Sequence[dict[str, Any]]) -> list[Chunk]:
+    """Rebuild the chunk block (paths must resolve on this host)."""
+    return [
+        Chunk(
+            index=int(entry["index"]),
+            sources=tuple(
+                ChunkSource(path=Path(p), offset=int(off), length=int(ln))
+                for p, off, ln in entry["sources"]
+            ),
+        )
+        for entry in data
+    ]

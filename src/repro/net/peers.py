@@ -1,0 +1,64 @@
+"""Peer address parsing for the ``--peers`` surface.
+
+Kept dependency-light on purpose: :mod:`repro.core.options` validates
+its ``peers`` field through this module, so nothing here may import
+options, the coordinator, or the agent (that would close an import
+cycle).
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+
+
+def split_addr(addr: str, listen: bool = False) -> tuple[str, int]:
+    """``"host:port"`` → ``(host, port)``; typed error on bad syntax.
+
+    ``listen=True`` (the agent's ``--listen`` flag) additionally allows
+    port 0, the OS's "pick an ephemeral port for me" — meaningless as a
+    peer to *dial*, so the default range stays 1..65535.
+    """
+    host, sep, port_text = addr.rpartition(":")
+    if not sep or not host:
+        raise ConfigError(
+            f"bad peer address {addr!r}: expected host:port"
+        )
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise ConfigError(
+            f"bad peer address {addr!r}: port {port_text!r} is not an integer"
+        ) from None
+    floor = -1 if listen else 0
+    if not floor < port < 65536:
+        raise ConfigError(
+            f"bad peer address {addr!r}: port must be in 1..65535"
+        )
+    return host, port
+
+
+def format_addr(host: str, port: int) -> str:
+    """The canonical ``host:port`` string :func:`split_addr` inverts."""
+    return f"{host}:{port}"
+
+
+def parse_peers(text: "str | tuple[str, ...] | list[str]") -> tuple[str, ...]:
+    """Parse ``--peers host:port,host:port,...`` into canonical form.
+
+    Accepts a comma-separated string or an already-split sequence;
+    every entry is validated and duplicates are a typed error (two
+    shards pointed at one agent *instance* is fine — the same address
+    listed twice is almost certainly a typo).
+    """
+    if isinstance(text, str):
+        entries = [e.strip() for e in text.split(",")]
+    else:
+        entries = [str(e).strip() for e in text]
+    peers = tuple(
+        format_addr(*split_addr(entry)) for entry in entries if entry
+    )
+    if not peers:
+        raise ConfigError("peers must name at least one host:port")
+    if len(set(peers)) != len(peers):
+        raise ConfigError(f"duplicate peer address in {peers!r}")
+    return peers

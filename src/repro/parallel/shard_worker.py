@@ -14,8 +14,9 @@ partitions' runs from every shard's outbox and reduce them), until the
 Fault-site split: the **shard-level** sites (``shard.worker_loss``,
 ``shard.straggler``, ``shard.exchange_corrupt``) are decided by the
 coordinator at dispatch time and arrive pre-resolved inside the command
-(``mode``/``corrupt``), keeping the schedule deterministic no matter how
-workers race.  The **task-level** sites (``ingest.read``,
+(``mode``/``corrupt`` — and, on multi-host runs, the ``net.*`` transfer
+fault tables), keeping the schedule deterministic no matter how workers
+race.  The **task-level** sites (``ingest.read``,
 ``record.corrupt``, ``map.task``...) are armed *inside* the worker
 against the same plan, with globally-stable scopes, and the resulting
 fault events are shipped back for replay into the coordinator's log.
@@ -205,6 +206,15 @@ def _serve_reduce(
         os._exit(SHARD_CRASH_EXIT)
     sources: dict[int, str] = msg["sources"]
     corrupt: dict[tuple[int, int], list[int]] = msg.get("corrupt", {})
+    # Multi-host extras: where each source outbox actually lives.  A
+    # source whose address matches this worker's own host (or is empty)
+    # is a plain file copy; anything else goes over the resumable,
+    # verify-then-refetch TCP fetch path.
+    via: dict[int, str] = msg.get("via") or {}
+    self_addr: str = msg.get("self_addr", "")
+    net_corrupt: dict[tuple[int, int], list[int]] = msg.get("net_corrupt", {})
+    net_drop: dict[tuple[int, int], list[int]] = msg.get("net_drop", {})
+    net_timeout = float(msg.get("net_timeout_s") or 10.0)
     inbox_dir = Path(msg["workdir"])
     inbox_dir.mkdir(parents=True, exist_ok=True)
     events: list[EventRow] = []
@@ -213,14 +223,31 @@ def _serve_reduce(
     for p in msg["partitions"]:
         readers = []
         for src in sorted(sources):
-            reader, attempts = fetch_run(
-                Path(sources[src]) / run_name(p),
-                inbox_dir / f"p{p:05d}-from-{src:05d}.spl",
-                corrupt_attempts=corrupt.get((p, src), ()),
-                max_retries=options.recovery.max_retries,
-                events=events,
-                scope=repr((p, src)),
-            )
+            dst = inbox_dir / f"p{p:05d}-from-{src:05d}.spl"
+            addr = via.get(src, "")
+            if addr and addr != self_addr:
+                from repro.net.exchange import fetch_run_remote
+
+                reader, attempts = fetch_run_remote(
+                    addr,
+                    Path(sources[src]) / run_name(p),
+                    dst,
+                    corrupt_attempts=net_corrupt.get((p, src), ()),
+                    drop_attempts=net_drop.get((p, src), ()),
+                    max_retries=options.recovery.max_retries,
+                    deadline_s=net_timeout,
+                    events=events,
+                    scope=repr((p, src)),
+                )
+            else:
+                reader, attempts = fetch_run(
+                    Path(sources[src]) / run_name(p),
+                    dst,
+                    corrupt_attempts=corrupt.get((p, src), ()),
+                    max_retries=options.recovery.max_retries,
+                    events=events,
+                    scope=repr((p, src)),
+                )
             refetches += attempts
             readers.append(reader)
         parts[p] = reduce_partition(job, merged_partition_groups(readers))

@@ -84,18 +84,25 @@ class ServiceClient:
     # -- transport -----------------------------------------------------------
 
     def _connect(self) -> socket.socket:
-        try:
-            sock = socket.create_connection(
-                (self.host, self.port), timeout=self.timeout_s
-            )
-        except OSError as exc:
-            raise ServiceError(
-                f"cannot connect to service at {self.host}:{self.port}: {exc}"
-            ) from exc
-        return sock
+        """A fresh connection; raises raw ``OSError`` on failure so the
+        retry loops treat a refused/reset *connect* exactly like a
+        severed mid-stream read — both get a fresh socket and another
+        attempt, and only exhaustion surfaces a typed ServiceError."""
+        return socket.create_connection(
+            (self.host, self.port), timeout=self.timeout_s
+        )
 
     def _rpc(self, msg: dict[str, Any]) -> dict[str, Any]:
-        """One request/reply exchange, retried over dropped connections."""
+        """One request/reply exchange, retried over a fresh socket.
+
+        Retryable: connect failures (``ConnectionRefusedError``…), a
+        mid-stream ``ECONNRESET``/``EOF`` during the response read, a
+        socket timeout, and frames torn (``truncated``) or stalled
+        (``stalled``) mid-transfer — every RPC is idempotent, so a
+        reply lost in transit is safe to re-request.  Frame *damage*
+        (bad CRC, bad magic, version skew) is not retried: garbage from
+        a live peer will be garbage again.
+        """
         last: Exception | None = None
         for attempt in range(self.max_retries + 1):
             if attempt:
@@ -104,18 +111,18 @@ class ServiceClient:
                 with self._connect() as sock:
                     protocol.send_frame(sock, msg)
                     reply = protocol.recv_frame(sock)
-            except (EOFError, ConnectionError, socket.timeout) as exc:
+            except (EOFError, OSError) as exc:
                 last = exc
                 continue
             except ProtocolError as exc:
-                if exc.reason == "truncated":
-                    last = exc  # severed mid-frame: retryable
+                if exc.reason in ("truncated", "stalled"):
+                    last = exc  # severed/stalled mid-frame: retryable
                     continue
                 raise
             return self._check_reply(reply)
         raise ServiceError(
-            f"service at {self.host}:{self.port} dropped the connection "
-            f"{self.max_retries + 1} time(s): {last}"
+            f"service at {self.host}:{self.port} was unreachable or "
+            f"dropped the connection {self.max_retries + 1} time(s): {last}"
         ) from last
 
     @staticmethod
@@ -208,7 +215,7 @@ class ServiceClient:
                                 on_transition(record)
                         if record.finished:
                             return record
-            except (EOFError, ConnectionError, socket.timeout) as exc:
+            except (EOFError, OSError) as exc:
                 drops += 1
                 if drops > self.max_retries:
                     raise ServiceError(
@@ -217,7 +224,7 @@ class ServiceClient:
                     ) from exc
                 time.sleep(self._backoff(drops - 1))
             except ProtocolError as exc:
-                if exc.reason != "truncated":
+                if exc.reason not in ("truncated", "stalled"):
                     raise
                 drops += 1
                 if drops > self.max_retries:

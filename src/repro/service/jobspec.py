@@ -76,6 +76,10 @@ def build_options(spec: Any) -> RuntimeOptions:
         )
     if getattr(spec, "shards", None) is not None:
         options = options.with_(num_shards=spec.shards)
+    if getattr(spec, "peers", None):
+        options = options.with_(peers=spec.peers)
+    if getattr(spec, "net_timeout", None) is not None:
+        options = options.with_(net_timeout_s=spec.net_timeout)
     if getattr(spec, "shard_dir", None):
         options = options.with_(shard_dir=spec.shard_dir)
     if getattr(spec, "io_budget", None) is not None:
@@ -124,6 +128,11 @@ class ServiceJobSpec:
     job_deadline: float | None = None
     no_supervise: bool = False
     shards: int | None = None
+    #: Remote agent endpoints (``"host:port,..."``) the sharded run may
+    #: place worker groups on; requires ``shards``.
+    peers: str | None = None
+    #: Liveness/transfer deadline for ``peers`` runs, in seconds.
+    net_timeout: float | None = None
     priority: int = 0
     tag: str = ""
     #: Tenant the job is accounted to (per-tenant budgets, weighted-fair

@@ -30,6 +30,7 @@ import asyncio
 import json
 import socket
 import struct
+import time
 from typing import Any
 
 from repro.errors import ProtocolError
@@ -142,28 +143,57 @@ def decode_frame(data: bytes) -> "dict[str, Any] | bytes":
 # -- asyncio stream API (server side) ----------------------------------------
 
 
-async def read_frame(reader: asyncio.StreamReader) -> "dict[str, Any] | bytes":
+async def read_frame(
+    reader: asyncio.StreamReader,
+    stall_timeout_s: float | None = None,
+) -> "dict[str, Any] | bytes":
     """Read one frame; raises :class:`ProtocolError` on any damage and
-    :class:`EOFError` on a clean close between frames."""
+    :class:`EOFError` on a clean close between frames.
+
+    ``stall_timeout_s`` bounds how long a *started* frame may dribble in:
+    waiting for the first byte is untimed (an idle keep-alive connection
+    is legitimate), but once a frame has begun, a peer that stalls
+    mid-frame past the deadline — the slow-loris pattern — is rejected
+    with a typed ``ProtocolError(reason="stalled")`` instead of holding
+    the reader forever.
+    """
     try:
-        header = await reader.readexactly(_HEADER.size)
+        first = await reader.readexactly(1)
     except asyncio.IncompleteReadError as exc:
-        if not exc.partial:
-            raise EOFError("connection closed between frames") from exc
+        raise EOFError("connection closed between frames") from exc
+    try:
+        header = first + await _timed(
+            reader.readexactly(_HEADER.size - 1), stall_timeout_s, "header"
+        )
+    except asyncio.IncompleteReadError as exc:
         raise ProtocolError(
             f"connection closed mid-header "
-            f"({len(exc.partial)} of {_HEADER.size} bytes)",
+            f"({1 + len(exc.partial)} of {_HEADER.size} bytes)",
             reason="truncated",
         ) from exc
     kind, crc, length = decode_header(header)
     try:
-        body = await reader.readexactly(length)
+        body = await _timed(
+            reader.readexactly(length), stall_timeout_s, "payload"
+        )
     except asyncio.IncompleteReadError as exc:
         raise ProtocolError(
             f"connection closed mid-payload "
             f"({len(exc.partial)} of {length} bytes)", reason="truncated",
         ) from exc
     return decode_payload(kind, crc, body)
+
+
+async def _timed(coro: Any, timeout_s: float | None, mid: str) -> bytes:
+    if timeout_s is None:
+        return await coro
+    try:
+        return await asyncio.wait_for(coro, timeout_s)
+    except asyncio.TimeoutError:
+        raise ProtocolError(
+            f"peer stalled mid-{mid} for over {timeout_s:.3g}s",
+            reason="stalled",
+        ) from None
 
 
 async def write_frame(
@@ -182,29 +212,77 @@ def send_frame(sock: socket.socket, payload: "dict[str, Any] | bytes") -> None:
     sock.sendall(encode_frame(payload))
 
 
-def recv_frame(sock: socket.socket) -> "dict[str, Any] | bytes":
+def recv_frame(
+    sock: socket.socket,
+    timeout_s: float | None = None,
+    idle_ok: bool = False,
+) -> "dict[str, Any] | bytes":
     """Receive one frame; :class:`EOFError` on a clean close between
-    frames, :class:`ProtocolError` on a torn or corrupt one."""
-    header = _recv_exactly(sock, _HEADER.size, mid="header")
+    frames, :class:`ProtocolError` on a torn or corrupt one.
+
+    ``timeout_s`` is the per-frame stall deadline: a peer that goes
+    silent mid-frame past it raises ``ProtocolError(reason="stalled")``
+    rather than blocking forever.  With ``idle_ok=True`` the wait for
+    the frame's *first* byte is untimed (long-lived control connections
+    are legitimately idle between frames); the deadline starts once the
+    frame begins.
+    """
+    deadline = None
+    if timeout_s is not None and not idle_ok:
+        deadline = time.monotonic() + timeout_s
+    first = _recv_exactly(sock, 1, mid="header", deadline=deadline)
+    if timeout_s is not None and deadline is None:
+        deadline = time.monotonic() + timeout_s
+    header = first + _recv_exactly(
+        sock, _HEADER.size - 1, mid="header", deadline=deadline, started=1
+    )
     kind, crc, length = decode_header(header)
-    body = _recv_exactly(sock, length, mid="payload")
+    body = _recv_exactly(sock, length, mid="payload", deadline=deadline)
     return decode_payload(kind, crc, body)
 
 
-def _recv_exactly(sock: socket.socket, n: int, mid: str) -> bytes:
+def _recv_exactly(
+    sock: socket.socket,
+    n: int,
+    mid: str,
+    deadline: float | None = None,
+    started: int = 0,
+) -> bytes:
     chunks: list[bytes] = []
     got = 0
-    while got < n:
-        chunk = sock.recv(min(65536, n - got))
-        if not chunk:
-            if not got and mid == "header":
-                raise EOFError("connection closed between frames")
-            raise ProtocolError(
-                f"connection closed mid-{mid} ({got} of {n} bytes)",
-                reason="truncated",
-            )
-        chunks.append(chunk)
-        got += len(chunk)
+    previous_timeout = sock.gettimeout() if deadline is not None else None
+    try:
+        while got < n:
+            if deadline is not None:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise ProtocolError(
+                        f"peer stalled mid-{mid} "
+                        f"({started + got} of {started + n} bytes)",
+                        reason="stalled",
+                    )
+                sock.settimeout(remaining)
+            try:
+                chunk = sock.recv(min(65536, n - got))
+            except (socket.timeout, TimeoutError):
+                raise ProtocolError(
+                    f"peer stalled mid-{mid} "
+                    f"({started + got} of {started + n} bytes)",
+                    reason="stalled",
+                ) from None
+            if not chunk:
+                if not got and not started and mid == "header":
+                    raise EOFError("connection closed between frames")
+                raise ProtocolError(
+                    f"connection closed mid-{mid} "
+                    f"({started + got} of {started + n} bytes)",
+                    reason="truncated",
+                )
+            chunks.append(chunk)
+            got += len(chunk)
+    finally:
+        if deadline is not None:
+            sock.settimeout(previous_timeout)
     return b"".join(chunks)
 
 

@@ -73,6 +73,11 @@ from repro.service.state import (
 )
 from repro.util.units import parse_size
 
+#: Per-frame stall deadline for daemon-side reads: a frame that has
+#: started must finish within this budget (idle between frames stays
+#: untimed, so pooled keep-alive connections are unaffected).
+FRAME_STALL_S = 30.0
+
 
 @dataclass(frozen=True)
 class ServiceConfig:
@@ -731,7 +736,14 @@ class JobService:
         try:
             while True:
                 try:
-                    msg = await protocol.read_frame(reader)
+                    # Idle keep-alive is fine (the wait for a frame's
+                    # first byte is untimed), but a started frame must
+                    # finish within the stall deadline or the slot is
+                    # reclaimed — one slow-loris client cannot pin a
+                    # daemon connection open forever.
+                    msg = await protocol.read_frame(
+                        reader, stall_timeout_s=FRAME_STALL_S
+                    )
                 except EOFError:
                     return
                 except ProtocolError as exc:

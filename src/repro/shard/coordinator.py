@@ -1,4 +1,4 @@
-"""The sharded coordinator: fault-tolerant scale-out on one machine.
+"""The sharded coordinator: fault-tolerant scale-out, one host or many.
 
 :class:`ShardedRuntime` splits one job over ``options.num_shards``
 independent supervised worker processes (:mod:`repro.parallel.
@@ -10,6 +10,16 @@ ShardMap` assigns it.  The coordinator merges the reduced partitions
 with the job's configured merge algorithm, exactly like the unsharded
 runtimes.
 
+With ``options.peers`` set, shard worker groups are placed round-robin
+on remote ``supmr agent`` daemons over the CRC-framed transport
+(:mod:`repro.net`): commands and result blobs cross the wire instead of
+process queues, and reduce-phase run fetches go through resumable,
+verify-then-refetch range requests.  The recovery machinery below is
+**placement-blind** — every worker hides behind one handle interface
+(``send``/``alive``/``kill``), so leases, respawns, speculation, and
+reassignment work identically for a forked child and a worker two hosts
+away.
+
 Robustness protocol:
 
 * **leases** — every dispatched shard holds a lease renewed by each
@@ -18,6 +28,12 @@ Robustness protocol:
 * **map-phase deaths** — the dead shard's worker is respawned (bounded
   by ``policy.worker_respawn_budget``) and re-runs its block, resuming
   from its own per-shard journal when checkpointing is on.
+* **host loss / partition** — a worker whose agent link died (or went
+  silent past ``options.net_timeout_s``) is respawned **locally**
+  without charging the respawn budget: losing a host is the network's
+  fault, not the worker's.  Total peer loss therefore degrades to
+  single-host execution — and because every respawn re-runs identical
+  deterministic work, the digest is byte-identical to a local run.
 * **stragglers** — once half the shards finished, a shard running past
   ``policy.straggler_threshold`` × the median finish time gets a
   speculative twin; the first ``map_done`` wins and the loser is killed.
@@ -27,11 +43,11 @@ Robustness protocol:
 * **reduce-phase deaths** — the dead shard's partitions are *reassigned*
   to their ring successors among the survivors (only those partitions
   move), exercising the consistent-hash failover path.
-* **exchange integrity** — every fetched run is CRC-verified before
-  adoption; corruption is refetched, never silently merged.
+* **exchange integrity** — every fetched run (local copy or remote
+  transfer) is CRC-verified before adoption; corruption is refetched,
+  never silently merged.
 
-The ``shard.worker_loss`` / ``shard.straggler`` /
-``shard.exchange_corrupt`` fault sites are decided here, in the
+The ``shard.*`` and ``net.*`` fault sites are decided here, in the
 coordinator, so a seeded plan replays the same failure schedule on
 every run.
 """
@@ -47,7 +63,7 @@ import tempfile
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any
+from typing import Any, Sequence
 
 from repro.chunking.planner import plan_chunks, plan_whole_input
 from repro.containers.base import ContainerStats
@@ -56,7 +72,7 @@ from repro.core.job import JobSpec
 from repro.core.options import ChunkStrategy, RuntimeOptions
 from repro.core.result import JobResult, PhaseTimings
 from repro.core.timers import PhaseTimer
-from repro.errors import ConfigError, ParallelError
+from repro.errors import ConfigError, NetError, ParallelError, RetryExhausted
 from repro.faults.injector import FaultInjector
 from repro.faults.log import (
     ACTION_REASSIGNED,
@@ -65,6 +81,10 @@ from repro.faults.log import (
     ACTION_SPECULATIVE,
 )
 from repro.faults.plan import (
+    SITE_NET_CONN_DROP,
+    SITE_NET_FRAME_CORRUPT,
+    SITE_NET_HOST_LOSS,
+    SITE_NET_PARTITION,
     SITE_SHARD_EXCHANGE_CORRUPT,
     SITE_SHARD_STRAGGLER,
     SITE_SHARD_WORKER_LOSS,
@@ -91,14 +111,65 @@ _POLL_S = 0.05
 _SPECULATE_FLOOR_S = 1.0
 
 
+class _LocalHandle:
+    """One forked shard worker behind the placement-blind interface."""
+
+    is_remote = False
+    #: Where this worker's published runs can be fetched from: empty in
+    #: a single-host run (plain file copies), the coordinator's own
+    #: fetch exporter in a ``--peers`` run (remote reducers pull from
+    #: it over the wire).
+    fetch_addr = ""
+
+    def __init__(
+        self,
+        proc: multiprocessing.process.BaseProcess,
+        inbox: Any,
+        fetch_addr: str = "",
+    ) -> None:
+        self.proc = proc
+        self.inbox = inbox
+        self.fetch_addr = fetch_addr
+        self.name = proc.name
+
+    @property
+    def pid(self) -> "int | None":
+        return self.proc.pid
+
+    def send(self, msg: Any) -> None:
+        self.inbox.put(msg)
+
+    def alive(self) -> bool:
+        return self.proc.is_alive()
+
+    def kill(self) -> None:
+        self.proc.kill()
+        self.proc.join(timeout=5.0)
+
+    def stop(self) -> None:
+        try:
+            self.inbox.put(None)
+        except (ValueError, OSError):  # pragma: no cover - closed inbox
+            pass
+
+    def join(self, timeout: "float | None" = None) -> None:
+        self.proc.join(timeout=timeout)
+
+    def discard(self) -> None:
+        self.inbox.cancel_join_thread()
+        self.inbox.close()
+
+    def describe_exit(self) -> str:
+        return f"exited with code {self.proc.exitcode}"
+
+
 @dataclass
 class _ShardWorker:
-    """One shard worker process, its inbox, and its lease state."""
+    """One shard worker (local fork or remote) and its lease state."""
 
     sid: int
     wid: int
-    proc: multiprocessing.process.BaseProcess
-    inbox: Any
+    handle: Any
     attempt: int = 0
     speculative: bool = False
     busy: bool = False
@@ -116,8 +187,10 @@ class _Tally:
     lease_expiries: int = 0
     refetches: int = 0
     reassigned_partitions: int = 0
+    host_losses: int = 0
     speculated: set = field(default_factory=set)
     shards_lost: set = field(default_factory=set)
+    hosts_lost: set = field(default_factory=set)
 
 
 class _Coordinator:
@@ -130,6 +203,8 @@ class _Coordinator:
         plan: ShardPlan,
         workdir: Path,
         injector: FaultInjector | None,
+        links: Sequence[Any] = (),
+        self_addr: str = "",
     ) -> None:
         self.job = job
         self.options = options
@@ -137,6 +212,8 @@ class _Coordinator:
         self.policy = options.recovery
         self.workdir = workdir
         self.injector = injector
+        self.links = list(links)
+        self.self_addr = self_addr
         self.ctx = multiprocessing.get_context("fork")
         self.results_q = self.ctx.Queue()
         #: Active worker per shard id (the one reduce work goes to).
@@ -145,27 +222,60 @@ class _Coordinator:
         self.backups: dict[int, _ShardWorker] = {}
         self.map_done: dict[int, dict] = {}
         self.outboxes: dict[int, str] = {}
+        #: Fetch address per adopted outbox ("" = this host's files).
+        self.via: dict[int, str] = {}
         self.tally = _Tally()
         self._wid = 0
         self._attempts: dict[int, int] = {}
+        if self.links:
+            from repro.net.jobs import job_to_wire, options_to_wire
+
+            self._job_wire = job_to_wire(job)
+            self._options_wire = options_to_wire(options)
+            for link in self.links:
+                # Worker result blobs flow into the same queue local
+                # forks use; the collect/lease machinery cannot tell.
+                link.attach(self.results_q.put, injector)
 
     # -- worker lifecycle ---------------------------------------------------
 
-    def _spawn(self, sid: int, speculative: bool = False) -> _ShardWorker:
-        inbox = self.ctx.Queue()
+    def _spawn(
+        self, sid: int, speculative: bool = False, force_local: bool = False
+    ) -> _ShardWorker:
         wid = self._wid
         self._wid += 1
-        proc = self.ctx.Process(
-            target=shard_worker_main,
-            args=(
-                sid, self.job, self.options, self.plan.chunks_for(sid),
-                self.plan.num_partitions, inbox, self.results_q,
-            ),
-            daemon=True,
-            name=f"repro-shard-{sid}.{wid}",
-        )
-        proc.start()
-        worker = _ShardWorker(sid=sid, wid=wid, proc=proc, inbox=inbox,
+        link = None
+        if self.links and not speculative and not force_local:
+            # Contiguous round-robin placement; twins are always local
+            # (they exist to beat a straggler, not to test the network)
+            # and a recovery may pin the replacement to this host.
+            candidate = self.links[sid % len(self.links)]
+            if candidate.usable:
+                link = candidate
+        if link is not None:
+            from repro.net.jobs import chunks_to_wire
+            from repro.net.remote import RemoteHandle
+
+            link.spawn(
+                sid, wid, self._job_wire, self._options_wire,
+                chunks_to_wire(self.plan.chunks_for(sid)),
+                self.plan.num_partitions,
+            )
+            handle: Any = RemoteHandle(link, sid, wid)
+        else:
+            inbox = self.ctx.Queue()
+            proc = self.ctx.Process(
+                target=shard_worker_main,
+                args=(
+                    sid, self.job, self.options, self.plan.chunks_for(sid),
+                    self.plan.num_partitions, inbox, self.results_q,
+                ),
+                daemon=True,
+                name=f"repro-shard-{sid}.{wid}",
+            )
+            proc.start()
+            handle = _LocalHandle(proc, inbox, fetch_addr=self.self_addr)
+        worker = _ShardWorker(sid=sid, wid=wid, handle=handle,
                               speculative=speculative)
         if speculative:
             self.backups[sid] = worker
@@ -175,39 +285,38 @@ class _Coordinator:
         return worker
 
     def _write_pid(self, worker: _ShardWorker) -> None:
-        """Publish the shard's current worker pid (for kill-based tests)."""
+        """Publish the shard's current worker pid (for kill-based tests).
+
+        Remote workers are other hosts' processes; their pids mean
+        nothing here, so only local workers get a pid file.
+        """
+        if worker.handle.pid is None:
+            return
         pid_path = self.workdir / f"worker-{worker.sid}.pid"
-        pid_path.write_text(f"{worker.proc.pid}\n")
+        pid_path.write_text(f"{worker.handle.pid}\n")
 
     def _kill(self, worker: _ShardWorker) -> None:
-        """Forcibly end one worker and drop its inbox."""
-        worker.proc.kill()
-        worker.proc.join(timeout=5.0)
-        worker.inbox.cancel_join_thread()
-        worker.inbox.close()
+        """Forcibly end one worker and drop its command channel."""
+        worker.handle.kill()
+        worker.handle.discard()
 
     def _discard(self, worker: _ShardWorker) -> None:
-        """Drop a dead worker's inbox without blocking on its feeder."""
-        worker.inbox.cancel_join_thread()
-        worker.inbox.close()
+        """Drop a dead worker's channel without blocking on its feeder."""
+        worker.handle.discard()
 
     def shutdown(self) -> None:
         """Supervisor-style teardown: sentinel, join, kill stragglers."""
         everyone = list(self.workers.values()) + list(self.backups.values())
         for worker in everyone:
-            try:
-                worker.inbox.put(None)
-            except (ValueError, OSError):  # pragma: no cover - closed inbox
-                pass
+            worker.handle.stop()
         for worker in everyone:
-            worker.proc.join(timeout=5.0)
+            if not worker.handle.is_remote:
+                worker.handle.join(timeout=5.0)
         for worker in everyone:
-            if worker.proc.is_alive():  # pragma: no cover - defensive
-                worker.proc.kill()
-                worker.proc.join(timeout=1.0)
+            if not worker.handle.is_remote and worker.handle.alive():
+                worker.handle.kill()  # pragma: no cover - defensive
         for worker in everyone:
-            worker.inbox.cancel_join_thread()
-            worker.inbox.close()
+            worker.handle.discard()
         self.results_q.cancel_join_thread()
         self.results_q.close()
 
@@ -269,12 +378,14 @@ class _Coordinator:
         ckpt = None
         if self.options.checkpoint_dir is not None and not worker.speculative:
             # Twins must not share a journal directory with the primary
-            # (concurrent writers), so only primaries checkpoint.
+            # (concurrent writers), so only primaries checkpoint.  An
+            # agent nulls this out for its own workers — the journal
+            # dir is a coordinator-host path.
             ckpt = str(Path(self.options.checkpoint_dir) / f"shard-{sid}")
         worker.outbox = str(outbox)
         worker.busy = True
         worker.started = worker.last_heard = time.monotonic()
-        worker.inbox.put({
+        worker.handle.send({
             "kind": MSG_MAP,
             "attempt": worker.attempt,
             "outbox": str(outbox),
@@ -283,6 +394,33 @@ class _Coordinator:
             "ckpt": ckpt,
             "resume": resume,
         })
+
+    def _inject_host_faults(self) -> None:
+        """Roll the seeded host-level sites once per peer, per phase.
+
+        ``net.host.loss`` commands the agent to die abruptly after its
+        next relay (mid-map, workers and all); ``net.partition`` mutes
+        it — alive but silent both ways — for the spec's duration.
+        Either way the pinger declares the link unreachable and the
+        recovery ladder moves the shards home.
+        """
+        if self.injector is None:
+            return
+        for i, link in enumerate(self.links):
+            if not link.usable:
+                continue
+            if self.injector.check(SITE_NET_HOST_LOSS, scope=(i,)) is not None:
+                link.inject_death(after_relays=1)
+            elif self.injector.check(
+                SITE_NET_PARTITION, scope=(i,)
+            ) is not None:
+                spec = self.injector.plan.spec_for(SITE_NET_PARTITION)
+                duration = (
+                    spec.duration_s
+                    if spec is not None and spec.duration_s is not None
+                    else 5.0
+                )
+                link.inject_partition(duration)
 
     def _settle_twins(self, sid: int, winner_attempt: int) -> None:
         """First ``map_done`` wins; the losing twin is killed.
@@ -329,6 +467,25 @@ class _Coordinator:
                 scope=repr((sid,)),
             )
             return
+        if worker.handle.is_remote and not worker.handle.link.usable:
+            # The degradation ladder's host rung: the worker is gone
+            # because its *host* is gone (died or partitioned).  Bring
+            # the shard home without charging the respawn budget — the
+            # budget bounds worker pathology, not network weather — and
+            # the identical deterministic block keeps the digest intact.
+            self.tally.host_losses += 1
+            self.tally.hosts_lost.add(worker.handle.link.addr)
+            self._record(
+                SITE_NET_HOST_LOSS, ACTION_RESPAWNED,
+                f"shard {sid} was on unreachable host "
+                f"{worker.handle.link.addr} ({detail}); respawned locally",
+                scope=repr((sid,)),
+            )
+            replacement = self._spawn(sid, force_local=True)
+            self._dispatch_map(
+                replacement, resume=self.options.checkpoint_dir is not None
+            )
+            return
         self.tally.respawns += 1
         self._record(
             SITE_SHARD_WORKER_LOSS, ACTION_RESPAWNED,
@@ -352,24 +509,23 @@ class _Coordinator:
         ):
             if worker.sid in self.map_done:
                 continue
-            if worker.proc.is_alive():
+            if worker.handle.alive():
                 if (
                     worker.busy
                     and now - worker.last_heard > self.policy.lease_timeout_s
                 ):
                     self.tally.lease_expiries += 1
-                    worker.proc.kill()
-                    worker.proc.join(timeout=5.0)
+                    worker.handle.kill()
                     self._recover_map_death(
                         worker,
-                        f"{worker.proc.name} exceeded its "
+                        f"{worker.handle.name} exceeded its "
                         f"{self.policy.lease_timeout_s:.3g}s lease",
                     )
                 continue
             self.tally.crashes += 1
             self._recover_map_death(
                 worker,
-                f"{worker.proc.name} exited with code {worker.proc.exitcode}",
+                f"{worker.handle.name} {worker.handle.describe_exit()}",
             )
 
     def _maybe_speculate(self) -> None:
@@ -408,6 +564,8 @@ class _Coordinator:
         for spec in self.plan.shards:
             worker = self._spawn(spec.shard_id)
             self._dispatch_map(worker, resume=self.options.resume)
+        if self.links:
+            self._inject_host_faults()
         while len(self.map_done) < self.plan.num_shards:
             msg = self._collect()
             if msg is not None:
@@ -421,7 +579,16 @@ class _Coordinator:
                     if sid not in self.map_done:
                         payload["duration"] = time.monotonic() - started
                         self.map_done[sid] = payload
+                        # The winner's host is where its outbox lives —
+                        # reducers fetch through that address (or copy
+                        # files when it is this host's).
                         self.outboxes[sid] = payload["outbox"]
+                        self.via[sid] = ""
+                        for w in (self.workers.get(sid),
+                                  self.backups.get(sid)):
+                            if w is not None and w.attempt == attempt:
+                                self.via[sid] = w.handle.fetch_addr
+                                break
                         self._settle_twins(sid, attempt)
                 elif kind == "error":
                     _, sid, detail = msg
@@ -466,19 +633,65 @@ class _Coordinator:
                     table[(p, src)] = attempts
         return table
 
+    def _net_plan(
+        self, partitions: "list[int]", self_addr: str
+    ) -> tuple[dict, dict]:
+        """Pre-roll the wire-fault schedule for one reduce dispatch.
+
+        Only ``(partition, source)`` pairs that will actually cross the
+        network are rolled: ``net.frame.corrupt`` damages the received
+        copy (verify-then-refetch must repair it), ``net.conn.drop``
+        severs the transfer (resume-from-offset must finish it).  Same
+        lazy attempt pattern as the local corruption schedule.
+        """
+        corrupt: dict[tuple[int, int], list[int]] = {}
+        drop: dict[tuple[int, int], list[int]] = {}
+        injector = self.injector
+        if injector is None:
+            return corrupt, drop
+        for p in partitions:
+            for src in sorted(self.outboxes):
+                if self.via.get(src, "") in ("", self_addr):
+                    continue
+                for site, table in (
+                    (SITE_NET_FRAME_CORRUPT, corrupt),
+                    (SITE_NET_CONN_DROP, drop),
+                ):
+                    attempts = []
+                    for a in range(self.policy.max_retries + 1):
+                        if injector.check(
+                            site, scope=("fetch", p, src), attempt=a
+                        ) is None:
+                            break
+                        attempts.append(a)
+                    if attempts:
+                        table[(p, src)] = attempts
+        return corrupt, drop
+
     def _dispatch_reduce(
         self, worker: _ShardWorker, partitions: "list[int]", mode: str
     ) -> None:
         worker.busy = True
         worker.started = worker.last_heard = time.monotonic()
-        worker.inbox.put({
+        msg: dict[str, Any] = {
             "kind": MSG_REDUCE,
             "mode": mode,
             "partitions": list(partitions),
             "sources": dict(self.outboxes),
             "corrupt": self._corrupt_plan(partitions),
             "workdir": str(self.workdir / f"in-{worker.sid}.{worker.wid}"),
-        })
+        }
+        if self.links:
+            self_addr = worker.handle.fetch_addr or self.self_addr
+            net_corrupt, net_drop = self._net_plan(partitions, self_addr)
+            msg.update({
+                "via": dict(self.via),
+                "self_addr": self_addr,
+                "net_timeout_s": self.options.net_timeout_s,
+                "net_corrupt": net_corrupt,
+                "net_drop": net_drop,
+            })
+        worker.handle.send(msg)
 
     def _reassign(
         self,
@@ -584,23 +797,22 @@ class _Coordinator:
                     )
             now = time.monotonic()
             for worker in list(self.workers.values()):
-                if not worker.proc.is_alive():
+                if not worker.handle.alive():
                     self.tally.crashes += 1
                     self._reassign(
                         worker, outstanding, pending,
-                        f"{worker.proc.name} exited with code "
-                        f"{worker.proc.exitcode}",
+                        f"{worker.handle.name} "
+                        f"{worker.handle.describe_exit()}",
                     )
                 elif (
                     worker.busy
                     and now - worker.last_heard > self.policy.lease_timeout_s
                 ):
                     self.tally.lease_expiries += 1
-                    worker.proc.kill()
-                    worker.proc.join(timeout=5.0)
+                    worker.handle.kill()
                     self._reassign(
                         worker, outstanding, pending,
-                        f"{worker.proc.name} exceeded its "
+                        f"{worker.handle.name} exceeded its "
                         f"{self.policy.lease_timeout_s:.3g}s lease",
                     )
         return parts
@@ -619,8 +831,54 @@ class ShardedRuntime:
         self.options = options
 
     def run(self, job: JobSpec) -> JobResult:
-        """Execute ``job`` across the shard group; one merged result."""
+        """Execute ``job`` across the shard group; one merged result.
+
+        With ``options.peers`` this is the top of the degradation
+        ladder: agents are dialed first (an unreachable peer *at
+        startup* is a usage error — fail fast, exit 2), and any
+        mid-job failure the in-run recovery could not absorb (total
+        peer loss during reduce, transfer retry exhaustion) falls back
+        to a full local re-run.  Both rungs execute identical
+        deterministic work, so the digest never depends on which rung
+        finished the job.
+        """
         options = self.options
+        if not options.peers:
+            return self._run_once(job, options, links=())
+        from repro.net.remote import AgentLink
+
+        links: list[AgentLink] = []
+        try:
+            for i, addr in enumerate(options.peers):
+                links.append(AgentLink(
+                    addr, index=i,
+                    net_timeout_s=options.net_timeout_s,
+                    retries=options.recovery.max_retries,
+                ))
+        except Exception:
+            for link in links:
+                link.close()
+            raise
+        fallback_reason = ""
+        try:
+            return self._run_once(job, options, links)
+        except (ParallelError, NetError, RetryExhausted) as exc:
+            fallback_reason = f"{type(exc).__name__}: {exc}"
+            logger.warning(
+                "multi-host run failed (%s); re-running on this host only",
+                exc,
+            )
+        finally:
+            for link in links:
+                link.close()
+        result = self._run_once(job, options.with_(peers=None), links=())
+        result.counters["net_fallback"] = "local"
+        result.counters["net_fallback_reason"] = fallback_reason
+        return result
+
+    def _run_once(
+        self, job: JobSpec, options: RuntimeOptions, links: Sequence[Any]
+    ) -> JobResult:
         timer = PhaseTimer()
         injector = None
         if options.fault_plan is not None:
@@ -639,10 +897,27 @@ class ShardedRuntime:
             options.shard_dir or tempfile.mkdtemp(prefix="repro-shard-")
         )
         workdir.mkdir(parents=True, exist_ok=True)
-        coordinator = _Coordinator(job, options, plan, workdir, injector)
+        fetch_srv = None
+        self_addr = ""
+        if links:
+            # Remote reducers pull this host's outboxes (local shards,
+            # promoted twins) through the same fetch protocol agents
+            # export, so every source is reachable from every reducer.
+            from repro.net.agent import AgentServer
+
+            fetch_srv = AgentServer(
+                host="127.0.0.1", port=0, workdir=workdir,
+                accept_control=False,
+            ).start()
+            self_addr = fetch_srv.addr
+        coordinator = _Coordinator(
+            job, options, plan, workdir, injector,
+            links=links, self_addr=self_addr,
+        )
         logger.debug(
-            "sharded run: %d shards over %d chunks, %d partitions",
+            "sharded run: %d shards over %d chunks, %d partitions, %d peers",
             plan.num_shards, chunk_plan.n_chunks, plan.num_partitions,
+            len(links),
         )
         try:
             with timer.phase("total"):
@@ -657,6 +932,8 @@ class ShardedRuntime:
                     output, merge_rounds = merge_outputs(runs, job, options)
         finally:
             coordinator.shutdown()
+            if fetch_srv is not None:
+                fetch_srv.close()
             if owned:
                 shutil.rmtree(workdir, ignore_errors=True)
         done = coordinator.map_done
@@ -685,11 +962,16 @@ class ShardedRuntime:
             "partitions_reassigned": tally.reassigned_partitions,
             "speculative_shards": len(tally.speculated),
             "exchange_refetches": tally.refetches,
-            # Sharded results travel as checksummed exchange-run files,
-            # not the in-process xfer transport; record that explicitly
-            # so `transport` is present on every process-backend result.
-            "transport": "exchange-file",
+            # Sharded results travel as checksummed exchange-run files;
+            # with peers the reduce-phase fetches cross the framed TCP
+            # transport instead of the filesystem.
+            "transport": "exchange-tcp" if links else "exchange-file",
         }
+        if links:
+            counters["net_peers"] = len(links)
+            counters["net_host_losses"] = tally.host_losses
+            if tally.hosts_lost:
+                counters["net_hosts_lost"] = sorted(tally.hosts_lost)
         if options.checkpoint_dir is not None:
             counters["checkpointed"] = True
         if resumed_rounds:

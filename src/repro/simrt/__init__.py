@@ -16,6 +16,16 @@ from repro.simrt.costmodel import (
     MB_SI,
 )
 from repro.simrt.hdfs_case import simulate_hdfs_case_study
+from repro.simrt.netmodel import (
+    LAN_1G,
+    LAN_10G,
+    NetProfile,
+    crossover_hosts,
+    exchange_s,
+    multi_host_runtime_s,
+    remote_fetch_s,
+    speedup,
+)
 from repro.simrt.openmp_sim import simulate_openmp_sort
 from repro.simrt.phases import PhaseSpan, SimJobResult
 from repro.simrt.phoenix_sim import simulate_phoenix_job
@@ -29,6 +39,14 @@ __all__ = [
     "GB_SI",
     "PhaseSpan",
     "SimJobResult",
+    "NetProfile",
+    "LAN_1G",
+    "LAN_10G",
+    "remote_fetch_s",
+    "exchange_s",
+    "multi_host_runtime_s",
+    "speedup",
+    "crossover_hosts",
     "simulate_phoenix_job",
     "simulate_supmr_job",
     "simulate_openmp_sort",

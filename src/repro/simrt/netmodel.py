@@ -1,0 +1,160 @@
+"""Analytic cost of the multi-host exchange: when do peers pay off?
+
+The scale-up thesis of the paper is that one fat node beats a cluster
+*until* the cluster's aggregate memory bandwidth overtakes the network
+tax of moving intermediate data.  This model prices exactly the tax the
+``repro.net`` transport pays: each reduce partition pulls every remote
+source run over a framed TCP stream in :data:`frame_bytes` range
+requests, each request costing one round trip plus serialized transfer
+time.  It answers, before standing up any agents, "does adding hosts
+help *this* exchange volume on *this* link?" — the same
+crossover question Fig. 5's disk-count sweep answers for spindles.
+
+The model is deliberately first-order: no congestion, no slow start,
+fully overlapped hosts.  It upper-bounds the win of going multi-host,
+which is the honest direction for a scale-up paper — if even the
+optimistic model says the network loses, no measurement will save it.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import SimulationError
+
+#: Default range-request size — mirrors ``repro.net.exchange.CHUNK_BYTES``.
+DEFAULT_FRAME_BYTES = 256 * 1024
+
+
+@dataclass(frozen=True)
+class NetProfile:
+    """One link's first-order cost parameters.
+
+    ``bandwidth_bps`` is the sustained point-to-point rate,
+    ``rtt_s`` the request/response round trip each range request pays,
+    and ``frame_bytes`` the range-request size (smaller frames resume
+    cheaper after a drop but pay the round trip more often).
+    """
+
+    bandwidth_bps: float
+    rtt_s: float
+    frame_bytes: int = DEFAULT_FRAME_BYTES
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_bps <= 0:
+            raise SimulationError("bandwidth_bps must be positive")
+        if self.rtt_s < 0:
+            raise SimulationError("rtt_s must be >= 0")
+        if self.frame_bytes <= 0:
+            raise SimulationError("frame_bytes must be positive")
+
+
+#: ~10 GbE with LAN latency: the cluster the paper's scale-out
+#: baselines ran on.
+LAN_10G = NetProfile(bandwidth_bps=1.25e9, rtt_s=100e-6)
+
+#: ~1 GbE commodity network — the Hadoop-era baseline fabric.
+LAN_1G = NetProfile(bandwidth_bps=1.25e8, rtt_s=200e-6)
+
+
+def remote_fetch_s(profile: NetProfile, volume_bytes: float) -> float:
+    """Seconds to pull one run of ``volume_bytes`` over the link.
+
+    ``ceil(volume / frame_bytes)`` sequential range requests, each
+    costing one round trip plus its serialized bytes — the request
+    pattern :func:`repro.net.exchange.fetch_run_remote` actually issues.
+    A zero-byte run still costs one round trip (the stat).
+    """
+    if volume_bytes < 0:
+        raise SimulationError("volume_bytes must be >= 0")
+    frames = max(1, math.ceil(volume_bytes / profile.frame_bytes))
+    return frames * profile.rtt_s + volume_bytes / profile.bandwidth_bps
+
+
+def exchange_s(
+    profile: NetProfile,
+    shuffle_bytes: float,
+    num_hosts: int,
+    streams_per_host: int = 1,
+) -> float:
+    """Seconds the all-to-all exchange adds to a ``num_hosts`` run.
+
+    With uniform partitioning a ``1/num_hosts`` fraction of the shuffle
+    volume is already host-local (free — it takes the same-host file
+    path); the rest crosses the wire.  Hosts transfer concurrently and
+    each may run ``streams_per_host`` parallel fetch streams, so the
+    critical path is one host's share over its aggregate ingest rate.
+    """
+    if shuffle_bytes < 0:
+        raise SimulationError("shuffle_bytes must be >= 0")
+    if num_hosts < 1:
+        raise SimulationError("num_hosts must be >= 1")
+    if streams_per_host < 1:
+        raise SimulationError("streams_per_host must be >= 1")
+    if num_hosts == 1:
+        return 0.0
+    remote_fraction = (num_hosts - 1) / num_hosts
+    per_host_bytes = shuffle_bytes * remote_fraction / num_hosts
+    per_stream_bytes = per_host_bytes / streams_per_host
+    return remote_fetch_s(profile, per_stream_bytes)
+
+
+def multi_host_runtime_s(
+    profile: NetProfile,
+    compute_s: float,
+    shuffle_bytes: float,
+    num_hosts: int,
+    streams_per_host: int = 1,
+) -> float:
+    """Predicted wall clock with the job split across ``num_hosts``.
+
+    Compute scales ideally (the optimistic bound); the exchange tax is
+    added serially, the way the runtime's reduce phase actually blocks
+    on its fetches.
+    """
+    if compute_s < 0:
+        raise SimulationError("compute_s must be >= 0")
+    return compute_s / num_hosts + exchange_s(
+        profile, shuffle_bytes, num_hosts, streams_per_host
+    )
+
+
+def speedup(
+    profile: NetProfile,
+    compute_s: float,
+    shuffle_bytes: float,
+    num_hosts: int,
+    streams_per_host: int = 1,
+) -> float:
+    """Single-host runtime over ``num_hosts`` runtime (> 1 = win)."""
+    multi = multi_host_runtime_s(
+        profile, compute_s, shuffle_bytes, num_hosts, streams_per_host
+    )
+    if multi <= 0:
+        return math.inf
+    return compute_s / multi
+
+
+def crossover_hosts(
+    profile: NetProfile,
+    compute_s: float,
+    shuffle_bytes: float,
+    max_hosts: int = 64,
+    streams_per_host: int = 1,
+) -> "int | None":
+    """Smallest host count whose predicted runtime beats one host.
+
+    ``None`` when no count up to ``max_hosts`` wins — the paper's
+    scale-up regime, where the exchange tax eats the compute split and
+    the right cluster size is one fat node.
+    """
+    if max_hosts < 2:
+        raise SimulationError("max_hosts must be >= 2")
+    solo = multi_host_runtime_s(profile, compute_s, shuffle_bytes, 1)
+    for hosts in range(2, max_hosts + 1):
+        if multi_host_runtime_s(
+            profile, compute_s, shuffle_bytes, hosts, streams_per_host
+        ) < solo:
+            return hosts
+    return None

@@ -16,7 +16,9 @@ from repro.workloads import (
 )
 
 
-_WORKER_PREFIXES = ("repro-fork-", "repro-sup-", "repro-shard-")
+_WORKER_PREFIXES = (
+    "repro-fork-", "repro-sup-", "repro-shard-", "repro-agent-shard-"
+)
 
 
 @pytest.fixture(autouse=True)

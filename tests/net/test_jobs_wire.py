@@ -1,0 +1,108 @@
+"""Wire forms for remote spawn: jobs, options, chunks must round-trip."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.apps.wordcount import make_wordcount_job
+from repro.chunking.chunk import Chunk, ChunkSource
+from repro.core.options import MergeAlgorithm, RuntimeOptions
+from repro.errors import ConfigError
+from repro.faults import parse_faults
+from repro.faults.policy import RecoveryPolicy
+from repro.net.jobs import (
+    chunks_from_wire,
+    chunks_to_wire,
+    job_from_wire,
+    job_to_wire,
+    options_from_wire,
+    options_to_wire,
+)
+
+
+class TestJobWire:
+    def test_wordcount_round_trip(self, text_file):
+        job = make_wordcount_job([text_file])
+        rebuilt = job_from_wire(job_to_wire(job))
+        assert rebuilt.name == job.name
+        assert [str(p) for p in rebuilt.inputs] == [str(text_file)]
+
+    def test_unknown_app_refused_at_decode(self, text_file):
+        bad = dict(job_to_wire(make_wordcount_job([text_file])))
+        bad["app"] = "mystery"
+        with pytest.raises(ConfigError, match="unknown remote app"):
+            job_from_wire(bad)
+
+    def test_wire_form_is_json_safe(self, text_file):
+        wire = job_to_wire(make_wordcount_job([text_file]))
+        assert json.loads(json.dumps(wire)) == wire
+
+
+class TestOptionsWire:
+    def test_fault_plan_and_recovery_round_trip(self):
+        plan = parse_faults(
+            "net.frame.corrupt=once,record.corrupt=0.001", seed=42
+        )
+        options = RuntimeOptions.supmr_interfile("32KB", 3, 5).with_(
+            fault_plan=plan,
+            recovery=RecoveryPolicy(max_retries=2, skip_budget=7),
+            memory_budget="8MB",
+            merge_algorithm=MergeAlgorithm.PAIRWISE,
+            tenant="acme",
+            io_priority=2,
+        )
+        rebuilt = options_from_wire(options_to_wire(options))
+        assert rebuilt.num_mappers == 3
+        assert rebuilt.num_reducers == 5
+        assert rebuilt.merge_algorithm is MergeAlgorithm.PAIRWISE
+        assert rebuilt.tenant == "acme"
+        assert rebuilt.io_priority == 2
+        assert rebuilt.recovery.max_retries == 2
+        assert rebuilt.recovery.skip_budget == 7
+        # The fault plan must be bit-identical: remote workers roll the
+        # same seeded sites with the same scopes as local ones.
+        assert rebuilt.fault_plan.seed == 42
+        assert rebuilt.fault_plan.specs == plan.specs
+
+    def test_wire_form_is_json_safe(self):
+        options = RuntimeOptions.supmr_interfile("32KB", 2, 4).with_(
+            fault_plan=parse_faults("map.task=0.5", seed=9),
+        )
+        wire = options_to_wire(options)
+        assert json.loads(json.dumps(wire)) == wire
+
+    def test_placement_knobs_do_not_travel(self):
+        options = RuntimeOptions.supmr_interfile("32KB", 2, 4).with_(
+            num_shards=3, peers="h:1", shard_dir="/tmp/x",
+        )
+        wire = options_to_wire(options)
+        assert "peers" not in wire
+        assert "shard_dir" not in wire
+        assert "num_shards" not in wire
+
+
+class TestChunksWire:
+    def test_round_trip_preserves_sources(self, tmp_path):
+        chunks = [
+            Chunk(index=4, sources=(
+                ChunkSource(path=tmp_path / "a.txt", offset=0, length=100),
+                ChunkSource(path=tmp_path / "b.txt", offset=64, length=36),
+            )),
+            Chunk(index=5, sources=(
+                ChunkSource(path=tmp_path / "c.txt", offset=10, length=1),
+            )),
+        ]
+        rebuilt = chunks_from_wire(chunks_to_wire(chunks))
+        assert [c.index for c in rebuilt] == [4, 5]
+        assert rebuilt[0].sources[1].offset == 64
+        assert rebuilt[0].sources[1].length == 36
+        assert str(rebuilt[1].sources[0].path) == str(tmp_path / "c.txt")
+
+    def test_wire_form_is_json_safe(self, tmp_path):
+        chunks = [Chunk(index=0, sources=(
+            ChunkSource(path=tmp_path / "a", offset=0, length=5),
+        ))]
+        wire = chunks_to_wire(chunks)
+        assert json.loads(json.dumps(wire)) == wire

@@ -1,0 +1,84 @@
+"""Peer address parsing: the `--peers` validation surface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.net.peers import format_addr, parse_peers, split_addr
+
+
+class TestSplitAddr:
+    def test_round_trip(self):
+        assert split_addr("example.com:8431") == ("example.com", 8431)
+        assert format_addr("example.com", 8431) == "example.com:8431"
+
+    def test_missing_port(self):
+        with pytest.raises(ConfigError, match="host:port"):
+            split_addr("justahost")
+
+    def test_missing_host(self):
+        with pytest.raises(ConfigError, match="host:port"):
+            split_addr(":8431")
+
+    def test_non_integer_port(self):
+        with pytest.raises(ConfigError, match="not an integer"):
+            split_addr("h:eighty")
+
+    def test_port_zero_rejected_for_peers(self):
+        with pytest.raises(ConfigError, match="1..65535"):
+            split_addr("h:0")
+
+    def test_port_zero_allowed_for_listen(self):
+        # The agent's --listen uses 0 as "pick an ephemeral port".
+        assert split_addr("h:0", listen=True) == ("h", 0)
+
+    def test_port_out_of_range(self):
+        with pytest.raises(ConfigError, match="1..65535"):
+            split_addr("h:65536")
+
+
+class TestParsePeers:
+    def test_comma_separated_string(self):
+        assert parse_peers("a:1, b:2 ,c:3") == ("a:1", "b:2", "c:3")
+
+    def test_sequence_input(self):
+        assert parse_peers(["a:1", "b:2"]) == ("a:1", "b:2")
+
+    def test_empty_is_an_error(self):
+        with pytest.raises(ConfigError, match="at least one"):
+            parse_peers(" , ,")
+
+    def test_duplicates_are_an_error(self):
+        with pytest.raises(ConfigError, match="duplicate"):
+            parse_peers("a:1,a:1")
+
+    def test_bad_entry_is_an_error(self):
+        with pytest.raises(ConfigError, match="host:port"):
+            parse_peers("a:1,nonsense")
+
+
+class TestOptionsIntegration:
+    def test_peers_require_num_shards(self):
+        from repro.core.options import RuntimeOptions
+
+        with pytest.raises(ConfigError, match="requires num_shards"):
+            RuntimeOptions.supmr_interfile("32KB", 2, 4).with_(
+                peers="127.0.0.1:9000"
+            )
+
+    def test_peers_normalized_to_tuple(self):
+        from repro.core.options import RuntimeOptions
+
+        options = RuntimeOptions.supmr_interfile("32KB", 2, 4).with_(
+            num_shards=2, peers="a:1,b:2"
+        )
+        assert options.peers == ("a:1", "b:2")
+
+    def test_net_timeout_must_be_positive(self):
+        from repro.core.options import RuntimeOptions
+
+        with pytest.raises(ConfigError, match="net_timeout_s"):
+            RuntimeOptions.supmr_interfile("32KB", 2, 4).with_(
+                net_timeout_s=0.0
+            )

@@ -217,3 +217,120 @@ class TestAsyncioStreams:
         with pytest.raises(ProtocolError) as exc:
             self._read(bytes(frame))
         assert exc.value.reason == "bad-crc"
+
+
+class TestStallDeadline:
+    """The slow-loris guard: a started frame must finish on time."""
+
+    def _pair(self):
+        a, b = socket.socketpair()
+        return a, b
+
+    def test_half_written_frame_is_stalled_not_a_hang(self):
+        a, b = self._pair()
+        try:
+            frame = encode_frame({"big": "z" * 256})
+            a.sendall(frame[: len(frame) // 2])  # ... and then silence
+            with pytest.raises(ProtocolError) as exc:
+                recv_frame(b, timeout_s=0.3)
+            assert exc.value.reason == "stalled"
+            assert "mid-payload" in str(exc.value)
+        finally:
+            a.close()
+            b.close()
+
+    def test_half_written_header_is_stalled(self):
+        a, b = self._pair()
+        try:
+            a.sendall(encode_frame({"x": 1})[:7])
+            with pytest.raises(ProtocolError) as exc:
+                recv_frame(b, timeout_s=0.3)
+            assert exc.value.reason == "stalled"
+            assert "mid-header" in str(exc.value)
+        finally:
+            a.close()
+            b.close()
+
+    def test_idle_ok_does_not_time_the_first_byte(self):
+        a, b = self._pair()
+        received = {}
+
+        def reader():
+            received["frame"] = recv_frame(b, timeout_s=0.3, idle_ok=True)
+
+        t = threading.Thread(target=reader, daemon=True)
+        t.start()
+        try:
+            # Idle well past the stall deadline *between* frames: with
+            # idle_ok that is a healthy quiet connection, not a stall.
+            import time as _time
+
+            _time.sleep(0.6)
+            send_frame(a, {"late": True})
+            t.join(timeout=5.0)
+            assert received.get("frame") == {"late": True}
+        finally:
+            a.close()
+            b.close()
+
+    def test_idle_ok_still_bounds_a_started_frame(self):
+        a, b = self._pair()
+        try:
+            frame = encode_frame({"big": "z" * 256})
+            a.sendall(frame[: len(frame) - 3])
+            with pytest.raises(ProtocolError) as exc:
+                recv_frame(b, timeout_s=0.3, idle_ok=True)
+            assert exc.value.reason == "stalled"
+        finally:
+            a.close()
+            b.close()
+
+    def test_async_read_frame_stall_deadline(self):
+        async def scenario():
+            got = {}
+
+            async def on_conn(reader, writer):
+                try:
+                    await read_frame(reader, stall_timeout_s=0.3)
+                except ProtocolError as exc:
+                    got["reason"] = exc.reason
+                finally:
+                    writer.close()
+
+            server = await asyncio.start_server(on_conn, "127.0.0.1", 0)
+            port = server.sockets[0].getsockname()[1]
+            _reader, writer = await asyncio.open_connection("127.0.0.1", port)
+            frame = encode_frame({"big": "z" * 256})
+            writer.write(frame[: len(frame) // 2])
+            await writer.drain()
+            await asyncio.sleep(0.8)  # stall well past the deadline
+            writer.close()
+            server.close()
+            await server.wait_closed()
+            return got
+
+        got = asyncio.run(scenario())
+        assert got.get("reason") == "stalled"
+
+    def test_async_first_byte_wait_is_untimed(self):
+        async def scenario():
+            got = {}
+
+            async def on_conn(reader, writer):
+                got["frame"] = await read_frame(reader, stall_timeout_s=0.2)
+                writer.close()
+
+            server = await asyncio.start_server(on_conn, "127.0.0.1", 0)
+            port = server.sockets[0].getsockname()[1]
+            _reader, writer = await asyncio.open_connection("127.0.0.1", port)
+            await asyncio.sleep(0.5)  # idle between frames, not a stall
+            writer.write(encode_frame({"late": True}))
+            await writer.drain()
+            await asyncio.sleep(0.2)
+            writer.close()
+            server.close()
+            await server.wait_closed()
+            return got
+
+        got = asyncio.run(scenario())
+        assert got.get("frame") == {"late": True}

@@ -149,19 +149,20 @@ class TestRecovery:
         )
 
 
-class _FakeInbox:
-    """List-backed inbox so `_dispatch_reduce` works without a process."""
+class _FakeHandle:
+    """List-backed handle so `_dispatch_reduce` works without a process."""
+
+    is_remote = False
+    fetch_addr = ""
 
     def __init__(self) -> None:
         self.msgs: list = []
+        self.name = "fake"
 
-    def put(self, msg) -> None:
+    def send(self, msg) -> None:
         self.msgs.append(msg)
 
-    def cancel_join_thread(self) -> None:
-        pass
-
-    def close(self) -> None:
+    def discard(self) -> None:
         pass
 
 
@@ -172,10 +173,12 @@ def _bare_coordinator(num_shards: int, tmp_path) -> _Coordinator:
     coord.policy = RecoveryPolicy()
     coord.tally = _Tally()
     coord.outboxes = {}
+    coord.links = []
+    coord.via = {}
     coord.workdir = tmp_path
     coord.plan = SimpleNamespace(ring=ShardMap(range(num_shards)))
     coord.workers = {
-        sid: _ShardWorker(sid=sid, wid=sid, proc=None, inbox=_FakeInbox())
+        sid: _ShardWorker(sid=sid, wid=sid, handle=_FakeHandle())
         for sid in range(num_shards)
     }
     return coord
@@ -214,7 +217,7 @@ class TestReassignDrainsPending:
             outstanding.get(last, []) + pending.get(last, [])
             + [
                 p
-                for msg in coord.workers[last].inbox.msgs
+                for msg in coord.workers[last].handle.msgs
                 for p in msg["partitions"]
             ]
         )

@@ -1,0 +1,97 @@
+"""Analytic network-exchange model: monotonicity and crossover pins."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simrt.netmodel import (
+    LAN_1G,
+    LAN_10G,
+    NetProfile,
+    crossover_hosts,
+    exchange_s,
+    multi_host_runtime_s,
+    remote_fetch_s,
+    speedup,
+)
+
+GB = 1e9
+
+
+class TestNetProfile:
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            NetProfile(bandwidth_bps=0, rtt_s=1e-4)
+        with pytest.raises(SimulationError):
+            NetProfile(bandwidth_bps=1e9, rtt_s=-1.0)
+        with pytest.raises(SimulationError):
+            NetProfile(bandwidth_bps=1e9, rtt_s=1e-4, frame_bytes=0)
+
+
+class TestRemoteFetch:
+    def test_zero_bytes_still_costs_a_round_trip(self):
+        assert remote_fetch_s(LAN_10G, 0) == LAN_10G.rtt_s
+
+    def test_monotone_in_volume(self):
+        times = [remote_fetch_s(LAN_10G, v) for v in
+                 (1e6, 1e7, 1e8, 1e9)]
+        assert times == sorted(times)
+        assert times[0] < times[-1]
+
+    def test_faster_link_is_faster(self):
+        assert remote_fetch_s(LAN_10G, GB) < remote_fetch_s(LAN_1G, GB)
+
+    def test_smaller_frames_pay_more_round_trips(self):
+        fat = NetProfile(bandwidth_bps=1.25e9, rtt_s=1e-3,
+                         frame_bytes=1 << 20)
+        thin = NetProfile(bandwidth_bps=1.25e9, rtt_s=1e-3,
+                          frame_bytes=1 << 14)
+        assert remote_fetch_s(thin, GB) > remote_fetch_s(fat, GB)
+
+
+class TestExchange:
+    def test_one_host_exchanges_nothing(self):
+        assert exchange_s(LAN_10G, 10 * GB, 1) == 0.0
+
+    def test_more_streams_never_slower(self):
+        one = exchange_s(LAN_10G, 10 * GB, 4, streams_per_host=1)
+        four = exchange_s(LAN_10G, 10 * GB, 4, streams_per_host=4)
+        assert four <= one
+
+    def test_monotone_in_shuffle_volume(self):
+        times = [exchange_s(LAN_10G, v, 4) for v in
+                 (GB, 4 * GB, 16 * GB)]
+        assert times == sorted(times)
+        assert times[0] < times[-1]
+
+
+class TestSpeedupAndCrossover:
+    def test_compute_bound_jobs_want_hosts(self):
+        # Hours of compute, a trickle of shuffle: near-ideal scaling.
+        s = speedup(LAN_10G, compute_s=3600.0, shuffle_bytes=GB,
+                    num_hosts=8)
+        assert 6.0 < s <= 8.0
+        assert crossover_hosts(LAN_10G, 3600.0, GB) == 2
+
+    def test_shuffle_bound_jobs_stay_on_one_fat_node(self):
+        # The paper's regime: seconds of compute, a huge exchange over
+        # a slow fabric — no host count wins.
+        assert crossover_hosts(LAN_1G, 10.0, 150 * GB) is None
+        assert speedup(LAN_1G, 10.0, 150 * GB, num_hosts=8) < 1.0
+
+    def test_speedup_monotone_in_network_quality(self):
+        slow = speedup(LAN_1G, 600.0, 50 * GB, num_hosts=4)
+        fast = speedup(LAN_10G, 600.0, 50 * GB, num_hosts=4)
+        assert fast > slow
+
+    def test_multi_host_runtime_has_both_terms(self):
+        runtime = multi_host_runtime_s(LAN_10G, 100.0, 10 * GB, 4)
+        assert runtime > 100.0 / 4  # compute split plus a nonzero tax
+        assert math.isfinite(runtime)
+
+    def test_crossover_validation(self):
+        with pytest.raises(SimulationError):
+            crossover_hosts(LAN_10G, 10.0, GB, max_hosts=1)

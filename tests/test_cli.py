@@ -175,3 +175,93 @@ class TestExitCodes:
         rc = main(["wordcount", str(text_file), "--chunk-size", "32KB",
                    "--faults", "ingest.read=once", "--retry", "3"])
         assert rc == EXIT_OK
+
+
+class TestNetworkExitCodes:
+    """How network failures land on the documented exit-code contract."""
+
+    def test_malformed_peer_address_is_2(self, text_file, capsys):
+        from repro.exitcodes import EXIT_USAGE
+
+        rc = main(["wordcount", str(text_file), "--chunk-size", "32KB",
+                   "--shards", "2", "--peers", "nonsense"])
+        assert rc == EXIT_USAGE
+        assert "host:port" in capsys.readouterr().err
+
+    def test_peers_without_shards_is_2(self, text_file, capsys):
+        from repro.exitcodes import EXIT_USAGE
+
+        rc = main(["wordcount", str(text_file), "--chunk-size", "32KB",
+                   "--peers", "127.0.0.1:9999"])
+        assert rc == EXIT_USAGE
+        assert "num_shards" in capsys.readouterr().err
+
+    def test_unreachable_peer_at_startup_is_2(self, text_file, capsys):
+        import socket
+
+        from repro.exitcodes import EXIT_USAGE
+
+        probe = socket.create_server(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        rc = main(["wordcount", str(text_file), "--chunk-size", "32KB",
+                   "--shards", "2", "--retry", "0", "--net-timeout", "1",
+                   "--peers", f"127.0.0.1:{port}"])
+        assert rc == EXIT_USAGE
+        assert "connect to agent" in capsys.readouterr().err
+
+    def test_peer_lost_right_after_startup_degrades_in_run_to_0(
+        self, text_file, capsys
+    ):
+        import json
+
+        from repro.exitcodes import EXIT_OK
+        from repro.parallel.backends import fork_available
+
+        if not fork_available():
+            pytest.skip("fork start method unavailable")
+        from repro.net.agent import AgentServer
+
+        # A reachable fetch-only peer accepts the dial but never pongs:
+        # the link is written off before any work lands on it, every
+        # shard is placed locally, and the job still exits 0.
+        peer = AgentServer(accept_control=False).start()
+        try:
+            rc = main(["wordcount", str(text_file), "--chunk-size", "32KB",
+                       "--shards", "2", "--net-timeout", "0.5",
+                       "--peers", peer.addr, "--json"])
+        finally:
+            peer.close()
+        assert rc == EXIT_OK
+        data = json.loads(capsys.readouterr().out)
+        assert data["counters"]["net_peers"] == 1
+
+    def test_unabsorbable_mid_job_failure_rescued_by_fallback_is_0(
+        self, text_file, capsys
+    ):
+        import json
+
+        from repro.exitcodes import EXIT_OK
+        from repro.parallel.backends import fork_available
+
+        if not fork_available():
+            pytest.skip("fork start method unavailable")
+        from repro.net.agent import AgentServer
+
+        # Zero retry budget + an injected transfer corruption on the
+        # cross-host run fetch (two peers, so one is guaranteed): the
+        # multi-host rung fails mid-job, the local fallback rung
+        # finishes the work, and the job still exits 0.
+        peers = [AgentServer().start(), AgentServer().start()]
+        try:
+            rc = main(["wordcount", str(text_file), "--chunk-size", "32KB",
+                       "--shards", "2", "--net-timeout", "1",
+                       "--peers", ",".join(p.addr for p in peers),
+                       "--retry", "0",
+                       "--faults", "net.frame.corrupt=once", "--json"])
+        finally:
+            for p in peers:
+                p.close()
+        assert rc == EXIT_OK
+        data = json.loads(capsys.readouterr().out)
+        assert data["counters"]["net_fallback"] == "local"

@@ -1,0 +1,226 @@
+#!/usr/bin/env python
+"""CI smoke: multi-host shard runs survive agent loss and severed wires.
+
+Drives the real CLI end to end across the PR9 network layer:
+
+1. generate a ~6 MB corpus and record the digest of a plain local
+   ``--shards 3`` wordcount — the ground truth every networked run
+   must reproduce byte for byte;
+2. start two real ``supmr agent`` daemons on localhost and run the
+   same job with ``--peers``: the workers fork on the agents, the
+   reduce fetches cross the framed TCP transport, and the digest must
+   match;
+3. rerun with a seeded ``net.conn.drop=once`` plan so control frames
+   and a mid-exchange transfer are severed — the resend/resume
+   machinery must absorb it with the same digest;
+4. rerun and ``SIGKILL`` one agent ~1 s into the map phase — the
+   coordinator must move the dead host's shards home in-run (exit 0,
+   same digest, ``net_host_losses`` counted);
+5. after every run, require that no agent, worker, or coordinator
+   process survives and no shared-memory segment is left in
+   ``/dev/shm`` — the no-orphan guarantee, including the SIGKILL path.
+
+Exits non-zero (failing the CI job) on any divergence, orphan, or leak.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[1]
+ENV = dict(os.environ, PYTHONPATH=str(REPO / "src"))
+
+_DIGEST_RE = re.compile(r"^\s*digest:\s*([0-9a-f]{64})\s*$", re.MULTILINE)
+
+
+def run_cli(*args: str, timeout: int = 600) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, "-m", "repro.cli", *args],
+        capture_output=True, text=True, env=ENV, timeout=timeout,
+    )
+
+
+def digest_of(proc: subprocess.CompletedProcess, label: str) -> str:
+    match = _DIGEST_RE.search(proc.stdout)
+    if proc.returncode != 0 or match is None:
+        sys.exit(
+            f"{label} failed (rc={proc.returncode}):\n"
+            f"{proc.stdout}\n{proc.stderr}"
+        )
+    return match.group(1)
+
+
+def shm_segments() -> set[str]:
+    try:
+        return set(os.listdir("/dev/shm"))
+    except OSError:
+        return set()
+
+
+def stray_processes() -> list[str]:
+    """Command lines of any leftover agent/worker/coordinator process."""
+    strays: list[str] = []
+    for pid_dir in Path("/proc").iterdir():
+        if not pid_dir.name.isdigit() or int(pid_dir.name) == os.getpid():
+            continue
+        try:
+            cmdline = (pid_dir / "cmdline").read_bytes().replace(
+                b"\0", b" "
+            ).decode(errors="replace")
+        except OSError:
+            continue
+        if "repro.cli" in cmdline and "net_smoke" not in cmdline:
+            strays.append(f"pid {pid_dir.name}: {cmdline.strip()}")
+    return strays
+
+
+class Agent:
+    """One real ``supmr agent`` subprocess on an ephemeral port."""
+
+    def __init__(self, tmp: Path, name: str) -> None:
+        self.addr_file = tmp / f"{name}.addr"
+        self.proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.cli", "agent",
+             "--listen", "127.0.0.1:0",
+             "--workdir", str(tmp / name),
+             "--addr-file", str(self.addr_file),
+             "--grace", "3.0"],
+            env=ENV, stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+        )
+        deadline = time.monotonic() + 15.0
+        while not self.addr_file.exists():
+            if time.monotonic() > deadline:
+                sys.exit(f"agent {name} never published its address")
+            time.sleep(0.05)
+        self.addr = self.addr_file.read_text().strip()
+
+    def sigkill(self) -> None:
+        self.proc.kill()
+        self.proc.wait(timeout=10)
+
+    def stop(self) -> None:
+        if self.proc.poll() is None:
+            self.proc.send_signal(signal.SIGTERM)
+            try:
+                self.proc.wait(timeout=10)
+            except subprocess.TimeoutExpired:
+                self.proc.kill()
+                self.proc.wait(timeout=5)
+
+
+def main() -> int:
+    before = shm_segments()
+    pre_existing = set(stray_processes())
+    failures: list[str] = []
+
+    def check_clean(label: str) -> None:
+        # Workers watch their parent and agents reap on grace expiry;
+        # give the slowest path a moment before calling anything a leak.
+        # Only processes this smoke could have created count — whatever
+        # was already running on the machine is not our orphan.
+        deadline = time.monotonic() + 10.0
+        strays = set(stray_processes()) - pre_existing
+        leaked = shm_segments() - before
+        while (strays or leaked) and time.monotonic() < deadline:
+            time.sleep(0.25)
+            strays = set(stray_processes()) - pre_existing
+            leaked = shm_segments() - before
+        for stray in sorted(strays):
+            failures.append(f"{label}: orphan process ({stray})")
+        if leaked:
+            failures.append(f"{label}: leaked /dev/shm entries {sorted(leaked)}")
+
+    with tempfile.TemporaryDirectory(prefix="net_smoke_") as tmp_s:
+        tmp = Path(tmp_s)
+        corpus = tmp / "corpus.txt"
+        gen = run_cli("gen", "text", str(corpus), "--size", "6MB",
+                      "--seed", "5")
+        if gen.returncode != 0:
+            sys.exit(f"corpus generation failed:\n{gen.stdout}\n{gen.stderr}")
+
+        base = ("wordcount", str(corpus), "--chunk-size", "256KB",
+                "--shards", "3", "--mappers", "2", "--reducers", "3")
+
+        reference = digest_of(run_cli(*base), "local sharded run")
+        print(f"{'local sharded':24s} digest {reference[:12]}")
+        check_clean("local sharded")
+
+        def networked(label: str, agents: "list[Agent]", *extra: str,
+                      kill_after_s: "float | None" = None) -> dict:
+            peers = ",".join(a.addr for a in agents)
+            proc = subprocess.Popen(
+                [sys.executable, "-m", "repro.cli", *base,
+                 "--peers", peers, "--net-timeout", "2", "--json", *extra],
+                env=ENV, stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+                text=True,
+            )
+            if kill_after_s is not None:
+                time.sleep(kill_after_s)
+                agents[0].sigkill()
+            try:
+                out, err = proc.communicate(timeout=600)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                sys.exit(f"{label}: coordinator hung")
+            if proc.returncode != 0:
+                sys.exit(f"{label} failed (rc={proc.returncode}):\n"
+                         f"{out}\n{err}")
+            report = json.loads(out)
+            digest = report.get("digest", "")
+            if digest != reference:
+                failures.append(f"{label}: digest diverged from local run")
+            print(f"{label:24s} digest {digest[:12]}  "
+                  f"host_losses={report['counters'].get('net_host_losses')}")
+            return report
+
+        # 2: plain multi-host parity.
+        agents = [Agent(tmp, "a1"), Agent(tmp, "a2")]
+        try:
+            networked("multi-host", agents)
+        finally:
+            for a in agents:
+                a.stop()
+        check_clean("multi-host")
+
+        # 3: severed control frames and a dropped mid-exchange transfer.
+        agents = [Agent(tmp, "b1"), Agent(tmp, "b2")]
+        try:
+            networked("conn-drop", agents,
+                      "--faults", "net.conn.drop=once", "--fault-seed", "7")
+        finally:
+            for a in agents:
+                a.stop()
+        check_clean("conn-drop")
+
+        # 4: SIGKILL one agent mid-map; the ladder moves its shards home.
+        agents = [Agent(tmp, "c1"), Agent(tmp, "c2")]
+        try:
+            report = networked("agent-sigkill", agents, kill_after_s=1.0)
+            if not report["counters"].get("net_host_losses"):
+                print("  note: agent died before any shard landed on it "
+                      "(timing); digest parity still enforced")
+        finally:
+            for a in agents:
+                a.stop()
+        check_clean("agent-sigkill")
+
+    if failures:
+        print("\nNET SMOKE FAILED:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print("net smoke passed: all digests identical, no orphans, "
+          "/dev/shm clean")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
