@@ -255,6 +255,12 @@ def _cmd_shutdown(args: argparse.Namespace) -> int:
     return cmd_shutdown(args)
 
 
+def _cmd_agents(args: argparse.Namespace) -> int:
+    from repro.service.cli import cmd_agents
+
+    return cmd_agents(args)
+
+
 def _cmd_agent(args: argparse.Namespace) -> int:
     from repro.net.agent import cmd_agent
 
@@ -495,6 +501,22 @@ def build_parser() -> argparse.ArgumentParser:
                          help="shed new work once declared I/O demand "
                               "exceeds this multiple of --node-bandwidth "
                               "(default 2.0)")
+    p_serve.add_argument("--agents", metavar="HOST:PORT,...",
+                         help="seed the agent pool: remote 'supmr agent' "
+                              "endpoints sharded jobs may be placed on "
+                              "(more can register at runtime)")
+    p_serve.add_argument("--health-interval", type=float, default=None,
+                         metavar="SECONDS",
+                         help="steady-state gap between agent health "
+                              "probes (default 1.0)")
+    p_serve.add_argument("--probe-timeout", type=float, default=None,
+                         metavar="SECONDS",
+                         help="per-probe ping deadline before an agent "
+                              "counts as failed (default 2.0)")
+    p_serve.add_argument("--net-timeout", type=float, default=None,
+                         metavar="SECONDS",
+                         help="liveness/transfer deadline handed to placed "
+                              "jobs' runners")
     p_serve.add_argument("--faults",
                          help="service-site fault plan, e.g. "
                               "'service.conn.drop=0.2,service.job.crash=once'")
@@ -553,6 +575,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_state_dir(p_shutdown)
     p_shutdown.set_defaults(fn=_cmd_shutdown)
+
+    p_agents = sub.add_parser(
+        "agents", help="show or edit the daemon's agent pool"
+    )
+    add_state_dir(p_agents)
+    group = p_agents.add_mutually_exclusive_group()
+    group.add_argument("--register", metavar="HOST:PORT",
+                       help="add one agent to the pool (it starts suspect "
+                            "and takes work once a probe succeeds)")
+    group.add_argument("--deregister", metavar="HOST:PORT",
+                       help="drop one agent from the pool")
+    p_agents.set_defaults(fn=_cmd_agents)
 
     p_agent = sub.add_parser(
         "agent", help="host shard workers for a remote coordinator"

@@ -1,0 +1,198 @@
+"""Per-agent health state machine: ``healthy → suspect → quarantined``.
+
+Pure bookkeeping — no sockets, no threads, no wall clock of its own.
+The registry feeds probe outcomes in (``record_success`` /
+``record_failure``) with an explicit ``now``, and reads dispatchability
+back out, so every transition is unit-testable with a fake clock and
+the whole machine replays deterministically.
+
+The states:
+
+* **healthy** — probes answer; the scheduler may place work here.
+  Re-probed every ``probe_interval_s``.
+* **suspect** — a probe failed (or a runner reported the host lost
+  mid-job).  No new work lands here, but the agent gets quick retries
+  (``suspect_retry_s``): one success restores it, ``quarantine_after``
+  consecutive failures condemn it.
+* **quarantined** — repeatedly failing *or* flapping.  Re-probes back
+  off exponentially with deterministic per-agent jitter
+  (:func:`repro.util.backoff.exponential_jitter` seeded from the
+  address), so a large pool of dead agents does not synchronize its
+  probe storms.  Recovery demands ``recover_after`` consecutive
+  successful probes — one lucky pong does not un-quarantine a flapper.
+
+Flap damping: every ``healthy → suspect`` fall counts as one flap, and
+an agent that accumulates ``flap_quarantine`` of them goes straight to
+quarantine on its next fall instead of bouncing through suspect again —
+the registry stops handing work to a host that keeps coming back just
+long enough to lose it.  A full quarantine recovery clears the tally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+from repro.util.backoff import exponential_jitter
+from repro.util.hashing import stable_hash
+
+#: Probes answer; placeable.
+STATE_HEALTHY = "healthy"
+#: Last probe failed (or the runner reported the host lost); not
+#: placeable, retried quickly.
+STATE_SUSPECT = "suspect"
+#: Condemned (consecutive failures or flapping); re-probed on backoff.
+STATE_QUARANTINED = "quarantined"
+
+HEALTH_STATES = (STATE_HEALTHY, STATE_SUSPECT, STATE_QUARANTINED)
+
+
+@dataclass(frozen=True)
+class HealthPolicy:
+    """Knobs for the probe cadence and the state transitions."""
+
+    #: Seconds between probes of a healthy agent.
+    probe_interval_s: float = 1.0
+    #: Seconds between the quick retries of a suspect agent.
+    suspect_retry_s: float = 0.25
+    #: Consecutive failures that turn suspect into quarantined.
+    quarantine_after: int = 3
+    #: Consecutive successes a quarantined agent needs to recover.
+    recover_after: int = 2
+    #: ``healthy → suspect`` falls before the next fall quarantines.
+    flap_quarantine: int = 3
+    #: Base / cap of the quarantined re-probe backoff.
+    backoff_base_s: float = 0.5
+    backoff_cap_s: float = 15.0
+
+    def __post_init__(self) -> None:
+        if self.probe_interval_s <= 0:
+            raise ConfigError("probe_interval_s must be positive")
+        if self.suspect_retry_s <= 0:
+            raise ConfigError("suspect_retry_s must be positive")
+        if self.quarantine_after < 1:
+            raise ConfigError("quarantine_after must be >= 1")
+        if self.recover_after < 1:
+            raise ConfigError("recover_after must be >= 1")
+        if self.flap_quarantine < 1:
+            raise ConfigError("flap_quarantine must be >= 1")
+        if not 0 < self.backoff_base_s <= self.backoff_cap_s:
+            raise ConfigError(
+                "backoff_base_s must be positive and <= backoff_cap_s"
+            )
+
+
+@dataclass
+class AgentHealth:
+    """One agent's live health record (owned by the registry)."""
+
+    addr: str
+    policy: HealthPolicy = field(default_factory=HealthPolicy)
+    #: New agents start *suspect*: unproven hosts take no work until
+    #: their first probe answers, so a typo'd ``--agents`` entry never
+    #: receives a job.
+    state: str = STATE_SUSPECT
+    probes: int = 0
+    consecutive_failures: int = 0
+    consecutive_successes: int = 0
+    flaps: int = 0
+    backoff_attempt: int = 0
+    last_latency_s: "float | None" = None
+    last_error: str = ""
+    #: Monotonic deadline of the next probe (0.0 = due immediately).
+    next_probe_at: float = 0.0
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def placeable(self) -> bool:
+        """May the scheduler hand this agent work right now?"""
+        return self.state == STATE_HEALTHY
+
+    def due(self, now: float) -> bool:
+        """Is a probe owed at monotonic time ``now``?"""
+        return now >= self.next_probe_at
+
+    # -- transitions ---------------------------------------------------------
+
+    def record_success(self, now: float, latency_s: float) -> str:
+        """Fold in one successful probe; returns the new state."""
+        self.probes += 1
+        self.consecutive_failures = 0
+        self.last_latency_s = latency_s
+        self.last_error = ""
+        if self.state == STATE_HEALTHY:
+            self.next_probe_at = now + self.policy.probe_interval_s
+        elif self.state == STATE_SUSPECT:
+            # suspicion was transient — one answer restores service
+            self.state = STATE_HEALTHY
+            self.consecutive_successes = 0
+            self.backoff_attempt = 0
+            self.next_probe_at = now + self.policy.probe_interval_s
+        else:  # quarantined: demand sustained good behaviour
+            self.consecutive_successes += 1
+            if self.consecutive_successes >= self.policy.recover_after:
+                self.state = STATE_HEALTHY
+                self.consecutive_successes = 0
+                self.backoff_attempt = 0
+                self.flaps = 0  # a full recovery earns a clean slate
+                self.next_probe_at = now + self.policy.probe_interval_s
+            else:
+                self.next_probe_at = now + self.policy.suspect_retry_s
+        return self.state
+
+    def record_failure(self, now: float, error: str) -> str:
+        """Fold in one failed probe; returns the new state."""
+        self.probes += 1
+        self.consecutive_successes = 0
+        self.consecutive_failures += 1
+        self.last_error = error
+        if self.state == STATE_HEALTHY:
+            self.flaps += 1
+            if self.flaps >= self.policy.flap_quarantine:
+                self._quarantine(now)
+            else:
+                self.state = STATE_SUSPECT
+                self.next_probe_at = now + self.policy.suspect_retry_s
+        elif self.state == STATE_SUSPECT:
+            if self.consecutive_failures >= self.policy.quarantine_after:
+                self._quarantine(now)
+            else:
+                self.next_probe_at = now + self.policy.suspect_retry_s
+        else:  # already quarantined: back off further
+            self.backoff_attempt += 1
+            self.next_probe_at = now + self._backoff()
+        return self.state
+
+    def mark_lost(self, now: float, reason: str) -> str:
+        """A runner reported this host lost mid-job: demote immediately.
+
+        Counts as a flap when the agent was healthy (it was handed work
+        and dropped it — the exact behaviour flap damping exists for)
+        and pulls the next probe forward to *now* so truth is
+        re-established promptly rather than on the old schedule.
+        """
+        self.last_error = reason
+        if self.state == STATE_HEALTHY:
+            self.consecutive_failures = max(self.consecutive_failures, 1)
+            self.flaps += 1
+            if self.flaps >= self.policy.flap_quarantine:
+                self._quarantine(now)
+                return self.state
+            self.state = STATE_SUSPECT
+        self.next_probe_at = now
+        return self.state
+
+    def _quarantine(self, now: float) -> None:
+        self.state = STATE_QUARANTINED
+        self.backoff_attempt = 0
+        self.next_probe_at = now + self._backoff()
+
+    def _backoff(self) -> float:
+        """Jittered quarantine re-probe delay, deterministic per agent."""
+        return exponential_jitter(
+            self.backoff_attempt,
+            base=self.policy.backoff_base_s,
+            cap=self.policy.backoff_cap_s,
+            seed=stable_hash(self.addr),
+        )

@@ -30,6 +30,7 @@ ACTION_CHECKPOINTED = "checkpointed"
 ACTION_RESUMED = "resumed"
 ACTION_REASSIGNED = "reassigned"
 ACTION_REFETCHED = "refetched"
+ACTION_REAPED = "reaped"
 
 
 @dataclass(frozen=True)

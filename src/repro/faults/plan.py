@@ -48,6 +48,14 @@ SITE_NET_FRAME_CORRUPT = "net.frame.corrupt"   # net.exchange transfers
 SITE_NET_PARTIAL_WRITE = "net.partial.write"   # net.wire torn sends
 SITE_NET_HOST_LOSS = "net.host.loss"           # net.agent dies mid-job
 SITE_NET_PARTITION = "net.partition"           # net.agent live-but-unreachable
+# Cluster sites (checked by repro.cluster / service dispatch):
+SITE_CLUSTER_AGENT_FLAP = "cluster.agent.flap"       # registry probe results
+SITE_CLUSTER_DISPATCH_STALE = "cluster.dispatch.stale"  # dead-on-dispatch peer
+#: Observation-only site: the agent's grace reaper records rows under it
+#: (``net.agent.reap``) so post-mortems can tell grace-expiry kills from
+#: commanded ones.  It is never *injected*, so it stays out of
+#: ``KNOWN_SITES`` — a plan naming it would silently do nothing.
+SITE_NET_AGENT_REAP = "net.agent.reap"
 # Simulated-hardware sites (applied by faults.simdriver / simrt):
 SITE_SIM_DISK_SLOW = "sim.disk.slow"
 SITE_SIM_DISK_FAIL = "sim.disk.fail"
@@ -69,11 +77,16 @@ NET_SITES = (
     SITE_NET_CONN_DROP, SITE_NET_FRAME_CORRUPT, SITE_NET_PARTIAL_WRITE,
     SITE_NET_HOST_LOSS, SITE_NET_PARTITION,
 )
+CLUSTER_SITES = (
+    SITE_CLUSTER_AGENT_FLAP, SITE_CLUSTER_DISPATCH_STALE,
+)
 SIM_SITES = (
     SITE_SIM_DISK_SLOW, SITE_SIM_DISK_FAIL, SITE_SIM_DATANODE_LOSS,
     SITE_SIM_NET_FLAP, SITE_SIM_STRAGGLER, SITE_SIM_WORKER_CRASH,
 )
-KNOWN_SITES = RUNTIME_SITES + SERVICE_SITES + NET_SITES + SIM_SITES
+KNOWN_SITES = (
+    RUNTIME_SITES + SERVICE_SITES + NET_SITES + CLUSTER_SITES + SIM_SITES
+)
 
 #: Fault flavors (``FaultSpec.kind``); sites ignore kinds they do not model.
 KIND_ERROR = "error"  # transient I/O error (ingest.read default)

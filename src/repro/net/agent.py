@@ -51,6 +51,8 @@ from typing import Any
 import multiprocessing
 
 from repro.errors import ProtocolError, ReproError
+from repro.faults.log import ACTION_REAPED, FaultLog
+from repro.faults.plan import SITE_NET_AGENT_REAP
 from repro.net.exchange import serve_fetch_session
 from repro.net.jobs import chunks_from_wire, job_from_wire, options_from_wire
 from repro.net.peers import format_addr, split_addr
@@ -136,13 +138,29 @@ class AgentServer:
         self._unsent: deque = deque()
         self._rseq = 0
         self._sent_upto = -1
+        #: Ownership epoch: bumped (under the send lock) on takeover so
+        #: a result blob pumped out of the queue just before the switch
+        #: can never be posted to the new owner.
+        self._epoch = 0
         self.workers: dict[tuple[int, int], _WorkerRec] = {}
         self._ctl: "socket.socket | None" = None
+        #: Current control-session owner token (None until a coordinator
+        #: that identifies itself attaches, or for legacy/anonymous
+        #: sessions, which keep reconnect semantics).
+        self._owner: "str | None" = None
         self._last_seq = -1
         self._mute_until = 0.0
         self._die_after: "int | None" = None
         self._relays = 0
         self._threads: list[threading.Thread] = []
+        #: Post-mortem surface: the grace reaper logs every orphan kill
+        #: here (site ``net.agent.reap``), and the counters separate
+        #: grace-expiry reaps from commanded kills — both are exposed
+        #: through the ``ping`` session for health probes and tests.
+        self.fault_log = FaultLog(clock=time.monotonic)
+        self.counters: dict[str, int] = {
+            "agent_reaped": 0, "agent_killed": 0,
+        }
         if accept_control:
             # A fetch-only instance (the coordinator's own run exporter)
             # never forks workers, so it skips the worker plumbing.
@@ -189,13 +207,58 @@ class AgentServer:
             finally:
                 conn.close()
         elif kind == "hello" and self.accept_control:
-            self._control_session(conn)
+            self._control_session(conn, owner=hello.get("owner"))
+        elif kind == "ping":
+            self._ping_session(conn)
         else:
             conn.close()
 
+    def _ping_session(self, conn: socket.socket) -> None:
+        """One-shot health probe: answer and close.
+
+        Deliberately *not* a control session — a ``hello`` would steal
+        the coordinator's control socket mid-job (the agent keeps
+        exactly one), so the registry's probes use this side door.
+        During an injected partition the probe is swallowed like all
+        other traffic: the prober sees the silence a real partition
+        would produce.
+        """
+        try:
+            if time.monotonic() < self._mute_until:
+                return
+            with self._lock:
+                workers = len(self.workers)
+            send_frame(conn, {
+                "type": "pong",
+                "addr": self.addr,
+                "workers": workers,
+                "counters": dict(self.counters),
+                "reap_rows": self.fault_log.count(action=ACTION_REAPED),
+            })
+        except (OSError, ProtocolError):
+            pass
+        finally:
+            try:
+                conn.close()
+            except OSError:
+                pass
+
     # -- control session -----------------------------------------------------
 
-    def _control_session(self, conn: socket.socket) -> None:
+    def _control_session(
+        self, conn: socket.socket, owner: "str | None" = None
+    ) -> None:
+        if owner is not None and owner != self._owner:
+            # A *different* coordinator is taking the agent over (a new
+            # job, or a relaunched attempt of the same one).  Workers
+            # and queued results belong to the previous owner: handing
+            # either to the newcomer would silently splice one job's
+            # exchange data into another's digest.  Kill the leftovers
+            # (audited as reaps), drop the unacked tail, and reset the
+            # inbound dedup watermark — the new owner's seq starts at 0.
+            # Anonymous hellos (owner None) keep the legacy reconnect
+            # semantics: same session, tail resent.
+            self._takeover(owner)
         with self._send_lock:
             old, self._ctl = self._ctl, conn
             # A reconnect re-delivers the whole unacked tail: frames the
@@ -238,6 +301,39 @@ class AgentServer:
             except OSError:
                 pass
 
+    def _takeover(self, owner: str) -> None:
+        """Transfer control-session ownership to a new coordinator."""
+        had_state = (
+            self._owner is not None or bool(self.workers)
+            or self._last_seq >= 0
+        )
+        previous, self._owner = self._owner, owner
+        if not had_state:
+            return
+        with self._lock:
+            keys = list(self.workers)
+        for key in keys:
+            self._kill(key, reaped=True, detail=(
+                f"control session taken over by a new coordinator "
+                f"(previous owner {previous or 'anonymous'}); "
+                f"killed worker {key[0]}.{key[1]}"
+            ))
+        # The killed workers are joined, so nothing new lands in the
+        # results queue; drain what already did.
+        while True:
+            try:
+                self.results.get_nowait()
+            except (Empty, OSError, ValueError):
+                break
+        with self._send_lock:
+            self._epoch += 1
+            self._unsent.clear()
+        self._last_seq = -1
+        logger.debug(
+            "agent %s: ownership transferred (%s -> %s)",
+            self.addr, previous, owner,
+        )
+
     def _grace_reaper(self) -> None:
         """Kill orphaned workers once the reconnect grace expires."""
         deadline = time.monotonic() + self.grace_s
@@ -250,7 +346,7 @@ class AgentServer:
                 "agent %s: no coordinator for %.3gs; reaping workers",
                 self.addr, self.grace_s,
             )
-            self._kill_all()
+            self._kill_all(reaped=True)
 
     def _handle(self, cmd: dict) -> None:
         ack = cmd.get("ack")
@@ -332,7 +428,12 @@ class AgentServer:
                 msg["self_addr"] = self.addr
         rec.inbox.put(msg)
 
-    def _kill(self, key: tuple[int, int]) -> None:
+    def _kill(
+        self,
+        key: tuple[int, int],
+        reaped: bool = False,
+        detail: "str | None" = None,
+    ) -> None:
         with self._lock:
             rec = self.workers.pop(key, None)
         if rec is None:
@@ -341,16 +442,36 @@ class AgentServer:
         rec.proc.join(timeout=5.0)
         rec.inbox.cancel_join_thread()
         rec.inbox.close()
+        if reaped:
+            # A grace-expiry (or takeover) kill is an *event*, not an
+            # order: nobody asked for it, so post-mortems need the audit
+            # row to tell "the agent cleaned up abandoned workers" apart
+            # from "the coordinator commanded a kill".
+            self.counters["agent_reaped"] += 1
+            self.fault_log.record(
+                SITE_NET_AGENT_REAP, ACTION_REAPED,
+                detail or (
+                    f"grace {self.grace_s:.3g}s expired with no "
+                    f"coordinator; killed worker {key[0]}.{key[1]}"
+                ),
+                scope=f"{key[0]}.{key[1]}",
+            )
+        else:
+            self.counters["agent_killed"] += 1
 
-    def _kill_all(self) -> None:
+    def _kill_all(self, reaped: bool = False) -> None:
         with self._lock:
             keys = list(self.workers)
         for key in keys:
-            self._kill(key)
+            self._kill(key, reaped=reaped)
 
     # -- outbound ------------------------------------------------------------
 
-    def _post(self, payload: "dict[str, Any] | bytes") -> None:
+    def _post(
+        self,
+        payload: "dict[str, Any] | bytes",
+        epoch: "int | None" = None,
+    ) -> None:
         """Queue one rseq-stamped frame for the coordinator.
 
         Frames stay in :attr:`_unsent` until *acked*, not merely until
@@ -363,6 +484,8 @@ class AgentServer:
         if time.monotonic() < self._mute_until:
             return
         with self._send_lock:
+            if epoch is not None and epoch != self._epoch:
+                return  # pumped before a takeover: the old owner's data
             self._unsent.append((self._rseq, payload))
             self._rseq += 1
             self._flush_locked()
@@ -390,11 +513,12 @@ class AgentServer:
             if time.monotonic() < self._mute_until:
                 time.sleep(0.02)
                 continue
+            epoch = self._epoch
             try:
                 blob = self.results.get(timeout=0.1)
             except (Empty, OSError, ValueError):
                 continue
-            self._post(blob)
+            self._post(blob, epoch=epoch)
             self._relays += 1
             if self._die_after is not None and self._relays >= self._die_after:
                 # Injected net.host.loss: the whole "host" goes away

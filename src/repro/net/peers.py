@@ -45,20 +45,30 @@ def format_addr(host: str, port: int) -> str:
 def parse_peers(text: "str | tuple[str, ...] | list[str]") -> tuple[str, ...]:
     """Parse ``--peers host:port,host:port,...`` into canonical form.
 
-    Accepts a comma-separated string or an already-split sequence;
-    every entry is validated and duplicates are a typed error (two
-    shards pointed at one agent *instance* is fine — the same address
-    listed twice is almost certainly a typo).
+    Accepts a comma-separated string or an already-split sequence.
+    Surrounding whitespace is stripped, but every remaining entry must
+    be a valid ``host:port`` — an empty segment (``"a:1,,b:2"``, a
+    trailing comma) is a typed :class:`~repro.errors.ConfigError`
+    rather than being silently dropped, because a list that *parses* to
+    fewer peers than the operator typed turns into a confusing connect
+    failure (or a silently narrower pool) much later.  Duplicates are a
+    typed error too: the check runs on the *canonical* form, so
+    ``a:01`` and ``a:1`` collide (two shards pointed at one agent
+    *instance* is fine — the same address listed twice is almost
+    certainly a typo).
     """
     if isinstance(text, str):
         entries = [e.strip() for e in text.split(",")]
     else:
         entries = [str(e).strip() for e in text]
-    peers = tuple(
-        format_addr(*split_addr(entry)) for entry in entries if entry
-    )
-    if not peers:
+    if not any(entries):
         raise ConfigError("peers must name at least one host:port")
+    if "" in entries:
+        raise ConfigError(
+            f"empty segment in peers list {','.join(entries)!r}; "
+            "remove the stray comma"
+        )
+    peers = tuple(format_addr(*split_addr(entry)) for entry in entries)
     if len(set(peers)) != len(peers):
         raise ConfigError(f"duplicate peer address in {peers!r}")
     return peers

@@ -26,6 +26,7 @@ from __future__ import annotations
 import pickle
 import threading
 import time
+import uuid
 from typing import Any, Callable
 
 from repro.errors import ProtocolError
@@ -51,6 +52,12 @@ class AgentLink:
         self.index = index
         self.net_timeout_s = net_timeout_s
         self.retries = retries
+        #: Control-session ownership token.  Stable across *this* link's
+        #: reconnects (so the agent's resend-tail protocol still serves
+        #: a mere network blip) but unique per coordinator incarnation —
+        #: the agent kills workers left by a previous owner on attach
+        #: instead of handing their results to the wrong job.
+        self.owner = uuid.uuid4().hex
         #: Worker exits reported by the agent: ``(sid, wid) -> exitcode``.
         self.exited: dict[tuple[int, int], "int | None"] = {}
         self._seq = 0
@@ -77,7 +84,7 @@ class AgentLink:
     def _dial(self):
         sock = wire.connect(self.addr, timeout_s=self.net_timeout_s)
         try:
-            send_frame(sock, {"type": "hello"})
+            send_frame(sock, {"type": "hello", "owner": self.owner})
         except OSError:
             sock.close()
             raise
@@ -320,3 +327,37 @@ class RemoteHandle:
             return f"its host {self.link.addr} became unreachable"
         code = self.link.exited.get((self.sid, self.wid))
         return f"exited with code {code}"
+
+
+def ping_agent(
+    addr: str, timeout_s: float = 2.0
+) -> "tuple[float, dict[str, Any]]":
+    """One standalone health probe of a ``supmr agent``.
+
+    Opens a fresh connection, sends the one-frame ``ping`` session kind
+    (which never touches the agent's control session — probing a busy
+    agent must not steal the coordinator's socket), and measures the
+    round trip.  Returns ``(latency_s, pong_payload)``; the payload
+    carries the agent's hosted-worker count and its counters
+    (``agent_reaped`` among them).  Raises ``OSError`` on connect/reset,
+    ``socket.timeout`` on a stalled reply (a partitioned agent accepts
+    the connection but never answers), and
+    :class:`~repro.errors.ProtocolError` on a malformed one — the
+    caller treats them all as "probe failed".
+    """
+    start = time.monotonic()
+    sock = wire.connect(addr, timeout_s=timeout_s)
+    try:
+        send_frame(sock, {"type": "ping"})
+        reply = recv_frame(sock, timeout_s=timeout_s)
+    finally:
+        try:
+            sock.close()
+        except OSError:
+            pass
+    if not isinstance(reply, dict) or reply.get("type") != "pong":
+        raise ProtocolError(
+            f"agent {addr} answered the ping with a non-pong frame",
+            reason="bad-payload",
+        )
+    return time.monotonic() - start, reply

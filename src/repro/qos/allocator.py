@@ -227,6 +227,79 @@ class PriorityLevels(BandwidthAllocator):
         return rates
 
 
+class HostCapacityAllocator(BandwidthAllocator):
+    """Per-host capacity composition over one inner policy.
+
+    The cluster-aware service's allocator: every flow is registered
+    with the ``host`` its job was placed on, each host owns its *own*
+    capacity (the constructor capacity by default — the node bandwidth
+    models one host's disk, so ten agents have ten disks — overridable
+    per host via ``host_capacity``), and the configured inner policy
+    splits each host's capacity among the flows placed there.  Two jobs
+    on the same agent split that host's share; jobs on different hosts
+    do not contend at all.
+
+    Conservation therefore holds *per host*, not globally:
+    ``total_allocated`` may exceed the constructor capacity once flows
+    span multiple hosts, by design.
+    """
+
+    policy = "per-host"
+
+    def __init__(
+        self,
+        capacity: float,
+        inner_policy: str = "max-min",
+        host_capacity: "dict[str, float] | None" = None,
+    ) -> None:
+        super().__init__(capacity)
+        if inner_policy not in POLICIES:
+            raise ConfigError(
+                f"unknown inner policy {inner_policy!r}; known policies: "
+                + ", ".join(sorted(POLICIES))
+            )
+        self.inner_policy = inner_policy
+        self._host_capacity = dict(host_capacity or {})
+        self._hosts: dict[Hashable, str] = {}
+
+    def reset(self) -> None:
+        """Forget every registered flow plus the host assignments."""
+        super().reset()
+        self._hosts.clear()
+
+    def register(
+        self,
+        flow: Hashable,
+        demand: float,
+        weight: float = 1.0,
+        priority: int = 0,
+        host: str = "local",
+    ) -> None:
+        """File one flow's request against its host's capacity."""
+        super().register(flow, demand, weight=weight, priority=priority)
+        self._hosts[flow] = host
+
+    def _compute(self) -> dict[Hashable, float]:
+        by_host: dict[str, list[_Registration]] = {}
+        for reg in self._regs:
+            by_host.setdefault(
+                self._hosts.get(reg.flow, "local"), []
+            ).append(reg)
+        rates: dict[Hashable, float] = {}
+        for host, regs in by_host.items():
+            inner = make_allocator(
+                self.inner_policy,
+                self._host_capacity.get(host, self.capacity),
+            )
+            for reg in regs:
+                inner.register(
+                    reg.flow, reg.demand,
+                    weight=reg.weight, priority=reg.priority,
+                )
+            rates.update(inner.allocate())
+        return rates
+
+
 #: Policy-name -> class registry (the ``--qos-policy`` surface).
 POLICIES: dict[str, type[BandwidthAllocator]] = {
     FairShare.policy: FairShare,

@@ -22,6 +22,7 @@ pops in the same order.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Callable
 
 from repro.errors import ConfigError
 
@@ -110,18 +111,35 @@ class WeightedFairQueue:
         waited = self._pops - entry.enqueued_at_pop
         return entry.priority + waited // self.aging_every
 
-    def pop(self) -> "QueueEntry | None":
-        """Dispatch the next job (None when empty)."""
+    def pop(
+        self, eligible: "Callable[[QueueEntry], bool] | None" = None
+    ) -> "QueueEntry | None":
+        """Dispatch the next job (None when empty).
+
+        ``eligible`` filters dispatchability without disturbing the
+        fairness state — the cluster-aware service uses it to hold back
+        jobs that want agent placement while the pool is still being
+        probed.  Tenants are visited in virtual-time order and the best
+        eligible entry of the first tenant holding one wins; ineligible
+        entries stay queued untouched, and when *nothing* is eligible
+        no clock advances (the queue looks exactly as it did before).
+        """
         active = sorted(
             (t for t, q in self._queues.items() if q),
             key=lambda t: (self._vtime.get(t, 0.0), t),
         )
-        if not active:
+        for tenant in active:
+            queue = self._queues[tenant]
+            candidates = [
+                i for i in range(len(queue))
+                if eligible is None or eligible(queue[i])
+            ]
+            if candidates:
+                break
+        else:
             return None
-        tenant = active[0]
-        queue = self._queues[tenant]
         best = max(
-            range(len(queue)),
+            candidates,
             key=lambda i: (
                 self._effective_priority(queue[i]), -queue[i].seq
             ),

@@ -36,6 +36,14 @@ def cmd_serve(args: argparse.Namespace) -> int:
         extra["aging_every"] = args.aging_every
     if getattr(args, "shed_factor", None) is not None:
         extra["shed_factor"] = args.shed_factor
+    if getattr(args, "agents", None):
+        extra["agents"] = args.agents
+    if getattr(args, "health_interval", None) is not None:
+        extra["health_interval_s"] = args.health_interval
+    if getattr(args, "probe_timeout", None) is not None:
+        extra["probe_timeout_s"] = args.probe_timeout
+    if getattr(args, "net_timeout", None) is not None:
+        extra["net_timeout_s"] = args.net_timeout
     config = ServiceConfig(
         state_dir=args.state_dir,
         host=args.host,
@@ -85,6 +93,8 @@ def spec_from_args(args: argparse.Namespace) -> ServiceJobSpec:
         job_deadline=getattr(args, "job_deadline", None),
         no_supervise=bool(getattr(args, "no_supervise", False)),
         shards=getattr(args, "shards", None),
+        peers=getattr(args, "peers", None),
+        net_timeout=getattr(args, "net_timeout", None),
         priority=getattr(args, "priority", 0),
         tag=getattr(args, "tag", ""),
         tenant=getattr(args, "tenant", "default") or "default",
@@ -196,6 +206,35 @@ def cmd_cancel(args: argparse.Namespace) -> int:
     job = reply.get("job", {})
     state = "cancelling" if reply.get("cancelling") else job.get("state")
     print(f"job {args.job_id}: {state}")
+    return EXIT_OK
+
+
+def cmd_agents(args: argparse.Namespace) -> int:
+    """Show (or edit) the daemon's agent pool."""
+    client = _client(args)
+    if getattr(args, "register", None):
+        reply = client.register_agent(args.register)
+        verb = "registered" if reply.get("created") else "already registered"
+        print(f"agent {reply['addr']}: {verb}")
+        return EXIT_OK
+    if getattr(args, "deregister", None):
+        reply = client.deregister_agent(args.deregister)
+        verb = "deregistered" if reply.get("removed") else "not in the pool"
+        print(f"agent {args.deregister}: {verb}")
+        return EXIT_OK
+    reply = client.agents()
+    agents = reply.get("agents", [])
+    settled = "settled" if reply.get("settled") else "probing"
+    print(f"agent pool: {len(agents)} agent(s), {settled}")
+    for row in agents:
+        latency = row.get("latency_ms")
+        latency_text = f"{latency:.1f}ms" if latency is not None else "-"
+        line = (f"  {row['addr']}  {row['state']:<11s} "
+                f"ping={latency_text}  inflight={row.get('inflight', 0)}  "
+                f"probes={row.get('probes', 0)}  flaps={row.get('flaps', 0)}")
+        if row.get("last_error"):
+            line += f"  ({row['last_error']})"
+        print(line)
     return EXIT_OK
 
 

@@ -175,6 +175,18 @@ class ServiceClient:
         """Ask the daemon to drain and exit."""
         return self._rpc(protocol.request(protocol.REQ_SHUTDOWN))
 
+    def agents(self) -> dict[str, Any]:
+        """The agent pool snapshot: per-agent state, latency, inflight."""
+        return self._rpc(protocol.request(protocol.REQ_AGENTS))
+
+    def register_agent(self, addr: str) -> dict[str, Any]:
+        """Add one agent to the pool; returns ``{addr, created}``."""
+        return self._rpc(protocol.request(protocol.REQ_REGISTER, addr=addr))
+
+    def deregister_agent(self, addr: str) -> dict[str, Any]:
+        """Drop one agent from the pool; returns ``{removed}``."""
+        return self._rpc(protocol.request(protocol.REQ_DEREGISTER, addr=addr))
+
     # -- waiting -------------------------------------------------------------
 
     def wait(

@@ -223,12 +223,18 @@ class ServiceJobSpec:
         checkpoint_dir: str | None = None,
         resume: bool = False,
         shard_dir: str | None = None,
+        peers: "tuple[str, ...] | str | None" = None,
+        net_timeout: float | None = None,
     ) -> RuntimeOptions:
         """The :class:`RuntimeOptions` this spec describes.
 
         ``checkpoint_dir``/``resume``/``shard_dir`` are service-assigned
         (per-job dirs under the state dir), not part of the submitted
-        spec, so they arrive as parameters.
+        spec, so they arrive as parameters.  ``peers``/``net_timeout``
+        likewise override the spec's own fields when the *service*
+        placed the job on its agent pool — placement lives outside the
+        spec (and its hash) because the job's identity must not change
+        when the pool does.
         """
         class _WithDirs:
             pass
@@ -239,6 +245,12 @@ class ServiceJobSpec:
         proxy.checkpoint_dir = checkpoint_dir
         proxy.resume = resume
         proxy.shard_dir = shard_dir
+        if peers is not None:
+            proxy.peers = (
+                peers if isinstance(peers, str) else ",".join(peers)
+            )
+        if net_timeout is not None:
+            proxy.net_timeout = net_timeout
         return build_options(proxy)
 
     def build_job(self) -> JobSpec:

@@ -296,6 +296,9 @@ REQ_RESULT = "result"
 REQ_CANCEL = "cancel"
 REQ_WATCH = "watch"
 REQ_SHUTDOWN = "shutdown"
+REQ_AGENTS = "agents"
+REQ_REGISTER = "register-agent"
+REQ_DEREGISTER = "deregister-agent"
 
 #: Typed error codes carried on error replies.
 ERR_QUEUE_FULL = "queue-full"

@@ -71,10 +71,27 @@ def run_job_dir(job_dir: Path, crash_after_round: int | None = None) -> int:
         # option lowering and job construction are classified too: a spec
         # carrying a bad knob (e.g. an unparsable --chunk-size) must exit
         # with the usage code and an error.json, not a bare traceback.
+        # The daemon's placement (placement.json) names the agents this
+        # dispatch should fan out onto.  It is re-written every attempt
+        # from the live healthy pool, so a requeued job lands on the
+        # survivors; its absence means a local run.
+        placement_peers = None
+        placement_timeout = None
+        placement_path = job_dir / "placement.json"
+        if placement_path.exists():
+            placement = read_json_crc(placement_path)
+            placement_peers = tuple(
+                str(p) for p in placement.get("peers", ())
+            ) or None
+            raw_timeout = placement.get("net_timeout")
+            if raw_timeout is not None:
+                placement_timeout = float(raw_timeout)
         options = spec.to_options(
             checkpoint_dir=str(checkpoint),
             resume=True,
             shard_dir=str(shard_dir) if shard_dir else None,
+            peers=placement_peers,
+            net_timeout=placement_timeout,
         )
         # The daemon's dispatch-time bandwidth assignment (qos.json)
         # overrides the spec's raw io_budget ask: under contention the

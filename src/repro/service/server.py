@@ -36,6 +36,18 @@ concurrent clients over the framed protocol.  The moving parts:
   mid-exchange and ``service.job.crash`` SIGKILLs runners mid-job, so
   the seeded fault matrix covers the daemon the way it covers the
   runtimes.
+* **Agent pool** — with ``--agents host:port,...`` (or dynamic
+  ``register``/``deregister`` RPCs) the daemon owns an
+  :class:`~repro.cluster.registry.AgentRegistry`: a health loop
+  actively pings every agent between jobs, sharded jobs are dispatched
+  with service-assigned ``--peers`` drawn from the healthy set
+  (written per-dispatch to ``placement.json``, never part of the spec
+  hash), concurrent jobs spread across hosts, and the bandwidth
+  allocator prices co-placed jobs against their *host's* capacity.
+  ``cluster.agent.flap`` fails seeded probes; ``cluster.dispatch.stale``
+  kills an agent in the window between health check and dispatch — the
+  runner exits with ``PeerUnreachable``, the daemon marks the host and
+  requeues onto survivors (journal resume keeps the digest identical).
 """
 
 from __future__ import annotations
@@ -43,21 +55,26 @@ from __future__ import annotations
 import asyncio
 import contextlib
 import json
+import os
 import signal
 import sys
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any
 
+from repro.cluster.health import HealthPolicy
+from repro.cluster.registry import AgentRegistry
 from repro.errors import AdmissionError, ConfigError, ProtocolError
 from repro.faults.log import ACTION_RESPAWNED
 from repro.faults.plan import (
+    SITE_CLUSTER_DISPATCH_STALE,
     SITE_QOS_TENANT_SURGE,
     SITE_SERVICE_CONN_DROP,
     SITE_SERVICE_JOB_CRASH,
     FaultPlan,
 )
-from repro.qos.allocator import POLICIES, make_allocator
+from repro.net.peers import parse_peers
+from repro.qos.allocator import POLICIES, HostCapacityAllocator
 from repro.qos.scheduling import DEFAULT_AGING_EVERY, QueueEntry, WeightedFairQueue
 from repro.service import protocol
 from repro.service.jobspec import ServiceJobSpec
@@ -77,6 +94,32 @@ from repro.util.units import parse_size
 #: started must finish within this budget (idle between frames stays
 #: untimed, so pooled keep-alive connections are unaffected).
 FRAME_STALL_S = 30.0
+
+#: The black hole ``cluster.dispatch.stale`` substitutes into a
+#: placement: port 1 is reserved and essentially never listening, so
+#: the runner's startup connect fails fast with ``PeerUnreachable`` —
+#: exactly what an agent that died between health check and dispatch
+#: looks like.
+STALE_AGENT_ADDR = "127.0.0.1:1"
+
+
+def signal_runner_tree(pid: int, sig: int = signal.SIGKILL) -> None:
+    """Deliver ``sig`` to a runner's whole process tree.
+
+    Runners are spawned as session leaders, so their process group holds
+    every shard worker they forked.  Killing only the runner pid leaves
+    those workers alive as orphans that keep writing the attempt's
+    checkpoint journal, spill runs, and exchange outboxes — and a
+    relaunched attempt resuming from that journal then races a concurrent
+    writer, which can silently corrupt the resumed container state (the
+    digest diverges from the one-shot run).  The group kill closes that
+    window; the direct pid kill keeps pre-session-leader runner pids
+    (stale ``runner.pid`` files from an older daemon) covered.
+    """
+    with contextlib.suppress(OSError):
+        os.killpg(pid, sig)
+    with contextlib.suppress(OSError):
+        os.kill(pid, sig)
 
 
 @dataclass(frozen=True)
@@ -130,6 +173,17 @@ class ServiceConfig:
     #: declared ``io_budget`` demand would exceed
     #: ``node_bandwidth * shed_factor``.
     shed_factor: float = 2.0
+    #: Bootstrap agent pool (``--agents host:port,...``); parsed to a
+    #: canonical tuple.  More agents can join/leave at runtime via the
+    #: register/deregister RPCs, so () still enables the registry.
+    agents: "str | tuple[str, ...] | None" = None
+    #: Seconds between health probes of a healthy agent.
+    health_interval_s: float = 1.0
+    #: Deadline for one agent probe (connect + ping + pong).
+    probe_timeout_s: float = 2.0
+    #: ``--net-timeout`` handed to placed runners (None keeps the
+    #: runtime default).
+    net_timeout_s: float | None = None
 
     def __post_init__(self) -> None:
         if self.max_concurrent < 1:
@@ -168,6 +222,16 @@ class ServiceConfig:
             raise ConfigError("aging_every must be >= 0")
         if self.shed_factor <= 0:
             raise ConfigError("shed_factor must be positive")
+        if self.agents:
+            object.__setattr__(self, "agents", parse_peers(self.agents))
+        else:
+            object.__setattr__(self, "agents", ())
+        if self.health_interval_s <= 0:
+            raise ConfigError("health_interval_s must be positive")
+        if self.probe_timeout_s <= 0:
+            raise ConfigError("probe_timeout_s must be positive")
+        if self.net_timeout_s is not None and self.net_timeout_s <= 0:
+            raise ConfigError("net_timeout_s must be positive")
 
 
 @dataclass
@@ -204,6 +268,23 @@ class JobService:
         #: (job_id -> assigned bytes/second); must drain back to {} —
         #: a non-empty map at shutdown means tokens leaked.
         self._io_assigned: dict[str, int] = {}
+        #: The agent pool.  Always constructed (dynamic registration
+        #: works on a daemon started without ``--agents``); placement
+        #: only engages while it is non-empty.
+        self._registry = AgentRegistry(
+            agents=self.config.agents or (),
+            policy=HealthPolicy(
+                probe_interval_s=self.config.health_interval_s,
+            ),
+            probe_timeout_s=self.config.probe_timeout_s,
+            injector=self._injector,
+        )
+        #: Service-assigned peers of currently running jobs
+        #: (job_id -> placement tuple); like ``_io_assigned``, must
+        #: drain back to {} — a leftover entry means a leaked in-flight
+        #: charge on some agent.
+        self._placements: dict[str, tuple[str, ...]] = {}
+        self._health_task: "asyncio.Task | None" = None
         #: Per-tenant completion tallies accumulated from finished jobs'
         #: result counters (jobs, throttled bytes, waiting done).
         self.tenant_stats: dict[str, dict[str, float]] = {}
@@ -212,6 +293,7 @@ class JobService:
             "completed": 0, "failed": 0, "cancelled": 0,
             "runner_crashes": 0, "conn_drops": 0, "reaped": 0,
             "shed": 0, "tenant_rejected": 0,
+            "placed": 0, "stale_dispatches": 0, "hosts_lost": 0,
         }
 
     # -- lifecycle ----------------------------------------------------------
@@ -230,8 +312,34 @@ class JobService:
             loop = asyncio.get_running_loop()
             for sig in (signal.SIGTERM, signal.SIGINT):
                 loop.add_signal_handler(sig, self.request_stop)
+        self._health_task = asyncio.ensure_future(self._health_loop())
         self._schedule()
         return host, port
+
+    async def _health_loop(self) -> None:
+        """Probe the agent pool on its schedule, forever.
+
+        The probes themselves are blocking socket I/O, so each round
+        runs on an executor thread; the tick is deliberately finer than
+        ``health_interval_s`` because suspect quick-retries and
+        quarantine re-probes come due off-cycle.  Every round that
+        probed anything re-runs the scheduler — a pool that just
+        settled (or an agent that just recovered) may unblock queued
+        placement-hungry jobs.
+        """
+        loop = asyncio.get_running_loop()
+        tick = max(0.05, min(0.25, self.config.health_interval_s / 4))
+        while not self._stop.is_set():
+            if len(self._registry):
+                probed = await loop.run_in_executor(
+                    None, self._registry.probe_round
+                )
+                if probed:
+                    self._schedule()
+            try:
+                await asyncio.wait_for(self._stop.wait(), timeout=tick)
+            except asyncio.TimeoutError:
+                continue
 
     async def run_until_stopped(self) -> None:
         """Serve until :meth:`request_stop` (SIGTERM/shutdown), then drain."""
@@ -251,9 +359,12 @@ class JobService:
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
+        if self._health_task is not None:
+            self._health_task.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await self._health_task
         for running in list(self._running.values()):
-            with contextlib.suppress(ProcessLookupError):
-                running.proc.terminate()
+            signal_runner_tree(running.proc.pid, signal.SIGTERM)
         if self._job_tasks:
             done, pending = await asyncio.wait(
                 list(self._job_tasks), timeout=10.0
@@ -264,8 +375,7 @@ class JobService:
                 await asyncio.wait(pending, timeout=5.0)
         # anything the tasks left running goes back to the queue
         for job_id, running in list(self._running.items()):
-            with contextlib.suppress(ProcessLookupError):
-                running.proc.kill()
+            signal_runner_tree(running.proc.pid, signal.SIGKILL)
             self._set_state(running.record.with_(state=STATE_QUEUED))
             del self._running[job_id]
         self.state.clear_endpoint()
@@ -282,17 +392,16 @@ class JobService:
                 self._push(record)
 
     def _kill_orphan_runner(self, job_id: str) -> None:
-        """SIGKILL a runner left over from a daemon that died mid-job, so
-        the relaunched attempt never races it over the checkpoint dir."""
-        import os
-
+        """SIGKILL a runner left over from a daemon that died mid-job —
+        the whole process group, not just the runner pid, so its forked
+        shard workers can never race the relaunched attempt over the
+        checkpoint journal."""
         pid_path = self.state.job_dir(job_id) / "runner.pid"
         try:
             pid = int(pid_path.read_text().strip())
         except (OSError, ValueError):
             return
-        with contextlib.suppress(OSError):
-            os.kill(pid, signal.SIGKILL)
+        signal_runner_tree(pid, signal.SIGKILL)
         pid_path.unlink(missing_ok=True)
 
     # -- queue + scheduler ---------------------------------------------------
@@ -313,10 +422,37 @@ class JobService:
         ))
         self._queued_ids.add(record.job_id)
 
+    def _needs_placement(self, job_id: str) -> bool:
+        """Does this job want service-assigned peers at dispatch?
+
+        Sharded jobs without user-pinned ``peers`` are placed from the
+        registry whenever the pool is non-empty; everything else runs
+        locally exactly as before.
+        """
+        if not len(self._registry):
+            return False
+        try:
+            spec = self.state.load_spec(job_id)
+        except Exception:  # noqa: BLE001 - unreadable spec: run local
+            return False
+        return bool(getattr(spec, "shards", None)) and not bool(
+            getattr(spec, "peers", None)
+        )
+
     def _pop_next(self) -> JobRecord | None:
+        eligible = None
+        if len(self._registry) and not self._registry.settled:
+            # Health-gated dispatch: until the first probe round has
+            # measured the pool, placement-hungry jobs wait (the health
+            # loop re-schedules the moment the pool settles); jobs that
+            # never wanted placement flow through unimpeded.
+            def eligible(entry: QueueEntry) -> bool:
+                return not self._needs_placement(entry.job_id)
         while len(self._queue):
-            entry = self._queue.pop()
-            if entry is None or entry.job_id not in self._queued_ids:
+            entry = self._queue.pop(eligible)
+            if entry is None:
+                return None  # nothing eligible right now
+            if entry.job_id not in self._queued_ids:
                 continue  # cancelled while queued
             self._queued_ids.discard(entry.job_id)
             record = self.state.load_record(entry.job_id)
@@ -525,27 +661,42 @@ class JobService:
 
     # -- execution -----------------------------------------------------------
 
+    def _primary_host(self, job_id: str) -> str:
+        """The host a job's bandwidth is charged against.
+
+        Placed jobs charge the first agent of their placement (where
+        the coordinator lands the heaviest exchange traffic); local
+        jobs all share the daemon host's capacity, which is exactly the
+        pre-cluster behaviour.
+        """
+        placed = self._placements.get(job_id)
+        return placed[0] if placed else "local"
+
     def _assign_io_share(self, job_id: str) -> "int | None":
         """Dispatch-time bandwidth share for one job (bytes/second).
 
         With ``node_bandwidth`` configured, the job's declared demand is
         run through the configured allocator policy alongside the
-        demands of every currently running job, and its share of the
-        node bandwidth — not its raw ask — becomes the token-bucket rate
-        the runner enforces.  Jobs with no declared ``io_budget`` run
-        unthrottled and return None.
+        demands of every currently running job *on the same host*:
+        the per-host composition means two jobs placed on one agent
+        split that host's capacity, while jobs on different hosts do
+        not contend (each agent brings its own disk).  The job's share
+        — not its raw ask — becomes the token-bucket rate the runner
+        enforces.  Jobs with no declared ``io_budget`` run unthrottled
+        and return None.
         """
         if self.config.node_bandwidth is None:
             return None
         spec = self.state.load_spec(job_id)
         if getattr(spec, "io_budget", None) is None:
             return None
-        allocator = make_allocator(
-            self.config.qos_policy, self.config.node_bandwidth
+        allocator = HostCapacityAllocator(
+            self.config.node_bandwidth, inner_policy=self.config.qos_policy
         )
         allocator.register(
             job_id, parse_size(spec.io_budget),
             priority=getattr(spec, "io_priority", 0),
+            host=self._primary_host(job_id),
         )
         for other_id in self._running:
             other = self.state.load_spec(other_id)
@@ -554,15 +705,56 @@ class JobService:
             allocator.register(
                 other_id, parse_size(other.io_budget),
                 priority=getattr(other, "io_priority", 0),
+                host=self._primary_host(other_id),
             )
         shares = allocator.allocate()
         return max(1, int(shares[job_id]))
+
+    def _place_job(self, job_id: str, attempt: int) -> tuple[str, ...]:
+        """Service-assigned peers for one dispatch.
+
+        Placement is *per attempt* and travels beside the spec as
+        ``placement.json`` (CRC-enveloped), never inside it — the job
+        id must not change because the pool did — so a requeued job is
+        automatically re-placed onto whoever survives.  An empty
+        placement (no healthy agent) falls back to a local run: the
+        job still finishes with the same digest, just without the
+        fan-out.
+        """
+        job_dir = self.state.job_dir(job_id)
+        placement_path = job_dir / "placement.json"
+        if not self._needs_placement(job_id):
+            placement_path.unlink(missing_ok=True)
+            return ()
+        spec = self.state.load_spec(job_id)
+        placement = self._registry.place(job_id, int(spec.shards))
+        if placement and self._injector is not None:
+            # The stale-dispatch window: the agent passed its health
+            # check but died before the runner dialed it.  Substituting
+            # a black-hole address reproduces exactly that — the
+            # runner's startup connect fails with PeerUnreachable.
+            decision = self._injector.check(
+                SITE_CLUSTER_DISPATCH_STALE, scope=job_id, attempt=attempt
+            )
+            if decision is not None:
+                placement = (STALE_AGENT_ADDR,) + placement[1:]
+        if not placement:
+            placement_path.unlink(missing_ok=True)
+            return ()
+        payload: dict[str, Any] = {"peers": list(placement)}
+        if self.config.net_timeout_s is not None:
+            payload["net_timeout"] = self.config.net_timeout_s
+        write_json_crc(placement_path, payload)
+        self._placements[job_id] = placement
+        self.counters["placed"] += 1
+        return placement
 
     async def _run_job(self, record: JobRecord) -> None:
         job_id = record.job_id
         attempt = record.attempts + 1
         record = record.with_(state=STATE_RUNNING, attempts=attempt)
         job_dir = self.state.job_dir(job_id)
+        placement = self._place_job(job_id, attempt)
         assigned = self._assign_io_share(job_id)
         if assigned is not None:
             spec = self.state.load_spec(job_id)
@@ -581,12 +773,18 @@ class JobService:
                 argv += ["--crash-after-round", "1"]
         log_fh = open(self.state.runner_log_path(job_id), "ab")
         try:
+            # start_new_session makes the runner a session (and process
+            # group) leader: its forked shard workers share the group,
+            # so every kill site can reap the whole tree at once.
             proc = await asyncio.create_subprocess_exec(
                 *argv, stdout=log_fh, stderr=log_fh,
+                start_new_session=True,
             )
         except OSError as exc:
             log_fh.close()
             self._io_assigned.pop(job_id, None)
+            self._placements.pop(job_id, None)
+            self._registry.release(job_id)
             self._finish(record.with_(
                 state=STATE_FAILED, error=f"runner launch failed: {exc}",
                 exit_code=1,
@@ -602,8 +800,7 @@ class JobService:
                     proc.wait(), timeout=self.config.job_timeout_s
                 )
             except asyncio.TimeoutError:
-                with contextlib.suppress(ProcessLookupError):
-                    proc.kill()
+                signal_runner_tree(proc.pid, signal.SIGKILL)
                 await proc.wait()
                 self._finish(running.record.with_(
                     state=STATE_FAILED, exit_code=4,
@@ -612,9 +809,17 @@ class JobService:
                 ))
                 return
         finally:
+            # However the runner died (clean exit, injected crash,
+            # timeout, cancel), no shard worker of this attempt may
+            # outlive it: a survivor would keep writing the checkpoint
+            # journal the requeued attempt is about to resume from.
+            with contextlib.suppress(OSError):
+                os.killpg(proc.pid, signal.SIGKILL)
             log_fh.close()
             self._running.pop(job_id, None)
             self._io_assigned.pop(job_id, None)
+            self._placements.pop(job_id, None)
+            self._registry.release(job_id)
             (job_dir / "runner.pid").unlink(missing_ok=True)
         if self._draining:
             # drain terminated the runner; put the job back for the
@@ -630,6 +835,30 @@ class JobService:
             self._record_success(running.record, rc)
         elif rc in (1, 2, 3):
             error = self._read_error(job_dir)
+            if (
+                rc == 2 and placement
+                and error.partition(":")[0] == "PeerUnreachable"
+            ):
+                # Stale dispatch: *we* handed the runner a peer that
+                # died between the health check and the dial — not the
+                # user's mistake, so this is retried, not failed.  The
+                # unreachable host is marked (all of them, when the
+                # message names none) and the requeued attempt is
+                # re-placed onto survivors; the journal turns the rerun
+                # into a resume, so nothing is double-counted.
+                self.counters["stale_dispatches"] += 1
+                stale = [a for a in placement if a in error] or list(placement)
+                for addr in stale:
+                    self._registry.mark_lost(
+                        addr, "unreachable at dispatch"
+                    )
+                if attempt < self.config.max_attempts:
+                    requeued = running.record.with_(state=STATE_QUEUED)
+                    self.state.save_record(requeued)
+                    self._push(requeued)
+                    self._broadcast(requeued)
+                    return
+                error += f"; attempts exhausted ({attempt})"
             self._finish(running.record.with_(
                 state=STATE_FAILED, exit_code=rc, error=error,
             ))
@@ -670,6 +899,12 @@ class JobService:
             ))
             return
         counters = report.get("counters", {}) or {}
+        for addr in counters.get("net_hosts_lost") or ():
+            # The runner's host-loss ladder already absorbed this agent
+            # mid-job; fold the loss into the registry so the next
+            # placement does not hand the dead host out again.
+            self._registry.mark_lost(str(addr), "lost mid-job")
+            self.counters["hosts_lost"] += 1
         tenant = counters.get("tenant") or self._tenant_of(record.job_id)
         stats = self.tenant_stats.setdefault(tenant, {
             "jobs": 0, "throttle_bytes": 0, "throttle_wait_s": 0.0,
@@ -804,6 +1039,25 @@ class JobService:
             elif req == protocol.REQ_WATCH:
                 await self._handle_watch(msg, writer)
                 return True
+            elif req == protocol.REQ_AGENTS:
+                await protocol.write_frame(writer, protocol.ok_reply(
+                    agents=self._registry.snapshot(),
+                    settled=self._registry.settled,
+                ))
+            elif req == protocol.REQ_REGISTER:
+                addr, created = self._registry.register(
+                    str(msg.get("addr", ""))
+                )
+                await protocol.write_frame(writer, protocol.ok_reply(
+                    addr=addr, created=created,
+                ))
+            elif req == protocol.REQ_DEREGISTER:
+                removed = self._registry.deregister(
+                    str(msg.get("addr", ""))
+                )
+                await protocol.write_frame(writer, protocol.ok_reply(
+                    removed=removed,
+                ))
             elif req == protocol.REQ_SHUTDOWN:
                 await protocol.write_frame(writer, protocol.ok_reply(
                     draining=True
@@ -908,8 +1162,7 @@ class JobService:
         running = self._running.get(job_id)
         if running is not None:
             running.cancelling = True
-            with contextlib.suppress(ProcessLookupError):
-                running.proc.terminate()
+            signal_runner_tree(running.proc.pid, signal.SIGTERM)
             await protocol.write_frame(writer, protocol.ok_reply(
                 job=self._record_reply(running.record), cancelling=True,
             ))

@@ -1,0 +1,5 @@
+"""Cluster test fixtures: reuse the service suite's daemon launcher."""
+
+from __future__ import annotations
+
+from tests.service.conftest import daemon  # noqa: F401

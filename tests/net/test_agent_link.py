@@ -210,3 +210,16 @@ class TestHostedWorkers:
         agent._grace_reaper()
         assert _wait_until(lambda: not proc.is_alive(), timeout_s=5.0)
         assert _wait_until(lambda: (0, 0) not in agent.workers)
+        # A reap is an *event*, not an order: it must be observable —
+        # counted apart from commanded kills and logged as a fault row.
+        from repro.faults.log import ACTION_REAPED
+        from repro.faults.plan import SITE_NET_AGENT_REAP
+
+        assert agent.counters["agent_reaped"] == 1
+        assert agent.counters["agent_killed"] == 0
+        rows = [r for r in agent.fault_log.events
+                if r.site == SITE_NET_AGENT_REAP]
+        assert len(rows) == 1
+        assert rows[0].action == ACTION_REAPED
+        assert "grace" in rows[0].detail
+        assert rows[0].scope == "0.0"

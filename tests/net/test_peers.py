@@ -53,6 +53,22 @@ class TestParsePeers:
         with pytest.raises(ConfigError, match="duplicate"):
             parse_peers("a:1,a:1")
 
+    def test_duplicates_collide_on_canonical_form(self):
+        # a:01 and a:1 are the same agent instance, spelled differently
+        with pytest.raises(ConfigError, match="duplicate"):
+            parse_peers("a:01,a:1")
+
+    def test_empty_segment_is_an_error(self):
+        with pytest.raises(ConfigError, match="empty segment"):
+            parse_peers("a:1,,b:2")
+
+    def test_trailing_comma_is_an_error(self):
+        with pytest.raises(ConfigError, match="empty segment"):
+            parse_peers("a:1,b:2,")
+
+    def test_surrounding_whitespace_is_stripped(self):
+        assert parse_peers("  a:1 ,\tb:2  ") == ("a:1", "b:2")
+
     def test_bad_entry_is_an_error(self):
         with pytest.raises(ConfigError, match="host:port"):
             parse_peers("a:1,nonsense")

@@ -198,3 +198,73 @@ class TestRegistrationSurface:
         assert allocator.allocate()["a"] == pytest.approx(5.0)
         allocator.set_capacity(40.0)
         assert allocator.allocate()["a"] == pytest.approx(20.0)
+
+
+class TestHostCapacity:
+    """Per-host composition: the cluster-aware service's allocator."""
+
+    def _make(self, capacity=100.0, **kw):
+        from repro.qos.allocator import HostCapacityAllocator
+
+        return HostCapacityAllocator(capacity, **kw)
+
+    def test_same_host_flows_split_that_hosts_capacity(self):
+        allocator = self._make(100.0)
+        allocator.register("a", math.inf, host="h1")
+        allocator.register("b", math.inf, host="h1")
+        rates = allocator.allocate()
+        assert rates["a"] == pytest.approx(50.0)
+        assert rates["b"] == pytest.approx(50.0)
+
+    def test_different_hosts_do_not_contend(self):
+        # ten agents are ten disks: per-host conservation, not global
+        allocator = self._make(100.0)
+        allocator.register("a", math.inf, host="h1")
+        allocator.register("b", math.inf, host="h2")
+        rates = allocator.allocate()
+        assert rates["a"] == pytest.approx(100.0)
+        assert rates["b"] == pytest.approx(100.0)
+        assert allocator.total_allocated == pytest.approx(200.0)
+
+    def test_per_host_capacity_override(self):
+        allocator = self._make(100.0, host_capacity={"slow": 10.0})
+        allocator.register("a", math.inf, host="slow")
+        allocator.register("b", math.inf, host="fast")
+        rates = allocator.allocate()
+        assert rates["a"] == pytest.approx(10.0)
+        assert rates["b"] == pytest.approx(100.0)
+
+    def test_default_host_is_local(self):
+        allocator = self._make(60.0)
+        allocator.register("a", math.inf)
+        allocator.register("b", math.inf)
+        assert allocator.allocate()["a"] == pytest.approx(30.0)
+
+    def test_inner_policy_is_validated(self):
+        with pytest.raises(ConfigError, match="unknown inner policy"):
+            self._make(100.0, inner_policy="warp")
+
+    def test_inner_policy_applies_within_each_host(self):
+        allocator = self._make(90.0, inner_policy="max-min")
+        allocator.register("tiny", 10.0, host="h1")
+        allocator.register("hungry", math.inf, host="h1")
+        rates = allocator.allocate()
+        assert rates["tiny"] == pytest.approx(10.0)
+        assert rates["hungry"] == pytest.approx(80.0)
+
+    def test_not_in_the_policy_registry(self):
+        # per-host composes *over* a policy; it is not itself one the
+        # --qos-policy flag can name
+        assert "per-host" not in POLICIES
+        with pytest.raises(ConfigError):
+            make_allocator("per-host", 10.0)
+
+    def test_reset_clears_host_tagging(self):
+        allocator = self._make(100.0)
+        allocator.register("a", math.inf, host="h1")
+        allocator.allocate()
+        allocator.reset()
+        assert allocator.allocate() == {}
+        allocator.register("a", math.inf, host="h2")
+        allocator.register("b", math.inf, host="h2")
+        assert allocator.allocate()["a"] == pytest.approx(50.0)

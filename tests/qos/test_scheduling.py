@@ -133,3 +133,44 @@ class TestQueueSurface:
             return drain(q)
 
         assert build() == build()
+
+
+class TestEligibilityFilter:
+    """``pop(eligible)``: health-gated dispatch must not disturb fairness."""
+
+    def test_ineligible_entries_stay_queued_untouched(self):
+        queue = WeightedFairQueue()
+        queue.push(QueueEntry("held", tenant="a", seq=0))
+        queue.push(QueueEntry("free", tenant="a", seq=1))
+        entry = queue.pop(lambda e: e.job_id != "held")
+        assert entry.job_id == "free"
+        assert len(queue) == 1
+        assert queue.pop().job_id == "held"
+
+    def test_nothing_eligible_returns_none_without_advancing_clocks(self):
+        queue = WeightedFairQueue()
+        queue.push(QueueEntry("a-0", tenant="a", seq=0))
+        queue.push(QueueEntry("b-0", tenant="b", seq=1))
+        assert queue.pop(lambda e: False) is None
+        assert len(queue) == 2
+        # the held pops must not have charged any tenant's virtual
+        # clock: fairness replays exactly as if the filter never ran
+        order = [queue.pop().job_id for _ in range(2)]
+        assert order == ["a-0", "b-0"]
+
+    def test_filter_skips_to_the_next_tenant_with_eligible_work(self):
+        queue = WeightedFairQueue()
+        queue.push(QueueEntry("a-0", tenant="a", seq=0))
+        queue.push(QueueEntry("b-0", tenant="b", seq=1))
+        entry = queue.pop(lambda e: e.tenant == "b")
+        assert entry.job_id == "b-0"
+        # tenant b paid for its dispatch; tenant a did not
+        assert queue.pop().job_id == "a-0"
+
+    def test_priority_still_decides_within_the_eligible_set(self):
+        queue = WeightedFairQueue(aging_every=0)
+        queue.push(QueueEntry("low", priority=0, seq=0))
+        queue.push(QueueEntry("held", priority=9, seq=1))
+        queue.push(QueueEntry("high", priority=5, seq=2))
+        entry = queue.pop(lambda e: e.job_id != "held")
+        assert entry.job_id == "high"

@@ -188,6 +188,24 @@ class TestNetworkExitCodes:
         assert rc == EXIT_USAGE
         assert "host:port" in capsys.readouterr().err
 
+    def test_empty_peer_segment_is_2(self, text_file, capsys):
+        from repro.exitcodes import EXIT_USAGE
+
+        # a stray comma must be a typed usage error, not a silently
+        # narrower pool
+        rc = main(["wordcount", str(text_file), "--chunk-size", "32KB",
+                   "--shards", "2", "--peers", "a:1,,b:2"])
+        assert rc == EXIT_USAGE
+        assert "empty segment" in capsys.readouterr().err
+
+    def test_duplicate_peer_is_2(self, text_file, capsys):
+        from repro.exitcodes import EXIT_USAGE
+
+        rc = main(["wordcount", str(text_file), "--chunk-size", "32KB",
+                   "--shards", "2", "--peers", "a:01,a:1"])
+        assert rc == EXIT_USAGE
+        assert "duplicate" in capsys.readouterr().err
+
     def test_peers_without_shards_is_2(self, text_file, capsys):
         from repro.exitcodes import EXIT_USAGE
 

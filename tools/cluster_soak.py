@@ -1,0 +1,390 @@
+#!/usr/bin/env python
+"""Chaos soak: the self-healing agent pool under kill, partition, flap.
+
+Drives the whole ``repro.cluster`` story end to end through the real
+CLI, wire protocol, and subprocess agents:
+
+1. record one-shot digests for a batch of ``--shards 2`` wordcounts —
+   the ground truth every clustered run must reproduce byte for byte;
+2. start three ``supmr agent`` daemons and a job daemon registered to
+   all three (``serve --agents``), with a node bandwidth so every job
+   also charges the per-host QoS allocator;
+3. submit the batch, then run the chaos script:
+   - SIGKILL one agent mid-job (host loss absorbed by the ladder),
+   - SIGKILL the daemon itself, restart it over the same state dir
+     (recovery requeues onto the survivors),
+   - register a replacement agent / deregister the corpse over the
+     wire,
+   - partition a second agent with SIGSTOP until the health loop
+     demotes it, then SIGCONT and require it to be re-admitted,
+   - flap a third agent (SIGSTOP/SIGCONT cycles) until the registry
+     quarantines it;
+4. require every job to reach DONE with its one-shot digest, then
+   check the no-leak invariants: zero in-flight placement charges,
+   zero assigned bandwidth shares, no orphan process, /dev/shm clean.
+
+Exits non-zero (failing the CI job) on any divergence, orphan, or
+leak.  ``--quick`` shrinks the corpus and skips the quarantine
+recovery wait so the whole soak fits in ~60 s for CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[1]
+SRC = str(REPO / "src")
+ENV = dict(os.environ)
+ENV["PYTHONPATH"] = SRC + (
+    os.pathsep + ENV["PYTHONPATH"] if ENV.get("PYTHONPATH") else ""
+)
+sys.path.insert(0, SRC)
+
+from repro.service.client import ServiceClient  # noqa: E402
+from repro.service.jobspec import ServiceJobSpec  # noqa: E402
+from repro.service.state import STATE_DONE  # noqa: E402
+
+FAILURES: list[str] = []
+
+
+def fail(msg: str) -> None:
+    print(f"  FAIL: {msg}")
+    FAILURES.append(msg)
+
+
+def run_cli(*args: str, timeout: int = 600) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, "-m", "repro.cli", *args],
+        capture_output=True, text=True, env=ENV, timeout=timeout,
+    )
+
+
+def one_shot_digest(*args: str) -> str:
+    proc = run_cli(*args, "--json")
+    if proc.returncode != 0:
+        sys.exit(f"one-shot run failed (rc={proc.returncode}):\n"
+                 f"{proc.stdout}\n{proc.stderr}")
+    return json.loads(proc.stdout)["digest"]
+
+
+def shm_segments() -> set[str]:
+    try:
+        return set(os.listdir("/dev/shm"))
+    except OSError:
+        return set()
+
+
+def stray_processes() -> list[str]:
+    strays: list[str] = []
+    for pid_dir in Path("/proc").iterdir():
+        if not pid_dir.name.isdigit() or int(pid_dir.name) == os.getpid():
+            continue
+        try:
+            cmdline = (pid_dir / "cmdline").read_bytes().replace(
+                b"\0", b" "
+            ).decode(errors="replace")
+        except OSError:
+            continue
+        if ("repro.cli" in cmdline or "repro.service.runner" in cmdline) \
+                and "cluster_soak" not in cmdline:
+            strays.append(f"pid {pid_dir.name}: {cmdline.strip()}")
+    return strays
+
+
+class Agent:
+    """One real ``supmr agent`` subprocess on an ephemeral port."""
+
+    def __init__(self, tmp: Path, name: str) -> None:
+        self.name = name
+        self.addr_file = tmp / f"{name}.addr"
+        self.proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.cli", "agent",
+             "--listen", "127.0.0.1:0",
+             "--workdir", str(tmp / name),
+             "--addr-file", str(self.addr_file),
+             "--grace", "2.0"],
+            env=ENV, stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+        )
+        deadline = time.monotonic() + 15.0
+        while not self.addr_file.exists():
+            if time.monotonic() > deadline:
+                sys.exit(f"agent {name} never published its address")
+            time.sleep(0.05)
+        self.addr = self.addr_file.read_text().strip()
+
+    def sigkill(self) -> None:
+        self.proc.kill()
+        self.proc.wait(timeout=10)
+
+    def pause(self) -> None:
+        self.proc.send_signal(signal.SIGSTOP)
+
+    def resume(self) -> None:
+        self.proc.send_signal(signal.SIGCONT)
+
+    def stop(self) -> None:
+        if self.proc.poll() is None:
+            self.proc.send_signal(signal.SIGCONT)  # in case it is paused
+            self.proc.send_signal(signal.SIGTERM)
+            try:
+                self.proc.wait(timeout=10)
+            except subprocess.TimeoutExpired:
+                self.proc.kill()
+                self.proc.wait(timeout=5)
+
+
+def start_daemon(state_dir: Path, agents: str) -> subprocess.Popen:
+    state_dir.mkdir(parents=True, exist_ok=True)
+    log = open(state_dir / "daemon.log", "ab")
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve",
+         "--state-dir", str(state_dir), "--max-jobs", "2",
+         "--max-attempts", "4", "--node-bandwidth", "400MB",
+         "--net-timeout", "2",
+         "--agents", agents,
+         "--health-interval", "0.3", "--probe-timeout", "1.0"],
+        env=ENV, stdout=log, stderr=subprocess.STDOUT,
+    )
+    log.close()
+    deadline = time.monotonic() + 30.0
+    while time.monotonic() < deadline:
+        if (state_dir / "endpoint.json").exists():
+            return proc
+        if proc.poll() is not None:
+            sys.exit("daemon exited before advertising its endpoint; see "
+                     + str(state_dir / "daemon.log"))
+        time.sleep(0.02)
+    proc.kill()
+    sys.exit("daemon did not come up within 30s")
+
+
+def agent_states(client: ServiceClient) -> dict[str, str]:
+    return {row["addr"]: row["state"]
+            for row in client.agents().get("agents", [])}
+
+
+def await_state(client: ServiceClient, addr: str, wanted: tuple[str, ...],
+                timeout_s: float, label: str) -> str | None:
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        state = agent_states(client).get(addr)
+        if state in wanted:
+            return state
+        time.sleep(0.05)
+    fail(f"{label}: agent {addr} never reached {wanted} "
+         f"(last: {agent_states(client).get(addr)})")
+    return None
+
+
+def flap_to_quarantine(client: ServiceClient, agent: Agent,
+                       timeout_s: float) -> bool:
+    """SIGSTOP/SIGCONT cycles until the registry quarantines the agent.
+
+    Returns with the agent still *paused*: once the tally trips, any
+    answered probe starts the recovery clock (``recover_after``
+    successes wipe the flap history), so the quarantine is only
+    reliably observable while the agent stays silent.
+    """
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        agent.pause()
+        pause_until = time.monotonic() + 1.6
+        while time.monotonic() < pause_until:
+            if agent_states(client).get(agent.addr) == "quarantined":
+                return True
+            time.sleep(0.05)
+        agent.resume()
+        time.sleep(0.7)  # long enough to be probed alive again
+    fail(f"flapping agent {agent.addr} never quarantined "
+         f"(last: {agent_states(client).get(agent.addr)})")
+    return False
+
+
+def agents_cli(state_dir: Path, *extra: str) -> str:
+    out = run_cli("agents", "--state-dir", str(state_dir), *extra,
+                  timeout=60)
+    if out.returncode != 0:
+        fail(f"`agents {' '.join(extra)}` CLI exited {out.returncode}: "
+             f"{out.stderr.strip()}")
+    return out.stdout
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="~60s variant for CI: smaller corpus, no "
+                             "quarantine-recovery wait")
+    opts = parser.parse_args()
+
+    jobs = 2 if opts.quick else 3
+    size = "2MB" if opts.quick else "6MB"
+
+    shm_before = shm_segments()
+    pre_existing = set(stray_processes())
+
+    def check_clean(label: str) -> None:
+        deadline = time.monotonic() + 15.0
+        strays = set(stray_processes()) - pre_existing
+        leaked = shm_segments() - shm_before
+        while (strays or leaked) and time.monotonic() < deadline:
+            time.sleep(0.25)
+            strays = set(stray_processes()) - pre_existing
+            leaked = shm_segments() - shm_before
+        for stray in sorted(strays):
+            fail(f"{label}: orphan process ({stray})")
+        if leaked:
+            fail(f"{label}: leaked /dev/shm entries {sorted(leaked)}")
+
+    with tempfile.TemporaryDirectory(prefix="cluster_soak_") as tmp_s:
+        tmp = Path(tmp_s)
+
+        # 1: ground truth.
+        specs: dict[str, ServiceJobSpec] = {}
+        expected: dict[str, str] = {}
+        for i in range(jobs):
+            corpus = tmp / f"corpus-{i}.txt"
+            gen = run_cli("gen", "text", str(corpus), "--size", size,
+                          "--seed", str(20 + i))
+            if gen.returncode != 0:
+                sys.exit(f"corpus generation failed:\n{gen.stderr}")
+            spec = ServiceJobSpec(
+                app="wordcount", inputs=(str(corpus),), chunk_size="128KB",
+                shards=2, io_budget="100MB",
+            )
+            specs[spec.job_id()] = spec
+            expected[spec.job_id()] = one_shot_digest(
+                "wordcount", str(corpus), "--chunk-size", "128KB",
+                "--shards", "2")
+        print(f"ground truth: {jobs} one-shot digest(s) recorded")
+
+        # 2: three agents, one daemon registered to all of them.
+        pool = [Agent(tmp, f"a{i}") for i in range(3)]
+        spare: Agent | None = None
+        addrs = ",".join(a.addr for a in pool)
+        state_dir = tmp / "svc"
+        daemon = start_daemon(state_dir, addrs)
+        try:
+            client = ServiceClient.from_state_dir(state_dir)
+            for agent in pool:
+                await_state(client, agent.addr, ("healthy",), 20.0, "warmup")
+            listing = agents_cli(state_dir)
+            if "agent pool: 3 agent(s), settled" not in listing:
+                fail(f"`agents` CLI did not show a settled pool:\n{listing}")
+            print("pool: 3 agents registered, probed healthy")
+
+            # 3: submit, then chaos.
+            for spec in specs.values():
+                client.submit(spec)
+            time.sleep(1.2)
+            pool[0].sigkill()
+            print(f"chaos: SIGKILLed agent {pool[0].addr} mid-job")
+            time.sleep(1.0)
+            pool[1].pause()
+            print(f"chaos: partitioned agent {pool[1].addr} (SIGSTOP)")
+            time.sleep(0.8)
+
+            daemon.kill()  # no drain: records still say "running"
+            daemon.wait(timeout=30)
+            # SIGKILL skipped the drain, so the dead daemon's endpoint
+            # advertisement survives on disk; clear it or the restart
+            # wait below would race against the stale port.
+            (state_dir / "endpoint.json").unlink(missing_ok=True)
+            daemon = start_daemon(state_dir, addrs)
+            client = ServiceClient.from_state_dir(state_dir)
+            print("chaos: SIGKILLed the daemon, restarted over the same "
+                  "state dir")
+
+            # replacement agent in, corpse out — over the wire.
+            spare = Agent(tmp, "spare")
+            if not client.register_agent(spare.addr).get("created"):
+                fail("registering the replacement agent did not create it")
+            if not client.deregister_agent(pool[0].addr).get("removed"):
+                fail("deregistering the killed agent did not remove it")
+            await_state(client, spare.addr, ("healthy",), 20.0, "replacement")
+            print(f"pool: replacement {spare.addr} registered and healthy, "
+                  f"corpse deregistered")
+
+            # the partitioned agent must be demoted, then re-admitted.
+            demoted = await_state(client, pool[1].addr,
+                                  ("suspect", "quarantined"), 20.0,
+                                  "partition")
+            pool[1].resume()
+            if demoted:
+                print(f"partition: {pool[1].addr} demoted to {demoted}")
+            await_state(client, pool[1].addr, ("healthy",), 30.0,
+                        "partition heal")
+            print(f"partition: {pool[1].addr} re-admitted after SIGCONT")
+
+            # 4: every job converges to its one-shot digest.
+            for job_id, spec in specs.items():
+                record = client.wait(job_id, timeout_s=420)
+                if record.state != STATE_DONE:
+                    fail(f"job {job_id}: {record.state} ({record.error})")
+                elif record.digest != expected[job_id]:
+                    fail(f"job {job_id}: digest {record.digest} != one-shot "
+                         f"{expected[job_id]}")
+                else:
+                    print(f"job {job_id[:12]}: digest match "
+                          f"(attempts={record.attempts})")
+
+            # 5: flap the third agent into quarantine.
+            if flap_to_quarantine(client, pool[2], timeout_s=60.0):
+                print(f"flap: {pool[2].addr} quarantined")
+            listing = agents_cli(state_dir)
+            if "quarantined" not in listing:
+                fail(f"`agents` CLI does not show the quarantine:\n{listing}")
+            if not opts.quick:
+                # quarantine is not a death sentence: sustained health
+                # (through the jittered re-probe backoff) re-admits.
+                pool[2].resume()
+                await_state(client, pool[2].addr, ("healthy",), 90.0,
+                            "quarantine recovery")
+                print(f"flap: {pool[2].addr} recovered to healthy")
+
+            # 6: no-leak invariants.
+            ping = client.ping()
+            if ping.get("io_assigned_bps", 0) != 0:
+                fail(f"leaked bandwidth shares: io_assigned_bps="
+                     f"{ping['io_assigned_bps']}")
+            for row in client.agents().get("agents", []):
+                if row["inflight"] != 0:
+                    fail(f"agent {row['addr']} still charged with "
+                         f"{row['inflight']} in-flight job(s)")
+            counters = ping.get("counters", {})
+            print("counters: placed={placed} stale_dispatches="
+                  "{stale_dispatches} hosts_lost={hosts_lost}".format(
+                      **{k: counters.get(k, 0) for k in
+                         ("placed", "stale_dispatches", "hosts_lost")}))
+            client.shutdown()
+            daemon.wait(timeout=30)
+        finally:
+            if daemon.poll() is None:
+                daemon.kill()
+                daemon.wait(timeout=10)
+            for agent in pool:
+                agent.stop()
+            if spare is not None:
+                spare.stop()
+        check_clean("soak")
+
+    if FAILURES:
+        print(f"\nCLUSTER SOAK FAILED ({len(FAILURES)} issue(s)):")
+        for failure in FAILURES:
+            print(f"  - {failure}")
+        return 1
+    print("cluster soak passed: every job terminal with its one-shot "
+          "digest, demotions and recoveries observed, no orphans, "
+          "no leaked shares")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
